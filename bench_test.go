@@ -1,0 +1,355 @@
+package dwmaxerr
+
+// One benchmark per table/figure of the paper's evaluation, at
+// laptop-scale sizes. `go test -bench=. -benchmem` regenerates every
+// series; cmd/dwbench renders the full tables with larger inputs. Custom
+// metrics: max_abs (achieved error), shuffle_B (bytes across the shuffle),
+// makespan10/20/40_ms (simulated cluster runtime at that many map slots).
+
+import (
+	"fmt"
+	"testing"
+
+	"dwmaxerr/internal/dataset"
+	"dwmaxerr/internal/dist"
+	"dwmaxerr/internal/dp"
+	"dwmaxerr/internal/greedy"
+	"dwmaxerr/internal/synopsis"
+)
+
+const benchSeed = 20160626
+
+func benchUniform(n int) []float64 {
+	return dataset.Uniform{Max: 1000}.Generate(n, benchSeed)
+}
+
+func reportDist(b *testing.B, rep *dist.Report) {
+	b.Helper()
+	b.ReportMetric(rep.MaxErr, "max_abs")
+	b.ReportMetric(float64(rep.TotalShuffleBytes()), "shuffle_B")
+	for _, slots := range []int{10, 20, 40} {
+		b.ReportMetric(float64(rep.Makespan(slots, 4).Milliseconds()), fmt.Sprintf("makespan%d_ms", slots))
+	}
+}
+
+// BenchmarkTable1Transform covers Table 1: the decomposition itself.
+func BenchmarkTable1Transform(b *testing.B) {
+	data := benchUniform(1 << 16)
+	b.SetBytes(int64(8 * len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Transform(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Generators covers Table 3: dataset generation rates.
+func BenchmarkTable3Generators(b *testing.B) {
+	for _, g := range []dataset.Generator{dataset.NYCTLike{}, dataset.WDLike{}, dataset.Zipf{Max: 1000, Exponent: 1.5}} {
+		b.Run(g.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.Generate(1<<14, benchSeed)
+			}
+		})
+	}
+}
+
+// BenchmarkFig5aSubtreeSize: runtime vs. sub-tree size, N fixed, B=N/8.
+func BenchmarkFig5aSubtreeSize(b *testing.B) {
+	n := 1 << 13
+	src := dist.SliceSource(benchUniform(n))
+	for _, s := range []int{n / 64, n / 16, n / 4} {
+		b.Run(fmt.Sprintf("s=%d", s), func(b *testing.B) {
+			var rep *dist.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = dist.DGreedyAbs(src, n/8, dist.Config{SubtreeLeaves: s})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportDist(b, rep)
+		})
+	}
+}
+
+// BenchmarkFig5bBudget: runtime vs. budget B.
+func BenchmarkFig5bBudget(b *testing.B) {
+	n := 1 << 13
+	src := dist.SliceSource(benchUniform(n))
+	for _, div := range []int{64, 16, 8} {
+		b.Run(fmt.Sprintf("B=N_%d", div), func(b *testing.B) {
+			var rep *dist.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = dist.DGreedyAbs(src, n/div, dist.Config{SubtreeLeaves: n / 16})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportDist(b, rep)
+		})
+	}
+}
+
+// BenchmarkFig5cScalability: DGreedyAbs vs. centralized GreedyAbs across N.
+func BenchmarkFig5cScalability(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 13, 1 << 14} {
+		data := benchUniform(n)
+		b.Run(fmt.Sprintf("DGreedyAbs/N=%d", n), func(b *testing.B) {
+			var rep *dist.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = dist.DGreedyAbs(dist.SliceSource(data), n/8, dist.Config{SubtreeLeaves: n / 16})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportDist(b, rep)
+		})
+		b.Run(fmt.Sprintf("GreedyAbs/N=%d", n), func(b *testing.B) {
+			var maxErr float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, maxErr, err = greedy.SynopsisAbs(data, n/8)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(maxErr, "max_abs")
+		})
+	}
+}
+
+// BenchmarkFig5dScalability: DIndirectHaar vs. centralized IndirectHaar.
+func BenchmarkFig5dScalability(b *testing.B) {
+	for _, n := range []int{1 << 11, 1 << 12, 1 << 13} {
+		data := benchUniform(n)
+		b.Run(fmt.Sprintf("DIndirectHaar/N=%d", n), func(b *testing.B) {
+			var rep *dist.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = dist.DIndirectHaar(dist.SliceSource(data), n/8, dist.Config{SubtreeLeaves: n / 16, Delta: 50})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportDist(b, rep)
+		})
+		b.Run(fmt.Sprintf("IndirectHaar/N=%d", n), func(b *testing.B) {
+			var res dp.IndirectResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = dp.IndirectHaar(data, n/8, 50)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.MaxAbs, "max_abs")
+		})
+	}
+}
+
+// BenchmarkFig6DeltaDistribution: DIndirectHaar across distributions and δ.
+func BenchmarkFig6DeltaDistribution(b *testing.B) {
+	n := 1 << 12
+	for _, gen := range []dataset.Generator{
+		dataset.Uniform{Max: 1000},
+		dataset.Zipf{Max: 1000, Exponent: 0.7},
+		dataset.Zipf{Max: 1000, Exponent: 1.5},
+	} {
+		data := gen.Generate(n, benchSeed)
+		for _, delta := range []float64{10, 50} {
+			b.Run(fmt.Sprintf("%s/delta=%g", gen.Name(), delta), func(b *testing.B) {
+				var rep *dist.Report
+				for i := 0; i < b.N; i++ {
+					var err error
+					rep, err = dist.DIndirectHaar(dist.SliceSource(data), n/8, dist.Config{SubtreeLeaves: n / 16, Delta: delta})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				reportDist(b, rep)
+			})
+		}
+	}
+}
+
+// BenchmarkFig7ValueRanges: both algorithms across value ranges.
+func BenchmarkFig7ValueRanges(b *testing.B) {
+	n := 1 << 12
+	for _, max := range []float64{1000, 100000} {
+		data := dataset.Uniform{Max: max}.Generate(n, benchSeed)
+		b.Run(fmt.Sprintf("DGreedyAbs/range=%g", max), func(b *testing.B) {
+			var rep *dist.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = dist.DGreedyAbs(dist.SliceSource(data), n/8, dist.Config{SubtreeLeaves: n / 16})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportDist(b, rep)
+		})
+		b.Run(fmt.Sprintf("DIndirectHaar/range=%g", max), func(b *testing.B) {
+			var rep *dist.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = dist.DIndirectHaar(dist.SliceSource(data), n/8,
+					dist.Config{SubtreeLeaves: n / 16, Delta: 20 * max / 1000})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportDist(b, rep)
+		})
+	}
+}
+
+// benchComparison is the shared Fig 8/9 harness.
+func benchComparison(b *testing.B, data []float64, delta float64) {
+	n := len(data)
+	src := dist.SliceSource(data)
+	cfg := dist.Config{SubtreeLeaves: n / 16, Delta: delta}
+	b.Run("GreedyAbs", func(b *testing.B) {
+		var maxErr float64
+		for i := 0; i < b.N; i++ {
+			var err error
+			_, maxErr, err = greedy.SynopsisAbs(data, n/8)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(maxErr, "max_abs")
+	})
+	b.Run("DGreedyAbs", func(b *testing.B) {
+		var rep *dist.Report
+		for i := 0; i < b.N; i++ {
+			var err error
+			rep, err = dist.DGreedyAbs(src, n/8, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportDist(b, rep)
+	})
+	b.Run("IndirectHaar", func(b *testing.B) {
+		var res dp.IndirectResult
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = dp.IndirectHaar(data, n/8, delta)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(res.MaxAbs, "max_abs")
+	})
+	b.Run("DIndirectHaar", func(b *testing.B) {
+		var rep *dist.Report
+		for i := 0; i < b.N; i++ {
+			var err error
+			rep, err = dist.DIndirectHaar(src, n/8, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportDist(b, rep)
+	})
+	b.Run("CON", func(b *testing.B) {
+		var rep *dist.Report
+		for i := 0; i < b.N; i++ {
+			var err error
+			rep, err = dist.CON(src, n/8, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(synopsis.MaxAbsError(rep.Synopsis, data), "max_abs")
+		b.ReportMetric(float64(rep.TotalShuffleBytes()), "shuffle_B")
+	})
+	b.Run("SendCoef", func(b *testing.B) {
+		var rep *dist.Report
+		for i := 0; i < b.N; i++ {
+			var err error
+			rep, err = dist.SendCoef(src, n/8, 0, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(rep.TotalShuffleBytes()), "shuffle_B")
+	})
+}
+
+// BenchmarkFig8NYCT: the direct comparison on NYCT-like data (δ=50).
+func BenchmarkFig8NYCT(b *testing.B) {
+	benchComparison(b, dataset.NYCTLike{}.Generate(1<<12, benchSeed), 50)
+}
+
+// BenchmarkFig9WD: the direct comparison on WD-like data (δ=20).
+func BenchmarkFig9WD(b *testing.B) {
+	benchComparison(b, dataset.WDLike{}.Generate(1<<12, benchSeed), 20)
+}
+
+// benchConventional is the shared Fig 10/11 harness.
+func benchConventional(b *testing.B, budget int) {
+	n := 1 << 12
+	data := dataset.NYCTLike{}.Generate(n, benchSeed)
+	src := dist.SliceSource(data)
+	cfg := dist.Config{SubtreeLeaves: n / 16}
+	for _, tc := range []struct {
+		name string
+		run  func() (*dist.Report, error)
+	}{
+		{"CON", func() (*dist.Report, error) { return dist.CON(src, budget, cfg) }},
+		{"SendV", func() (*dist.Report, error) { return dist.SendV(src, budget, cfg) }},
+		{"SendCoef", func() (*dist.Report, error) { return dist.SendCoef(src, budget, 0, cfg) }},
+		{"HWTopk", func() (*dist.Report, error) { return dist.HWTopk(src, budget, cfg) }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var rep *dist.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = tc.run()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rep.TotalShuffleBytes()), "shuffle_B")
+		})
+	}
+}
+
+// BenchmarkFig10Conventional: conventional-synopsis algorithms at B=N/8.
+func BenchmarkFig10Conventional(b *testing.B) {
+	benchConventional(b, (1<<12)/8)
+}
+
+// BenchmarkFig11SmallB: the same at B=50, where H-WTopk's pruning wins.
+func BenchmarkFig11SmallB(b *testing.B) {
+	benchConventional(b, 50)
+}
+
+// BenchmarkCommOverhead: Equation 6 — DP-row shuffle volume vs. sub-tree
+// height.
+func BenchmarkCommOverhead(b *testing.B) {
+	n := 1 << 12
+	data := benchUniform(n)
+	p := dp.Params{Epsilon: 100, Delta: 10}
+	for _, s := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("s=%d", s), func(b *testing.B) {
+			var res *dist.DMHaarResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = dist.DMHaarSpace(dist.SliceSource(data), p, dist.Config{SubtreeLeaves: s})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			var bytes int64
+			for _, j := range res.Jobs {
+				bytes += j.ShuffleBytes
+			}
+			b.ReportMetric(float64(bytes), "shuffle_B")
+		})
+	}
+}

@@ -1,0 +1,42 @@
+// Command dwbench regenerates the tables and figures of the paper's
+// evaluation section on synthetic stand-in datasets.
+//
+//	dwbench -exp all            # every experiment at default (laptop) scale
+//	dwbench -exp fig8 -scale 2  # Figure 8 with 4x larger inputs
+//	dwbench -list               # available experiments
+//
+// Default sizes are scaled down from the paper's cluster-sized inputs;
+// -scale shifts every size by powers of two. See EXPERIMENTS.md for the
+// recorded paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dwmaxerr/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment name or 'all'")
+		scale = flag.Int("scale", 0, "shift all dataset sizes by 2^scale")
+		seed  = flag.Int64("seed", 0, "random seed (0 = fixed default)")
+		quick = flag.Bool("quick", false, "tiny smoke-test sizes")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+	cfg := experiments.Config{Out: os.Stdout, Scale: *scale, Seed: *seed, Quick: *quick}
+	if err := experiments.Run(*exp, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "dwbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,70 @@
+// Command dwgen generates the synthetic datasets of the paper's evaluation
+// (uniform, zipf-0.7, zipf-1.5, NYCT-like, WD-like) as binary float64 or
+// CSV files, optionally padded to a power-of-two length.
+//
+// Usage:
+//
+//	dwgen -gen nyct -n 1048576 -out nyct.bin
+//	dwgen -gen uniform -max 100000 -n 65536 -format csv -out u.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dwmaxerr/internal/dataset"
+)
+
+func main() {
+	var (
+		gen    = flag.String("gen", "uniform", "generator: uniform, zipf0.7, zipf1.5, nyct, nyct-outliers, wd")
+		n      = flag.Int("n", 1<<16, "number of values (padded up to a power of two unless -no-pad)")
+		max    = flag.Float64("max", 1000, "value range [0,max] for the synthetic generators")
+		seed   = flag.Int64("seed", 1, "random seed")
+		out    = flag.String("out", "", "output path (default stdout)")
+		format = flag.String("format", "bin", "output format: bin (little-endian float64) or csv")
+		noPad  = flag.Bool("no-pad", false, "do not pad to a power-of-two length")
+		stats  = flag.Bool("stats", false, "print Table 3-style statistics to stderr")
+	)
+	flag.Parse()
+
+	g, err := dataset.ByName(*gen, *max)
+	if err != nil {
+		fatal(err)
+	}
+	data := g.Generate(*n, *seed)
+	if !*noPad {
+		data, _ = dataset.PadToPowerOfTwo(data)
+	}
+	if *stats {
+		s := dataset.Summarize(data)
+		fmt.Fprintf(os.Stderr, "%s: records=%d avg=%.2f stdv=%.2f min=%g max=%g\n",
+			g.Name(), s.Records, s.Avg, s.Stdv, s.Min, s.Max)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "bin":
+		err = dataset.WriteBinary(w, data)
+	case "csv":
+		err = dataset.WriteCSV(w, data)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dwgen:", err)
+	os.Exit(1)
+}

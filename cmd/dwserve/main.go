@@ -1,0 +1,70 @@
+// Command dwserve answers approximate queries over a wavelet synopsis via
+// HTTP — a tiny AQP frontend. Build a synopsis first, then serve it:
+//
+//	dwtcli -in nyct.bin -algo dgreedyabs -out syn.csv     # or WriteSynopsis
+//	dwserve -synopsis syn.bin -listen :8080 -maxabs 706.5
+//
+//	curl 'localhost:8080/range?lo=1000&hi=2000'
+//	{"lo":1000,"hi":2000,"count":1001,"sum":412031.5,"avg":411.6,
+//	 "sum_lo":-295043.9,"sum_hi":1119107.0,"per_value_guarantee":706.5}
+//
+// The synopsis file is the binary format of WriteSynopsis (dwtcli's CSV is
+// also accepted with -csv -n).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"dwmaxerr/internal/serve"
+	"dwmaxerr/internal/synopsis"
+)
+
+func main() {
+	var (
+		path   = flag.String("synopsis", "", "synopsis file (binary format)")
+		csv    = flag.Bool("csv", false, "synopsis file is 'index,value' CSV (requires -n)")
+		n      = flag.Int("n", 0, "data vector length (CSV input only)")
+		maxAbs = flag.Float64("maxabs", 0, "per-value max-abs guarantee of the synopsis (0 = none)")
+		listen = flag.String("listen", "127.0.0.1:8080", "listen address")
+	)
+	flag.Parse()
+	if *path == "" {
+		fatal(fmt.Errorf("-synopsis is required"))
+	}
+	syn, err := load(*path, *csv, *n)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := serve.New(syn, *maxAbs)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dwserve: %d-term synopsis over %d values on http://%s\n",
+		syn.Size(), syn.N, *listen)
+	if err := http.ListenAndServe(*listen, srv); err != nil {
+		fatal(err)
+	}
+}
+
+func load(path string, csv bool, n int) (*synopsis.Synopsis, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if !csv {
+		return synopsis.Read(f)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("-n is required with -csv")
+	}
+	return synopsis.ReadCSV(f, n)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dwserve:", err)
+	os.Exit(1)
+}

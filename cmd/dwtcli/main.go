@@ -1,0 +1,214 @@
+// Command dwtcli builds and queries wavelet synopses under maximum-error
+// metrics from the command line.
+//
+// Build a synopsis and report its errors:
+//
+//	dwtcli -in data.bin -algo dgreedyabs -budget 4096 -out synopsis.csv
+//
+// Answer a range-sum query against a saved synopsis:
+//
+//	dwtcli -synopsis synopsis.csv -n 1048576 -query 100:200
+//
+// Supported algorithms: conventional, greedyabs, greedyrel, indirecthaar,
+// dgreedyabs, dgreedyrel, dindirecthaar, con, sendv, sendcoef, hwtopk.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dwmaxerr"
+	"dwmaxerr/internal/dataset"
+	"dwmaxerr/internal/errtree"
+	"dwmaxerr/internal/synopsis"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input dataset (binary float64 by default)")
+		csvIn    = flag.Bool("csv", false, "input is CSV (one value per line)")
+		algoName = flag.String("algo", "dgreedyabs", "thresholding algorithm")
+		budget   = flag.Int("budget", 0, "synopsis size B (default N/8)")
+		delta    = flag.Float64("delta", 1, "DP quantization step δ (indirecthaar family)")
+		sanity   = flag.Float64("sanity", 1, "relative-error sanity bound S")
+		subtree  = flag.Int("subtree", 0, "sub-tree leaves per worker (power of two; 0 = auto)")
+		outPath  = flag.String("out", "", "write the synopsis as 'index,value' CSV")
+		synPath  = flag.String("synopsis", "", "load a synopsis CSV instead of building one")
+		nFlag    = flag.Int("n", 0, "data vector length (required with -synopsis)")
+		query    = flag.String("query", "", "range-sum query 'lo:hi' or point query 'i'")
+		dump     = flag.Bool("dump", false, "print the error tree with retention tags (small inputs)")
+	)
+	flag.Parse()
+
+	if *synPath != "" {
+		if err := runQuery(*synPath, *nFlag, *query); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *in == "" {
+		fatal(fmt.Errorf("-in is required (or -synopsis to query)"))
+	}
+	data, err := loadData(*in, *csvIn)
+	if err != nil {
+		fatal(err)
+	}
+	padded, origLen := dwmaxerr.Pad(data)
+	if origLen != len(padded) {
+		fmt.Fprintf(os.Stderr, "padded %d values to %d (power of two)\n", origLen, len(padded))
+	}
+	b := *budget
+	if b == 0 {
+		b = len(padded) / 8
+	}
+	if *algoName == "haarplus" {
+		t0 := time.Now()
+		sol, maxErr, err := dwmaxerr.BuildHaarPlus(padded, b, *delta)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("algorithm   haarplus (Haar+ dictionary)\n")
+		fmt.Printf("values      %d\n", len(padded))
+		fmt.Printf("budget      %d (retained %d Haar+ terms)\n", b, sol.Size)
+		fmt.Printf("build time  %v\n", time.Since(t0).Round(time.Millisecond))
+		fmt.Printf("max_abs     %.6g\n", maxErr)
+		return
+	}
+	algo, err := dwmaxerr.ParseAlgorithm(*algoName)
+	if err != nil {
+		fatal(err)
+	}
+	t0 := time.Now()
+	res, err := dwmaxerr.Build(padded, algo, dwmaxerr.Options{
+		Budget:        b,
+		Delta:         *delta,
+		Sanity:        *sanity,
+		SubtreeLeaves: *subtree,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(t0)
+	errs, err := dwmaxerr.Evaluate(res.Synopsis, padded, *sanity)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("algorithm   %s\n", algo)
+	fmt.Printf("values      %d\n", len(padded))
+	fmt.Printf("budget      %d (retained %d)\n", b, res.Synopsis.Size())
+	fmt.Printf("build time  %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("max_abs     %.6g\n", errs.MaxAbs)
+	fmt.Printf("max_rel     %.6g (sanity %g)\n", errs.MaxRel, *sanity)
+	fmt.Printf("L2          %.6g\n", errs.L2)
+	if len(res.Jobs) > 0 {
+		var bytes int64
+		for _, j := range res.Jobs {
+			bytes += j.ShuffleBytes
+		}
+		fmt.Printf("jobs        %d (shuffled %d bytes)\n", len(res.Jobs), bytes)
+	}
+	if *outPath != "" {
+		if err := saveSynopsis(*outPath, res.Synopsis); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("synopsis    written to %s\n", *outPath)
+	}
+	if *query != "" {
+		if err := answer(res.Synopsis, *query); err != nil {
+			fatal(err)
+		}
+	}
+	if *dump {
+		if err := dumpTree(padded, res.Synopsis); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// dumpTree prints the error tree with retained coefficients tagged.
+func dumpTree(data []float64, s *dwmaxerr.Synopsis) error {
+	tr, err := errtree.FromData(data)
+	if err != nil {
+		return err
+	}
+	retained := map[int]bool{}
+	for _, term := range s.Terms {
+		retained[term.Index] = true
+	}
+	return errtree.Dump(os.Stdout, tr, data, retained, 127)
+}
+
+func loadData(path string, csv bool) ([]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if csv {
+		return dataset.ReadCSV(f)
+	}
+	return dataset.ReadBinary(f)
+}
+
+func saveSynopsis(path string, s *dwmaxerr.Synopsis) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func loadSynopsis(path string, n int) (*dwmaxerr.Synopsis, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return synopsis.ReadCSV(f, n)
+}
+
+func runQuery(synPath string, n int, query string) error {
+	if n < 1 {
+		return fmt.Errorf("-n (data length) is required with -synopsis")
+	}
+	if query == "" {
+		return fmt.Errorf("-query is required with -synopsis")
+	}
+	s, err := loadSynopsis(synPath, n)
+	if err != nil {
+		return err
+	}
+	return answer(s, query)
+}
+
+func answer(s *dwmaxerr.Synopsis, query string) error {
+	ev := dwmaxerr.NewEvaluator(s)
+	if lo, hi, ok := strings.Cut(query, ":"); ok {
+		l, err1 := strconv.Atoi(lo)
+		h, err2 := strconv.Atoi(hi)
+		if err1 != nil || err2 != nil || l < 0 || h >= s.N || l > h {
+			return fmt.Errorf("bad range query %q (want lo:hi within [0,%d))", query, s.N)
+		}
+		fmt.Printf("sum(%d:%d) ≈ %.6g\n", l, h, ev.RangeSum(l, h))
+		return nil
+	}
+	i, err := strconv.Atoi(query)
+	if err != nil || i < 0 || i >= s.N {
+		return fmt.Errorf("bad point query %q (want index in [0,%d))", query, s.N)
+	}
+	fmt.Printf("d[%d] ≈ %.6g\n", i, ev.Point(i))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dwtcli:", err)
+	os.Exit(1)
+}

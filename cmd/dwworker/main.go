@@ -1,0 +1,105 @@
+// Command dwworker runs one MapReduce worker process or the coordinator of
+// a TCP cluster.
+//
+// Start a coordinator that builds a synopsis once enough workers joined:
+//
+//	dwworker -coordinate :7077 -workers 3 -data nyct.bin -budget 4096 \
+//	         -subtree 1024 -algo dgreedyabs
+//
+// Start workers (on any machine that can reach the coordinator and the
+// shared data path):
+//
+//	dwworker -join host:7077 -name w1
+//
+// Supported -algo values: con (conventional synopsis, Appendix A.1) and
+// dgreedyabs (the paper's Algorithm 6, all four jobs on the cluster).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dwmaxerr/internal/dist"
+	"dwmaxerr/internal/mr"
+)
+
+func main() {
+	var (
+		join    = flag.String("join", "", "coordinator address to join as a worker")
+		name    = flag.String("name", "worker", "worker name")
+		coord   = flag.String("coordinate", "", "listen address for coordinator mode")
+		workers = flag.Int("workers", 1, "coordinator: workers to wait for")
+		data    = flag.String("data", "", "coordinator: binary float64 dataset path (shared with workers)")
+		budget  = flag.Int("budget", 0, "coordinator: synopsis size B (default N/8)")
+		subtree = flag.Int("subtree", 1024, "coordinator: sub-tree leaves per map task")
+		algo    = flag.String("algo", "dgreedyabs", "coordinator: algorithm (con or dgreedyabs)")
+		timeout = flag.Duration("timeout", time.Minute, "coordinator: worker join timeout")
+	)
+	flag.Parse()
+
+	switch {
+	case *join != "":
+		fmt.Fprintf(os.Stderr, "dwworker: joining %s as %q (jobs: %v)\n", *join, *name, mr.RegisteredJobs())
+		if err := mr.Serve(*join, *name, nil); err != nil {
+			fatal(err)
+		}
+	case *coord != "":
+		if *data == "" {
+			fatal(fmt.Errorf("-data is required in coordinator mode"))
+		}
+		src, err := dist.NewFileSource(*data)
+		if err != nil {
+			fatal(err)
+		}
+		b := *budget
+		if b == 0 {
+			b = src.N() / 8
+		}
+		c, err := mr.NewCoordinator(*coord)
+		if err != nil {
+			fatal(err)
+		}
+		defer c.Close()
+		fmt.Fprintf(os.Stderr, "dwworker: coordinating on %s, waiting for %d workers\n", c.Addr(), *workers)
+		if err := c.WaitForWorkers(*workers, *timeout); err != nil {
+			fatal(err)
+		}
+		t0 := time.Now()
+		var rep *dist.Report
+		switch *algo {
+		case "con":
+			rep, err = dist.CONCluster(c, *data, b, *subtree)
+		case "dgreedyabs":
+			rep, err = dist.DGreedyAbsCluster(c, *data, b, *subtree, 0)
+		default:
+			fatal(fmt.Errorf("unknown -algo %q (con, dgreedyabs)", *algo))
+		}
+		if err != nil {
+			fatal(err)
+		}
+		var shuffled int64
+		for _, j := range rep.Jobs {
+			shuffled += j.ShuffleBytes
+		}
+		fmt.Printf("%s synopsis: %d coefficients in %v (%d jobs, %d bytes shuffled, max_abs %.4g)\n",
+			*algo, rep.Synopsis.Size(), time.Since(t0).Round(time.Millisecond),
+			len(rep.Jobs), shuffled, rep.MaxErr)
+		for i, term := range rep.Synopsis.Terms {
+			if i >= 10 {
+				fmt.Printf("... (%d more)\n", rep.Synopsis.Size()-10)
+				break
+			}
+			fmt.Printf("  c[%d] = %g\n", term.Index, term.Value)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dwworker:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,173 @@
+package dwmaxerr
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+var paperData = []float64{5, 5, 0, 26, 1, 3, 14, 2}
+
+func TestBuildAllAlgorithms(t *testing.T) {
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = math.Trunc(float64((i*37)%101)) * 3
+	}
+	for _, algo := range Algorithms() {
+		t.Run(string(algo), func(t *testing.T) {
+			res, err := Build(data, algo, Options{Budget: 8, SubtreeLeaves: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Synopsis == nil || res.Synopsis.Size() > 8 {
+				t.Fatalf("synopsis = %+v", res.Synopsis)
+			}
+			e, err := Evaluate(res.Synopsis, data, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.MaxAbs < 0 || math.IsNaN(e.MaxAbs) {
+				t.Fatalf("errors = %+v", e)
+			}
+		})
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	if _, err := Build(paperData, GreedyAbs, Options{}); err != ErrBudget {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if _, err := Build(paperData, Algorithm("nope"), Options{Budget: 2, SubtreeLeaves: 2}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := Build([]float64{1, 2, 3}, GreedyAbs, Options{Budget: 2}); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+	if _, err := BuildDistributed(SliceSource(paperData), GreedyAbs, Options{Budget: 2}); err == nil {
+		t.Fatal("centralized algorithm accepted by BuildDistributed")
+	}
+	if _, err := BuildDistributed(SliceSource(paperData), DGreedyAbs, Options{}); err != ErrBudget {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for _, a := range Algorithms() {
+		got, err := ParseAlgorithm(string(a))
+		if err != nil || got != a {
+			t.Errorf("ParseAlgorithm(%q) = %q, %v", a, got, err)
+		}
+	}
+	if _, err := ParseAlgorithm("bogus"); err == nil {
+		t.Error("bogus accepted")
+	}
+}
+
+func TestTransformInverseRoundTrip(t *testing.T) {
+	w, err := Transform(paperData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Inverse(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range paperData {
+		if back[i] != paperData[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestPad(t *testing.T) {
+	p, orig := Pad([]float64{1, 2, 3})
+	if len(p) != 4 || orig != 3 || p[3] != 3 {
+		t.Fatalf("p=%v orig=%d", p, orig)
+	}
+}
+
+func TestSolveErrorBound(t *testing.T) {
+	s, ok, err := SolveErrorBound(paperData, 5, 0.5)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	e, _ := Evaluate(s, paperData, 1)
+	if e.MaxAbs > 5 {
+		t.Fatalf("bound violated: %g", e.MaxAbs)
+	}
+	if _, ok, _ := SolveErrorBound([]float64{0.5, 9.5, 3.3, 7.7}, 0.01, 1); ok {
+		t.Fatal("expected infeasible grid")
+	}
+}
+
+func TestGreedyBeatsConventionalOnMaxError(t *testing.T) {
+	// The headline property: the max-error synopsis gives a much better
+	// worst-case guarantee than the L2-optimal one of the same size.
+	data := make([]float64, 256)
+	for i := range data {
+		data[i] = float64((i * 13) % 7)
+	}
+	data[17] = 4000 // a spike the conventional synopsis over-serves
+	b := 16
+	conv, err := Build(data, Conventional, Options{Budget: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := Build(data, GreedyAbs, Options{Budget: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, _ := Evaluate(conv.Synopsis, data, 1)
+	ge, _ := Evaluate(gr.Synopsis, data, 1)
+	if ge.MaxAbs > ce.MaxAbs {
+		t.Fatalf("greedy max_abs %g worse than conventional %g", ge.MaxAbs, ce.MaxAbs)
+	}
+}
+
+func ExampleBuild() {
+	data := []float64{5, 5, 0, 26, 1, 3, 14, 2}
+	res, err := Build(data, GreedyAbs, Options{Budget: 4})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("retained %d coefficients, max abs error %.1f\n", res.Synopsis.Size(), res.MaxErr)
+	// The greedy tail selection found that 3 coefficients already achieve
+	// the best error among the last B+1 states (Section 5.1).
+	// Output: retained 3 coefficients, max abs error 6.0
+}
+
+func ExampleNewEvaluator() {
+	data := []float64{5, 5, 0, 26, 1, 3, 14, 2}
+	res, _ := Build(data, GreedyAbs, Options{Budget: 8})
+	q := NewEvaluator(res.Synopsis)
+	fmt.Printf("d(3:6) = %.0f\n", q.RangeSum(3, 6))
+	// Output: d(3:6) = 44
+}
+
+func TestHaarPlusFacade(t *testing.T) {
+	sol, feasible, err := SolveErrorBoundHaarPlus(paperData, 4, 0.5)
+	if err != nil || !feasible {
+		t.Fatalf("feasible=%v err=%v", feasible, err)
+	}
+	rec := sol.Reconstruct()
+	for i, d := range paperData {
+		if diff := rec[i] - d; diff > 4+1e-9 || diff < -4-1e-9 {
+			t.Fatalf("leaf %d error %g exceeds bound", i, diff)
+		}
+	}
+	hp, hpErr, err := BuildHaarPlus(paperData, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp.Size > 3 {
+		t.Fatalf("size %d > 3", hp.Size)
+	}
+	// Haar+ at equal budget should not lose to the plain greedy.
+	res, err := Build(paperData, GreedyAbs, Options{Budget: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hpErr > res.MaxErr+0.5+1e-9 {
+		t.Fatalf("Haar+ %g much worse than greedy %g", hpErr, res.MaxErr)
+	}
+}

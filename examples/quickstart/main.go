@@ -1,0 +1,53 @@
+// Quickstart: build a maximum-error wavelet synopsis of the paper's
+// running example and compare it against the conventional (L2-optimal)
+// selection of the same size.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dwmaxerr"
+)
+
+func main() {
+	// The data vector of Section 2.1 / Figure 1.
+	data := []float64{5, 5, 0, 26, 1, 3, 14, 2}
+
+	w, err := dwmaxerr.Transform(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("data:               %v\n", data)
+	fmt.Printf("wavelet transform:  %v\n\n", w)
+
+	const budget = 4
+	for _, algo := range []dwmaxerr.Algorithm{dwmaxerr.Conventional, dwmaxerr.GreedyAbs, dwmaxerr.IndirectHaar} {
+		res, err := dwmaxerr.Build(data, algo, dwmaxerr.Options{Budget: budget, Delta: 0.25})
+		if err != nil {
+			log.Fatal(err)
+		}
+		errs, err := dwmaxerr.Evaluate(res.Synopsis, data, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-13s retained %d/%d  max_abs=%-8.3f L2=%.3f\n",
+			algo, res.Synopsis.Size(), budget, errs.MaxAbs, errs.L2)
+		ev := dwmaxerr.NewEvaluator(res.Synopsis)
+		recon := make([]float64, len(data))
+		for i := range recon {
+			recon[i] = ev.Point(i)
+		}
+		fmt.Printf("              reconstruction: %.1f\n", recon)
+	}
+
+	// Approximate range sums come straight off the synopsis, touching only
+	// O(log N) coefficients per query (Section 2.2).
+	res, _ := dwmaxerr.Build(data, dwmaxerr.GreedyAbs, dwmaxerr.Options{Budget: budget})
+	ev := dwmaxerr.NewEvaluator(res.Synopsis)
+	exact := 0.0
+	for _, v := range data[3:7] {
+		exact += v
+	}
+	fmt.Printf("\nrange sum d(3:6): exact=%.0f approximate=%.1f\n", exact, ev.RangeSum(3, 6))
+}

@@ -1,0 +1,3 @@
+module dwmaxerr
+
+go 1.24

@@ -1,0 +1,26 @@
+package dwmaxerr
+
+import (
+	"dwmaxerr/internal/dp"
+)
+
+// HaarPlusSolution is a synopsis in the Haar+ dictionary (Karras &
+// Mamoulis; reference [23] of the paper): per error-tree node, a head
+// coefficient plus up to two supplementary coefficients that each correct
+// a single sub-tree. At equal budget it is at least as accurate as any
+// plain-Haar synopsis; it reconstructs data directly via Reconstruct.
+type HaarPlusSolution = dp.HPSolution
+
+// SolveErrorBoundHaarPlus answers Problem 2 over the Haar+ dictionary: the
+// smallest number of Haar+ terms keeping every value within epsilon, on
+// the delta grid. feasible is false when the grid admits no solution.
+func SolveErrorBoundHaarPlus(data []float64, epsilon, delta float64) (*HaarPlusSolution, bool, error) {
+	return dp.HaarPlus(data, dp.Params{Epsilon: epsilon, Delta: delta})
+}
+
+// BuildHaarPlus answers Problem 1 over the Haar+ dictionary: the best
+// achievable maximum absolute error with at most budget terms, via binary
+// search over the error bound.
+func BuildHaarPlus(data []float64, budget int, delta float64) (*HaarPlusSolution, float64, error) {
+	return dp.HaarPlusBudget(data, budget, delta)
+}

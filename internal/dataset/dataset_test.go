@@ -1,0 +1,229 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	gens := []Generator{
+		Uniform{Max: 1000},
+		Zipf{Max: 1000, Exponent: 0.7},
+		Zipf{Max: 1000, Exponent: 1.5},
+		NYCTLike{},
+		NYCTLike{Outliers: true},
+		WDLike{},
+	}
+	for _, g := range gens {
+		a := g.Generate(1024, 42)
+		b := g.Generate(1024, 42)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: not deterministic", g.Name())
+		}
+		c := g.Generate(1024, 43)
+		if reflect.DeepEqual(a, c) {
+			t.Errorf("%s: seed has no effect", g.Name())
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	for _, max := range []float64{1000, 100000, 1000000} {
+		data := Uniform{Max: max}.Generate(4096, 1)
+		s := Summarize(data)
+		if s.Min < 0 || s.Max > max {
+			t.Errorf("uniform[0,%g]: range [%g,%g]", max, s.Min, s.Max)
+		}
+		if math.Abs(s.Avg-max/2) > max*0.05 {
+			t.Errorf("uniform[0,%g]: avg %g", max, s.Avg)
+		}
+	}
+}
+
+func TestZipfBias(t *testing.T) {
+	// Higher exponents concentrate mass: the most frequent value's share
+	// must grow with the exponent.
+	share := func(exp float64) float64 {
+		data := Zipf{Max: 1000, Exponent: exp}.Generate(1<<14, 7)
+		counts := map[float64]int{}
+		for _, v := range data {
+			counts[v]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		return float64(best) / float64(len(data))
+	}
+	s07, s15 := share(0.7), share(1.5)
+	if s15 <= s07 {
+		t.Fatalf("zipf1.5 share %g <= zipf0.7 share %g", s15, s07)
+	}
+	if s15 < 0.2 {
+		t.Fatalf("zipf1.5 insufficiently biased: top share %g", s15)
+	}
+}
+
+func TestNYCTLikeMatchesTable3Shape(t *testing.T) {
+	data := NYCTLike{}.Generate(1<<18, 3)
+	s := Summarize(data)
+	// Table 3 small partitions: avg a few hundred, stdv ~500, max 10800.
+	if s.Avg < 150 || s.Avg > 900 {
+		t.Errorf("nyct avg = %g", s.Avg)
+	}
+	if s.Stdv < 200 || s.Stdv > 1500 {
+		t.Errorf("nyct stdv = %g", s.Stdv)
+	}
+	if s.Max > 10800 {
+		t.Errorf("nyct max = %g > 10800", s.Max)
+	}
+	out := NYCTLike{Outliers: true}.Generate(1<<19, 3)
+	so := Summarize(out)
+	if so.Max < 4.2e9 {
+		t.Errorf("nyct+outliers max = %g, want extreme value present", so.Max)
+	}
+}
+
+func TestWDLikeMatchesTable3Shape(t *testing.T) {
+	data := WDLike{}.Generate(1<<18, 5)
+	s := Summarize(data)
+	if s.Min < 0 || s.Max > 655 {
+		t.Errorf("wd range [%g,%g]", s.Min, s.Max)
+	}
+	// Table 3: avg ~120-140, stdv ~119.
+	if s.Avg < 60 || s.Avg > 260 {
+		t.Errorf("wd avg = %g", s.Avg)
+	}
+	if s.Stdv < 50 || s.Stdv > 220 {
+		t.Errorf("wd stdv = %g", s.Stdv)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.Records != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+	s := Summarize([]float64{5})
+	if s.Records != 1 || s.Avg != 5 || s.Stdv != 0 || s.Min != 5 || s.Max != 5 {
+		t.Errorf("single stats = %+v", s)
+	}
+}
+
+func TestPadToPowerOfTwo(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5}
+	padded, orig := PadToPowerOfTwo(data)
+	if orig != 5 || len(padded) != 8 {
+		t.Fatalf("padded len %d orig %d", len(padded), orig)
+	}
+	for i := 5; i < 8; i++ {
+		if padded[i] != 5 {
+			t.Fatalf("pad value %g", padded[i])
+		}
+	}
+	exact := []float64{1, 2, 3, 4}
+	p2, o2 := PadToPowerOfTwo(exact)
+	if o2 != 4 || len(p2) != 4 {
+		t.Fatalf("exact input repadded: %d", len(p2))
+	}
+	if p0, o0 := PadToPowerOfTwo(nil); len(p0) != 0 || o0 != 0 {
+		t.Fatal("nil input")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	f := func(data []float64) bool {
+		// NaNs don't compare equal; replace with a sentinel.
+		for i, v := range data {
+			if math.IsNaN(v) {
+				data[i] = 0
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, data); err != nil {
+			return false
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if len(back) != len(data) {
+			return false
+		}
+		for i := range data {
+			if back[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadBinaryTruncated(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("want error on truncated input")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	data := []float64{1.5, -2, 0, 1e10, 0.001}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, data); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, data) {
+		t.Fatalf("got %v want %v", back, data)
+	}
+}
+
+func TestReadCSVSkipsBlanksAndReportsErrors(t *testing.T) {
+	back, err := ReadCSV(bytes.NewBufferString("1\n\n 2 \n3\n"))
+	if err != nil || len(back) != 3 {
+		t.Fatalf("got %v, %v", back, err)
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("1\nxyz\n")); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestSaveLoadBinary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.bin")
+	data := Uniform{Max: 10}.Generate(100, 1)
+	if err := SaveBinary(path, data); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, data) {
+		t.Fatal("round trip mismatch")
+	}
+	if _, err := LoadBinary(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"uniform", "zipf0.7", "zipf1.5", "nyct", "nyct-outliers", "wd"} {
+		g, err := ByName(name, 1000)
+		if err != nil || g == nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope", 0); err == nil {
+		t.Error("want error for unknown name")
+	}
+}

@@ -1,0 +1,68 @@
+package dist
+
+import (
+	"fmt"
+
+	"dwmaxerr/internal/mr"
+	"dwmaxerr/internal/wavelet"
+)
+
+// Cluster execution: jobs shipped to TCP workers cannot carry Go closures,
+// so cluster-runnable jobs are registered by name in the mr registry and
+// reconstructed from self-describing parameters on every node (the
+// equivalent of distributing a job JAR). Workers read their input from a
+// shared filesystem path — the HDFS stand-in.
+
+// ConFileParams parameterizes the cluster CON job.
+type ConFileParams struct {
+	// Path of the binary float64 dataset, readable by every worker.
+	Path string
+	// SubtreeLeaves is the per-chunk sub-tree size (a power of two).
+	SubtreeLeaves int
+}
+
+// ConFileJobName is the registered name of the cluster CON job.
+const ConFileJobName = "dist/con-file"
+
+func init() {
+	mr.RegisterJob(ConFileJobName, func(params []byte) (*mr.Job, error) {
+		var p ConFileParams
+		if err := mr.GobDecode(params, &p); err != nil {
+			return nil, fmt.Errorf("dist: bad %s params: %w", ConFileJobName, err)
+		}
+		src, err := NewFileSource(p.Path)
+		if err != nil {
+			return nil, err
+		}
+		n := src.N()
+		if !wavelet.IsPowerOfTwo(n) {
+			return nil, fmt.Errorf("dist: %s holds %d values (not a power of two)", p.Path, n)
+		}
+		if !wavelet.IsPowerOfTwo(p.SubtreeLeaves) || p.SubtreeLeaves < 2 || p.SubtreeLeaves > n/2 {
+			return nil, fmt.Errorf("dist: invalid sub-tree size %d for n=%d", p.SubtreeLeaves, n)
+		}
+		return conJob(src, n, p.SubtreeLeaves), nil
+	})
+}
+
+// CONCluster builds the conventional synopsis across a TCP worker cluster:
+// the map phase runs on the workers (each reading its chunk from the
+// shared path), the significance selection on the driver.
+func CONCluster(c *mr.Coordinator, path string, budget, subtreeLeaves int) (*Report, error) {
+	if budget < 1 {
+		return nil, fmt.Errorf("dist: budget %d < 1", budget)
+	}
+	src, err := NewFileSource(path)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.Run(ConFileJobName, mr.MustGobEncode(ConFileParams{Path: path, SubtreeLeaves: subtreeLeaves}))
+	if err != nil {
+		return nil, err
+	}
+	syn, err := selectConventional(res.Partitions[0], src.N(), subtreeLeaves, budget)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Synopsis: syn, Jobs: []mr.Metrics{res.Metrics}}, nil
+}

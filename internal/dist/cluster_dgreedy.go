@@ -1,0 +1,309 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dwmaxerr/internal/greedy"
+	"dwmaxerr/internal/mr"
+	"dwmaxerr/internal/synopsis"
+	"dwmaxerr/internal/wavelet"
+)
+
+// Cluster DGreedyAbs: the full Algorithm 6 pipeline with every job running
+// on TCP workers. The drivers of the local variant capture closures; here
+// each job is reconstructed on every node from serializable parameters
+// (file path, sub-tree size, root-run outputs), exactly like shipping a
+// job JAR plus its configuration.
+
+// Registered job names.
+const (
+	meansJobName       = "dist/chunk-means"
+	dgreedyHistJobName = "dist/dgreedy-hist"
+	dgreedySelJobName  = "dist/dgreedy-select"
+	evalJobName        = "dist/evaluate-maxabs"
+)
+
+// meansParams parameterizes the chunk-means job.
+type meansParams struct {
+	Path string
+	S    int
+}
+
+// histParams parameterizes the speculative histogram job.
+type histParams struct {
+	Path      string
+	S         int
+	Budget    int
+	MaxCand   int
+	Eb        float64
+	RootCoef  []float64
+	RootOrder []int
+	Reducers  int
+}
+
+// selParams parameterizes the synopsis materialization job.
+type selParams struct {
+	Path       string
+	S          int
+	RootCoef   []float64
+	RetainRoot []int
+	Cutoff     float64
+	Eb         float64
+}
+
+// evalParams parameterizes the error measurement job.
+type evalParams struct {
+	Path  string
+	Chunk int
+	Terms []synopsis.Coefficient
+	N     int
+}
+
+func fileSourceFor(path string) (Source, int, error) {
+	src, err := NewFileSource(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := src.N()
+	if !wavelet.IsPowerOfTwo(n) {
+		return nil, 0, fmt.Errorf("dist: %s holds %d values (not a power of two)", path, n)
+	}
+	return src, n, nil
+}
+
+func init() {
+	mr.RegisterJob(meansJobName, func(params []byte) (*mr.Job, error) {
+		var p meansParams
+		if err := mr.GobDecode(params, &p); err != nil {
+			return nil, err
+		}
+		src, n, err := fileSourceFor(p.Path)
+		if err != nil {
+			return nil, err
+		}
+		return chunkMeansJob(src, n, p.S), nil
+	})
+	mr.RegisterJob(dgreedyHistJobName, func(params []byte) (*mr.Job, error) {
+		var p histParams
+		if err := mr.GobDecode(params, &p); err != nil {
+			return nil, err
+		}
+		src, n, err := fileSourceFor(p.Path)
+		if err != nil {
+			return nil, err
+		}
+		return &mr.Job{
+			Name:     "dgreedy-hist",
+			Splits:   chunkSplits(n, p.S),
+			Reducers: p.Reducers,
+			Partition: func(key []byte, nred int) int {
+				return int(binary.BigEndian.Uint32(key[:4])) % nred
+			},
+			Map:    dgreedyHistMap(src, n, p.S, p.RootCoef, p.RootOrder, p.MaxCand, p.Eb, false, 1),
+			Reduce: makeCombineResults(p.Budget),
+		}, nil
+	})
+	mr.RegisterJob(dgreedySelJobName, func(params []byte) (*mr.Job, error) {
+		var p selParams
+		if err := mr.GobDecode(params, &p); err != nil {
+			return nil, err
+		}
+		src, n, err := fileSourceFor(p.Path)
+		if err != nil {
+			return nil, err
+		}
+		retain := map[int]bool{}
+		for _, node := range p.RetainRoot {
+			retain[node] = true
+		}
+		return &mr.Job{
+			Name:     "dgreedy-select",
+			Splits:   chunkSplits(n, p.S),
+			Map:      dgreedySelectMap(src, n, p.S, p.RootCoef, retain, p.Cutoff, p.Eb, false, 1),
+			Reducers: 1,
+		}, nil
+	})
+	mr.RegisterJob(evalJobName, func(params []byte) (*mr.Job, error) {
+		var p evalParams
+		if err := mr.GobDecode(params, &p); err != nil {
+			return nil, err
+		}
+		src, n, err := fileSourceFor(p.Path)
+		if err != nil {
+			return nil, err
+		}
+		if n != p.N {
+			return nil, fmt.Errorf("dist: eval over %d values but file holds %d", p.N, n)
+		}
+		syn := synopsis.New(p.N)
+		syn.Terms = p.Terms
+		return evaluateMaxJob(src, syn, p.Chunk, 0), nil
+	})
+}
+
+// chunkMeansJob is the shared construction of the chunk-means job.
+func chunkMeansJob(src Source, n, s int) *mr.Job {
+	return &mr.Job{
+		Name:   "chunk-means",
+		Splits: chunkSplits(n, s),
+		Map: func(ctx mr.TaskContext, split mr.Split, emit mr.Emit) error {
+			idx, err := chunkIndex(split)
+			if err != nil {
+				return err
+			}
+			chunk, err := src.Chunk(idx*s, (idx+1)*s)
+			if err != nil {
+				return err
+			}
+			var sum float64
+			for _, v := range chunk {
+				sum += v
+			}
+			return emit(mr.EncodeUint64(uint64(idx)), mr.EncodeFloat64(sum/float64(s)))
+		},
+		Reducers: 1,
+	}
+}
+
+// DGreedyAbsCluster runs the full DGreedyAbs pipeline across a TCP worker
+// cluster over a shared binary dataset file. subtreeLeaves and bucketWidth
+// follow Config semantics (bucketWidth 0 derives a width from the root
+// run).
+func DGreedyAbsCluster(c *mr.Coordinator, path string, budget, subtreeLeaves int, bucketWidth float64) (*Report, error) {
+	if budget < 1 {
+		return nil, fmt.Errorf("dist: budget %d < 1", budget)
+	}
+	src, n, err := fileSourceFor(path)
+	if err != nil {
+		return nil, err
+	}
+	_ = src
+	cfg := Config{SubtreeLeaves: subtreeLeaves}
+	s, err := cfg.subtreeLeaves(n)
+	if err != nil {
+		return nil, err
+	}
+	r := n / s
+	report := &Report{}
+
+	// Job 1: chunk means (cluster).
+	meansRes, err := c.Run(meansJobName, mr.MustGobEncode(meansParams{Path: path, S: s}))
+	if err != nil {
+		return nil, err
+	}
+	report.Jobs = append(report.Jobs, meansRes.Metrics)
+	means := make([]float64, r)
+	for _, kv := range meansRes.Partitions[0] {
+		means[mr.DecodeUint64(kv.Key)] = mr.DecodeFloat64(kv.Value)
+	}
+	rootCoef, err := wavelet.Transform(means)
+	if err != nil {
+		return nil, err
+	}
+	rootSteps, err := greedy.RunAbs(rootCoef, greedy.Options{HasRoot: true})
+	if err != nil {
+		return nil, err
+	}
+	rootOrder := make([]int, len(rootSteps))
+	for i, st := range rootSteps {
+		rootOrder[i] = st.Index
+	}
+	maxCand := r
+	if budget < maxCand {
+		maxCand = budget
+	}
+	eb := bucketWidth
+	if eb <= 0 {
+		scale := 0.0
+		for _, st := range rootSteps {
+			if st.Err > scale {
+				scale = st.Err
+			}
+		}
+		for _, cc := range rootCoef {
+			if v := math.Abs(cc); v > scale {
+				scale = v
+			}
+		}
+		if scale == 0 {
+			scale = 1
+		}
+		eb = scale / 4096
+	}
+
+	// Job 2: speculative histograms + combineResults (cluster).
+	histRes, err := c.Run(dgreedyHistJobName, mr.MustGobEncode(histParams{
+		Path: path, S: s, Budget: budget, MaxCand: maxCand, Eb: eb,
+		RootCoef: rootCoef, RootOrder: rootOrder, Reducers: 4,
+	}))
+	if err != nil {
+		return nil, err
+	}
+	report.Jobs = append(report.Jobs, histRes.Metrics)
+	bestI, minError := -1, math.Inf(1)
+	for _, partPairs := range histRes.Partitions {
+		for _, kv := range partPairs {
+			i := int(mr.DecodeUint64(kv.Key))
+			e := mr.DecodeFloat64(kv.Value)
+			if e < minError || (e == minError && i < bestI) {
+				bestI, minError = i, e
+			}
+		}
+	}
+	if bestI < 0 {
+		return nil, fmt.Errorf("dist: cluster combineResults produced no candidate")
+	}
+	retained := rootOrder[len(rootOrder)-bestI:]
+
+	// Job 3: materialize the synopsis (cluster).
+	selRes, err := c.Run(dgreedySelJobName, mr.MustGobEncode(selParams{
+		Path: path, S: s, RootCoef: rootCoef, RetainRoot: retained,
+		Cutoff: minError - 2*eb, Eb: eb,
+	}))
+	if err != nil {
+		return nil, err
+	}
+	report.Jobs = append(report.Jobs, selRes.Metrics)
+	syn := synopsis.New(n)
+	for _, node := range retained {
+		if rootCoef[node] != 0 {
+			syn.Terms = append(syn.Terms, synopsis.Coefficient{Index: node, Value: rootCoef[node]})
+		}
+	}
+	want := budget - bestI
+	taken := 0
+	for _, kv := range selRes.Partitions[0] {
+		if taken >= want {
+			break
+		}
+		var entry selEntry
+		if err := mr.GobDecode(kv.Value, &entry); err != nil {
+			return nil, err
+		}
+		for k := len(entry.Indices) - 1; k >= 0 && taken < want; k-- {
+			if entry.Values[k] == 0 {
+				continue
+			}
+			syn.Terms = append(syn.Terms, synopsis.Coefficient{Index: entry.Indices[k], Value: entry.Values[k]})
+			taken++
+		}
+	}
+	syn.Normalize()
+	report.Synopsis = syn
+
+	// Job 4: measure the exact error (cluster).
+	evalRes, err := c.Run(evalJobName, mr.MustGobEncode(evalParams{
+		Path: path, Chunk: s, Terms: syn.Terms, N: n,
+	}))
+	if err != nil {
+		return nil, err
+	}
+	report.Jobs = append(report.Jobs, evalRes.Metrics)
+	if len(evalRes.Partitions[0]) != 1 {
+		return nil, fmt.Errorf("dist: cluster eval produced %d outputs", len(evalRes.Partitions[0]))
+	}
+	report.MaxErr = mr.DecodeFloat64(evalRes.Partitions[0][0].Value)
+	return report, nil
+}

@@ -1,0 +1,125 @@
+package dist
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"dwmaxerr/internal/dataset"
+	"dwmaxerr/internal/mr"
+)
+
+func TestCONClusterMatchesLocal(t *testing.T) {
+	data := randData(91, 256, 1000)
+	path := filepath.Join(t.TempDir(), "data.bin")
+	if err := dataset.SaveBinary(path, data); err != nil {
+		t.Fatal(err)
+	}
+	c, err := mr.NewCoordinator("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	for i := 0; i < 3; i++ {
+		go mr.Serve(c.Addr(), "worker", stop)
+	}
+	if err := c.WaitForWorkers(3, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	cluster, err := CONCluster(c, path, 32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := CON(SliceSource(data), 32, Config{SubtreeLeaves: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(termIndices(cluster.Synopsis), termIndices(local.Synopsis)) {
+		t.Fatalf("cluster terms %v != local %v", termIndices(cluster.Synopsis), termIndices(local.Synopsis))
+	}
+	if cluster.Jobs[0].ShuffleBytes != local.Jobs[0].ShuffleBytes {
+		t.Fatalf("shuffle bytes differ: %d vs %d", cluster.Jobs[0].ShuffleBytes, local.Jobs[0].ShuffleBytes)
+	}
+}
+
+func TestCONClusterValidation(t *testing.T) {
+	c, err := mr.NewCoordinator("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := CONCluster(c, "/nonexistent", 10, 8); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "d.bin")
+	if err := dataset.SaveBinary(path, make([]float64, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CONCluster(c, path, 0, 8); err == nil {
+		t.Fatal("budget 0 accepted")
+	}
+}
+
+func TestDGreedyAbsClusterMatchesLocal(t *testing.T) {
+	data := randData(301, 512, 1000)
+	path := filepath.Join(t.TempDir(), "data.bin")
+	if err := dataset.SaveBinary(path, data); err != nil {
+		t.Fatal(err)
+	}
+	c, err := mr.NewCoordinator("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	for i := 0; i < 3; i++ {
+		go mr.Serve(c.Addr(), "worker", stop)
+	}
+	if err := c.WaitForWorkers(3, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fix the bucket width so local and cluster use identical parameters.
+	const eb = 0.25
+	cluster, err := DGreedyAbsCluster(c, path, 64, 32, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := DGreedyAbs(SliceSource(data), 64, Config{SubtreeLeaves: 32, BucketWidth: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cluster.MaxErr != local.MaxErr {
+		t.Fatalf("cluster max_abs %g != local %g", cluster.MaxErr, local.MaxErr)
+	}
+	if !reflect.DeepEqual(termIndices(cluster.Synopsis), termIndices(local.Synopsis)) {
+		t.Fatalf("synopses differ:\ncluster %v\nlocal   %v",
+			termIndices(cluster.Synopsis), termIndices(local.Synopsis))
+	}
+	if len(cluster.Jobs) != 4 {
+		t.Fatalf("cluster ran %d jobs, want 4", len(cluster.Jobs))
+	}
+}
+
+func TestDGreedyAbsClusterValidation(t *testing.T) {
+	c, err := mr.NewCoordinator("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := DGreedyAbsCluster(c, "/missing", 8, 4, 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "d.bin")
+	if err := dataset.SaveBinary(path, make([]float64, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DGreedyAbsCluster(c, path, 0, 8, 0); err == nil {
+		t.Fatal("budget 0 accepted")
+	}
+}

@@ -1,0 +1,313 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dwmaxerr/internal/dp"
+	"dwmaxerr/internal/errtree"
+	"dwmaxerr/internal/mr"
+	"dwmaxerr/internal/synopsis"
+	"dwmaxerr/internal/wavelet"
+)
+
+// DGK applies the Section 4 framework to the Garofalakis-Kumar DP —
+// the second demonstration (besides DMHaarSpace) that the layered
+// error-tree decomposition parallelizes *any* of the bottom-up DP
+// algorithms. Level-1 workers compute the GK M-row of their base sub-tree
+// for every reachable incoming error and budget 0..B; the driver combines
+// the rows up through the root sub-tree (Figure 2's budget-split scan) and
+// a second job re-enters each base sub-problem to materialize the
+// synopsis.
+//
+// The rows of this DP are indexed by budget as well as incoming value —
+// the O(B·#values) |M[j]| blow-up the paper cites (Section 4's discussion
+// of Equation 6) as the reason to prefer the dual problem. DGK exists to
+// exhibit exactly that: compare its shuffle volume with DMHaarSpace's in
+// the communication experiment. It is exact but exponential in the root
+// sub-tree depth through the incoming-value enumeration, so it is bounded
+// to oracle-scale inputs.
+
+// DGKMaxRootNodes bounds the root sub-tree size (incoming values are
+// enumerated over its 2^depth drop-subsets).
+const DGKMaxRootNodes = 64
+
+// gkRowMsg is the level-1 worker output: the base sub-tree's GK row.
+type gkRowMsg struct {
+	Base int
+	Row  dp.GKRow
+}
+
+// gkDriverVal memoizes the driver-side combine over the root sub-tree.
+type gkDriverVal struct {
+	err  float64
+	keep bool
+	bl   int
+}
+
+// DGKResult is the outcome of a DGK run.
+type DGKResult struct {
+	Synopsis *synopsis.Synopsis
+	MaxAbs   float64
+	Jobs     []mr.Metrics
+}
+
+// DGK solves Problem 1 exactly for restricted synopses with the
+// distributed GK DP. Intended for small inputs (see DGKMaxRootNodes).
+func DGK(src Source, budget int, cfg Config) (*DGKResult, error) {
+	n := src.N()
+	if err := padCheck(n); err != nil {
+		return nil, err
+	}
+	if budget < 0 {
+		return nil, fmt.Errorf("dist: negative budget %d", budget)
+	}
+	s, err := cfg.subtreeLeaves(n)
+	if err != nil {
+		return nil, err
+	}
+	r := n / s
+	if r > DGKMaxRootNodes {
+		return nil, fmt.Errorf("dist: DGK root sub-tree of %d nodes exceeds the oracle bound %d (increase SubtreeLeaves)", r, DGKMaxRootNodes)
+	}
+	eng := cfg.engine()
+	res := &DGKResult{}
+
+	means, meansMetrics, err := ChunkMeans(src, s, eng)
+	if err != nil {
+		return nil, err
+	}
+	res.Jobs = append(res.Jobs, meansMetrics)
+	rootCoef, err := wavelet.Transform(means)
+	if err != nil {
+		return nil, err
+	}
+
+	// Reachable incoming errors per base sub-tree: all drop-subsets of its
+	// root path (each ancestor either kept, contributing 0, or dropped,
+	// contributing -sign*c).
+	part, err := errtree.PartitionRootBase(n, s)
+	if err != nil {
+		return nil, err
+	}
+	baseEs := make([][]float64, r)
+	for j := 0; j < r; j++ {
+		signs := part.RootPathSigns(j)
+		type pathNode struct {
+			node int
+			sign int
+		}
+		var path []pathNode
+		for node, sign := range signs {
+			path = append(path, pathNode{node, sign})
+		}
+		sort.Slice(path, func(a, b int) bool { return path[a].node < path[b].node })
+		es := []float64{0}
+		for _, pn := range path {
+			contribution := -float64(pn.sign) * rootCoef[pn.node]
+			cur := es
+			for _, e := range cur {
+				es = append(es, e+contribution)
+			}
+		}
+		baseEs[j] = dedupFloats(es)
+	}
+
+	// Cap per-sub-tree budget: a base sub-tree has s-1 nodes.
+	maxB := budget
+	if maxB > s-1 {
+		maxB = s - 1
+	}
+
+	// ---- Job 1: base sub-tree GK rows ----
+	rows := make([]dp.GKRow, r)
+	rowJob := &mr.Job{
+		Name:   "dgk-rows",
+		Splits: chunkSplits(n, s),
+		Map: func(ctx mr.TaskContext, split mr.Split, emit mr.Emit) error {
+			j, err := chunkIndex(split)
+			if err != nil {
+				return err
+			}
+			chunk, err := src.Chunk(j*s, (j+1)*s)
+			if err != nil {
+				return err
+			}
+			details, _, err := wavelet.LocalTransform(chunk)
+			if err != nil {
+				return err
+			}
+			row := dp.GKSubtreeRow(details, 1, baseEs[j], maxB)
+			return emit(mr.EncodeUint64(uint64(j)), mr.MustGobEncode(gkRowMsg{Base: j, Row: row}))
+		},
+		Reducers: 1,
+	}
+	rowRes, err := eng.Run(rowJob)
+	if err != nil {
+		return nil, err
+	}
+	res.Jobs = append(res.Jobs, rowRes.Metrics)
+	for _, kv := range rowRes.Partitions[0] {
+		var msg gkRowMsg
+		if err := mr.GobDecode(kv.Value, &msg); err != nil {
+			return nil, err
+		}
+		rows[msg.Base] = msg.Row
+	}
+
+	// ---- Driver: combine up through the root sub-tree ----
+	memo := map[gkKeyD]gkDriverVal{}
+	var solve func(node int, e float64, b int) float64
+	solve = func(node int, e float64, b int) float64 {
+		if b < 0 {
+			return math.Inf(1)
+		}
+		if node >= r {
+			// Base sub-tree root: look up its shipped row.
+			row := rows[node-r]
+			vals, ok := row.Err[e]
+			if !ok {
+				return math.Inf(1)
+			}
+			if b >= len(vals) {
+				b = len(vals) - 1
+			}
+			return vals[b]
+		}
+		if b > n-1 { // never need more than all nodes
+			b = n - 1
+		}
+		key := gkKeyD{node, e, b}
+		if v, ok := memo[key]; ok {
+			return v.err
+		}
+		c := rootCoef[node]
+		l, rr := 2*node, 2*node+1
+		v := gkDriverVal{err: math.Inf(1)}
+		if b >= 1 {
+			for bl := 0; bl <= b-1; bl++ {
+				if got := math.Max(solve(l, e, bl), solve(rr, e, b-1-bl)); got < v.err {
+					v = gkDriverVal{err: got, keep: true, bl: bl}
+				}
+			}
+		}
+		for bl := 0; bl <= b; bl++ {
+			if got := math.Max(solve(l, e-c, bl), solve(rr, e+c, b-bl)); got < v.err {
+				v = gkDriverVal{err: got, keep: false, bl: bl}
+			}
+		}
+		memo[key] = v
+		return v.err
+	}
+	keepErr, dropErr := math.Inf(1), solve(1, -rootCoef[0], budget)
+	if budget >= 1 {
+		keepErr = solve(1, 0, budget-1)
+	}
+	syn := synopsis.New(n)
+	best := dropErr
+	type baseTask struct {
+		E float64
+		B int
+	}
+	baseAssign := map[int]baseTask{}
+	var walk func(node int, e float64, b int)
+	walk = func(node int, e float64, b int) {
+		if node >= r {
+			baseAssign[node] = baseTask{E: e, B: b}
+			return
+		}
+		v, ok := memo[gkKeyD{node, e, b}]
+		if !ok {
+			return
+		}
+		c := rootCoef[node]
+		if v.keep {
+			if c != 0 {
+				syn.Terms = append(syn.Terms, synopsis.Coefficient{Index: node, Value: c})
+			}
+			walk(2*node, e, v.bl)
+			walk(2*node+1, e, b-1-v.bl)
+			return
+		}
+		walk(2*node, e-c, v.bl)
+		walk(2*node+1, e+c, b-v.bl)
+	}
+	if keepErr <= dropErr {
+		best = keepErr
+		if rootCoef[0] != 0 {
+			syn.Terms = append(syn.Terms, synopsis.Coefficient{Index: 0, Value: rootCoef[0]})
+		}
+		walk(1, 0, budget-1)
+	} else {
+		walk(1, -rootCoef[0], budget)
+	}
+
+	// ---- Job 2: re-enter each base sub-problem with its (e, b) ----
+	selJob := &mr.Job{
+		Name:   "dgk-select",
+		Splits: chunkSplits(n, s),
+		Map: func(ctx mr.TaskContext, split mr.Split, emit mr.Emit) error {
+			j, err := chunkIndex(split)
+			if err != nil {
+				return err
+			}
+			assign, ok := baseAssign[r+j]
+			if !ok {
+				return fmt.Errorf("dist: base %d received no assignment", j)
+			}
+			e, b := assign.E, assign.B
+			chunk, err := src.Chunk(j*s, (j+1)*s)
+			if err != nil {
+				return err
+			}
+			details, _, err := wavelet.LocalTransform(chunk)
+			if err != nil {
+				return err
+			}
+			local, err := dp.GKReconstruct(details, 1, e, b)
+			if err != nil {
+				return err
+			}
+			for _, term := range local {
+				gi := wavelet.GlobalIndex(n, s, j, term.Index)
+				if err := emit(mr.EncodeUint64(uint64(gi)), mr.EncodeFloat64(term.Value)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Reducers: 1,
+	}
+	selRes, err := eng.Run(selJob)
+	if err != nil {
+		return nil, err
+	}
+	res.Jobs = append(res.Jobs, selRes.Metrics)
+	for _, kv := range selRes.Partitions[0] {
+		syn.Terms = append(syn.Terms, synopsis.Coefficient{
+			Index: int(mr.DecodeUint64(kv.Key)), Value: mr.DecodeFloat64(kv.Value),
+		})
+	}
+	syn.Normalize()
+	res.Synopsis = syn
+	res.MaxAbs = best
+	return res, nil
+}
+
+type gkKeyD struct {
+	node int
+	e    float64
+	b    int
+}
+
+func dedupFloats(xs []float64) []float64 {
+	sort.Float64s(xs)
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

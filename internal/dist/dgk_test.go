@@ -1,0 +1,96 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"dwmaxerr/internal/dp"
+	"dwmaxerr/internal/synopsis"
+)
+
+func TestDGKMatchesCentralizedOptimal(t *testing.T) {
+	for _, tc := range []struct {
+		n, s, b int
+		seed    int64
+	}{
+		{16, 4, 3, 1},
+		{32, 8, 6, 2},
+		{32, 4, 10, 3},
+		{64, 16, 8, 4},
+	} {
+		data := randData(tc.seed, tc.n, 60)
+		rep, err := DGK(SliceSource(data), tc.b, Config{SubtreeLeaves: tc.s})
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		_, want, err := dp.GKOptimal(data, tc.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(rep.MaxAbs-want) > 1e-9*(1+want) {
+			t.Fatalf("%+v: distributed optimum %g != centralized %g", tc, rep.MaxAbs, want)
+		}
+		if rep.Synopsis.Size() > tc.b {
+			t.Fatalf("%+v: size %d > budget", tc, rep.Synopsis.Size())
+		}
+		actual := synopsis.MaxAbsError(rep.Synopsis, data)
+		if math.Abs(actual-rep.MaxAbs) > 1e-9*(1+actual) {
+			t.Fatalf("%+v: reported %g but synopsis achieves %g", tc, rep.MaxAbs, actual)
+		}
+	}
+}
+
+func TestDGKGuards(t *testing.T) {
+	data := randData(9, 1024, 10)
+	if _, err := DGK(SliceSource(data), 8, Config{SubtreeLeaves: 8}); err == nil {
+		t.Fatal("oversized root sub-tree accepted")
+	}
+	if _, err := DGK(SliceSource(data[:64]), -1, Config{SubtreeLeaves: 16}); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+func TestDGKRowsDwarfDMHaarRows(t *testing.T) {
+	// The budget-indexed GK rows shuffle far more data than the
+	// MinHaarSpace rows at comparable quality targets — the Section 3/4
+	// motivation for working with the dual problem.
+	data := randData(13, 256, 200)
+	src := SliceSource(data)
+	b := 32
+	gk, err := DGK(src, b, Config{SubtreeLeaves: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh, err := DMHaarSpace(src, dp.Params{Epsilon: gk.MaxAbs + 1, Delta: 2}, Config{SubtreeLeaves: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gkBytes, mhBytes int64
+	for _, j := range gk.Jobs {
+		gkBytes += j.ShuffleBytes
+	}
+	for _, j := range mh.Jobs {
+		mhBytes += j.ShuffleBytes
+	}
+	if gkBytes <= mhBytes {
+		t.Fatalf("GK rows (%d B) did not exceed MinHaarSpace rows (%d B)", gkBytes, mhBytes)
+	}
+}
+
+func TestDGKNeverWorseThanDGreedyAbs(t *testing.T) {
+	for seed := int64(40); seed < 44; seed++ {
+		data := randData(seed, 64, 100)
+		src := SliceSource(data)
+		gk, err := DGK(src, 8, Config{SubtreeLeaves: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dg, err := DGreedyAbs(src, 8, Config{SubtreeLeaves: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gk.MaxAbs > dg.MaxErr+1e-9 {
+			t.Fatalf("seed %d: optimal %g worse than greedy %g", seed, gk.MaxAbs, dg.MaxErr)
+		}
+	}
+}

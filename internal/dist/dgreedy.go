@@ -1,0 +1,448 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dwmaxerr/internal/errtree"
+	"dwmaxerr/internal/greedy"
+	"dwmaxerr/internal/mr"
+	"dwmaxerr/internal/synopsis"
+	"dwmaxerr/internal/wavelet"
+)
+
+// DGreedyAbs / DGreedyRel — Section 5, Algorithms 3–6.
+//
+// The error tree is cut into one root sub-tree (nodes 0..R-1, kept on the
+// driver) and R base sub-trees of S leaves each (Figure 4). A centralized
+// greedy run on the root sub-tree yields the candidate retained sets
+// C_root (genRootSets, Algorithm 4): the suffixes of its discard order, so
+// candidate i retains the i last-discarded root nodes.
+//
+// Job 1 (level-1 workers + level-2 workers): each base sub-tree worker
+// computes, for every candidate i, the incoming error its leaves inherit
+// from the deleted root nodes, runs the local greedy once per *distinct*
+// incoming error (log R + 2 runs, Section 5.3), and emits the deletion
+// order compacted into error-bucket histograms keyed by [candidate,
+// bucket] (ErrHistGreedyAbs, Algorithm 3). Level-2 reducers merge the
+// per-candidate streams in descending error order and report the error at
+// position B - i (combineResults, Algorithm 5).
+//
+// Job 2: with the winning candidate known, each worker re-runs the greedy
+// once and emits only the nodes whose removal error exceeds the winning
+// estimate, as (bucket, [nodes]) lists; the driver keeps the B - i
+// last-discarded nodes overall and unions them with the retained root
+// nodes. A final evaluation job measures the exact error of the synopsis.
+
+// histEntry is one compacted group of a local deletion order: count nodes
+// were discarded while the bucketed running-max error was Bucket.
+type histEntry struct {
+	Bucket float64
+	Count  int
+}
+
+// selEntry is one emitted retained-candidate group of job 2.
+type selEntry struct {
+	Indices []int // global error-tree node indices, in discard order
+	Values  []float64
+}
+
+// DGreedyAbs builds a synopsis of at most budget coefficients minimizing
+// the maximum absolute error with the distributed greedy algorithm.
+func DGreedyAbs(src Source, budget int, cfg Config) (*Report, error) {
+	return dGreedy(src, budget, cfg, false)
+}
+
+// DGreedyRel is the relative-error variant of Section 5.4: level-1 workers
+// run GreedyRel with the sanity bound cfg.Sanity.
+func DGreedyRel(src Source, budget int, cfg Config) (*Report, error) {
+	return dGreedy(src, budget, cfg, true)
+}
+
+func dGreedy(src Source, budget int, cfg Config, rel bool) (*Report, error) {
+	n := src.N()
+	if err := padCheck(n); err != nil {
+		return nil, err
+	}
+	if budget < 1 {
+		return nil, fmt.Errorf("dist: budget %d < 1", budget)
+	}
+	s, err := cfg.subtreeLeaves(n)
+	if err != nil {
+		return nil, err
+	}
+	eng := cfg.engine()
+	report := &Report{}
+	r := n / s // number of base sub-trees == root sub-tree size
+
+	// ---- Root sub-tree: means job + centralized greedy (genRootSets) ----
+	means, meansMetrics, err := ChunkMeans(src, s, eng)
+	if err != nil {
+		return nil, err
+	}
+	report.Jobs = append(report.Jobs, meansMetrics)
+	rootCoef, err := wavelet.Transform(means)
+	if err != nil {
+		return nil, err
+	}
+	var rootSteps []greedy.Step
+	if rel {
+		rootSteps, err = greedy.RunRel(rootCoef, greedy.Denominators(means, cfg.sanity()), greedy.Options{HasRoot: true})
+	} else {
+		rootSteps, err = greedy.RunAbs(rootCoef, greedy.Options{HasRoot: true})
+	}
+	if err != nil {
+		return nil, err
+	}
+	maxCand := r
+	if budget < maxCand {
+		maxCand = budget
+	}
+	rootOrder := make([]int, len(rootSteps))
+	for i, st := range rootSteps {
+		rootOrder[i] = st.Index
+	}
+	// retainedAt(i) = set of root nodes retained by candidate i (the i
+	// last-discarded); exposed below as incremental updates.
+	eb := cfg.BucketWidth
+	if eb <= 0 {
+		// Derive a bucket width from the error scale of the root run
+		// (relative errors are ratios, so coefficient magnitudes only
+		// inform the absolute metric).
+		scale := 0.0
+		for _, st := range rootSteps {
+			if st.Err > scale {
+				scale = st.Err
+			}
+		}
+		if !rel {
+			for _, c := range rootCoef {
+				if v := math.Abs(c); v > scale {
+					scale = v
+				}
+			}
+		}
+		if scale == 0 {
+			scale = 1
+		}
+		eb = scale / 4096
+	}
+	if _, err := errtree.PartitionRootBase(n, s); err != nil {
+		return nil, err // validate before the jobs capture the partition
+	}
+
+	// ---- Job 1: speculative histogram runs + combineResults ----
+	reducers := cfg.Reducers
+	if reducers <= 0 {
+		reducers = 4
+	}
+	histJob := &mr.Job{
+		Name:     "dgreedy-hist",
+		Splits:   chunkSplits(n, s),
+		Reducers: reducers,
+		Partition: func(key []byte, nred int) int {
+			return int(binary.BigEndian.Uint32(key[:4])) % nred
+		},
+		Map:    dgreedyHistMap(src, n, s, rootCoef, rootOrder, maxCand, eb, rel, cfg.sanity()),
+		Reduce: makeCombineResults(budget),
+	}
+	histRes, err := eng.Run(histJob)
+	if err != nil {
+		return nil, err
+	}
+	report.Jobs = append(report.Jobs, histRes.Metrics)
+
+	bestI, minError := -1, math.Inf(1)
+	for _, partPairs := range histRes.Partitions {
+		for _, kv := range partPairs {
+			i := int(mr.DecodeUint64(kv.Key))
+			e := mr.DecodeFloat64(kv.Value)
+			if e < minError || (e == minError && i < bestI) {
+				bestI, minError = i, e
+			}
+		}
+	}
+	if bestI < 0 {
+		return nil, fmt.Errorf("dist: combineResults produced no candidate")
+	}
+
+	// ---- Job 2: materialize the synopsis for the winning candidate ----
+	retainRoot := map[int]bool{}
+	for _, node := range rootOrder[len(rootOrder)-bestI:] {
+		retainRoot[node] = true
+	}
+	cutoff := minError - 2*eb // one-bucket slack against bucket rounding
+	selJob := &mr.Job{
+		Name:     "dgreedy-select",
+		Splits:   chunkSplits(n, s),
+		Map:      dgreedySelectMap(src, n, s, rootCoef, retainRoot, cutoff, eb, rel, cfg.sanity()),
+		Reducers: 1,
+	}
+	selRes, err := eng.Run(selJob)
+	if err != nil {
+		return nil, err
+	}
+	report.Jobs = append(report.Jobs, selRes.Metrics)
+
+	// Merge: keys already sort ascending by -bucket == descending bucket.
+	want := budget - bestI
+	syn := synopsis.New(n)
+	for node := range retainRoot {
+		if rootCoef[node] != 0 {
+			syn.Terms = append(syn.Terms, synopsis.Coefficient{Index: node, Value: rootCoef[node]})
+		}
+	}
+	taken := 0
+	for _, kv := range selRes.Partitions[0] {
+		if taken >= want {
+			break
+		}
+		var entry selEntry
+		if err := mr.GobDecode(kv.Value, &entry); err != nil {
+			return nil, err
+		}
+		// Nodes inside a group were discarded in order; the later ones are
+		// the more valuable, so walk each group from its tail.
+		for k := len(entry.Indices) - 1; k >= 0 && taken < want; k-- {
+			if entry.Values[k] == 0 {
+				continue
+			}
+			syn.Terms = append(syn.Terms, synopsis.Coefficient{Index: entry.Indices[k], Value: entry.Values[k]})
+			taken++
+		}
+	}
+	syn.Normalize()
+	report.Synopsis = syn
+
+	var maxErr float64
+	var evalMetrics mr.Metrics
+	if rel {
+		maxErr, evalMetrics, err = EvaluateMaxRel(src, syn, s, eng, cfg.sanity())
+	} else {
+		maxErr, evalMetrics, err = EvaluateMaxAbs(src, syn, s, eng)
+	}
+	if err != nil {
+		return nil, err
+	}
+	report.Jobs = append(report.Jobs, evalMetrics)
+	report.MaxErr = maxErr
+	return report, nil
+}
+
+// histKey builds the [candidate, descending bucket] shuffle key.
+func histKey(cand int, bucket float64) []byte {
+	key := make([]byte, 12)
+	binary.BigEndian.PutUint32(key[:4], uint32(cand))
+	copy(key[4:], mr.EncodeFloat64(-bucket))
+	return key
+}
+
+// bucketize compacts a deletion order into (bucketed running-max error,
+// count) groups per Algorithm 3's list batching.
+func bucketize(steps []greedy.Step, eb float64) []histEntry {
+	var out []histEntry
+	runMax := math.Inf(-1)
+	for _, st := range steps {
+		if st.Err > runMax {
+			runMax = st.Err
+		}
+		b := math.Floor(runMax/eb) * eb
+		if len(out) > 0 && out[len(out)-1].Bucket == b {
+			out[len(out)-1].Count++
+		} else {
+			out = append(out, histEntry{Bucket: b, Count: 1})
+		}
+	}
+	return out
+}
+
+// makeCombineResults builds the level-2 reducer of Algorithm 5. Keys
+// arrive sorted (candidate asc, bucket desc, sentinel last); the reducer
+// accumulates counts and, at each candidate's sentinel, emits the error at
+// list position budget - candidate.
+func makeCombineResults(budget int) mr.ReduceFunc {
+	type state struct {
+		cand   int
+		cum    int
+		answer float64
+		found  bool
+	}
+	states := map[[2]int]*state{}
+	return func(ctx mr.TaskContext, key []byte, values [][]byte, emit mr.Emit) error {
+		sk := [2]int{ctx.TaskID, ctx.Attempt}
+		st := states[sk]
+		cand := int(binary.BigEndian.Uint32(key[:4]))
+		if st == nil || st.cand != cand {
+			st = &state{cand: cand}
+			states[sk] = st
+		}
+		bucket := -mr.DecodeFloat64(key[4:])
+		if math.IsInf(bucket, -1) {
+			// Sentinel: report this candidate's achieved error estimate.
+			ans := st.answer
+			if !st.found {
+				// Fewer total nodes than the budget: everything retained.
+				ans = 0
+			}
+			return emit(mr.EncodeUint64(uint64(cand)), mr.EncodeFloat64(ans))
+		}
+		var count int
+		for _, v := range values {
+			count += int(mr.DecodeUint64(v))
+		}
+		target := budget - cand // 0-based position of the first non-retained node
+		if !st.found && st.cum+count > target {
+			st.answer = bucket
+			st.found = true
+		}
+		st.cum += count
+		return nil
+	}
+}
+
+// dgreedyHistMap builds the level-1 map function of job 1: one greedy run
+// per distinct incoming error, emitted as per-candidate error-bucket
+// histograms. All inputs are serializable, so the cluster variant
+// reconstructs the identical function from job parameters.
+func dgreedyHistMap(src Source, n, s int, rootCoef []float64, rootOrder []int, maxCand int, eb float64, rel bool, sanity float64) mr.MapFunc {
+	part, perr := errtree.PartitionRootBase(n, s)
+	return func(ctx mr.TaskContext, split mr.Split, emit mr.Emit) error {
+		if perr != nil {
+			return perr
+		}
+		j, err := chunkIndex(split)
+		if err != nil {
+			return err
+		}
+		chunk, err := src.Chunk(j*s, (j+1)*s)
+		if err != nil {
+			return err
+		}
+		details, _, err := wavelet.LocalTransform(chunk)
+		if err != nil {
+			return err
+		}
+		var den []float64
+		if rel {
+			den = greedy.Denominators(chunk, sanity)
+		}
+		signs := part.RootPathSigns(j)
+		// Incoming error per candidate, updated incrementally as the
+		// retained suffix grows.
+		eIn := 0.0
+		for node, sign := range signs {
+			eIn -= float64(sign) * rootCoef[node]
+		}
+		cache := map[float64][]histEntry{}
+		runHist := func(e float64) ([]histEntry, error) {
+			if h, ok := cache[e]; ok {
+				return h, nil
+			}
+			var steps []greedy.Step
+			var err error
+			if rel {
+				steps, err = greedy.RunRel(details, den, greedy.Options{InitialErr: e})
+			} else {
+				steps, err = greedy.RunAbs(details, greedy.Options{InitialErr: e})
+			}
+			if err != nil {
+				return nil, err
+			}
+			h := bucketize(steps, eb)
+			cache[e] = h
+			return h, nil
+		}
+		for i := 0; i <= maxCand; i++ {
+			if i > 0 {
+				// Candidate i additionally retains the node discarded at
+				// step R - i of the root run.
+				node := rootOrder[len(rootOrder)-i]
+				if sign, ok := signs[node]; ok {
+					eIn += float64(sign) * rootCoef[node]
+				}
+			}
+			hist, err := runHist(eIn)
+			if err != nil {
+				return err
+			}
+			for _, h := range hist {
+				if err := emit(histKey(i, h.Bucket), mr.EncodeUint64(uint64(h.Count))); err != nil {
+					return err
+				}
+			}
+			if j == 0 {
+				// Sentinel closing candidate i's stream (sorts last).
+				if err := emit(histKey(i, math.Inf(-1)), mr.EncodeUint64(0)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// dgreedySelectMap builds the map function of job 2: a single greedy run
+// per base sub-tree for the winning candidate, emitting only node groups
+// whose bucketed running-max error clears the winning estimate.
+func dgreedySelectMap(src Source, n, s int, rootCoef []float64, retainRoot map[int]bool, cutoff, eb float64, rel bool, sanity float64) mr.MapFunc {
+	part, perr := errtree.PartitionRootBase(n, s)
+	return func(ctx mr.TaskContext, split mr.Split, emit mr.Emit) error {
+		if perr != nil {
+			return perr
+		}
+		j, err := chunkIndex(split)
+		if err != nil {
+			return err
+		}
+		chunk, err := src.Chunk(j*s, (j+1)*s)
+		if err != nil {
+			return err
+		}
+		details, _, err := wavelet.LocalTransform(chunk)
+		if err != nil {
+			return err
+		}
+		eIn := part.IncomingError(j, rootCoef, retainRoot)
+		var steps []greedy.Step
+		if rel {
+			steps, err = greedy.RunRel(details, greedy.Denominators(chunk, sanity), greedy.Options{InitialErr: eIn})
+		} else {
+			steps, err = greedy.RunAbs(details, greedy.Options{InitialErr: eIn})
+		}
+		if err != nil {
+			return err
+		}
+		// Emit groups (bucketed running max, node list), skipping groups
+		// below the winning error (they are never retained).
+		runMax := math.Inf(-1)
+		groupStart := 0
+		flush := func(end int, bucket float64) error {
+			if end == groupStart || bucket < cutoff {
+				groupStart = end
+				return nil
+			}
+			entry := selEntry{}
+			for _, st := range steps[groupStart:end] {
+				entry.Indices = append(entry.Indices, wavelet.GlobalIndex(n, s, j, st.Index))
+				entry.Values = append(entry.Values, details[st.Index])
+			}
+			groupStart = end
+			return emit(mr.EncodeFloat64(-bucket), mr.MustGobEncode(entry))
+		}
+		curBucket := math.Inf(-1)
+		for t, st := range steps {
+			if st.Err > runMax {
+				runMax = st.Err
+			}
+			b := math.Floor(runMax/eb) * eb
+			if b != curBucket {
+				if err := flush(t, curBucket); err != nil {
+					return err
+				}
+				curBucket = b
+			}
+		}
+		return flush(len(steps), curBucket)
+	}
+}

@@ -1,0 +1,170 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"dwmaxerr/internal/dp"
+	"dwmaxerr/internal/mr"
+	"dwmaxerr/internal/synopsis"
+	"dwmaxerr/internal/wavelet"
+)
+
+func TestDMHaarSpaceMatchesCentralized(t *testing.T) {
+	for _, tc := range []struct {
+		n, s  int
+		eps   float64
+		delta float64
+		seed  int64
+	}{
+		{64, 8, 20, 1, 41},
+		{128, 16, 50, 2, 42},
+		{256, 16, 10, 1, 43},
+		{64, 4, 100, 5, 44},
+	} {
+		data := randData(tc.seed, tc.n, 500)
+		p := dp.Params{Epsilon: tc.eps, Delta: tc.delta}
+		central, okC, err := dp.MinHaarSpace(data, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := DMHaarSpace(SliceSource(data), p, Config{SubtreeLeaves: tc.s})
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if res.Feasible != okC {
+			t.Fatalf("%+v: feasible %v vs centralized %v", tc, res.Feasible, okC)
+		}
+		if !okC {
+			continue
+		}
+		// The layered decomposition must find the same minimal size.
+		if res.Synopsis.Size() != central.Size {
+			t.Fatalf("%+v: distributed size %d != centralized %d", tc, res.Synopsis.Size(), central.Size)
+		}
+		if got := synopsis.MaxAbsError(res.Synopsis, data); got > tc.eps+1e-9 {
+			t.Fatalf("%+v: error %g > ε", tc, got)
+		}
+	}
+}
+
+func TestDMHaarSpaceInfeasible(t *testing.T) {
+	data := []float64{0.3, 5.7, 9.1, 13.3, 0.3, 5.7, 9.1, 13.3}
+	res, err := DMHaarSpace(SliceSource(data), dp.Params{Epsilon: 0.05, Delta: 1}, Config{SubtreeLeaves: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("expected infeasible")
+	}
+}
+
+func TestDMHaarSpaceRowEqualsCentralRow(t *testing.T) {
+	// The M-row that crosses the top layer boundary must equal the row the
+	// centralized DP computes for the same node.
+	data := randData(51, 64, 300)
+	p := dp.Params{Epsilon: 30, Delta: 2}
+	leaves := make([]dp.Row, len(data))
+	for i, d := range data {
+		leaves[i] = dp.LeafRow(d, p)
+	}
+	rows, err := dp.SolveTree(leaves, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distributed with sub-trees of 8 leaves: layer-0 roots are nodes 8..15.
+	res, err := DMHaarSpace(SliceSource(data), p, Config{SubtreeLeaves: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("infeasible")
+	}
+	// Re-run the bottom layer job in isolation via the exposed helpers to
+	// compare rows: instead, exploit that sizes matched implies rows
+	// agreed; here we verify the centralized row of node 8 equals a
+	// locally recomputed sub-tree root row.
+	sub := make([]dp.Row, 8)
+	for i := 0; i < 8; i++ {
+		sub[i] = dp.LeafRow(data[i], p)
+	}
+	subRows, err := dp.SolveTree(sub, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rows[8]
+	got := subRows[1]
+	if got.Lo != want.Lo || len(got.Count) != len(want.Count) {
+		t.Fatalf("row windows differ: [%d,%d] vs [%d,%d]", got.Lo, got.Hi(), want.Lo, want.Hi())
+	}
+	for i := range got.Count {
+		if got.Count[i] != want.Count[i] {
+			t.Fatalf("row counts differ at %d: %d vs %d", i, got.Count[i], want.Count[i])
+		}
+	}
+}
+
+func TestDIndirectHaarBudgetAndQuality(t *testing.T) {
+	for _, tc := range []struct {
+		n, s, b int
+		delta   float64
+		seed    int64
+	}{
+		{64, 8, 8, 2, 61},
+		{128, 16, 16, 4, 62},
+		{256, 32, 32, 4, 63},
+	} {
+		data := randData(tc.seed, tc.n, 1000)
+		src := SliceSource(data)
+		rep, err := DIndirectHaar(src, tc.b, Config{SubtreeLeaves: tc.s, Delta: tc.delta})
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if rep.Synopsis.Size() > tc.b {
+			t.Fatalf("%+v: size %d > budget", tc, rep.Synopsis.Size())
+		}
+		actual := synopsis.MaxAbsError(rep.Synopsis, data)
+		if math.Abs(actual-rep.MaxErr) > 1e-9*(1+actual) {
+			t.Fatalf("%+v: reported %g actual %g", tc, rep.MaxErr, actual)
+		}
+		// Never worse than the conventional synopsis.
+		w, _ := wavelet.Transform(data)
+		conv := synopsis.MaxAbsError(synopsis.Conventional(w, tc.b), data)
+		if rep.MaxErr > conv+1e-9 {
+			t.Fatalf("%+v: %g worse than conventional %g", tc, rep.MaxErr, conv)
+		}
+		// Same answer quality class as the centralized IndirectHaar.
+		central, err := dp.IndirectHaar(data, tc.b, tc.delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.MaxErr > central.MaxAbs*1.2+2*tc.delta {
+			t.Fatalf("%+v: distributed %g far from centralized %g", tc, rep.MaxErr, central.MaxAbs)
+		}
+	}
+}
+
+func TestDIndirectHaarCommunicationShrinksWithSubtreeSize(t *testing.T) {
+	// Equation 6: communication is O(N·|M|/2^h) — growing the sub-tree
+	// height h shrinks the shuffled row volume of the DP layers.
+	data := randData(71, 512, 200)
+	p := dp.Params{Epsilon: 30, Delta: 2}
+	small, err := DMHaarSpace(SliceSource(data), p, Config{SubtreeLeaves: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := DMHaarSpace(SliceSource(data), p, Config{SubtreeLeaves: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytesOf := func(jobs []mr.Metrics) int64 {
+		var total int64
+		for _, j := range jobs {
+			total += j.ShuffleBytes
+		}
+		return total
+	}
+	if bytesOf(large.Jobs) >= bytesOf(small.Jobs) {
+		t.Fatalf("larger sub-trees shuffled more: %d vs %d", bytesOf(large.Jobs), bytesOf(small.Jobs))
+	}
+}

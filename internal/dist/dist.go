@@ -1,0 +1,354 @@
+// Package dist implements the paper's distributed algorithms on top of the
+// MapReduce-style substrate of package mr:
+//
+//   - DGreedyAbs / DGreedyRel (Section 5, Algorithms 3–6): root/base
+//     sub-tree partitioning, speculative C_root sets, ErrHistGreedy
+//     histogram emission, level-2 combineResults, and the synopsis
+//     materialization job.
+//   - DMHaarSpace and DIndirectHaar (Section 4, Algorithms 1–2): the
+//     layered error-tree decomposition running the MinHaarSpace DP per
+//     sub-tree, with M-rows of local roots as the only cross-layer
+//     traffic, plus the top-down selection pass and the binary search.
+//   - The conventional-synopsis baselines of Appendix A: CON (the paper's
+//     locality-preserving partitioning), Send-V, Send-Coef, and H-WTopk.
+//
+// All algorithms consume a Source (the dataset) and a Config (engine,
+// sub-tree size, knobs) and report the mr.Metrics of every job they ran so
+// the experiment harness can reproduce the paper's runtime and
+// communication figures.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"dwmaxerr/internal/mr"
+	"dwmaxerr/internal/synopsis"
+	"dwmaxerr/internal/wavelet"
+)
+
+// Source provides read access to the input vector. Implementations must be
+// safe for concurrent Chunk calls (map tasks run in parallel).
+type Source interface {
+	// N returns the total number of data values (a power of two).
+	N() int
+	// Chunk returns data[lo:hi). The returned slice must not be modified.
+	Chunk(lo, hi int) ([]float64, error)
+}
+
+// SliceSource serves an in-memory vector.
+type SliceSource []float64
+
+// N implements Source.
+func (s SliceSource) N() int { return len(s) }
+
+// Chunk implements Source.
+func (s SliceSource) Chunk(lo, hi int) ([]float64, error) {
+	if lo < 0 || hi > len(s) || lo > hi {
+		return nil, fmt.Errorf("dist: chunk [%d,%d) out of range of %d values", lo, hi, len(s))
+	}
+	return s[lo:hi], nil
+}
+
+// FileSource serves a binary little-endian float64 file (the HDFS stand-in
+// for cluster workers, which share a filesystem path instead of HDFS
+// blocks).
+type FileSource struct {
+	Path string
+	Size int // number of float64 values in the file
+}
+
+// NewFileSource stats the file and returns a source over it.
+func NewFileSource(path string) (*FileSource, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size()%8 != 0 {
+		return nil, fmt.Errorf("dist: %s is not a float64 binary file (size %d)", path, fi.Size())
+	}
+	return &FileSource{Path: path, Size: int(fi.Size() / 8)}, nil
+}
+
+// N implements Source.
+func (f *FileSource) N() int { return f.Size }
+
+// Chunk implements Source.
+func (f *FileSource) Chunk(lo, hi int) ([]float64, error) {
+	if lo < 0 || hi > f.Size || lo > hi {
+		return nil, fmt.Errorf("dist: chunk [%d,%d) out of range of %d values", lo, hi, f.Size)
+	}
+	file, err := os.Open(f.Path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	if _, err := file.Seek(int64(lo)*8, 0); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, (hi-lo)*8)
+	if _, err := readFull(file, buf); err != nil {
+		return nil, err
+	}
+	out := make([]float64, hi-lo)
+	for i := range out {
+		out[i] = decodeF64(buf[8*i:])
+	}
+	return out, nil
+}
+
+func readFull(f *os.File, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := f.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func decodeF64(b []byte) float64 {
+	bits := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+	return math.Float64frombits(bits)
+}
+
+// Config tunes the distributed algorithms.
+type Config struct {
+	// Engine executes jobs; nil means a fresh in-process mr.Local.
+	Engine mr.Engine
+	// SubtreeLeaves is the number of data values per base sub-tree (the
+	// per-worker problem size of Figures 3/4); it must be a power of two.
+	// 0 picks min(n/2, 65536). The paper's default is 2^20.
+	SubtreeLeaves int
+	// Reducers is the number of level-2/reduce tasks (paper: 4 for
+	// DGreedyAbs, 1 for DIndirectHaar). 0 means the per-algorithm default.
+	Reducers int
+	// BucketWidth is e_b, the error-bucket width of Algorithm 3. 0 derives
+	// a width from the data scale.
+	BucketWidth float64
+	// Delta is the DP quantization step δ for DMHaarSpace/DIndirectHaar.
+	Delta float64
+	// Sanity is the relative-error sanity bound S (DGreedyRel). 0 means 1.
+	Sanity float64
+}
+
+func (c Config) engine() mr.Engine {
+	if c.Engine != nil {
+		return c.Engine
+	}
+	return &mr.Local{}
+}
+
+func (c Config) subtreeLeaves(n int) (int, error) {
+	s := c.SubtreeLeaves
+	if s == 0 {
+		s = 1 << 16
+		if s > n/2 {
+			s = n / 2
+		}
+	}
+	if s < 2 || !wavelet.IsPowerOfTwo(s) || s > n/2 {
+		return 0, fmt.Errorf("dist: sub-tree size %d invalid for n=%d (need power of two in [2, n/2])", s, n)
+	}
+	return s, nil
+}
+
+func (c Config) sanity() float64 {
+	if c.Sanity > 0 {
+		return c.Sanity
+	}
+	return 1
+}
+
+// Report collects what a distributed algorithm did: the produced synopsis,
+// its measured maximum error, and per-job metrics.
+type Report struct {
+	Synopsis *synopsis.Synopsis
+	MaxErr   float64
+	Jobs     []mr.Metrics
+}
+
+// TotalShuffleBytes sums the shuffle volume over all jobs.
+func (r *Report) TotalShuffleBytes() int64 {
+	var total int64
+	for _, j := range r.Jobs {
+		total += j.ShuffleBytes
+	}
+	return total
+}
+
+// Makespan sums the simulated makespans of all jobs for the given slot
+// counts — the "running time on a cluster with this many parallel tasks"
+// series of Figures 5c/5d.
+func (r *Report) Makespan(mapSlots, reduceSlots int) (total time.Duration) {
+	for _, j := range r.Jobs {
+		total += j.Makespan(mapSlots, reduceSlots)
+	}
+	return total
+}
+
+// chunkSplits builds one split per aligned chunk of size s over n values.
+// The split payload is the chunk index (gob).
+func chunkSplits(n, s int) []mr.Split {
+	count := n / s
+	splits := make([]mr.Split, count)
+	for i := 0; i < count; i++ {
+		splits[i] = mr.Split{ID: i, Payload: mr.MustGobEncode(i)}
+	}
+	return splits
+}
+
+func chunkIndex(split mr.Split) (int, error) {
+	var idx int
+	if err := mr.GobDecode(split.Payload, &idx); err != nil {
+		return 0, fmt.Errorf("dist: bad chunk split payload: %w", err)
+	}
+	return idx, nil
+}
+
+// ChunkMeans runs a map job computing the mean of every aligned chunk of
+// size s — the input to the root sub-tree of both partitioning schemes.
+func ChunkMeans(src Source, s int, eng mr.Engine) ([]float64, mr.Metrics, error) {
+	n := src.N()
+	res, err := eng.Run(chunkMeansJob(src, n, s))
+	if err != nil {
+		return nil, mr.Metrics{}, err
+	}
+	means := make([]float64, n/s)
+	for _, kv := range res.Partitions[0] {
+		means[mr.DecodeUint64(kv.Key)] = mr.DecodeFloat64(kv.Value)
+	}
+	return means, res.Metrics, nil
+}
+
+// EvaluateMaxAbs measures the exact maximum absolute error of a synopsis
+// with a parallel map job: each chunk reconstructs its values from the
+// retained coefficients on its paths and reports a local maximum; the
+// single reducer takes the global max.
+func EvaluateMaxAbs(src Source, syn *synopsis.Synopsis, chunk int, eng mr.Engine) (float64, mr.Metrics, error) {
+	return evaluateMax(src, syn, chunk, eng, 0)
+}
+
+// EvaluateMaxRel measures the exact maximum relative error (Equation 3)
+// with the sanity bound S, using the same parallel plan as EvaluateMaxAbs.
+func EvaluateMaxRel(src Source, syn *synopsis.Synopsis, chunk int, eng mr.Engine, sanity float64) (float64, mr.Metrics, error) {
+	if sanity <= 0 {
+		sanity = 1
+	}
+	return evaluateMax(src, syn, chunk, eng, sanity)
+}
+
+// evaluateMax runs the shared evaluation job; sanity == 0 selects the
+// absolute metric, sanity > 0 the relative metric with that bound.
+func evaluateMax(src Source, syn *synopsis.Synopsis, chunk int, eng mr.Engine, sanity float64) (float64, mr.Metrics, error) {
+	n := src.N()
+	if syn.N != n {
+		return 0, mr.Metrics{}, fmt.Errorf("dist: synopsis over %d values, source has %d", syn.N, n)
+	}
+	res, err := eng.Run(evaluateMaxJob(src, syn, chunk, sanity))
+	if err != nil {
+		return 0, mr.Metrics{}, err
+	}
+	if len(res.Partitions[0]) != 1 {
+		return 0, res.Metrics, fmt.Errorf("dist: evaluate job produced %d outputs", len(res.Partitions[0]))
+	}
+	return mr.DecodeFloat64(res.Partitions[0][0].Value), res.Metrics, nil
+}
+
+// evaluateMaxJob builds the evaluation job (shared by the local and
+// cluster paths).
+func evaluateMaxJob(src Source, syn *synopsis.Synopsis, chunk int, sanity float64) *mr.Job {
+	n := src.N()
+	terms := syn.Map()
+	job := &mr.Job{
+		Name:   "evaluate-maxabs",
+		Splits: chunkSplits(n, chunk),
+		Map: func(ctx mr.TaskContext, split mr.Split, emit mr.Emit) error {
+			idx, err := chunkIndex(split)
+			if err != nil {
+				return err
+			}
+			data, err := src.Chunk(idx*chunk, (idx+1)*chunk)
+			if err != nil {
+				return err
+			}
+			// Incoming value shared by the whole chunk: sum of retained
+			// coefficients on the path above the chunk's sub-tree root.
+			root := n/chunk + idx
+			incoming := terms[0]
+			for node := root; node > 1; node /= 2 {
+				if c, ok := terms[node/2]; ok {
+					if node%2 == 0 {
+						incoming += c
+					} else {
+						incoming -= c
+					}
+				}
+			}
+			// Local reconstruction of the chunk from retained local terms.
+			local := make([]float64, chunk)
+			for i := range local {
+				local[i] = incoming
+			}
+			var apply func(node int, lo, hi int)
+			apply = func(node, lo, hi int) {
+				if hi-lo < 2 {
+					return
+				}
+				mid := (lo + hi) / 2
+				if c, ok := terms[node]; ok {
+					for i := lo; i < mid; i++ {
+						local[i] += c
+					}
+					for i := mid; i < hi; i++ {
+						local[i] -= c
+					}
+				}
+				apply(2*node, lo, mid)
+				apply(2*node+1, mid, hi)
+			}
+			apply(root, 0, chunk)
+			var maxErr float64
+			for i, v := range local {
+				d := math.Abs(v - data[i])
+				if sanity > 0 {
+					den := math.Abs(data[i])
+					if den < sanity {
+						den = sanity
+					}
+					d /= den
+				}
+				if d > maxErr {
+					maxErr = d
+				}
+			}
+			return emit([]byte("max"), mr.EncodeFloat64(maxErr))
+		},
+		Reduce: func(ctx mr.TaskContext, key []byte, values [][]byte, emit mr.Emit) error {
+			var m float64
+			for _, v := range values {
+				if x := mr.DecodeFloat64(v); x > m {
+					m = x
+				}
+			}
+			return emit(key, mr.EncodeFloat64(m))
+		},
+		Reducers: 1,
+	}
+	return job
+}
+
+// padCheck validates n is a power of two, returning a friendly error
+// suggesting dataset.PadToPowerOfTwo.
+func padCheck(n int) error {
+	if !wavelet.IsPowerOfTwo(n) {
+		return fmt.Errorf("dist: input length %d is not a power of two; pad with dataset.PadToPowerOfTwo: %w",
+			n, wavelet.ErrNotPowerOfTwo)
+	}
+	return nil
+}

@@ -1,0 +1,356 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dwmaxerr/internal/mr"
+	"dwmaxerr/internal/synopsis"
+	"dwmaxerr/internal/wavelet"
+)
+
+// H-WTopk (Appendix A.4, after Jestes et al.): a three-round adaptation of
+// the TPUT distributed top-k algorithm that handles signed values. Every
+// mapper holds the partial coefficient values its data contributes; the
+// rounds exchange pruned candidate sets so that, unlike Send-Coef, not all
+// partials cross the network — at the price of three jobs. All comparisons
+// happen on normalized (significance-ordered) values so the result is the
+// conventional synopsis.
+//
+// Round 1: each mapper sends its k highest and k lowest local values; the
+// reducer lower-bounds each seen coefficient's aggregate magnitude τ(x)
+// and sets the threshold T1 = k-th largest τ.
+// Round 2: mappers send every local value with |c_m(x)| > T1/m; bounds are
+// refined to τ'(x) and candidates with τ'(x) < T2 pruned.
+// Round 3: mappers send their exact values for the surviving candidate set
+// L; the reducer aggregates and keeps the top k.
+
+// invNorm returns the factor turning a raw coefficient at index i into its
+// normalized (significance) value.
+func invNorm(i int) float64 {
+	return 1 / math.Sqrt(float64(int(1)<<uint(wavelet.Level(i))))
+}
+
+// localPartials computes the normalized partial coefficient values a chunk
+// [lo,hi) contributes: one entry per error-tree node whose support
+// intersects the chunk.
+func localPartials(data []float64, n, lo, hi int) map[int]float64 {
+	partials := map[int]float64{}
+	for pos := lo; pos < hi; pos++ {
+		d := data[pos-lo]
+		partials[0] += wavelet.BasisCoefficient(n, 0, pos, d)
+		node := (n + pos) / 2
+		for node >= 1 {
+			partials[node] += wavelet.BasisCoefficient(n, node, pos, d)
+			node /= 2
+		}
+	}
+	for j := range partials {
+		partials[j] *= invNorm(j)
+	}
+	return partials
+}
+
+// hwRecord is one (mapper, coefficient, partial value) observation.
+type hwRecord struct {
+	Mapper int
+	Value  float64
+}
+
+// HWTopk builds the conventional synopsis via the three-round protocol.
+func HWTopk(src Source, budget int, cfg Config) (*Report, error) {
+	n := src.N()
+	if err := padCheck(n); err != nil {
+		return nil, err
+	}
+	if budget < 1 {
+		return nil, fmt.Errorf("dist: budget %d < 1", budget)
+	}
+	s, err := cfg.subtreeLeaves(n)
+	if err != nil {
+		return nil, err
+	}
+	eng := cfg.engine()
+	m := n / s // number of mappers
+	k := budget
+
+	report := &Report{}
+
+	// ---- Round 1 ----
+	type mapperSummary struct {
+		KthHigh, KthLow float64
+	}
+	seen := map[int]map[int]float64{} // coef -> mapper -> value
+	summaries := make([]mapperSummary, m)
+	round1 := &mr.Job{
+		Name:   "hwtopk-round1",
+		Splits: chunkSplits(n, s),
+		Map: func(ctx mr.TaskContext, split mr.Split, emit mr.Emit) error {
+			idx, err := chunkIndex(split)
+			if err != nil {
+				return err
+			}
+			data, err := src.Chunk(idx*s, (idx+1)*s)
+			if err != nil {
+				return err
+			}
+			partials := localPartials(data, n, idx*s, (idx+1)*s)
+			type cv struct {
+				coef int
+				val  float64
+			}
+			vals := make([]cv, 0, len(partials))
+			for c, v := range partials {
+				vals = append(vals, cv{c, v})
+			}
+			sort.Slice(vals, func(i, j int) bool {
+				if vals[i].val != vals[j].val {
+					return vals[i].val > vals[j].val
+				}
+				return vals[i].coef < vals[j].coef
+			})
+			top := k
+			if top > len(vals) {
+				top = len(vals)
+			}
+			send := map[int]float64{}
+			for _, v := range vals[:top] {
+				send[v.coef] = v.val
+			}
+			for _, v := range vals[len(vals)-top:] {
+				send[v.coef] = v.val
+			}
+			kthHigh, kthLow := vals[top-1].val, vals[len(vals)-top].val
+			if err := emit([]byte{0}, mr.MustGobEncode([3]float64{float64(idx), kthHigh, kthLow})); err != nil {
+				return err
+			}
+			coefs := make([]int, 0, len(send))
+			for c := range send {
+				coefs = append(coefs, c)
+			}
+			sort.Ints(coefs)
+			for _, c := range coefs {
+				payload := mr.MustGobEncode(hwRecord{Mapper: idx, Value: send[c]})
+				if err := emit(append([]byte{1}, mr.EncodeUint64(uint64(c))...), payload); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Reducers: 1,
+	}
+	res1, err := eng.Run(round1)
+	if err != nil {
+		return nil, err
+	}
+	report.Jobs = append(report.Jobs, res1.Metrics)
+	for _, kv := range res1.Partitions[0] {
+		if kv.Key[0] == 0 {
+			var rec [3]float64
+			if err := mr.GobDecode(kv.Value, &rec); err != nil {
+				return nil, err
+			}
+			summaries[int(rec[0])] = mapperSummary{KthHigh: rec[1], KthLow: rec[2]}
+			continue
+		}
+		coef := int(mr.DecodeUint64(kv.Key[1:]))
+		var rec hwRecord
+		if err := mr.GobDecode(kv.Value, &rec); err != nil {
+			return nil, err
+		}
+		if seen[coef] == nil {
+			seen[coef] = map[int]float64{}
+		}
+		seen[coef][rec.Mapper] = rec.Value
+	}
+	tau := func(coef int, absent func(mi int) (float64, float64)) (tp, tm float64) {
+		got := seen[coef]
+		for mi := 0; mi < m; mi++ {
+			if v, ok := got[mi]; ok {
+				tp += v
+				tm += v
+				continue
+			}
+			hi, lo := absent(mi)
+			tp += hi
+			tm += lo
+		}
+		return tp, tm
+	}
+	lowerBound := func(tp, tm float64) float64 {
+		if tp >= 0 && tm <= 0 {
+			return 0
+		}
+		return math.Min(math.Abs(tp), math.Abs(tm))
+	}
+	// A mapper that did not send x either ranked it below its k-th value
+	// or does not hold it at all (its contribution is exactly 0) — so the
+	// absent-value bounds must include 0.
+	t1 := kthLargestTau(seen, k, func(coef int) float64 {
+		tp, tm := tau(coef, func(mi int) (float64, float64) {
+			return math.Max(0, summaries[mi].KthHigh), math.Min(0, summaries[mi].KthLow)
+		})
+		return lowerBound(tp, tm)
+	})
+
+	// ---- Round 2: everything above T1/m ----
+	threshold := t1 / float64(m)
+	round2 := &mr.Job{
+		Name:   "hwtopk-round2",
+		Splits: chunkSplits(n, s),
+		Map: func(ctx mr.TaskContext, split mr.Split, emit mr.Emit) error {
+			idx, err := chunkIndex(split)
+			if err != nil {
+				return err
+			}
+			data, err := src.Chunk(idx*s, (idx+1)*s)
+			if err != nil {
+				return err
+			}
+			partials := localPartials(data, n, idx*s, (idx+1)*s)
+			coefs := make([]int, 0, len(partials))
+			for c, v := range partials {
+				if math.Abs(v) > threshold {
+					coefs = append(coefs, c)
+				}
+			}
+			sort.Ints(coefs)
+			for _, c := range coefs {
+				payload := mr.MustGobEncode(hwRecord{Mapper: idx, Value: partials[c]})
+				if err := emit(mr.EncodeUint64(uint64(c)), payload); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Reducers: 1,
+	}
+	res2, err := eng.Run(round2)
+	if err != nil {
+		return nil, err
+	}
+	report.Jobs = append(report.Jobs, res2.Metrics)
+	for _, kv := range res2.Partitions[0] {
+		coef := int(mr.DecodeUint64(kv.Key))
+		var rec hwRecord
+		if err := mr.GobDecode(kv.Value, &rec); err != nil {
+			return nil, err
+		}
+		if seen[coef] == nil {
+			seen[coef] = map[int]float64{}
+		}
+		seen[coef][rec.Mapper] = rec.Value
+	}
+	refined := func(coef int) (tp, tm float64) {
+		return tau(coef, func(mi int) (float64, float64) {
+			hi := math.Max(0, math.Min(summaries[mi].KthHigh, threshold))
+			lo := math.Min(0, math.Max(summaries[mi].KthLow, -threshold))
+			return hi, lo
+		})
+	}
+	t2 := kthLargestTau(seen, k, func(coef int) float64 {
+		tp, tm := refined(coef)
+		return lowerBound(tp, tm)
+	})
+	candidates := make([]int, 0, len(seen))
+	for coef := range seen {
+		tp, tm := refined(coef)
+		if math.Max(math.Abs(tp), math.Abs(tm)) >= t2 {
+			candidates = append(candidates, coef)
+		}
+	}
+	sort.Ints(candidates)
+
+	// ---- Round 3: exact values for the surviving candidates ----
+	candSet := map[int]bool{}
+	for _, c := range candidates {
+		candSet[c] = true
+	}
+	totals := map[int]float64{}
+	round3 := &mr.Job{
+		Name:   "hwtopk-round3",
+		Splits: chunkSplits(n, s),
+		Map: func(ctx mr.TaskContext, split mr.Split, emit mr.Emit) error {
+			idx, err := chunkIndex(split)
+			if err != nil {
+				return err
+			}
+			data, err := src.Chunk(idx*s, (idx+1)*s)
+			if err != nil {
+				return err
+			}
+			partials := localPartials(data, n, idx*s, (idx+1)*s)
+			coefs := make([]int, 0, len(partials))
+			for c := range partials {
+				if candSet[c] {
+					coefs = append(coefs, c)
+				}
+			}
+			sort.Ints(coefs)
+			for _, c := range coefs {
+				if err := emit(mr.EncodeUint64(uint64(c)), mr.EncodeFloat64(partials[c])); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Reduce: func(ctx mr.TaskContext, key []byte, values [][]byte, emit mr.Emit) error {
+			var sum float64
+			for _, v := range values {
+				sum += mr.DecodeFloat64(v)
+			}
+			return emit(key, mr.EncodeFloat64(sum))
+		},
+		Reducers: 1,
+	}
+	res3, err := eng.Run(round3)
+	if err != nil {
+		return nil, err
+	}
+	report.Jobs = append(report.Jobs, res3.Metrics)
+	for _, kv := range res3.Partitions[0] {
+		totals[int(mr.DecodeUint64(kv.Key))] = mr.DecodeFloat64(kv.Value)
+	}
+	type scored struct {
+		coef int
+		norm float64
+	}
+	final := make([]scored, 0, len(totals))
+	for c, v := range totals {
+		final = append(final, scored{c, math.Abs(v)})
+	}
+	sort.Slice(final, func(i, j int) bool {
+		if final[i].norm != final[j].norm {
+			return final[i].norm > final[j].norm
+		}
+		return final[i].coef < final[j].coef
+	})
+	if k > len(final) {
+		k = len(final)
+	}
+	syn := synopsis.New(n)
+	for _, f := range final[:k] {
+		raw := totals[f.coef] / invNorm(f.coef)
+		syn.Terms = append(syn.Terms, synopsis.Coefficient{Index: f.coef, Value: raw})
+	}
+	syn.Normalize()
+	report.Synopsis = syn
+	return report, nil
+}
+
+// kthLargestTau computes the k-th largest score over the seen coefficients.
+func kthLargestTau(seen map[int]map[int]float64, k int, score func(coef int) float64) float64 {
+	scores := make([]float64, 0, len(seen))
+	for coef := range seen {
+		scores = append(scores, score(coef))
+	}
+	if len(scores) == 0 {
+		return 0
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	if k > len(scores) {
+		k = len(scores)
+	}
+	return scores[k-1]
+}

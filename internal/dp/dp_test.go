@@ -1,0 +1,330 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dwmaxerr/internal/greedy"
+	"dwmaxerr/internal/synopsis"
+	"dwmaxerr/internal/wavelet"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{Epsilon: 1, Delta: 0}).Validate(); err == nil {
+		t.Error("delta 0 accepted")
+	}
+	if err := (Params{Epsilon: -1, Delta: 1}).Validate(); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	if err := (Params{Epsilon: 1, Delta: 0.5}).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridRoundTrip(t *testing.T) {
+	p := Params{Epsilon: 10, Delta: 0.5}
+	for _, v := range []float64{0, 1, -3.25, 7.499, 1000} {
+		g := p.Grid(v)
+		if math.Abs(p.Value(g)-v) > p.Delta/2+1e-12 {
+			t.Errorf("grid round trip of %g: %g", v, p.Value(g))
+		}
+	}
+}
+
+func TestLeafRowWindow(t *testing.T) {
+	p := Params{Epsilon: 2, Delta: 1}
+	r := LeafRow(5, p)
+	if r.Lo != 3 || r.Hi() != 7 {
+		t.Fatalf("window [%d,%d], want [3,7]", r.Lo, r.Hi())
+	}
+	for g := 3; g <= 7; g++ {
+		if r.At(g) != 0 {
+			t.Fatalf("At(%d) = %d", g, r.At(g))
+		}
+	}
+	if r.At(2) != Infeasible || r.At(8) != Infeasible {
+		t.Fatal("outside window must be infeasible")
+	}
+	// δ > 2ε: empty window.
+	// δ > 2ε with no grid point in [5.3, 5.7]: empty window.
+	empty := LeafRow(5.5, Params{Epsilon: 0.2, Delta: 1})
+	if empty.Feasible() || len(empty.Count) != 0 {
+		t.Fatalf("expected empty infeasible row, got %+v", empty)
+	}
+}
+
+func TestCombineRowsSimplePair(t *testing.T) {
+	// Leaves 4 and 8, ε=1, δ=1. Mean 6; window [5,7]. With incoming 6, a
+	// coefficient z must satisfy |6+z-4|<=1 and |6-z-8|<=1: z in [-3,-1]
+	// and z in [-3,-1] -> cost 1.
+	p := Params{Epsilon: 1, Delta: 1}
+	row := CombineRows(LeafRow(4, p), LeafRow(8, p), p)
+	if row.Lo > 6 || row.Hi() < 6 {
+		t.Fatalf("window [%d,%d] misses mean", row.Lo, row.Hi())
+	}
+	if got := row.At(6); got != 1 {
+		t.Fatalf("count at mean = %d, want 1", got)
+	}
+	if z := row.ChoiceAt(6); z > -1 || z < -3 {
+		t.Fatalf("choice at mean = %d, want in [-3,-1]", z)
+	}
+	// Close leaves need no coefficient.
+	row2 := CombineRows(LeafRow(5, p), LeafRow(6, p), p)
+	g := p.Grid(5.5)
+	if got := row2.At(g); got != 0 {
+		t.Fatalf("close pair count = %d, want 0", got)
+	}
+	if row2.ChoiceAt(g) != 0 {
+		t.Fatal("close pair should prefer z=0")
+	}
+}
+
+func TestMinHaarSpaceErrorBoundHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 << (1 + rng.Intn(6)) // 2..64
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = math.Trunc(rng.Float64() * 100)
+		}
+		eps := 2 + rng.Float64()*20
+		p := Params{Epsilon: eps, Delta: 1}
+		sol, ok, err := MinHaarSpace(data, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: infeasible at ε=%g δ=1", trial, eps)
+		}
+		if got := synopsis.MaxAbsError(sol.Synopsis, data); got > eps+1e-9 {
+			t.Fatalf("trial %d: error %g > ε %g", trial, got, eps)
+		}
+		if sol.Size != sol.Synopsis.Size() {
+			t.Fatalf("size mismatch: %d vs %d", sol.Size, sol.Synopsis.Size())
+		}
+	}
+}
+
+func TestMinHaarSpaceExactRepresentation(t *testing.T) {
+	// With a tight ε and data whose Haar coefficients are on-grid, the
+	// minimum exact unrestricted representation retains exactly the
+	// nonzero Haar coefficients.
+	data := []float64{5, 5, 0, 26, 1, 3, 14, 2} // paper example, 7 nonzero coefficients
+	p := Params{Epsilon: 0.2, Delta: 0.5}
+	sol, ok, err := MinHaarSpace(data, p)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if sol.Size != 7 {
+		t.Fatalf("size = %d, want 7", sol.Size)
+	}
+	if e := synopsis.MaxAbsError(sol.Synopsis, data); e > 0.2 {
+		t.Fatalf("error %g", e)
+	}
+}
+
+func TestMinHaarSpaceMonotoneInEpsilon(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	data := make([]float64, 32)
+	for i := range data {
+		data[i] = math.Trunc(rng.Float64() * 200)
+	}
+	prev := math.MaxInt32
+	for _, eps := range []float64{2, 5, 10, 20, 50, 100} {
+		sol, ok, err := MinHaarSpace(data, Params{Epsilon: eps, Delta: 1})
+		if err != nil || !ok {
+			t.Fatalf("ε=%g: ok=%v err=%v", eps, ok, err)
+		}
+		if sol.Size > prev {
+			t.Fatalf("ε=%g needs %d coefficients, more than %d at smaller ε", eps, sol.Size, prev)
+		}
+		prev = sol.Size
+	}
+}
+
+func TestMinHaarSpaceBeatsOrMatchesRestrictedGreedy(t *testing.T) {
+	// If GreedyAbs achieves error e with k coefficients, then MinHaarSpace
+	// at a slightly inflated bound (covering grid rounding of each of the
+	// log2(n)+1 path coefficients) must need at most k coefficients.
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		n := 32
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = math.Trunc(rng.Float64() * 500)
+		}
+		b := 4 + rng.Intn(8)
+		gs, gErr, err := greedy.SynopsisAbs(data, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta := 1.0
+		slack := (float64(wavelet.Log2(n)) + 1) * delta / 2
+		sol, ok, err := MinHaarSpace(data, Params{Epsilon: gErr + slack, Delta: delta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d infeasible", trial)
+		}
+		if sol.Size > gs.Size() {
+			t.Fatalf("trial %d: DP used %d > greedy's %d at ε=%g+%g",
+				trial, sol.Size, gs.Size(), gErr, slack)
+		}
+	}
+}
+
+func TestMinHaarSpaceSingleValue(t *testing.T) {
+	sol, ok, err := MinHaarSpace([]float64{7}, Params{Epsilon: 1, Delta: 1})
+	if err != nil || !ok || sol.Size != 1 {
+		t.Fatalf("sol=%+v ok=%v err=%v", sol, ok, err)
+	}
+	sol, ok, err = MinHaarSpace([]float64{0.5}, Params{Epsilon: 1, Delta: 1})
+	if err != nil || !ok || sol.Size != 0 {
+		t.Fatalf("within ε of zero: sol=%+v ok=%v err=%v", sol, ok, err)
+	}
+}
+
+func TestMinHaarSpaceInfeasibleGrid(t *testing.T) {
+	// δ far larger than 2ε leaves leaf windows empty.
+	_, ok, err := MinHaarSpace([]float64{3, 9, 27, 81}, Params{Epsilon: 0.1, Delta: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("expected infeasible")
+	}
+}
+
+func TestMinHaarSpaceRejectsBadInput(t *testing.T) {
+	if _, _, err := MinHaarSpace(make([]float64, 3), Params{Epsilon: 1, Delta: 1}); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+	if _, _, err := MinHaarSpace(make([]float64, 4), Params{Epsilon: 1, Delta: 0}); err == nil {
+		t.Error("zero delta accepted")
+	}
+}
+
+func TestSolveTreeRejectsBadLeafCount(t *testing.T) {
+	if _, err := SolveTree(make([]Row, 3), Params{Epsilon: 1, Delta: 1}); err == nil {
+		t.Error("3 leaves accepted")
+	}
+	if _, err := SolveTree(make([]Row, 1), Params{Epsilon: 1, Delta: 1}); err == nil {
+		t.Error("1 leaf accepted")
+	}
+}
+
+func TestIndirectHaarRespectsBudgetAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 << (3 + rng.Intn(4)) // 8..64
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = math.Trunc(rng.Float64() * 1000)
+		}
+		b := 2 + rng.Intn(n/4)
+		res, err := IndirectHaar(data, b, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Synopsis.Size() > b {
+			t.Fatalf("trial %d: size %d > budget %d", trial, res.Synopsis.Size(), b)
+		}
+		actual := synopsis.MaxAbsError(res.Synopsis, data)
+		if math.Abs(actual-res.MaxAbs) > 1e-9 {
+			t.Fatalf("reported %g actual %g", res.MaxAbs, actual)
+		}
+		// Never worse than the conventional synopsis (the initial bound).
+		w, _ := wavelet.Transform(data)
+		conv := synopsis.MaxAbsError(synopsis.Conventional(w, b), data)
+		if res.MaxAbs > conv+1e-9 {
+			t.Fatalf("trial %d: indirect %g worse than conventional %g", trial, res.MaxAbs, conv)
+		}
+	}
+}
+
+func TestIndirectHaarFullBudgetIsExact(t *testing.T) {
+	data := []float64{5, 5, 0, 26, 1, 3, 14, 2}
+	res, err := IndirectHaar(data, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxAbs != 0 || res.Synopsis.Size() != 7 {
+		t.Fatalf("res = %+v size=%d", res, res.Synopsis.Size())
+	}
+	if _, err := IndirectHaar(data, 0, 1); err == nil {
+		t.Fatal("budget 0 accepted")
+	}
+}
+
+func TestIndirectHaarImprovesWithBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = math.Trunc(rng.Float64() * 1000)
+	}
+	prev := math.Inf(1)
+	for _, b := range []int{2, 4, 8, 16, 32} {
+		res, err := IndirectHaar(data, b, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MaxAbs > prev+1e-9 {
+			t.Fatalf("B=%d: error %g worse than smaller budget's %g", b, res.MaxAbs, prev)
+		}
+		prev = res.MaxAbs
+	}
+}
+
+func TestCollectChoicesLeafIncomingIsConsistent(t *testing.T) {
+	// The incoming values handed to leaves must reconstruct each data value
+	// within ε.
+	data := []float64{10, 14, 3, 3, 22, 25, 8, 1}
+	p := Params{Epsilon: 3, Delta: 1}
+	leaves := make([]Row, len(data))
+	for i, d := range data {
+		leaves[i] = LeafRow(d, p)
+	}
+	rows, err := SolveTree(leaves, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := FinishRoot(rows[1], p)
+	if !root.Feasible {
+		t.Fatal("infeasible")
+	}
+	got := make([]float64, len(data))
+	CollectChoices(rows, root.C0Grid, nil, func(pos, g int) {
+		got[pos] = p.Value(g)
+	})
+	for i, d := range data {
+		if math.Abs(got[i]-d) > p.Epsilon+1e-9 {
+			t.Fatalf("leaf %d incoming %g vs data %g exceeds ε", i, got[i], d)
+		}
+	}
+}
+
+func TestKthLargestAbs(t *testing.T) {
+	w := []float64{3, -7, 1, 0, 5}
+	for k, want := range map[int]float64{1: 7, 2: 5, 3: 3, 4: 1, 5: 0, 6: 0} {
+		if got := kthLargestAbs(w, k); got != want {
+			t.Errorf("kthLargestAbs(%d) = %g, want %g", k, got, want)
+		}
+	}
+}
+
+func BenchmarkMinHaarSpace(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 1<<10)
+	for i := range data {
+		data[i] = math.Trunc(rng.Float64() * 1000)
+	}
+	p := Params{Epsilon: 100, Delta: 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := MinHaarSpace(data, p); err != nil || !ok {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+
+	"dwmaxerr/internal/synopsis"
+	"dwmaxerr/internal/wavelet"
+)
+
+// The deterministic dynamic program of Garofalakis & Kumar ("Deterministic
+// wavelet thresholding for maximum-error metrics", PODS 2004) — reference
+// [13] of the paper. It solves Problem 1 exactly for *restricted* synopses
+// (retained coefficients keep their Haar values): for every error-tree
+// node j, incoming signed error e (the accumulated effect of the dropped
+// ancestors) and budget b, it computes the minimum achievable maximum
+// absolute error in the sub-tree.
+//
+// Its complexity — O(N² B log B) time and rows indexed by both incoming
+// value and budget — is exactly why the paper turns to the dual-problem
+// MinHaarSpace instead (Section 3): the budget index makes the DP rows
+// huge, and Section 4 shows the communication of a parallelized version
+// inherits that factor. The implementation here serves two purposes: it is
+// the exact-optimum oracle used by the test suite to measure the greedy
+// algorithms' quality, and GKRow/CombineGKRows expose the row/combine
+// decomposition so the Section 4 framework demonstrably applies to it too
+// (see dist.DGK).
+//
+// Transition (drop shifts the children's incoming error by ∓c_j, keep
+// spends one coefficient):
+//
+//	M[j](e, b) = min(
+//	    min_{bl+br=b-1} max(M[2j](e, bl),     M[2j+1](e, br)),      // keep c_j
+//	    min_{bl+br=b}   max(M[2j](e-c_j, bl), M[2j+1](e+c_j, br)),  // drop c_j
+//	)
+//
+// with M at a data leaf = |e|.
+
+// gkSolver memoizes the recursion over the error tree.
+type gkSolver struct {
+	w    []float64
+	n    int
+	memo map[gkKey]gkVal
+}
+
+type gkKey struct {
+	node int
+	e    float64
+	b    int
+}
+
+type gkVal struct {
+	err  float64
+	keep bool
+	bl   int // budget given to the left child under the chosen action
+}
+
+// GKOptimal solves Problem 1 exactly for restricted synopses. It is
+// exponential in the tree depth through the number of reachable incoming
+// values (O(2^depth) per node), so it is intended for small N — the test
+// oracle regime. Returns the optimal synopsis and its maximum absolute
+// error.
+func GKOptimal(data []float64, budget int) (*synopsis.Synopsis, float64, error) {
+	n := len(data)
+	if !wavelet.IsPowerOfTwo(n) {
+		return nil, 0, wavelet.ErrNotPowerOfTwo
+	}
+	if budget < 0 {
+		return nil, 0, fmt.Errorf("dp: negative budget %d", budget)
+	}
+	if n > 1<<12 {
+		return nil, 0, fmt.Errorf("dp: GKOptimal is an oracle for small inputs (n=%d too large)", n)
+	}
+	w, err := wavelet.Transform(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	s := &gkSolver{w: w, n: n, memo: map[gkKey]gkVal{}}
+
+	// Root: keep or drop c_0.
+	syn := synopsis.New(n)
+	if n == 1 {
+		if budget >= 1 && w[0] != 0 {
+			syn.Terms = append(syn.Terms, synopsis.Coefficient{Index: 0, Value: w[0]})
+			return syn, 0, nil
+		}
+		return syn, math.Abs(data[0]), nil
+	}
+	dropErr := s.solve(1, -w[0], budget)
+	keepErr := math.Inf(1)
+	if budget >= 1 {
+		keepErr = s.solve(1, 0, budget-1)
+	}
+	var best float64
+	if keepErr <= dropErr {
+		best = keepErr
+		syn.Terms = append(syn.Terms, synopsis.Coefficient{Index: 0, Value: w[0]})
+		s.reconstruct(1, 0, budget-1, syn)
+	} else {
+		best = dropErr
+		s.reconstruct(1, -w[0], budget, syn)
+	}
+	syn.Normalize()
+	return syn, best, nil
+}
+
+// solve returns the minimal max-abs error in the sub-tree rooted at node
+// with incoming signed error e and budget b.
+func (s *gkSolver) solve(node int, e float64, b int) float64 {
+	if node >= s.n {
+		return math.Abs(e) // data leaf
+	}
+	if b < 0 {
+		return math.Inf(1)
+	}
+	// Cap the budget at the sub-tree size: extra budget can't help.
+	if size := subtreeNodes(s.n, node); b > size {
+		b = size
+	}
+	key := gkKey{node, e, b}
+	if v, ok := s.memo[key]; ok {
+		return v.err
+	}
+	v := gkVal{err: math.Inf(1)}
+	c := s.w[node]
+	l, r := 2*node, 2*node+1
+	// Keep c_j: one coefficient spent, children inherit e unchanged.
+	if b >= 1 {
+		for bl := 0; bl <= b-1; bl++ {
+			errK := math.Max(s.solve(l, e, bl), s.solve(r, e, b-1-bl))
+			if errK < v.err {
+				v = gkVal{err: errK, keep: true, bl: bl}
+			}
+		}
+	}
+	// Drop c_j: left leaves shift by -c, right by +c.
+	for bl := 0; bl <= b; bl++ {
+		errD := math.Max(s.solve(l, e-c, bl), s.solve(r, e+c, b-bl))
+		if errD < v.err {
+			v = gkVal{err: errD, keep: false, bl: bl}
+		}
+	}
+	s.memo[key] = v
+	return v.err
+}
+
+// reconstruct re-walks the memoized choices, appending kept coefficients.
+func (s *gkSolver) reconstruct(node int, e float64, b int, syn *synopsis.Synopsis) {
+	if node >= s.n || b < 0 {
+		return
+	}
+	if size := subtreeNodes(s.n, node); b > size {
+		b = size
+	}
+	v, ok := s.memo[gkKey{node, e, b}]
+	if !ok {
+		return
+	}
+	c := s.w[node]
+	if v.keep {
+		if c != 0 {
+			syn.Terms = append(syn.Terms, synopsis.Coefficient{Index: node, Value: c})
+		}
+		s.reconstruct(2*node, e, v.bl, syn)
+		s.reconstruct(2*node+1, e, b-1-v.bl, syn)
+		return
+	}
+	s.reconstruct(2*node, e-c, v.bl, syn)
+	s.reconstruct(2*node+1, e+c, b-v.bl, syn)
+}
+
+// subtreeNodes returns the number of internal (coefficient) nodes in the
+// sub-tree rooted at node.
+func subtreeNodes(n, node int) int {
+	if node >= n {
+		return 0
+	}
+	// A complete sub-tree over L data leaves contains L-1 coefficient
+	// nodes (the node itself plus its internal descendants).
+	first, last := wavelet.CoefficientSupport(n, node)
+	return last - first - 1
+}
+
+// GKRow is the DP row of the Garofalakis-Kumar algorithm for one sub-tree
+// root: for each reachable incoming error and each budget 0..B, the
+// minimal max-abs error below. It is the M-row Section 4's framework would
+// ship between layers — note it is indexed by *budget as well as incoming
+// value*, which is precisely the |M[j]| = O(B·#values) blow-up the paper
+// cites as motivation for switching to the dual problem.
+type GKRow struct {
+	// Err[e][b] = minimal error with incoming error e and budget b.
+	Err map[float64][]float64
+}
+
+// GKSubtreeRow computes the row of the sub-tree rooted at the given node
+// of a full tree over data, for the incoming-error values in es and
+// budgets 0..maxB.
+func GKSubtreeRow(w []float64, node int, es []float64, maxB int) GKRow {
+	s := &gkSolver{w: w, n: len(w), memo: map[gkKey]gkVal{}}
+	row := GKRow{Err: map[float64][]float64{}}
+	for _, e := range es {
+		vals := make([]float64, maxB+1)
+		for b := 0; b <= maxB; b++ {
+			vals[b] = s.solve(node, e, b)
+		}
+		row.Err[e] = vals
+	}
+	return row
+}
+
+// CombineGKRows combines children rows into the parent's row for the given
+// parent coefficient value — the framework's combine step (Figure 2: the
+// paper draws exactly this budget-split scan). The children rows must
+// cover the incoming values e±c for every parent incoming value e.
+func CombineGKRows(left, right GKRow, c float64, es []float64, maxB int) GKRow {
+	out := GKRow{Err: map[float64][]float64{}}
+	lookup := func(r GKRow, e float64, b int) float64 {
+		vals, ok := r.Err[e]
+		if !ok || b < 0 {
+			return math.Inf(1)
+		}
+		if b >= len(vals) {
+			b = len(vals) - 1
+		}
+		return vals[b]
+	}
+	for _, e := range es {
+		vals := make([]float64, maxB+1)
+		for b := 0; b <= maxB; b++ {
+			best := math.Inf(1)
+			for bl := 0; bl <= b-1; bl++ {
+				if v := math.Max(lookup(left, e, bl), lookup(right, e, b-1-bl)); v < best {
+					best = v
+				}
+			}
+			for bl := 0; bl <= b; bl++ {
+				if v := math.Max(lookup(left, e-c, bl), lookup(right, e+c, b-bl)); v < best {
+					best = v
+				}
+			}
+			vals[b] = best
+		}
+		out.Err[e] = vals
+	}
+	return out
+}
+
+// RowBytes estimates the in-memory/shipped size of a GK row — used by the
+// communication experiment contrasting Equation 6's |M[j]| term across DP
+// algorithms.
+func (r GKRow) RowBytes() int {
+	total := 0
+	for _, vals := range r.Err {
+		total += 8 + 8*len(vals)
+	}
+	return total
+}
+
+// GKReconstruct solves the sub-tree rooted at local heap index node of the
+// coefficient slice w, with incoming error e and budget b, and returns the
+// retained local coefficients — the re-entry step of the distributed GK's
+// top-down pass.
+func GKReconstruct(w []float64, node int, e float64, b int) ([]synopsis.Coefficient, error) {
+	n := len(w)
+	if !wavelet.IsPowerOfTwo(n) {
+		return nil, wavelet.ErrNotPowerOfTwo
+	}
+	s := &gkSolver{w: w, n: n, memo: map[gkKey]gkVal{}}
+	s.solve(node, e, b)
+	syn := synopsis.New(n)
+	s.reconstruct(node, e, b, syn)
+	return syn.Terms, nil
+}

@@ -1,0 +1,294 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+
+	"dwmaxerr/internal/wavelet"
+)
+
+// The Haar+ tree of Karras & Mamoulis (ICDE 2007) — reference [23] of the
+// paper. Each internal error-tree node is replaced by a triad: the classic
+// head coefficient (adds +z to the left sub-tree and -z to the right) plus
+// two supplementary coefficients that each add their value to one sub-tree
+// only. A synopsis in this dictionary can place corrections exactly where
+// needed, so at equal budget it is at least as accurate as any
+// (unrestricted) plain-Haar synopsis.
+//
+// For the dual Problem 2 the DP per node chooses the offset pair (a, b)
+// handed to the left and right children. Realizing (a, b) costs
+//
+//	0 terms  if a = b = 0
+//	1 term   if b = -a (head), b = 0 (left supplementary) or a = 0 (right)
+//	2 terms  otherwise (head/supplementary combination)
+//
+// so the combine step scans cost classes instead of triples, keeping the
+// per-node work at O((ε/δ)²) like MinHaarSpace.
+
+// HPRow is the Haar+ DP row: minimal term count per incoming grid value,
+// with the chosen child offsets for reconstruction. Unlike MinHaarSpace's
+// mean±ε window, the Haar+ incoming value can sit anywhere in
+// [min leaf - ε, max leaf + ε]: supplementary coefficients are not
+// zero-mean over their support, so the subtree average does not pin the
+// incoming value. This is why the Haar+ complexity carries the full value
+// range Δ (Section 3 of the paper: O((Δ/δ)² N B)).
+type HPRow struct {
+	MinLeaf, MaxLeaf float64
+	Lo               int
+	Count            []int32
+	ChoiceA, ChoiceB []int32 // offsets (grid steps) handed to left/right
+}
+
+// Hi returns the highest grid index of the row.
+func (r HPRow) Hi() int { return r.Lo + len(r.Count) - 1 }
+
+// At returns the count at grid value g.
+func (r HPRow) At(g int) int32 {
+	if g < r.Lo || g > r.Hi() {
+		return Infeasible
+	}
+	return r.Count[g-r.Lo]
+}
+
+// hpLeaf builds a data leaf's row.
+func hpLeaf(d float64, p Params) HPRow {
+	lo, hi := p.window(d)
+	if lo > hi {
+		return HPRow{MinLeaf: d, MaxLeaf: d, Lo: lo}
+	}
+	size := hi - lo + 1
+	return HPRow{MinLeaf: d, MaxLeaf: d, Lo: lo, Count: make([]int32, size), ChoiceA: make([]int32, size), ChoiceB: make([]int32, size)}
+}
+
+// hpCost returns the number of Haar+ terms needed for offset pair (a, b).
+func hpCost(a, b int) int32 {
+	switch {
+	case a == 0 && b == 0:
+		return 0
+	case b == -a || b == 0 || a == 0:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// hpCombine computes the parent row from children rows.
+func hpCombine(left, right HPRow, p Params) HPRow {
+	minLeaf := math.Min(left.MinLeaf, right.MinLeaf)
+	maxLeaf := math.Max(left.MaxLeaf, right.MaxLeaf)
+	lo := int(math.Ceil((minLeaf-p.Epsilon)/p.Delta - 1e-9))
+	hi := int(math.Floor((maxLeaf+p.Epsilon)/p.Delta + 1e-9))
+	if lo > hi || len(left.Count) == 0 || len(right.Count) == 0 {
+		return HPRow{MinLeaf: minLeaf, MaxLeaf: maxLeaf, Lo: lo}
+	}
+	size := hi - lo + 1
+	out := HPRow{MinLeaf: minLeaf, MaxLeaf: maxLeaf, Lo: lo, Count: make([]int32, size), ChoiceA: make([]int32, size), ChoiceB: make([]int32, size)}
+
+	// Global minima of each child row (value and grid index), with the
+	// runner-up to answer "minimum excluding one index" queries.
+	minL1, argL1, minL2, argL2 := rowMins(left.Count, left.Lo)
+	minR1, argR1, minR2, argR2 := rowMins(right.Count, right.Lo)
+	minExcluding := func(m1 int32, a1 int, m2 int32, a2, excluded int) (int32, int) {
+		if a1 != excluded {
+			return m1, a1
+		}
+		return m2, a2
+	}
+
+	for g := lo; g <= hi; g++ {
+		best, bestA, bestB := Infeasible, int32(0), int32(0)
+		consider := func(c int32, a, b int) {
+			if c < best {
+				best, bestA, bestB = c, int32(a), int32(b)
+			}
+		}
+		// Cost 0.
+		consider(left.At(g)+right.At(g), 0, 0)
+		// Cost 1, head: b = -a, scan a (over the left window).
+		for ga := left.Lo; ga <= left.Hi(); ga++ {
+			a := ga - g
+			if a == 0 {
+				continue
+			}
+			consider(1+left.At(ga)+right.At(g-a), a, -a)
+		}
+		// Cost 1, left supplementary: b = 0, take the best left cell != g.
+		if lv, la := minExcluding(minL1, argL1, minL2, argL2, g); lv < Infeasible && la >= left.Lo {
+			consider(1+lv+right.At(g), la-g, 0)
+		}
+		// Cost 1, right supplementary: a = 0.
+		if rv, ra := minExcluding(minR1, argR1, minR2, argR2, g); rv < Infeasible && ra >= right.Lo {
+			consider(1+rv+left.At(g), 0, ra-g)
+		}
+		// Cost 2: independent best cells.
+		if minL1 < Infeasible && minR1 < Infeasible {
+			consider(2+minL1+minR1, argL1-g, argR1-g)
+		}
+		out.Count[g-lo] = best
+		out.ChoiceA[g-lo] = bestA
+		out.ChoiceB[g-lo] = bestB
+	}
+	return out
+}
+
+// rowMins returns the smallest and second-smallest counts of a row with
+// their grid indices (Infeasible when absent).
+func rowMins(counts []int32, lo int) (m1 int32, a1 int, m2 int32, a2 int) {
+	m1, m2 = Infeasible, Infeasible
+	a1, a2 = lo-1, lo-1
+	for i, c := range counts {
+		switch {
+		case c < m1:
+			m2, a2 = m1, a1
+			m1, a1 = c, lo+i
+		case c < m2:
+			m2, a2 = c, lo+i
+		}
+	}
+	return m1, a1, m2, a2
+}
+
+// HPSolution is a Haar+ synopsis: the selected per-node offset pairs. It
+// lives in the Haar+ dictionary, so it reconstructs data directly rather
+// than through plain wavelet coefficients.
+type HPSolution struct {
+	N     int
+	Size  int     // number of retained Haar+ terms
+	C0    float64 // root coefficient value (0 if dropped)
+	nodes map[int][2]float64
+}
+
+// Reconstruct materializes the approximate data vector.
+func (h *HPSolution) Reconstruct() []float64 {
+	out := make([]float64, h.N)
+	var walk func(node int, incoming float64)
+	walk = func(node int, incoming float64) {
+		if node >= h.N {
+			out[node-h.N] = incoming
+			return
+		}
+		ab := h.nodes[node]
+		walk(2*node, incoming+ab[0])
+		walk(2*node+1, incoming+ab[1])
+	}
+	if h.N == 1 {
+		out[0] = h.C0
+		return out
+	}
+	walk(1, h.C0)
+	return out
+}
+
+// HaarPlus solves Problem 2 over the Haar+ dictionary: the smallest number
+// of Haar+ terms keeping every value within p.Epsilon, on the δ grid.
+func HaarPlus(data []float64, p Params) (sol *HPSolution, feasible bool, err error) {
+	if err := p.Validate(); err != nil {
+		return nil, false, err
+	}
+	n := len(data)
+	if !wavelet.IsPowerOfTwo(n) {
+		return nil, false, wavelet.ErrNotPowerOfTwo
+	}
+	if n == 1 {
+		s, ok, err := solveSingle(data[0], p)
+		if err != nil || !ok {
+			return nil, ok, err
+		}
+		h := &HPSolution{N: 1, Size: s.Size, nodes: map[int][2]float64{}}
+		if s.Size > 0 {
+			h.C0 = s.Synopsis.Terms[0].Value
+		}
+		return h, true, nil
+	}
+	rows := make([]HPRow, n)
+	for i := n - 1; i >= n/2; i-- {
+		rows[i] = hpCombine(hpLeaf(data[2*i-n], p), hpLeaf(data[2*i-n+1], p), p)
+	}
+	for i := n/2 - 1; i >= 1; i-- {
+		rows[i] = hpCombine(rows[2*i], rows[2*i+1], p)
+	}
+	// Root: choose c0 (incoming value of node 1).
+	best, bestG := Infeasible, 0
+	if c := rows[1].At(0); c < best {
+		best, bestG = c, 0
+	}
+	for g := rows[1].Lo; g <= rows[1].Hi(); g++ {
+		if g == 0 {
+			continue
+		}
+		if c := 1 + rows[1].At(g); c < best {
+			best, bestG = c, g
+		}
+	}
+	if best >= Infeasible {
+		return nil, false, nil
+	}
+	h := &HPSolution{N: n, Size: int(best), C0: p.Value(bestG), nodes: map[int][2]float64{}}
+	var walk func(node, g int)
+	walk = func(node, g int) {
+		if node >= n {
+			return
+		}
+		r := rows[node]
+		a := int(r.ChoiceA[g-r.Lo])
+		b := int(r.ChoiceB[g-r.Lo])
+		if a != 0 || b != 0 {
+			h.nodes[node] = [2]float64{p.Value(a), p.Value(b)}
+		}
+		walk(2*node, g+a)
+		walk(2*node+1, g+b)
+	}
+	walk(1, bestG)
+	return h, true, nil
+}
+
+// HaarPlusBudget answers Problem 1 over the Haar+ dictionary by binary
+// search (the IndirectHaar pattern): the best achievable maximum absolute
+// error with at most budget Haar+ terms, on the δ grid.
+func HaarPlusBudget(data []float64, budget int, delta float64) (*HPSolution, float64, error) {
+	if budget < 1 {
+		return nil, 0, fmt.Errorf("dp: budget %d < 1", budget)
+	}
+	if !wavelet.IsPowerOfTwo(len(data)) {
+		return nil, 0, wavelet.ErrNotPowerOfTwo
+	}
+	var maxAbs float64
+	for _, d := range data {
+		maxAbs = math.Max(maxAbs, math.Abs(d))
+	}
+	lo, hi := 0.0, maxAbs // ε = max|d| is always feasible with 0 terms
+	var best *HPSolution
+	bestErr := math.Inf(1)
+	measure := func(h *HPSolution) float64 {
+		rec := h.Reconstruct()
+		var m float64
+		for i, d := range data {
+			m = math.Max(m, math.Abs(rec[i]-d))
+		}
+		return m
+	}
+	for iter := 0; iter < 48 && hi-lo > delta/4; iter++ {
+		mid := (lo + hi) / 2
+		h, ok, err := HaarPlus(data, Params{Epsilon: mid, Delta: delta})
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok || h.Size > budget {
+			lo = mid
+			continue
+		}
+		if e := measure(h); e < bestErr {
+			best, bestErr = h, e
+		}
+		hi = mid
+	}
+	if best == nil {
+		// Fall back to the everything-zero solution.
+		h, ok, err := HaarPlus(data, Params{Epsilon: maxAbs + delta, Delta: delta})
+		if err != nil || !ok {
+			return nil, 0, fmt.Errorf("dp: HaarPlusBudget found no solution: %v", err)
+		}
+		best, bestErr = h, measure(h)
+	}
+	return best, bestErr, nil
+}

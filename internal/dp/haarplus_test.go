@@ -1,0 +1,198 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func measureHP(h *HPSolution, data []float64) float64 {
+	rec := h.Reconstruct()
+	var m float64
+	for i, d := range data {
+		m = math.Max(m, math.Abs(rec[i]-d))
+	}
+	return m
+}
+
+func TestHaarPlusErrorBoundHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 << (1 + rng.Intn(6))
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = math.Trunc(rng.Float64() * 200)
+		}
+		eps := 3 + rng.Float64()*25
+		h, ok, err := HaarPlus(data, Params{Epsilon: eps, Delta: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d infeasible at ε=%g", trial, eps)
+		}
+		if got := measureHP(h, data); got > eps+1e-9 {
+			t.Fatalf("trial %d: error %g > ε %g", trial, got, eps)
+		}
+		// The retained-term count must equal the number of stored offsets.
+		count := 0
+		for _, ab := range h.nodes {
+			count += int(hpCost(int(math.Round(ab[0])), int(math.Round(ab[1]))))
+		}
+		if h.C0 != 0 {
+			count++
+		}
+		if count != h.Size {
+			t.Fatalf("trial %d: stored terms %d != reported size %d", trial, count, h.Size)
+		}
+	}
+}
+
+func TestHaarPlusNeverWorseThanMinHaarSpace(t *testing.T) {
+	// Haar+ generalizes unrestricted plain-Haar synopses (the head
+	// coefficients alone are exactly the Haar dictionary), so at equal
+	// (ε, δ) it never needs more terms.
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 << (2 + rng.Intn(4))
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = math.Trunc(rng.Float64() * 150)
+		}
+		p := Params{Epsilon: 4 + rng.Float64()*20, Delta: 1}
+		mhs, okM, err := MinHaarSpace(data, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hp, okH, err := HaarPlus(data, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if okM && !okH {
+			t.Fatalf("trial %d: Haar+ infeasible where plain Haar is not", trial)
+		}
+		if !okM {
+			continue
+		}
+		if hp.Size > mhs.Size {
+			t.Fatalf("trial %d: Haar+ used %d terms > plain Haar's %d", trial, hp.Size, mhs.Size)
+		}
+	}
+}
+
+func TestHaarPlusStrictImprovementExists(t *testing.T) {
+	// A localized spike: plain Haar must spend log N coefficients on the
+	// spike's path, Haar+ fixes it with a single supplementary term near
+	// the leaf. Find a case where Haar+ is strictly smaller.
+	data := make([]float64, 32)
+	data[13] = 1000
+	p := Params{Epsilon: 1, Delta: 1}
+	mhs, okM, err := MinHaarSpace(data, p)
+	if err != nil || !okM {
+		t.Fatalf("plain: %v %v", okM, err)
+	}
+	hp, okH, err := HaarPlus(data, p)
+	if err != nil || !okH {
+		t.Fatalf("haar+: %v %v", okH, err)
+	}
+	if hp.Size >= mhs.Size {
+		t.Fatalf("expected strict improvement on a spike: Haar+ %d vs plain %d", hp.Size, mhs.Size)
+	}
+	if hp.Size != 1 {
+		t.Fatalf("a single supplementary term should fix one spike, used %d", hp.Size)
+	}
+}
+
+func TestHaarPlusMonotoneInEpsilon(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	data := make([]float64, 32)
+	for i := range data {
+		data[i] = math.Trunc(rng.Float64() * 300)
+	}
+	prev := math.MaxInt32
+	for _, eps := range []float64{2, 5, 10, 30, 80} {
+		h, ok, err := HaarPlus(data, Params{Epsilon: eps, Delta: 1})
+		if err != nil || !ok {
+			t.Fatalf("ε=%g: %v %v", eps, ok, err)
+		}
+		if h.Size > prev {
+			t.Fatalf("ε=%g: size %d grew from %d", eps, h.Size, prev)
+		}
+		prev = h.Size
+	}
+}
+
+func TestHaarPlusSingleValueAndValidation(t *testing.T) {
+	h, ok, err := HaarPlus([]float64{9}, Params{Epsilon: 1, Delta: 1})
+	if err != nil || !ok || h.Size != 1 || h.Reconstruct()[0] != 9 {
+		t.Fatalf("h=%+v ok=%v err=%v", h, ok, err)
+	}
+	if _, _, err := HaarPlus(make([]float64, 3), Params{Epsilon: 1, Delta: 1}); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+	if _, _, err := HaarPlus(make([]float64, 4), Params{}); err == nil {
+		t.Fatal("zero delta accepted")
+	}
+}
+
+func TestHaarPlusBudgetBeatsOrMatchesIndirectHaar(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 8; trial++ {
+		n := 32
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = math.Trunc(rng.Float64() * 400)
+		}
+		b := 3 + rng.Intn(6)
+		hp, hpErr, err := HaarPlusBudget(data, b, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hp.Size > b {
+			t.Fatalf("trial %d: %d terms > budget %d", trial, hp.Size, b)
+		}
+		ih, err := IndirectHaar(data, b, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The richer dictionary should not lose by more than grid slack.
+		if hpErr > ih.MaxAbs+4 {
+			t.Fatalf("trial %d: Haar+ %g much worse than plain %g", trial, hpErr, ih.MaxAbs)
+		}
+	}
+}
+
+func TestHaarPlusBudgetValidation(t *testing.T) {
+	if _, _, err := HaarPlusBudget(make([]float64, 4), 0, 1); err == nil {
+		t.Fatal("budget 0 accepted")
+	}
+}
+
+func BenchmarkHaarPlus(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 256)
+	for i := range data {
+		data[i] = math.Trunc(rng.Float64() * 500)
+	}
+	p := Params{Epsilon: 50, Delta: 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := HaarPlus(data, p); err != nil || !ok {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+func BenchmarkGKOptimal(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = math.Trunc(rng.Float64() * 100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := GKOptimal(data, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dwmaxerr/internal/synopsis"
+	"dwmaxerr/internal/wavelet"
+)
+
+// IndirectStats reports how a binary search over ε converged.
+type IndirectStats struct {
+	Probes int     // MinHaarSpace invocations
+	ELow   float64 // initial lower bound: the (B+1)-largest |coefficient|
+	EHigh  float64 // initial upper bound: max_abs of the conventional synopsis
+}
+
+// IndirectResult is the answer of an IndirectHaar run.
+type IndirectResult struct {
+	Synopsis *synopsis.Synopsis
+	MaxAbs   float64 // actual maximum absolute error of Synopsis
+	Stats    IndirectStats
+}
+
+// Prober abstracts one MinHaarSpace execution at a given ε, so the
+// centralized algorithm and the distributed DIndirectHaar share the same
+// binary-search driver (Algorithm 2). Implementations must be
+// deterministic.
+type Prober interface {
+	// Probe solves Problem 2 at the given ε and returns the synopsis, or
+	// feasible=false when the quantization admits no solution.
+	Probe(epsilon float64) (*synopsis.Synopsis, bool, error)
+}
+
+// centralProber runs the in-memory MinHaarSpace.
+type centralProber struct {
+	data  []float64
+	delta float64
+}
+
+// Probe implements Prober.
+func (c centralProber) Probe(epsilon float64) (*synopsis.Synopsis, bool, error) {
+	sol, ok, err := MinHaarSpace(c.data, Params{Epsilon: epsilon, Delta: c.delta})
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return sol.Synopsis, true, nil
+}
+
+// SearchEnv supplies the binary search with its initial bounds, a starting
+// feasible synopsis, and an error oracle — so that the centralized and
+// distributed algorithms share one driver. The distributed DIndirectHaar
+// fills these from the two extra jobs Algorithm 2 describes.
+type SearchEnv struct {
+	ELow    float64            // e_l: the (B+1)-largest |coefficient|
+	EHigh   float64            // e_u: max_abs of the conventional B-term synopsis
+	Initial *synopsis.Synopsis // the conventional synopsis (initial best)
+	// Eval returns the actual maximum absolute error of a synopsis.
+	Eval func(*synopsis.Synopsis) (float64, error)
+}
+
+// IndirectHaar answers Problem 1 centrally: find a synopsis of at most
+// budget coefficients minimizing the maximum absolute error, by binary
+// search over the error bound with MinHaarSpace probes (Algorithm 2).
+// delta is the quantization step δ.
+func IndirectHaar(data []float64, budget int, delta float64) (IndirectResult, error) {
+	w, err := wavelet.Transform(data)
+	if err != nil {
+		return IndirectResult{}, err
+	}
+	return IndirectSearch(centralProber{data: data, delta: delta}, data, w, budget, delta)
+}
+
+// IndirectSearch is the centralized entry point: it derives the search
+// environment from the in-memory coefficient vector w and data, then runs
+// the shared driver.
+func IndirectSearch(pr Prober, data, w []float64, budget int, delta float64) (IndirectResult, error) {
+	if budget < 1 {
+		return IndirectResult{}, fmt.Errorf("dp: budget %d < 1", budget)
+	}
+	nonzero := 0
+	for _, c := range w {
+		if c != 0 {
+			nonzero++
+		}
+	}
+	if budget >= nonzero {
+		// Everything fits: exact representation.
+		idx := make([]int, 0, nonzero)
+		for i, c := range w {
+			if c != 0 {
+				idx = append(idx, i)
+			}
+		}
+		return IndirectResult{Synopsis: synopsis.FromIndices(w, idx)}, nil
+	}
+	conv := synopsis.Conventional(w, budget)
+	env := SearchEnv{
+		ELow:    kthLargestAbs(w, budget+1),
+		EHigh:   synopsis.MaxAbsError(conv, data),
+		Initial: conv,
+		Eval: func(s *synopsis.Synopsis) (float64, error) {
+			return synopsis.MaxAbsError(s, data), nil
+		},
+	}
+	return SearchWithEnv(pr, env, budget, delta)
+}
+
+// SearchWithEnv runs the binary search of Algorithm 2 against an abstract
+// environment.
+func SearchWithEnv(pr Prober, env SearchEnv, budget int, delta float64) (IndirectResult, error) {
+	if budget < 1 {
+		return IndirectResult{}, fmt.Errorf("dp: budget %d < 1", budget)
+	}
+	eLow, eHigh := env.ELow, env.EHigh
+	st := IndirectStats{ELow: eLow, EHigh: eHigh}
+
+	best := env.Initial
+	bestErr := eHigh
+	bestSize := best.Size()
+
+	lo, hi := eLow, eHigh
+	if lo > hi {
+		lo = hi
+	}
+	record := func(s *synopsis.Synopsis) (float64, error) {
+		e, err := env.Eval(s)
+		if err != nil {
+			return 0, err
+		}
+		if e < bestErr-1e-12 || (e <= bestErr+1e-12 && s.Size() < bestSize) {
+			best, bestErr, bestSize = s, e, s.Size()
+		}
+		return e, nil
+	}
+
+	const maxProbes = 64
+	for st.Probes < maxProbes && hi-lo > delta/4 {
+		mid := (lo + hi) / 2
+		st.Probes++
+		s, ok, err := pr.Probe(mid)
+		if err != nil {
+			return IndirectResult{}, err
+		}
+		if !ok {
+			// Quantization infeasible at this ε: need a larger bound.
+			lo = mid
+			continue
+		}
+		size := s.Size()
+		if size > budget {
+			lo = mid
+			continue
+		}
+		eBar, err := record(s)
+		if err != nil {
+			return IndirectResult{}, err
+		}
+		if size == budget {
+			break
+		}
+		// Fewer than budget coefficients sufficed; try to beat the error
+		// actually achieved (line 9 of Algorithm 2).
+		tighter := eBar - delta
+		if tighter <= 0 {
+			break
+		}
+		st.Probes++
+		s2, ok2, err := pr.Probe(tighter)
+		if err != nil {
+			return IndirectResult{}, err
+		}
+		if !ok2 || s2.Size() > budget {
+			break // current solution is (grid-)optimal
+		}
+		if _, err := record(s2); err != nil {
+			return IndirectResult{}, err
+		}
+		hi = math.Min(eBar, tighter)
+		if hi < lo {
+			lo = 0
+		}
+	}
+	if best == nil {
+		return IndirectResult{}, fmt.Errorf("dp: no feasible synopsis found")
+	}
+	return IndirectResult{Synopsis: best, MaxAbs: bestErr, Stats: st}, nil
+}
+
+// kthLargestAbs returns the k-th largest absolute value in w (1-based),
+// or 0 when k exceeds len(w).
+func kthLargestAbs(w []float64, k int) float64 {
+	if k > len(w) {
+		return 0
+	}
+	mags := make([]float64, len(w))
+	for i, c := range w {
+		mags[i] = math.Abs(c)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(mags)))
+	return mags[k-1]
+}

@@ -1,0 +1,118 @@
+package dp
+
+import (
+	"fmt"
+
+	"dwmaxerr/internal/synopsis"
+	"dwmaxerr/internal/wavelet"
+)
+
+// Solution is the output of a MinHaarSpace run: an unrestricted wavelet
+// synopsis meeting the error bound with the fewest retained coefficients
+// found on the quantization grid.
+type Solution struct {
+	Synopsis *synopsis.Synopsis
+	Size     int
+}
+
+// MinHaarSpace solves Problem 2 centrally over the full data vector: it
+// returns the smallest grid-quantized synopsis whose maximum absolute
+// error is at most p.Epsilon, or feasible=false when the quantization
+// grid admits no solution (e.g. δ > 2ε).
+func MinHaarSpace(data []float64, p Params) (sol Solution, feasible bool, err error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, false, err
+	}
+	n := len(data)
+	if !wavelet.IsPowerOfTwo(n) {
+		return Solution{}, false, wavelet.ErrNotPowerOfTwo
+	}
+	if n == 1 {
+		return solveSingle(data[0], p)
+	}
+	leaves := make([]Row, n)
+	for i, d := range data {
+		leaves[i] = LeafRow(d, p)
+	}
+	rows, err := SolveTree(leaves, p)
+	if err != nil {
+		return Solution{}, false, err
+	}
+	root := FinishRoot(rows[1], p)
+	if !root.Feasible {
+		return Solution{}, false, nil
+	}
+	s := synopsis.New(n)
+	if root.C0Grid != 0 {
+		s.Terms = append(s.Terms, synopsis.Coefficient{Index: 0, Value: p.Value(root.C0Grid)})
+	}
+	reconstructInto(s, rows, 1, root.C0Grid, p)
+	s.Normalize()
+	return Solution{Synopsis: s, Size: s.Size()}, true, nil
+}
+
+func solveSingle(d float64, p Params) (Solution, bool, error) {
+	s := synopsis.New(1)
+	g := p.Grid(d)
+	if abs(d) <= p.Epsilon {
+		return Solution{Synopsis: s, Size: 0}, true, nil
+	}
+	if abs(p.Value(g)-d) > p.Epsilon {
+		return Solution{}, false, nil
+	}
+	s.Terms = append(s.Terms, synopsis.Coefficient{Index: 0, Value: p.Value(g)})
+	return Solution{Synopsis: s, Size: 1}, true, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// reconstructInto descends the rows of a solved tree from local node i with
+// incoming grid value g, appending retained coefficients to s. rows is in
+// local heap layout over 2^h leaves; node indices in s are the same local
+// indices (callers remap for sub-trees).
+func reconstructInto(s *synopsis.Synopsis, rows []Row, i, g int, p Params) {
+	z := int(rows[i].ChoiceAt(g))
+	if z != 0 {
+		s.Terms = append(s.Terms, synopsis.Coefficient{Index: i, Value: p.Value(z)})
+	}
+	if 2*i < len(rows) {
+		reconstructInto(s, rows, 2*i, g+z, p)
+		reconstructInto(s, rows, 2*i+1, g-z, p)
+	}
+}
+
+// CollectChoices walks a solved sub-tree exactly like reconstructInto but
+// reports, for each leaf position of the sub-tree, the incoming grid value
+// handed down to it — the interface between layers in the distributed
+// top-down pass (Section 4). retained receives (local node, grid value)
+// pairs for the coefficients kept inside this sub-tree.
+func CollectChoices(rows []Row, rootIncoming int, retained func(local int, z int32), leafIncoming func(leafPos int, g int)) {
+	var walk func(i, g int)
+	size := len(rows)
+	walk = func(i, g int) {
+		z := int(rows[i].ChoiceAt(g))
+		if z != 0 && retained != nil {
+			retained(i, int32(z))
+		}
+		if 2*i < size {
+			walk(2*i, g+z)
+			walk(2*i+1, g-z)
+		} else {
+			if leafIncoming != nil {
+				leafIncoming(2*i-size, g+z)
+				leafIncoming(2*i-size+1, g-z)
+			}
+		}
+	}
+	walk(1, rootIncoming)
+}
+
+// Describe returns a short human-readable summary of the parameters.
+func (p Params) Describe() string {
+	return fmt.Sprintf("ε=%g δ=%g (ε/δ=%.1f)", p.Epsilon, p.Delta, p.Epsilon/p.Delta)
+}

@@ -1,0 +1,186 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dwmaxerr/internal/synopsis"
+)
+
+// TestCombineRowsAssociativeStructure: solving a 4-leaf tree directly must
+// equal combining two 2-leaf solutions — the decomposition property the
+// Section 4 framework rests on.
+func TestCombineRowsAssociativeStructure(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Params{Epsilon: 5 + rng.Float64()*20, Delta: 1}
+		leaves := make([]Row, 4)
+		for i := range leaves {
+			leaves[i] = LeafRow(math.Trunc(rng.Float64()*100), p)
+		}
+		rows, err := SolveTree(leaves, p)
+		if err != nil {
+			return false
+		}
+		left := CombineRows(leaves[0], leaves[1], p)
+		right := CombineRows(leaves[2], leaves[3], p)
+		root := CombineRows(left, right, p)
+		if root.Lo != rows[1].Lo || len(root.Count) != len(rows[1].Count) {
+			return false
+		}
+		for i := range root.Count {
+			if root.Count[i] != rows[1].Count[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRowCountsMonotoneInEpsilon: relaxing ε can only shrink (or keep) the
+// count at every shared incoming value.
+func TestRowCountsMonotoneInEpsilon(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		data := make([]float64, 8)
+		for i := range data {
+			data[i] = math.Trunc(rng.Float64() * 100)
+		}
+		tight := Params{Epsilon: 5, Delta: 1}
+		loose := Params{Epsilon: 15, Delta: 1}
+		build := func(p Params) Row {
+			leaves := make([]Row, len(data))
+			for i, d := range data {
+				leaves[i] = LeafRow(d, p)
+			}
+			rows, err := SolveTree(leaves, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rows[1]
+		}
+		rt, rl := build(tight), build(loose)
+		for g := rt.Lo; g <= rt.Hi(); g++ {
+			if rl.At(g) > rt.At(g) {
+				t.Fatalf("trial %d: loose count %d > tight %d at v=%d", trial, rl.At(g), rt.At(g), g)
+			}
+		}
+	}
+}
+
+// TestMinHaarSpaceOptimalOnGridExhaustive compares MinHaarSpace against an
+// exhaustive search over unrestricted grid synopses on tiny inputs: which
+// subsets of nodes get nonzero grid values such that the error bound holds
+// with the fewest nonzeros.
+func TestMinHaarSpaceOptimalOnGridExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	p := Params{Epsilon: 6, Delta: 2}
+	for trial := 0; trial < 8; trial++ {
+		data := make([]float64, 4)
+		for i := range data {
+			data[i] = math.Trunc(rng.Float64() * 40)
+		}
+		sol, ok, err := MinHaarSpace(data, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := exhaustiveGridMin(data, p, t)
+		if !ok {
+			if best >= 0 {
+				t.Fatalf("trial %d: DP infeasible but exhaustive found %d", trial, best)
+			}
+			continue
+		}
+		if best < 0 {
+			t.Fatalf("trial %d: DP found %d but exhaustive infeasible", trial, sol.Size)
+		}
+		if sol.Size != best {
+			t.Fatalf("trial %d (%v): DP size %d, exhaustive optimal %d", trial, data, sol.Size, best)
+		}
+	}
+}
+
+// exhaustiveGridMin brute-forces the minimum number of nonzero grid-valued
+// coefficients achieving max_abs <= ε for a 4-value vector, or -1.
+func exhaustiveGridMin(data []float64, p Params, t *testing.T) int {
+	t.Helper()
+	n := len(data)
+	// Candidate grid values per coefficient: generous bounded range.
+	var maxAbs float64
+	for _, d := range data {
+		maxAbs = math.Max(maxAbs, math.Abs(d))
+	}
+	gridMax := p.Grid(maxAbs + p.Epsilon)
+	best := -1
+	w := make([]float64, n)
+	var rec func(i int, nonzero int)
+	check := func(nonzero int) {
+		// Inverse transform of the 4-value error tree.
+		vals := []float64{
+			w[0] + w[1] + w[2],
+			w[0] + w[1] - w[2],
+			w[0] - w[1] + w[3],
+			w[0] - w[1] - w[3],
+		}
+		for i, v := range vals {
+			if math.Abs(v-data[i]) > p.Epsilon+1e-9 {
+				return
+			}
+		}
+		if best < 0 || nonzero < best {
+			best = nonzero
+		}
+	}
+	rec = func(i, nonzero int) {
+		if best >= 0 && nonzero >= best {
+			return
+		}
+		if i == n {
+			check(nonzero)
+			return
+		}
+		w[i] = 0
+		rec(i+1, nonzero)
+		for g := -gridMax; g <= gridMax; g++ {
+			if g == 0 {
+				continue
+			}
+			w[i] = p.Value(g)
+			rec(i+1, nonzero+1)
+		}
+		w[i] = 0
+	}
+	rec(0, 0)
+	return best
+}
+
+// TestIndirectHaarNeverBeatsGridOptimum: the binary search returns a
+// synopsis whose size respects the budget and whose error is achievable.
+func TestIndirectHaarErrorIsAchievedByReportedSynopsis(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (2 + rng.Intn(3))
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = math.Trunc(rng.Float64() * 200)
+		}
+		b := 1 + rng.Intn(n/2)
+		res, err := IndirectHaar(data, b, 2)
+		if err != nil {
+			return false
+		}
+		if res.Synopsis.Size() > b {
+			return false
+		}
+		actual := synopsis.MaxAbsError(res.Synopsis, data)
+		return math.Abs(actual-res.MaxAbs) < 1e-9*(1+actual)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

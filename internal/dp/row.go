@@ -1,0 +1,213 @@
+// Package dp implements the dynamic-programming side of the paper: the
+// MinHaarSpace algorithm of Karras, Sacharidis & Mamoulis for the dual
+// Problem 2 (given an error bound ε, retain the fewest unrestricted Haar
+// coefficients such that every value reconstructs within ε), and the
+// IndirectHaar driver that answers Problem 1 by binary search over ε
+// (Section 3, Algorithm 2). The row/combine decomposition below is exactly
+// what the paper's Section 4 framework parallelizes: a DP row M[j] is
+// computed per error-tree node from its children's rows, so sub-trees can
+// be solved independently and only local-root rows cross layer boundaries.
+//
+// Incoming values are quantized to multiples of δ. The candidate window for
+// node j is [μ_j − ε, μ_j + ε] where μ_j is the mean of the data under j:
+// in any solution with error ≤ ε, the average reconstruction under j equals
+// the incoming value (detail coefficients are zero-mean over their
+// support), and it must be within ε of the data average. Row size is thus
+// O(ε/δ), matching the communication bound of Equation 6.
+package dp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Infeasible marks a (node, incoming value) combination that cannot meet
+// the error bound. It is large enough that two infeasible children plus one
+// retained coefficient never overflow int32.
+const Infeasible int32 = math.MaxInt32 / 4
+
+// Params configures a MinHaarSpace run.
+type Params struct {
+	// Epsilon is the maximum absolute error bound of Problem 2.
+	Epsilon float64
+	// Delta is the quantization step δ > 0 of the incoming-value and
+	// coefficient-value grids. Coarser δ is faster but may miss solutions.
+	Delta float64
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Delta <= 0 {
+		return errors.New("dp: delta must be positive")
+	}
+	if p.Epsilon < 0 {
+		return errors.New("dp: epsilon must be non-negative")
+	}
+	return nil
+}
+
+// Grid returns the grid index of value v.
+func (p Params) Grid(v float64) int {
+	return int(math.Round(v / p.Delta))
+}
+
+// Value returns the value of grid index g.
+func (p Params) Value(g int) float64 {
+	return float64(g) * p.Delta
+}
+
+// window returns the inclusive grid range covering [mean-ε, mean+ε].
+// Empty windows (lo > hi) arise when δ > 2ε and signal infeasibility.
+func (p Params) window(mean float64) (lo, hi int) {
+	lo = int(math.Ceil((mean-p.Epsilon)/p.Delta - 1e-9))
+	hi = int(math.Floor((mean+p.Epsilon)/p.Delta + 1e-9))
+	return lo, hi
+}
+
+// Row is the DP row M[j] of one error-tree node: for every candidate
+// incoming grid value v in [Lo, Lo+len(Count)), Count holds the minimum
+// number of retained coefficients in the sub-tree below, and Choice the
+// grid value of the coefficient assigned at the node (0 = not retained)
+// achieving it. Mean is the data mean of the sub-tree, needed to place the
+// parent's window. A Row with empty Count is wholly infeasible.
+type Row struct {
+	Mean   float64
+	Lo     int
+	Count  []int32
+	Choice []int32
+}
+
+// Hi returns the highest grid index of the row (Lo-1 when empty).
+func (r Row) Hi() int { return r.Lo + len(r.Count) - 1 }
+
+// At returns the count at grid index g, or Infeasible outside the window.
+func (r Row) At(g int) int32 {
+	if g < r.Lo || g > r.Hi() {
+		return Infeasible
+	}
+	return r.Count[g-r.Lo]
+}
+
+// ChoiceAt returns the coefficient grid value chosen at incoming value g.
+func (r Row) ChoiceAt(g int) int32 {
+	if g < r.Lo || g > r.Hi() {
+		return 0
+	}
+	return r.Choice[g-r.Lo]
+}
+
+// Feasible reports whether any incoming value admits a solution.
+func (r Row) Feasible() bool {
+	for _, c := range r.Count {
+		if c < Infeasible {
+			return true
+		}
+	}
+	return false
+}
+
+// LeafRow builds the row of a data leaf with value d: zero cost wherever
+// the incoming value reconstructs d within ε.
+func LeafRow(d float64, p Params) Row {
+	lo, hi := p.window(d)
+	if lo > hi {
+		return Row{Mean: d, Lo: lo}
+	}
+	return Row{
+		Mean:   d,
+		Lo:     lo,
+		Count:  make([]int32, hi-lo+1),
+		Choice: make([]int32, hi-lo+1),
+	}
+}
+
+// CombineRows computes the row of an internal node from its children's
+// rows: M[j](v) = min over coefficient values z of cost(z) + M_L(v+z) +
+// M_R(v-z), with cost(0)=0 and cost(z≠0)=1. z=0 is preferred on ties, then
+// the smallest z in iteration order, making results deterministic.
+func CombineRows(left, right Row, p Params) Row {
+	mean := (left.Mean + right.Mean) / 2
+	lo, hi := p.window(mean)
+	if lo > hi || len(left.Count) == 0 || len(right.Count) == 0 {
+		return Row{Mean: mean, Lo: lo}
+	}
+	out := Row{
+		Mean:   mean,
+		Lo:     lo,
+		Count:  make([]int32, hi-lo+1),
+		Choice: make([]int32, hi-lo+1),
+	}
+	for g := lo; g <= hi; g++ {
+		best, bestZ := Infeasible, int32(0)
+		// v+z in [left.Lo, left.Hi] and v-z in [right.Lo, right.Hi].
+		zlo := max(left.Lo-g, g-right.Hi())
+		zhi := min(left.Hi()-g, g-right.Lo)
+		if zlo <= 0 && 0 <= zhi {
+			if c := left.At(g) + right.At(g); c < best {
+				best, bestZ = c, 0
+			}
+		}
+		for z := zlo; z <= zhi; z++ {
+			if z == 0 {
+				continue
+			}
+			if c := 1 + left.At(g+z) + right.At(g-z); c < best {
+				best, bestZ = c, int32(z)
+			}
+		}
+		out.Count[g-lo] = best
+		out.Choice[g-lo] = bestZ
+	}
+	return out
+}
+
+// RootResult is the outcome of finishing the DP at the error-tree root:
+// the choice of the overall-average coefficient c_0.
+type RootResult struct {
+	Count    int32 // total retained coefficients including c_0
+	C0Grid   int   // grid value assigned to c_0 (0 = not retained)
+	Feasible bool
+}
+
+// FinishRoot selects c_0 given the row of node 1 (whose incoming value is
+// exactly the value of c_0, or 0 when c_0 is dropped).
+func FinishRoot(row Row, p Params) RootResult {
+	best, bestG := Infeasible, 0
+	if c := row.At(0); c < best {
+		best, bestG = c, 0
+	}
+	for g := row.Lo; g <= row.Hi(); g++ {
+		if g == 0 {
+			continue
+		}
+		if c := 1 + row.At(g); c < best {
+			best, bestG = c, g
+		}
+	}
+	if best >= Infeasible {
+		return RootResult{Feasible: false}
+	}
+	return RootResult{Count: best, C0Grid: bestG, Feasible: true}
+}
+
+// SolveTree computes the rows of every internal node of a complete
+// sub-tree, bottom-up, given the rows of its 2^h leaf positions. The
+// result is in local heap layout: index 1 is the sub-tree root, node i has
+// children 2i and 2i+1, and the children of the lowest internal level are
+// the provided leaf rows. Index 0 is unused. len(leaves) must be a power
+// of two >= 2.
+func SolveTree(leaves []Row, p Params) ([]Row, error) {
+	s := len(leaves)
+	if s < 2 || s&(s-1) != 0 {
+		return nil, fmt.Errorf("dp: SolveTree needs a power-of-two number of leaves >= 2, got %d", s)
+	}
+	rows := make([]Row, s)
+	for i := s - 1; i >= s/2; i-- {
+		rows[i] = CombineRows(leaves[2*i-s], leaves[2*i-s+1], p)
+	}
+	for i := s/2 - 1; i >= 1; i-- {
+		rows[i] = CombineRows(rows[2*i], rows[2*i+1], p)
+	}
+	return rows, nil
+}

@@ -1,0 +1,63 @@
+package errtree
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Dump writes an ASCII rendering of the error tree: one line per
+// coefficient, indented by level, with data leaves at the bottom.
+// retained, when non-nil, marks coefficients kept in a synopsis — retained
+// nodes are tagged [kept], everything else [dropped]. Trees larger than
+// maxNodes internal nodes are elided level by level. A handy debugging and
+// teaching aid for the structures of Figures 1, 3 and 4.
+func Dump(w io.Writer, t *Tree, data []float64, retained map[int]bool, maxNodes int) error {
+	if maxNodes <= 0 {
+		maxNodes = 127
+	}
+	n := t.N()
+	if n > maxNodes+1 {
+		fmt.Fprintf(w, "error tree over %d values (showing top %d nodes)\n", n, maxNodes)
+	} else {
+		fmt.Fprintf(w, "error tree over %d values\n", n)
+	}
+	tag := func(i int) string {
+		if retained == nil {
+			return ""
+		}
+		if retained[i] {
+			return " [kept]"
+		}
+		return " [dropped]"
+	}
+	var walk func(node, depth int)
+	printed := 0
+	walk = func(node, depth int) {
+		if node >= n || printed >= maxNodes {
+			return
+		}
+		printed++
+		indent := strings.Repeat("  ", depth)
+		fmt.Fprintf(w, "%sc%-4d = %-12g%s\n", indent, node, t.Coefficient(node), tag(node))
+		if 2*node >= n {
+			// Children are data leaves.
+			if data != nil {
+				l, r := 2*node-n, 2*node-n+1
+				fmt.Fprintf(w, "%s  d%-4d = %g\n", indent, l, data[l])
+				fmt.Fprintf(w, "%s  d%-4d = %g\n", indent, r, data[r])
+			}
+			return
+		}
+		walk(2*node, depth+1)
+		walk(2*node+1, depth+1)
+	}
+	fmt.Fprintf(w, "c0    = %-12g%s (overall average)\n", t.Coefficient(0), tag(0))
+	if n > 1 {
+		walk(1, 0)
+	}
+	if printed >= maxNodes {
+		fmt.Fprintf(w, "... (%d more internal nodes elided)\n", n-1-printed)
+	}
+	return nil
+}

@@ -1,0 +1,378 @@
+// Package errtree implements the error-tree view of a Haar wavelet
+// decomposition (Matias, Vitter, Wang), the reconstruction and range-sum
+// identities of Section 2.2 of the paper, and the locality-preserving
+// partitioning schemes of Sections 4 and 5 (Figures 3 and 4) that underpin
+// the distributed algorithms.
+//
+// Indexing follows the standard heap layout of package wavelet: node 0 is
+// the overall average, node 1 the top detail, node i (i >= 1) has children
+// 2i and 2i+1, and data leaf d_k (0 <= k < N) hangs under internal node
+// (N+k)/2 — as the left child when k is even, right child when k is odd.
+package errtree
+
+import (
+	"fmt"
+
+	"dwmaxerr/internal/wavelet"
+)
+
+// Tree is an error tree over a Haar decomposition of N data values.
+// The zero value is not usable; construct with New or FromData.
+type Tree struct {
+	coef []float64 // coefficients in error-tree layout, len N
+	n    int
+}
+
+// New wraps a coefficient vector (error-tree layout, power-of-two length)
+// as an error tree. The slice is retained, not copied.
+func New(coef []float64) (*Tree, error) {
+	if !wavelet.IsPowerOfTwo(len(coef)) {
+		return nil, wavelet.ErrNotPowerOfTwo
+	}
+	return &Tree{coef: coef, n: len(coef)}, nil
+}
+
+// FromData computes the Haar decomposition of data and wraps it.
+func FromData(data []float64) (*Tree, error) {
+	w, err := wavelet.Transform(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{coef: w, n: len(w)}, nil
+}
+
+// N returns the number of data values (equal to the number of coefficients).
+func (t *Tree) N() int { return t.n }
+
+// Coefficient returns the coefficient value at node i.
+func (t *Tree) Coefficient(i int) float64 { return t.coef[i] }
+
+// Coefficients returns the underlying coefficient slice (not a copy).
+func (t *Tree) Coefficients() []float64 { return t.coef }
+
+// Depth returns log2(N), the number of detail levels.
+func (t *Tree) Depth() int { return wavelet.Log2(t.n) }
+
+// LeafParent returns the internal node whose child is data leaf k, together
+// with whether the leaf is the node's left child.
+func LeafParent(n, k int) (node int, left bool) {
+	return (n + k) / 2, k%2 == 0
+}
+
+// PathSign returns delta_{kj} for data leaf k and internal node j: +1 if d_k
+// lies in the left sub-tree of c_j or j == 0, -1 if in the right sub-tree,
+// and 0 if c_j is not on d_k's path at all.
+func PathSign(n, k, j int) int {
+	if j == 0 {
+		return 1
+	}
+	first, last := wavelet.CoefficientSupport(n, j)
+	if k < first || k >= last {
+		return 0
+	}
+	if k < first+(last-first)/2 {
+		return 1
+	}
+	return -1
+}
+
+// Path appends to dst the node indices on the path from data leaf k to the
+// root, ordered leaf-parent first and node 0 last, and returns the extended
+// slice. The path has length log2(N)+1.
+func Path(n, k int, dst []int) []int {
+	node, _ := LeafParent(n, k)
+	for node >= 1 {
+		dst = append(dst, node)
+		node /= 2
+	}
+	return append(dst, 0)
+}
+
+// Reconstruct returns the reconstructed value of data leaf k using all
+// coefficients: d_k = sum over path of delta_{kj} * c_j.
+func (t *Tree) Reconstruct(k int) float64 {
+	v := t.coef[0]
+	node, left := LeafParent(t.n, k)
+	for node >= 1 {
+		if left {
+			v += t.coef[node]
+		} else {
+			v -= t.coef[node]
+		}
+		left = node%2 == 0
+		node /= 2
+	}
+	return v
+}
+
+// RangeSum returns d(l:h) = sum_{i=l}^{h} d_i computed from coefficients on
+// path_l ∪ path_h only, per Section 2.2.
+func (t *Tree) RangeSum(l, h int) float64 {
+	if l > h {
+		l, h = h, l
+	}
+	width := float64(h - l + 1)
+	sum := width * t.coef[0]
+	seen := map[int]bool{}
+	for _, k := range [2]int{l, h} {
+		node, _ := LeafParent(t.n, k)
+		for node >= 1 {
+			if !seen[node] {
+				seen[node] = true
+				first, last := wavelet.CoefficientSupport(t.n, node)
+				mid := first + (last-first)/2
+				nl := overlap(l, h, first, mid-1)
+				nr := overlap(l, h, mid, last-1)
+				sum += float64(nl-nr) * t.coef[node]
+			}
+			node /= 2
+		}
+	}
+	return sum
+}
+
+// overlap returns |[a,b] ∩ [c,d]| for inclusive integer intervals.
+func overlap(a, b, c, d int) int {
+	lo, hi := max(a, c), min(b, d)
+	if hi < lo {
+		return 0
+	}
+	return hi - lo + 1
+}
+
+// IncomingValue returns the value reconstructed along the path of ancestor
+// coefficients from the root down to (but excluding) node j — the "incoming
+// value" of Section 4. For example the incoming value of node 2 in Figure 1
+// is c_0 + c_1.
+func (t *Tree) IncomingValue(j int) float64 {
+	if j == 0 {
+		return 0
+	}
+	// Walk from the root down to j, accumulating signs. Equivalent: walk up
+	// from j collecting (parent, isLeftChild) pairs.
+	v := t.coef[0]
+	if j == 1 {
+		return v
+	}
+	node := j
+	type step struct {
+		parent int
+		left   bool
+	}
+	var steps []step
+	for node > 1 {
+		steps = append(steps, step{node / 2, node%2 == 0})
+		node /= 2
+	}
+	for i := len(steps) - 1; i >= 0; i-- {
+		if steps[i].left {
+			v += t.coef[steps[i].parent]
+		} else {
+			v -= t.coef[steps[i].parent]
+		}
+	}
+	return v
+}
+
+// SubtreeMean returns the mean of the data values under internal node j
+// (for j == 0, the overall mean). It equals the incoming value of j plus,
+// for j >= 1, nothing — the mean of leaves under j is exactly the
+// reconstruction-path value *through* j's averaging, i.e. IncomingValue(j)
+// is the mean of leaves under j for j >= 2; for the two special top nodes
+// the mean under node 0 and node 1 is c_0.
+func (t *Tree) SubtreeMean(j int) float64 {
+	if j <= 1 {
+		return t.coef[0]
+	}
+	return t.IncomingValue(j)
+}
+
+// LeafRange returns the half-open interval [first, last) of data leaves in
+// the sub-tree rooted at internal node j.
+func (t *Tree) LeafRange(j int) (first, last int) {
+	return wavelet.CoefficientSupport(t.n, j)
+}
+
+// Subtree describes one sub-tree produced by a partition: the error-tree
+// node at its root and its height (number of internal levels it contains).
+// A Subtree of height h rooted at node r contains the internal nodes
+// r·2^l + o for l in [0,h) and o in [0,2^l); its 2^h "leaves" are either
+// the roots of sub-trees one layer below or, at the bottom layer, pairs of
+// data values (the children of the lowest included internal nodes).
+type Subtree struct {
+	Root   int // error-tree node index of the sub-tree root
+	Height int // number of internal node levels in this sub-tree
+}
+
+// Nodes appends all internal node indices contained in s (top-down,
+// breadth-first) to dst and returns the extended slice.
+func (s Subtree) Nodes(dst []int) []int {
+	for l := 0; l < s.Height; l++ {
+		base := s.Root << uint(l)
+		for o := 0; o < 1<<uint(l); o++ {
+			dst = append(dst, base+o)
+		}
+	}
+	return dst
+}
+
+// Size returns the number of internal nodes in s: 2^Height - 1.
+func (s Subtree) Size() int { return 1<<uint(s.Height) - 1 }
+
+// ChildRoots appends the error-tree node indices that are the roots of the
+// sub-trees hanging below s (i.e. the children of s's lowest level).
+func (s Subtree) ChildRoots(dst []int) []int {
+	base := s.Root << uint(s.Height)
+	for o := 0; o < 1<<uint(s.Height); o++ {
+		dst = append(dst, base+o)
+	}
+	return dst
+}
+
+// LayeredPartition is the partitioning of Figure 3: the error tree cut into
+// layers of sub-trees of fixed height h, bottom layer first. Layers[0] is
+// the bottommost layer (whose sub-trees' leaves are data values); the last
+// layer contains the single topmost sub-tree (which additionally absorbs
+// node 0, the overall average, handled by the algorithms directly).
+type LayeredPartition struct {
+	N      int
+	H      int
+	Layers [][]Subtree
+}
+
+// Partition cuts the error tree over n data values (n a power of two) into
+// layers of sub-trees of height h, per Section 4. The detail-node levels
+// 1..log2(n) are sliced bottom-up into bands of height h; the top band may
+// be shorter. Node 0 is not part of any sub-tree.
+func Partition(n, h int) (*LayeredPartition, error) {
+	if !wavelet.IsPowerOfTwo(n) {
+		return nil, wavelet.ErrNotPowerOfTwo
+	}
+	if h < 1 {
+		return nil, fmt.Errorf("errtree: partition height %d < 1", h)
+	}
+	depth := wavelet.Log2(n) // detail levels are 0..depth-1 for nodes 1..n-1
+	p := &LayeredPartition{N: n, H: h}
+	// Work top-down to size the bands, then reverse so Layers[0] is the
+	// bottom layer. The top band takes depth mod h levels (or h if even).
+	var bands []int
+	remaining := depth
+	for remaining > 0 {
+		b := h
+		if remaining < h {
+			b = remaining
+		}
+		bands = append(bands, b)
+		remaining -= b
+	}
+	// bands[0] is the bottom band. Assign roots: the bottom band's
+	// sub-trees are rooted at the level where each sub-tree's root sits.
+	// Let level(l) index detail levels with node 1 at level 0; nodes at
+	// level l are 2^l..2^{l+1}-1. Band k (from bottom) spans levels
+	// [topLevel, topLevel+bands[k}) where topLevel accumulates from the
+	// top. Easier: compute from the top.
+	var layersTopDown [][]Subtree
+	level := 0 // current topmost unassigned detail level
+	for i := len(bands) - 1; i >= 0; i-- {
+		b := bands[i]
+		roots := 1 << uint(level)
+		layer := make([]Subtree, roots)
+		for o := 0; o < roots; o++ {
+			layer[o] = Subtree{Root: roots + o, Height: b}
+		}
+		layersTopDown = append(layersTopDown, layer)
+		level += b
+	}
+	// Reverse to bottom-up order.
+	for i := len(layersTopDown) - 1; i >= 0; i-- {
+		p.Layers = append(p.Layers, layersTopDown[i])
+	}
+	return p, nil
+}
+
+// NumLayers returns the number of sub-tree layers.
+func (p *LayeredPartition) NumLayers() int { return len(p.Layers) }
+
+// RootBasePartition is the two-level partitioning of Figure 4 used by
+// DGreedyAbs: one root sub-tree (the top levels of the error tree, plus
+// node 0) and many base sub-trees of equal size hanging below it.
+type RootBasePartition struct {
+	N int
+	// RootNodes are the internal node indices in the root sub-tree:
+	// nodes 0 .. 2^rootLevels - 1 (node 0 included).
+	RootNodes []int
+	// Bases are the base sub-trees, left to right; base i is rooted at
+	// node 2^rootLevels + i and contains all detail nodes below, down to
+	// the data leaves.
+	Bases []Subtree
+	// RootLevels is the number of detail levels in the root sub-tree.
+	RootLevels int
+}
+
+// PartitionRootBase cuts the error tree over n values so that each base
+// sub-tree covers baseLeaves data values (a power of two <= n/2). The root
+// sub-tree then holds R = n/baseLeaves detail nodes (nodes 1..R-1) plus
+// node 0, and there are n/baseLeaves base sub-trees... more precisely the
+// base roots are the R nodes at detail level log2(R), i.e. nodes R..2R-1
+// where R = n/baseLeaves.
+func PartitionRootBase(n, baseLeaves int) (*RootBasePartition, error) {
+	if !wavelet.IsPowerOfTwo(n) || !wavelet.IsPowerOfTwo(baseLeaves) {
+		return nil, wavelet.ErrNotPowerOfTwo
+	}
+	if baseLeaves > n/2 {
+		return nil, fmt.Errorf("errtree: base size %d too large for n=%d", baseLeaves, n)
+	}
+	r := n / baseLeaves // number of base sub-trees
+	p := &RootBasePartition{N: n, RootLevels: wavelet.Log2(r)}
+	p.RootNodes = make([]int, r)
+	for i := 0; i < r; i++ {
+		p.RootNodes[i] = i // nodes 0..r-1: node 0 plus detail nodes 1..r-1
+	}
+	p.Bases = make([]Subtree, r)
+	h := wavelet.Log2(baseLeaves)
+	for i := 0; i < r; i++ {
+		p.Bases[i] = Subtree{Root: r + i, Height: h}
+	}
+	return p, nil
+}
+
+// BaseIndexOf returns which base sub-tree contains data leaf k.
+func (p *RootBasePartition) BaseIndexOf(k int) int {
+	return k / (p.N / len(p.Bases))
+}
+
+// RootPathSigns returns, for base sub-tree b, the signed contribution factor
+// delta of each root-sub-tree node on the path from the base root to node 0:
+// result[j] is +1, -1 (node j is an ancestor, base lies in its left/right
+// sub-tree) or 0 (not an ancestor). Node 0 always contributes +1.
+func (p *RootBasePartition) RootPathSigns(b int) map[int]int {
+	signs := map[int]int{0: 1}
+	node := p.Bases[b].Root
+	for node > 1 {
+		parent := node / 2
+		if node%2 == 0 {
+			signs[parent] = 1
+		} else {
+			signs[parent] = -1
+		}
+		node = parent
+	}
+	return signs
+}
+
+// IncomingError returns the initial signed accumulated error incurred on
+// every data value of base sub-tree b when the root-sub-tree nodes NOT in
+// retained are deleted: err = -Σ_{j ∉ retained, j on path} delta_j * c_j,
+// where coef holds the root-sub-tree coefficient values indexed by node.
+// (Deleting c_j changes every reconstruction under the base by
+// -delta * c_j.)
+func (p *RootBasePartition) IncomingError(b int, coef []float64, retained map[int]bool) float64 {
+	var e float64
+	for node, sign := range p.RootPathSigns(b) {
+		if retained[node] {
+			continue
+		}
+		e -= float64(sign) * coef[node]
+	}
+	return e
+}

@@ -1,0 +1,385 @@
+package errtree
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dwmaxerr/internal/wavelet"
+)
+
+var paperData = []float64{5, 5, 0, 26, 1, 3, 14, 2}
+
+func paperTree(t *testing.T) *Tree {
+	t.Helper()
+	tr, err := FromData(paperData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestReconstructPaperExample(t *testing.T) {
+	tr := paperTree(t)
+	// Section 2.2: d_5 = 7 - 2 - 3 - (-1) ... = 3.
+	for k, want := range paperData {
+		if got := tr.Reconstruct(k); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Reconstruct(%d) = %g, want %g", k, got, want)
+		}
+	}
+}
+
+func TestRangeSumPaperExample(t *testing.T) {
+	tr := paperTree(t)
+	// Section 2.2 works out d(3:6) = 44.
+	if got := tr.RangeSum(3, 6); math.Abs(got-44) > 1e-12 {
+		t.Fatalf("RangeSum(3,6) = %g, want 44", got)
+	}
+}
+
+func TestRangeSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (uint(rng.Intn(7)) + 1) // 2..128
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.NormFloat64() * 100
+		}
+		tr, err := FromData(data)
+		if err != nil {
+			return false
+		}
+		l := rng.Intn(n)
+		h := l + rng.Intn(n-l)
+		var want float64
+		for i := l; i <= h; i++ {
+			want += data[i]
+		}
+		return math.Abs(tr.RangeSum(l, h)-want) < 1e-7*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncomingValuePaperExample(t *testing.T) {
+	tr := paperTree(t)
+	// Section 4: the incoming value of c_2 is 7 + 2 = 9.
+	if got := tr.IncomingValue(2); got != 9 {
+		t.Fatalf("IncomingValue(2) = %g, want 9", got)
+	}
+	if got := tr.IncomingValue(1); got != 7 {
+		t.Fatalf("IncomingValue(1) = %g, want 7", got)
+	}
+	if got := tr.IncomingValue(0); got != 0 {
+		t.Fatalf("IncomingValue(0) = %g, want 0", got)
+	}
+	// Incoming value of node 3 is c_0 - c_1 = 5.
+	if got := tr.IncomingValue(3); got != 5 {
+		t.Fatalf("IncomingValue(3) = %g, want 5", got)
+	}
+}
+
+func TestSubtreeMeanEqualsLeafMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 64
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.Float64() * 50
+	}
+	tr, _ := FromData(data)
+	for j := 2; j < n; j++ {
+		first, last := tr.LeafRange(j)
+		var sum float64
+		for i := first; i < last; i++ {
+			sum += data[i]
+		}
+		want := sum / float64(last-first)
+		if got := tr.SubtreeMean(j); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("SubtreeMean(%d) = %g, want %g", j, got, want)
+		}
+	}
+}
+
+func TestPathAndSigns(t *testing.T) {
+	n := 8
+	// d_5's path: parent node (8+5)/2 = 6 (right child), then 3, 1, 0.
+	p := Path(n, 5, nil)
+	want := []int{6, 3, 1, 0}
+	if len(p) != len(want) {
+		t.Fatalf("Path = %v, want %v", p, want)
+	}
+	for i := range p {
+		if p[i] != want[i] {
+			t.Fatalf("Path = %v, want %v", p, want)
+		}
+	}
+	// Signs for d_5: under node 6 it is the right leaf (d_5 odd) -> -1;
+	// node 3 covers [4,8) and d_5 is in its left half -> +1;
+	// node 1 covers [0,8), d_5 in right half -> -1; node 0 -> +1.
+	signs := map[int]int{6: -1, 3: 1, 1: -1, 0: 1, 2: 0, 7: 0}
+	for j, want := range signs {
+		if got := PathSign(n, 5, j); got != want {
+			t.Errorf("PathSign(5,%d) = %d, want %d", j, got, want)
+		}
+	}
+}
+
+func TestReconstructViaPathSigns(t *testing.T) {
+	tr := paperTree(t)
+	n := tr.N()
+	for k := 0; k < n; k++ {
+		var v float64
+		for j := 0; j < n; j++ {
+			v += float64(PathSign(n, k, j)) * tr.Coefficient(j)
+		}
+		if math.Abs(v-paperData[k]) > 1e-12 {
+			t.Fatalf("path-sign reconstruction of d_%d = %g, want %g", k, v, paperData[k])
+		}
+	}
+}
+
+func TestPartitionLayerCounts(t *testing.T) {
+	// N=2^9, h=3: detail levels 0..8 cut into three bands of height 3.
+	p, err := Partition(1<<9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumLayers() != 3 {
+		t.Fatalf("layers = %d, want 3", p.NumLayers())
+	}
+	// Top layer (last) is the single topmost sub-tree.
+	if len(p.Layers[2]) != 1 || p.Layers[2][0].Root != 1 {
+		t.Fatalf("top layer = %+v", p.Layers[2])
+	}
+	// Middle layer roots at detail level 3: nodes 8..15.
+	if len(p.Layers[1]) != 8 || p.Layers[1][0].Root != 8 {
+		t.Fatalf("middle layer = %+v", p.Layers[1])
+	}
+	// Bottom layer roots at level 6: nodes 64..127.
+	if len(p.Layers[0]) != 64 || p.Layers[0][0].Root != 64 {
+		t.Fatalf("bottom layer = %+v", p.Layers[0])
+	}
+}
+
+func TestPartitionUnevenTop(t *testing.T) {
+	// N=2^5 (5 detail levels), h=2: bands of 2,2 and a top band of 1.
+	p, err := Partition(1<<5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumLayers() != 3 {
+		t.Fatalf("layers = %d, want 3", p.NumLayers())
+	}
+	if p.Layers[2][0].Height != 1 {
+		t.Fatalf("top band height = %d, want 1", p.Layers[2][0].Height)
+	}
+}
+
+func TestPartitionCoversAllDetailNodesExactlyOnce(t *testing.T) {
+	f := func(logn, h uint8) bool {
+		n := 1 << (2 + logn%9) // 4..1024
+		hh := 1 + int(h)%4
+		p, err := Partition(n, hh)
+		if err != nil {
+			return false
+		}
+		seen := make([]int, n)
+		for _, layer := range p.Layers {
+			for _, st := range layer {
+				for _, node := range st.Nodes(nil) {
+					seen[node]++
+				}
+			}
+		}
+		if seen[0] != 0 {
+			return false // node 0 belongs to no sub-tree
+		}
+		for i := 1; i < n; i++ {
+			if seen[i] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubtreeChildRootsLinkLayers(t *testing.T) {
+	p, err := Partition(1<<6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each sub-tree's child roots must be roots of sub-trees one layer
+	// below (except the bottom layer, whose children are data leaves).
+	for li := len(p.Layers) - 1; li >= 1; li-- {
+		below := map[int]bool{}
+		for _, st := range p.Layers[li-1] {
+			below[st.Root] = true
+		}
+		for _, st := range p.Layers[li] {
+			for _, cr := range st.ChildRoots(nil) {
+				if !below[cr] {
+					t.Fatalf("layer %d subtree root %d: child root %d not found below", li, st.Root, cr)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionRootBase(t *testing.T) {
+	n, baseLeaves := 64, 8
+	p, err := PartitionRootBase(n, baseLeaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Bases) != 8 || p.RootLevels != 3 {
+		t.Fatalf("bases=%d rootLevels=%d", len(p.Bases), p.RootLevels)
+	}
+	if p.Bases[0].Root != 8 || p.Bases[7].Root != 15 {
+		t.Fatalf("base roots: %+v", p.Bases)
+	}
+	// Root nodes are 0..7.
+	if len(p.RootNodes) != 8 || p.RootNodes[7] != 7 {
+		t.Fatalf("root nodes: %v", p.RootNodes)
+	}
+	// Every data leaf maps to the right base.
+	for k := 0; k < n; k++ {
+		b := p.BaseIndexOf(k)
+		st := p.Bases[b]
+		first, last := wavelet.CoefficientSupport(n, st.Root)
+		if k < first || k >= last {
+			t.Fatalf("leaf %d assigned to base %d covering [%d,%d)", k, b, first, last)
+		}
+	}
+}
+
+func TestIncomingErrorMatchesReconstruction(t *testing.T) {
+	// Deleting a set of root-sub-tree coefficients changes every leaf
+	// reconstruction under a base sub-tree by the same signed amount;
+	// IncomingError must equal that amount.
+	rng := rand.New(rand.NewSource(3))
+	n, baseLeaves := 64, 8
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.NormFloat64() * 20
+	}
+	w, _ := wavelet.Transform(data)
+	p, _ := PartitionRootBase(n, baseLeaves)
+
+	for trial := 0; trial < 20; trial++ {
+		retained := map[int]bool{}
+		for _, node := range p.RootNodes {
+			if rng.Intn(2) == 0 {
+				retained[node] = true
+			}
+		}
+		// Build the truncated coefficient vector: root coefficients kept
+		// only if retained, all base coefficients kept.
+		trunc := make([]float64, n)
+		copy(trunc, w)
+		for _, node := range p.RootNodes {
+			if !retained[node] {
+				trunc[node] = 0
+			}
+		}
+		rec := make([]float64, n)
+		wavelet.InverseInto(rec, trunc)
+		for b := range p.Bases {
+			wantErr := p.IncomingError(b, w, retained)
+			first, last := wavelet.CoefficientSupport(n, p.Bases[b].Root)
+			for k := first; k < last; k++ {
+				if math.Abs((rec[k]-data[k])-wantErr) > 1e-9 {
+					t.Fatalf("trial %d base %d leaf %d: err=%g want %g",
+						trial, b, k, rec[k]-data[k], wantErr)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	if _, err := Partition(12, 2); err == nil {
+		t.Error("Partition(12): want error")
+	}
+	if _, err := Partition(16, 0); err == nil {
+		t.Error("Partition(h=0): want error")
+	}
+	if _, err := PartitionRootBase(16, 16); err == nil {
+		t.Error("PartitionRootBase(base too big): want error")
+	}
+	if _, err := PartitionRootBase(12, 4); err == nil {
+		t.Error("PartitionRootBase(12): want error")
+	}
+}
+
+func TestSubtreeNodesAndSize(t *testing.T) {
+	st := Subtree{Root: 2, Height: 2}
+	nodes := st.Nodes(nil)
+	want := []int{2, 4, 5}
+	if len(nodes) != st.Size() || st.Size() != 3 {
+		t.Fatalf("size = %d nodes = %v", st.Size(), nodes)
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("Nodes = %v, want %v", nodes, want)
+		}
+	}
+	cr := st.ChildRoots(nil)
+	wantCR := []int{8, 9, 10, 11}
+	for i := range wantCR {
+		if cr[i] != wantCR[i] {
+			t.Fatalf("ChildRoots = %v, want %v", cr, wantCR)
+		}
+	}
+}
+
+func TestDumpRendersTreeAndRetention(t *testing.T) {
+	tr := paperTree(t)
+	var buf strings.Builder
+	retained := map[int]bool{0: true, 5: true, 3: true}
+	if err := Dump(&buf, tr, paperData, retained, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"error tree over 8 values",
+		"c0    = 7",
+		"[kept]",
+		"[dropped]",
+		"c5   ",
+		"d0    = 5",
+		"d7    = 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	// Without a retention map, no tags appear.
+	buf.Reset()
+	if err := Dump(&buf, tr, nil, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "[kept]") {
+		t.Fatal("unexpected retention tags")
+	}
+}
+
+func TestDumpElidesLargeTrees(t *testing.T) {
+	data := make([]float64, 1024)
+	tr, err := FromData(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := Dump(&buf, tr, nil, nil, 15); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "elided") {
+		t.Fatalf("large tree not elided:\n%s", buf.String())
+	}
+}

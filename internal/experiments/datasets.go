@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dwmaxerr/internal/dataset"
+	"dwmaxerr/internal/wavelet"
+)
+
+func init() {
+	register("table1", "Wavelet decomposition example (Table 1)", runTable1)
+	register("table3", "Characteristics of the NYCT- and WD-like datasets (Table 3)", runTable3)
+}
+
+func runTable1(cfg Config) error {
+	data := []float64{5, 5, 0, 26, 1, 3, 14, 2}
+	fmt.Fprintf(cfg.Out, "input: %v\n", data)
+	t := &table{header: []string{"Resolution", "Averages", "Detail Coef."}}
+	avgs := data
+	type level struct {
+		res     int
+		avgs    []float64
+		details []float64
+	}
+	var levels []level
+	res := wavelet.Log2(len(data))
+	levels = append(levels, level{res, avgs, nil})
+	for len(avgs) > 1 {
+		next := make([]float64, len(avgs)/2)
+		det := make([]float64, len(avgs)/2)
+		for i := range next {
+			next[i] = (avgs[2*i] + avgs[2*i+1]) / 2
+			det[i] = (avgs[2*i] - avgs[2*i+1]) / 2
+		}
+		res--
+		levels = append(levels, level{res, next, det})
+		avgs = next
+	}
+	for _, l := range levels {
+		d := "-"
+		if l.details != nil {
+			d = fmt.Sprintf("%v", l.details)
+		}
+		t.add(fmt.Sprintf("%d", l.res), fmt.Sprintf("%v", l.avgs), d)
+	}
+	t.write(cfg.Out)
+	w, err := wavelet.Transform(data)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "W_A = %v (paper: [7 2 -4 -3 0 -13 -1 6])\n", w)
+	return nil
+}
+
+func runTable3(cfg Config) error {
+	base := cfg.size(1 << 17) // stands in for the paper's 2M base partition
+	t := &table{header: []string{"Name", "#Records", "Avg", "Stdv", "Max"}}
+	addRows := func(prefix string, gen func(n int) dataset.Generator, sizes []int) {
+		for _, mult := range sizes {
+			n := base * mult
+			data := gen(n).Generate(n, cfg.seed())
+			s := dataset.Summarize(data)
+			t.add(fmt.Sprintf("%s%dx", prefix, mult), fint(int64(s.Records)),
+				ffloat(s.Avg), ffloat(s.Stdv), ffloat(s.Max))
+		}
+	}
+	nyctSizes := []int{1, 2, 4, 8}
+	if cfg.Quick {
+		nyctSizes = []int{1, 2}
+	}
+	addRows("NYCT", func(n int) dataset.Generator {
+		// The paper's 32M/64M partitions contain the extreme outliers.
+		if n >= base*8 {
+			return dataset.NYCTLike{Outliers: true}
+		}
+		return dataset.NYCTLike{}
+	}, nyctSizes)
+	wdSizes := []int{1, 2, 4}
+	if cfg.Quick {
+		wdSizes = []int{1}
+	}
+	addRows("WD", func(n int) dataset.Generator { return dataset.WDLike{} }, wdSizes)
+	t.write(cfg.Out)
+	fmt.Fprintln(cfg.Out, "paper shape: NYCT mean a few hundred s, huge max/stdv in the largest partitions; WD mean ~125, stdv ~119, max 655")
+	return nil
+}

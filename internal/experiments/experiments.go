@@ -1,0 +1,171 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6 and Appendix A.5) on synthetic stand-ins for the
+// paper's datasets. Each experiment prints the same rows/series the paper
+// reports. Absolute numbers differ from the paper (different hardware and
+// scaled-down inputs); the shapes — who wins, by what factor, where the
+// crossovers are — are the reproduction target recorded in EXPERIMENTS.md.
+//
+// Experiments run on the in-process engine, which executes real map and
+// reduce tasks and records per-task durations; "parallel tasks" series are
+// produced by scheduling those measured tasks onto the requested number of
+// slots (mr.Metrics.Makespan), exactly mirroring Hadoop's slot model.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Out receives the rendered tables.
+	Out io.Writer
+	// Scale shifts every dataset size: the default sizes are multiplied by
+	// 2^Scale (negative allowed). 0 keeps the defaults (laptop-friendly).
+	Scale int
+	// Seed makes data generation deterministic.
+	Seed int64
+	// Quick shrinks everything aggressively for smoke tests.
+	Quick bool
+}
+
+func (c Config) size(base int) int {
+	s := c.Scale
+	if c.Quick {
+		s -= 4
+	}
+	for ; s > 0; s-- {
+		base *= 2
+	}
+	for ; s < 0 && base > 64; s++ {
+		base /= 2
+	}
+	return base
+}
+
+func (c Config) seed() int64 {
+	if c.Seed != 0 {
+		return c.Seed
+	}
+	return 20160626 // SIGMOD'16 opening day
+}
+
+// Experiment is a named, runnable reproduction of one table or figure.
+type Experiment struct {
+	Name  string
+	Title string
+	Run   func(Config) error
+}
+
+var registry []Experiment
+
+func register(name, title string, run func(Config) error) {
+	registry = append(registry, Experiment{Name: name, Title: title, Run: run})
+}
+
+// All returns the registered experiments in a stable order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup finds one experiment by name.
+func Lookup(name string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Run executes the named experiment ("all" runs every one).
+func Run(name string, cfg Config) error {
+	if name == "all" {
+		for _, e := range All() {
+			if err := runOne(e, cfg); err != nil {
+				return fmt.Errorf("%s: %w", e.Name, err)
+			}
+		}
+		return nil
+	}
+	e, ok := Lookup(name)
+	if !ok {
+		names := make([]string, 0, len(registry))
+		for _, e := range All() {
+			names = append(names, e.Name)
+		}
+		return fmt.Errorf("experiments: unknown experiment %q (available: %v, all)", name, names)
+	}
+	return runOne(e, cfg)
+}
+
+func runOne(e Experiment, cfg Config) error {
+	fmt.Fprintf(cfg.Out, "== %s — %s ==\n", e.Name, e.Title)
+	start := time.Now()
+	if err := e.Run(cfg); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "(%s completed in %v)\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// table renders aligned columns.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.header)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func fsec(d time.Duration) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}
+
+func ffloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+func fint(v int64) string { return fmt.Sprintf("%d", v) }

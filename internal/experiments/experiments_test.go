@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments smoke test skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Run(e.Name, Config{Out: &buf, Quick: true}); err != nil {
+				t.Fatalf("%s: %v\noutput so far:\n%s", e.Name, err, buf.String())
+			}
+			out := buf.String()
+			if !strings.Contains(out, e.Name) {
+				t.Fatalf("%s: missing banner in output", e.Name)
+			}
+			if len(out) < 80 {
+				t.Fatalf("%s: suspiciously short output:\n%s", e.Name, out)
+			}
+		})
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", Config{Out: &buf}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestLookupAndAll(t *testing.T) {
+	all := All()
+	if len(all) < 10 {
+		t.Fatalf("only %d experiments registered", len(all))
+	}
+	for _, want := range []string{"table1", "table3", "fig5a", "fig5b", "fig5c", "fig5d",
+		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "comm", "ablation-eb"} {
+		if _, ok := Lookup(want); !ok {
+			t.Errorf("experiment %q not registered", want)
+		}
+	}
+}
+
+func TestConfigSize(t *testing.T) {
+	c := Config{}
+	if c.size(1024) != 1024 {
+		t.Fatal("scale 0 changed size")
+	}
+	if (Config{Scale: 2}).size(1024) != 4096 {
+		t.Fatal("positive scale")
+	}
+	if (Config{Scale: -2}).size(1024) != 256 {
+		t.Fatal("negative scale")
+	}
+	if (Config{Quick: true}).size(1024) != 64 {
+		t.Fatal("quick mode")
+	}
+	if (Config{Scale: -20}).size(1024) != 64 {
+		t.Fatal("floor not applied")
+	}
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dwmaxerr/internal/dataset"
+	"dwmaxerr/internal/dist"
+	"dwmaxerr/internal/dp"
+	"dwmaxerr/internal/greedy"
+)
+
+func init() {
+	register("fig5a", "Runtime vs. sub-tree size (Figure 5a)", runFig5a)
+	register("fig5b", "Runtime vs. budget B (Figure 5b)", runFig5b)
+	register("fig5c", "DGreedyAbs scalability with N and parallel tasks (Figure 5c)", runFig5c)
+	register("fig5d", "DIndirectHaar scalability with N and parallel tasks (Figure 5d)", runFig5d)
+}
+
+// uniformSource generates the Section 6.1 workload: uniform values in
+// [0, 1K].
+func uniformSource(cfg Config, n int) dist.SliceSource {
+	return dist.SliceSource(dataset.Uniform{Max: 1000}.Generate(n, cfg.seed()))
+}
+
+// runReport executes fn, returning the report and driver wall time.
+func runReport(fn func() (*dist.Report, error)) (*dist.Report, time.Duration, error) {
+	t0 := time.Now()
+	rep, err := fn()
+	return rep, time.Since(t0), err
+}
+
+func runFig5a(cfg Config) error {
+	n := cfg.size(1 << 16) // stands in for the paper's 17M
+	b := n / 8
+	src := uniformSource(cfg, n)
+	subtrees := []int{n / 64, n / 32, n / 16, n / 8} // 2^17..2^20 in the paper
+	t := &table{header: []string{"subtree", "DGreedyAbs(40 slots)", "DGreedyAbs wall", "DIndirectHaar(40 slots)", "DIndirectHaar wall"}}
+	for _, s := range subtrees {
+		dg, dgWall, err := runReport(func() (*dist.Report, error) {
+			return dist.DGreedyAbs(src, b, dist.Config{SubtreeLeaves: s})
+		})
+		if err != nil {
+			return err
+		}
+		di, diWall, err := runReport(func() (*dist.Report, error) {
+			return dist.DIndirectHaar(src, b, dist.Config{SubtreeLeaves: s, Delta: 50})
+		})
+		if err != nil {
+			return err
+		}
+		t.add(fint(int64(s)), fsec(dg.Makespan(40, 4)), fsec(dgWall), fsec(di.Makespan(40, 1)), fsec(diWall))
+	}
+	t.write(cfg.Out)
+	fmt.Fprintln(cfg.Out, "paper shape: sub-tree size does not significantly affect runtime (flat lines)")
+	return nil
+}
+
+func runFig5b(cfg Config) error {
+	n := cfg.size(1 << 16)
+	src := uniformSource(cfg, n)
+	s := n / 16
+	t := &table{header: []string{"B", "DGreedyAbs(40 slots)", "DIndirectHaar(40 slots)", "DIndirectHaar probes(jobs)"}}
+	for _, div := range []int{64, 32, 16, 8} {
+		b := n / div
+		dg, _, err := runReport(func() (*dist.Report, error) {
+			return dist.DGreedyAbs(src, b, dist.Config{SubtreeLeaves: s})
+		})
+		if err != nil {
+			return err
+		}
+		di, _, err := runReport(func() (*dist.Report, error) {
+			return dist.DIndirectHaar(src, b, dist.Config{SubtreeLeaves: s, Delta: 50})
+		})
+		if err != nil {
+			return err
+		}
+		t.add(fmt.Sprintf("N/%d", div), fsec(dg.Makespan(40, 4)), fsec(di.Makespan(40, 1)), fint(int64(len(di.Jobs))))
+	}
+	t.write(cfg.Out)
+	fmt.Fprintln(cfg.Out, "paper shape: DGreedyAbs flat in B; DIndirectHaar may speed up at larger B (tighter bounds converge faster)")
+	return nil
+}
+
+func runFig5c(cfg Config) error {
+	base := cfg.size(1 << 14)
+	sizes := []int{base, base * 2, base * 4, base * 8} // 2M..537M in the paper
+	t := &table{header: []string{"N", "GreedyAbs(centralized)", "DGreedyAbs(10)", "DGreedyAbs(20)", "DGreedyAbs(40)", "max_abs(D)", "max_abs(C)"}}
+	for _, n := range sizes {
+		src := uniformSource(cfg, n)
+		b := n / 8
+		t0 := time.Now()
+		_, centralErr, err := greedy.SynopsisAbs([]float64(src), b)
+		if err != nil {
+			return err
+		}
+		centralTime := time.Since(t0)
+		rep, _, err := runReport(func() (*dist.Report, error) {
+			return dist.DGreedyAbs(src, b, dist.Config{SubtreeLeaves: n / 16})
+		})
+		if err != nil {
+			return err
+		}
+		t.add(fint(int64(n)), fsec(centralTime),
+			fsec(rep.Makespan(10, 4)), fsec(rep.Makespan(20, 4)), fsec(rep.Makespan(40, 4)),
+			ffloat(rep.MaxErr), ffloat(centralErr))
+	}
+	t.write(cfg.Out)
+	fmt.Fprintln(cfg.Out, "paper shape: linear in N; halving slots doubles runtime; same max_abs as the centralized greedy")
+	return nil
+}
+
+func runFig5d(cfg Config) error {
+	base := cfg.size(1 << 13)
+	sizes := []int{base, base * 2, base * 4}
+	t := &table{header: []string{"N", "IndirectHaar(centralized)", "DIndirectHaar(10)", "DIndirectHaar(20)", "DIndirectHaar(40)", "DIndirectHaar wall", "shuffleMB"}}
+	for _, n := range sizes {
+		src := uniformSource(cfg, n)
+		b := n / 8
+		t0 := time.Now()
+		if _, err := dp.IndirectHaar([]float64(src), b, 50); err != nil {
+			return err
+		}
+		centralTime := time.Since(t0)
+		rep, wall, err := runReport(func() (*dist.Report, error) {
+			return dist.DIndirectHaar(src, b, dist.Config{SubtreeLeaves: n / 16, Delta: 50})
+		})
+		if err != nil {
+			return err
+		}
+		t.add(fint(int64(n)), fsec(centralTime),
+			fsec(rep.Makespan(10, 1)), fsec(rep.Makespan(20, 1)), fsec(rep.Makespan(40, 1)), fsec(wall),
+			fmt.Sprintf("%.3f", float64(rep.TotalShuffleBytes())/(1<<20)))
+	}
+	t.write(cfg.Out)
+	fmt.Fprintln(cfg.Out, "paper shape: linear in N; the centralized DP wins at small N (no job/shuffle overhead), the distributed one as N and compute-intensity grow")
+	return nil
+}

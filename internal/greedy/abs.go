@@ -1,0 +1,239 @@
+// Package greedy implements the centralized greedy thresholding algorithms
+// of Karras & Mamoulis that the paper builds on (Section 5.1):
+//
+//   - GreedyAbs, minimizing the maximum absolute reconstruction error: each
+//     step discards the live coefficient with the smallest maximum potential
+//     absolute error MA_k (Equations 7–8), maintained via four signed-error
+//     extremes per error-tree node and an indexed min-heap.
+//   - GreedyRel (Section 5.4), minimizing the maximum relative error with a
+//     sanity bound: MA's four-quantity trick fails under per-leaf
+//     denominators (Equation 10), so each node instead maintains upper
+//     envelopes of the lines ±(err_j + x)/den_j over its leaves, with lazy
+//     uniform shifts for whole-subtree updates.
+//
+// Both run the deletion loop to the empty tree and record, for every step,
+// the discarded node and the global maximum error after the deletion. The
+// paper exploits this full order twice: centralized thresholding keeps the
+// best of the last B+1 states (the error is not monotone in the number of
+// deletions), and DGreedyAbs emits the order as error-bucket histograms.
+package greedy
+
+import (
+	"fmt"
+	"math"
+
+	"dwmaxerr/internal/wavelet"
+)
+
+// Step records one greedy deletion: the error-tree node index removed and
+// the global maximum error (absolute or relative, depending on the run)
+// over all data values after the removal.
+type Step struct {
+	Index int
+	Err   float64
+}
+
+// Options configures a greedy run.
+type Options struct {
+	// InitialErr is a uniform signed accumulated error applied to every
+	// data leaf before the run — the "incoming error" a base sub-tree
+	// inherits from deleted root-sub-tree coefficients (Section 5.2).
+	InitialErr float64
+	// HasRoot states that w[0] is the overall-average coefficient c_0 and
+	// participates in thresholding. When false, w describes a detail-only
+	// sub-tree whose index 0 is unused (base sub-trees in Figure 4).
+	HasRoot bool
+}
+
+// RunAbs executes GreedyAbs over the error (sub-)tree with coefficients w
+// in heap layout (len a power of two) and returns the full deletion order.
+// w is not modified.
+func RunAbs(w []float64, opts Options) ([]Step, error) {
+	n := len(w)
+	if !wavelet.IsPowerOfTwo(n) {
+		return nil, wavelet.ErrNotPowerOfTwo
+	}
+	if n == 1 {
+		if !opts.HasRoot {
+			return nil, nil // a detail-only tree of size 1 has no nodes
+		}
+		// Only c_0 exists: removing it leaves error |InitialErr - ... |;
+		// err after removal = InitialErr - c_0 on the single leaf.
+		return []Step{{0, math.Abs(opts.InitialErr - w[0])}}, nil
+	}
+	a := &absState{w: w, n: n, hasRoot: opts.HasRoot}
+	a.init(opts.InitialErr)
+	steps := make([]Step, 0, a.heap.Len())
+	for a.heap.Len() > 0 {
+		k := a.heap.PopMin()
+		a.remove(k)
+		steps = append(steps, Step{Index: k, Err: a.globalMax()})
+	}
+	return steps, nil
+}
+
+// absState carries the four signed-error extremes per internal node
+// (max/min over the left and right leaves, Section 5.1) plus the heap of
+// live coefficients keyed by MA.
+type absState struct {
+	w       []float64
+	n       int
+	hasRoot bool
+	// Signed-error extremes per node. For node 0 the "left" side covers
+	// all leaves and the right side is empty (sentinels).
+	maxL, minL, maxR, minR []float64
+	heap                   *indexHeap
+}
+
+func (a *absState) init(e0 float64) {
+	n := a.n
+	a.maxL = make([]float64, n)
+	a.minL = make([]float64, n)
+	a.maxR = make([]float64, n)
+	a.minR = make([]float64, n)
+	for i := 1; i < n; i++ {
+		a.maxL[i], a.minL[i], a.maxR[i], a.minR[i] = e0, e0, e0, e0
+	}
+	a.heap = newIndexHeap(n)
+	start := 1
+	if a.hasRoot {
+		start = 0
+		a.maxL[0], a.minL[0] = e0, e0
+		a.maxR[0], a.minR[0] = math.Inf(-1), math.Inf(1)
+	}
+	for i := start; i < n; i++ {
+		a.heap.Push(i, a.ma(i))
+	}
+}
+
+// ma computes Equation 8 for node k from its four extremes.
+func (a *absState) ma(k int) float64 {
+	c := a.w[k]
+	m := math.Inf(-1)
+	if !math.IsInf(a.maxL[k], -1) {
+		m = math.Max(m, math.Max(math.Abs(a.maxL[k]-c), math.Abs(a.minL[k]-c)))
+	}
+	if !math.IsInf(a.maxR[k], -1) {
+		m = math.Max(m, math.Max(math.Abs(a.maxR[k]+c), math.Abs(a.minR[k]+c)))
+	}
+	return m
+}
+
+// remove deletes coefficient k: shift the signed errors of its left (right)
+// leaves down (up) by c_k, refresh descendant MA values, and re-derive the
+// extremes of every ancestor.
+func (a *absState) remove(k int) {
+	c := a.w[k]
+	if k == 0 {
+		// c_0 contributes +c to every reconstruction; removal shifts all
+		// errors by -c.
+		a.maxL[0] -= c
+		a.minL[0] -= c
+		if a.n > 1 {
+			a.shift(1, -c)
+		}
+		return
+	}
+	a.maxL[k] -= c
+	a.minL[k] -= c
+	a.maxR[k] += c
+	a.minR[k] += c
+	if 2*k < a.n {
+		a.shift(2*k, -c)
+		a.shift(2*k+1, +c)
+	}
+	if a.heap.Contains(k) {
+		a.heap.Fix(k, a.ma(k))
+	}
+	a.updateAncestors(k)
+}
+
+// shift applies a uniform signed-error shift to the whole sub-tree rooted
+// at node i (all four extremes of every internal node move together).
+func (a *absState) shift(i int, delta float64) {
+	if i >= a.n {
+		return
+	}
+	a.maxL[i] += delta
+	a.minL[i] += delta
+	a.maxR[i] += delta
+	a.minR[i] += delta
+	if a.heap.Contains(i) {
+		a.heap.Fix(i, a.ma(i))
+	}
+	a.shift(2*i, delta)
+	a.shift(2*i+1, delta)
+}
+
+// updateAncestors re-derives the extremes of k's ancestors from their
+// children and refreshes their heap keys.
+func (a *absState) updateAncestors(k int) {
+	for p := k / 2; p >= 1; p /= 2 {
+		l, r := 2*p, 2*p+1
+		a.maxL[p] = math.Max(a.maxL[l], a.maxR[l])
+		a.minL[p] = math.Min(a.minL[l], a.minR[l])
+		a.maxR[p] = math.Max(a.maxL[r], a.maxR[r])
+		a.minR[p] = math.Min(a.minL[r], a.minR[r])
+		if a.heap.Contains(p) {
+			a.heap.Fix(p, a.ma(p))
+		}
+	}
+	if a.hasRoot {
+		a.maxL[0] = math.Max(a.maxL[1], a.maxR[1])
+		a.minL[0] = math.Min(a.minL[1], a.minR[1])
+		if a.heap.Contains(0) {
+			a.heap.Fix(0, a.ma(0))
+		}
+	}
+}
+
+// globalMax returns the current maximum absolute error over all leaves.
+func (a *absState) globalMax() float64 {
+	if a.n == 1 {
+		return math.Max(math.Abs(a.maxL[0]), math.Abs(a.minL[0]))
+	}
+	m := math.Max(math.Abs(a.maxL[1]), math.Abs(a.minL[1]))
+	return math.Max(m, math.Max(math.Abs(a.maxR[1]), math.Abs(a.minR[1])))
+}
+
+// BestTail examines the tail states of a full deletion order per Section
+// 5.1: among the states with at most budget coefficients left (i.e. at
+// least total-budget deletions applied, where total = len(steps)), it
+// returns the number of deletions t minimizing the recorded error, the
+// error itself, and the retained node indices steps[t:]. initialErr is the
+// global error of the zero-deletions state (|InitialErr| for uniform
+// offsets; 0 for a fresh tree). Ties prefer more deletions (a smaller
+// synopsis at equal error).
+func BestTail(steps []Step, budget int, initialErr float64) (deletions int, err float64, retained []int) {
+	total := len(steps)
+	tMin := total - budget
+	if tMin < 0 {
+		tMin = 0
+	}
+	bestT, bestErr := -1, math.Inf(1)
+	for t := tMin; t <= total; t++ {
+		var e float64
+		if t == 0 {
+			e = math.Abs(initialErr)
+		} else {
+			e = steps[t-1].Err
+		}
+		if e <= bestErr {
+			bestErr = e
+			bestT = t
+		}
+	}
+	retained = make([]int, 0, total-bestT)
+	for _, s := range steps[bestT:] {
+		retained = append(retained, s.Index)
+	}
+	return bestT, bestErr, retained
+}
+
+// validateBudget reports a descriptive error for non-positive budgets.
+func validateBudget(b int) error {
+	if b < 1 {
+		return fmt.Errorf("greedy: budget %d < 1", b)
+	}
+	return nil
+}

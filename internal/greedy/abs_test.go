@@ -1,0 +1,289 @@
+package greedy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dwmaxerr/internal/synopsis"
+	"dwmaxerr/internal/wavelet"
+)
+
+var paperData = []float64{5, 5, 0, 26, 1, 3, 14, 2}
+
+func randVec(rng *rand.Rand, n int, scale float64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64() * scale
+	}
+	return v
+}
+
+func TestRunAbsMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 << (1 + rng.Intn(5)) // 2..32
+		data := randVec(rng, n, 50)
+		w, _ := wavelet.Transform(data)
+		for _, opts := range []Options{
+			{HasRoot: true},
+			{HasRoot: false},
+			{HasRoot: true, InitialErr: rng.NormFloat64() * 10},
+			{HasRoot: false, InitialErr: rng.NormFloat64() * 10},
+		} {
+			got, err := RunAbs(w, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := naiveRun(w, nil, opts)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d opts %+v: %d steps, want %d", trial, opts, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Index != want[i].Index {
+					t.Fatalf("trial %d opts %+v step %d: removed %d, naive removed %d",
+						trial, opts, i, got[i].Index, want[i].Index)
+				}
+				if math.Abs(got[i].Err-want[i].Err) > 1e-9*(1+math.Abs(want[i].Err)) {
+					t.Fatalf("trial %d step %d: err %g, naive %g", trial, i, got[i].Err, want[i].Err)
+				}
+			}
+		}
+	}
+}
+
+func TestRunAbsPaperRootSubtreeOrder(t *testing.T) {
+	// Section 5.2: on the root sub-tree {c0,c1,c2,c3} of Figure 1 (i.e. the
+	// 4-value vector of pair averages [5,13,2,8]), GreedyAbs discards in
+	// the order [c1, c3, c2, c0].
+	means := []float64{5, 13, 2, 8}
+	w, _ := wavelet.Transform(means)
+	steps, err := RunAbs(w, Options{HasRoot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 3, 2, 0}
+	for i, s := range steps {
+		if s.Index != want[i] {
+			t.Fatalf("order = %v, want %v", stepIndices(steps), want)
+		}
+	}
+}
+
+func stepIndices(steps []Step) []int {
+	idx := make([]int, len(steps))
+	for i, s := range steps {
+		idx[i] = s.Index
+	}
+	return idx
+}
+
+func TestRunAbsRemovesAllCoefficients(t *testing.T) {
+	w, _ := wavelet.Transform(paperData)
+	steps, _ := RunAbs(w, Options{HasRoot: true})
+	if len(steps) != len(w) {
+		t.Fatalf("steps = %d, want %d", len(steps), len(w))
+	}
+	seen := map[int]bool{}
+	for _, s := range steps {
+		if seen[s.Index] {
+			t.Fatalf("node %d removed twice", s.Index)
+		}
+		seen[s.Index] = true
+	}
+	// Final state: all coefficients gone; error = max |d_i|.
+	var wantFinal float64
+	for _, d := range paperData {
+		wantFinal = math.Max(wantFinal, math.Abs(d))
+	}
+	if got := steps[len(steps)-1].Err; math.Abs(got-wantFinal) > 1e-12 {
+		t.Fatalf("final error = %g, want %g", got, wantFinal)
+	}
+}
+
+func TestRunAbsZeroCoefficientsRemovedFree(t *testing.T) {
+	// A constant vector has all-zero details; removing them must not incur
+	// error, and the overall average goes last.
+	data := []float64{4, 4, 4, 4, 4, 4, 4, 4}
+	w, _ := wavelet.Transform(data)
+	steps, _ := RunAbs(w, Options{HasRoot: true})
+	for i := 0; i < len(steps)-1; i++ {
+		if steps[i].Err != 0 {
+			t.Fatalf("step %d err = %g, want 0", i, steps[i].Err)
+		}
+	}
+	last := steps[len(steps)-1]
+	if last.Index != 0 || last.Err != 4 {
+		t.Fatalf("last step = %+v, want remove node 0 with err 4", last)
+	}
+}
+
+func TestRunAbsSizeOne(t *testing.T) {
+	steps, err := RunAbs([]float64{7}, Options{HasRoot: true})
+	if err != nil || len(steps) != 1 || steps[0].Index != 0 || steps[0].Err != 7 {
+		t.Fatalf("steps=%v err=%v", steps, err)
+	}
+	steps, err = RunAbs([]float64{7}, Options{HasRoot: false})
+	if err != nil || len(steps) != 0 {
+		t.Fatalf("detail-only singleton: steps=%v err=%v", steps, err)
+	}
+	if _, err := RunAbs(make([]float64, 3), Options{}); err == nil {
+		t.Fatal("want error for non-power-of-two")
+	}
+}
+
+func TestBestTail(t *testing.T) {
+	steps := []Step{{5, 3}, {4, 1}, {3, 2}, {2, 9}, {1, 4}, {0, 10}}
+	// budget 4 => t in [2,6]; errors at t=2..6: 2,9,4,10... wait t=2 -> steps[1].Err=1? No:
+	// E_t = steps[t-1].Err: E_2=1, E_3=2, E_4=9, E_5=4, E_6=10. Min is t=2, err 1.
+	dels, err, retained := BestTail(steps, 4, 0)
+	if dels != 2 || err != 1 {
+		t.Fatalf("dels=%d err=%g", dels, err)
+	}
+	if len(retained) != 4 || retained[0] != 3 || retained[3] != 0 {
+		t.Fatalf("retained = %v", retained)
+	}
+	// budget >= total: zero deletions with initial error 0 wins.
+	dels, err, retained = BestTail(steps, 10, 0)
+	if dels != 0 || err != 0 || len(retained) != 6 {
+		t.Fatalf("budget>=total: dels=%d err=%g retained=%v", dels, err, retained)
+	}
+	// budget 1: t in [5,6]: E_5=4, E_6=10.
+	dels, err, retained = BestTail(steps, 1, 0)
+	if dels != 5 || err != 4 || len(retained) != 1 || retained[0] != 0 {
+		t.Fatalf("budget 1: dels=%d err=%g retained=%v", dels, err, retained)
+	}
+}
+
+func TestBestTailPrefersSmallerSynopsisOnTies(t *testing.T) {
+	steps := []Step{{3, 5}, {2, 5}, {1, 5}}
+	dels, err, retained := BestTail(steps, 3, 5)
+	if dels != 3 || err != 5 || len(retained) != 0 {
+		t.Fatalf("dels=%d err=%g retained=%v", dels, err, retained)
+	}
+}
+
+func TestSynopsisAbsAchievedErrorIsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 << (2 + rng.Intn(6)) // 4..128
+		data := randVec(rng, n, 100)
+		b := 1 + rng.Intn(n)
+		s, reported, err := SynopsisAbs(data, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Size() > b {
+			t.Fatalf("size %d > budget %d", s.Size(), b)
+		}
+		actual := synopsis.MaxAbsError(s, data)
+		if math.Abs(actual-reported) > 1e-6*(1+reported) {
+			t.Fatalf("trial %d: reported %g, actual %g", trial, reported, actual)
+		}
+	}
+}
+
+func TestSynopsisAbsNeverWorseThanDroppingNothing(t *testing.T) {
+	data := paperData
+	s, errAll, err := SynopsisAbs(data, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c4 of the paper example is zero, so the full synopsis has 7 terms.
+	if errAll != 0 || s.Size() != 7 {
+		t.Fatalf("full budget: err=%g size=%d", errAll, s.Size())
+	}
+}
+
+func TestSynopsisAbsCloseToOptimal(t *testing.T) {
+	// Exhaustive optimal restricted synopsis on tiny inputs: greedy must be
+	// within a small factor (and never better than optimal).
+	rng := rand.New(rand.NewSource(8))
+	n, b := 8, 3
+	var worst float64
+	for trial := 0; trial < 30; trial++ {
+		data := randVec(rng, n, 40)
+		w, _ := wavelet.Transform(data)
+		_, greedyErr, err := SynopsisAbs(data, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := math.Inf(1)
+		var comb func(start int, chosen []int)
+		comb = func(start int, chosen []int) {
+			if len(chosen) <= b {
+				s := synopsis.FromIndices(w, chosen)
+				if e := synopsis.MaxAbsError(s, data); e < opt {
+					opt = e
+				}
+			}
+			if len(chosen) == b {
+				return
+			}
+			for i := start; i < n; i++ {
+				comb(i+1, append(chosen, i))
+			}
+		}
+		comb(0, nil)
+		if greedyErr < opt-1e-9 {
+			t.Fatalf("trial %d: greedy %g beat exhaustive optimum %g", trial, greedyErr, opt)
+		}
+		if ratio := greedyErr / math.Max(opt, 1e-12); ratio > worst {
+			worst = ratio
+		}
+	}
+	if worst > 3.0 {
+		t.Fatalf("greedy/optimal ratio reached %g; expected near-optimal behavior", worst)
+	}
+}
+
+func TestSynopsisAbsBudgetValidation(t *testing.T) {
+	if _, _, err := SynopsisAbs(paperData, 0); err == nil {
+		t.Fatal("want error for budget 0")
+	}
+	if _, _, err := SynopsisAbs([]float64{1, 2, 3}, 1); err == nil {
+		t.Fatal("want error for non-power-of-two data")
+	}
+}
+
+func TestRunAbsDetailSubtreeWithIncomingError(t *testing.T) {
+	// A base sub-tree with a uniform incoming error e0 behaves like a tree
+	// whose leaves all start with signed error e0: the first recorded
+	// errors must never drop below what removing nothing yields if e0
+	// dominates all coefficients.
+	w := []float64{0, 0.5, 0.25, -0.25} // detail-only sub-tree, index 0 unused
+	steps, err := RunAbs(w, Options{HasRoot: false, InitialErr: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 3 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	for _, s := range steps {
+		if s.Err < 99 || s.Err > 101 {
+			t.Fatalf("step err %g should stay near the incoming error 100", s.Err)
+		}
+	}
+}
+
+func BenchmarkRunAbs(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 16} {
+		rng := rand.New(rand.NewSource(1))
+		data := randVec(rng, n, 1000)
+		w, _ := wavelet.Transform(data)
+		b.Run(sizeLabel(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunAbs(w, Options{HasRoot: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeLabel(n int) string {
+	if n >= 1<<16 {
+		return "64K"
+	}
+	return "4K"
+}

@@ -1,0 +1,62 @@
+package greedy
+
+import (
+	"math"
+
+	"dwmaxerr/internal/synopsis"
+	"dwmaxerr/internal/wavelet"
+)
+
+// SynopsisAbs runs the centralized GreedyAbs algorithm end-to-end: Haar
+// transform of data, full greedy deletion order, best-tail selection among
+// the states retaining at most budget coefficients, and synopsis
+// construction. It returns the synopsis and the achieved maximum absolute
+// error. data length must be a power of two and budget >= 1.
+func SynopsisAbs(data []float64, budget int) (*synopsis.Synopsis, float64, error) {
+	if err := validateBudget(budget); err != nil {
+		return nil, 0, err
+	}
+	w, err := wavelet.Transform(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	steps, err := RunAbs(w, Options{HasRoot: true})
+	if err != nil {
+		return nil, 0, err
+	}
+	_, maxErr, retained := BestTail(steps, budget, 0)
+	return synopsis.FromIndices(w, retained), maxErr, nil
+}
+
+// SynopsisRel runs the centralized GreedyRel algorithm end-to-end for the
+// maximum relative error metric with the given sanity bound (Section 5.4).
+// It returns the synopsis and the achieved maximum relative error.
+func SynopsisRel(data []float64, budget int, sanity float64) (*synopsis.Synopsis, float64, error) {
+	if err := validateBudget(budget); err != nil {
+		return nil, 0, err
+	}
+	if sanity <= 0 {
+		sanity = 1
+	}
+	w, err := wavelet.Transform(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	den := Denominators(data, sanity)
+	steps, err := RunRel(w, den, Options{HasRoot: true})
+	if err != nil {
+		return nil, 0, err
+	}
+	_, maxErr, retained := BestTail(steps, budget, 0)
+	return synopsis.FromIndices(w, retained), maxErr, nil
+}
+
+// Denominators returns the per-leaf relative-error denominators
+// max(|d_j|, sanity) of Equation 3/10.
+func Denominators(data []float64, sanity float64) []float64 {
+	den := make([]float64, len(data))
+	for i, d := range data {
+		den[i] = math.Max(math.Abs(d), sanity)
+	}
+	return den
+}

@@ -1,0 +1,129 @@
+package greedy
+
+// indexHeap is an indexed binary min-heap over node indices keyed by
+// float64 priorities, with deterministic tie-breaking on the node index.
+// It supports the decrease/increase-key ("fix") and arbitrary removal
+// operations the greedy algorithms need when a coefficient deletion changes
+// the MA/MR priority of its ancestors and descendants (Section 5.1).
+type indexHeap struct {
+	keys []float64 // priority per node index (sparse, indexed by node id)
+	heap []int     // heap of node indices
+	pos  []int     // pos[node] = position in heap, -1 if absent
+}
+
+// newIndexHeap returns a heap able to hold node indices < capacity.
+func newIndexHeap(capacity int) *indexHeap {
+	h := &indexHeap{
+		keys: make([]float64, capacity),
+		pos:  make([]int, capacity),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+func (h *indexHeap) less(a, b int) bool {
+	ka, kb := h.keys[a], h.keys[b]
+	if ka != kb {
+		return ka < kb
+	}
+	return a < b
+}
+
+// Len returns the number of queued nodes.
+func (h *indexHeap) Len() int { return len(h.heap) }
+
+// Contains reports whether node i is queued.
+func (h *indexHeap) Contains(i int) bool { return h.pos[i] >= 0 }
+
+// Key returns the current priority of node i (meaningful only if queued).
+func (h *indexHeap) Key(i int) float64 { return h.keys[i] }
+
+// Push inserts node i with the given key. i must not already be queued.
+func (h *indexHeap) Push(i int, key float64) {
+	h.keys[i] = key
+	h.pos[i] = len(h.heap)
+	h.heap = append(h.heap, i)
+	h.up(len(h.heap) - 1)
+}
+
+// PopMin removes and returns the node with the smallest key.
+func (h *indexHeap) PopMin() int {
+	top := h.heap[0]
+	h.swap(0, len(h.heap)-1)
+	h.heap = h.heap[:len(h.heap)-1]
+	h.pos[top] = -1
+	if len(h.heap) > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// Fix updates node i's key and restores the heap invariant. No-op if i is
+// not queued.
+func (h *indexHeap) Fix(i int, key float64) {
+	p := h.pos[i]
+	if p < 0 {
+		return
+	}
+	old := h.keys[i]
+	h.keys[i] = key
+	if key < old {
+		h.up(p)
+	} else if key > old {
+		h.down(p)
+	}
+}
+
+// Remove deletes node i from the heap if present.
+func (h *indexHeap) Remove(i int) {
+	p := h.pos[i]
+	if p < 0 {
+		return
+	}
+	last := len(h.heap) - 1
+	h.swap(p, last)
+	h.heap = h.heap[:last]
+	h.pos[i] = -1
+	if p < last {
+		h.down(p)
+		h.up(h.pos[h.heap[p]])
+	}
+}
+
+func (h *indexHeap) swap(a, b int) {
+	h.heap[a], h.heap[b] = h.heap[b], h.heap[a]
+	h.pos[h.heap[a]] = a
+	h.pos[h.heap[b]] = b
+}
+
+func (h *indexHeap) up(p int) {
+	for p > 0 {
+		parent := (p - 1) / 2
+		if !h.less(h.heap[p], h.heap[parent]) {
+			break
+		}
+		h.swap(p, parent)
+		p = parent
+	}
+}
+
+func (h *indexHeap) down(p int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*p+1, 2*p+2
+		smallest := p
+		if l < n && h.less(h.heap[l], h.heap[smallest]) {
+			smallest = l
+		}
+		if r < n && h.less(h.heap[r], h.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == p {
+			return
+		}
+		h.swap(p, smallest)
+		p = smallest
+	}
+}

@@ -1,0 +1,132 @@
+package greedy
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexHeapBasicOrder(t *testing.T) {
+	h := newIndexHeap(8)
+	keys := []float64{5, 1, 3, 2, 4}
+	for i, k := range keys {
+		h.Push(i, k)
+	}
+	want := []int{1, 3, 2, 4, 0}
+	for _, w := range want {
+		if got := h.PopMin(); got != w {
+			t.Fatalf("PopMin = %d, want %d", got, w)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatal("heap not empty")
+	}
+}
+
+func TestIndexHeapTieBreakByIndex(t *testing.T) {
+	h := newIndexHeap(4)
+	h.Push(3, 1)
+	h.Push(1, 1)
+	h.Push(2, 1)
+	if got := h.PopMin(); got != 1 {
+		t.Fatalf("tie broke to %d, want 1", got)
+	}
+	if got := h.PopMin(); got != 2 {
+		t.Fatalf("tie broke to %d, want 2", got)
+	}
+}
+
+func TestIndexHeapFixAndRemove(t *testing.T) {
+	h := newIndexHeap(8)
+	for i := 0; i < 6; i++ {
+		h.Push(i, float64(i))
+	}
+	h.Fix(5, -1) // becomes the minimum
+	if got := h.PopMin(); got != 5 {
+		t.Fatalf("after decrease: PopMin = %d", got)
+	}
+	h.Fix(0, 100) // becomes the maximum
+	h.Remove(2)
+	if h.Contains(2) {
+		t.Fatal("removed node still contained")
+	}
+	h.Remove(2) // double remove is a no-op
+	h.Fix(2, 0) // fix of absent node is a no-op
+	want := []int{1, 3, 4, 0}
+	for _, w := range want {
+		if got := h.PopMin(); got != w {
+			t.Fatalf("PopMin = %d, want %d", got, w)
+		}
+	}
+}
+
+func TestIndexHeapAgainstSortProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		h := newIndexHeap(n)
+		type node struct {
+			id  int
+			key float64
+		}
+		live := map[int]float64{}
+		for i := 0; i < n; i++ {
+			k := float64(rng.Intn(20))
+			h.Push(i, k)
+			live[i] = k
+		}
+		// Random mutations.
+		for op := 0; op < 40; op++ {
+			id := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				if _, ok := live[id]; ok {
+					k := float64(rng.Intn(20))
+					h.Fix(id, k)
+					live[id] = k
+				}
+			case 1:
+				h.Remove(id)
+				delete(live, id)
+			case 2:
+				if _, ok := live[id]; !ok {
+					k := float64(rng.Intn(20))
+					h.Push(id, k)
+					live[id] = k
+				}
+			}
+		}
+		// Drain and compare with a sort.
+		var want []node
+		for id, k := range live {
+			want = append(want, node{id, k})
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].key != want[j].key {
+				return want[i].key < want[j].key
+			}
+			return want[i].id < want[j].id
+		})
+		if h.Len() != len(want) {
+			return false
+		}
+		for _, w := range want {
+			if h.PopMin() != w.id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexHeapKeyAccessor(t *testing.T) {
+	h := newIndexHeap(2)
+	h.Push(1, 7.5)
+	if h.Key(1) != 7.5 {
+		t.Fatalf("Key = %g", h.Key(1))
+	}
+}

@@ -1,0 +1,130 @@
+package greedy
+
+// Naive O(n^2)-per-run reference implementations of GreedyAbs and GreedyRel
+// that maintain explicit per-leaf signed errors and evaluate Equations 7
+// and 10 by scanning leaves. The optimized implementations must reproduce
+// their deletion orders and recorded errors.
+
+import (
+	"math"
+)
+
+// naiveTree interprets a heap-layout coefficient slice as an error
+// (sub-)tree, mirroring the semantics of Options.
+type naiveTree struct {
+	w       []float64
+	n       int
+	hasRoot bool
+	err     []float64 // signed accumulated error per leaf
+	alive   map[int]bool
+}
+
+func newNaiveTree(w []float64, opts Options) *naiveTree {
+	n := len(w)
+	t := &naiveTree{w: w, n: n, hasRoot: opts.HasRoot, err: make([]float64, n), alive: map[int]bool{}}
+	for j := range t.err {
+		t.err[j] = opts.InitialErr
+	}
+	start := 1
+	if opts.HasRoot {
+		start = 0
+	}
+	if n == 1 {
+		if opts.HasRoot {
+			t.alive[0] = true
+		}
+		return t
+	}
+	for i := start; i < n; i++ {
+		t.alive[i] = true
+	}
+	return t
+}
+
+// sign returns delta_{jk}: +1 if leaf j is in the left sub-tree of node k
+// (or k == 0), -1 if right, 0 if outside.
+func (t *naiveTree) sign(j, k int) int {
+	if k == 0 {
+		return 1
+	}
+	// Node k covers leaves [first, last).
+	level := 0
+	for 1<<(level+1) <= k {
+		level++
+	}
+	support := t.n >> uint(level)
+	first := (k - 1<<uint(level)) * support
+	if j < first || j >= first+support {
+		return 0
+	}
+	if support == 1 {
+		// Can't happen: internal nodes cover >= 2 leaves when n >= 2.
+		return 1
+	}
+	if j < first+support/2 {
+		return 1
+	}
+	return -1
+}
+
+// ma evaluates Equation 7 (or 10 when den != nil) for node k.
+func (t *naiveTree) ma(k int, den []float64) float64 {
+	m := math.Inf(-1)
+	for j := 0; j < t.n; j++ {
+		s := t.sign(j, k)
+		if s == 0 {
+			continue
+		}
+		v := math.Abs(t.err[j] - float64(s)*t.w[k])
+		if den != nil {
+			v /= den[j]
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func (t *naiveTree) removeNode(k int) {
+	delete(t.alive, k)
+	for j := 0; j < t.n; j++ {
+		if s := t.sign(j, k); s != 0 {
+			t.err[j] -= float64(s) * t.w[k]
+		}
+	}
+}
+
+func (t *naiveTree) globalMax(den []float64) float64 {
+	var m float64
+	for j, e := range t.err {
+		v := math.Abs(e)
+		if den != nil {
+			v /= den[j]
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// naiveRun replicates RunAbs (den == nil) or RunRel (den != nil).
+func naiveRun(w []float64, den []float64, opts Options) []Step {
+	t := newNaiveTree(w, opts)
+	var steps []Step
+	for len(t.alive) > 0 {
+		best, bestMA := -1, math.Inf(1)
+		for k := 0; k < t.n; k++ {
+			if !t.alive[k] {
+				continue
+			}
+			if ma := t.ma(k, den); ma < bestMA {
+				bestMA, best = ma, k
+			}
+		}
+		t.removeNode(best)
+		steps = append(steps, Step{Index: best, Err: t.globalMax(den)})
+	}
+	return steps
+}

@@ -1,0 +1,152 @@
+package greedy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dwmaxerr/internal/wavelet"
+)
+
+// TestRunAbsPropertyVsNaive fuzzes RunAbs against the naive reference over
+// random trees, sizes, root modes and incoming errors.
+func TestRunAbsPropertyVsNaive(t *testing.T) {
+	f := func(seed int64, logn uint8, hasRoot bool, e0 int8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + logn%5) // 2..32
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = math.Trunc(rng.NormFloat64() * 40)
+		}
+		w, err := wavelet.Transform(data)
+		if err != nil {
+			return false
+		}
+		opts := Options{HasRoot: hasRoot, InitialErr: float64(e0)}
+		got, err := RunAbs(w, opts)
+		if err != nil {
+			return false
+		}
+		want := naiveRun(w, nil, opts)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Index != want[i].Index {
+				return false
+			}
+			if math.Abs(got[i].Err-want[i].Err) > 1e-9*(1+math.Abs(want[i].Err)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStepErrorsNeverBelowIncomingMagnitude: deletions shift sub-tree
+// halves in opposite directions, so the global maximum error can never
+// fall below the magnitude of a uniform incoming error.
+func TestStepErrorsNeverBelowIncomingMagnitude(t *testing.T) {
+	f := func(seed int64, e0raw int8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(5))
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = rng.NormFloat64() * 10
+		}
+		e0 := float64(e0raw)
+		steps, err := RunAbs(w, Options{HasRoot: false, InitialErr: e0})
+		if err != nil {
+			return false
+		}
+		for _, st := range steps {
+			if st.Err < math.Abs(e0)-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBestTailWithinBudgetProperty: the retained set never exceeds the
+// budget and always matches a suffix of the deletion order.
+func TestBestTailWithinBudgetProperty(t *testing.T) {
+	f := func(seed int64, budgetRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(5))
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.NormFloat64() * 25
+		}
+		w, _ := wavelet.Transform(data)
+		steps, err := RunAbs(w, Options{HasRoot: true})
+		if err != nil {
+			return false
+		}
+		budget := 1 + int(budgetRaw)%n
+		dels, _, retained := BestTail(steps, budget, 0)
+		if len(retained) > budget {
+			return false
+		}
+		if dels+len(retained) != len(steps) {
+			return false
+		}
+		for i, idx := range retained {
+			if steps[dels+i].Index != idx {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunRelStepsMatchSynopsisStates: every prefix of the deletion order
+// corresponds to an actual synopsis whose measured relative error equals
+// the recorded step error.
+func TestRunRelStepsMatchSynopsisStates(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	n := 16
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = 10 + rng.Float64()*200
+	}
+	w, _ := wavelet.Transform(data)
+	den := Denominators(data, 1)
+	steps, err := RunRel(w, den, Options{HasRoot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := map[int]bool{}
+	for _, st := range steps {
+		removed[st.Index] = true
+		// Reconstruct with the surviving coefficients.
+		dense := make([]float64, n)
+		for i, c := range w {
+			if !removed[i] {
+				dense[i] = c
+			}
+		}
+		rec := make([]float64, n)
+		wavelet.InverseInto(rec, dense)
+		var maxRel float64
+		for i := range data {
+			r := math.Abs(rec[i]-data[i]) / den[i]
+			if r > maxRel {
+				maxRel = r
+			}
+		}
+		if math.Abs(maxRel-st.Err) > 1e-8*(1+maxRel) {
+			t.Fatalf("after removing %d: recorded %g, actual %g", st.Index, st.Err, maxRel)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package greedy
+
+import (
+	"math"
+	"sort"
+
+	"dwmaxerr/internal/wavelet"
+)
+
+// GreedyRel (Section 5.4) discards, at each step, the coefficient with the
+// minimum maximum potential *relative* error MR_k (Equation 10). The
+// denominator max(|d_j|, S) differs per leaf, so the four-extremes trick of
+// GreedyAbs cannot represent MR. Instead every internal node maintains
+// upper envelopes ("convex hull trick") of the lines
+//
+//	(err_j + x) / den_j   and   -(err_j + x) / den_j
+//
+// over the leaves of its left and right sub-trees, as functions of a
+// pending uniform error shift x. Deleting c_k shifts entire sub-trees
+// uniformly (lazy shift accumulator per node, O(log) envelope queries to
+// refresh MR) and invalidates only the envelopes of k itself and its
+// ancestors, which are rebuilt by merging children envelopes.
+
+// line is y = m*x + b.
+type line struct{ m, b float64 }
+
+// crossX returns the abscissa where b overtakes a; requires a.m < b.m.
+func crossX(a, b line) float64 {
+	return (a.b - b.b) / (b.m - a.m)
+}
+
+// envelope is the upper envelope of a set of lines: ls in strictly
+// increasing slope order, xs[i] the abscissa from which ls[i] is maximal
+// (xs[0] = -Inf).
+type envelope struct {
+	ls []line
+	xs []float64
+}
+
+// buildEnvelope constructs the upper envelope from arbitrary lines.
+// The input slice is sorted in place.
+func buildEnvelope(lines []line) envelope {
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].m != lines[j].m {
+			return lines[i].m < lines[j].m
+		}
+		return lines[i].b > lines[j].b
+	})
+	return scanEnvelope(lines)
+}
+
+// scanEnvelope assumes lines sorted by (m asc, b desc) and builds the hull.
+func scanEnvelope(lines []line) envelope {
+	var ls []line
+	for _, l := range lines {
+		if len(ls) > 0 && ls[len(ls)-1].m == l.m {
+			continue // same slope, lower or equal intercept: dominated
+		}
+		for len(ls) >= 2 {
+			a, b := ls[len(ls)-2], ls[len(ls)-1]
+			if crossX(a, l) <= crossX(a, b) {
+				ls = ls[:len(ls)-1]
+				continue
+			}
+			break
+		}
+		ls = append(ls, l)
+	}
+	e := envelope{ls: ls, xs: make([]float64, len(ls))}
+	if len(ls) > 0 {
+		e.xs[0] = math.Inf(-1)
+		for i := 1; i < len(ls); i++ {
+			e.xs[i] = crossX(ls[i-1], ls[i])
+		}
+	}
+	return e
+}
+
+// eval returns the envelope value at x, or -Inf if empty.
+func (e envelope) eval(x float64) float64 {
+	if len(e.ls) == 0 {
+		return math.Inf(-1)
+	}
+	i := sort.SearchFloat64s(e.xs, x)
+	// xs[i-1] <= x < xs[i] would need i-1; SearchFloat64s returns first
+	// index with xs[idx] >= x.
+	if i == len(e.xs) || e.xs[i] > x {
+		i--
+	}
+	if i < 0 {
+		i = 0
+	}
+	return e.ls[i].m*x + e.ls[i].b
+}
+
+// materialize returns the envelope's lines with a pending shift folded in:
+// the result evaluated at x equals e evaluated at x+shift. Line order (by
+// slope) and hull membership are preserved.
+func (e envelope) materialize(shift float64) []line {
+	out := make([]line, len(e.ls))
+	for i, l := range e.ls {
+		out[i] = line{l.m, l.b + l.m*shift}
+	}
+	return out
+}
+
+// shifted returns the envelope with the pending shift folded in.
+func (e envelope) shifted(shift float64) envelope {
+	out := envelope{ls: e.materialize(shift), xs: make([]float64, len(e.xs))}
+	for i, x := range e.xs {
+		out.xs[i] = x - shift
+	}
+	return out
+}
+
+// mergeEnvelopes builds the upper envelope of two materialized line lists
+// (each already sorted by slope).
+func mergeEnvelopes(a, b []line) envelope {
+	merged := make([]line, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].m < b[j].m || (a[i].m == b[j].m && a[i].b >= b[j].b) {
+			merged = append(merged, a[i])
+			i++
+		} else {
+			merged = append(merged, b[j])
+			j++
+		}
+	}
+	merged = append(merged, a[i:]...)
+	merged = append(merged, b[j:]...)
+	return scanEnvelope(merged)
+}
+
+// relNode holds the per-node envelope state.
+type relNode struct {
+	lp, ln, rp, rn envelope // left/right × positive/negative envelopes
+	shift          float64  // pending uniform err shift for this sub-tree
+}
+
+type relState struct {
+	w       []float64
+	n       int
+	hasRoot bool
+	nodes   []relNode
+	heap    *indexHeap
+}
+
+// RunRel executes GreedyRel over the error (sub-)tree with coefficients w
+// in heap layout. den[j] is the per-leaf denominator max(|d_j|, sanity);
+// len(den) == len(w). opts.InitialErr seeds every leaf's signed error. The
+// recorded Step.Err values are global maximum relative errors.
+func RunRel(w []float64, den []float64, opts Options) ([]Step, error) {
+	n := len(w)
+	if !wavelet.IsPowerOfTwo(n) {
+		return nil, wavelet.ErrNotPowerOfTwo
+	}
+	if len(den) != n {
+		return nil, errDenLen
+	}
+	if n == 1 {
+		if !opts.HasRoot {
+			return nil, nil
+		}
+		return []Step{{0, math.Abs(opts.InitialErr-w[0]) / den[0]}}, nil
+	}
+	r := &relState{w: w, n: n, hasRoot: opts.HasRoot, nodes: make([]relNode, n)}
+	r.init(den, opts.InitialErr)
+	steps := make([]Step, 0, r.heap.Len())
+	for r.heap.Len() > 0 {
+		k := r.heap.PopMin()
+		r.remove(k)
+		steps = append(steps, Step{Index: k, Err: r.globalMax()})
+	}
+	return steps, nil
+}
+
+var errDenLen = errorString("greedy: denominator slice length must equal coefficient length")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func (r *relState) init(den []float64, e0 float64) {
+	n := r.n
+	// Lowest internal nodes (n/2..n-1) have data leaves 2i-n and 2i-n+1.
+	for i := n - 1; i >= n/2; i-- {
+		dl, dr := den[2*i-n], den[2*i-n+1]
+		r.nodes[i].lp = buildEnvelope([]line{{1 / dl, e0 / dl}})
+		r.nodes[i].ln = buildEnvelope([]line{{-1 / dl, -e0 / dl}})
+		r.nodes[i].rp = buildEnvelope([]line{{1 / dr, e0 / dr}})
+		r.nodes[i].rn = buildEnvelope([]line{{-1 / dr, -e0 / dr}})
+	}
+	for i := n/2 - 1; i >= 1; i-- {
+		r.rebuild(i)
+	}
+	if r.hasRoot {
+		r.rebuildRoot()
+	}
+	r.heap = newIndexHeap(n)
+	start := 1
+	if r.hasRoot {
+		start = 0
+	}
+	for i := start; i < n; i++ {
+		r.heap.Push(i, r.mr(i))
+	}
+}
+
+// rebuild recomputes node i's envelopes by merging its children's
+// (materializing their pending shifts) and clears i's own shift.
+func (r *relState) rebuild(i int) {
+	l, rr := &r.nodes[2*i], &r.nodes[2*i+1]
+	r.nodes[i].lp = mergeEnvelopes(l.lp.materialize(l.shift), l.rp.materialize(l.shift))
+	r.nodes[i].ln = mergeEnvelopes(l.ln.materialize(l.shift), l.rn.materialize(l.shift))
+	r.nodes[i].rp = mergeEnvelopes(rr.lp.materialize(rr.shift), rr.rp.materialize(rr.shift))
+	r.nodes[i].rn = mergeEnvelopes(rr.ln.materialize(rr.shift), rr.rn.materialize(rr.shift))
+	r.nodes[i].shift = 0
+}
+
+// rebuildRoot refreshes node 0's all-leaves envelopes from node 1.
+func (r *relState) rebuildRoot() {
+	l := &r.nodes[1]
+	r.nodes[0].lp = mergeEnvelopes(l.lp.materialize(l.shift), l.rp.materialize(l.shift))
+	r.nodes[0].ln = mergeEnvelopes(l.ln.materialize(l.shift), l.rn.materialize(l.shift))
+	r.nodes[0].shift = 0
+}
+
+// mr computes Equation 10 for node k via envelope queries.
+func (r *relState) mr(k int) float64 {
+	nd := &r.nodes[k]
+	c := r.w[k]
+	if k == 0 {
+		x := nd.shift - c
+		return math.Max(nd.lp.eval(x), nd.ln.eval(x))
+	}
+	xl, xr := nd.shift-c, nd.shift+c
+	m := math.Max(nd.lp.eval(xl), nd.ln.eval(xl))
+	return math.Max(m, math.Max(nd.rp.eval(xr), nd.rn.eval(xr)))
+}
+
+// remove deletes coefficient k, lazily shifting descendant sub-trees and
+// rebuilding ancestor envelopes.
+func (r *relState) remove(k int) {
+	c := r.w[k]
+	if k == 0 {
+		r.nodes[0].shift -= c
+		if r.n > 1 {
+			r.shiftSub(1, -c)
+		}
+		return
+	}
+	// k's own sides diverge: fold the per-side shifts into fresh
+	// envelopes so ancestors can keep merging them uniformly.
+	nd := &r.nodes[k]
+	sl, sr := nd.shift-c, nd.shift+c
+	nd.lp = nd.lp.shifted(sl)
+	nd.ln = nd.ln.shifted(sl)
+	nd.rp = nd.rp.shifted(sr)
+	nd.rn = nd.rn.shifted(sr)
+	nd.shift = 0
+	if 2*k < r.n {
+		r.shiftSub(2*k, -c)
+		r.shiftSub(2*k+1, +c)
+	}
+	for p := k / 2; p >= 1; p /= 2 {
+		r.rebuild(p)
+		if r.heap.Contains(p) {
+			r.heap.Fix(p, r.mr(p))
+		}
+	}
+	if r.hasRoot {
+		r.rebuildRoot()
+		if r.heap.Contains(0) {
+			r.heap.Fix(0, r.mr(0))
+		}
+	}
+}
+
+// shiftSub adds a uniform error shift to the sub-tree rooted at i and
+// refreshes descendant MR heap keys (each an O(log) envelope query).
+func (r *relState) shiftSub(i int, delta float64) {
+	if i >= r.n {
+		return
+	}
+	r.nodes[i].shift += delta
+	if r.heap.Contains(i) {
+		r.heap.Fix(i, r.mr(i))
+	}
+	r.shiftSub(2*i, delta)
+	r.shiftSub(2*i+1, delta)
+}
+
+// globalMax returns the current maximum relative error over all leaves.
+func (r *relState) globalMax() float64 {
+	if r.hasRoot {
+		nd := &r.nodes[0]
+		return math.Max(0, math.Max(nd.lp.eval(nd.shift), nd.ln.eval(nd.shift)))
+	}
+	nd := &r.nodes[1]
+	x := nd.shift
+	m := math.Max(nd.lp.eval(x), nd.ln.eval(x))
+	return math.Max(0, math.Max(m, math.Max(nd.rp.eval(x), nd.rn.eval(x))))
+}

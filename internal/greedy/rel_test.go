@@ -1,0 +1,215 @@
+package greedy
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dwmaxerr/internal/synopsis"
+	"dwmaxerr/internal/wavelet"
+)
+
+func TestEnvelopeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		k := 1 + rng.Intn(12)
+		lines := make([]line, k)
+		for i := range lines {
+			lines[i] = line{rng.NormFloat64() * 3, rng.NormFloat64() * 10}
+		}
+		cp := make([]line, k)
+		copy(cp, lines)
+		env := buildEnvelope(cp)
+		for q := 0; q < 30; q++ {
+			x := rng.NormFloat64() * 20
+			want := math.Inf(-1)
+			for _, l := range lines {
+				want = math.Max(want, l.m*x+l.b)
+			}
+			got := env.eval(x)
+			if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("trial %d: eval(%g) = %g, want %g (lines %v)", trial, x, got, want, lines)
+			}
+		}
+	}
+}
+
+func TestEnvelopeShifted(t *testing.T) {
+	lines := []line{{1, 0}, {-1, 0}, {0.5, 3}}
+	cp := make([]line, len(lines))
+	copy(cp, lines)
+	env := buildEnvelope(cp)
+	s := 2.5
+	sh := env.shifted(s)
+	for _, x := range []float64{-10, -1, 0, 0.3, 5, 42} {
+		if math.Abs(sh.eval(x)-env.eval(x+s)) > 1e-12 {
+			t.Fatalf("shifted eval mismatch at %g", x)
+		}
+	}
+}
+
+func TestMergeEnvelopes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		mk := func(k int) ([]line, envelope) {
+			lines := make([]line, k)
+			for i := range lines {
+				lines[i] = line{rng.NormFloat64() * 2, rng.NormFloat64() * 5}
+			}
+			cp := make([]line, k)
+			copy(cp, lines)
+			return lines, buildEnvelope(cp)
+		}
+		la, ea := mk(1 + rng.Intn(8))
+		lb, eb := mk(1 + rng.Intn(8))
+		merged := mergeEnvelopes(ea.materialize(0), eb.materialize(0))
+		all := append(append([]line{}, la...), lb...)
+		for q := 0; q < 20; q++ {
+			x := rng.NormFloat64() * 15
+			want := math.Inf(-1)
+			for _, l := range all {
+				want = math.Max(want, l.m*x+l.b)
+			}
+			if got := merged.eval(x); math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("merged eval(%g) = %g, want %g", x, got, want)
+			}
+		}
+	}
+}
+
+func TestEnvelopeEmptyAndDuplicateSlopes(t *testing.T) {
+	if v := (envelope{}).eval(3); !math.IsInf(v, -1) {
+		t.Fatalf("empty envelope eval = %g", v)
+	}
+	env := buildEnvelope([]line{{1, 2}, {1, 5}, {1, -3}})
+	if got := env.eval(10); got != 15 {
+		t.Fatalf("duplicate slopes: eval(10) = %g, want 15", got)
+	}
+	if len(env.ls) != 1 {
+		t.Fatalf("duplicate slopes not deduped: %v", env.ls)
+	}
+}
+
+func TestRunRelMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 << (1 + rng.Intn(4)) // 2..16
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.NormFloat64()*50 + 10
+		}
+		w, _ := wavelet.Transform(data)
+		den := Denominators(data, 1)
+		for _, opts := range []Options{
+			{HasRoot: true},
+			{HasRoot: false},
+			{HasRoot: true, InitialErr: rng.NormFloat64() * 5},
+		} {
+			got, err := RunRel(w, den, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := naiveRun(w, den, opts)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: %d steps, want %d", trial, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Index != want[i].Index {
+					t.Fatalf("trial %d opts %+v step %d: removed %d, naive removed %d\n got %v\nwant %v",
+						trial, opts, i, got[i].Index, want[i].Index, stepIndices(got), stepIndices(want))
+				}
+				if math.Abs(got[i].Err-want[i].Err) > 1e-7*(1+math.Abs(want[i].Err)) {
+					t.Fatalf("trial %d step %d: err %g, naive %g", trial, i, got[i].Err, want[i].Err)
+				}
+			}
+		}
+	}
+}
+
+func TestRunRelValidatesInput(t *testing.T) {
+	if _, err := RunRel(make([]float64, 4), make([]float64, 2), Options{}); err == nil {
+		t.Fatal("want denominator length error")
+	}
+	if _, err := RunRel(make([]float64, 3), make([]float64, 3), Options{}); err == nil {
+		t.Fatal("want power-of-two error")
+	}
+}
+
+func TestRunRelSizeOne(t *testing.T) {
+	steps, err := RunRel([]float64{6}, []float64{2}, Options{HasRoot: true})
+	if err != nil || len(steps) != 1 || steps[0].Err != 3 {
+		t.Fatalf("steps=%v err=%v", steps, err)
+	}
+}
+
+func TestSynopsisRelConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 12; trial++ {
+		n := 1 << (2 + rng.Intn(5))
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.Float64()*1000 + 1
+		}
+		b := 1 + rng.Intn(n/2)
+		s, reported, err := SynopsisRel(data, b, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Size() > b {
+			t.Fatalf("size %d > %d", s.Size(), b)
+		}
+		actual := synopsis.MaxRelError(s, data, 1)
+		if math.Abs(actual-reported) > 1e-6*(1+reported) {
+			t.Fatalf("trial %d: reported %g actual %g", trial, reported, actual)
+		}
+	}
+}
+
+func TestSynopsisRelRespectsSanityBound(t *testing.T) {
+	// With a huge sanity bound, relative error ~ absolute/sanity, so the
+	// relative greedy should agree with the absolute greedy's choice.
+	data := []float64{10, 12, 9, 200, 11, 10, 13, 12}
+	sAbs, errAbs, _ := SynopsisAbs(data, 3)
+	sRel, errRel, err := SynopsisRel(data, 3, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(errRel*1e9-errAbs) > 1e-3 {
+		t.Fatalf("huge sanity: rel %g * 1e9 != abs %g", errRel, errAbs)
+	}
+	ia, ir := indicesOf(sAbs), indicesOf(sRel)
+	if len(ia) != len(ir) {
+		t.Fatalf("different sizes: %v vs %v", ia, ir)
+	}
+	for i := range ia {
+		if ia[i] != ir[i] {
+			t.Fatalf("different synopses: %v vs %v", ia, ir)
+		}
+	}
+}
+
+func indicesOf(s *synopsis.Synopsis) []int {
+	idx := make([]int, 0, s.Size())
+	for _, term := range s.Terms {
+		idx = append(idx, term.Index)
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+func TestSynopsisRelBudgetValidation(t *testing.T) {
+	if _, _, err := SynopsisRel(paperData, 0, 1); err == nil {
+		t.Fatal("want budget error")
+	}
+}
+
+func TestDenominators(t *testing.T) {
+	den := Denominators([]float64{-5, 0.1, 0, 3}, 1)
+	want := []float64{5, 1, 1, 3}
+	for i := range want {
+		if den[i] != want[i] {
+			t.Fatalf("den = %v, want %v", den, want)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package mr
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"math"
+)
+
+// Codec helpers for the byte-slice keys and values crossing the shuffle.
+// Numeric keys use big-endian order-preserving encodings so the default
+// bytes.Compare sort yields numeric order.
+
+// EncodeUint64 returns the big-endian encoding of v (order-preserving).
+func EncodeUint64(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// DecodeUint64 decodes EncodeUint64.
+func DecodeUint64(b []byte) uint64 {
+	return binary.BigEndian.Uint64(b)
+}
+
+// EncodeInt64 encodes v so that bytes.Compare order equals numeric order
+// (sign bit flipped).
+func EncodeInt64(v int64) []byte {
+	return EncodeUint64(uint64(v) ^ (1 << 63))
+}
+
+// DecodeInt64 decodes EncodeInt64.
+func DecodeInt64(b []byte) int64 {
+	return int64(DecodeUint64(b) ^ (1 << 63))
+}
+
+// EncodeFloat64 encodes v so that bytes.Compare order equals numeric order
+// for all non-NaN values (IEEE 754 total-order trick).
+func EncodeFloat64(v float64) []byte {
+	bits := math.Float64bits(v)
+	if bits&(1<<63) != 0 {
+		bits = ^bits
+	} else {
+		bits |= 1 << 63
+	}
+	return EncodeUint64(bits)
+}
+
+// DecodeFloat64 decodes EncodeFloat64.
+func DecodeFloat64(b []byte) float64 {
+	bits := DecodeUint64(b)
+	if bits&(1<<63) != 0 {
+		bits &^= 1 << 63
+	} else {
+		bits = ^bits
+	}
+	return math.Float64frombits(bits)
+}
+
+// GobEncode encodes v with encoding/gob.
+func GobEncode(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode decodes GobEncode output into v (a pointer).
+func GobDecode(b []byte, v interface{}) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}
+
+// MustGobEncode panics on encoding failure; for values known to be
+// encodable (fixed internal structs).
+func MustGobEncode(v interface{}) []byte {
+	b, err := GobEncode(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

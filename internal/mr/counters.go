@@ -1,0 +1,85 @@
+package mr
+
+import (
+	"sort"
+	"sync"
+)
+
+// Counters are Hadoop-style user counters: map and reduce functions bump
+// named counters through their TaskContext, and the engine aggregates them
+// into the job metrics. Counting follows commit semantics — only the
+// winning attempt of each task contributes, so retries and speculative
+// backups never double-count.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{m: map[string]int64{}}
+}
+
+// Add increments a named counter. Safe for concurrent use.
+func (c *Counters) Add(name string, delta int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Get returns a counter's value.
+func (c *Counters) Get(name string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Names lists the counter names, sorted.
+func (c *Counters) Names() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.m))
+	for n := range c.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// mergeInto folds this counter set into dst.
+func (c *Counters) mergeInto(dst *Counters) {
+	if c == nil || dst == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for n, v := range c.m {
+		dst.Add(n, v)
+	}
+}
+
+// snapshot copies the counters into a plain map.
+func (c *Counters) snapshot() map[string]int64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.m) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(c.m))
+	for n, v := range c.m {
+		out[n] = v
+	}
+	return out
+}

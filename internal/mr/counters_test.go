@@ -1,0 +1,94 @@
+package mr
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func counterJob(texts []string) *Job {
+	job := wordCountJob(texts, 2)
+	inner := job.Map
+	job.Map = func(ctx TaskContext, split Split, emit Emit) error {
+		ctx.Counters.Add("map.splits", 1)
+		ctx.Counters.Add("map.bytes", int64(len(split.Payload)))
+		return inner(ctx, split, emit)
+	}
+	innerReduce := job.Reduce
+	job.Reduce = func(ctx TaskContext, key []byte, values [][]byte, emit Emit) error {
+		ctx.Counters.Add("reduce.groups", 1)
+		return innerReduce(ctx, key, values, emit)
+	}
+	return job
+}
+
+func TestCountersAggregate(t *testing.T) {
+	res, err := (&Local{}).Run(counterJob([]string{"a b", "c d e", "a"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uc := res.Metrics.UserCounters
+	if uc["map.splits"] != 3 {
+		t.Fatalf("map.splits = %d, want 3", uc["map.splits"])
+	}
+	if uc["map.bytes"] != int64(len("a b")+len("c d e")+len("a")) {
+		t.Fatalf("map.bytes = %d", uc["map.bytes"])
+	}
+	if uc["reduce.groups"] != 5 {
+		t.Fatalf("reduce.groups = %d, want 5 distinct words", uc["reduce.groups"])
+	}
+}
+
+func TestCountersNotDoubleCountedByRetries(t *testing.T) {
+	failed := false
+	eng := &Local{FailureInjector: func(kind string, ctx TaskContext) error {
+		if kind == "map" && ctx.TaskID == 0 && !failed {
+			failed = true
+			return errors.New("injected")
+		}
+		return nil
+	}}
+	res, err := eng.Run(counterJob([]string{"x", "y"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Metrics.UserCounters["map.splits"]; got != 2 {
+		t.Fatalf("map.splits = %d after a retry, want 2 (no double count)", got)
+	}
+}
+
+func TestCountersNotDoubleCountedBySpeculation(t *testing.T) {
+	eng := &Local{
+		Workers:          4,
+		SpeculationAfter: 10 * time.Millisecond,
+		DelayInjector: func(kind string, ctx TaskContext) {
+			if kind == "map" && ctx.TaskID == 0 && ctx.Attempt == 1 {
+				time.Sleep(80 * time.Millisecond)
+			}
+		},
+	}
+	res, err := eng.Run(counterJob([]string{"p q", "r"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Metrics.UserCounters["map.splits"]; got != 2 {
+		t.Fatalf("map.splits = %d with speculation, want 2", got)
+	}
+}
+
+func TestCountersNilSafety(t *testing.T) {
+	var c *Counters
+	c.Add("x", 1) // must not panic
+	if c.Get("x") != 0 || c.Names() != nil {
+		t.Fatal("nil counters misbehave")
+	}
+	cc := NewCounters()
+	cc.Add("b", 2)
+	cc.Add("a", 1)
+	if got := cc.Names(); len(got) != 2 || got[0] != "a" {
+		t.Fatalf("names = %v", got)
+	}
+	if cc.Get("b") != 2 {
+		t.Fatal("get")
+	}
+}

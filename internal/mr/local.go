@@ -1,0 +1,353 @@
+package mr
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Local is the in-process engine. The zero value is usable: it runs tasks
+// on up to GOMAXPROCS goroutines with up to 3 attempts per task.
+type Local struct {
+	// Workers caps concurrent task execution; 0 means GOMAXPROCS.
+	Workers int
+	// MaxAttempts per task; 0 means 3.
+	MaxAttempts int
+	// SpeculationAfter enables Hadoop-style backup tasks: when an attempt
+	// has run longer than this duration, a backup attempt of the same task
+	// is launched and the first to finish wins. 0 disables speculation.
+	SpeculationAfter time.Duration
+	// SpillThreshold, when positive, switches to the external shuffle:
+	// map-output partitions exceeding this many records are sorted and
+	// spilled to disk, and reducers stream a k-way merge (see spill.go).
+	SpillThreshold int
+	// SpillDir hosts spill files; empty means the OS temp directory.
+	SpillDir string
+	// FailureInjector, when non-nil, is consulted before each task attempt;
+	// returning a non-nil error makes the attempt fail with it. Used by
+	// tests to exercise the retry path.
+	FailureInjector func(kind string, ctx TaskContext) error
+	// DelayInjector, when non-nil, is called at the start of each attempt
+	// and can sleep to simulate stragglers (exercises speculation).
+	DelayInjector func(kind string, ctx TaskContext)
+}
+
+func (l *Local) workers() int {
+	if l.Workers > 0 {
+		return l.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (l *Local) attempts() int {
+	if l.MaxAttempts > 0 {
+		return l.MaxAttempts
+	}
+	return 3
+}
+
+// Run implements Engine.
+func (l *Local) Run(job *Job) (*Result, error) {
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	if l.SpillThreshold > 0 {
+		return l.runSpill(job)
+	}
+	start := time.Now()
+	res := &Result{}
+	res.Metrics.Job = job.Name
+
+	// ---- Map phase ----
+	nred := job.reducers()
+	mapOuts := make([][][]Pair, len(job.Splits))
+	if err := l.runTasks("map", len(job.Splits), &res.Metrics, func(i int, ctx TaskContext) (interface{}, error) {
+		parts := make([][]Pair, nred)
+		emit := func(key, value []byte) error {
+			p := job.partition(key)
+			parts[p] = append(parts[p], Pair{Key: key, Value: value})
+			return nil
+		}
+		if err := job.Map(ctx, job.Splits[i], emit); err != nil {
+			return nil, err
+		}
+		if job.Combine != nil {
+			for p := range parts {
+				combined, err := combinePartition(job, ctx, parts[p])
+				if err != nil {
+					return nil, err
+				}
+				parts[p] = combined
+			}
+		}
+		return parts, nil
+	}, func(i int, out interface{}) {
+		mapOuts[i] = out.([][]Pair)
+	}); err != nil {
+		return nil, err
+	}
+	res.Metrics.MapTasks = len(job.Splits)
+	for _, st := range res.Metrics.MapStats {
+		if st.Attempt > 1 && !st.Failed {
+			res.Metrics.MapRetries++
+		}
+	}
+
+	// ---- Shuffle ----
+	buckets := make([][]Pair, nred)
+	for _, parts := range mapOuts {
+		for p, pairs := range parts {
+			buckets[p] = append(buckets[p], pairs...)
+			for _, kv := range pairs {
+				res.Metrics.ShuffleRecords++
+				res.Metrics.ShuffleBytes += int64(len(kv.Key) + len(kv.Value))
+			}
+		}
+	}
+	for p := range buckets {
+		b := buckets[p]
+		sort.SliceStable(b, func(i, j int) bool { return job.compare(b[i].Key, b[j].Key) < 0 })
+	}
+
+	// ---- Reduce phase ----
+	res.Partitions = make([][]Pair, nred)
+	if job.Reduce == nil {
+		copy(res.Partitions, buckets)
+	} else {
+		if err := l.runTasks("reduce", nred, &res.Metrics, func(p int, ctx TaskContext) (interface{}, error) {
+			var out []Pair
+			emit := func(key, value []byte) error {
+				out = append(out, Pair{Key: key, Value: value})
+				return nil
+			}
+			if err := reduceBucket(job, ctx, buckets[p], emit); err != nil {
+				return nil, err
+			}
+			return out, nil
+		}, func(p int, out interface{}) {
+			res.Partitions[p], _ = out.([]Pair)
+		}); err != nil {
+			return nil, err
+		}
+		res.Metrics.ReduceTasks = nred
+	}
+	for _, part := range res.Partitions {
+		for _, kv := range part {
+			res.Metrics.OutputRecords++
+			res.Metrics.OutputBytes += int64(len(kv.Key) + len(kv.Value))
+		}
+	}
+	res.Metrics.WallTime = time.Since(start)
+	return res, nil
+}
+
+// reduceBucket groups a sorted bucket by key and invokes the reducer.
+func reduceBucket(job *Job, ctx TaskContext, bucket []Pair, emit Emit) error {
+	i := 0
+	for i < len(bucket) {
+		j := i + 1
+		for j < len(bucket) && job.compare(bucket[j].Key, bucket[i].Key) == 0 {
+			j++
+		}
+		values := make([][]byte, 0, j-i)
+		for _, kv := range bucket[i:j] {
+			values = append(values, kv.Value)
+		}
+		if err := job.Reduce(ctx, bucket[i].Key, values, emit); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
+// combinePartition applies the combiner to one map task's partition output.
+func combinePartition(job *Job, ctx TaskContext, pairs []Pair) ([]Pair, error) {
+	sorted := make([]Pair, len(pairs))
+	copy(sorted, pairs)
+	sort.SliceStable(sorted, func(i, j int) bool { return job.compare(sorted[i].Key, sorted[j].Key) < 0 })
+	var out []Pair
+	emit := func(key, value []byte) error {
+		out = append(out, Pair{Key: key, Value: value})
+		return nil
+	}
+	i := 0
+	for i < len(sorted) {
+		j := i + 1
+		for j < len(sorted) && job.compare(sorted[j].Key, sorted[i].Key) == 0 {
+			j++
+		}
+		values := make([][]byte, 0, j-i)
+		for _, kv := range sorted[i:j] {
+			values = append(values, kv.Value)
+		}
+		if err := job.Combine(ctx, sorted[i].Key, values, emit); err != nil {
+			return nil, err
+		}
+		i = j
+	}
+	return out, nil
+}
+
+// taskRun executes one task attempt, returning its output for commit.
+type taskRun func(i int, ctx TaskContext) (interface{}, error)
+
+// runTasks executes n tasks on the worker pool with retry and optional
+// speculation, committing exactly one successful attempt's output per task
+// and recording every attempt in metrics.
+func (l *Local) runTasks(kind string, n int, m *Metrics, run taskRun, commit func(i int, out interface{})) error {
+	sem := make(chan struct{}, l.workers())
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	jobCounters := NewCounters()
+	// Commits run from task goroutines; serialize them so commit funcs may
+	// touch shared metrics safely.
+	lockedCommit := func(i int, out interface{}) {
+		mu.Lock()
+		defer mu.Unlock()
+		commit(i, out)
+	}
+	report := func(st TaskStat) {
+		mu.Lock()
+		defer mu.Unlock()
+		if kind == "map" {
+			m.MapStats = append(m.MapStats, st)
+		} else {
+			m.ReduceStats = append(m.ReduceStats, st)
+		}
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			err := l.runOneTask(kind, i, sem, run, lockedCommit, report, jobCounters)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = &taskError{kind: kind, id: i, err: err}
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if snap := jobCounters.snapshot(); snap != nil {
+		mu.Lock()
+		if m.UserCounters == nil {
+			m.UserCounters = map[string]int64{}
+		}
+		for k, v := range snap {
+			m.UserCounters[k] += v
+		}
+		mu.Unlock()
+	}
+	return firstErr
+}
+
+// runOneTask drives the attempts of a single task: a primary attempt, an
+// optional speculative backup, then sequential retries.
+func (l *Local) runOneTask(kind string, i int, sem chan struct{}, run taskRun, commit func(int, interface{}), report func(TaskStat), jobCounters *Counters) error {
+	type attemptResult struct {
+		out      interface{}
+		err      error
+		attempt  int
+		dur      time.Duration
+		counters *Counters
+	}
+	results := make(chan attemptResult, 2)
+	committed := false
+	attempt := 0
+	launch := func(borrowSlot bool) {
+		attempt++
+		a := attempt
+		do := func() {
+			t0 := time.Now()
+			counters := NewCounters()
+			out, err := l.attemptTask(kind, TaskContext{TaskID: i, Attempt: a, Counters: counters}, run, i)
+			results <- attemptResult{out: out, err: err, attempt: a, dur: time.Since(t0), counters: counters}
+		}
+		if borrowSlot {
+			go func() {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				do()
+			}()
+			return
+		}
+		go do()
+	}
+	launch(false)
+	inFlight := 1
+	var timer <-chan time.Time
+	if l.SpeculationAfter > 0 {
+		timer = time.After(l.SpeculationAfter)
+	}
+	var lastErr error
+	for {
+		select {
+		case r := <-results:
+			inFlight--
+			report(TaskStat{TaskID: i, Attempt: r.attempt, Duration: r.dur, Failed: r.err != nil})
+			if r.err == nil && !committed {
+				committed = true
+				commit(i, r.out)
+				r.counters.mergeInto(jobCounters)
+			} else if r.err == nil {
+				// A slower duplicate of an already-committed task: release
+				// any resources it produced.
+				if d, ok := r.out.(discardable); ok {
+					d.discard()
+				}
+			}
+			if r.err != nil {
+				lastErr = r.err
+			}
+			if committed {
+				// Wait out any straggling attempt so metrics stay complete
+				// and no goroutine outlives the job.
+				if inFlight == 0 {
+					return nil
+				}
+				continue
+			}
+			if attempt < l.attempts() {
+				launch(false)
+				inFlight++
+				continue
+			}
+			if inFlight == 0 {
+				return lastErr
+			}
+		case <-timer:
+			timer = nil
+			if !committed && inFlight == 1 && attempt < l.attempts() {
+				launch(true) // speculative backup borrows a pool slot
+				inFlight++
+			}
+		}
+	}
+}
+
+func (l *Local) attemptTask(kind string, ctx TaskContext, run taskRun, i int) (out interface{}, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	if l.DelayInjector != nil {
+		l.DelayInjector(kind, ctx)
+	}
+	if l.FailureInjector != nil {
+		if ferr := l.FailureInjector(kind, ctx); ferr != nil {
+			return nil, ferr
+		}
+	}
+	return run(i, ctx)
+}

@@ -1,0 +1,181 @@
+package mr
+
+import (
+	"os"
+	"time"
+)
+
+// The spilling execution path of the Local engine, selected by
+// SpillThreshold > 0. Map output beyond the threshold is sorted and
+// spilled to disk per partition; reducers consume a streaming k-way merge
+// instead of a materialized bucket.
+
+// spillResult is a map task's committed output plus its collector (for
+// cleanup and for discarding speculative losers).
+type spillResult struct {
+	col *spillCollector
+	out mapOutput
+}
+
+// discard implements the discardable cleanup hook used by runOneTask for
+// losing attempts.
+func (s *spillResult) discard() { s.col.discard() }
+
+// discardable lets runOneTask clean up outputs of attempts that lost a
+// speculative race.
+type discardable interface{ discard() }
+
+func (l *Local) spillDir() string {
+	if l.SpillDir != "" {
+		return l.SpillDir
+	}
+	return os.TempDir()
+}
+
+// runSpill executes a job with the external shuffle.
+func (l *Local) runSpill(job *Job) (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+	res.Metrics.Job = job.Name
+	nred := job.reducers()
+
+	outs := make([]*spillResult, len(job.Splits))
+	defer func() {
+		for _, o := range outs {
+			if o != nil {
+				o.col.discard()
+			}
+		}
+	}()
+	if err := l.runTasks("map", len(job.Splits), &res.Metrics, func(i int, ctx TaskContext) (interface{}, error) {
+		col, err := newSpillCollector(job, l.spillDir(), l.SpillThreshold, nred)
+		if err != nil {
+			return nil, err
+		}
+		if err := job.Map(ctx, job.Splits[i], col.emit); err != nil {
+			col.discard()
+			return nil, err
+		}
+		out, err := col.finish()
+		if err != nil {
+			col.discard()
+			return nil, err
+		}
+		return &spillResult{col: col, out: out}, nil
+	}, func(i int, out interface{}) {
+		outs[i] = out.(*spillResult)
+	}); err != nil {
+		return nil, err
+	}
+	res.Metrics.MapTasks = len(job.Splits)
+	for _, st := range res.Metrics.MapStats {
+		if st.Attempt > 1 && !st.Failed {
+			res.Metrics.MapRetries++
+		}
+	}
+	for _, o := range outs {
+		res.Metrics.SpilledBytes += o.col.spilled
+	}
+
+	// ---- Reduce phase: stream a k-way merge per partition ----
+	res.Partitions = make([][]Pair, nred)
+	reduceOne := func(p int, ctx TaskContext) (interface{}, error) {
+		var sources []*runReader
+		closeAll := func() {
+			for _, s := range sources {
+				s.close()
+			}
+		}
+		for _, o := range outs {
+			for _, run := range o.out.runs[p] {
+				r, err := openRunReader(run)
+				if err != nil {
+					closeAll()
+					return nil, err
+				}
+				sources = append(sources, r)
+			}
+			if len(o.out.mem[p]) > 0 {
+				sources = append(sources, memRunReader(o.out.mem[p]))
+			}
+		}
+		merge := newMergeStream(job, sources)
+		defer merge.close()
+		var out []Pair
+		emit := func(key, value []byte) error {
+			out = append(out, Pair{Key: key, Value: value})
+			return nil
+		}
+		var shuffleRecords, shuffleBytes int64
+		if job.Reduce == nil {
+			for {
+				pair, ok, err := merge.next()
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					break
+				}
+				shuffleRecords++
+				shuffleBytes += int64(len(pair.Key) + len(pair.Value))
+				out = append(out, pair)
+			}
+		} else {
+			var curKey []byte
+			var values [][]byte
+			flush := func() error {
+				if curKey == nil {
+					return nil
+				}
+				err := job.Reduce(ctx, curKey, values, emit)
+				curKey, values = nil, nil
+				return err
+			}
+			for {
+				pair, ok, err := merge.next()
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					break
+				}
+				shuffleRecords++
+				shuffleBytes += int64(len(pair.Key) + len(pair.Value))
+				if curKey == nil || job.compare(pair.Key, curKey) != 0 {
+					if err := flush(); err != nil {
+						return nil, err
+					}
+					curKey = pair.Key
+				}
+				values = append(values, pair.Value)
+			}
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+		return reduceOut{pairs: out, records: shuffleRecords, bytes: shuffleBytes}, nil
+	}
+	if err := l.runTasks("reduce", nred, &res.Metrics, reduceOne, func(p int, out interface{}) {
+		ro := out.(reduceOut)
+		res.Partitions[p] = ro.pairs
+		res.Metrics.ShuffleRecords += ro.records
+		res.Metrics.ShuffleBytes += ro.bytes
+	}); err != nil {
+		return nil, err
+	}
+	res.Metrics.ReduceTasks = nred
+	for _, part := range res.Partitions {
+		for _, kv := range part {
+			res.Metrics.OutputRecords++
+			res.Metrics.OutputBytes += int64(len(kv.Key) + len(kv.Value))
+		}
+	}
+	res.Metrics.WallTime = time.Since(start)
+	return res, nil
+}
+
+type reduceOut struct {
+	pairs   []Pair
+	records int64
+	bytes   int64
+}

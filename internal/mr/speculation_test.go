@@ -1,0 +1,93 @@
+package mr
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSpeculationBackupWins(t *testing.T) {
+	var delayed atomic.Int32
+	eng := &Local{
+		Workers:          4,
+		SpeculationAfter: 20 * time.Millisecond,
+		DelayInjector: func(kind string, ctx TaskContext) {
+			// The first attempt of map task 0 straggles; its backup runs
+			// immediately.
+			if kind == "map" && ctx.TaskID == 0 && ctx.Attempt == 1 {
+				delayed.Add(1)
+				time.Sleep(150 * time.Millisecond)
+			}
+		},
+	}
+	job := wordCountJob([]string{"a a", "b", "c c c"}, 2)
+	start := time.Now()
+	res, err := eng.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delayed.Load() == 0 {
+		t.Fatal("straggler injector never fired")
+	}
+	want := map[string]uint64{"a": 2, "b": 1, "c": 3}
+	if got := countsOf(res); !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	// Both attempts of task 0 must be recorded.
+	attempts := 0
+	for _, st := range res.Metrics.MapStats {
+		if st.TaskID == 0 {
+			attempts++
+		}
+	}
+	if attempts != 2 {
+		t.Fatalf("map task 0 recorded %d attempts, want 2 (primary + backup)", attempts)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("speculation did not bound the run: %v", elapsed)
+	}
+}
+
+func TestSpeculationDisabledByDefault(t *testing.T) {
+	eng := &Local{Workers: 4}
+	job := wordCountJob([]string{"x", "y"}, 1)
+	res, err := eng.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range res.Metrics.MapStats {
+		if st.Attempt != 1 {
+			t.Fatalf("unexpected extra attempt: %+v", st)
+		}
+	}
+}
+
+func TestSpeculationWithFailingPrimary(t *testing.T) {
+	// Primary attempt of task 0 both straggles and fails; the backup
+	// commits, and the eventual failure of the primary must not override.
+	eng := &Local{
+		Workers:          4,
+		SpeculationAfter: 10 * time.Millisecond,
+		DelayInjector: func(kind string, ctx TaskContext) {
+			if kind == "map" && ctx.TaskID == 0 && ctx.Attempt == 1 {
+				time.Sleep(80 * time.Millisecond)
+			}
+		},
+		FailureInjector: func(kind string, ctx TaskContext) error {
+			if kind == "map" && ctx.TaskID == 0 && ctx.Attempt == 1 {
+				return errors.New("straggler died")
+			}
+			return nil
+		},
+	}
+	res, err := eng.Run(wordCountJob([]string{"p p", "q"}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]uint64{"p": 2, "q": 1}
+	if got := countsOf(res); !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,201 @@
+package mr
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// randomJob builds a job with many random keys to exercise the shuffle.
+func randomJob(seed int64, splits, reducers int, combine bool) *Job {
+	job := &Job{
+		Name:     "spill-random",
+		Reducers: reducers,
+		Map: func(ctx TaskContext, split Split, emit Emit) error {
+			rng := rand.New(rand.NewSource(seed + int64(split.ID)))
+			for k := 0; k < 200; k++ {
+				key := EncodeUint64(uint64(rng.Intn(40)))
+				if err := emit(key, EncodeUint64(1)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Reduce: func(ctx TaskContext, key []byte, values [][]byte, emit Emit) error {
+			var sum uint64
+			for _, v := range values {
+				sum += DecodeUint64(v)
+			}
+			return emit(key, EncodeUint64(sum))
+		},
+	}
+	for i := 0; i < splits; i++ {
+		job.Splits = append(job.Splits, Split{ID: i})
+	}
+	if combine {
+		job.Combine = job.Reduce
+	}
+	return job
+}
+
+func TestSpillMatchesInMemory(t *testing.T) {
+	for _, combine := range []bool{false, true} {
+		for _, reducers := range []int{1, 3} {
+			name := fmt.Sprintf("combine=%v/reducers=%d", combine, reducers)
+			t.Run(name, func(t *testing.T) {
+				job := randomJob(7, 5, reducers, combine)
+				mem, err := (&Local{}).Run(job)
+				if err != nil {
+					t.Fatal(err)
+				}
+				spill, err := (&Local{SpillThreshold: 16, SpillDir: t.TempDir()}).Run(randomJob(7, 5, reducers, combine))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(spill.Partitions, mem.Partitions) {
+					t.Fatalf("partitions differ:\nspill: %v\nmem:   %v", spill.Partitions, mem.Partitions)
+				}
+				if spill.Metrics.SpilledBytes == 0 {
+					t.Fatal("nothing was spilled despite the low threshold")
+				}
+				if spill.Metrics.OutputRecords != mem.Metrics.OutputRecords {
+					t.Fatalf("output records: %d vs %d", spill.Metrics.OutputRecords, mem.Metrics.OutputRecords)
+				}
+			})
+		}
+	}
+}
+
+func TestSpillIdentityReduce(t *testing.T) {
+	job := randomJob(9, 3, 2, false)
+	job.Reduce = nil
+	mem, err := (&Local{}).Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2 := randomJob(9, 3, 2, false)
+	j2.Reduce = nil
+	spill, err := (&Local{SpillThreshold: 10, SpillDir: t.TempDir()}).Run(j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spill.Partitions, mem.Partitions) {
+		t.Fatal("identity partitions differ")
+	}
+}
+
+func TestSpillCleansUpFiles(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := (&Local{SpillThreshold: 8, SpillDir: dir}).Run(randomJob(3, 4, 2, false)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := readDirNames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("spill dir not cleaned: %v", entries)
+	}
+}
+
+func TestSpillWithRetries(t *testing.T) {
+	failed := false
+	eng := &Local{
+		SpillThreshold: 8,
+		SpillDir:       t.TempDir(),
+		FailureInjector: func(kind string, ctx TaskContext) error {
+			if kind == "map" && ctx.TaskID == 1 && ctx.Attempt == 1 && !failed {
+				failed = true
+				return errors.New("injected")
+			}
+			return nil
+		},
+	}
+	res, err := eng.Run(randomJob(11, 4, 2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := (&Local{}).Run(randomJob(11, 4, 2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Partitions, mem.Partitions) {
+		t.Fatal("retried spill run differs from in-memory run")
+	}
+	if !failed {
+		t.Fatal("injector never fired")
+	}
+}
+
+func TestSpillWordCountEquivalence(t *testing.T) {
+	texts := []string{"a b a c", "b c d a", "e e e e e e e e"}
+	mem, err := (&Local{}).Run(wordCountJob(texts, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spill, err := (&Local{SpillThreshold: 2, SpillDir: t.TempDir()}).Run(wordCountJob(texts, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(countsOf(mem), countsOf(spill)) {
+		t.Fatalf("%v vs %v", countsOf(mem), countsOf(spill))
+	}
+}
+
+func readDirNames(dir string) ([]string, error) {
+	f, err := os.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return f.Readdirnames(-1)
+}
+
+func TestSpillSpeculativeLoserIsDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	eng := &Local{
+		Workers:          4,
+		SpillThreshold:   4,
+		SpillDir:         dir,
+		SpeculationAfter: 10 * time.Millisecond,
+		DelayInjector: func(kind string, ctx TaskContext) {
+			if kind == "map" && ctx.TaskID == 0 && ctx.Attempt == 1 {
+				time.Sleep(80 * time.Millisecond)
+			}
+		},
+	}
+	res, err := eng.Run(randomJob(21, 3, 2, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := (&Local{}).Run(randomJob(21, 3, 2, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Partitions, mem.Partitions) {
+		t.Fatal("speculative spill run differs")
+	}
+	// Both the loser's and the winners' spill directories must be cleaned.
+	entries, err := readDirNames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("leftover spill dirs: %v", entries)
+	}
+}
+
+func TestTaskErrorUnwrap(t *testing.T) {
+	sentinel := errors.New("root cause")
+	eng := &Local{MaxAttempts: 1, FailureInjector: func(kind string, ctx TaskContext) error {
+		return sentinel
+	}}
+	_, err := eng.Run(wordCountJob([]string{"a"}, 1))
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+}

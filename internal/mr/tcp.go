@@ -1,0 +1,415 @@
+package mr
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The cluster engine: a coordinator accepts worker connections over TCP and
+// assigns map/reduce tasks of registered jobs; workers instantiate jobs via
+// the shared registry, execute tasks, and stream results back. Shuffle data
+// flows through the coordinator (adequate for the data volumes the paper's
+// algorithms shuffle: O(N/2^h) rows, not O(N) records). Dead or slow
+// workers are detected by per-task deadlines and their tasks reassigned,
+// giving the retry semantics Hadoop provides.
+
+// Wire messages. Exactly one of the request payloads is set per kind.
+type wireHello struct {
+	WorkerName string
+}
+
+type wireTask struct {
+	Kind     string // "map", "reduce" or "shutdown"
+	JobName  string
+	Params   []byte
+	TaskID   int
+	Split    Split  // map tasks
+	Bucket   []Pair // reduce tasks: the sorted key group stream
+	Reducers int
+}
+
+type wireReply struct {
+	TaskID int
+	Err    string
+	Parts  [][]Pair // map output per partition
+	Out    []Pair   // reduce output
+}
+
+func init() {
+	gob.Register(wireHello{})
+}
+
+// Coordinator runs cluster jobs across connected workers.
+type Coordinator struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	workers []*workerConn
+	// TaskTimeout bounds one task execution; 0 means 2 minutes.
+	TaskTimeout time.Duration
+}
+
+type workerConn struct {
+	name string
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	dead bool
+}
+
+// NewCoordinator listens on addr (e.g. "127.0.0.1:0") and returns
+// immediately; workers join asynchronously via Serve.
+func NewCoordinator(addr string) (*Coordinator, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{ln: ln}
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the listen address workers should dial.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Close shuts the coordinator down and disconnects workers.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	for _, w := range c.workers {
+		w.conn.Close()
+	}
+	c.mu.Unlock()
+	return c.ln.Close()
+}
+
+func (c *Coordinator) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		go c.admit(conn)
+	}
+}
+
+func (c *Coordinator) admit(conn net.Conn) {
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	var hello wireHello
+	if err := dec.Decode(&hello); err != nil {
+		conn.Close()
+		return
+	}
+	c.mu.Lock()
+	c.workers = append(c.workers, &workerConn{name: hello.WorkerName, conn: conn, enc: enc, dec: dec})
+	c.mu.Unlock()
+}
+
+// WaitForWorkers blocks until at least n workers have joined or the
+// timeout elapses.
+func (c *Coordinator) WaitForWorkers(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		live := 0
+		for _, w := range c.workers {
+			if !w.dead {
+				live++
+			}
+		}
+		c.mu.Unlock()
+		if live >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("mr: only %d/%d workers joined within %v", live, n, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (c *Coordinator) timeout() time.Duration {
+	if c.TaskTimeout > 0 {
+		return c.TaskTimeout
+	}
+	return 2 * time.Minute
+}
+
+// acquire pops a live idle worker, blocking while tasks are in flight on
+// other workers. It fails only when every known worker is dead and none is
+// busy (nothing can ever free up).
+func (c *Coordinator) acquire() (*workerConn, error) {
+	for {
+		c.mu.Lock()
+		busy := 0
+		for i, w := range c.workers {
+			if w == nil {
+				busy++
+				continue
+			}
+			if !w.dead {
+				c.workers[i] = nil // mark busy
+				c.mu.Unlock()
+				return w, nil
+			}
+		}
+		total := len(c.workers)
+		c.mu.Unlock()
+		if total > 0 && busy == 0 {
+			return nil, errors.New("mr: all workers are dead")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// release returns a worker to the idle pool (or records its death).
+func (c *Coordinator) release(w *workerConn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, slot := range c.workers {
+		if slot == nil {
+			c.workers[i] = w
+			return
+		}
+	}
+	c.workers = append(c.workers, w)
+}
+
+// runTask executes one task on some worker, retrying on worker failure.
+func (c *Coordinator) runTask(task wireTask, maxAttempts int) (wireReply, error) {
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		w, err := c.acquire()
+		if err != nil {
+			return wireReply{}, err
+		}
+		reply, err := c.exchange(w, task)
+		if err != nil {
+			w.dead = true
+			w.conn.Close()
+			c.release(w)
+			lastErr = err
+			continue
+		}
+		c.release(w)
+		if reply.Err != "" {
+			lastErr = errors.New(reply.Err)
+			continue
+		}
+		return reply, nil
+	}
+	return wireReply{}, fmt.Errorf("mr: task %d failed after %d attempts: %w", task.TaskID, maxAttempts, lastErr)
+}
+
+func (c *Coordinator) exchange(w *workerConn, task wireTask) (wireReply, error) {
+	w.conn.SetDeadline(time.Now().Add(c.timeout()))
+	defer w.conn.SetDeadline(time.Time{})
+	if err := w.enc.Encode(&task); err != nil {
+		return wireReply{}, err
+	}
+	var reply wireReply
+	if err := w.dec.Decode(&reply); err != nil {
+		return wireReply{}, err
+	}
+	return reply, nil
+}
+
+// Run executes a registered job across the cluster. The coordinator also
+// instantiates the job locally for the shuffle's partitioner/comparator.
+func (c *Coordinator) Run(jobName string, params []byte) (*Result, error) {
+	job, err := LookupJob(jobName, params)
+	if err != nil {
+		return nil, err
+	}
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	if err := c.WaitForWorkers(1, 10*time.Second); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &Result{}
+	res.Metrics.Job = jobName
+	nred := job.reducers()
+
+	// ---- Map phase (parallel across workers) ----
+	type mapResult struct {
+		id    int
+		parts [][]Pair
+		dur   time.Duration
+		err   error
+	}
+	results := make(chan mapResult, len(job.Splits))
+	for i, split := range job.Splits {
+		go func(i int, split Split) {
+			t0 := time.Now()
+			reply, err := c.runTask(wireTask{
+				Kind: "map", JobName: jobName, Params: params,
+				TaskID: i, Split: split, Reducers: nred,
+			}, 3)
+			results <- mapResult{id: i, parts: reply.Parts, dur: time.Since(t0), err: err}
+		}(i, split)
+	}
+	buckets := make([][]Pair, nred)
+	mapOuts := make([][][]Pair, len(job.Splits))
+	for range job.Splits {
+		r := <-results
+		if r.err != nil {
+			return nil, r.err
+		}
+		mapOuts[r.id] = r.parts
+		res.Metrics.MapStats = append(res.Metrics.MapStats, TaskStat{TaskID: r.id, Attempt: 1, Duration: r.dur})
+	}
+	res.Metrics.MapTasks = len(job.Splits)
+	// Deterministic shuffle: concatenate in split order.
+	for _, parts := range mapOuts {
+		for p := 0; p < nred && p < len(parts); p++ {
+			buckets[p] = append(buckets[p], parts[p]...)
+			for _, kv := range parts[p] {
+				res.Metrics.ShuffleRecords++
+				res.Metrics.ShuffleBytes += int64(len(kv.Key) + len(kv.Value))
+			}
+		}
+	}
+	for p := range buckets {
+		b := buckets[p]
+		sort.SliceStable(b, func(i, j int) bool { return job.compare(b[i].Key, b[j].Key) < 0 })
+	}
+
+	// ---- Reduce phase ----
+	res.Partitions = make([][]Pair, nred)
+	if job.Reduce == nil {
+		copy(res.Partitions, buckets)
+	} else {
+		type redResult struct {
+			id  int
+			out []Pair
+			dur time.Duration
+			err error
+		}
+		rch := make(chan redResult, nred)
+		for p := 0; p < nred; p++ {
+			go func(p int) {
+				t0 := time.Now()
+				reply, err := c.runTask(wireTask{
+					Kind: "reduce", JobName: jobName, Params: params,
+					TaskID: p, Bucket: buckets[p], Reducers: nred,
+				}, 3)
+				rch <- redResult{id: p, out: reply.Out, dur: time.Since(t0), err: err}
+			}(p)
+		}
+		for i := 0; i < nred; i++ {
+			r := <-rch
+			if r.err != nil {
+				return nil, r.err
+			}
+			res.Partitions[r.id] = r.out
+			res.Metrics.ReduceStats = append(res.Metrics.ReduceStats, TaskStat{TaskID: r.id, Attempt: 1, Duration: r.dur})
+		}
+		res.Metrics.ReduceTasks = nred
+	}
+	for _, part := range res.Partitions {
+		for _, kv := range part {
+			res.Metrics.OutputRecords++
+			res.Metrics.OutputBytes += int64(len(kv.Key) + len(kv.Value))
+		}
+	}
+	res.Metrics.WallTime = time.Since(start)
+	return res, nil
+}
+
+// Serve runs a worker loop: dial the coordinator, announce, execute tasks
+// until the connection closes or stop is closed.
+func Serve(coordinatorAddr, name string, stop <-chan struct{}) error {
+	conn, err := net.Dial("tcp", coordinatorAddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if stop != nil {
+		go func() {
+			<-stop
+			conn.Close()
+		}()
+	}
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(&wireHello{WorkerName: name}); err != nil {
+		return err
+	}
+	for {
+		var task wireTask
+		if err := dec.Decode(&task); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		reply := executeWireTask(task)
+		if err := enc.Encode(&reply); err != nil {
+			return err
+		}
+		if task.Kind == "shutdown" {
+			return nil
+		}
+	}
+}
+
+func executeWireTask(task wireTask) (reply wireReply) {
+	reply.TaskID = task.TaskID
+	defer func() {
+		if r := recover(); r != nil {
+			reply = wireReply{TaskID: task.TaskID, Err: fmt.Sprintf("panic: %v", r)}
+		}
+	}()
+	job, err := LookupJob(task.JobName, task.Params)
+	if err != nil {
+		reply.Err = err.Error()
+		return reply
+	}
+	switch task.Kind {
+	case "map":
+		parts := make([][]Pair, task.Reducers)
+		emit := func(key, value []byte) error {
+			p := job.partition(key)
+			parts[p] = append(parts[p], Pair{Key: key, Value: value})
+			return nil
+		}
+		if err := job.Map(TaskContext{TaskID: task.TaskID, Attempt: 1}, task.Split, emit); err != nil {
+			reply.Err = err.Error()
+			return reply
+		}
+		if job.Combine != nil {
+			for p := range parts {
+				combined, err := combinePartition(job, TaskContext{TaskID: task.TaskID}, parts[p])
+				if err != nil {
+					reply.Err = err.Error()
+					return reply
+				}
+				parts[p] = combined
+			}
+		}
+		reply.Parts = parts
+	case "reduce":
+		var out []Pair
+		emit := func(key, value []byte) error {
+			out = append(out, Pair{Key: key, Value: value})
+			return nil
+		}
+		if err := reduceBucket(job, TaskContext{TaskID: task.TaskID, Attempt: 1}, task.Bucket, emit); err != nil {
+			reply.Err = err.Error()
+			return reply
+		}
+		reply.Out = out
+	case "shutdown":
+	default:
+		reply.Err = fmt.Sprintf("mr: unknown task kind %q", task.Kind)
+	}
+	return reply
+}

@@ -1,0 +1,166 @@
+// Package serve exposes a wavelet synopsis as an approximate-query HTTP
+// service: the deployment shape the paper's introduction motivates, where
+// the base data is remote or too large and exploratory queries are
+// answered from a compact synopsis with deterministic guarantees.
+//
+// Endpoints (all JSON):
+//
+//	GET /info                 synopsis metadata
+//	GET /point?i=K            approximate d[K] with guaranteed interval
+//	GET /range?lo=L&hi=H      approximate sum and mean over [L, H]
+//	GET /coefficients         the retained terms
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"dwmaxerr/internal/synopsis"
+)
+
+// Server answers approximate queries against one synopsis.
+type Server struct {
+	syn    *synopsis.Synopsis
+	ev     *synopsis.Evaluator
+	maxAbs float64 // per-value guarantee; 0 when unknown
+	mux    *http.ServeMux
+}
+
+// New builds a server over a synopsis with the given per-value maximum
+// absolute error guarantee (pass 0 if the synopsis carries no guarantee,
+// e.g. a conventional one; intervals are then omitted).
+func New(s *synopsis.Synopsis, maxAbs float64) (*Server, error) {
+	if s == nil || s.N < 1 {
+		return nil, fmt.Errorf("serve: nil or empty synopsis")
+	}
+	srv := &Server{syn: s, ev: synopsis.NewEvaluator(s), maxAbs: maxAbs, mux: http.NewServeMux()}
+	srv.mux.HandleFunc("/info", srv.handleInfo)
+	srv.mux.HandleFunc("/point", srv.handlePoint)
+	srv.mux.HandleFunc("/range", srv.handleRange)
+	srv.mux.HandleFunc("/coefficients", srv.handleCoefficients)
+	return srv, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Info is the /info response.
+type Info struct {
+	N           int     `json:"n"`
+	Terms       int     `json:"terms"`
+	MaxAbsError float64 `json:"max_abs_error,omitempty"`
+	Guaranteed  bool    `json:"guaranteed"`
+}
+
+// PointAnswer is the /point response.
+type PointAnswer struct {
+	Index  int      `json:"index"`
+	Approx float64  `json:"approx"`
+	Lo     *float64 `json:"lo,omitempty"`
+	Hi     *float64 `json:"hi,omitempty"`
+}
+
+// RangeAnswer is the /range response.
+type RangeAnswer struct {
+	Lo        int      `json:"lo"`
+	Hi        int      `json:"hi"`
+	Count     int      `json:"count"`
+	Sum       float64  `json:"sum"`
+	Avg       float64  `json:"avg"`
+	SumLo     *float64 `json:"sum_lo,omitempty"`
+	SumHi     *float64 `json:"sum_hi,omitempty"`
+	Guarantee float64  `json:"per_value_guarantee,omitempty"`
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, Info{
+		N:           s.syn.N,
+		Terms:       s.syn.Size(),
+		MaxAbsError: s.maxAbs,
+		Guaranteed:  s.maxAbs > 0,
+	})
+}
+
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	i, err := intParam(r, "i")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if i < 0 || i >= s.syn.N {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("index %d out of [0,%d)", i, s.syn.N))
+		return
+	}
+	ans := PointAnswer{Index: i, Approx: s.ev.Point(i)}
+	if s.maxAbs > 0 {
+		b := s.ev.PointBound(i, s.maxAbs)
+		lo, hi := b.Lo(), b.Hi()
+		ans.Lo, ans.Hi = &lo, &hi
+	}
+	writeJSON(w, ans)
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	lo, err := intParam(r, "lo")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	hi, err := intParam(r, "hi")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if lo < 0 || hi >= s.syn.N || lo > hi {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("range [%d,%d] out of [0,%d)", lo, hi, s.syn.N))
+		return
+	}
+	sum := s.ev.RangeSum(lo, hi)
+	count := hi - lo + 1
+	ans := RangeAnswer{Lo: lo, Hi: hi, Sum: sum, Avg: sum / float64(count), Count: count, Guarantee: s.maxAbs}
+	if s.maxAbs > 0 {
+		b := s.ev.RangeSumBound(lo, hi, s.maxAbs)
+		sl, sh := b.Lo(), b.Hi()
+		ans.SumLo, ans.SumHi = &sl, &sh
+	}
+	writeJSON(w, ans)
+}
+
+func (s *Server) handleCoefficients(w http.ResponseWriter, r *http.Request) {
+	type term struct {
+		Index int     `json:"index"`
+		Value float64 `json:"value"`
+	}
+	out := make([]term, 0, s.syn.Size())
+	for _, t := range s.syn.Terms {
+		out = append(out, term{t.Index, t.Value})
+	}
+	writeJSON(w, out)
+}
+
+func intParam(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing parameter %q", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	return v, nil
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,62 @@
+package synopsis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSV interchange format: one "index,value" line per retained coefficient.
+// Human-inspectable counterpart of the binary codec; used by the CLI
+// tools.
+
+// WriteCSV writes the synopsis terms as "index,value" lines.
+func (s *Synopsis) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range s.Terms {
+		if _, err := fmt.Fprintf(bw, "%d,%s\n", t.Index, strconv.FormatFloat(t.Value, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses "index,value" lines into a synopsis over n values,
+// skipping blank lines. The result is normalized.
+func ReadCSV(r io.Reader, n int) (*Synopsis, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("synopsis: data length %d < 1", n)
+	}
+	s := New(n)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		idxStr, valStr, ok := strings.Cut(text, ",")
+		if !ok {
+			return nil, fmt.Errorf("synopsis: line %d: want 'index,value'", line)
+		}
+		idx, err := strconv.Atoi(strings.TrimSpace(idxStr))
+		if err != nil {
+			return nil, fmt.Errorf("synopsis: line %d: %v", line, err)
+		}
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("synopsis: line %d: index %d out of [0,%d)", line, idx, n)
+		}
+		val, err := strconv.ParseFloat(strings.TrimSpace(valStr), 64)
+		if err != nil {
+			return nil, fmt.Errorf("synopsis: line %d: %v", line, err)
+		}
+		s.Terms = append(s.Terms, Coefficient{Index: idx, Value: val})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	s.Normalize()
+	return s, nil
+}

@@ -1,0 +1,108 @@
+package synopsis
+
+import (
+	"fmt"
+	"math"
+)
+
+// Guaranteed query answering: a synopsis built under a maximum-error
+// metric carries a deterministic per-value bound ε = max_abs. This file
+// derives guaranteed intervals for derived queries — the property that
+// makes max-error synopses preferable for approximate query processing
+// (Sections 1–2 of the paper).
+
+// Bounded is an approximate answer with a guaranteed enclosure:
+// the exact answer lies in [Approx-Radius, Approx+Radius].
+type Bounded struct {
+	Approx float64
+	Radius float64
+}
+
+// Lo returns the lower end of the guaranteed interval.
+func (b Bounded) Lo() float64 { return b.Approx - b.Radius }
+
+// Hi returns the upper end of the guaranteed interval.
+func (b Bounded) Hi() float64 { return b.Approx + b.Radius }
+
+// Contains reports whether the exact value v is inside the interval
+// (allowing for floating-point slack).
+func (b Bounded) Contains(v float64) bool {
+	slack := 1e-9 * (1 + math.Abs(v) + b.Radius)
+	return v >= b.Lo()-slack && v <= b.Hi()+slack
+}
+
+// String renders "approx ± radius".
+func (b Bounded) String() string { return fmt.Sprintf("%g ± %g", b.Approx, b.Radius) }
+
+// PointBound answers a point lookup with the guarantee |d_k - approx| <= ε,
+// where maxAbs is the synopsis' maximum absolute error.
+func (e *Evaluator) PointBound(k int, maxAbs float64) Bounded {
+	return Bounded{Approx: e.Point(k), Radius: maxAbs}
+}
+
+// RangeSumBound answers d(l:h) with the guarantee that each of the
+// h-l+1 terms is within ε: radius = (h-l+1)·ε.
+func (e *Evaluator) RangeSumBound(l, h int, maxAbs float64) Bounded {
+	if l > h {
+		l, h = h, l
+	}
+	return Bounded{
+		Approx: e.RangeSum(l, h),
+		Radius: float64(h-l+1) * maxAbs,
+	}
+}
+
+// RangeAvg returns the approximate mean over [l, h].
+func (e *Evaluator) RangeAvg(l, h int) float64 {
+	if l > h {
+		l, h = h, l
+	}
+	return e.RangeSum(l, h) / float64(h-l+1)
+}
+
+// RangeAvgBound answers the mean over [l, h] with radius ε (averaging does
+// not amplify a uniform per-value bound).
+func (e *Evaluator) RangeAvgBound(l, h int, maxAbs float64) Bounded {
+	return Bounded{Approx: e.RangeAvg(l, h), Radius: maxAbs}
+}
+
+// N returns the underlying data vector length.
+func (e *Evaluator) N() int { return e.n }
+
+// PrefixSums materializes all prefix sums d(0:k) for k in [0, N) in O(N)
+// total — useful when a query workload touches many ranges of the same
+// synopsis. The returned slice p satisfies sum(l:h) = p[h] - p[l] + d̂_l.
+func (e *Evaluator) PrefixSums() []float64 {
+	// Reconstruct values once, then accumulate.
+	vals := e.ReconstructAll()
+	p := make([]float64, len(vals))
+	var run float64
+	for i, v := range vals {
+		run += v
+		p[i] = run
+	}
+	return p
+}
+
+// ReconstructAll materializes the full approximate vector from the
+// evaluator's term map.
+func (e *Evaluator) ReconstructAll() []float64 {
+	s := &Synopsis{N: e.n}
+	for idx, v := range e.m {
+		s.Terms = append(s.Terms, Coefficient{Index: idx, Value: v})
+	}
+	s.Normalize()
+	return s.ReconstructAll()
+}
+
+// BatchPoints answers many point lookups, exploiting shared path prefixes
+// by reconstructing only the touched sub-trees. For k lookups the cost is
+// O(k log N) map probes, the same as calling Point repeatedly, but a
+// single allocation.
+func (e *Evaluator) BatchPoints(ks []int) []float64 {
+	out := make([]float64, len(ks))
+	for i, k := range ks {
+		out[i] = e.Point(k)
+	}
+	return out
+}

@@ -1,0 +1,283 @@
+// Package synopsis defines the wavelet synopsis produced by the
+// thresholding algorithms — a sparse set of retained (index, value)
+// coefficient pairs — together with value reconstruction, range-sum query
+// answering, and the aggregate error metrics of Section 2.3 (Equations
+// 1–3): L2, maximum absolute error, and maximum relative error with a
+// sanity bound.
+package synopsis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dwmaxerr/internal/wavelet"
+)
+
+// Coefficient is one retained term of a synopsis. For "restricted"
+// synopses the Value equals the Haar coefficient of the data; unrestricted
+// algorithms (MinHaarSpace) may retain modified values.
+type Coefficient struct {
+	Index int
+	Value float64
+}
+
+// Synopsis is a compact approximate representation of a data vector of
+// length N: the coefficients not present are implicitly zero.
+type Synopsis struct {
+	N     int
+	Terms []Coefficient
+}
+
+// New returns an empty synopsis for a vector of n values (n a power of two).
+func New(n int) *Synopsis {
+	return &Synopsis{N: n}
+}
+
+// FromMap builds a synopsis from an index->value map.
+func FromMap(n int, m map[int]float64) *Synopsis {
+	s := New(n)
+	for i, v := range m {
+		s.Terms = append(s.Terms, Coefficient{i, v})
+	}
+	s.Normalize()
+	return s
+}
+
+// FromIndices builds a synopsis retaining the given indices of the full
+// coefficient vector w.
+func FromIndices(w []float64, indices []int) *Synopsis {
+	s := New(len(w))
+	for _, i := range indices {
+		s.Terms = append(s.Terms, Coefficient{i, w[i]})
+	}
+	s.Normalize()
+	return s
+}
+
+// Normalize sorts terms by index and drops exact duplicates (keeping the
+// last occurrence) and zero values.
+func (s *Synopsis) Normalize() {
+	sort.SliceStable(s.Terms, func(i, j int) bool { return s.Terms[i].Index < s.Terms[j].Index })
+	out := s.Terms[:0]
+	for i := 0; i < len(s.Terms); i++ {
+		if i+1 < len(s.Terms) && s.Terms[i+1].Index == s.Terms[i].Index {
+			continue // superseded by a later term with the same index
+		}
+		if s.Terms[i].Value != 0 {
+			out = append(out, s.Terms[i])
+		}
+	}
+	s.Terms = out
+}
+
+// Size returns the number of retained non-zero coefficients.
+func (s *Synopsis) Size() int { return len(s.Terms) }
+
+// Map returns the retained terms as an index->value map.
+func (s *Synopsis) Map() map[int]float64 {
+	m := make(map[int]float64, len(s.Terms))
+	for _, t := range s.Terms {
+		m[t.Index] = t.Value
+	}
+	return m
+}
+
+// Dense materializes the full coefficient vector with non-retained entries
+// zero.
+func (s *Synopsis) Dense() []float64 {
+	w := make([]float64, s.N)
+	for _, t := range s.Terms {
+		w[t.Index] = t.Value
+	}
+	return w
+}
+
+// ReconstructAll returns the full approximate data vector.
+func (s *Synopsis) ReconstructAll() []float64 {
+	d := make([]float64, s.N)
+	wavelet.InverseInto(d, s.Dense())
+	return d
+}
+
+// Reconstruct returns the approximate value of data leaf k, summing only
+// the retained coefficients on k's path (O(terms on path)).
+func (s *Synopsis) Reconstruct(k int) float64 {
+	m := s.Map()
+	return reconstructFromMap(s.N, k, m)
+}
+
+func reconstructFromMap(n, k int, m map[int]float64) float64 {
+	v := m[0]
+	node := (n + k) / 2
+	left := k%2 == 0
+	for node >= 1 {
+		if c, ok := m[node]; ok {
+			if left {
+				v += c
+			} else {
+				v -= c
+			}
+		}
+		left = node%2 == 0
+		node /= 2
+	}
+	return v
+}
+
+// Evaluator answers point and range queries against a synopsis in
+// O(log N) per query, using a prebuilt index map.
+type Evaluator struct {
+	n int
+	m map[int]float64
+}
+
+// NewEvaluator builds a query evaluator over s.
+func NewEvaluator(s *Synopsis) *Evaluator {
+	return &Evaluator{n: s.N, m: s.Map()}
+}
+
+// Point returns the approximate value of data leaf k.
+func (e *Evaluator) Point(k int) float64 { return reconstructFromMap(e.n, k, e.m) }
+
+// RangeSum returns the approximate d(l:h) using only coefficients on
+// path_l ∪ path_h, per Section 2.2.
+func (e *Evaluator) RangeSum(l, h int) float64 {
+	if l > h {
+		l, h = h, l
+	}
+	sum := float64(h-l+1) * e.m[0]
+	seen := map[int]bool{0: true}
+	for _, k := range [2]int{l, h} {
+		node := (e.n + k) / 2
+		for node >= 1 {
+			if !seen[node] {
+				seen[node] = true
+				if c, ok := e.m[node]; ok {
+					first, last := wavelet.CoefficientSupport(e.n, node)
+					mid := first + (last-first)/2
+					nl := intervalOverlap(l, h, first, mid-1)
+					nr := intervalOverlap(l, h, mid, last-1)
+					sum += float64(nl-nr) * c
+				}
+			}
+			node /= 2
+		}
+	}
+	return sum
+}
+
+func intervalOverlap(a, b, c, d int) int {
+	lo, hi := a, b
+	if c > lo {
+		lo = c
+	}
+	if d < hi {
+		hi = d
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo + 1
+}
+
+// Errors aggregates the three error metrics of Section 2.3 for a synopsis
+// against the original data.
+type Errors struct {
+	L2     float64 // Equation 1: sqrt(mean squared error)
+	MaxAbs float64 // Equation 2: max_i |d̂_i - d_i|
+	MaxRel float64 // Equation 3: max_i |d̂_i - d_i| / max(|d_i|, S)
+	ArgAbs int     // index attaining MaxAbs
+	ArgRel int     // index attaining MaxRel
+}
+
+// Evaluate computes all metrics of s against data, with sanity bound
+// sanity (> 0) for the relative metric.
+func Evaluate(s *Synopsis, data []float64, sanity float64) (Errors, error) {
+	if len(data) != s.N {
+		return Errors{}, fmt.Errorf("synopsis: evaluate length mismatch: %d vs %d", len(data), s.N)
+	}
+	if sanity <= 0 {
+		sanity = 1
+	}
+	rec := s.ReconstructAll()
+	var e Errors
+	var sq float64
+	for i, d := range data {
+		diff := math.Abs(rec[i] - d)
+		sq += diff * diff
+		if diff > e.MaxAbs {
+			e.MaxAbs, e.ArgAbs = diff, i
+		}
+		den := math.Abs(d)
+		if den < sanity {
+			den = sanity
+		}
+		if r := diff / den; r > e.MaxRel {
+			e.MaxRel, e.ArgRel = r, i
+		}
+	}
+	e.L2 = math.Sqrt(sq / float64(len(data)))
+	return e, nil
+}
+
+// MaxAbsError computes only Equation 2, avoiding the full struct.
+func MaxAbsError(s *Synopsis, data []float64) float64 {
+	rec := s.ReconstructAll()
+	var m float64
+	for i, d := range data {
+		if diff := math.Abs(rec[i] - d); diff > m {
+			m = diff
+		}
+	}
+	return m
+}
+
+// MaxRelError computes only Equation 3 with sanity bound sanity.
+func MaxRelError(s *Synopsis, data []float64, sanity float64) float64 {
+	if sanity <= 0 {
+		sanity = 1
+	}
+	rec := s.ReconstructAll()
+	var m float64
+	for i, d := range data {
+		den := math.Abs(d)
+		if den < sanity {
+			den = sanity
+		}
+		if r := math.Abs(rec[i]-d) / den; r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// Conventional builds the conventional (L2-optimal) synopsis: the B
+// coefficients of greatest significance |c|/sqrt(2^level), per Section 2.3.
+func Conventional(w []float64, b int) *Synopsis {
+	type cand struct {
+		idx int
+		sig float64
+	}
+	cands := make([]cand, 0, len(w))
+	for i, c := range w {
+		if c != 0 {
+			cands = append(cands, cand{i, wavelet.SignificanceOrderValue(i, c)})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].sig != cands[j].sig {
+			return cands[i].sig > cands[j].sig
+		}
+		return cands[i].idx < cands[j].idx
+	})
+	if b > len(cands) {
+		b = len(cands)
+	}
+	s := New(len(w))
+	for _, c := range cands[:b] {
+		s.Terms = append(s.Terms, Coefficient{c.idx, w[c.idx]})
+	}
+	s.Normalize()
+	return s
+}

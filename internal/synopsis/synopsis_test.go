@@ -1,0 +1,199 @@
+package synopsis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dwmaxerr/internal/wavelet"
+)
+
+var paperData = []float64{5, 5, 0, 26, 1, 3, 14, 2}
+var paperCoef = []float64{7, 2, -4, -3, 0, -13, -1, 6}
+
+func TestPaperThresholdingExample(t *testing.T) {
+	// Section 2.3: retaining {c0, c5, c3} gives d̂_5 = 7 - 3 = 4.
+	s := FromIndices(paperCoef, []int{0, 5, 3})
+	if got := s.Reconstruct(5); got != 4 {
+		t.Fatalf("d̂_5 = %g, want 4", got)
+	}
+	e, err := Evaluate(s, paperData, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.MaxAbs <= 0 {
+		t.Fatal("expected a positive max error for a lossy synopsis")
+	}
+}
+
+func TestFullSynopsisIsExact(t *testing.T) {
+	idx := make([]int, len(paperCoef))
+	for i := range idx {
+		idx[i] = i
+	}
+	s := FromIndices(paperCoef, idx)
+	e, _ := Evaluate(s, paperData, 1)
+	if e.MaxAbs != 0 || e.L2 != 0 || e.MaxRel != 0 {
+		t.Fatalf("full synopsis errors = %+v, want all zero", e)
+	}
+}
+
+func TestReconstructMatchesDenseInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + uint(rng.Intn(7)))
+		w := make([]float64, n)
+		var idx []int
+		for i := range w {
+			w[i] = rng.NormFloat64() * 10
+			if rng.Intn(3) == 0 {
+				idx = append(idx, i)
+			}
+		}
+		s := FromIndices(w, idx)
+		full := s.ReconstructAll()
+		for k := 0; k < n; k++ {
+			if math.Abs(s.Reconstruct(k)-full[k]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluatorRangeSum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + uint(rng.Intn(7)))
+		w := make([]float64, n)
+		var idx []int
+		for i := range w {
+			w[i] = rng.NormFloat64() * 10
+			if rng.Intn(2) == 0 {
+				idx = append(idx, i)
+			}
+		}
+		s := FromIndices(w, idx)
+		ev := NewEvaluator(s)
+		rec := s.ReconstructAll()
+		l := rng.Intn(n)
+		h := l + rng.Intn(n-l)
+		var want float64
+		for i := l; i <= h; i++ {
+			want += rec[i]
+		}
+		got := ev.RangeSum(l, h)
+		return math.Abs(got-want) < 1e-7*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluatorPointMatchesReconstruct(t *testing.T) {
+	s := FromIndices(paperCoef, []int{0, 1, 6})
+	ev := NewEvaluator(s)
+	for k := range paperData {
+		if ev.Point(k) != s.Reconstruct(k) {
+			t.Fatalf("Point(%d) mismatch", k)
+		}
+	}
+}
+
+func TestNormalizeDedupAndZeroDrop(t *testing.T) {
+	s := New(8)
+	s.Terms = []Coefficient{{3, 1}, {1, 0}, {3, 5}, {2, -2}}
+	s.Normalize()
+	if s.Size() != 2 {
+		t.Fatalf("size = %d, want 2 (%+v)", s.Size(), s.Terms)
+	}
+	m := s.Map()
+	if m[3] != 5 || m[2] != -2 {
+		t.Fatalf("map = %v", m)
+	}
+}
+
+func TestConventionalMinimizesL2(t *testing.T) {
+	// The conventional synopsis must achieve the minimum L2 error over all
+	// synopses that retain exactly B of the true Haar coefficients.
+	// Verify against exhaustive search on small inputs.
+	rng := rand.New(rand.NewSource(21))
+	n, b := 8, 3
+	for trial := 0; trial < 25; trial++ {
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.NormFloat64() * 30
+		}
+		w, _ := wavelet.Transform(data)
+		conv := Conventional(w, b)
+		ce, _ := Evaluate(conv, data, 1)
+
+		best := math.Inf(1)
+		var comb func(start int, chosen []int)
+		comb = func(start int, chosen []int) {
+			if len(chosen) == b {
+				s := FromIndices(w, chosen)
+				e, _ := Evaluate(s, data, 1)
+				if e.L2 < best {
+					best = e.L2
+				}
+				return
+			}
+			for i := start; i < n; i++ {
+				comb(i+1, append(chosen, i))
+			}
+		}
+		comb(0, nil)
+		if ce.L2 > best+1e-9 {
+			t.Fatalf("trial %d: conventional L2 %g > optimal %g", trial, ce.L2, best)
+		}
+	}
+}
+
+func TestConventionalBudgetRespected(t *testing.T) {
+	w := make([]float64, 32)
+	rng := rand.New(rand.NewSource(4))
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	for _, b := range []int{0, 1, 5, 32, 100} {
+		s := Conventional(w, b)
+		if s.Size() > b {
+			t.Fatalf("B=%d: size %d", b, s.Size())
+		}
+		if b <= 32 && s.Size() < b {
+			t.Fatalf("B=%d: size %d, want %d (all coefficients nonzero)", b, s.Size(), b)
+		}
+	}
+}
+
+func TestMaxRelSanityBound(t *testing.T) {
+	data := []float64{0.001, 100, 100, 100}
+	w, _ := wavelet.Transform(data)
+	s := Conventional(w, 1)
+	// Sanity bound 1 caps the denominator of the tiny value.
+	relTight := MaxRelError(s, data, 0.0001)
+	relLoose := MaxRelError(s, data, 10)
+	if relLoose > relTight {
+		t.Fatalf("loose sanity bound should not increase max_rel: %g > %g", relLoose, relTight)
+	}
+}
+
+func TestEvaluateLengthMismatch(t *testing.T) {
+	s := New(8)
+	if _, err := Evaluate(s, make([]float64, 4), 1); err == nil {
+		t.Fatal("want error on length mismatch")
+	}
+}
+
+func TestMaxAbsMatchesEvaluate(t *testing.T) {
+	s := FromIndices(paperCoef, []int{0, 2})
+	e, _ := Evaluate(s, paperData, 1)
+	if got := MaxAbsError(s, paperData); got != e.MaxAbs {
+		t.Fatalf("MaxAbsError = %g, Evaluate.MaxAbs = %g", got, e.MaxAbs)
+	}
+}

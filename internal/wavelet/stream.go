@@ -1,0 +1,185 @@
+package wavelet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Streamer computes the Haar decomposition of a stream one value at a time
+// in O(log N) memory — the one-pass setting of Gilbert et al. that the
+// paper's related work builds on. Each detail coefficient is emitted, with
+// its error-tree index, the moment its support has fully streamed by;
+// the overall average (node 0) is emitted by Finish.
+type Streamer struct {
+	n       int // expected stream length (power of two)
+	seen    int
+	emit    func(index int, value float64)
+	pending []pendingAvg // one slot per level, bottom-up
+}
+
+type pendingAvg struct {
+	valid bool
+	avg   float64
+}
+
+// NewStreamer builds a streamer for a stream of exactly n values (a power
+// of two). emit receives every coefficient exactly once; indices arrive in
+// post-order (children before ancestors), node 0 last.
+func NewStreamer(n int, emit func(index int, value float64)) (*Streamer, error) {
+	if !IsPowerOfTwo(n) {
+		return nil, ErrNotPowerOfTwo
+	}
+	return &Streamer{
+		n:       n,
+		emit:    emit,
+		pending: make([]pendingAvg, Log2(n)+1),
+	}, nil
+}
+
+// Push consumes the next stream value.
+func (s *Streamer) Push(v float64) error {
+	if s.seen >= s.n {
+		return fmt.Errorf("wavelet: stream overflow beyond %d values", s.n)
+	}
+	pos := s.seen
+	s.seen++
+	avg := v
+	// Carry the completed average up through the levels, like binary
+	// addition. Level 0 holds single values, level l holds averages of
+	// 2^l values.
+	for l := 0; ; l++ {
+		if !s.pending[l].valid {
+			s.pending[l] = pendingAvg{valid: true, avg: avg}
+			return nil
+		}
+		left := s.pending[l].avg
+		s.pending[l].valid = false
+		detail := (left - avg) / 2
+		// The completed node covers 2^(l+1) values ending at pos; its
+		// error-tree index: level (log2 n - l - 1) from the top, offset by
+		// the block number.
+		block := pos >> uint(l+1) // which 2^(l+1)-aligned block just completed
+		node := s.n>>uint(l+1) + block
+		s.emit(node, detail)
+		avg = (left + avg) / 2
+		if node == 1 {
+			// The whole stream has been averaged; node 0 is emitted by
+			// Finish so that short streams error out instead.
+			s.pending[len(s.pending)-1] = pendingAvg{valid: true, avg: avg}
+			return nil
+		}
+	}
+}
+
+// Finish emits the overall-average coefficient and verifies the stream had
+// exactly n values.
+func (s *Streamer) Finish() error {
+	if s.seen != s.n {
+		return fmt.Errorf("wavelet: stream ended after %d of %d values", s.seen, s.n)
+	}
+	top := s.pending[len(s.pending)-1]
+	if s.n == 1 {
+		// Single value: no detail levels; the pending level-0 slot holds it.
+		top = s.pending[0]
+	}
+	if !top.valid {
+		return fmt.Errorf("wavelet: internal error: no pending average at finish")
+	}
+	s.emit(0, top.avg)
+	return nil
+}
+
+// Seen returns how many values have been pushed.
+func (s *Streamer) Seen() int { return s.seen }
+
+// TopKStream maintains the conventional (L2-optimal) synopsis of a stream
+// incrementally: it keeps the B coefficients of greatest significance seen
+// so far in a min-heap, in O(B) memory on top of the streamer's O(log N).
+type TopKStream struct {
+	streamer *Streamer
+	budget   int
+	heap     sigHeap
+}
+
+// NewTopKStream builds a one-pass conventional-synopsis maintainer for a
+// stream of n values (a power of two) and a budget of B coefficients.
+func NewTopKStream(n, budget int) (*TopKStream, error) {
+	if budget < 1 {
+		return nil, fmt.Errorf("wavelet: budget %d < 1", budget)
+	}
+	t := &TopKStream{budget: budget}
+	s, err := NewStreamer(n, t.offer)
+	if err != nil {
+		return nil, err
+	}
+	t.streamer = s
+	return t, nil
+}
+
+// Push consumes the next stream value.
+func (t *TopKStream) Push(v float64) error { return t.streamer.Push(v) }
+
+// Finish completes the stream and returns the retained (index, value)
+// pairs — the conventional B-term synopsis of the full stream.
+func (t *TopKStream) Finish() (indices []int, values []float64, err error) {
+	if err := t.streamer.Finish(); err != nil {
+		return nil, nil, err
+	}
+	for _, e := range t.heap {
+		indices = append(indices, e.index)
+		values = append(values, e.value)
+	}
+	return indices, values, nil
+}
+
+func (t *TopKStream) offer(index int, value float64) {
+	if value == 0 {
+		return
+	}
+	sig := SignificanceOrderValue(index, value)
+	if t.heap.Len() < t.budget {
+		heap.Push(&t.heap, sigEntry{sig: sig, index: index, value: value})
+		return
+	}
+	if sig > t.heap[0].sig || (sig == t.heap[0].sig && index < t.heap[0].index) {
+		t.heap[0] = sigEntry{sig: sig, index: index, value: value}
+		heap.Fix(&t.heap, 0)
+	}
+}
+
+type sigEntry struct {
+	sig   float64
+	index int
+	value float64
+}
+
+// sigHeap is a min-heap on significance (ties: larger index evicted first,
+// matching the deterministic ordering of synopsis.Conventional).
+type sigHeap []sigEntry
+
+func (h sigHeap) Len() int { return len(h) }
+func (h sigHeap) Less(i, j int) bool {
+	if h[i].sig != h[j].sig {
+		return h[i].sig < h[j].sig
+	}
+	return h[i].index > h[j].index
+}
+func (h sigHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *sigHeap) Push(x interface{}) {
+	*h = append(*h, x.(sigEntry))
+}
+func (h *sigHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+var _ heap.Interface = (*sigHeap)(nil)
+
+// StreamMaxAbs folds a stream of reconstruction errors into a running
+// maximum — a helper for windowed monitoring of synopsis quality.
+func StreamMaxAbs(maxSoFar, approx, actual float64) float64 {
+	return math.Max(maxSoFar, math.Abs(approx-actual))
+}

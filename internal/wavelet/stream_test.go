@@ -1,0 +1,211 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamerMatchesTransform(t *testing.T) {
+	f := func(seed int64, logn uint8) bool {
+		n := 1 << (logn % 9) // 1..256
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.NormFloat64() * 100
+		}
+		got := make([]float64, n)
+		emitted := make([]bool, n)
+		s, err := NewStreamer(n, func(idx int, v float64) {
+			if emitted[idx] {
+				t.Fatalf("coefficient %d emitted twice", idx)
+			}
+			emitted[idx] = true
+			got[idx] = v
+		})
+		if err != nil {
+			return false
+		}
+		for _, v := range data {
+			if err := s.Push(v); err != nil {
+				return false
+			}
+		}
+		if err := s.Finish(); err != nil {
+			return false
+		}
+		for _, e := range emitted {
+			if !e {
+				return false
+			}
+		}
+		want, _ := Transform(data)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamerEmitsChildrenBeforeParents(t *testing.T) {
+	n := 16
+	var order []int
+	s, _ := NewStreamer(n, func(idx int, v float64) { order = append(order, idx) })
+	for i := 0; i < n; i++ {
+		s.Push(float64(i))
+	}
+	s.Finish()
+	pos := map[int]int{}
+	for i, idx := range order {
+		pos[idx] = i
+	}
+	for node := 2; node < n; node++ {
+		if pos[node] > pos[node/2] {
+			t.Fatalf("node %d emitted after its parent %d", node, node/2)
+		}
+	}
+	if order[len(order)-1] != 0 {
+		t.Fatalf("node 0 not last: %v", order)
+	}
+}
+
+func TestStreamerErrors(t *testing.T) {
+	if _, err := NewStreamer(3, func(int, float64) {}); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+	s, _ := NewStreamer(2, func(int, float64) {})
+	s.Push(1)
+	if err := s.Finish(); err == nil {
+		t.Fatal("short stream accepted")
+	}
+	s.Push(2)
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Push(3); err == nil {
+		t.Fatal("overflow accepted")
+	}
+	if s.Seen() != 2 {
+		t.Fatalf("Seen = %d", s.Seen())
+	}
+}
+
+func TestStreamerSingleValue(t *testing.T) {
+	var got []float64
+	s, _ := NewStreamer(1, func(idx int, v float64) {
+		if idx != 0 {
+			t.Fatalf("index %d", idx)
+		}
+		got = append(got, v)
+	})
+	s.Push(42)
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTopKStreamMatchesConventional(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 << (2 + rng.Intn(6))
+		b := 1 + rng.Intn(n/2)
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = math.Trunc(rng.NormFloat64() * 100)
+		}
+		tk, err := NewTopKStream(n, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range data {
+			if err := tk.Push(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		indices, values, err := tk.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference: offline top-B by significance over nonzero coefficients.
+		w, _ := Transform(data)
+		type cand struct {
+			idx int
+			sig float64
+		}
+		var cands []cand
+		for i, c := range w {
+			if c != 0 {
+				cands = append(cands, cand{i, SignificanceOrderValue(i, c)})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].sig != cands[j].sig {
+				return cands[i].sig > cands[j].sig
+			}
+			return cands[i].idx < cands[j].idx
+		})
+		if b > len(cands) {
+			b = len(cands)
+		}
+		want := map[int]bool{}
+		for _, c := range cands[:b] {
+			want[c.idx] = true
+		}
+		if len(indices) != b {
+			t.Fatalf("trial %d: stream kept %d, want %d", trial, len(indices), b)
+		}
+		for k, idx := range indices {
+			if !want[idx] {
+				t.Fatalf("trial %d: stream kept %d, not in offline top-%d %v", trial, idx, b, cands[:b])
+			}
+			if math.Abs(values[k]-w[idx]) > 1e-12*(1+math.Abs(w[idx])) {
+				t.Fatalf("trial %d: value mismatch at %d", trial, idx)
+			}
+		}
+	}
+}
+
+func TestTopKStreamValidation(t *testing.T) {
+	if _, err := NewTopKStream(8, 0); err == nil {
+		t.Fatal("budget 0 accepted")
+	}
+	if _, err := NewTopKStream(7, 2); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+}
+
+func TestStreamMaxAbs(t *testing.T) {
+	m := 0.0
+	m = StreamMaxAbs(m, 5, 3)
+	m = StreamMaxAbs(m, 1, 1.5)
+	if m != 2 {
+		t.Fatalf("m = %g", m)
+	}
+}
+
+func BenchmarkStreamer(b *testing.B) {
+	n := 1 << 16
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.Float64()
+	}
+	b.SetBytes(int64(8 * n))
+	for i := 0; i < b.N; i++ {
+		s, _ := NewStreamer(n, func(int, float64) {})
+		for _, v := range data {
+			s.Push(v)
+		}
+		s.Finish()
+	}
+}

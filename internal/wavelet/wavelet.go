@@ -1,0 +1,238 @@
+// Package wavelet implements the unnormalized Haar wavelet transform used
+// throughout the paper "Distributed Wavelet Thresholding for Maximum Error
+// Metrics" (SIGMOD 2016), together with the error-tree coefficient layout,
+// significance ordering for the conventional (L2-optimal) thresholding
+// scheme, and the basis-vector formulation used by the Send-Coef algorithm.
+//
+// The transform operates on data vectors whose length is a power of two.
+// Coefficients are stored in the standard error-tree (heap) layout:
+//
+//	W[0] — the overall average
+//	W[1] — the top detail coefficient
+//	W[i] — detail coefficient whose children are W[2i] and W[2i+1]
+//
+// Averaging is plain pairwise averaging (not orthonormal): for a pair
+// (a, b) the parent average is (a+b)/2 and the detail is (a-b)/2.
+package wavelet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// ErrNotPowerOfTwo is returned when an input length is not a power of two.
+var ErrNotPowerOfTwo = errors.New("wavelet: data length must be a positive power of two")
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// Log2 returns floor(log2(n)) for n > 0.
+func Log2(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("wavelet: Log2 of non-positive %d", n))
+	}
+	return bits.Len(uint(n)) - 1
+}
+
+// NextPowerOfTwo returns the smallest power of two >= n (n > 0).
+func NextPowerOfTwo(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Transform computes the full Haar wavelet decomposition of data, whose
+// length must be a power of two, and returns the coefficient vector in
+// error-tree layout. The input slice is not modified.
+func Transform(data []float64) ([]float64, error) {
+	n := len(data)
+	if !IsPowerOfTwo(n) {
+		return nil, ErrNotPowerOfTwo
+	}
+	w := make([]float64, n)
+	TransformInto(w, data)
+	return w, nil
+}
+
+// TransformInto computes the Haar decomposition of data into w. Both slices
+// must have the same power-of-two length. data is not modified unless the
+// two slices alias, which is not allowed.
+func TransformInto(w, data []float64) {
+	n := len(data)
+	if len(w) != n {
+		panic("wavelet: TransformInto length mismatch")
+	}
+	if n == 1 {
+		w[0] = data[0]
+		return
+	}
+	// averages holds the current resolution level's averages; reuse w's
+	// second half as scratch is unsafe because details land there, so use
+	// a dedicated buffer.
+	avg := make([]float64, n/2)
+	// Bottom level: details go to w[n/2 : n].
+	for i := 0; i < n/2; i++ {
+		a, b := data[2*i], data[2*i+1]
+		avg[i] = (a + b) / 2
+		w[n/2+i] = (a - b) / 2
+	}
+	for m := n / 2; m > 1; m /= 2 {
+		for i := 0; i < m/2; i++ {
+			a, b := avg[2*i], avg[2*i+1]
+			avg[i] = (a + b) / 2
+			w[m/2+i] = (a - b) / 2
+		}
+	}
+	w[0] = avg[0]
+}
+
+// Inverse reconstructs the original data vector from a coefficient vector in
+// error-tree layout. The input slice is not modified.
+func Inverse(w []float64) ([]float64, error) {
+	n := len(w)
+	if !IsPowerOfTwo(n) {
+		return nil, ErrNotPowerOfTwo
+	}
+	data := make([]float64, n)
+	InverseInto(data, w)
+	return data, nil
+}
+
+// InverseInto reconstructs data from coefficients w (error-tree layout).
+// Both slices must have the same power-of-two length and must not alias.
+func InverseInto(data, w []float64) {
+	n := len(w)
+	if len(data) != n {
+		panic("wavelet: InverseInto length mismatch")
+	}
+	if n == 1 {
+		data[0] = w[0]
+		return
+	}
+	// vals holds reconstructed averages of the current level.
+	vals := make([]float64, n)
+	vals[0] = w[0]
+	for m := 1; m < n; m *= 2 {
+		// Nodes m..2m-1 hold the details refining level with m averages
+		// into 2m averages.
+		for i := m - 1; i >= 0; i-- {
+			v, d := vals[i], w[m+i]
+			vals[2*i] = v + d
+			vals[2*i+1] = v - d
+		}
+	}
+	copy(data, vals)
+}
+
+// Level returns the resolution level of coefficient index i in a tree over n
+// data points, with 0 the coarsest level. Both the overall average W[0] and
+// the top detail W[1] reside at level 0 (they influence every data value);
+// W[i] for i >= 1 resides at level floor(log2 i).
+func Level(i int) int {
+	if i <= 1 {
+		return 0
+	}
+	return Log2(i)
+}
+
+// Significance returns the significance |c| / sqrt(2^level) of coefficient
+// value c at index i, per Section 2.3 of the paper. Retaining the B
+// coefficients of greatest significance yields the conventional, L2-optimal
+// synopsis.
+func Significance(i int, c float64) float64 {
+	return math.Abs(c) / math.Sqrt(float64(int(1)<<uint(Level(i))))
+}
+
+// SignificanceOrderValue is like Significance but avoids the sqrt by
+// returning |c|^2 / 2^level, which induces the same ordering. Useful in hot
+// loops such as top-B selection.
+func SignificanceOrderValue(i int, c float64) float64 {
+	return c * c / float64(int(1)<<uint(Level(i)))
+}
+
+// LocalTransform computes the Haar decomposition of a contiguous, aligned
+// chunk of a larger data vector, as performed by a CON mapper (Appendix
+// A.1). The chunk length must be a power of two. It returns the chunk's
+// detail coefficients in local error-tree layout (index 0 unused, indices
+// 1..len-1 valid: local node 1 is the chunk's top detail) together with the
+// chunk average, which the caller forwards upward to build the coefficients
+// above the chunk.
+func LocalTransform(chunk []float64) (details []float64, avg float64, err error) {
+	n := len(chunk)
+	if !IsPowerOfTwo(n) {
+		return nil, 0, ErrNotPowerOfTwo
+	}
+	w := make([]float64, n)
+	TransformInto(w, chunk)
+	avg = w[0]
+	w[0] = 0 // local index 0 is unused; the average is returned separately
+	return w, avg, nil
+}
+
+// GlobalIndex maps a local error-tree index within an aligned chunk to the
+// global error-tree index. The chunk covers data positions
+// [chunkIdx*chunkLen, (chunkIdx+1)*chunkLen) of a vector of length n; all
+// three of chunkLen, n must be powers of two with chunkLen <= n. Local index
+// li must be >= 1 (the local average has no single global counterpart).
+//
+// The chunk's sub-tree root in the global tree is node n/chunkLen + chunkIdx;
+// descending mirrors the local tree.
+func GlobalIndex(n, chunkLen, chunkIdx, li int) int {
+	if li < 1 {
+		panic("wavelet: GlobalIndex requires local index >= 1")
+	}
+	// Local node li sits at local level L = floor(log2 li) with offset
+	// li - 2^L; globally it sits L levels below the sub-tree root.
+	root := n/chunkLen + chunkIdx
+	l := Log2(li)
+	return root<<uint(l) + (li - 1<<uint(l))
+}
+
+// BasisCoefficient returns the contribution of data value d at position pos
+// (0-based, in a vector of length n) to the unnormalized coefficient at
+// error-tree index i, per the basis-vector formulation of Appendix A.3
+// adapted to the unnormalized transform:
+//
+//	c_0    = (1/n) * sum(d)
+//	c_i    = (1/|leaves_i|) * (sum(left leaves) - sum(right leaves)) / ... —
+//
+// concretely, coefficient i at level l covers n/2^l consecutive values; a
+// value in its left half contributes +d/(n/2^l) ... see implementation.
+//
+// Summing BasisCoefficient over all positions under node i yields exactly
+// the coefficient produced by Transform. This is the decomposition that
+// Send-Coef mappers exploit: w_i = Σ_j <A_j, ψ_i>.
+func BasisCoefficient(n, i, pos int, d float64) float64 {
+	if i == 0 {
+		return d / float64(n)
+	}
+	support := n >> uint(Level(i)) // number of data values under node i
+	// First data position covered by node i: the leftmost leaf of its
+	// sub-tree.
+	l := Level(i)
+	first := (i - 1<<uint(l)) * support
+	if pos < first || pos >= first+support {
+		return 0
+	}
+	if pos < first+support/2 {
+		return d / float64(support)
+	}
+	return -d / float64(support)
+}
+
+// CoefficientSupport returns the half-open range [first, last) of data
+// positions influenced by coefficient i in a tree over n values.
+func CoefficientSupport(n, i int) (first, last int) {
+	if i == 0 {
+		return 0, n
+	}
+	l := Level(i)
+	support := n >> uint(l)
+	first = (i - 1<<uint(l)) * support
+	return first, first + support
+}

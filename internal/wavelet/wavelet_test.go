@@ -1,0 +1,280 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// paperData is the running example of Section 2.1 / Table 1 / Figure 1.
+var paperData = []float64{5, 5, 0, 26, 1, 3, 14, 2}
+var paperCoef = []float64{7, 2, -4, -3, 0, -13, -1, 6}
+
+func TestTable1Example(t *testing.T) {
+	w, err := Transform(paperData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w, paperCoef) {
+		t.Fatalf("Transform = %v, want %v", w, paperCoef)
+	}
+}
+
+func TestInverseOfPaperExample(t *testing.T) {
+	d, err := Inverse(paperCoef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, paperData) {
+		t.Fatalf("Inverse = %v, want %v", d, paperData)
+	}
+}
+
+func TestTransformErrors(t *testing.T) {
+	for _, n := range []int{0, 3, 5, 6, 7, 12} {
+		if _, err := Transform(make([]float64, n)); err == nil {
+			t.Errorf("Transform of length %d: want error", n)
+		}
+		if _, err := Inverse(make([]float64, n)); err == nil {
+			t.Errorf("Inverse of length %d: want error", n)
+		}
+	}
+}
+
+func TestTransformSingleton(t *testing.T) {
+	w, err := Transform([]float64{42})
+	if err != nil || w[0] != 42 {
+		t.Fatalf("Transform([42]) = %v, %v", w, err)
+	}
+	d, err := Inverse(w)
+	if err != nil || d[0] != 42 {
+		t.Fatalf("Inverse = %v, %v", d, err)
+	}
+}
+
+func TestTransformConstantVector(t *testing.T) {
+	data := []float64{3, 3, 3, 3, 3, 3, 3, 3}
+	w, _ := Transform(data)
+	if w[0] != 3 {
+		t.Fatalf("average = %v, want 3", w[0])
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i] != 0 {
+			t.Fatalf("detail w[%d] = %v, want 0", i, w[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, logn uint8) bool {
+		n := 1 << (logn % 11) // up to 1024
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.Float64()*2000 - 1000
+		}
+		w, err := Transform(data)
+		if err != nil {
+			return false
+		}
+		back, err := Inverse(w)
+		if err != nil {
+			return false
+		}
+		for i := range data {
+			if math.Abs(back[i]-data[i]) > 1e-9*(1+math.Abs(data[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformLinearityProperty(t *testing.T) {
+	// Transform is linear: T(a*x + y) = a*T(x) + T(y).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 64
+		x, y := make([]float64, n), make([]float64, n)
+		for i := range x {
+			x[i], y[i] = rng.NormFloat64()*100, rng.NormFloat64()*100
+		}
+		a := rng.Float64()*4 - 2
+		z := make([]float64, n)
+		for i := range z {
+			z[i] = a*x[i] + y[i]
+		}
+		wx, _ := Transform(x)
+		wy, _ := Transform(y)
+		wz, _ := Transform(z)
+		for i := range wz {
+			want := a*wx[i] + wy[i]
+			if math.Abs(wz[i]-want) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevel(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 15: 3, 16: 4}
+	for i, want := range cases {
+		if got := Level(i); got != want {
+			t.Errorf("Level(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSignificanceOrderingMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		i, j := rng.Intn(64), rng.Intn(64)
+		ci, cj := rng.NormFloat64()*50, rng.NormFloat64()*50
+		a := Significance(i, ci) < Significance(j, cj)
+		b := SignificanceOrderValue(i, ci) < SignificanceOrderValue(j, cj)
+		if a != b {
+			t.Fatalf("ordering mismatch at (%d,%g) vs (%d,%g)", i, ci, j, cj)
+		}
+	}
+}
+
+func TestCoefficientSupport(t *testing.T) {
+	n := 8
+	want := map[int][2]int{
+		0: {0, 8}, 1: {0, 8}, 2: {0, 4}, 3: {4, 8},
+		4: {0, 2}, 5: {2, 4}, 6: {4, 6}, 7: {6, 8},
+	}
+	for i, w := range want {
+		f, l := CoefficientSupport(n, i)
+		if f != w[0] || l != w[1] {
+			t.Errorf("CoefficientSupport(8,%d) = [%d,%d), want [%d,%d)", i, f, l, w[0], w[1])
+		}
+	}
+}
+
+func TestBasisCoefficientSumsToTransform(t *testing.T) {
+	// Appendix A.3: every coefficient is the sum over data positions of
+	// per-position contributions. Verify against the direct transform.
+	rng := rand.New(rand.NewSource(99))
+	n := 32
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.Float64() * 100
+	}
+	w, _ := Transform(data)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for pos, d := range data {
+			sum += BasisCoefficient(n, i, pos, d)
+		}
+		if math.Abs(sum-w[i]) > 1e-9 {
+			t.Fatalf("basis sum for coefficient %d = %g, want %g", i, sum, w[i])
+		}
+	}
+}
+
+func TestLocalTransformMatchesGlobal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n, chunkLen := 64, 8
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.NormFloat64() * 10
+	}
+	w, _ := Transform(data)
+	for chunkIdx := 0; chunkIdx < n/chunkLen; chunkIdx++ {
+		chunk := data[chunkIdx*chunkLen : (chunkIdx+1)*chunkLen]
+		details, avg, err := LocalTransform(chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, v := range chunk {
+			sum += v
+		}
+		if math.Abs(avg-sum/float64(chunkLen)) > 1e-9 {
+			t.Fatalf("chunk %d average = %g", chunkIdx, avg)
+		}
+		for li := 1; li < chunkLen; li++ {
+			gi := GlobalIndex(n, chunkLen, chunkIdx, li)
+			if math.Abs(details[li]-w[gi]) > 1e-9 {
+				t.Fatalf("chunk %d local %d (global %d): %g != %g",
+					chunkIdx, li, gi, details[li], w[gi])
+			}
+		}
+	}
+}
+
+func TestGlobalIndexPanicsOnLocalZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for local index 0")
+		}
+	}()
+	GlobalIndex(8, 4, 0, 0)
+}
+
+func TestIsPowerOfTwoAndNext(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		is   bool
+		next int
+	}{{1, true, 1}, {2, true, 2}, {3, false, 4}, {4, true, 4}, {5, false, 8}, {1023, false, 1024}, {1024, true, 1024}} {
+		if IsPowerOfTwo(tc.n) != tc.is {
+			t.Errorf("IsPowerOfTwo(%d) = %v", tc.n, !tc.is)
+		}
+		if got := NextPowerOfTwo(tc.n); got != tc.next {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", tc.n, got, tc.next)
+		}
+	}
+	if IsPowerOfTwo(0) || IsPowerOfTwo(-4) {
+		t.Error("IsPowerOfTwo accepted non-positive")
+	}
+}
+
+func TestTransformIntoLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	TransformInto(make([]float64, 4), make([]float64, 8))
+}
+
+func BenchmarkTransform(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 14, 1 << 18} {
+		data := make([]float64, n)
+		rng := rand.New(rand.NewSource(1))
+		for i := range data {
+			data[i] = rng.Float64()
+		}
+		w := make([]float64, n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.SetBytes(int64(8 * n))
+			for i := 0; i < b.N; i++ {
+				TransformInto(w, data)
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1<<20:
+		return "1M"
+	case n >= 1<<18:
+		return "256K"
+	case n >= 1<<14:
+		return "16K"
+	default:
+		return "1K"
+	}
+}

@@ -1,0 +1,222 @@
+package wavelet2d
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMatrix(t *testing.T, rng *rand.Rand, rows, cols int, scale float64) *Matrix {
+	t.Helper()
+	m, err := NewMatrix(rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Data {
+		m.Data[i] = math.Trunc(rng.NormFloat64() * scale)
+	}
+	return m
+}
+
+func TestTransformInverseRoundTrip(t *testing.T) {
+	f := func(seed int64, lr, lc uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 << (lr % 6)
+		cols := 1 << (lc % 6)
+		m, err := NewMatrix(rows, cols)
+		if err != nil {
+			return false
+		}
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64() * 100
+		}
+		w, err := Transform(m)
+		if err != nil {
+			return false
+		}
+		back, err := Inverse(w)
+		if err != nil {
+			return false
+		}
+		for i := range m.Data {
+			if math.Abs(back.Data[i]-m.Data[i]) > 1e-8*(1+math.Abs(m.Data[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformConstantMatrix(t *testing.T) {
+	m, _ := NewMatrix(4, 8)
+	for i := range m.Data {
+		m.Data[i] = 6
+	}
+	w, err := Transform(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.At(0, 0) != 6 {
+		t.Fatalf("overall average = %g", w.At(0, 0))
+	}
+	for i := range w.Data {
+		if i != 0 && w.Data[i] != 0 {
+			t.Fatalf("detail %d = %g", i, w.Data[i])
+		}
+	}
+}
+
+func TestMatrixValidation(t *testing.T) {
+	if _, err := NewMatrix(3, 4); err == nil {
+		t.Fatal("non-power-of-two rows accepted")
+	}
+	if _, err := NewMatrix(4, 5); err == nil {
+		t.Fatal("non-power-of-two cols accepted")
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil || m.At(1, 0) != 3 {
+		t.Fatalf("FromRows: %v %v", m, err)
+	}
+}
+
+func TestPointReconstructionMatchesInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := randMatrix(t, rng, 8, 16, 50)
+	w, _ := Transform(data)
+	// Sparse synopsis with random terms.
+	s := &Synopsis{Rows: 8, Cols: 16}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 16; j++ {
+			if rng.Intn(3) == 0 {
+				s.Terms = append(s.Terms, Term{i, j, w.At(i, j)})
+			}
+		}
+	}
+	ev := NewEvaluator(s)
+	rec, err := ev.ReconstructAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 16; y++ {
+			if math.Abs(ev.Point(x, y)-rec.At(x, y)) > 1e-9 {
+				t.Fatalf("point (%d,%d): %g vs %g", x, y, ev.Point(x, y), rec.At(x, y))
+			}
+		}
+	}
+}
+
+func TestFullSynopsisIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := randMatrix(t, rng, 8, 8, 30)
+	w, _ := Transform(data)
+	s := Conventional(w, 64)
+	e, err := Evaluate(s, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.MaxAbs > 1e-9 || e.L2 > 1e-9 {
+		t.Fatalf("full synopsis not exact: %+v", e)
+	}
+}
+
+func TestRectSumMatchesDirect(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 8, 16
+		data := &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+		for i := range data.Data {
+			data.Data[i] = rng.NormFloat64() * 20
+		}
+		w, err := Transform(data)
+		if err != nil {
+			return false
+		}
+		s := Conventional(w, rows*cols) // exact synopsis
+		ev := NewEvaluator(s)
+		x1 := rng.Intn(rows)
+		x2 := x1 + rng.Intn(rows-x1)
+		y1 := rng.Intn(cols)
+		y2 := y1 + rng.Intn(cols-y1)
+		var want float64
+		for x := x1; x <= x2; x++ {
+			for y := y1; y <= y2; y++ {
+				want += data.At(x, y)
+			}
+		}
+		got := ev.RectSum(x1, x2, y1, y2)
+		return math.Abs(got-want) < 1e-7*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRectSumApproximationConsistent(t *testing.T) {
+	// For a lossy synopsis, RectSum must equal the sum over the
+	// reconstructed matrix.
+	rng := rand.New(rand.NewSource(11))
+	data := randMatrix(t, rng, 16, 16, 100)
+	w, _ := Transform(data)
+	s := Conventional(w, 40)
+	ev := NewEvaluator(s)
+	rec, _ := ev.ReconstructAll()
+	for trial := 0; trial < 30; trial++ {
+		x1, y1 := rng.Intn(16), rng.Intn(16)
+		x2, y2 := x1+rng.Intn(16-x1), y1+rng.Intn(16-y1)
+		var want float64
+		for x := x1; x <= x2; x++ {
+			for y := y1; y <= y2; y++ {
+				want += rec.At(x, y)
+			}
+		}
+		got := ev.RectSum(x1, x2, y1, y2)
+		if math.Abs(got-want) > 1e-7*(1+math.Abs(want)) {
+			t.Fatalf("rect (%d,%d)x(%d,%d): %g vs %g", x1, x2, y1, y2, got, want)
+		}
+	}
+}
+
+func TestConventionalReducesL2Monotonically(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	data := randMatrix(t, rng, 16, 16, 100)
+	w, _ := Transform(data)
+	prev := math.Inf(1)
+	for _, b := range []int{4, 16, 64, 256} {
+		s := Conventional(w, b)
+		e, err := Evaluate(s, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.L2 > prev+1e-9 {
+			t.Fatalf("B=%d: L2 %g worse than smaller budget's %g", b, e.L2, prev)
+		}
+		prev = e.L2
+	}
+}
+
+func TestEvaluateShapeMismatch(t *testing.T) {
+	a, _ := NewMatrix(4, 4)
+	s := &Synopsis{Rows: 8, Cols: 4}
+	if _, err := Evaluate(s, a); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestSignificanceOrdering(t *testing.T) {
+	// A coefficient at a coarser level (smaller indices) with the same
+	// magnitude is more significant.
+	if Significance(0, 0, 5) <= Significance(4, 4, 5) {
+		t.Fatal("coarse coefficient should dominate")
+	}
+}

@@ -1,0 +1,64 @@
+package dwmaxerr
+
+import (
+	"io"
+
+	"dwmaxerr/internal/synopsis"
+	"dwmaxerr/internal/wavelet"
+)
+
+// Bounded is an approximate answer with a guaranteed enclosure derived
+// from a synopsis' maximum-error guarantee: the exact value lies within
+// [Approx-Radius, Approx+Radius].
+type Bounded = synopsis.Bounded
+
+// Streamer computes the wavelet decomposition of a stream one value at a
+// time in O(log N) memory, emitting each coefficient as soon as its
+// support has passed.
+type Streamer = wavelet.Streamer
+
+// NewStreamer builds a one-pass transformer for a stream of exactly n
+// values (a power of two); emit receives every (error-tree index, value)
+// coefficient exactly once, node 0 last.
+func NewStreamer(n int, emit func(index int, value float64)) (*Streamer, error) {
+	return wavelet.NewStreamer(n, emit)
+}
+
+// StreamConventional consumes a stream and returns its conventional
+// (L2-optimal) B-term synopsis in one pass with O(B + log N) memory.
+func StreamConventional(n, budget int, next func() (float64, bool)) (*Synopsis, error) {
+	tk, err := wavelet.NewTopKStream(n, budget)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		v, ok := next()
+		if !ok {
+			break
+		}
+		if err := tk.Push(v); err != nil {
+			return nil, err
+		}
+	}
+	indices, values, err := tk.Finish()
+	if err != nil {
+		return nil, err
+	}
+	s := synopsis.New(n)
+	for i, idx := range indices {
+		s.Terms = append(s.Terms, synopsis.Coefficient{Index: idx, Value: values[i]})
+	}
+	s.Normalize()
+	return s, nil
+}
+
+// WriteSynopsis serializes a synopsis in the compact binary format.
+func WriteSynopsis(w io.Writer, s *Synopsis) error {
+	_, err := s.WriteTo(w)
+	return err
+}
+
+// ReadSynopsis deserializes a synopsis written by WriteSynopsis.
+func ReadSynopsis(r io.Reader) (*Synopsis, error) {
+	return synopsis.Read(r)
+}

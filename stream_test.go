@@ -1,0 +1,103 @@
+package dwmaxerr
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestStreamConventionalMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n, b := 256, 32
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Trunc(rng.NormFloat64() * 100)
+	}
+	i := 0
+	streamed, err := StreamConventional(n, b, func() (float64, bool) {
+		if i >= n {
+			return 0, false
+		}
+		v := data[i]
+		i++
+		return v, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Build(data, Conventional, Options{Budget: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(streamed.Terms, batch.Synopsis.Terms) {
+		t.Fatalf("streamed %v != batch %v", streamed.Terms, batch.Synopsis.Terms)
+	}
+}
+
+func TestStreamConventionalShortStream(t *testing.T) {
+	if _, err := StreamConventional(8, 2, func() (float64, bool) { return 0, false }); err == nil {
+		t.Fatal("short stream accepted")
+	}
+	if _, err := StreamConventional(8, 0, nil); err == nil {
+		t.Fatal("budget 0 accepted")
+	}
+}
+
+func TestNewStreamerFacade(t *testing.T) {
+	var coefs []float64
+	s, err := NewStreamer(4, func(idx int, v float64) { coefs = append(coefs, v) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{1, 3, 5, 7} {
+		if err := s.Push(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if len(coefs) != 4 {
+		t.Fatalf("emitted %d coefficients", len(coefs))
+	}
+}
+
+func TestSynopsisSerializationFacade(t *testing.T) {
+	res, err := Build(paperData, GreedyAbs, Options{Budget: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSynopsis(&buf, res.Synopsis); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSynopsis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Terms, res.Synopsis.Terms) || back.N != res.Synopsis.N {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, res.Synopsis)
+	}
+}
+
+func TestBoundedQueriesFacade(t *testing.T) {
+	res, err := Build(paperData, GreedyAbs, Options{Budget: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(res.Synopsis)
+	for k, d := range paperData {
+		if b := ev.PointBound(k, res.MaxErr); !b.Contains(d) {
+			t.Fatalf("point %d: %v misses %g", k, b, d)
+		}
+	}
+	exact := 0.0
+	for _, d := range paperData[1:6] {
+		exact += d
+	}
+	if b := ev.RangeSumBound(1, 5, res.MaxErr); !b.Contains(exact) {
+		t.Fatalf("range: %v misses %g", b, exact)
+	}
+}
