@@ -13,10 +13,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"dwmaxerr/internal/serve"
 	"dwmaxerr/internal/synopsis"
@@ -44,7 +49,22 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "dwserve: %d-term synopsis over %d values on http://%s\n",
 		syn.Size(), syn.N, *listen)
-	if err := http.ListenAndServe(*listen, srv); err != nil {
+	server := &http.Server{Addr: *listen, Handler: srv}
+	// Drain in-flight queries on SIGINT/SIGTERM instead of dropping them.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "dwserve: signal received, draining")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- server.Shutdown(ctx)
+	}()
+	if err := server.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	if err := <-done; err != nil {
 		fatal(err)
 	}
 }

@@ -11,6 +11,12 @@
 //
 //	dwworker -join host:7077 -name w1
 //
+// Workers heartbeat the coordinator and drain gracefully on SIGINT/SIGTERM
+// or on the coordinator's shutdown broadcast. The coordinator detects
+// silent workers via heartbeats (-heartbeat-timeout), bounds attempts with
+// a per-task deadline (-task-timeout), and can speculatively re-execute
+// straggling tasks (-speculate).
+//
 // Supported -algo values: con (conventional synopsis, Appendix A.1) and
 // dgreedyabs (the paper's Algorithm 6, all four jobs on the cluster).
 package main
@@ -19,6 +25,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sort"
+	"syscall"
 	"time"
 
 	"dwmaxerr/internal/dist"
@@ -27,22 +36,35 @@ import (
 
 func main() {
 	var (
-		join    = flag.String("join", "", "coordinator address to join as a worker")
-		name    = flag.String("name", "worker", "worker name")
-		coord   = flag.String("coordinate", "", "listen address for coordinator mode")
-		workers = flag.Int("workers", 1, "coordinator: workers to wait for")
-		data    = flag.String("data", "", "coordinator: binary float64 dataset path (shared with workers)")
-		budget  = flag.Int("budget", 0, "coordinator: synopsis size B (default N/8)")
-		subtree = flag.Int("subtree", 1024, "coordinator: sub-tree leaves per map task")
-		algo    = flag.String("algo", "dgreedyabs", "coordinator: algorithm (con or dgreedyabs)")
-		timeout = flag.Duration("timeout", time.Minute, "coordinator: worker join timeout")
+		join      = flag.String("join", "", "coordinator address to join as a worker")
+		name      = flag.String("name", "worker", "worker name")
+		coord     = flag.String("coordinate", "", "listen address for coordinator mode")
+		workers   = flag.Int("workers", 1, "coordinator: workers to wait for")
+		data      = flag.String("data", "", "coordinator: binary float64 dataset path (shared with workers)")
+		budget    = flag.Int("budget", 0, "coordinator: synopsis size B (default N/8)")
+		subtree   = flag.Int("subtree", 1024, "coordinator: sub-tree leaves per map task")
+		algo      = flag.String("algo", "dgreedyabs", "coordinator: algorithm (con or dgreedyabs)")
+		timeout   = flag.Duration("timeout", time.Minute, "coordinator: worker join timeout")
+		taskTO    = flag.Duration("task-timeout", 0, "coordinator: per-task attempt deadline (0 = default 2m)")
+		hbTO      = flag.Duration("heartbeat-timeout", 0, "coordinator: heartbeat silence before a worker is declared dead (0 = default 3s)")
+		speculate = flag.Duration("speculate", 0, "coordinator: launch a backup attempt for tasks in flight longer than this (0 = off)")
 	)
 	flag.Parse()
 
 	switch {
 	case *join != "":
 		fmt.Fprintf(os.Stderr, "dwworker: joining %s as %q (jobs: %v)\n", *join, *name, mr.RegisteredJobs())
-		if err := mr.Serve(*join, *name, nil); err != nil {
+		// Translate SIGINT/SIGTERM into a graceful stop: the worker finishes
+		// its in-flight task, the connection closes, and Serve returns nil.
+		stop := make(chan struct{})
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			fmt.Fprintln(os.Stderr, "dwworker: signal received, draining")
+			close(stop)
+		}()
+		if err := mr.Serve(*join, *name, stop); err != nil {
 			fatal(err)
 		}
 	case *coord != "":
@@ -62,6 +84,9 @@ func main() {
 			fatal(err)
 		}
 		defer c.Close()
+		c.TaskTimeout = *taskTO
+		c.HeartbeatTimeout = *hbTO
+		c.SpeculationAfter = *speculate
 		fmt.Fprintf(os.Stderr, "dwworker: coordinating on %s, waiting for %d workers\n", c.Addr(), *workers)
 		if err := c.WaitForWorkers(*workers, *timeout); err != nil {
 			fatal(err)
@@ -80,12 +105,28 @@ func main() {
 			fatal(err)
 		}
 		var shuffled int64
+		var mapRetries, reduceRetries int
+		counters := map[string]int64{}
 		for _, j := range rep.Jobs {
 			shuffled += j.ShuffleBytes
+			mapRetries += j.MapRetries
+			reduceRetries += j.ReduceRetries
+			for k, v := range j.UserCounters {
+				counters[k] += v
+			}
 		}
 		fmt.Printf("%s synopsis: %d coefficients in %v (%d jobs, %d bytes shuffled, max_abs %.4g)\n",
 			*algo, rep.Synopsis.Size(), time.Since(t0).Round(time.Millisecond),
 			len(rep.Jobs), shuffled, rep.MaxErr)
+		fmt.Printf("retries: %d map, %d reduce\n", mapRetries, reduceRetries)
+		names := make([]string, 0, len(counters))
+		for k := range counters {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			fmt.Printf("  counter %s = %d\n", k, counters[k])
+		}
 		for i, term := range rep.Synopsis.Terms {
 			if i >= 10 {
 				fmt.Printf("... (%d more)\n", rep.Synopsis.Size()-10)

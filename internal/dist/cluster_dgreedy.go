@@ -99,7 +99,9 @@ func init() {
 			Splits:   chunkSplits(n, p.S),
 			Reducers: p.Reducers,
 			Partition: func(key []byte, nred int) int {
-				return int(binary.BigEndian.Uint32(key[:4])) % nred
+				// Reduce in uint32 space so the index stays non-negative on
+				// 32-bit platforms (same fix as Job.partition).
+				return int(binary.BigEndian.Uint32(key[:4]) % uint32(nred))
 			},
 			Map:    dgreedyHistMap(src, n, p.S, p.RootCoef, p.RootOrder, p.MaxCand, p.Eb, false, 1),
 			Reduce: makeCombineResults(p.Budget),
@@ -161,6 +163,7 @@ func chunkMeansJob(src Source, n, s int) *mr.Job {
 			for _, v := range chunk {
 				sum += v
 			}
+			ctx.Counters.Add("means.rows_read", int64(len(chunk)))
 			return emit(mr.EncodeUint64(uint64(idx)), mr.EncodeFloat64(sum/float64(s)))
 		},
 		Reducers: 1,

@@ -339,6 +339,7 @@ func dgreedyHistMap(src Source, n, s int, rootCoef []float64, rootOrder []int, m
 			if h, ok := cache[e]; ok {
 				return h, nil
 			}
+			ctx.Counters.Add("dgreedy.greedy_runs", 1)
 			var steps []greedy.Step
 			var err error
 			if rel {
@@ -370,6 +371,7 @@ func dgreedyHistMap(src Source, n, s int, rootCoef []float64, rootOrder []int, m
 				if err := emit(histKey(i, h.Bucket), mr.EncodeUint64(uint64(h.Count))); err != nil {
 					return err
 				}
+				ctx.Counters.Add("dgreedy.hist_records", 1)
 			}
 			if j == 0 {
 				// Sentinel closing candidate i's stream (sorts last).
@@ -428,6 +430,7 @@ func dgreedySelectMap(src Source, n, s int, rootCoef []float64, retainRoot map[i
 				entry.Values = append(entry.Values, details[st.Index])
 			}
 			groupStart = end
+			ctx.Counters.Add("dgreedy.select_groups", 1)
 			return emit(mr.EncodeFloat64(-bucket), mr.MustGobEncode(entry))
 		}
 		curBucket := math.Inf(-1)

@@ -67,6 +67,22 @@ func (c *Counters) mergeInto(dst *Counters) {
 	}
 }
 
+// addUserCounters folds a committed attempt's counter snapshot into the
+// job metrics. Both engines use it — local attempts merge in process,
+// cluster attempts ship their snapshot in the task reply — so cluster
+// runs aggregate counters with the same commit semantics as local runs.
+func (m *Metrics) addUserCounters(snap map[string]int64) {
+	if len(snap) == 0 {
+		return
+	}
+	if m.UserCounters == nil {
+		m.UserCounters = map[string]int64{}
+	}
+	for k, v := range snap {
+		m.UserCounters[k] += v
+	}
+}
+
 // snapshot copies the counters into a plain map.
 func (c *Counters) snapshot() map[string]int64 {
 	if c == nil {

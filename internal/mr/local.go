@@ -89,11 +89,7 @@ func (l *Local) Run(job *Job) (*Result, error) {
 		return nil, err
 	}
 	res.Metrics.MapTasks = len(job.Splits)
-	for _, st := range res.Metrics.MapStats {
-		if st.Attempt > 1 && !st.Failed {
-			res.Metrics.MapRetries++
-		}
-	}
+	res.Metrics.MapRetries = countRetries(res.Metrics.MapStats)
 
 	// ---- Shuffle ----
 	buckets := make([][]Pair, nred)
@@ -132,6 +128,7 @@ func (l *Local) Run(job *Job) (*Result, error) {
 			return nil, err
 		}
 		res.Metrics.ReduceTasks = nred
+		res.Metrics.ReduceRetries = countRetries(res.Metrics.ReduceStats)
 	}
 	for _, part := range res.Partitions {
 		for _, kv := range part {
@@ -240,12 +237,7 @@ func (l *Local) runTasks(kind string, n int, m *Metrics, run taskRun, commit fun
 	wg.Wait()
 	if snap := jobCounters.snapshot(); snap != nil {
 		mu.Lock()
-		if m.UserCounters == nil {
-			m.UserCounters = map[string]int64{}
-		}
-		for k, v := range snap {
-			m.UserCounters[k] += v
-		}
+		m.addUserCounters(snap)
 		mu.Unlock()
 	}
 	return firstErr

@@ -68,11 +68,7 @@ func (l *Local) runSpill(job *Job) (*Result, error) {
 		return nil, err
 	}
 	res.Metrics.MapTasks = len(job.Splits)
-	for _, st := range res.Metrics.MapStats {
-		if st.Attempt > 1 && !st.Failed {
-			res.Metrics.MapRetries++
-		}
-	}
+	res.Metrics.MapRetries = countRetries(res.Metrics.MapStats)
 	for _, o := range outs {
 		res.Metrics.SpilledBytes += o.col.spilled
 	}
@@ -164,6 +160,7 @@ func (l *Local) runSpill(job *Job) (*Result, error) {
 		return nil, err
 	}
 	res.Metrics.ReduceTasks = nred
+	res.Metrics.ReduceRetries = countRetries(res.Metrics.ReduceStats)
 	for _, part := range res.Partitions {
 		for _, kv := range part {
 			res.Metrics.OutputRecords++

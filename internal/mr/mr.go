@@ -11,8 +11,13 @@
 //     series of Figures 5c/5d (runtime vs. number of parallel tasks) are
 //     regenerated on a single machine.
 //   - Cluster: a TCP coordinator/worker runtime (encoding/gob framing)
-//     executing the same jobs across processes, with heartbeats and task
-//     reassignment on worker failure.
+//     executing the same jobs across processes. Workers heartbeat the
+//     coordinator; a monitor declares silent workers dead mid-task and
+//     reassigns their work, task replies carry per-attempt user-counter
+//     snapshots and durations, attempts are numbered identically to the
+//     local engine, speculative backup attempts can race stragglers, and
+//     Close drains workers with a shutdown broadcast. Task output is
+//     committed at most once (first successful attempt wins).
 //
 // Keys and values are byte slices; encode/decode helpers live in codec.go.
 package mr
@@ -84,7 +89,9 @@ func (j *Job) partition(key []byte) int {
 	}
 	h := fnv.New32a()
 	h.Write(key)
-	return int(h.Sum32()) % n
+	// Reduce in uint32 space: int(h.Sum32()) is negative for hashes above
+	// MaxInt32 on 32-bit platforms, and a negative index would panic.
+	return int(h.Sum32() % uint32(n))
 }
 
 func (j *Job) compare(a, b []byte) int {
@@ -125,6 +132,7 @@ type Metrics struct {
 	MapTasks       int
 	ReduceTasks    int
 	MapRetries     int
+	ReduceRetries  int
 	ShuffleRecords int64
 	ShuffleBytes   int64
 	OutputRecords  int64
@@ -136,6 +144,18 @@ type Metrics struct {
 	MapStats     []TaskStat
 	ReduceStats  []TaskStat
 	WallTime     time.Duration
+}
+
+// countRetries counts committed attempts beyond the first — the
+// engine-agnostic retry accounting shared by Local and Coordinator.
+func countRetries(stats []TaskStat) int {
+	n := 0
+	for _, st := range stats {
+		if st.Attempt > 1 && !st.Failed {
+			n++
+		}
+	}
+	return n
 }
 
 // Makespan simulates executing the recorded map tasks on mapSlots parallel

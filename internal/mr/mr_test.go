@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"reflect"
 	"strings"
@@ -253,6 +254,35 @@ func TestMakespanHandlesRemainderAndZeroSlots(t *testing.T) {
 	}
 }
 
+func TestPartitionStaysInRange(t *testing.T) {
+	// The default partitioner must reduce the FNV hash in uint32 space:
+	// int(h.Sum32()) % n went negative on 32-bit platforms for hashes
+	// above MaxInt32. Exercise keys on both sides of that boundary.
+	job := &Job{Reducers: 3}
+	var high, low bool
+	for i := 0; i < 1<<12 && !(high && low); i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		h := fnv.New32a()
+		h.Write(key)
+		sum := h.Sum32()
+		if sum > math.MaxInt32 {
+			high = true
+		} else {
+			low = true
+		}
+		p := job.partition(key)
+		if p < 0 || p >= 3 {
+			t.Fatalf("partition(%q) = %d (hash %d), out of range", key, p, sum)
+		}
+		if want := int(sum % 3); p != want {
+			t.Fatalf("partition(%q) = %d, want %d", key, p, want)
+		}
+	}
+	if !high || !low {
+		t.Fatalf("key sweep did not cover both hash ranges (high=%v low=%v)", high, low)
+	}
+}
+
 func TestCodecOrderPreservation(t *testing.T) {
 	f := func(a, b int64) bool {
 		ea, eb := EncodeInt64(a), EncodeInt64(b)
@@ -329,9 +359,11 @@ func TestGobCodec(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	RegisterJob("test-registry-job", func(params []byte) (*Job, error) {
-		return wordCountJob([]string{string(params)}, 1), nil
-	})
+	if !HasJob("test-registry-job") { // survive go test -count=N
+		RegisterJob("test-registry-job", func(params []byte) (*Job, error) {
+			return wordCountJob([]string{string(params)}, 1), nil
+		})
+	}
 	job, err := LookupJob("test-registry-job", []byte("hello world"))
 	if err != nil || len(job.Splits) != 1 {
 		t.Fatalf("job=%+v err=%v", job, err)
@@ -347,6 +379,9 @@ func TestRegistry(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("registered job not listed")
+	}
+	if !HasJob("test-registry-job") || HasJob("missing-job") {
+		t.Fatal("HasJob disagrees with the registry")
 	}
 	defer func() {
 		if recover() == nil {

@@ -40,6 +40,16 @@ func LookupJob(name string, params []byte) (*Job, error) {
 	return f(params)
 }
 
+// HasJob reports whether a job factory is registered under name. Cluster
+// drivers use it to fail fast before shipping tasks whose job no worker
+// (built from the same binary) could instantiate.
+func HasJob(name string) bool {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	_, ok := registry[name]
+	return ok
+}
+
 // RegisteredJobs lists registered job names, sorted.
 func RegisteredJobs() []string {
 	registryMu.RLock()

@@ -15,11 +15,22 @@ import (
 // assigns map/reduce tasks of registered jobs; workers instantiate jobs via
 // the shared registry, execute tasks, and stream results back. Shuffle data
 // flows through the coordinator (adequate for the data volumes the paper's
-// algorithms shuffle: O(N/2^h) rows, not O(N) records). Dead or slow
-// workers are detected by per-task deadlines and their tasks reassigned,
-// giving the retry semantics Hadoop provides.
+// algorithms shuffle: O(N/2^h) rows, not O(N) records).
+//
+// Failure model. Every worker connection is watched by a dedicated reader
+// goroutine (replies and heartbeats) and by the coordinator's heartbeat
+// monitor: a worker that disconnects, stops heartbeating, or overruns the
+// per-task deadline is marked dead under the coordinator lock and its
+// in-flight task is reassigned to another worker — the retry semantics
+// Hadoop provides. Task attempts carry their attempt number on the wire,
+// and replies carry the attempt's user-counter snapshot and busy duration,
+// so cluster metrics (UserCounters, MapRetries/ReduceRetries, per-attempt
+// TaskStats) match the Local engine exactly. Output is committed at most
+// once per task: the first successful attempt wins, later duplicates are
+// discarded by the coordinator.
 
-// Wire messages. Exactly one of the request payloads is set per kind.
+// Wire messages. The coordinator sends wireTask frames; workers answer
+// with wireMsg frames (a heartbeat or a task reply).
 type wireHello struct {
 	WorkerName string
 }
@@ -29,38 +40,100 @@ type wireTask struct {
 	JobName  string
 	Params   []byte
 	TaskID   int
+	Attempt  int    // 1-based attempt number assigned by the coordinator
 	Split    Split  // map tasks
 	Bucket   []Pair // reduce tasks: the sorted key group stream
 	Reducers int
 }
 
+// Worker → coordinator frame kinds.
+const (
+	msgHeartbeat = "heartbeat"
+	msgReply     = "reply"
+)
+
+// wireMsg multiplexes heartbeats and task replies on the worker's
+// connection.
+type wireMsg struct {
+	Kind  string
+	Reply wireReply
+}
+
 type wireReply struct {
-	TaskID int
-	Err    string
-	Parts  [][]Pair // map output per partition
-	Out    []Pair   // reduce output
+	TaskID  int
+	Attempt int
+	Err     string
+	Parts   [][]Pair // map output per partition
+	Out     []Pair   // reduce output
+	// Counters is the attempt's user-counter snapshot; the coordinator
+	// merges only the committed attempt's counters into the job metrics.
+	Counters map[string]int64
+	// Duration is the task's busy time on the worker.
+	Duration time.Duration
 }
 
 func init() {
 	gob.Register(wireHello{})
 }
 
-// Coordinator runs cluster jobs across connected workers.
+// Timing defaults. Workers heartbeat far more often than the coordinator's
+// silence threshold so a healthy but busy worker is never declared dead.
+const (
+	defaultTaskTimeout      = 2 * time.Minute
+	defaultHeartbeatTimeout = 3 * time.Second
+	workerHeartbeatEvery    = 250 * time.Millisecond
+	shutdownGrace           = time.Second
+)
+
+// Coordinator runs cluster jobs across connected workers. The tuning
+// fields must be set before the first Run and not changed afterwards.
 type Coordinator struct {
 	ln net.Listener
 
-	mu      sync.Mutex
-	workers []*workerConn
 	// TaskTimeout bounds one task execution; 0 means 2 minutes.
 	TaskTimeout time.Duration
+	// HeartbeatTimeout is the heartbeat silence after which a worker is
+	// declared dead and its in-flight task reassigned; 0 means 3 seconds.
+	HeartbeatTimeout time.Duration
+	// SpeculationAfter enables Hadoop-style backup tasks: when an attempt
+	// has been in flight longer than this and an idle worker is available,
+	// a backup attempt of the same task is launched and the first to
+	// finish wins. 0 disables speculation.
+	SpeculationAfter time.Duration
+	// MaxAttempts per task; 0 means 3.
+	MaxAttempts int
+
+	monitorOnce sync.Once
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signaled on worker join, release, death, close
+	workers []*workerConn
+	closed  bool
+	done    chan struct{}
 }
 
+// taskOutcome is what an in-flight exchange resolves to.
+type taskOutcome struct {
+	reply wireReply
+	err   error
+}
+
+// workerConn is the coordinator's view of one worker. The gob encoder is
+// guarded by sendMu (task sends and the shutdown broadcast interleave);
+// all remaining mutable state is guarded by the coordinator's mu — the
+// seed's unsynchronized `dead` write was a data race under -race.
 type workerConn struct {
 	name string
 	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-	dead bool
+
+	sendMu sync.Mutex
+	enc    *gob.Encoder
+
+	// Guarded by Coordinator.mu:
+	dead     bool
+	busy     bool
+	lastBeat time.Time
+	pending  chan taskOutcome // non-nil while a task is in flight
 }
 
 // NewCoordinator listens on addr (e.g. "127.0.0.1:0") and returns
@@ -70,7 +143,8 @@ func NewCoordinator(addr string) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Coordinator{ln: ln}
+	c := &Coordinator{ln: ln, done: make(chan struct{})}
+	c.cond = sync.NewCond(&c.mu)
 	go c.acceptLoop()
 	return c, nil
 }
@@ -78,13 +152,55 @@ func NewCoordinator(addr string) (*Coordinator, error) {
 // Addr returns the listen address workers should dial.
 func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 
-// Close shuts the coordinator down and disconnects workers.
+// Close shuts the coordinator down gracefully: it broadcasts a shutdown
+// task to every live worker, waits briefly for them to drain and
+// disconnect, then closes any remaining connections and the listener.
+// Close is idempotent.
 func (c *Coordinator) Close() error {
 	c.mu.Lock()
-	for _, w := range c.workers {
-		w.conn.Close()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
 	}
+	c.closed = true
+	close(c.done)
+	workers := append([]*workerConn(nil), c.workers...)
+	c.cond.Broadcast()
 	c.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		c.mu.Lock()
+		dead := w.dead
+		c.mu.Unlock()
+		if dead {
+			continue
+		}
+		wg.Add(1)
+		go func(w *workerConn) {
+			defer wg.Done()
+			w.sendMu.Lock()
+			sendErr := w.enc.Encode(&wireTask{Kind: "shutdown"})
+			w.sendMu.Unlock()
+			if sendErr == nil {
+				// Wait for the worker to drain and close its end (the
+				// reader marks it dead on EOF), bounded by the grace
+				// period.
+				deadline := time.Now().Add(shutdownGrace)
+				for time.Now().Before(deadline) {
+					c.mu.Lock()
+					dead := w.dead
+					c.mu.Unlock()
+					if dead {
+						return
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+			}
+			w.conn.Close()
+		}(w)
+	}
+	wg.Wait()
 	return c.ln.Close()
 }
 
@@ -106,24 +222,72 @@ func (c *Coordinator) admit(conn net.Conn) {
 		conn.Close()
 		return
 	}
+	w := &workerConn{name: hello.WorkerName, conn: conn, enc: enc, lastBeat: time.Now()}
 	c.mu.Lock()
-	c.workers = append(c.workers, &workerConn{name: hello.WorkerName, conn: conn, enc: enc, dec: dec})
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	c.workers = append(c.workers, w)
+	c.cond.Broadcast()
 	c.mu.Unlock()
+	go c.readLoop(w, dec)
 }
 
-// WaitForWorkers blocks until at least n workers have joined or the
-// timeout elapses.
+// readLoop owns the worker's receive side: it routes heartbeats to the
+// liveness clock and replies to the in-flight exchange, and converts any
+// decode error into a worker death.
+func (c *Coordinator) readLoop(w *workerConn, dec *gob.Decoder) {
+	for {
+		var msg wireMsg
+		if err := dec.Decode(&msg); err != nil {
+			c.workerFailed(w, err)
+			return
+		}
+		switch msg.Kind {
+		case msgHeartbeat:
+			c.mu.Lock()
+			w.lastBeat = time.Now()
+			c.mu.Unlock()
+		case msgReply:
+			c.mu.Lock()
+			w.lastBeat = time.Now()
+			ch := w.pending
+			w.pending = nil
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- taskOutcome{reply: msg.Reply}
+			}
+		}
+	}
+}
+
+// workerFailed marks a worker dead, closes its connection, and fails its
+// in-flight exchange (if any) so the task is retried elsewhere.
+func (c *Coordinator) workerFailed(w *workerConn, err error) {
+	c.mu.Lock()
+	if w.dead {
+		c.mu.Unlock()
+		return
+	}
+	w.dead = true
+	ch := w.pending
+	w.pending = nil
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	w.conn.Close()
+	if ch != nil {
+		ch <- taskOutcome{err: err}
+	}
+}
+
+// WaitForWorkers blocks until at least n workers are connected and live or
+// the timeout elapses.
 func (c *Coordinator) WaitForWorkers(n int, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
-		c.mu.Lock()
-		live := 0
-		for _, w := range c.workers {
-			if !w.dead {
-				live++
-			}
-		}
-		c.mu.Unlock()
+		live := c.liveWorkers()
 		if live >= n {
 			return nil
 		}
@@ -134,90 +298,288 @@ func (c *Coordinator) WaitForWorkers(n int, timeout time.Duration) error {
 	}
 }
 
+func (c *Coordinator) liveWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	live := 0
+	for _, w := range c.workers {
+		if !w.dead {
+			live++
+		}
+	}
+	return live
+}
+
 func (c *Coordinator) timeout() time.Duration {
 	if c.TaskTimeout > 0 {
 		return c.TaskTimeout
 	}
-	return 2 * time.Minute
+	return defaultTaskTimeout
+}
+
+func (c *Coordinator) heartbeatTimeout() time.Duration {
+	if c.HeartbeatTimeout > 0 {
+		return c.HeartbeatTimeout
+	}
+	return defaultHeartbeatTimeout
+}
+
+func (c *Coordinator) attempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 3
+}
+
+// ensureMonitor starts the heartbeat monitor on the first Run (after the
+// tuning fields are final).
+func (c *Coordinator) ensureMonitor() {
+	c.monitorOnce.Do(func() { go c.monitor() })
+}
+
+// monitor periodically declares heartbeat-silent workers dead, reassigning
+// their in-flight tasks mid-flight instead of waiting out the full task
+// deadline.
+func (c *Coordinator) monitor() {
+	hb := c.heartbeatTimeout()
+	interval := hb / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-ticker.C:
+		}
+		cutoff := time.Now().Add(-hb)
+		var stale []*workerConn
+		c.mu.Lock()
+		for _, w := range c.workers {
+			if !w.dead && w.lastBeat.Before(cutoff) {
+				stale = append(stale, w)
+			}
+		}
+		c.mu.Unlock()
+		for _, w := range stale {
+			c.workerFailed(w, fmt.Errorf("mr: worker %q missed heartbeats for %v", w.name, hb))
+		}
+	}
 }
 
 // acquire pops a live idle worker, blocking while tasks are in flight on
-// other workers. It fails only when every known worker is dead and none is
-// busy (nothing can ever free up).
+// other workers. It fails when the coordinator is closed or when every
+// known worker is dead and none is busy (nothing can ever free up).
 func (c *Coordinator) acquire() (*workerConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for {
-		c.mu.Lock()
+		if c.closed {
+			return nil, errors.New("mr: coordinator closed")
+		}
 		busy := 0
-		for i, w := range c.workers {
-			if w == nil {
+		var idle *workerConn
+		for _, w := range c.workers {
+			if w.dead {
+				continue
+			}
+			if w.busy {
 				busy++
 				continue
 			}
-			if !w.dead {
-				c.workers[i] = nil // mark busy
-				c.mu.Unlock()
-				return w, nil
+			if idle == nil {
+				idle = w
 			}
 		}
-		total := len(c.workers)
-		c.mu.Unlock()
-		if total > 0 && busy == 0 {
+		if idle != nil {
+			idle.busy = true
+			return idle, nil
+		}
+		if len(c.workers) > 0 && busy == 0 {
 			return nil, errors.New("mr: all workers are dead")
 		}
-		time.Sleep(time.Millisecond)
+		c.cond.Wait()
 	}
 }
 
-// release returns a worker to the idle pool (or records its death).
-func (c *Coordinator) release(w *workerConn) {
+// tryAcquire is acquire without blocking; it returns nil when no idle live
+// worker exists right now (used to launch speculative backups only when
+// spare capacity exists).
+func (c *Coordinator) tryAcquire() *workerConn {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for i, slot := range c.workers {
-		if slot == nil {
-			c.workers[i] = w
-			return
+	if c.closed {
+		return nil
+	}
+	for _, w := range c.workers {
+		if !w.dead && !w.busy {
+			w.busy = true
+			return w
 		}
 	}
-	c.workers = append(c.workers, w)
+	return nil
 }
 
-// runTask executes one task on some worker, retrying on worker failure.
-func (c *Coordinator) runTask(task wireTask, maxAttempts int) (wireReply, error) {
-	var lastErr error
-	for attempt := 0; attempt < maxAttempts; attempt++ {
-		w, err := c.acquire()
-		if err != nil {
-			return wireReply{}, err
-		}
-		reply, err := c.exchange(w, task)
-		if err != nil {
-			w.dead = true
-			w.conn.Close()
-			c.release(w)
-			lastErr = err
-			continue
-		}
-		c.release(w)
-		if reply.Err != "" {
-			lastErr = errors.New(reply.Err)
-			continue
-		}
-		return reply, nil
-	}
-	return wireReply{}, fmt.Errorf("mr: task %d failed after %d attempts: %w", task.TaskID, maxAttempts, lastErr)
+// release returns a worker to the idle pool.
+func (c *Coordinator) release(w *workerConn) {
+	c.mu.Lock()
+	w.busy = false
+	c.cond.Broadcast()
+	c.mu.Unlock()
 }
 
+// exchange sends one task to a worker and waits for its reply, the
+// worker's death, or the task deadline — whichever happens first. A
+// deadline overrun declares the worker dead so its slot is not reused.
 func (c *Coordinator) exchange(w *workerConn, task wireTask) (wireReply, error) {
-	w.conn.SetDeadline(time.Now().Add(c.timeout()))
-	defer w.conn.SetDeadline(time.Time{})
-	if err := w.enc.Encode(&task); err != nil {
+	ch := make(chan taskOutcome, 1)
+	c.mu.Lock()
+	if w.dead {
+		c.mu.Unlock()
+		return wireReply{}, fmt.Errorf("mr: worker %q is dead", w.name)
+	}
+	w.pending = ch
+	c.mu.Unlock()
+
+	w.sendMu.Lock()
+	err := w.enc.Encode(&task)
+	w.sendMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		if w.pending == ch {
+			w.pending = nil
+		}
+		c.mu.Unlock()
+		c.workerFailed(w, err)
 		return wireReply{}, err
 	}
-	var reply wireReply
-	if err := w.dec.Decode(&reply); err != nil {
+	timer := time.NewTimer(c.timeout())
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		return out.reply, out.err
+	case <-timer.C:
+		c.mu.Lock()
+		if w.pending == ch {
+			w.pending = nil
+		}
+		c.mu.Unlock()
+		err := fmt.Errorf("mr: %s task %d timed out after %v on worker %q",
+			task.Kind, task.TaskID, c.timeout(), w.name)
+		c.workerFailed(w, err)
 		return wireReply{}, err
 	}
-	return reply, nil
+}
+
+// validateReply rejects task-level failures and malformed map output: a
+// worker returning fewer partitions than the job's reducer count would
+// silently drop shuffle data, so a short Parts slice is a task failure and
+// the attempt is retried.
+func validateReply(task wireTask, reply wireReply) error {
+	if reply.Err != "" {
+		return errors.New(reply.Err)
+	}
+	if reply.TaskID != task.TaskID {
+		return fmt.Errorf("mr: reply for task %d while running task %d", reply.TaskID, task.TaskID)
+	}
+	if task.Kind == "map" && len(reply.Parts) != task.Reducers {
+		return fmt.Errorf("mr: map task %d returned %d partitions, want %d",
+			task.TaskID, len(reply.Parts), task.Reducers)
+	}
+	return nil
+}
+
+// runTask executes one task, retrying on worker failure and optionally
+// launching a speculative backup attempt. It returns the committed reply
+// (first success wins — at-most-once commit) plus one TaskStat per
+// attempt, with true attempt numbers.
+func (c *Coordinator) runTask(task wireTask) (wireReply, []TaskStat, error) {
+	type attemptResult struct {
+		reply   wireReply
+		err     error
+		attempt int
+		dur     time.Duration
+	}
+	maxAttempts := c.attempts()
+	results := make(chan attemptResult, maxAttempts+1)
+	attempt, inFlight := 0, 0
+	launch := func(w *workerConn) {
+		attempt++
+		inFlight++
+		t := task
+		t.Attempt = attempt
+		go func(a int) {
+			t0 := time.Now()
+			reply, err := c.exchange(w, t)
+			c.release(w)
+			if err == nil {
+				err = validateReply(t, reply)
+			}
+			results <- attemptResult{reply: reply, err: err, attempt: a, dur: time.Since(t0)}
+		}(attempt)
+	}
+
+	w, err := c.acquire()
+	if err != nil {
+		return wireReply{}, nil, err
+	}
+	launch(w)
+
+	var (
+		stats     []TaskStat
+		winner    wireReply
+		committed bool
+		lastErr   error
+		spec      <-chan time.Time
+	)
+	if c.SpeculationAfter > 0 {
+		spec = time.After(c.SpeculationAfter)
+	}
+	for {
+		select {
+		case r := <-results:
+			inFlight--
+			stats = append(stats, TaskStat{TaskID: task.TaskID, Attempt: r.attempt, Duration: r.dur, Failed: r.err != nil})
+			if r.err == nil && !committed {
+				committed = true
+				winner = r.reply
+			}
+			if r.err != nil {
+				lastErr = r.err
+			}
+			if committed {
+				// Wait out any straggling attempt so metrics stay complete
+				// and no goroutine outlives the job.
+				if inFlight == 0 {
+					return winner, stats, nil
+				}
+				continue
+			}
+			if attempt < maxAttempts {
+				w, err := c.acquire()
+				if err != nil {
+					if inFlight == 0 {
+						return wireReply{}, stats, fmt.Errorf("mr: task %d: %w (last attempt: %v)", task.TaskID, err, lastErr)
+					}
+					continue
+				}
+				launch(w)
+				continue
+			}
+			if inFlight == 0 {
+				return wireReply{}, stats, fmt.Errorf("mr: task %d failed after %d attempts: %w", task.TaskID, attempt, lastErr)
+			}
+		case <-spec:
+			spec = nil
+			if !committed && inFlight == 1 && attempt < maxAttempts {
+				if w := c.tryAcquire(); w != nil {
+					launch(w)
+				}
+			}
+		}
+	}
 }
 
 // Run executes a registered job across the cluster. The coordinator also
@@ -230,7 +592,8 @@ func (c *Coordinator) Run(jobName string, params []byte) (*Result, error) {
 	if err := job.validate(); err != nil {
 		return nil, err
 	}
-	if err := c.WaitForWorkers(1, 10*time.Second); err != nil {
+	c.ensureMonitor()
+	if err := c.waitReady(10 * time.Second); err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -240,36 +603,46 @@ func (c *Coordinator) Run(jobName string, params []byte) (*Result, error) {
 
 	// ---- Map phase (parallel across workers) ----
 	type mapResult struct {
-		id    int
-		parts [][]Pair
-		dur   time.Duration
-		err   error
+		id       int
+		parts    [][]Pair
+		stats    []TaskStat
+		counters map[string]int64
+		err      error
 	}
 	results := make(chan mapResult, len(job.Splits))
 	for i, split := range job.Splits {
 		go func(i int, split Split) {
-			t0 := time.Now()
-			reply, err := c.runTask(wireTask{
+			reply, stats, err := c.runTask(wireTask{
 				Kind: "map", JobName: jobName, Params: params,
 				TaskID: i, Split: split, Reducers: nred,
-			}, 3)
-			results <- mapResult{id: i, parts: reply.Parts, dur: time.Since(t0), err: err}
+			})
+			results <- mapResult{id: i, parts: reply.Parts, stats: stats, counters: reply.Counters, err: err}
 		}(i, split)
 	}
 	buckets := make([][]Pair, nred)
 	mapOuts := make([][][]Pair, len(job.Splits))
+	var firstErr error
 	for range job.Splits {
 		r := <-results
+		res.Metrics.MapStats = append(res.Metrics.MapStats, r.stats...)
 		if r.err != nil {
-			return nil, r.err
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
 		}
 		mapOuts[r.id] = r.parts
-		res.Metrics.MapStats = append(res.Metrics.MapStats, TaskStat{TaskID: r.id, Attempt: 1, Duration: r.dur})
+		res.Metrics.addUserCounters(r.counters)
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	res.Metrics.MapTasks = len(job.Splits)
-	// Deterministic shuffle: concatenate in split order.
+	res.Metrics.MapRetries = countRetries(res.Metrics.MapStats)
+	// Deterministic shuffle: concatenate in split order. Every parts slice
+	// was validated to hold exactly nred partitions.
 	for _, parts := range mapOuts {
-		for p := 0; p < nred && p < len(parts); p++ {
+		for p := 0; p < nred; p++ {
 			buckets[p] = append(buckets[p], parts[p]...)
 			for _, kv := range parts[p] {
 				res.Metrics.ShuffleRecords++
@@ -288,31 +661,39 @@ func (c *Coordinator) Run(jobName string, params []byte) (*Result, error) {
 		copy(res.Partitions, buckets)
 	} else {
 		type redResult struct {
-			id  int
-			out []Pair
-			dur time.Duration
-			err error
+			id       int
+			out      []Pair
+			stats    []TaskStat
+			counters map[string]int64
+			err      error
 		}
 		rch := make(chan redResult, nred)
 		for p := 0; p < nred; p++ {
 			go func(p int) {
-				t0 := time.Now()
-				reply, err := c.runTask(wireTask{
+				reply, stats, err := c.runTask(wireTask{
 					Kind: "reduce", JobName: jobName, Params: params,
 					TaskID: p, Bucket: buckets[p], Reducers: nred,
-				}, 3)
-				rch <- redResult{id: p, out: reply.Out, dur: time.Since(t0), err: err}
+				})
+				rch <- redResult{id: p, out: reply.Out, stats: stats, counters: reply.Counters, err: err}
 			}(p)
 		}
 		for i := 0; i < nred; i++ {
 			r := <-rch
+			res.Metrics.ReduceStats = append(res.Metrics.ReduceStats, r.stats...)
 			if r.err != nil {
-				return nil, r.err
+				if firstErr == nil {
+					firstErr = r.err
+				}
+				continue
 			}
 			res.Partitions[r.id] = r.out
-			res.Metrics.ReduceStats = append(res.Metrics.ReduceStats, TaskStat{TaskID: r.id, Attempt: 1, Duration: r.dur})
+			res.Metrics.addUserCounters(r.counters)
+		}
+		if firstErr != nil {
+			return nil, firstErr
 		}
 		res.Metrics.ReduceTasks = nred
+		res.Metrics.ReduceRetries = countRetries(res.Metrics.ReduceStats)
 	}
 	for _, part := range res.Partitions {
 		for _, kv := range part {
@@ -324,9 +705,67 @@ func (c *Coordinator) Run(jobName string, params []byte) (*Result, error) {
 	return res, nil
 }
 
-// Serve runs a worker loop: dial the coordinator, announce, execute tasks
-// until the connection closes or stop is closed.
+// waitReady blocks until at least one live worker is connected. Unlike
+// WaitForWorkers it fails fast when workers joined but all have since
+// died — nothing would ever execute the job's tasks.
+func (c *Coordinator) waitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		closed := c.closed
+		total := len(c.workers)
+		live := 0
+		for _, w := range c.workers {
+			if !w.dead {
+				live++
+			}
+		}
+		c.mu.Unlock()
+		if closed {
+			return errors.New("mr: coordinator closed")
+		}
+		if live >= 1 {
+			return nil
+		}
+		if total > 0 {
+			return errors.New("mr: all workers are dead")
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("mr: no worker joined within %v", timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// WorkerOptions tunes a worker's Serve loop.
+type WorkerOptions struct {
+	// HeartbeatEvery is the heartbeat send interval; 0 means 250ms.
+	HeartbeatEvery time.Duration
+	// DisableHeartbeat suppresses heartbeats entirely (tests use it to
+	// exercise the coordinator's liveness monitor).
+	DisableHeartbeat bool
+	// TaskHook, when non-nil, runs before each task execution; returning
+	// an error makes the worker drop its connection without replying,
+	// simulating a crash mid-task (tests use it for fault injection).
+	TaskHook func(kind string, taskID, attempt int) error
+}
+
+func (o WorkerOptions) heartbeatEvery() time.Duration {
+	if o.HeartbeatEvery > 0 {
+		return o.HeartbeatEvery
+	}
+	return workerHeartbeatEvery
+}
+
+// Serve runs a worker loop: dial the coordinator, announce, heartbeat, and
+// execute tasks until the connection closes, a shutdown task arrives, or
+// stop is closed.
 func Serve(coordinatorAddr, name string, stop <-chan struct{}) error {
+	return ServeWorker(coordinatorAddr, name, stop, WorkerOptions{})
+}
+
+// ServeWorker is Serve with explicit options.
+func ServeWorker(coordinatorAddr, name string, stop <-chan struct{}, opts WorkerOptions) error {
 	conn, err := net.Dial("tcp", coordinatorAddr)
 	if err != nil {
 		return err
@@ -338,10 +777,34 @@ func Serve(coordinatorAddr, name string, stop <-chan struct{}) error {
 			conn.Close()
 		}()
 	}
+	var sendMu sync.Mutex
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
 	if err := enc.Encode(&wireHello{WorkerName: name}); err != nil {
 		return err
+	}
+	// Heartbeats flow from a dedicated goroutine so a long-running task
+	// does not silence them.
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	if !opts.DisableHeartbeat {
+		go func() {
+			ticker := time.NewTicker(opts.heartbeatEvery())
+			defer ticker.Stop()
+			for {
+				select {
+				case <-hbStop:
+					return
+				case <-ticker.C:
+				}
+				sendMu.Lock()
+				err := enc.Encode(&wireMsg{Kind: msgHeartbeat})
+				sendMu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}()
 	}
 	for {
 		var task wireTask
@@ -351,28 +814,47 @@ func Serve(coordinatorAddr, name string, stop <-chan struct{}) error {
 			}
 			return err
 		}
-		reply := executeWireTask(task)
-		if err := enc.Encode(&reply); err != nil {
-			return err
-		}
 		if task.Kind == "shutdown" {
+			// Graceful drain: any in-flight task already replied (tasks run
+			// in this loop), so just disconnect.
 			return nil
+		}
+		if opts.TaskHook != nil {
+			if err := opts.TaskHook(task.Kind, task.TaskID, task.Attempt); err != nil {
+				conn.Close()
+				return err
+			}
+		}
+		reply := executeWireTask(task)
+		sendMu.Lock()
+		err := enc.Encode(&wireMsg{Kind: msgReply, Reply: reply})
+		sendMu.Unlock()
+		if err != nil {
+			return err
 		}
 	}
 }
 
+// executeWireTask runs one task attempt on the worker, capturing the
+// attempt's user counters and busy time in the reply so cluster metrics
+// carry the same information as local runs.
 func executeWireTask(task wireTask) (reply wireReply) {
+	start := time.Now()
 	reply.TaskID = task.TaskID
+	reply.Attempt = task.Attempt
+	counters := NewCounters()
 	defer func() {
 		if r := recover(); r != nil {
-			reply = wireReply{TaskID: task.TaskID, Err: fmt.Sprintf("panic: %v", r)}
+			reply = wireReply{TaskID: task.TaskID, Attempt: task.Attempt, Err: fmt.Sprintf("panic: %v", r)}
 		}
+		reply.Duration = time.Since(start)
 	}()
 	job, err := LookupJob(task.JobName, task.Params)
 	if err != nil {
 		reply.Err = err.Error()
 		return reply
 	}
+	ctx := TaskContext{TaskID: task.TaskID, Attempt: task.Attempt, Counters: counters}
 	switch task.Kind {
 	case "map":
 		parts := make([][]Pair, task.Reducers)
@@ -381,13 +863,15 @@ func executeWireTask(task wireTask) (reply wireReply) {
 			parts[p] = append(parts[p], Pair{Key: key, Value: value})
 			return nil
 		}
-		if err := job.Map(TaskContext{TaskID: task.TaskID, Attempt: 1}, task.Split, emit); err != nil {
+		if err := job.Map(ctx, task.Split, emit); err != nil {
 			reply.Err = err.Error()
 			return reply
 		}
 		if job.Combine != nil {
 			for p := range parts {
-				combined, err := combinePartition(job, TaskContext{TaskID: task.TaskID}, parts[p])
+				// The combiner sees the same TaskContext (attempt number,
+				// counters) as the map function, matching the Local engine.
+				combined, err := combinePartition(job, ctx, parts[p])
 				if err != nil {
 					reply.Err = err.Error()
 					return reply
@@ -402,14 +886,14 @@ func executeWireTask(task wireTask) (reply wireReply) {
 			out = append(out, Pair{Key: key, Value: value})
 			return nil
 		}
-		if err := reduceBucket(job, TaskContext{TaskID: task.TaskID, Attempt: 1}, task.Bucket, emit); err != nil {
+		if err := reduceBucket(job, ctx, task.Bucket, emit); err != nil {
 			reply.Err = err.Error()
 			return reply
 		}
 		reply.Out = out
-	case "shutdown":
 	default:
 		reply.Err = fmt.Sprintf("mr: unknown task kind %q", task.Kind)
 	}
+	reply.Counters = counters.snapshot()
 	return reply
 }
