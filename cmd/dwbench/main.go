@@ -20,11 +20,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment name or 'all'")
-		scale = flag.Int("scale", 0, "shift all dataset sizes by 2^scale")
-		seed  = flag.Int64("seed", 0, "random seed (0 = fixed default)")
-		quick = flag.Bool("quick", false, "tiny smoke-test sizes")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp      = flag.String("exp", "all", "experiment name or 'all'")
+		scale    = flag.Int("scale", 0, "shift all dataset sizes by 2^scale")
+		seed     = flag.Int64("seed", 0, "random seed (0 = fixed default)")
+		quick    = flag.Bool("quick", false, "tiny smoke-test sizes")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		jsonPath = flag.String("json", "", "write machine-readable results to this path")
 	)
 	flag.Parse()
 
@@ -35,8 +36,17 @@ func main() {
 		return
 	}
 	cfg := experiments.Config{Out: os.Stdout, Scale: *scale, Seed: *seed, Quick: *quick}
+	if *jsonPath != "" {
+		cfg.Collect = &experiments.Collector{}
+	}
 	if err := experiments.Run(*exp, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dwbench:", err)
 		os.Exit(1)
+	}
+	if *jsonPath != "" {
+		if err := cfg.Collect.WriteJSON(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "dwbench: write json:", err)
+			os.Exit(1)
+		}
 	}
 }

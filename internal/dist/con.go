@@ -32,16 +32,16 @@ type coefPayload struct {
 	Value float64
 }
 
-// sigKey encodes a coefficient's significance so that bytes.Compare yields
-// descending significance with ascending-index tie-breaks — the same total
-// order synopsis.Conventional uses, so CON selects identical terms. The
-// avg/detail flag sorts chunk averages ahead of everything.
-func sigKey(kind byte, sig float64, idx int) []byte {
-	key := make([]byte, 17)
-	key[0] = kind
-	copy(key[1:], mr.EncodeFloat64(-sig)) // ascending -sig == descending sig
-	copy(key[9:], mr.EncodeUint64(uint64(idx)))
-	return key
+// appendSigKey appends a coefficient's significance key so that
+// bytes.Compare yields descending significance with ascending-index
+// tie-breaks — the same total order synopsis.Conventional uses, so CON
+// selects identical terms. The avg/detail flag sorts chunk averages ahead
+// of everything. Append-style so map loops reuse one scratch buffer (emit
+// copies).
+func appendSigKey(dst []byte, kind byte, sig float64, idx int) []byte {
+	dst = append(dst, kind)
+	dst = mr.AppendFloat64(dst, -sig) // ascending -sig == descending sig
+	return mr.AppendUint64(dst, uint64(idx))
 }
 
 const (
@@ -93,7 +93,9 @@ func conJob(src Source, n, s int) *mr.Job {
 			if err != nil {
 				return err
 			}
-			if err := emit(sigKey(kindAverage, float64(-idx), idx), mr.MustGobEncode(coefPayload{Index: idx, Value: avg})); err != nil {
+			kbuf := make([]byte, 0, 17) // reused across emits: the engine copies
+			kbuf = appendSigKey(kbuf, kindAverage, float64(-idx), idx)
+			if err := emit(kbuf, mr.MustGobEncode(coefPayload{Index: idx, Value: avg})); err != nil {
 				return err
 			}
 			for li := 1; li < len(details); li++ {
@@ -102,7 +104,8 @@ func conJob(src Source, n, s int) *mr.Job {
 				}
 				gi := wavelet.GlobalIndex(n, s, idx, li)
 				sig := wavelet.SignificanceOrderValue(gi, details[li])
-				if err := emit(sigKey(kindCoef, sig, gi), mr.MustGobEncode(coefPayload{Index: gi, Value: details[li]})); err != nil {
+				kbuf = appendSigKey(kbuf[:0], kindCoef, sig, gi)
+				if err := emit(kbuf, mr.MustGobEncode(coefPayload{Index: gi, Value: details[li]})); err != nil {
 					return err
 				}
 			}
@@ -285,6 +288,7 @@ func SendCoef(src Source, budget int, blockSize int, cfg Config) (*Report, error
 				return f >= br.Lo && l <= br.Hi
 			}
 			partials := map[int]float64{}
+			var kbuf, vbuf []byte // reused across emits: the engine copies
 			for pos := br.Lo; pos < br.Hi; pos++ {
 				d := data[pos-br.Lo]
 				emitContribution := func(j int) error {
@@ -296,7 +300,9 @@ func SendCoef(src Source, budget int, blockSize int, cfg Config) (*Report, error
 					// Algorithm 7 line 9: per-datapoint partials for
 					// coefficients this block cannot finish.
 					ctx.Counters.Add("sendcoef.partial_emissions", 1)
-					return emit(mr.EncodeUint64(uint64(j)), mr.EncodeFloat64(c))
+					kbuf = mr.AppendUint64(kbuf[:0], uint64(j))
+					vbuf = mr.AppendFloat64(vbuf[:0], c)
+					return emit(kbuf, vbuf)
 				}
 				if err := emitContribution(0); err != nil {
 					return err
@@ -316,7 +322,9 @@ func SendCoef(src Source, budget int, blockSize int, cfg Config) (*Report, error
 			sort.Ints(keys)
 			ctx.Counters.Add("sendcoef.full_emissions", int64(len(keys)))
 			for _, j := range keys {
-				if err := emit(mr.EncodeUint64(uint64(j)), mr.EncodeFloat64(partials[j])); err != nil {
+				kbuf = mr.AppendUint64(kbuf[:0], uint64(j))
+				vbuf = mr.AppendFloat64(vbuf[:0], partials[j])
+				if err := emit(kbuf, vbuf); err != nil {
 					return err
 				}
 			}

@@ -269,9 +269,12 @@ func DGK(src Source, budget int, cfg Config) (*DGKResult, error) {
 			if err != nil {
 				return err
 			}
+			var kbuf, vbuf []byte // reused across emits: the engine copies
 			for _, term := range local {
 				gi := wavelet.GlobalIndex(n, s, j, term.Index)
-				if err := emit(mr.EncodeUint64(uint64(gi)), mr.EncodeFloat64(term.Value)); err != nil {
+				kbuf = mr.AppendUint64(kbuf[:0], uint64(gi))
+				vbuf = mr.AppendFloat64(vbuf[:0], term.Value)
+				if err := emit(kbuf, vbuf); err != nil {
 					return err
 				}
 			}

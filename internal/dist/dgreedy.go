@@ -230,12 +230,12 @@ func dGreedy(src Source, budget int, cfg Config, rel bool) (*Report, error) {
 	return report, nil
 }
 
-// histKey builds the [candidate, descending bucket] shuffle key.
-func histKey(cand int, bucket float64) []byte {
-	key := make([]byte, 12)
-	binary.BigEndian.PutUint32(key[:4], uint32(cand))
-	copy(key[4:], mr.EncodeFloat64(-bucket))
-	return key
+// appendHistKey appends the [candidate, descending bucket] shuffle key.
+// Append-style so the histogram emit loop reuses one scratch buffer per
+// task (the engine copies on emit).
+func appendHistKey(dst []byte, cand int, bucket float64) []byte {
+	dst = append(dst, byte(cand>>24), byte(cand>>16), byte(cand>>8), byte(cand))
+	return mr.AppendFloat64(dst, -bucket)
 }
 
 // bucketize compacts a deletion order into (bucketed running-max error,
@@ -354,6 +354,7 @@ func dgreedyHistMap(src Source, n, s int, rootCoef []float64, rootOrder []int, m
 			cache[e] = h
 			return h, nil
 		}
+		var kbuf, vbuf []byte // reused across emits: the engine copies
 		for i := 0; i <= maxCand; i++ {
 			if i > 0 {
 				// Candidate i additionally retains the node discarded at
@@ -368,14 +369,18 @@ func dgreedyHistMap(src Source, n, s int, rootCoef []float64, rootOrder []int, m
 				return err
 			}
 			for _, h := range hist {
-				if err := emit(histKey(i, h.Bucket), mr.EncodeUint64(uint64(h.Count))); err != nil {
+				kbuf = appendHistKey(kbuf[:0], i, h.Bucket)
+				vbuf = mr.AppendUint64(vbuf[:0], uint64(h.Count))
+				if err := emit(kbuf, vbuf); err != nil {
 					return err
 				}
 				ctx.Counters.Add("dgreedy.hist_records", 1)
 			}
 			if j == 0 {
 				// Sentinel closing candidate i's stream (sorts last).
-				if err := emit(histKey(i, math.Inf(-1)), mr.EncodeUint64(0)); err != nil {
+				kbuf = appendHistKey(kbuf[:0], i, math.Inf(-1))
+				vbuf = mr.AppendUint64(vbuf[:0], 0)
+				if err := emit(kbuf, vbuf); err != nil {
 					return err
 				}
 			}

@@ -130,9 +130,11 @@ func HWTopk(src Source, budget int, cfg Config) (*Report, error) {
 				coefs = append(coefs, c)
 			}
 			sort.Ints(coefs)
+			var kbuf []byte // reused across emits: the engine copies
 			for _, c := range coefs {
 				payload := mr.MustGobEncode(hwRecord{Mapper: idx, Value: send[c]})
-				if err := emit(append([]byte{1}, mr.EncodeUint64(uint64(c))...), payload); err != nil {
+				kbuf = mr.AppendUint64(append(kbuf[:0], 1), uint64(c))
+				if err := emit(kbuf, payload); err != nil {
 					return err
 				}
 			}
@@ -216,9 +218,11 @@ func HWTopk(src Source, budget int, cfg Config) (*Report, error) {
 				}
 			}
 			sort.Ints(coefs)
+			var kbuf []byte // reused across emits: the engine copies
 			for _, c := range coefs {
 				payload := mr.MustGobEncode(hwRecord{Mapper: idx, Value: partials[c]})
-				if err := emit(mr.EncodeUint64(uint64(c)), payload); err != nil {
+				kbuf = mr.AppendUint64(kbuf[:0], uint64(c))
+				if err := emit(kbuf, payload); err != nil {
 					return err
 				}
 			}
@@ -288,8 +292,11 @@ func HWTopk(src Source, budget int, cfg Config) (*Report, error) {
 				}
 			}
 			sort.Ints(coefs)
+			var kbuf, vbuf []byte // reused across emits: the engine copies
 			for _, c := range coefs {
-				if err := emit(mr.EncodeUint64(uint64(c)), mr.EncodeFloat64(partials[c])); err != nil {
+				kbuf = mr.AppendUint64(kbuf[:0], uint64(c))
+				vbuf = mr.AppendFloat64(vbuf[:0], partials[c])
+				if err := emit(kbuf, vbuf); err != nil {
 					return err
 				}
 			}

@@ -29,6 +29,11 @@ type Config struct {
 	Seed int64
 	// Quick shrinks everything aggressively for smoke tests.
 	Quick bool
+	// Collect, when non-nil, receives machine-readable Records: one per
+	// experiment, plus finer-grained workload records from experiments
+	// that track shuffle volume themselves (nil Collect is safe — Add is
+	// a no-op).
+	Collect *Collector
 }
 
 func (c Config) size(base int) int {
@@ -106,11 +111,18 @@ func Run(name string, cfg Config) error {
 
 func runOne(e Experiment, cfg Config) error {
 	fmt.Fprintf(cfg.Out, "== %s — %s ==\n", e.Name, e.Title)
+	allocs0 := measureAllocs()
 	start := time.Now()
 	if err := e.Run(cfg); err != nil {
 		return err
 	}
-	fmt.Fprintf(cfg.Out, "(%s completed in %v)\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	wall := time.Since(start)
+	cfg.Collect.Add(Record{
+		Experiment: e.Name,
+		WallMS:     float64(wall.Milliseconds()),
+		Allocs:     measureAllocs() - allocs0,
+	})
+	fmt.Fprintf(cfg.Out, "(%s completed in %v)\n\n", e.Name, wall.Round(time.Millisecond))
 	return nil
 }
 

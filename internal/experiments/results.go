@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+)
+
+// Machine-readable benchmark results. dwbench -json collects one Record
+// per experiment (wall time and allocation count around the whole run)
+// plus finer-grained records that shuffle-aware experiments add
+// themselves, and writes them as a JSON document. Committed snapshots
+// (BENCH_baseline.json before the shuffle fast path, BENCH_shuffle.json
+// after) anchor the repo's performance trajectory.
+
+// Record is one measured workload.
+type Record struct {
+	// Experiment is the registered experiment name; sub-workloads extend
+	// it with a "/label" suffix.
+	Experiment string `json:"experiment"`
+	// Params describes the workload shape (sizes, widths, flags).
+	Params string `json:"params,omitempty"`
+	WallMS float64 `json:"wall_ms"`
+	// Shuffle volume crossing the mr engines, when the workload tracks it.
+	ShuffleRecords int64 `json:"shuffle_records,omitempty"`
+	ShuffleBytes   int64 `json:"shuffle_bytes,omitempty"`
+	// RecordsPerSec / BytesPerSec are shuffle throughput rates.
+	RecordsPerSec float64 `json:"records_per_sec,omitempty"`
+	BytesPerSec   float64 `json:"bytes_per_sec,omitempty"`
+	// Allocs is the heap allocation count (runtime.MemStats.Mallocs
+	// delta) attributed to the workload.
+	Allocs uint64 `json:"allocs,omitempty"`
+}
+
+// Collector gathers Records across experiments. Safe for concurrent use.
+type Collector struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// Add appends one record.
+func (c *Collector) Add(r Record) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.records = append(c.records, r)
+	c.mu.Unlock()
+}
+
+// Records returns a copy of the collected records.
+func (c *Collector) Records() []Record {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Record, len(c.records))
+	copy(out, c.records)
+	return out
+}
+
+// resultsDoc is the JSON document layout.
+type resultsDoc struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Results   []Record `json:"results"`
+}
+
+// WriteJSON writes the collected records to path.
+func (c *Collector) WriteJSON(path string) error {
+	doc := resultsDoc{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Results:   c.Records(),
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// measureAllocs returns the current Mallocs counter; the delta of two
+// calls approximates the allocations a workload performed. GC is not
+// forced, so numbers include any concurrent background noise — adequate
+// for the order-of-magnitude trajectory the snapshots track.
+func measureAllocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}

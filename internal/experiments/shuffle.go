@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"dwmaxerr/internal/dataset"
+	"dwmaxerr/internal/dist"
+	"dwmaxerr/internal/dp"
+	"dwmaxerr/internal/mr"
+)
+
+func init() {
+	register("shuffle", "Shuffle fast-path micro/macro throughput (records/sec, bytes/sec, allocs)", runShuffle)
+}
+
+// runShuffle measures the mr shuffle itself, isolated from the wavelet
+// math: a micro job whose mappers emit histKey-shaped records as fast as
+// they can, plus the two macro workloads whose wall time the shuffle
+// dominates (the Fig. 5c scalability shape and the Eq. 6 communication
+// shape). dwbench -json snapshots feed BENCH_baseline.json /
+// BENCH_shuffle.json.
+func runShuffle(cfg Config) error {
+	t := &table{header: []string{"workload", "records", "bytes", "wall", "records/s", "MB/s", "allocs"}}
+
+	// ---- Micro: raw shuffle throughput through the Local engine ----
+	splits := 8
+	perSplit := cfg.size(1 << 17)
+	rec, err := shuffleMicro(splits, perSplit)
+	if err != nil {
+		return err
+	}
+	cfg.Collect.Add(rec)
+	t.add(rec.Experiment, fint(rec.ShuffleRecords), fint(rec.ShuffleBytes), fmt.Sprintf("%.3fs", rec.WallMS/1e3),
+		ffloat(rec.RecordsPerSec), ffloat(rec.BytesPerSec/1e6), fint(int64(rec.Allocs)))
+
+	// ---- Macro: Fig. 5c-shaped DGreedyAbs run ----
+	n := cfg.size(1 << 14)
+	data := dataset.Uniform{Max: 1000}.Generate(n, cfg.seed())
+	a0, t0 := measureAllocs(), time.Now()
+	rep, err := dist.DGreedyAbs(dist.SliceSource(data), n/8, dist.Config{SubtreeLeaves: n / 16})
+	if err != nil {
+		return err
+	}
+	wall, allocs := time.Since(t0), measureAllocs()-a0
+	var recs, bytes int64
+	for _, j := range rep.Jobs {
+		recs += j.ShuffleRecords
+		bytes += j.ShuffleBytes
+	}
+	macro := Record{
+		Experiment:     "shuffle/fig5c-macro",
+		Params:         fmt.Sprintf("DGreedyAbs n=%d B=%d s=%d", n, n/8, n/16),
+		WallMS:         float64(wall.Milliseconds()),
+		ShuffleRecords: recs,
+		ShuffleBytes:   bytes,
+		RecordsPerSec:  float64(recs) / wall.Seconds(),
+		BytesPerSec:    float64(bytes) / wall.Seconds(),
+		Allocs:         allocs,
+	}
+	cfg.Collect.Add(macro)
+	t.add(macro.Experiment, fint(recs), fint(bytes), fsec(wall), ffloat(macro.RecordsPerSec), ffloat(macro.BytesPerSec/1e6), fint(int64(allocs)))
+
+	// ---- Macro: Eq. 6 communication-shaped DP-row shuffle ----
+	cn := cfg.size(1 << 12)
+	cdata := dataset.Uniform{Max: 1000}.Generate(cn, cfg.seed())
+	a0, t0 = measureAllocs(), time.Now()
+	res, err := dist.DMHaarSpace(dist.SliceSource(cdata), dp.Params{Epsilon: 100, Delta: 10}, dist.Config{SubtreeLeaves: 8})
+	if err != nil {
+		return err
+	}
+	wall, allocs = time.Since(t0), measureAllocs()-a0
+	recs, bytes = 0, 0
+	for _, j := range res.Jobs {
+		recs += j.ShuffleRecords
+		bytes += j.ShuffleBytes
+	}
+	comm := Record{
+		Experiment:     "shuffle/comm-macro",
+		Params:         fmt.Sprintf("DMHaarSpace n=%d s=8", cn),
+		WallMS:         float64(wall.Milliseconds()),
+		ShuffleRecords: recs,
+		ShuffleBytes:   bytes,
+		RecordsPerSec:  float64(recs) / wall.Seconds(),
+		BytesPerSec:    float64(bytes) / wall.Seconds(),
+		Allocs:         allocs,
+	}
+	cfg.Collect.Add(comm)
+	t.add(comm.Experiment, fint(recs), fint(bytes), fsec(wall), ffloat(comm.RecordsPerSec), ffloat(comm.BytesPerSec/1e6), fint(int64(allocs)))
+
+	t.write(cfg.Out)
+	return nil
+}
+
+// shuffleMicro runs one shuffle-bound job: mappers emit [uint32 bucket |
+// float64] keys (the 12-byte histKey shape of DGreedyAbs job 1) with
+// uint64 count values, reducers sum per key — no wavelet math, so wall
+// time is the shuffle itself.
+func shuffleMicro(splits, perSplit int) (Record, error) {
+	job := ShuffleJob(splits, perSplit)
+	a0, t0 := measureAllocs(), time.Now()
+	res, err := (&mr.Local{}).Run(job)
+	if err != nil {
+		return Record{}, err
+	}
+	wall, allocs := time.Since(t0), measureAllocs()-a0
+	m := res.Metrics
+	return Record{
+		Experiment:     "shuffle/micro",
+		Params:         fmt.Sprintf("splits=%d records/split=%d key=12B value=8B reducers=4", splits, perSplit),
+		WallMS:         float64(wall.Milliseconds()),
+		ShuffleRecords: m.ShuffleRecords,
+		ShuffleBytes:   m.ShuffleBytes,
+		RecordsPerSec:  float64(m.ShuffleRecords) / wall.Seconds(),
+		BytesPerSec:    float64(m.ShuffleBytes) / wall.Seconds(),
+		Allocs:         allocs,
+	}, nil
+}
+
+// ShuffleJob builds the micro-benchmark job; bench_test.go reuses it so
+// `go test -bench` and `dwbench -exp shuffle` measure the same workload.
+func ShuffleJob(splits, perSplit int) *mr.Job {
+	ss := make([]mr.Split, splits)
+	for i := range ss {
+		ss[i] = mr.Split{ID: i}
+	}
+	return &mr.Job{
+		Name:     "shuffle-micro",
+		Splits:   ss,
+		Reducers: 4,
+		Partition: func(key []byte, nred int) int {
+			return int(binary.BigEndian.Uint32(key[:4])) % nred
+		},
+		Map: func(ctx mr.TaskContext, split mr.Split, emit mr.Emit) error {
+			// The emit idiom of the dist hot loops: a histKey-shaped
+			// [uint32 | order-preserving float64] key per record, built in
+			// one scratch buffer per task (the engine copies on emit).
+			var kbuf, vbuf []byte
+			for r := 0; r < perSplit; r++ {
+				c := uint32(r % 97)
+				kbuf = append(kbuf[:0], byte(c>>24), byte(c>>16), byte(c>>8), byte(c))
+				kbuf = mr.AppendFloat64(kbuf, float64(r%1024))
+				vbuf = mr.AppendUint64(vbuf[:0], uint64(r))
+				if err := emit(kbuf, vbuf); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Reduce: func(ctx mr.TaskContext, key []byte, values [][]byte, emit mr.Emit) error {
+			var sum uint64
+			for _, v := range values {
+				sum += mr.DecodeUint64(v)
+			}
+			return emit(key, mr.EncodeUint64(sum))
+		},
+	}
+}

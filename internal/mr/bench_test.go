@@ -1,0 +1,131 @@
+package mr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// Shuffle fast-path micro-benchmarks. The workload mirrors the hot loops
+// of the dist algorithms: histKey-shaped 12-byte keys ([uint32 |
+// order-preserving float64]) with 8-byte values, partitioned by the
+// leading uint32 and summed per key. Custom metrics: records/sec across
+// the shuffle (shuffle_rec/s) and shuffle MB/sec (shuffle_MB/s).
+// Before/after snapshots live in BENCH_baseline.json / BENCH_shuffle.json.
+
+// shuffleBenchJob emits perSplit records per split through the engine.
+// appendStyle selects the scratch-buffer emit idiom the fast path enables
+// (emit copies, so mappers may reuse buffers); the alloc style is the
+// seed's one-heap-allocation-per-record idiom.
+func shuffleBenchJob(splits, perSplit int, appendStyle bool) *Job {
+	ss := make([]Split, splits)
+	for i := range ss {
+		ss[i] = Split{ID: i}
+	}
+	mapAlloc := func(ctx TaskContext, split Split, emit Emit) error {
+		for r := 0; r < perSplit; r++ {
+			key := make([]byte, 12)
+			binary.BigEndian.PutUint32(key[:4], uint32(r%97))
+			copy(key[4:], EncodeFloat64(float64(r%1024)))
+			if err := emit(key, EncodeUint64(uint64(r))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	mapAppend := func(ctx TaskContext, split Split, emit Emit) error {
+		var kbuf, vbuf []byte
+		for r := 0; r < perSplit; r++ {
+			kbuf = appendShuffleBenchKey(kbuf[:0], uint32(r%97), float64(r%1024))
+			vbuf = AppendUint64(vbuf[:0], uint64(r))
+			if err := emit(kbuf, vbuf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	m := mapAlloc
+	if appendStyle {
+		m = mapAppend
+	}
+	return &Job{
+		Name:     "shuffle-bench",
+		Splits:   ss,
+		Reducers: 4,
+		Partition: func(key []byte, nred int) int {
+			return int(binary.BigEndian.Uint32(key[:4])) % nred
+		},
+		Map: m,
+		Reduce: func(ctx TaskContext, key []byte, values [][]byte, emit Emit) error {
+			var sum uint64
+			for _, v := range values {
+				sum += DecodeUint64(v)
+			}
+			return emit(key, EncodeUint64(sum))
+		},
+	}
+}
+
+// appendShuffleBenchKey appends the 12-byte histKey shape to dst.
+func appendShuffleBenchKey(dst []byte, cand uint32, bucket float64) []byte {
+	dst = append(dst, byte(cand>>24), byte(cand>>16), byte(cand>>8), byte(cand))
+	return AppendFloat64(dst, bucket)
+}
+
+// BenchmarkShuffleMicro is the headline shuffle throughput benchmark:
+// emit + partition + sort + group + reduce through the Local engine.
+func BenchmarkShuffleMicro(b *testing.B) {
+	const splits, perSplit = 8, 1 << 16
+	for _, tc := range []struct {
+		name        string
+		appendStyle bool
+	}{{"alloc-emit", false}, {"append-emit", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			job := shuffleBenchJob(splits, perSplit, tc.appendStyle)
+			b.ReportAllocs()
+			var m Metrics
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				res, err := (&Local{}).Run(job)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m = res.Metrics
+			}
+			el := time.Since(start).Seconds()
+			b.ReportMetric(float64(m.ShuffleRecords)*float64(b.N)/el, "shuffle_rec/s")
+			b.ReportMetric(float64(m.ShuffleBytes)*float64(b.N)/el/1e6, "shuffle_MB/s")
+		})
+	}
+}
+
+// BenchmarkShuffleSort isolates the per-partition sort on histKey-shaped
+// 12-byte keys (the radix fast path's target) and on variable-width keys
+// (the comparison fallback).
+func BenchmarkShuffleSort(b *testing.B) {
+	const n = 1 << 17
+	fixed := make([]Pair, n)
+	for i := range fixed {
+		fixed[i] = Pair{Key: appendShuffleBenchKey(nil, uint32((i*2654435761)%97), float64((i*40503)%1024)), Value: EncodeUint64(uint64(i))}
+	}
+	varw := make([]Pair, n)
+	for i := range varw {
+		varw[i] = Pair{Key: []byte(fmt.Sprintf("k-%d", (i*2654435761)%(n/2))), Value: EncodeUint64(uint64(i))}
+	}
+	for _, tc := range []struct {
+		name  string
+		pairs []Pair
+	}{{"fixed12B", fixed}, {"variable", varw}} {
+		b.Run(tc.name, func(b *testing.B) {
+			job := &Job{}
+			buf := make([]Pair, n)
+			b.ReportAllocs()
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				copy(buf, tc.pairs)
+				sortPairs(job, buf)
+			}
+		})
+	}
+}

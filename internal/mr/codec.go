@@ -10,6 +10,18 @@ import (
 // Codec helpers for the byte-slice keys and values crossing the shuffle.
 // Numeric keys use big-endian order-preserving encodings so the default
 // bytes.Compare sort yields numeric order.
+//
+// The Append variants append the encoding to dst and return the extended
+// slice, so hot loops can reuse one scratch buffer per task instead of
+// allocating per record (engine emit paths copy, so reusing the buffer
+// across emits is safe — see Emit in mr.go).
+
+// AppendUint64 appends the big-endian encoding of v (order-preserving).
+func AppendUint64(dst []byte, v uint64) []byte {
+	return append(dst,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
 
 // EncodeUint64 returns the big-endian encoding of v (order-preserving).
 func EncodeUint64(v uint64) []byte {
@@ -23,6 +35,12 @@ func DecodeUint64(b []byte) uint64 {
 	return binary.BigEndian.Uint64(b)
 }
 
+// AppendInt64 appends the order-preserving encoding of v (sign bit
+// flipped so bytes.Compare order equals numeric order).
+func AppendInt64(dst []byte, v int64) []byte {
+	return AppendUint64(dst, uint64(v)^(1<<63))
+}
+
 // EncodeInt64 encodes v so that bytes.Compare order equals numeric order
 // (sign bit flipped).
 func EncodeInt64(v int64) []byte {
@@ -32,6 +50,18 @@ func EncodeInt64(v int64) []byte {
 // DecodeInt64 decodes EncodeInt64.
 func DecodeInt64(b []byte) int64 {
 	return int64(DecodeUint64(b) ^ (1 << 63))
+}
+
+// AppendFloat64 appends the order-preserving encoding of v (IEEE 754
+// total-order trick, matching EncodeFloat64).
+func AppendFloat64(dst []byte, v float64) []byte {
+	bits := math.Float64bits(v)
+	if bits&(1<<63) != 0 {
+		bits = ^bits
+	} else {
+		bits |= 1 << 63
+	}
+	return AppendUint64(dst, bits)
 }
 
 // EncodeFloat64 encodes v so that bytes.Compare order equals numeric order

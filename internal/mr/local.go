@@ -3,7 +3,6 @@ package mr
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 )
@@ -64,27 +63,26 @@ func (l *Local) Run(job *Job) (*Result, error) {
 	nred := job.reducers()
 	mapOuts := make([][][]Pair, len(job.Splits))
 	if err := l.runTasks("map", len(job.Splits), &res.Metrics, func(i int, ctx TaskContext) (interface{}, error) {
-		parts := make([][]Pair, nred)
-		emit := func(key, value []byte) error {
-			p := job.partition(key)
-			parts[p] = append(parts[p], Pair{Key: key, Value: value})
-			return nil
-		}
-		if err := job.Map(ctx, job.Splits[i], emit); err != nil {
+		mc := newMapCollector(job, nred)
+		if err := job.Map(ctx, job.Splits[i], mc.emit); err != nil {
+			mc.discard()
 			return nil, err
 		}
 		if job.Combine != nil {
-			for p := range parts {
-				combined, err := combinePartition(job, ctx, parts[p])
+			for p := range mc.parts {
+				combined, err := combinePartition(job, ctx, &mc.arena, mc.parts[p])
 				if err != nil {
+					mc.discard()
 					return nil, err
 				}
-				parts[p] = combined
+				mc.parts[p] = combined
 			}
 		}
-		return parts, nil
+		return mc, nil
 	}, func(i int, out interface{}) {
-		mapOuts[i] = out.([][]Pair)
+		// The committed collector's arena stays live for the rest of the
+		// run: Result aliases its records, so it is never recycled.
+		mapOuts[i] = out.(*mapCollector).parts
 	}); err != nil {
 		return nil, err
 	}
@@ -103,8 +101,7 @@ func (l *Local) Run(job *Job) (*Result, error) {
 		}
 	}
 	for p := range buckets {
-		b := buckets[p]
-		sort.SliceStable(b, func(i, j int) bool { return job.compare(b[i].Key, b[j].Key) < 0 })
+		sortPairs(job, buckets[p])
 	}
 
 	// ---- Reduce phase ----
@@ -113,17 +110,14 @@ func (l *Local) Run(job *Job) (*Result, error) {
 		copy(res.Partitions, buckets)
 	} else {
 		if err := l.runTasks("reduce", nred, &res.Metrics, func(p int, ctx TaskContext) (interface{}, error) {
-			var out []Pair
-			emit := func(key, value []byte) error {
-				out = append(out, Pair{Key: key, Value: value})
-				return nil
-			}
-			if err := reduceBucket(job, ctx, buckets[p], emit); err != nil {
+			ro := &reduceTaskOut{}
+			if err := reduceBucket(job, ctx, buckets[p], emitInto(&ro.arena, &ro.out)); err != nil {
+				ro.discard()
 				return nil, err
 			}
-			return out, nil
+			return ro, nil
 		}, func(p int, out interface{}) {
-			res.Partitions[p], _ = out.([]Pair)
+			res.Partitions[p] = out.(*reduceTaskOut).out
 		}); err != nil {
 			return nil, err
 		}
@@ -140,15 +134,18 @@ func (l *Local) Run(job *Job) (*Result, error) {
 	return res, nil
 }
 
-// reduceBucket groups a sorted bucket by key and invokes the reducer.
+// reduceBucket groups a sorted bucket by key and invokes the reducer. One
+// values slice is reused across groups (valid only during the Reduce call,
+// per the contract in mr.go).
 func reduceBucket(job *Job, ctx TaskContext, bucket []Pair, emit Emit) error {
+	var values [][]byte
 	i := 0
 	for i < len(bucket) {
 		j := i + 1
 		for j < len(bucket) && job.compare(bucket[j].Key, bucket[i].Key) == 0 {
 			j++
 		}
-		values := make([][]byte, 0, j-i)
+		values = values[:0]
 		for _, kv := range bucket[i:j] {
 			values = append(values, kv.Value)
 		}
@@ -160,23 +157,23 @@ func reduceBucket(job *Job, ctx TaskContext, bucket []Pair, emit Emit) error {
 	return nil
 }
 
-// combinePartition applies the combiner to one map task's partition output.
-func combinePartition(job *Job, ctx TaskContext, pairs []Pair) ([]Pair, error) {
-	sorted := make([]Pair, len(pairs))
+// combinePartition applies the combiner to one map task's partition
+// output, emitting combined records into arena.
+func combinePartition(job *Job, ctx TaskContext, arena *byteArena, pairs []Pair) ([]Pair, error) {
+	sorted := getPairBuf(len(pairs))
+	defer putPairBuf(sorted)
 	copy(sorted, pairs)
-	sort.SliceStable(sorted, func(i, j int) bool { return job.compare(sorted[i].Key, sorted[j].Key) < 0 })
+	sortPairs(job, sorted)
 	var out []Pair
-	emit := func(key, value []byte) error {
-		out = append(out, Pair{Key: key, Value: value})
-		return nil
-	}
+	emit := emitInto(arena, &out)
+	var values [][]byte
 	i := 0
 	for i < len(sorted) {
 		j := i + 1
 		for j < len(sorted) && job.compare(sorted[j].Key, sorted[i].Key) == 0 {
 			j++
 		}
-		values := make([][]byte, 0, j-i)
+		values = values[:0]
 		for _, kv := range sorted[i:j] {
 			values = append(values, kv.Value)
 		}

@@ -97,11 +97,11 @@ func (l *Local) runSpill(job *Job) (*Result, error) {
 		}
 		merge := newMergeStream(job, sources)
 		defer merge.close()
-		var out []Pair
-		emit := func(key, value []byte) error {
-			out = append(out, Pair{Key: key, Value: value})
-			return nil
-		}
+		// Reduce output is copied into the task's own arena: merged pairs
+		// may alias collector arenas, which recycle when the collectors are
+		// discarded at the end of the job.
+		ro := &reduceTaskOut{}
+		emit := emitInto(&ro.arena, &ro.out)
 		var shuffleRecords, shuffleBytes int64
 		if job.Reduce == nil {
 			for {
@@ -114,7 +114,9 @@ func (l *Local) runSpill(job *Job) (*Result, error) {
 				}
 				shuffleRecords++
 				shuffleBytes += int64(len(pair.Key) + len(pair.Value))
-				out = append(out, pair)
+				if err := emit(pair.Key, pair.Value); err != nil {
+					return nil, err
+				}
 			}
 		} else {
 			var curKey []byte
@@ -149,11 +151,11 @@ func (l *Local) runSpill(job *Job) (*Result, error) {
 				return nil, err
 			}
 		}
-		return reduceOut{pairs: out, records: shuffleRecords, bytes: shuffleBytes}, nil
+		return spillReduceOut{reduceTaskOut: ro, records: shuffleRecords, bytes: shuffleBytes}, nil
 	}
 	if err := l.runTasks("reduce", nred, &res.Metrics, reduceOne, func(p int, out interface{}) {
-		ro := out.(reduceOut)
-		res.Partitions[p] = ro.pairs
+		ro := out.(spillReduceOut)
+		res.Partitions[p] = ro.out
 		res.Metrics.ShuffleRecords += ro.records
 		res.Metrics.ShuffleBytes += ro.bytes
 	}); err != nil {
@@ -171,8 +173,8 @@ func (l *Local) runSpill(job *Job) (*Result, error) {
 	return res, nil
 }
 
-type reduceOut struct {
-	pairs   []Pair
+type spillReduceOut struct {
+	*reduceTaskOut
 	records int64
 	bytes   int64
 }

@@ -10,8 +10,9 @@
 //     simulated makespan for any slot count, which is how the scalability
 //     series of Figures 5c/5d (runtime vs. number of parallel tasks) are
 //     regenerated on a single machine.
-//   - Cluster: a TCP coordinator/worker runtime (encoding/gob framing)
-//     executing the same jobs across processes. Workers heartbeat the
+//   - Cluster: a TCP coordinator/worker runtime executing the same jobs
+//     across processes over a compact length-prefixed binary wire format
+//     (wire.go; gob only for the per-connection hello). Workers heartbeat the
 //     coordinator; a monitor declares silent workers dead mid-task and
 //     reassigns their work, task replies carry per-attempt user-counter
 //     snapshots and durations, attempts are numbered identically to the
@@ -30,7 +31,10 @@ import (
 	"time"
 )
 
-// Emit receives one intermediate or output key/value pair.
+// Emit receives one intermediate or output key/value pair. Engine emit
+// implementations copy key and value before returning, so callers may
+// reuse one scratch buffer across emits (see the Append* helpers in
+// codec.go) instead of allocating per record.
 type Emit func(key, value []byte) error
 
 // TaskContext identifies a running task to map/reduce functions.
@@ -46,7 +50,9 @@ type TaskContext struct {
 type MapFunc func(ctx TaskContext, split Split, emit Emit) error
 
 // ReduceFunc processes one key group. values preserves shuffle order
-// (sorted by key; ties in arrival order).
+// (sorted by key; ties in arrival order). The values slice itself is only
+// valid during the call — the engine reuses it for the next group — but
+// the byte slices it holds stay valid for the task's lifetime.
 type ReduceFunc func(ctx TaskContext, key []byte, values [][]byte, emit Emit) error
 
 // Split is one unit of map input. Payload is opaque to the engine; local

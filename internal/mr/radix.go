@@ -1,0 +1,99 @@
+package mr
+
+import "sort"
+
+// Shuffle sort fast path. The algorithms in internal/dist emit fixed-width
+// order-preserving keys (8/12/16-byte big-endian encodings from codec.go
+// and histKey-style composites), so within a partition every key usually
+// has the same width and the job uses the default bytes.Compare order.
+// That case is sorted with a stable byte-wise LSD radix sort that skips
+// constant byte columns (common-prefix and sparse columns cost one
+// counting scan, not a full redistribution pass). Variable-width keys or
+// a custom comparator fall back to the comparison sort. Both paths
+// produce the identical permutation — lexicographic order with arrival
+// order preserved among equal keys — which radix_test.go pins down with a
+// property test.
+
+const (
+	// maxRadixKeyWidth bounds the fast path; wider keys would pay too
+	// many counting passes relative to comparison sort.
+	maxRadixKeyWidth = 32
+	// minRadixLen is the slice size below which std sort wins on setup
+	// overhead.
+	minRadixLen = 32
+)
+
+// sortPairs stably sorts pairs in the job's key order.
+func sortPairs(job *Job, pairs []Pair) {
+	if job.Compare == nil && len(pairs) >= minRadixLen {
+		if w, ok := fixedKeyWidth(pairs); ok {
+			radixSortPairs(pairs, w)
+			return
+		}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return job.compare(pairs[i].Key, pairs[j].Key) < 0 })
+}
+
+// fixedKeyWidth reports the common key width when every key has the same
+// length in 1..maxRadixKeyWidth.
+func fixedKeyWidth(pairs []Pair) (int, bool) {
+	if len(pairs) == 0 {
+		return 0, false
+	}
+	w := len(pairs[0].Key)
+	if w == 0 || w > maxRadixKeyWidth {
+		return 0, false
+	}
+	for i := 1; i < len(pairs); i++ {
+		if len(pairs[i].Key) != w {
+			return 0, false
+		}
+	}
+	return w, true
+}
+
+// radixSortPairs sorts pairs whose keys all have the given width into
+// lexicographic (bytes.Compare) order, stably: LSD counting sort over the
+// byte columns, ping-ponging between pairs and a pooled scratch buffer.
+func radixSortPairs(pairs []Pair, width int) {
+	n := len(pairs)
+	if n < 2 {
+		return
+	}
+	tmp := getPairBuf(n)
+	src, dst := pairs, tmp
+	var count [256]int
+	for col := width - 1; col >= 0; col-- {
+		for i := range count {
+			count[i] = 0
+		}
+		first := src[0].Key[col]
+		constant := true
+		for i := 0; i < n; i++ {
+			b := src[i].Key[col]
+			count[b]++
+			if b != first {
+				constant = false
+			}
+		}
+		if constant {
+			continue // every key agrees on this column: order unchanged
+		}
+		sum := 0
+		for i := 0; i < 256; i++ {
+			c := count[i]
+			count[i] = sum
+			sum += c
+		}
+		for i := 0; i < n; i++ {
+			b := src[i].Key[col]
+			dst[count[b]] = src[i]
+			count[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] == &tmp[0] {
+		copy(pairs, src)
+	}
+	putPairBuf(tmp)
+}

@@ -1,0 +1,186 @@
+package mr
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property coverage for the shuffle sort fast path: for every key-width
+// class the radix path must produce the exact permutation of the
+// comparison sort — lexicographic order with arrival order preserved
+// among equal keys. Values carry the arrival index so stability
+// violations are observable even for duplicate keys.
+
+// referenceSort is the seed's shuffle sort.
+func referenceSort(pairs []Pair) {
+	sort.SliceStable(pairs, func(i, j int) bool { return bytes.Compare(pairs[i].Key, pairs[j].Key) < 0 })
+}
+
+// indexedPairs tags each key with its arrival index as the value.
+func indexedPairs(keys [][]byte) []Pair {
+	pairs := make([]Pair, len(keys))
+	for i, k := range keys {
+		pairs[i] = Pair{Key: k, Value: EncodeUint64(uint64(i))}
+	}
+	return pairs
+}
+
+func assertSameOrder(t *testing.T, got, want []Pair) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("length mismatch: got %d want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i].Key, want[i].Key) || !bytes.Equal(got[i].Value, want[i].Value) {
+			t.Fatalf("permutation diverges at %d: got (%x, %x) want (%x, %x)",
+				i, got[i].Key, got[i].Value, want[i].Key, want[i].Value)
+		}
+	}
+}
+
+// checkMatchesReference sorts a copy through each path and compares.
+func checkMatchesReference(t *testing.T, keys [][]byte) {
+	t.Helper()
+	got := indexedPairs(keys)
+	want := indexedPairs(keys)
+	sortPairs(&Job{}, got)
+	referenceSort(want)
+	assertSameOrder(t, got, want)
+}
+
+// TestRadixMatchesReferenceEveryWidth drives every fixed width the fast
+// path accepts, with a small alphabet so duplicate keys (the stability
+// case) are common.
+func TestRadixMatchesReferenceEveryWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for width := 1; width <= maxRadixKeyWidth; width++ {
+		for _, n := range []int{minRadixLen, 257, 1024} {
+			keys := make([][]byte, n)
+			for i := range keys {
+				k := make([]byte, width)
+				for b := range k {
+					k[b] = byte(rng.Intn(4)) // tiny alphabet: many ties
+				}
+				keys[i] = k
+			}
+			checkMatchesReference(t, keys)
+		}
+	}
+}
+
+// TestRadixPropertyFixedWidth is the randomized property: arbitrary byte
+// distributions at the widths the algorithms actually emit (8-byte
+// encoded numerics, 12-byte histKey composites, 16-byte pairs).
+func TestRadixPropertyFixedWidth(t *testing.T) {
+	for _, width := range []int{2, 8, 12, 16, maxRadixKeyWidth} {
+		f := func(seed int64, raw []byte) bool {
+			rng := rand.New(rand.NewSource(seed))
+			n := minRadixLen + rng.Intn(512)
+			keys := make([][]byte, n)
+			for i := range keys {
+				k := make([]byte, width)
+				for b := range k {
+					if len(raw) > 0 {
+						k[b] = raw[rng.Intn(len(raw))]
+					} else {
+						k[b] = byte(rng.Intn(256))
+					}
+				}
+				keys[i] = k
+			}
+			got := indexedPairs(keys)
+			want := indexedPairs(keys)
+			sortPairs(&Job{}, got)
+			referenceSort(want)
+			for i := range got {
+				if !bytes.Equal(got[i].Key, want[i].Key) || !bytes.Equal(got[i].Value, want[i].Value) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+	}
+}
+
+// TestRadixVariableWidthFallsBack mixes key lengths so the fast path must
+// decline, and verifies the fallback still matches the reference.
+func TestRadixVariableWidthFallsBack(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := minRadixLen + rng.Intn(256)
+		keys := make([][]byte, n)
+		for i := range keys {
+			k := make([]byte, 1+rng.Intn(20))
+			rng.Read(k)
+			keys[i] = k
+		}
+		got := indexedPairs(keys)
+		want := indexedPairs(keys)
+		sortPairs(&Job{}, got)
+		referenceSort(want)
+		for i := range got {
+			if !bytes.Equal(got[i].Key, want[i].Key) || !bytes.Equal(got[i].Value, want[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRadixEdgeWidths pins the boundary behavior: width just above the cap
+// and slices just below the length threshold take the comparison path yet
+// still sort identically; empty keys never reach the radix path.
+func TestRadixEdgeWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Width beyond the cap.
+	wide := make([][]byte, minRadixLen)
+	for i := range wide {
+		k := make([]byte, maxRadixKeyWidth+1)
+		rng.Read(k)
+		wide[i] = k
+	}
+	checkMatchesReference(t, wide)
+	// Slice below the radix length threshold.
+	short := make([][]byte, minRadixLen-1)
+	for i := range short {
+		k := make([]byte, 8)
+		rng.Read(k)
+		short[i] = k
+	}
+	checkMatchesReference(t, short)
+	// Empty and nil keys (identity-reduce jobs emit nil values, and keys
+	// can be empty too).
+	mixed := [][]byte{nil, {}, {1}, nil, {0}, {}, {2, 3}}
+	for len(mixed) < minRadixLen+4 {
+		mixed = append(mixed, nil, []byte{1}, []byte{0, 0}, []byte{})
+	}
+	checkMatchesReference(t, mixed)
+}
+
+// TestRadixCustomCompareBypassed: a job with a custom comparator must not
+// take the radix path even for fixed-width keys.
+func TestRadixCustomCompareBypassed(t *testing.T) {
+	job := &Job{Compare: func(a, b []byte) int { return bytes.Compare(b, a) }} // descending
+	n := minRadixLen * 2
+	pairs := make([]Pair, n)
+	rng := rand.New(rand.NewSource(3))
+	for i := range pairs {
+		k := make([]byte, 8)
+		rng.Read(k)
+		pairs[i] = Pair{Key: k, Value: EncodeUint64(uint64(i))}
+	}
+	want := make([]Pair, n)
+	copy(want, pairs)
+	sort.SliceStable(want, func(i, j int) bool { return job.compare(want[i].Key, want[j].Key) < 0 })
+	sortPairs(job, pairs)
+	assertSameOrder(t, pairs, want)
+}

@@ -7,7 +7,6 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
 )
 
 // External shuffle: when a map task's output exceeds a record threshold,
@@ -40,12 +39,14 @@ type mapOutput struct {
 }
 
 // spillCollector accumulates map output, spilling partitions that exceed
-// the threshold.
+// the threshold. Records are copied into one arena per partition, so a
+// spilled partition's memory recycles as soon as its run is on disk.
 type spillCollector struct {
 	job       *Job
 	dir       string
 	threshold int
 	out       mapOutput
+	arenas    []byteArena
 	spilled   int64 // bytes written to disk
 }
 
@@ -62,12 +63,13 @@ func newSpillCollector(job *Job, dir string, threshold, nred int) (*spillCollect
 			mem:  make([][]Pair, nred),
 			runs: make([][]spillRun, nred),
 		},
+		arenas: make([]byteArena, nred),
 	}, nil
 }
 
 func (c *spillCollector) emit(key, value []byte) error {
 	p := c.job.partition(key)
-	c.out.mem[p] = append(c.out.mem[p], Pair{Key: key, Value: value})
+	c.out.mem[p] = append(c.out.mem[p], Pair{Key: c.arenas[p].copyBytes(key), Value: c.arenas[p].copyBytes(value)})
 	if len(c.out.mem[p]) >= c.threshold {
 		return c.spill(p)
 	}
@@ -75,15 +77,16 @@ func (c *spillCollector) emit(key, value []byte) error {
 }
 
 // spill sorts (and optionally combines) partition p's buffer and writes it
-// as a run.
+// as a run. Once the run is on disk nothing references the partition's
+// arena any more, so its blocks recycle.
 func (c *spillCollector) spill(p int) error {
 	pairs := c.out.mem[p]
 	if len(pairs) == 0 {
 		return nil
 	}
-	sort.SliceStable(pairs, func(i, j int) bool { return c.job.compare(pairs[i].Key, pairs[j].Key) < 0 })
+	sortPairs(c.job, pairs)
 	if c.job.Combine != nil {
-		combined, err := combineSorted(c.job, pairs)
+		combined, err := combineSorted(c.job, &c.arenas[p], pairs)
 		if err != nil {
 			return err
 		}
@@ -97,6 +100,7 @@ func (c *spillCollector) spill(p int) error {
 	c.spilled += n
 	c.out.runs[p] = append(c.out.runs[p], spillRun{path: path, records: len(pairs)})
 	c.out.mem[p] = nil
+	c.arenas[p].reset()
 	return nil
 }
 
@@ -111,11 +115,12 @@ func (c *spillCollector) finish() (mapOutput, error) {
 			continue
 		}
 		// Purely in-memory partition: sort (and combine) now so the merge
-		// can treat it as a run.
+		// can treat it as a run. The arena stays live — the merge reads
+		// these pairs — and recycles on discard.
 		pairs := c.out.mem[p]
-		sort.SliceStable(pairs, func(i, j int) bool { return c.job.compare(pairs[i].Key, pairs[j].Key) < 0 })
+		sortPairs(c.job, pairs)
 		if c.job.Combine != nil && len(pairs) > 0 {
-			combined, err := combineSorted(c.job, pairs)
+			combined, err := combineSorted(c.job, &c.arenas[p], pairs)
 			if err != nil {
 				return mapOutput{}, err
 			}
@@ -126,26 +131,29 @@ func (c *spillCollector) finish() (mapOutput, error) {
 	return c.out, nil
 }
 
-// discard removes the collector's spill files (loser of a speculative
-// race, or a failed attempt).
+// discard removes the collector's spill files and recycles its arenas
+// (loser of a speculative race, a failed attempt, or end-of-job cleanup —
+// callers must copy any output they keep out of the arenas first).
 func (c *spillCollector) discard() {
 	os.RemoveAll(c.dir)
+	for i := range c.arenas {
+		c.arenas[i].release()
+	}
 }
 
-// combineSorted applies the combiner to an already-sorted pair slice.
-func combineSorted(job *Job, sorted []Pair) ([]Pair, error) {
+// combineSorted applies the combiner to an already-sorted pair slice,
+// emitting combined records into arena.
+func combineSorted(job *Job, arena *byteArena, sorted []Pair) ([]Pair, error) {
 	var out []Pair
-	emit := func(key, value []byte) error {
-		out = append(out, Pair{Key: key, Value: value})
-		return nil
-	}
+	emit := emitInto(arena, &out)
+	var values [][]byte
 	i := 0
 	for i < len(sorted) {
 		j := i + 1
 		for j < len(sorted) && job.compare(sorted[j].Key, sorted[i].Key) == 0 {
 			j++
 		}
-		values := make([][]byte, 0, j-i)
+		values = values[:0]
 		for _, kv := range sorted[i:j] {
 			values = append(values, kv.Value)
 		}

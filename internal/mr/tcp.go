@@ -1,12 +1,12 @@
 package mr
 
 import (
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 	"net"
-	"sort"
 	"sync"
 	"time"
 )
@@ -29,8 +29,9 @@ import (
 // once per task: the first successful attempt wins, later duplicates are
 // discarded by the coordinator.
 
-// Wire messages. The coordinator sends wireTask frames; workers answer
-// with wireMsg frames (a heartbeat or a task reply).
+// Wire messages. The coordinator sends task frames; workers answer with
+// heartbeat and reply frames. Framing and the binary payload codecs live
+// in wire.go; hello stays gob-encoded (one frame per connection).
 type wireHello struct {
 	WorkerName string
 }
@@ -44,19 +45,6 @@ type wireTask struct {
 	Split    Split  // map tasks
 	Bucket   []Pair // reduce tasks: the sorted key group stream
 	Reducers int
-}
-
-// Worker → coordinator frame kinds.
-const (
-	msgHeartbeat = "heartbeat"
-	msgReply     = "reply"
-)
-
-// wireMsg multiplexes heartbeats and task replies on the worker's
-// connection.
-type wireMsg struct {
-	Kind  string
-	Reply wireReply
 }
 
 type wireReply struct {
@@ -118,7 +106,7 @@ type taskOutcome struct {
 	err   error
 }
 
-// workerConn is the coordinator's view of one worker. The gob encoder is
+// workerConn is the coordinator's view of one worker. The frame writer is
 // guarded by sendMu (task sends and the shutdown broadcast interleave);
 // all remaining mutable state is guarded by the coordinator's mu — the
 // seed's unsynchronized `dead` write was a data race under -race.
@@ -127,13 +115,26 @@ type workerConn struct {
 	conn net.Conn
 
 	sendMu sync.Mutex
-	enc    *gob.Encoder
+	fw     *frameWriter
 
 	// Guarded by Coordinator.mu:
 	dead     bool
 	busy     bool
 	lastBeat time.Time
 	pending  chan taskOutcome // non-nil while a task is in flight
+}
+
+// sendTask encodes and writes one task frame (scratch buffer pooled).
+func (w *workerConn) sendTask(task *wireTask) error {
+	buf := getByteBuf()
+	payload, err := appendWireTask(buf, task)
+	if err == nil {
+		w.sendMu.Lock()
+		err = w.fw.write(frameTask, payload)
+		w.sendMu.Unlock()
+	}
+	putByteBuf(payload)
+	return err
 }
 
 // NewCoordinator listens on addr (e.g. "127.0.0.1:0") and returns
@@ -179,9 +180,7 @@ func (c *Coordinator) Close() error {
 		wg.Add(1)
 		go func(w *workerConn) {
 			defer wg.Done()
-			w.sendMu.Lock()
-			sendErr := w.enc.Encode(&wireTask{Kind: "shutdown"})
-			w.sendMu.Unlock()
+			sendErr := w.sendTask(&wireTask{Kind: "shutdown"})
 			if sendErr == nil {
 				// Wait for the worker to drain and close its end (the
 				// reader marks it dead on EOF), bounded by the grace
@@ -214,15 +213,38 @@ func (c *Coordinator) acceptLoop() {
 	}
 }
 
+// admit validates a joining connection: preamble (magic + wire version),
+// then the gob hello frame. A version or protocol mismatch is rejected
+// cleanly — a reject frame naming the reason, then close — so a stale
+// worker binary can never exchange misdecoded shuffle data.
 func (c *Coordinator) admit(conn net.Conn) {
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
-	var hello wireHello
-	if err := dec.Decode(&hello); err != nil {
+	fw := newFrameWriter(conn)
+	fr := newFrameReader(conn)
+	version, err := readPreamble(conn)
+	if err != nil {
 		conn.Close()
 		return
 	}
-	w := &workerConn{name: hello.WorkerName, conn: conn, enc: enc, lastBeat: time.Now()}
+	if version != wireVersion {
+		fw.write(frameReject, fmt.Appendf(nil,
+			"mr: coordinator speaks wire version %d, worker speaks %d", wireVersion, version))
+		conn.Close()
+		return
+	}
+	typ, payload, err := fr.read()
+	if err != nil || typ != frameHello {
+		if err == nil {
+			fw.write(frameReject, []byte("mr: expected hello frame"))
+		}
+		conn.Close()
+		return
+	}
+	var hello wireHello
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&hello); err != nil {
+		conn.Close()
+		return
+	}
+	w := &workerConn{name: hello.WorkerName, conn: conn, fw: fw, lastBeat: time.Now()}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -232,33 +254,41 @@ func (c *Coordinator) admit(conn net.Conn) {
 	c.workers = append(c.workers, w)
 	c.cond.Broadcast()
 	c.mu.Unlock()
-	go c.readLoop(w, dec)
+	go c.readLoop(w, fr)
 }
 
 // readLoop owns the worker's receive side: it routes heartbeats to the
 // liveness clock and replies to the in-flight exchange, and converts any
 // decode error into a worker death.
-func (c *Coordinator) readLoop(w *workerConn, dec *gob.Decoder) {
+func (c *Coordinator) readLoop(w *workerConn, fr *frameReader) {
 	for {
-		var msg wireMsg
-		if err := dec.Decode(&msg); err != nil {
+		typ, payload, err := fr.read()
+		if err != nil {
 			c.workerFailed(w, err)
 			return
 		}
-		switch msg.Kind {
-		case msgHeartbeat:
+		switch typ {
+		case frameHeartbeat:
 			c.mu.Lock()
 			w.lastBeat = time.Now()
 			c.mu.Unlock()
-		case msgReply:
+		case frameReply:
+			reply, err := decodeWireReply(payload)
+			if err != nil {
+				c.workerFailed(w, err)
+				return
+			}
 			c.mu.Lock()
 			w.lastBeat = time.Now()
 			ch := w.pending
 			w.pending = nil
 			c.mu.Unlock()
 			if ch != nil {
-				ch <- taskOutcome{reply: msg.Reply}
+				ch <- taskOutcome{reply: reply}
 			}
+		default:
+			c.workerFailed(w, fmt.Errorf("mr: unexpected frame type %d from worker %q", typ, w.name))
+			return
 		}
 	}
 }
@@ -443,10 +473,7 @@ func (c *Coordinator) exchange(w *workerConn, task wireTask) (wireReply, error) 
 	w.pending = ch
 	c.mu.Unlock()
 
-	w.sendMu.Lock()
-	err := w.enc.Encode(&task)
-	w.sendMu.Unlock()
-	if err != nil {
+	if err := w.sendTask(&task); err != nil {
 		c.mu.Lock()
 		if w.pending == ch {
 			w.pending = nil
@@ -651,8 +678,7 @@ func (c *Coordinator) Run(jobName string, params []byte) (*Result, error) {
 		}
 	}
 	for p := range buckets {
-		b := buckets[p]
-		sort.SliceStable(b, func(i, j int) bool { return job.compare(b[i].Key, b[j].Key) < 0 })
+		sortPairs(job, buckets[p])
 	}
 
 	// ---- Reduce phase ----
@@ -778,9 +804,16 @@ func ServeWorker(coordinatorAddr, name string, stop <-chan struct{}, opts Worker
 		}()
 	}
 	var sendMu sync.Mutex
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
-	if err := enc.Encode(&wireHello{WorkerName: name}); err != nil {
+	fw := newFrameWriter(conn)
+	fr := newFrameReader(conn)
+	if _, err := conn.Write(appendPreamble(nil)); err != nil {
+		return err
+	}
+	hello, err := GobEncode(&wireHello{WorkerName: name})
+	if err != nil {
+		return err
+	}
+	if err := fw.write(frameHello, hello); err != nil {
 		return err
 	}
 	// Heartbeats flow from a dedicated goroutine so a long-running task
@@ -798,7 +831,7 @@ func ServeWorker(coordinatorAddr, name string, stop <-chan struct{}, opts Worker
 				case <-ticker.C:
 				}
 				sendMu.Lock()
-				err := enc.Encode(&wireMsg{Kind: msgHeartbeat})
+				err := fw.write(frameHeartbeat, nil)
 				sendMu.Unlock()
 				if err != nil {
 					return
@@ -807,11 +840,21 @@ func ServeWorker(coordinatorAddr, name string, stop <-chan struct{}, opts Worker
 		}()
 	}
 	for {
-		var task wireTask
-		if err := dec.Decode(&task); err != nil {
+		typ, payload, err := fr.read()
+		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
 				return nil
 			}
+			return err
+		}
+		if typ == frameReject {
+			return fmt.Errorf("mr: coordinator rejected worker %q: %s", name, payload)
+		}
+		if typ != frameTask {
+			return fmt.Errorf("mr: unexpected frame type %d from coordinator", typ)
+		}
+		task, err := decodeWireTask(payload)
+		if err != nil {
 			return err
 		}
 		if task.Kind == "shutdown" {
@@ -825,10 +868,15 @@ func ServeWorker(coordinatorAddr, name string, stop <-chan struct{}, opts Worker
 				return err
 			}
 		}
-		reply := executeWireTask(task)
+		reply, done := executeWireTask(task)
+		buf := appendWireReply(getByteBuf(), &reply)
 		sendMu.Lock()
-		err := enc.Encode(&wireMsg{Kind: msgReply, Reply: reply})
+		err = fw.write(frameReply, buf)
 		sendMu.Unlock()
+		putByteBuf(buf)
+		// The reply is serialized; no Pair can reference the task's arenas
+		// any more, so their blocks are safe to recycle.
+		done()
 		if err != nil {
 			return err
 		}
@@ -837,12 +885,17 @@ func ServeWorker(coordinatorAddr, name string, stop <-chan struct{}, opts Worker
 
 // executeWireTask runs one task attempt on the worker, capturing the
 // attempt's user counters and busy time in the reply so cluster metrics
-// carry the same information as local runs.
-func executeWireTask(task wireTask) (reply wireReply) {
+// carry the same information as local runs. Emitted records live in
+// pooled arenas; the caller must invoke done once the reply has been
+// serialized (and no Pair in it is referenced any more) so the arena
+// blocks recycle.
+func executeWireTask(task wireTask) (reply wireReply, done func()) {
 	start := time.Now()
 	reply.TaskID = task.TaskID
 	reply.Attempt = task.Attempt
 	counters := NewCounters()
+	arena := &byteArena{}
+	done = arena.release
 	defer func() {
 		if r := recover(); r != nil {
 			reply = wireReply{TaskID: task.TaskID, Attempt: task.Attempt, Err: fmt.Sprintf("panic: %v", r)}
@@ -852,48 +905,40 @@ func executeWireTask(task wireTask) (reply wireReply) {
 	job, err := LookupJob(task.JobName, task.Params)
 	if err != nil {
 		reply.Err = err.Error()
-		return reply
+		return reply, done
 	}
 	ctx := TaskContext{TaskID: task.TaskID, Attempt: task.Attempt, Counters: counters}
 	switch task.Kind {
 	case "map":
-		parts := make([][]Pair, task.Reducers)
-		emit := func(key, value []byte) error {
-			p := job.partition(key)
-			parts[p] = append(parts[p], Pair{Key: key, Value: value})
-			return nil
-		}
-		if err := job.Map(ctx, task.Split, emit); err != nil {
+		mc := newMapCollector(job, task.Reducers)
+		done = mc.arena.release
+		if err := job.Map(ctx, task.Split, mc.emit); err != nil {
 			reply.Err = err.Error()
-			return reply
+			return reply, done
 		}
 		if job.Combine != nil {
-			for p := range parts {
+			for p := range mc.parts {
 				// The combiner sees the same TaskContext (attempt number,
 				// counters) as the map function, matching the Local engine.
-				combined, err := combinePartition(job, ctx, parts[p])
+				combined, err := combinePartition(job, ctx, &mc.arena, mc.parts[p])
 				if err != nil {
 					reply.Err = err.Error()
-					return reply
+					return reply, done
 				}
-				parts[p] = combined
+				mc.parts[p] = combined
 			}
 		}
-		reply.Parts = parts
+		reply.Parts = mc.parts
 	case "reduce":
 		var out []Pair
-		emit := func(key, value []byte) error {
-			out = append(out, Pair{Key: key, Value: value})
-			return nil
-		}
-		if err := reduceBucket(job, ctx, task.Bucket, emit); err != nil {
+		if err := reduceBucket(job, ctx, task.Bucket, emitInto(arena, &out)); err != nil {
 			reply.Err = err.Error()
-			return reply
+			return reply, done
 		}
 		reply.Out = out
 	default:
 		reply.Err = fmt.Sprintf("mr: unknown task kind %q", task.Kind)
 	}
 	reply.Counters = counters.snapshot()
-	return reply
+	return reply, done
 }

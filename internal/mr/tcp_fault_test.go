@@ -1,7 +1,6 @@
 package mr
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
@@ -241,26 +240,36 @@ func shortPartsWorker(t *testing.T, addr string, stop <-chan struct{}) {
 		<-stop
 		conn.Close()
 	}()
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
-	if err := enc.Encode(&wireHello{WorkerName: "short-parts"}); err != nil {
+	fw := newFrameWriter(conn)
+	fr := newFrameReader(conn)
+	if _, err := conn.Write(appendPreamble(nil)); err != nil {
+		return
+	}
+	if err := fw.write(frameHello, MustGobEncode(&wireHello{WorkerName: "short-parts"})); err != nil {
 		return
 	}
 	truncated := false
 	for {
-		var task wireTask
-		if err := dec.Decode(&task); err != nil {
+		typ, payload, err := fr.read()
+		if err != nil || typ != frameTask {
+			return
+		}
+		task, err := decodeWireTask(payload)
+		if err != nil {
+			t.Error(err)
 			return
 		}
 		if task.Kind == "shutdown" {
 			return
 		}
-		reply := executeWireTask(task)
+		reply, done := executeWireTask(task)
 		if !truncated && task.Kind == "map" && len(reply.Parts) > 1 {
 			reply.Parts = reply.Parts[:1]
 			truncated = true
 		}
-		if err := enc.Encode(&wireMsg{Kind: msgReply, Reply: reply}); err != nil {
+		err = fw.write(frameReply, appendWireReply(nil, &reply))
+		done()
+		if err != nil {
 			return
 		}
 	}

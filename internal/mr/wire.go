@@ -1,0 +1,361 @@
+package mr
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Wire fast path for the cluster engine. The seed framed every message
+// through reflection-driven encoding/gob; the hot, high-volume frames —
+// task assignments carrying reduce buckets, replies carrying map-output
+// partitions and counter snapshots — now use a compact length-prefixed
+// binary codec, with gob kept only for the low-rate hello control frame.
+//
+// Connection layout (worker dials coordinator):
+//
+//	preamble  "DWMR" | uint16 version | uint16 reserved   (worker → coord)
+//	frames    type(1) | payloadLen(uint32 BE) | payload   (both directions)
+//
+// Frame types: hello (gob wireHello), task and reply (binary, below),
+// heartbeat (empty), reject (UTF-8 reason, coordinator → worker). The
+// coordinator validates the preamble before admitting a worker and
+// rejects mismatched versions cleanly — a reject frame, then close — so
+// a stale worker binary can never exchange misdecoded shuffle data.
+//
+// Binary payloads use uvarint length-prefixed byte strings and uvarint
+// integers; Pair lists are [count | (klen key vlen value)...], and a
+// decoded Pair aliases the frame buffer (zero copies on the read side).
+
+const (
+	wireVersion      = 2
+	maxWireFrameSize = 1 << 30
+)
+
+var wireMagic = [4]byte{'D', 'W', 'M', 'R'}
+
+const (
+	frameHello     = byte(1)
+	frameTask      = byte(2)
+	frameHeartbeat = byte(3)
+	frameReply     = byte(4)
+	frameReject    = byte(5)
+)
+
+// Task kinds on the wire. wireTask.Kind stays a string in memory (the
+// failure-injection hooks and error messages use it); the codec maps it
+// to one byte.
+const (
+	taskKindMap      = byte(0)
+	taskKindReduce   = byte(1)
+	taskKindShutdown = byte(2)
+)
+
+func kindToWire(kind string) (byte, error) {
+	switch kind {
+	case "map":
+		return taskKindMap, nil
+	case "reduce":
+		return taskKindReduce, nil
+	case "shutdown":
+		return taskKindShutdown, nil
+	}
+	return 0, fmt.Errorf("mr: unknown task kind %q", kind)
+}
+
+func kindFromWire(b byte) (string, error) {
+	switch b {
+	case taskKindMap:
+		return "map", nil
+	case taskKindReduce:
+		return "reduce", nil
+	case taskKindShutdown:
+		return "shutdown", nil
+	}
+	return "", fmt.Errorf("mr: unknown wire task kind %d", b)
+}
+
+// appendPreamble appends the connection preamble.
+func appendPreamble(dst []byte) []byte {
+	dst = append(dst, wireMagic[:]...)
+	return append(dst, byte(wireVersion>>8), byte(wireVersion), 0, 0)
+}
+
+// readPreamble validates the 8-byte preamble, returning the peer version
+// on a magic match (a version mismatch is reported with the version so
+// the coordinator can name it in the reject reason).
+func readPreamble(r io.Reader) (int, error) {
+	var pre [8]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return 0, err
+	}
+	if [4]byte(pre[:4]) != wireMagic {
+		return 0, errors.New("mr: bad wire magic")
+	}
+	return int(pre[4])<<8 | int(pre[5]), nil
+}
+
+// frameWriter frames and flushes messages. Callers serialize access (the
+// engines hold their send mutex around write).
+type frameWriter struct {
+	bw  *bufio.Writer
+	hdr [5]byte
+}
+
+func newFrameWriter(w io.Writer) *frameWriter {
+	return &frameWriter{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (fw *frameWriter) write(typ byte, payload []byte) error {
+	fw.hdr[0] = typ
+	binary.BigEndian.PutUint32(fw.hdr[1:], uint32(len(payload)))
+	if _, err := fw.bw.Write(fw.hdr[:]); err != nil {
+		return err
+	}
+	if _, err := fw.bw.Write(payload); err != nil {
+		return err
+	}
+	return fw.bw.Flush()
+}
+
+// frameReader reads one frame at a time. The returned payload is a fresh
+// buffer the decoded message may alias indefinitely.
+type frameReader struct {
+	br  *bufio.Reader
+	hdr [5]byte
+}
+
+func newFrameReader(r io.Reader) *frameReader {
+	return &frameReader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+func (fr *frameReader) read() (byte, []byte, error) {
+	if _, err := io.ReadFull(fr.br, fr.hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	typ := fr.hdr[0]
+	n := binary.BigEndian.Uint32(fr.hdr[1:])
+	if n > maxWireFrameSize {
+		return 0, nil, fmt.Errorf("mr: wire frame of %d bytes exceeds limit", n)
+	}
+	if n == 0 {
+		return typ, nil, nil
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(fr.br, buf); err != nil {
+		return 0, nil, err
+	}
+	return typ, buf, nil
+}
+
+// ---- binary payload codecs ----
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func appendByteString(dst, b []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func appendPairs(dst []byte, pairs []Pair) []byte {
+	dst = appendUvarint(dst, uint64(len(pairs)))
+	for _, kv := range pairs {
+		dst = appendByteString(dst, kv.Key)
+		dst = appendByteString(dst, kv.Value)
+	}
+	return dst
+}
+
+// appendWireTask encodes a task payload.
+func appendWireTask(dst []byte, t *wireTask) ([]byte, error) {
+	k, err := kindToWire(t.Kind)
+	if err != nil {
+		return dst, err
+	}
+	dst = append(dst, k)
+	dst = appendByteString(dst, []byte(t.JobName))
+	dst = appendByteString(dst, t.Params)
+	dst = appendUvarint(dst, uint64(t.TaskID))
+	dst = appendUvarint(dst, uint64(t.Attempt))
+	dst = appendUvarint(dst, uint64(t.Split.ID))
+	dst = appendByteString(dst, t.Split.Payload)
+	dst = appendUvarint(dst, uint64(t.Reducers))
+	dst = appendPairs(dst, t.Bucket)
+	return dst, nil
+}
+
+// appendWireReply encodes a reply payload.
+func appendWireReply(dst []byte, r *wireReply) []byte {
+	dst = appendUvarint(dst, uint64(r.TaskID))
+	dst = appendUvarint(dst, uint64(r.Attempt))
+	dst = appendByteString(dst, []byte(r.Err))
+	dst = appendUvarint(dst, uint64(len(r.Parts)))
+	for _, part := range r.Parts {
+		dst = appendPairs(dst, part)
+	}
+	dst = appendPairs(dst, r.Out)
+	dst = appendUvarint(dst, uint64(len(r.Counters)))
+	for name, v := range r.Counters {
+		dst = appendByteString(dst, []byte(name))
+		dst = appendUvarint(dst, uint64(v))
+	}
+	dst = appendUvarint(dst, uint64(r.Duration))
+	return dst
+}
+
+// wireCursor walks a payload buffer with sticky error handling, so the
+// decoders stay linear and a truncated or corrupt frame surfaces as an
+// error instead of a panic (the fuzz tests hammer this).
+type wireCursor struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (c *wireCursor) fail(msg string) {
+	if c.err == nil {
+		c.err = errors.New("mr: wire decode: " + msg)
+	}
+}
+
+func (c *wireCursor) uvarint() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.buf[c.off:])
+	if n <= 0 {
+		c.fail("bad uvarint")
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *wireCursor) count(elemMin int) int {
+	v := c.uvarint()
+	if c.err != nil {
+		return 0
+	}
+	// A count can never exceed the bytes remaining / the element's
+	// minimum wire size; rejecting early keeps corrupt frames from
+	// driving huge allocations.
+	if max := len(c.buf) - c.off; elemMin > 0 && v > uint64(max/elemMin)+1 {
+		c.fail("implausible count")
+		return 0
+	}
+	return int(v)
+}
+
+func (c *wireCursor) byte() byte {
+	if c.err != nil {
+		return 0
+	}
+	if c.off >= len(c.buf) {
+		c.fail("truncated")
+		return 0
+	}
+	b := c.buf[c.off]
+	c.off++
+	return b
+}
+
+// byteString returns the next length-prefixed slice, aliasing the buffer.
+// Zero length yields nil, matching the arena copy semantics.
+func (c *wireCursor) byteString() []byte {
+	n := c.uvarint()
+	if c.err != nil {
+		return nil
+	}
+	if n > uint64(len(c.buf)-c.off) {
+		c.fail("truncated byte string")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	b := c.buf[c.off : c.off+int(n) : c.off+int(n)]
+	c.off += int(n)
+	return b
+}
+
+func (c *wireCursor) pairs() []Pair {
+	n := c.count(2)
+	if c.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]Pair, 0, n)
+	for i := 0; i < n; i++ {
+		k := c.byteString()
+		v := c.byteString()
+		if c.err != nil {
+			return nil
+		}
+		out = append(out, Pair{Key: k, Value: v})
+	}
+	return out
+}
+
+// decodeWireTask decodes appendWireTask output; decoded slices alias buf.
+func decodeWireTask(buf []byte) (wireTask, error) {
+	c := &wireCursor{buf: buf}
+	var t wireTask
+	kind, kerr := kindFromWire(c.byte())
+	if c.err == nil && kerr != nil {
+		c.err = kerr
+	}
+	t.Kind = kind
+	t.JobName = string(c.byteString())
+	t.Params = c.byteString()
+	t.TaskID = int(c.uvarint())
+	t.Attempt = int(c.uvarint())
+	t.Split.ID = int(c.uvarint())
+	t.Split.Payload = c.byteString()
+	t.Reducers = int(c.uvarint())
+	t.Bucket = c.pairs()
+	if c.err == nil && c.off != len(buf) {
+		c.fail("trailing bytes")
+	}
+	return t, c.err
+}
+
+// decodeWireReply decodes appendWireReply output; decoded slices alias buf.
+func decodeWireReply(buf []byte) (wireReply, error) {
+	c := &wireCursor{buf: buf}
+	var r wireReply
+	r.TaskID = int(c.uvarint())
+	r.Attempt = int(c.uvarint())
+	r.Err = string(c.byteString())
+	nparts := c.count(1)
+	if c.err == nil && nparts > 0 {
+		r.Parts = make([][]Pair, nparts)
+		for i := range r.Parts {
+			r.Parts[i] = c.pairs()
+		}
+	}
+	r.Out = c.pairs()
+	ncounters := c.count(2)
+	if c.err == nil && ncounters > 0 {
+		r.Counters = make(map[string]int64, ncounters)
+		for i := 0; i < ncounters; i++ {
+			name := string(c.byteString())
+			v := c.uvarint()
+			if c.err != nil {
+				break
+			}
+			r.Counters[name] = int64(v)
+		}
+	}
+	r.Duration = time.Duration(c.uvarint())
+	if c.err == nil && c.off != len(buf) {
+		c.fail("trailing bytes")
+	}
+	if c.err != nil {
+		return wireReply{}, c.err
+	}
+	return r, nil
+}

@@ -1,0 +1,249 @@
+package mr
+
+import (
+	"bytes"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Round-trip, robustness, and version-negotiation coverage for the binary
+// wire codec that replaced gob on the cluster hot path.
+
+func sampleWireTask() wireTask {
+	return wireTask{
+		Kind:    "map",
+		JobName: "bench-job",
+		Params:  []byte{9, 8, 7},
+		TaskID:  42,
+		Attempt: 3,
+		Split:   Split{ID: 7, Payload: []byte("chunk payload")},
+		Bucket: []Pair{
+			{Key: EncodeUint64(1), Value: EncodeFloat64(2.5)},
+			{Key: []byte("k"), Value: nil},
+			{Key: nil, Value: []byte("v")},
+		},
+		Reducers: 4,
+	}
+}
+
+func sampleWireReply() wireReply {
+	return wireReply{
+		TaskID:  42,
+		Attempt: 3,
+		Parts: [][]Pair{
+			{{Key: []byte("a"), Value: EncodeUint64(1)}},
+			nil,
+			{{Key: nil, Value: nil}, {Key: EncodeInt64(-5), Value: []byte("x")}},
+		},
+		Out:      []Pair{{Key: []byte("out"), Value: []byte("val")}},
+		Counters: map[string]int64{"words": 12, "groups": -3},
+		Duration: 1500 * time.Millisecond,
+	}
+}
+
+func TestWireTaskRoundTrip(t *testing.T) {
+	for _, task := range []wireTask{
+		sampleWireTask(),
+		{Kind: "shutdown"},
+		{Kind: "reduce", JobName: "r", TaskID: 1, Attempt: 1, Reducers: 2,
+			Bucket: []Pair{{Key: []byte{0}, Value: []byte{}}}},
+	} {
+		buf, err := appendWireTask(nil, &task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeWireTask(buf)
+		if err != nil {
+			t.Fatalf("decode %q task: %v", task.Kind, err)
+		}
+		// The codec normalizes empty slices to nil (matching the arena's
+		// copy semantics) — normalize the expectation the same way.
+		want := task
+		if len(want.Params) == 0 {
+			want.Params = nil
+		}
+		if len(want.Split.Payload) == 0 {
+			want.Split.Payload = nil
+		}
+		for i, kv := range want.Bucket {
+			if len(kv.Key) == 0 {
+				want.Bucket[i].Key = nil
+			}
+			if len(kv.Value) == 0 {
+				want.Bucket[i].Value = nil
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+func TestWireReplyRoundTrip(t *testing.T) {
+	reply := sampleWireReply()
+	buf := appendWireReply(nil, &reply)
+	got, err := decodeWireReply(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reply
+	for p, part := range want.Parts {
+		for i, kv := range part {
+			if len(kv.Key) == 0 {
+				want.Parts[p][i].Key = nil
+			}
+			if len(kv.Value) == 0 {
+				want.Parts[p][i].Value = nil
+			}
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestWireDecodeRejectsTruncationAndTrailingBytes(t *testing.T) {
+	task := sampleWireTask()
+	buf, err := appendWireTask(nil, &task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := decodeWireTask(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d decoded without error", cut, len(buf))
+		}
+	}
+	if _, err := decodeWireTask(append(append([]byte(nil), buf...), 0)); err == nil {
+		t.Fatal("trailing byte decoded without error")
+	}
+	reply := sampleWireReply()
+	rbuf := appendWireReply(nil, &reply)
+	for cut := 0; cut < len(rbuf); cut++ {
+		if _, err := decodeWireReply(rbuf[:cut]); err == nil {
+			t.Fatalf("reply truncation at %d/%d decoded without error", cut, len(rbuf))
+		}
+	}
+}
+
+func TestWirePreambleRoundTrip(t *testing.T) {
+	pre := appendPreamble(nil)
+	if len(pre) != 8 {
+		t.Fatalf("preamble is %d bytes, want 8", len(pre))
+	}
+	v, err := readPreamble(bytes.NewReader(pre))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != wireVersion {
+		t.Fatalf("version %d, want %d", v, wireVersion)
+	}
+	bad := append([]byte(nil), pre...)
+	bad[0] = 'X'
+	if _, err := readPreamble(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// TestCoordinatorRejectsVersionMismatch dials the coordinator raw and
+// speaks a future wire version: the coordinator must answer with a reject
+// frame naming both versions and close the connection, and the worker must
+// never be admitted.
+func TestCoordinatorRejectsVersionMismatch(t *testing.T) {
+	c, err := NewCoordinator("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	conn, err := net.Dial("tcp", c.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	pre := appendPreamble(nil)
+	pre[4], pre[5] = 0xBE, 0xEF // future version
+	if _, err := conn.Write(pre); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	fr := newFrameReader(conn)
+	typ, payload, err := fr.read()
+	if err != nil {
+		t.Fatalf("expected a reject frame, got read error %v", err)
+	}
+	if typ != frameReject {
+		t.Fatalf("frame type %d, want reject (%d)", typ, frameReject)
+	}
+	reason := string(payload)
+	if !strings.Contains(reason, "version") {
+		t.Fatalf("reject reason %q does not name the version", reason)
+	}
+	if _, _, err := fr.read(); err == nil {
+		t.Fatal("connection stayed open after reject")
+	}
+	if live := c.liveWorkers(); live != 0 {
+		t.Fatalf("mismatched worker was admitted: %d live workers", live)
+	}
+}
+
+// FuzzDecodeWireTask hammers the task decoder with arbitrary frames: it
+// must never panic or over-allocate, and anything it accepts must survive
+// an encode/decode round trip unchanged (uvarints may arrive non-minimal,
+// so byte-level identity is not required).
+func FuzzDecodeWireTask(f *testing.F) {
+	task := sampleWireTask()
+	seed, err := appendWireTask(nil, &task)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	shutdown, _ := appendWireTask(nil, &wireTask{Kind: "shutdown"})
+	f.Add(shutdown)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := decodeWireTask(data)
+		if err != nil {
+			return
+		}
+		re, err := appendWireTask(nil, &decoded)
+		if err != nil {
+			t.Fatalf("accepted task failed to re-encode: %v", err)
+		}
+		again, err := decodeWireTask(re)
+		if err != nil {
+			t.Fatalf("re-encoding of accepted task failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(decoded, again) {
+			t.Fatalf("decode/encode/decode diverged:\n first %+v\nsecond %+v", decoded, again)
+		}
+	})
+}
+
+// FuzzDecodeWireReply does the same for the reply decoder. Counters are a
+// map, so re-encoding is order-dependent; only a second decode of the
+// re-encoding must match.
+func FuzzDecodeWireReply(f *testing.F) {
+	reply := sampleWireReply()
+	f.Add(appendWireReply(nil, &reply))
+	f.Add(appendWireReply(nil, &wireReply{TaskID: 1, Attempt: 1, Err: "boom"}))
+	f.Add([]byte{})
+	f.Add([]byte{0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := decodeWireReply(data)
+		if err != nil {
+			return
+		}
+		re := appendWireReply(nil, &decoded)
+		again, err := decodeWireReply(re)
+		if err != nil {
+			t.Fatalf("re-encoding of accepted reply failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(decoded, again) {
+			t.Fatalf("decode/encode/decode diverged:\n first %+v\nsecond %+v", decoded, again)
+		}
+	})
+}
