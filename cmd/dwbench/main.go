@@ -16,16 +16,18 @@ import (
 	"os"
 
 	"dwmaxerr/internal/experiments"
+	"dwmaxerr/internal/obs"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment name or 'all'")
-		scale    = flag.Int("scale", 0, "shift all dataset sizes by 2^scale")
-		seed     = flag.Int64("seed", 0, "random seed (0 = fixed default)")
-		quick    = flag.Bool("quick", false, "tiny smoke-test sizes")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		jsonPath = flag.String("json", "", "write machine-readable results to this path")
+		exp       = flag.String("exp", "all", "experiment name or 'all'")
+		scale     = flag.Int("scale", 0, "shift all dataset sizes by 2^scale")
+		seed      = flag.Int64("seed", 0, "random seed (0 = fixed default)")
+		quick     = flag.Bool("quick", false, "tiny smoke-test sizes")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		jsonPath  = flag.String("json", "", "write machine-readable results to this path")
+		tracePath = flag.String("trace", "", "write the run's span tree as Chrome trace-event JSON to this path")
 	)
 	flag.Parse()
 
@@ -39,6 +41,13 @@ func main() {
 	if *jsonPath != "" {
 		cfg.Collect = &experiments.Collector{}
 	}
+	var tracer *obs.Tracer
+	var root *obs.Span
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+		root = tracer.Start("dwbench:" + *exp)
+		cfg.Trace = root
+	}
 	if err := experiments.Run(*exp, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dwbench:", err)
 		os.Exit(1)
@@ -48,5 +57,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dwbench: write json:", err)
 			os.Exit(1)
 		}
+	}
+	if *tracePath != "" {
+		root.End()
+		if err := tracer.WriteChromeTraceFile(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "dwbench: write trace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dwbench: trace written to %s\n", *tracePath)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"dwmaxerr/internal/obs"
 	"dwmaxerr/internal/serve"
 	"dwmaxerr/internal/synopsis"
 )
@@ -49,7 +50,12 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "dwserve: %d-term synopsis over %d values on http://%s\n",
 		syn.Size(), syn.N, *listen)
-	server := &http.Server{Addr: *listen, Handler: srv}
+	// Query endpoints plus the process debug surface: /debug/vars exposes
+	// the serve_* query counters, /debug/pprof the profiler.
+	mux := http.NewServeMux()
+	mux.Handle("/", srv)
+	obs.Mount(mux, obs.Default)
+	server := &http.Server{Addr: *listen, Handler: mux}
 	// Drain in-flight queries on SIGINT/SIGTERM instead of dropping them.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

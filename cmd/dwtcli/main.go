@@ -41,6 +41,7 @@ func main() {
 		nFlag    = flag.Int("n", 0, "data vector length (required with -synopsis)")
 		query    = flag.String("query", "", "range-sum query 'lo:hi' or point query 'i'")
 		dump     = flag.Bool("dump", false, "print the error tree with retention tags (small inputs)")
+		trace    = flag.String("trace", "", "write the build's span tree as Chrome trace-event JSON to this path")
 	)
 	flag.Parse()
 
@@ -82,17 +83,31 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var tracer *dwmaxerr.Tracer
+	var root *dwmaxerr.Span
+	if *trace != "" {
+		tracer = dwmaxerr.NewTracer()
+		root = tracer.Start("dwtcli:" + string(algo))
+	}
 	t0 := time.Now()
 	res, err := dwmaxerr.Build(padded, algo, dwmaxerr.Options{
 		Budget:        b,
 		Delta:         *delta,
 		Sanity:        *sanity,
 		SubtreeLeaves: *subtree,
+		Trace:         root,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	elapsed := time.Since(t0)
+	if *trace != "" {
+		root.End()
+		if err := tracer.WriteChromeTraceFile(*trace); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *trace)
+	}
 	errs, err := dwmaxerr.Evaluate(res.Synopsis, padded, *sanity)
 	if err != nil {
 		fatal(err)

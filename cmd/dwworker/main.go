@@ -24,6 +24,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -32,6 +34,7 @@ import (
 
 	"dwmaxerr/internal/dist"
 	"dwmaxerr/internal/mr"
+	"dwmaxerr/internal/obs"
 )
 
 func main() {
@@ -48,8 +51,16 @@ func main() {
 		taskTO    = flag.Duration("task-timeout", 0, "coordinator: per-task attempt deadline (0 = default 2m)")
 		hbTO      = flag.Duration("heartbeat-timeout", 0, "coordinator: heartbeat silence before a worker is declared dead (0 = default 3s)")
 		speculate = flag.Duration("speculate", 0, "coordinator: launch a backup attempt for tasks in flight longer than this (0 = off)")
+		metrics   = flag.String("metrics", "", "serve /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:0)")
+		tracePath = flag.String("trace", "", "coordinator: write the job span tree as Chrome trace-event JSON to this path")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		if err := serveMetrics(*metrics); err != nil {
+			fatal(err)
+		}
+	}
 
 	switch {
 	case *join != "":
@@ -87,6 +98,13 @@ func main() {
 		c.TaskTimeout = *taskTO
 		c.HeartbeatTimeout = *hbTO
 		c.SpeculationAfter = *speculate
+		var tracer *obs.Tracer
+		var root *obs.Span
+		if *tracePath != "" {
+			tracer = obs.NewTracer()
+			root = tracer.Start("dwworker:" + *algo)
+			c.Options = mr.JobOptions{Trace: root}
+		}
 		fmt.Fprintf(os.Stderr, "dwworker: coordinating on %s, waiting for %d workers\n", c.Addr(), *workers)
 		if err := c.WaitForWorkers(*workers, *timeout); err != nil {
 			fatal(err)
@@ -103,6 +121,13 @@ func main() {
 		}
 		if err != nil {
 			fatal(err)
+		}
+		if *tracePath != "" {
+			root.End()
+			if err := tracer.WriteChromeTraceFile(*tracePath); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "dwworker: trace written to %s\n", *tracePath)
 		}
 		var shuffled int64
 		var mapRetries, reduceRetries int
@@ -138,6 +163,25 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// serveMetrics exposes /debug/vars and /debug/pprof on addr in the
+// background, printing the bound address (addr may use port 0) so test
+// harnesses can scrape it.
+func serveMetrics(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	obs.Mount(mux, obs.Default)
+	fmt.Fprintf(os.Stderr, "dwworker: metrics on http://%s/debug/vars\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "dwworker: metrics server:", err)
+		}
+	}()
+	return nil
 }
 
 func fatal(err error) {

@@ -37,9 +37,21 @@ import (
 	"dwmaxerr/internal/dp"
 	"dwmaxerr/internal/greedy"
 	"dwmaxerr/internal/mr"
+	"dwmaxerr/internal/obs"
 	"dwmaxerr/internal/synopsis"
 	"dwmaxerr/internal/wavelet"
 )
+
+// Tracer records a hierarchical span tree across a build; see NewTracer.
+type Tracer = obs.Tracer
+
+// Span is one node of a trace; pass a root span as Options.Trace to
+// record the job/phase/task structure of a distributed build.
+type Span = obs.Span
+
+// NewTracer creates an empty tracer. Start a root span with Start, pass
+// it through Options.Trace, then export with WriteChromeTraceFile.
+func NewTracer() *Tracer { return obs.NewTracer() }
 
 // Synopsis is a compact approximate representation of a data vector: the
 // retained (coefficient index, value) pairs, all others implicitly zero.
@@ -134,6 +146,9 @@ type Options struct {
 	Engine Engine
 	// Reducers overrides the number of reduce tasks; 0 means the default.
 	Reducers int
+	// Trace, when non-nil, receives one child span per distributed
+	// algorithm run (with layer, probe and job sub-spans below it).
+	Trace *Span
 }
 
 func (o Options) distConfig() dist.Config {
@@ -143,6 +158,7 @@ func (o Options) distConfig() dist.Config {
 		Reducers:      o.Reducers,
 		Delta:         o.Delta,
 		Sanity:        o.Sanity,
+		Trace:         o.Trace,
 	}
 }
 

@@ -237,6 +237,7 @@ func DGreedyAbsCluster(c *mr.Coordinator, path string, budget, subtreeLeaves int
 	}
 
 	// Job 2: speculative histograms + combineResults (cluster).
+	obsGreedyCandidates.Add(int64(maxCand + 1))
 	histRes, err := c.Run(dgreedyHistJobName, mr.MustGobEncode(histParams{
 		Path: path, S: s, Budget: budget, MaxCand: maxCand, Eb: eb,
 		RootCoef: rootCoef, RootOrder: rootOrder, Reducers: 4,

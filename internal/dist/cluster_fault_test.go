@@ -10,6 +10,7 @@ import (
 
 	"dwmaxerr/internal/dataset"
 	"dwmaxerr/internal/mr"
+	"dwmaxerr/internal/obs"
 )
 
 // Cluster fault injection at the algorithm level: DGreedyAbs across TCP
@@ -29,6 +30,15 @@ func sumCounters(jobs []mr.Metrics) map[string]int64 {
 }
 
 func TestDGreedyAbsClusterSurvivesWorkerCrashes(t *testing.T) {
+	// Registry deltas measured around the run (obs.Default is
+	// process-wide; workers here are in-process goroutines, so their
+	// execution counters land in the same registry).
+	retries0 := obs.Default.Counter("mr_task_retries").Value()
+	greedyRuns0 := obsGreedyRuns.Value()
+	candidates0 := obsGreedyCandidates.Value()
+	wireSent0 := obs.Default.Counter("mr_wire_bytes_sent").Value()
+	shuffle0 := obs.Default.Counter("mr_shuffle_bytes").Value()
+
 	data := randData(301, 512, 1000)
 	path := filepath.Join(t.TempDir(), "data.bin")
 	if err := dataset.SaveBinary(path, data); err != nil {
@@ -116,5 +126,26 @@ func TestDGreedyAbsClusterSurvivesWorkerCrashes(t *testing.T) {
 	if !reflect.DeepEqual(clusterCounters, localCounters) {
 		t.Fatalf("user counters diverged under failures:\ncluster %v\nlocal   %v",
 			clusterCounters, localCounters)
+	}
+
+	// Registry deltas: the two injected crashes triggered at least two
+	// task retries; speculative C_root work was posed and executed; real
+	// bytes crossed the wire and the shuffle. The local comparison run
+	// above also bumps greedy/shuffle counters, so these are lower
+	// bounds, while retries only occur on the cluster.
+	if d := obs.Default.Counter("mr_task_retries").Value() - retries0; d < 2 {
+		t.Fatalf("mr_task_retries delta = %d, want >= 2 (one map + one reduce crash)", d)
+	}
+	if d := obsGreedyRuns.Value() - greedyRuns0; d < 1 {
+		t.Fatalf("dist_greedy_runs delta = %d, want >= 1", d)
+	}
+	if d := obsGreedyCandidates.Value() - candidates0; d < 1 {
+		t.Fatalf("dist_greedy_candidates delta = %d, want >= 1", d)
+	}
+	if d := obs.Default.Counter("mr_wire_bytes_sent").Value() - wireSent0; d <= 0 {
+		t.Fatalf("mr_wire_bytes_sent delta = %d, want > 0", d)
+	}
+	if d := obs.Default.Counter("mr_shuffle_bytes").Value() - shuffle0; d <= 0 {
+		t.Fatalf("mr_shuffle_bytes delta = %d, want > 0", d)
 	}
 }

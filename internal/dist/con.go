@@ -64,7 +64,7 @@ func CON(src Source, budget int, cfg Config) (*Report, error) {
 		return nil, err
 	}
 	eng := cfg.engine()
-	res, err := eng.Run(conJob(src, n, s))
+	res, err := runJob(eng, conJob(src, n, s), cfg.Trace)
 	if err != nil {
 		return nil, err
 	}
@@ -215,7 +215,7 @@ func SendV(src Source, budget int, cfg Config) (*Report, error) {
 		},
 		Reducers: 1,
 	}
-	res, err := eng.Run(job)
+	res, err := runJob(eng, job, cfg.Trace)
 	if err != nil {
 		return nil, err
 	}
@@ -339,7 +339,7 @@ func SendCoef(src Source, budget int, blockSize int, cfg Config) (*Report, error
 		},
 		Reducers: 1,
 	}
-	res, err := eng.Run(job)
+	res, err := runJob(eng, job, cfg.Trace)
 	if err != nil {
 		return nil, err
 	}

@@ -143,7 +143,7 @@ func DGK(src Source, budget int, cfg Config) (*DGKResult, error) {
 		},
 		Reducers: 1,
 	}
-	rowRes, err := eng.Run(rowJob)
+	rowRes, err := runJob(eng, rowJob, cfg.Trace)
 	if err != nil {
 		return nil, err
 	}
@@ -282,7 +282,7 @@ func DGK(src Source, budget int, cfg Config) (*DGKResult, error) {
 		},
 		Reducers: 1,
 	}
-	selRes, err := eng.Run(selJob)
+	selRes, err := runJob(eng, selJob, cfg.Trace)
 	if err != nil {
 		return nil, err
 	}

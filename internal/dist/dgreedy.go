@@ -75,9 +75,17 @@ func dGreedy(src Source, budget int, cfg Config, rel bool) (*Report, error) {
 	eng := cfg.engine()
 	report := &Report{}
 	r := n / s // number of base sub-trees == root sub-tree size
+	name := "dgreedy-abs"
+	if rel {
+		name = "dgreedy-rel"
+	}
+	algSpan := cfg.Trace.Child(name)
+	defer algSpan.End()
+	algSpan.SetInt("budget", int64(budget))
+	algSpan.SetInt("subtrees", int64(r))
 
 	// ---- Root sub-tree: means job + centralized greedy (genRootSets) ----
-	means, meansMetrics, err := ChunkMeans(src, s, eng)
+	means, meansMetrics, err := chunkMeans(src, s, eng, algSpan)
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +155,8 @@ func dGreedy(src Source, budget int, cfg Config, rel bool) (*Report, error) {
 		Map:    dgreedyHistMap(src, n, s, rootCoef, rootOrder, maxCand, eb, rel, cfg.sanity()),
 		Reduce: makeCombineResults(budget),
 	}
-	histRes, err := eng.Run(histJob)
+	obsGreedyCandidates.Add(int64(maxCand + 1))
+	histRes, err := runJob(eng, histJob, algSpan)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +188,7 @@ func dGreedy(src Source, budget int, cfg Config, rel bool) (*Report, error) {
 		Map:      dgreedySelectMap(src, n, s, rootCoef, retainRoot, cutoff, eb, rel, cfg.sanity()),
 		Reducers: 1,
 	}
-	selRes, err := eng.Run(selJob)
+	selRes, err := runJob(eng, selJob, algSpan)
 	if err != nil {
 		return nil, err
 	}
@@ -218,9 +227,9 @@ func dGreedy(src Source, budget int, cfg Config, rel bool) (*Report, error) {
 	var maxErr float64
 	var evalMetrics mr.Metrics
 	if rel {
-		maxErr, evalMetrics, err = EvaluateMaxRel(src, syn, s, eng, cfg.sanity())
+		maxErr, evalMetrics, err = evaluateMax(src, syn, s, eng, cfg.sanity(), algSpan)
 	} else {
-		maxErr, evalMetrics, err = EvaluateMaxAbs(src, syn, s, eng)
+		maxErr, evalMetrics, err = evaluateMax(src, syn, s, eng, 0, algSpan)
 	}
 	if err != nil {
 		return nil, err
@@ -339,6 +348,7 @@ func dgreedyHistMap(src Source, n, s int, rootCoef []float64, rootOrder []int, m
 			if h, ok := cache[e]; ok {
 				return h, nil
 			}
+			obsGreedyRuns.Inc()
 			ctx.Counters.Add("dgreedy.greedy_runs", 1)
 			var steps []greedy.Step
 			var err error

@@ -8,6 +8,7 @@ import (
 	"dwmaxerr/internal/dp"
 	"dwmaxerr/internal/errtree"
 	"dwmaxerr/internal/mr"
+	"dwmaxerr/internal/obs"
 	"dwmaxerr/internal/synopsis"
 	"dwmaxerr/internal/wavelet"
 )
@@ -64,6 +65,10 @@ func DMHaarSpace(src Source, p dp.Params, cfg Config) (*DMHaarResult, error) {
 	}
 	eng := cfg.engine()
 	result := &DMHaarResult{}
+	algSpan := cfg.Trace.Child("dmhaar-space")
+	defer algSpan.End()
+	algSpan.SetFloat("epsilon", p.Epsilon)
+	algSpan.SetInt("layers", int64(partition.NumLayers()))
 
 	// ---- Bottom-up pass: one job per layer (Algorithm 1) ----
 	// rowsByRoot[layer] maps each sub-tree root to its emitted M-row.
@@ -73,21 +78,31 @@ func DMHaarSpace(src Source, p dp.Params, cfg Config) (*DMHaarResult, error) {
 		if li > 0 {
 			below = rowsByRoot[li-1]
 		}
+		layerSpan := algSpan.Child(fmt.Sprintf("layer-up:%d", li))
 		job := layerUpJob(src, p, n, li, layer, below)
-		res, err := eng.Run(job)
+		res, err := runJob(eng, job, layerSpan)
 		if err != nil {
+			layerSpan.End()
 			return nil, err
 		}
 		result.Jobs = append(result.Jobs, res.Metrics)
 		rows := map[int]dp.Row{}
+		var rowBytes int64
 		for _, kv := range res.Partitions[0] {
 			var row dp.Row
 			if err := mr.GobDecode(kv.Value, &row); err != nil {
+				layerSpan.End()
 				return nil, err
 			}
 			rows[int(mr.DecodeUint64(kv.Key))] = row
+			obsLayerRowBytes.Observe(int64(len(kv.Value)))
+			rowBytes += int64(len(kv.Value))
 		}
 		rowsByRoot[li] = rows
+		obsLayerRows.Observe(int64(len(rows)))
+		layerSpan.SetInt("rows", int64(len(rows)))
+		layerSpan.SetInt("row_bytes", rowBytes)
+		layerSpan.End()
 	}
 	top := partition.Layers[partition.NumLayers()-1]
 	rootRow, ok := rowsByRoot[partition.NumLayers()-1][top[0].Root]
@@ -110,8 +125,10 @@ func DMHaarSpace(src Source, p dp.Params, cfg Config) (*DMHaarResult, error) {
 		if li > 0 {
 			below = rowsByRoot[li-1]
 		}
+		layerSpan := algSpan.Child(fmt.Sprintf("layer-down:%d", li))
 		job, collect := layerDownJob(src, p, n, li, partition.Layers[li], below, incoming)
-		res, err := eng.Run(job)
+		res, err := runJob(eng, job, layerSpan)
+		layerSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -262,12 +279,20 @@ func layerDownJob(src Source, p dp.Params, n, layerIdx int, layer []errtree.Subt
 type dmProber struct {
 	src  Source
 	cfg  Config
+	span *obs.Span
 	jobs *[]mr.Metrics
 }
 
 // Probe implements dp.Prober.
 func (d dmProber) Probe(epsilon float64) (*synopsis.Synopsis, bool, error) {
-	res, err := DMHaarSpace(d.src, dp.Params{Epsilon: epsilon, Delta: d.cfg.Delta}, d.cfg)
+	obsProbes.Inc()
+	cfg := d.cfg
+	if d.span != nil {
+		probe := d.span.Child(fmt.Sprintf("probe:eps=%g", epsilon))
+		defer probe.End()
+		cfg.Trace = probe
+	}
+	res, err := DMHaarSpace(d.src, dp.Params{Epsilon: epsilon, Delta: cfg.Delta}, cfg)
 	if err != nil {
 		return nil, false, err
 	}
@@ -301,24 +326,34 @@ func DIndirectHaar(src Source, budget int, cfg Config) (*Report, error) {
 	}
 	eng := cfg.engine()
 	report := &Report{}
+	algSpan := cfg.Trace.Child("dindirect-haar")
+	defer algSpan.End()
+	algSpan.SetInt("budget", int64(budget))
+	cfg.Trace = algSpan
 
 	// Lower bound e_l: the (B+1)-largest |coefficient| (one job; each
 	// mapper pre-selects its local top B+1, the driver adds the root
 	// sub-tree from the chunk means).
-	eLow, _, lowMetrics, err := kthCoefficientJob(src, budget+1, s, eng)
+	boundsSpan := algSpan.Child("bounds")
+	eLow, _, lowMetrics, err := kthCoefficientJob(src, budget+1, s, eng, boundsSpan)
 	if err != nil {
+		boundsSpan.End()
 		return nil, err
 	}
 	report.Jobs = append(report.Jobs, lowMetrics)
 
 	// Upper bound e_u: measured error of the conventional synopsis (CON +
 	// evaluation job).
-	conRep, err := CON(src, budget, cfg)
+	boundsCfg := cfg
+	boundsCfg.Trace = boundsSpan
+	conRep, err := CON(src, budget, boundsCfg)
 	if err != nil {
+		boundsSpan.End()
 		return nil, err
 	}
 	report.Jobs = append(report.Jobs, conRep.Jobs...)
-	eHigh, evalMetrics, err := EvaluateMaxAbs(src, conRep.Synopsis, s, eng)
+	eHigh, evalMetrics, err := evaluateMax(src, conRep.Synopsis, s, eng, 0, boundsSpan)
+	boundsSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -329,7 +364,7 @@ func DIndirectHaar(src Source, budget int, cfg Config) (*Report, error) {
 		EHigh:   eHigh,
 		Initial: conRep.Synopsis,
 		Eval: func(syn *synopsis.Synopsis) (float64, error) {
-			e, m, err := EvaluateMaxAbs(src, syn, s, eng)
+			e, m, err := evaluateMax(src, syn, s, eng, 0, algSpan)
 			if err != nil {
 				return 0, err
 			}
@@ -337,7 +372,7 @@ func DIndirectHaar(src Source, budget int, cfg Config) (*Report, error) {
 			return e, nil
 		},
 	}
-	res, err := dp.SearchWithEnv(dmProber{src: src, cfg: cfg, jobs: &report.Jobs}, env, budget, cfg.Delta)
+	res, err := dp.SearchWithEnv(dmProber{src: src, cfg: cfg, span: algSpan, jobs: &report.Jobs}, env, budget, cfg.Delta)
 	if err != nil {
 		return nil, err
 	}
@@ -349,7 +384,7 @@ func DIndirectHaar(src Source, budget int, cfg Config) (*Report, error) {
 // kthCoefficientJob finds the k-th largest coefficient magnitude with one
 // job: each mapper emits its chunk's top-k local detail magnitudes, the
 // driver merges them with the root sub-tree's coefficients.
-func kthCoefficientJob(src Source, k, s int, eng mr.Engine) (float64, []float64, mr.Metrics, error) {
+func kthCoefficientJob(src Source, k, s int, eng mr.Engine, parent *obs.Span) (float64, []float64, mr.Metrics, error) {
 	n := src.N()
 	job := &mr.Job{
 		Name:   "top-coefficients",
@@ -382,7 +417,7 @@ func kthCoefficientJob(src Source, k, s int, eng mr.Engine) (float64, []float64,
 		},
 		Reducers: 1,
 	}
-	res, err := eng.Run(job)
+	res, err := runJob(eng, job, parent)
 	if err != nil {
 		return 0, nil, mr.Metrics{}, err
 	}

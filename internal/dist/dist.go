@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"dwmaxerr/internal/mr"
+	"dwmaxerr/internal/obs"
 	"dwmaxerr/internal/synopsis"
 	"dwmaxerr/internal/wavelet"
 )
@@ -135,6 +136,10 @@ type Config struct {
 	Delta float64
 	// Sanity is the relative-error sanity bound S (DGreedyRel). 0 means 1.
 	Sanity float64
+	// Trace, when non-nil, receives one child span per algorithm run, with
+	// per-layer / per-probe grouping spans and every mr job's span tree
+	// below them. Nil disables tracing.
+	Trace *obs.Span
 }
 
 func (c Config) engine() mr.Engine {
@@ -214,8 +219,12 @@ func chunkIndex(split mr.Split) (int, error) {
 // ChunkMeans runs a map job computing the mean of every aligned chunk of
 // size s — the input to the root sub-tree of both partitioning schemes.
 func ChunkMeans(src Source, s int, eng mr.Engine) ([]float64, mr.Metrics, error) {
+	return chunkMeans(src, s, eng, nil)
+}
+
+func chunkMeans(src Source, s int, eng mr.Engine, parent *obs.Span) ([]float64, mr.Metrics, error) {
 	n := src.N()
-	res, err := eng.Run(chunkMeansJob(src, n, s))
+	res, err := runJob(eng, chunkMeansJob(src, n, s), parent)
 	if err != nil {
 		return nil, mr.Metrics{}, err
 	}
@@ -231,7 +240,7 @@ func ChunkMeans(src Source, s int, eng mr.Engine) ([]float64, mr.Metrics, error)
 // retained coefficients on its paths and reports a local maximum; the
 // single reducer takes the global max.
 func EvaluateMaxAbs(src Source, syn *synopsis.Synopsis, chunk int, eng mr.Engine) (float64, mr.Metrics, error) {
-	return evaluateMax(src, syn, chunk, eng, 0)
+	return evaluateMax(src, syn, chunk, eng, 0, nil)
 }
 
 // EvaluateMaxRel measures the exact maximum relative error (Equation 3)
@@ -240,17 +249,17 @@ func EvaluateMaxRel(src Source, syn *synopsis.Synopsis, chunk int, eng mr.Engine
 	if sanity <= 0 {
 		sanity = 1
 	}
-	return evaluateMax(src, syn, chunk, eng, sanity)
+	return evaluateMax(src, syn, chunk, eng, sanity, nil)
 }
 
 // evaluateMax runs the shared evaluation job; sanity == 0 selects the
 // absolute metric, sanity > 0 the relative metric with that bound.
-func evaluateMax(src Source, syn *synopsis.Synopsis, chunk int, eng mr.Engine, sanity float64) (float64, mr.Metrics, error) {
+func evaluateMax(src Source, syn *synopsis.Synopsis, chunk int, eng mr.Engine, sanity float64, parent *obs.Span) (float64, mr.Metrics, error) {
 	n := src.N()
 	if syn.N != n {
 		return 0, mr.Metrics{}, fmt.Errorf("dist: synopsis over %d values, source has %d", syn.N, n)
 	}
-	res, err := eng.Run(evaluateMaxJob(src, syn, chunk, sanity))
+	res, err := runJob(eng, evaluateMaxJob(src, syn, chunk, sanity), parent)
 	if err != nil {
 		return 0, mr.Metrics{}, err
 	}

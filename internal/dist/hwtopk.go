@@ -142,7 +142,7 @@ func HWTopk(src Source, budget int, cfg Config) (*Report, error) {
 		},
 		Reducers: 1,
 	}
-	res1, err := eng.Run(round1)
+	res1, err := runJob(eng, round1, cfg.Trace)
 	if err != nil {
 		return nil, err
 	}
@@ -230,7 +230,7 @@ func HWTopk(src Source, budget int, cfg Config) (*Report, error) {
 		},
 		Reducers: 1,
 	}
-	res2, err := eng.Run(round2)
+	res2, err := runJob(eng, round2, cfg.Trace)
 	if err != nil {
 		return nil, err
 	}
@@ -311,7 +311,7 @@ func HWTopk(src Source, budget int, cfg Config) (*Report, error) {
 		},
 		Reducers: 1,
 	}
-	res3, err := eng.Run(round3)
+	res3, err := runJob(eng, round3, cfg.Trace)
 	if err != nil {
 		return nil, err
 	}

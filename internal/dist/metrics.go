@@ -1,0 +1,40 @@
+package dist
+
+import (
+	"dwmaxerr/internal/mr"
+	"dwmaxerr/internal/obs"
+)
+
+// Algorithm-level metrics (dist_* prefix, per the package obs naming
+// convention). The greedy-run counter increments inside map functions, so
+// in cluster mode it lands in each worker's registry (its /debug/vars)
+// while local runs record it in the driver — same point-of-work rule as
+// the mr_* execution counters.
+var (
+	// obsGreedyRuns counts actual local greedy executions in
+	// ErrHistGreedy — the speculative C_root work the per-distinct-
+	// incoming-error cache saves is visible as the gap to
+	// dist_greedy_candidates.
+	obsGreedyRuns = obs.Default.Counter("dist_greedy_runs")
+	// obsGreedyCandidates counts speculative C_root candidates posed
+	// (driver side: maxCand+1 per DGreedy run).
+	obsGreedyCandidates = obs.Default.Counter("dist_greedy_candidates")
+	// obsLayerRows observes |M[j]| — the number of M-rows crossing each
+	// layer boundary of DMHaarSpace (the per-layer term of Equation 6).
+	obsLayerRows = obs.Default.Histogram("dist_layer_rows")
+	// obsLayerRowBytes observes the encoded size of each M-row.
+	obsLayerRowBytes = obs.Default.Histogram("dist_layer_row_bytes")
+	// obsProbes counts DIndirectHaar binary-search probes (DMHaarSpace
+	// invocations).
+	obsProbes = obs.Default.Counter("dist_probes")
+)
+
+// runJob executes job on eng, threading parent as the trace parent when
+// the engine supports per-run options (both mr engines do; the assertion
+// keeps plain Engine in every signature).
+func runJob(eng mr.Engine, job *mr.Job, parent *obs.Span) (*mr.Result, error) {
+	if te, ok := eng.(mr.TracingEngine); ok {
+		return te.RunWith(job, mr.JobOptions{Trace: parent})
+	}
+	return eng.Run(job)
+}

@@ -23,7 +23,7 @@ func runComm(cfg Config) error {
 	p := dp.Params{Epsilon: 100, Delta: 10}
 	t := &table{header: []string{"h(=log2 S)", "layers", "DP rows shuffled (bytes)", "DGreedyAbs hist shuffle (bytes)"}}
 	for s := 4; s <= n/8; s *= 4 {
-		res, err := dist.DMHaarSpace(src, p, dist.Config{SubtreeLeaves: s})
+		res, err := dist.DMHaarSpace(src, p, dist.Config{SubtreeLeaves: s, Trace: cfg.Trace})
 		if err != nil {
 			return err
 		}
@@ -33,7 +33,7 @@ func runComm(cfg Config) error {
 			dpBytes += j.ShuffleBytes
 			layers++
 		}
-		dg, err := dist.DGreedyAbs(src, n/8, dist.Config{SubtreeLeaves: s})
+		dg, err := dist.DGreedyAbs(src, n/8, dist.Config{SubtreeLeaves: s, Trace: cfg.Trace})
 		if err != nil {
 			return err
 		}
@@ -55,7 +55,7 @@ func runAblationEB(cfg Config) error {
 	s := n / 16
 	t := &table{header: []string{"e_b", "hist shuffle (records)", "hist shuffle (bytes)", "max_abs"}}
 	for _, eb := range []float64{0.01, 0.1, 1, 10, 100} {
-		rep, err := dist.DGreedyAbs(src, b, dist.Config{SubtreeLeaves: s, BucketWidth: eb})
+		rep, err := dist.DGreedyAbs(src, b, dist.Config{SubtreeLeaves: s, BucketWidth: eb, Trace: cfg.Trace})
 		if err != nil {
 			return err
 		}

@@ -54,7 +54,7 @@ func runComparison(cfg Config, name string, gen func(n int) []float64, delta flo
 		tt.add(label, "GreedyAbs", "-", fsec(time.Since(t0)), ffloat(gErr))
 
 		dg, dgWall, err := runReport(func() (*dist.Report, error) {
-			return dist.DGreedyAbs(src, b, dist.Config{SubtreeLeaves: s})
+			return dist.DGreedyAbs(src, b, dist.Config{SubtreeLeaves: s, Trace: cfg.Trace})
 		})
 		if err != nil {
 			return err
@@ -69,7 +69,7 @@ func runComparison(cfg Config, name string, gen func(n int) []float64, delta flo
 		tt.add(label, "IndirectHaar", "-", fsec(time.Since(t0)), ffloat(ih.MaxAbs))
 
 		di, diWall, err := runReport(func() (*dist.Report, error) {
-			return dist.DIndirectHaar(src, b, dist.Config{SubtreeLeaves: s, Delta: delta})
+			return dist.DIndirectHaar(src, b, dist.Config{SubtreeLeaves: s, Delta: delta, Trace: cfg.Trace})
 		})
 		if err != nil {
 			return err
@@ -77,7 +77,7 @@ func runComparison(cfg Config, name string, gen func(n int) []float64, delta flo
 		tt.add(label, "DIndirectHaar", fsec(di.Makespan(40, 1)), fsec(diWall), ffloat(di.MaxErr))
 
 		con, conWall, err := runReport(func() (*dist.Report, error) {
-			return dist.CON(src, b, dist.Config{SubtreeLeaves: s})
+			return dist.CON(src, b, dist.Config{SubtreeLeaves: s, Trace: cfg.Trace})
 		})
 		if err != nil {
 			return err
@@ -86,7 +86,7 @@ func runComparison(cfg Config, name string, gen func(n int) []float64, delta flo
 		tt.add(label, "CON", fsec(con.Jobs[0].Makespan(40, 1)), fsec(conWall), ffloat(conErr))
 
 		sc, scWall, err := runReport(func() (*dist.Report, error) {
-			return dist.SendCoef(src, b, 0, dist.Config{SubtreeLeaves: s})
+			return dist.SendCoef(src, b, 0, dist.Config{SubtreeLeaves: s, Trace: cfg.Trace})
 		})
 		if err != nil {
 			return err

@@ -16,6 +16,8 @@ import (
 	"io"
 	"sort"
 	"time"
+
+	"dwmaxerr/internal/obs"
 )
 
 // Config parameterizes an experiment run.
@@ -34,6 +36,9 @@ type Config struct {
 	// that track shuffle volume themselves (nil Collect is safe — Add is
 	// a no-op).
 	Collect *Collector
+	// Trace, when non-nil, receives one child span per experiment with
+	// the algorithm runs' span trees nested below (dwbench -trace).
+	Trace *obs.Span
 }
 
 func (c Config) size(base int) int {
@@ -111,9 +116,13 @@ func Run(name string, cfg Config) error {
 
 func runOne(e Experiment, cfg Config) error {
 	fmt.Fprintf(cfg.Out, "== %s — %s ==\n", e.Name, e.Title)
+	span := cfg.Trace.Child("experiment:" + e.Name)
+	cfg.Trace = span
 	allocs0 := measureAllocs()
 	start := time.Now()
-	if err := e.Run(cfg); err != nil {
+	err := e.Run(cfg)
+	span.End()
+	if err != nil {
 		return err
 	}
 	wall := time.Since(start)

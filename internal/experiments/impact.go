@@ -31,7 +31,7 @@ func runFig6(cfg Config) error {
 		src := dist.SliceSource(data)
 		for _, delta := range []float64{10, 20, 50, 100} {
 			rep, _, err := runReport(func() (*dist.Report, error) {
-				return dist.DIndirectHaar(src, b, dist.Config{SubtreeLeaves: s, Delta: delta})
+				return dist.DIndirectHaar(src, b, dist.Config{SubtreeLeaves: s, Delta: delta, Trace: cfg.Trace})
 			})
 			if err != nil {
 				// The paper reports DIndirectHaar "could not run" for
@@ -61,13 +61,13 @@ func runFig7(cfg Config) error {
 			// runnable regime on the bigger ranges.
 			delta := 20.0 * max / 1000
 			di, _, err := runReport(func() (*dist.Report, error) {
-				return dist.DIndirectHaar(src, b, dist.Config{SubtreeLeaves: s, Delta: delta})
+				return dist.DIndirectHaar(src, b, dist.Config{SubtreeLeaves: s, Delta: delta, Trace: cfg.Trace})
 			})
 			if err != nil {
 				return fmt.Errorf("%s range %g: %w", gen.Name(), max, err)
 			}
 			dg, _, err := runReport(func() (*dist.Report, error) {
-				return dist.DGreedyAbs(src, b, dist.Config{SubtreeLeaves: s})
+				return dist.DGreedyAbs(src, b, dist.Config{SubtreeLeaves: s, Trace: cfg.Trace})
 			})
 			if err != nil {
 				return err

@@ -34,7 +34,7 @@ func runRel(cfg Config) error {
 		}
 		centralWall := time.Since(t0)
 		rep, wall, err := runReport(func() (*dist.Report, error) {
-			return dist.DGreedyRel(src, b, dist.Config{SubtreeLeaves: s, Sanity: sanity})
+			return dist.DGreedyRel(src, b, dist.Config{SubtreeLeaves: s, Sanity: sanity, Trace: cfg.Trace})
 		})
 		if err != nil {
 			return err

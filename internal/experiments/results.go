@@ -20,7 +20,7 @@ type Record struct {
 	// it with a "/label" suffix.
 	Experiment string `json:"experiment"`
 	// Params describes the workload shape (sizes, widths, flags).
-	Params string `json:"params,omitempty"`
+	Params string  `json:"params,omitempty"`
 	WallMS float64 `json:"wall_ms"`
 	// Shuffle volume crossing the mr engines, when the workload tracks it.
 	ShuffleRecords int64 `json:"shuffle_records,omitempty"`

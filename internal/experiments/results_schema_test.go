@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Golden-file pin of the dwbench -json document schema. External
+// tooling (the committed BENCH_*.json snapshots, plotting scripts)
+// parses this layout; a field rename or type change must show up as an
+// explicit golden diff, not a silent breakage. Regenerate with
+//
+//	go test ./internal/experiments/ -run ResultsJSONSchema -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// schemaOf flattens a decoded JSON value into sorted "path type" lines.
+// Array elements share the path suffix "[]", so any number of records
+// produces the same schema.
+func schemaOf(v any) []string {
+	set := map[string]bool{}
+	var walk func(path string, v any)
+	walk = func(path string, v any) {
+		switch x := v.(type) {
+		case map[string]any:
+			set[path+" object"] = true
+			for k, c := range x {
+				walk(path+"."+k, c)
+			}
+		case []any:
+			set[path+" array"] = true
+			for _, c := range x {
+				walk(path+"[]", c)
+			}
+		case string:
+			set[path+" string"] = true
+		case float64:
+			set[path+" number"] = true
+		case bool:
+			set[path+" bool"] = true
+		case nil:
+			set[path+" null"] = true
+		}
+	}
+	walk("$", v)
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func decodeResults(t *testing.T, path string) any {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		t.Fatalf("results document is not valid JSON: %v", err)
+	}
+	return v
+}
+
+func TestResultsJSONSchemaGolden(t *testing.T) {
+	// One fully-populated record exercises every optional field, so the
+	// schema is the complete key set WriteJSON can ever produce.
+	c := &Collector{}
+	c.Add(Record{
+		Experiment: "schema", Params: "n=1", WallMS: 1.5,
+		ShuffleRecords: 2, ShuffleBytes: 3,
+		RecordsPerSec: 4.5, BytesPerSec: 6.5, Allocs: 7,
+	})
+	path := filepath.Join(t.TempDir(), "results.json")
+	if err := c.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(schemaOf(decodeResults(t, path)), "\n") + "\n"
+
+	golden := filepath.Join("testdata", "results_schema.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("dwbench -json schema changed:\n--- got ---\n%s--- want ---\n%s(regenerate with -update if intended)", got, want)
+	}
+}
+
+// TestQuickRunRecordsFitSchema runs a real experiment through the
+// collector and checks every emitted key path is part of the pinned
+// schema — partial records (omitempty fields) must subset it, never
+// extend it.
+func TestQuickRunRecordsFitSchema(t *testing.T) {
+	cfg := Config{Out: io.Discard, Quick: true, Collect: &Collector{}}
+	if err := Run("shuffle", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Collect.Records()) == 0 {
+		t.Fatal("quick run collected no records")
+	}
+	path := filepath.Join(t.TempDir(), "results.json")
+	if err := cfg.Collect.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "results_schema.golden"))
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	allowed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(string(want)), "\n") {
+		allowed[line] = true
+	}
+	for _, line := range schemaOf(decodeResults(t, path)) {
+		if !allowed[line] {
+			t.Errorf("record emits %q, which the golden schema does not allow", line)
+		}
+	}
+	// The document header must always be present.
+	for _, must := range []string{"$.go_version string", "$.results array"} {
+		if !allowed[must] {
+			t.Fatalf("golden schema is missing required line %q", must)
+		}
+	}
+}

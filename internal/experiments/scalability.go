@@ -38,13 +38,13 @@ func runFig5a(cfg Config) error {
 	t := &table{header: []string{"subtree", "DGreedyAbs(40 slots)", "DGreedyAbs wall", "DIndirectHaar(40 slots)", "DIndirectHaar wall"}}
 	for _, s := range subtrees {
 		dg, dgWall, err := runReport(func() (*dist.Report, error) {
-			return dist.DGreedyAbs(src, b, dist.Config{SubtreeLeaves: s})
+			return dist.DGreedyAbs(src, b, dist.Config{SubtreeLeaves: s, Trace: cfg.Trace})
 		})
 		if err != nil {
 			return err
 		}
 		di, diWall, err := runReport(func() (*dist.Report, error) {
-			return dist.DIndirectHaar(src, b, dist.Config{SubtreeLeaves: s, Delta: 50})
+			return dist.DIndirectHaar(src, b, dist.Config{SubtreeLeaves: s, Delta: 50, Trace: cfg.Trace})
 		})
 		if err != nil {
 			return err
@@ -64,13 +64,13 @@ func runFig5b(cfg Config) error {
 	for _, div := range []int{64, 32, 16, 8} {
 		b := n / div
 		dg, _, err := runReport(func() (*dist.Report, error) {
-			return dist.DGreedyAbs(src, b, dist.Config{SubtreeLeaves: s})
+			return dist.DGreedyAbs(src, b, dist.Config{SubtreeLeaves: s, Trace: cfg.Trace})
 		})
 		if err != nil {
 			return err
 		}
 		di, _, err := runReport(func() (*dist.Report, error) {
-			return dist.DIndirectHaar(src, b, dist.Config{SubtreeLeaves: s, Delta: 50})
+			return dist.DIndirectHaar(src, b, dist.Config{SubtreeLeaves: s, Delta: 50, Trace: cfg.Trace})
 		})
 		if err != nil {
 			return err
@@ -96,7 +96,7 @@ func runFig5c(cfg Config) error {
 		}
 		centralTime := time.Since(t0)
 		rep, _, err := runReport(func() (*dist.Report, error) {
-			return dist.DGreedyAbs(src, b, dist.Config{SubtreeLeaves: n / 16})
+			return dist.DGreedyAbs(src, b, dist.Config{SubtreeLeaves: n / 16, Trace: cfg.Trace})
 		})
 		if err != nil {
 			return err
@@ -123,7 +123,7 @@ func runFig5d(cfg Config) error {
 		}
 		centralTime := time.Since(t0)
 		rep, wall, err := runReport(func() (*dist.Report, error) {
-			return dist.DIndirectHaar(src, b, dist.Config{SubtreeLeaves: n / 16, Delta: 50})
+			return dist.DIndirectHaar(src, b, dist.Config{SubtreeLeaves: n / 16, Delta: 50, Trace: cfg.Trace})
 		})
 		if err != nil {
 			return err

@@ -39,7 +39,7 @@ func runShuffle(cfg Config) error {
 	n := cfg.size(1 << 14)
 	data := dataset.Uniform{Max: 1000}.Generate(n, cfg.seed())
 	a0, t0 := measureAllocs(), time.Now()
-	rep, err := dist.DGreedyAbs(dist.SliceSource(data), n/8, dist.Config{SubtreeLeaves: n / 16})
+	rep, err := dist.DGreedyAbs(dist.SliceSource(data), n/8, dist.Config{SubtreeLeaves: n / 16, Trace: cfg.Trace})
 	if err != nil {
 		return err
 	}
@@ -66,7 +66,7 @@ func runShuffle(cfg Config) error {
 	cn := cfg.size(1 << 12)
 	cdata := dataset.Uniform{Max: 1000}.Generate(cn, cfg.seed())
 	a0, t0 = measureAllocs(), time.Now()
-	res, err := dist.DMHaarSpace(dist.SliceSource(cdata), dp.Params{Epsilon: 100, Delta: 10}, dist.Config{SubtreeLeaves: 8})
+	res, err := dist.DMHaarSpace(dist.SliceSource(cdata), dp.Params{Epsilon: 100, Delta: 10}, dist.Config{SubtreeLeaves: 8, Trace: cfg.Trace})
 	if err != nil {
 		return err
 	}

@@ -16,9 +16,11 @@ import "sync"
 const arenaBlockSize = 1 << 16
 
 // blockPool recycles arena blocks (stored as *[]byte so Put does not
-// allocate).
+// allocate). New firing means a pool miss — the gets/allocs counter pair
+// measures the recycle hit rate.
 var blockPool = sync.Pool{
 	New: func() interface{} {
+		obsArenaBlockAllocs.Inc()
 		b := make([]byte, 0, arenaBlockSize)
 		return &b
 	},
@@ -47,6 +49,7 @@ func (a *byteArena) copyBytes(b []byte) []byte {
 			copy(out, b)
 			return out
 		}
+		obsArenaBlockGets.Inc()
 		bp := blockPool.Get().(*[]byte)
 		a.blocks = append(a.blocks, bp)
 		a.cur = (*bp)[:0]

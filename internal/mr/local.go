@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"dwmaxerr/internal/obs"
 )
 
 // Local is the in-process engine. The zero value is usable: it runs tasks
@@ -49,11 +51,22 @@ func (l *Local) attempts() int {
 
 // Run implements Engine.
 func (l *Local) Run(job *Job) (*Result, error) {
+	return l.RunWith(job, JobOptions{})
+}
+
+// RunWith implements TracingEngine: like Run, recording the job under
+// opts.Trace when set.
+func (l *Local) RunWith(job *Job, opts JobOptions) (*Result, error) {
 	if err := job.validate(); err != nil {
 		return nil, err
 	}
+	obsJobsRun.Inc()
+	jobSpan := opts.Trace.Child("job:" + job.Name)
+	defer jobSpan.End()
+	jobSpan.SetStr("engine", "local")
+	jobSpan.SetInt("splits", int64(len(job.Splits)))
 	if l.SpillThreshold > 0 {
-		return l.runSpill(job)
+		return l.runSpill(job, jobSpan)
 	}
 	start := time.Now()
 	res := &Result{}
@@ -62,7 +75,8 @@ func (l *Local) Run(job *Job) (*Result, error) {
 	// ---- Map phase ----
 	nred := job.reducers()
 	mapOuts := make([][][]Pair, len(job.Splits))
-	if err := l.runTasks("map", len(job.Splits), &res.Metrics, func(i int, ctx TaskContext) (interface{}, error) {
+	mapSpan := jobSpan.Child("map-phase")
+	if err := l.runTasks("map", len(job.Splits), &res.Metrics, mapSpan, func(i int, ctx TaskContext) (interface{}, error) {
 		mc := newMapCollector(job, nred)
 		if err := job.Map(ctx, job.Splits[i], mc.emit); err != nil {
 			mc.discard()
@@ -84,12 +98,15 @@ func (l *Local) Run(job *Job) (*Result, error) {
 		// run: Result aliases its records, so it is never recycled.
 		mapOuts[i] = out.(*mapCollector).parts
 	}); err != nil {
+		mapSpan.End()
 		return nil, err
 	}
+	mapSpan.End()
 	res.Metrics.MapTasks = len(job.Splits)
 	res.Metrics.MapRetries = countRetries(res.Metrics.MapStats)
 
 	// ---- Shuffle ----
+	shuffleSpan := jobSpan.Child("shuffle")
 	buckets := make([][]Pair, nred)
 	for _, parts := range mapOuts {
 		for p, pairs := range parts {
@@ -100,16 +117,22 @@ func (l *Local) Run(job *Job) (*Result, error) {
 			}
 		}
 	}
+	obsShuffleRecords.Add(res.Metrics.ShuffleRecords)
+	obsShuffleBytes.Add(res.Metrics.ShuffleBytes)
 	for p := range buckets {
 		sortPairs(job, buckets[p])
 	}
+	shuffleSpan.SetInt("records", res.Metrics.ShuffleRecords)
+	shuffleSpan.SetInt("bytes", res.Metrics.ShuffleBytes)
+	shuffleSpan.End()
 
 	// ---- Reduce phase ----
 	res.Partitions = make([][]Pair, nred)
 	if job.Reduce == nil {
 		copy(res.Partitions, buckets)
 	} else {
-		if err := l.runTasks("reduce", nred, &res.Metrics, func(p int, ctx TaskContext) (interface{}, error) {
+		reduceSpan := jobSpan.Child("reduce-phase")
+		if err := l.runTasks("reduce", nred, &res.Metrics, reduceSpan, func(p int, ctx TaskContext) (interface{}, error) {
 			ro := &reduceTaskOut{}
 			if err := reduceBucket(job, ctx, buckets[p], emitInto(&ro.arena, &ro.out)); err != nil {
 				ro.discard()
@@ -119,8 +142,10 @@ func (l *Local) Run(job *Job) (*Result, error) {
 		}, func(p int, out interface{}) {
 			res.Partitions[p] = out.(*reduceTaskOut).out
 		}); err != nil {
+			reduceSpan.End()
 			return nil, err
 		}
+		reduceSpan.End()
 		res.Metrics.ReduceTasks = nred
 		res.Metrics.ReduceRetries = countRetries(res.Metrics.ReduceStats)
 	}
@@ -190,8 +215,8 @@ type taskRun func(i int, ctx TaskContext) (interface{}, error)
 
 // runTasks executes n tasks on the worker pool with retry and optional
 // speculation, committing exactly one successful attempt's output per task
-// and recording every attempt in metrics.
-func (l *Local) runTasks(kind string, n int, m *Metrics, run taskRun, commit func(i int, out interface{})) error {
+// and recording every attempt in metrics and as children of phase.
+func (l *Local) runTasks(kind string, n int, m *Metrics, phase *obs.Span, run taskRun, commit func(i int, out interface{})) error {
 	sem := make(chan struct{}, l.workers())
 	var (
 		wg       sync.WaitGroup
@@ -221,7 +246,7 @@ func (l *Local) runTasks(kind string, n int, m *Metrics, run taskRun, commit fun
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			err := l.runOneTask(kind, i, sem, run, lockedCommit, report, jobCounters)
+			err := l.runOneTask(kind, i, sem, phase, run, lockedCommit, report, jobCounters)
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -242,7 +267,7 @@ func (l *Local) runTasks(kind string, n int, m *Metrics, run taskRun, commit fun
 
 // runOneTask drives the attempts of a single task: a primary attempt, an
 // optional speculative backup, then sequential retries.
-func (l *Local) runOneTask(kind string, i int, sem chan struct{}, run taskRun, commit func(int, interface{}), report func(TaskStat), jobCounters *Counters) error {
+func (l *Local) runOneTask(kind string, i int, sem chan struct{}, phase *obs.Span, run taskRun, commit func(int, interface{}), report func(TaskStat), jobCounters *Counters) error {
 	type attemptResult struct {
 		out      interface{}
 		err      error
@@ -256,11 +281,20 @@ func (l *Local) runOneTask(kind string, i int, sem chan struct{}, run taskRun, c
 	launch := func(borrowSlot bool) {
 		attempt++
 		a := attempt
+		obsTasksLaunched.Inc()
 		do := func() {
+			span := phase.Child(kind)
+			span.SetInt("task", int64(i))
+			span.SetInt("attempt", int64(a))
 			t0 := time.Now()
 			counters := NewCounters()
 			out, err := l.attemptTask(kind, TaskContext{TaskID: i, Attempt: a, Counters: counters}, run, i)
-			results <- attemptResult{out: out, err: err, attempt: a, dur: time.Since(t0), counters: counters}
+			dur := time.Since(t0)
+			obsWorkerTasksExecuted.Inc()
+			obsTaskDurationUS.Observe(dur.Microseconds())
+			span.SetBool("failed", err != nil)
+			span.End()
+			results <- attemptResult{out: out, err: err, attempt: a, dur: dur, counters: counters}
 		}
 		if borrowSlot {
 			go func() {
@@ -291,6 +325,7 @@ func (l *Local) runOneTask(kind string, i int, sem chan struct{}, run taskRun, c
 			} else if r.err == nil {
 				// A slower duplicate of an already-committed task: release
 				// any resources it produced.
+				obsTaskCommitDups.Inc()
 				if d, ok := r.out.(discardable); ok {
 					d.discard()
 				}
@@ -307,6 +342,7 @@ func (l *Local) runOneTask(kind string, i int, sem chan struct{}, run taskRun, c
 				continue
 			}
 			if attempt < l.attempts() {
+				obsTaskRetries.Inc()
 				launch(false)
 				inFlight++
 				continue
@@ -317,6 +353,7 @@ func (l *Local) runOneTask(kind string, i int, sem chan struct{}, run taskRun, c
 		case <-timer:
 			timer = nil
 			if !committed && inFlight == 1 && attempt < l.attempts() {
+				obsSpeculativeAttempts.Inc()
 				launch(true) // speculative backup borrows a pool slot
 				inFlight++
 			}

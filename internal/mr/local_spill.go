@@ -3,6 +3,8 @@ package mr
 import (
 	"os"
 	"time"
+
+	"dwmaxerr/internal/obs"
 )
 
 // The spilling execution path of the Local engine, selected by
@@ -33,7 +35,7 @@ func (l *Local) spillDir() string {
 }
 
 // runSpill executes a job with the external shuffle.
-func (l *Local) runSpill(job *Job) (*Result, error) {
+func (l *Local) runSpill(job *Job, jobSpan *obs.Span) (*Result, error) {
 	start := time.Now()
 	res := &Result{}
 	res.Metrics.Job = job.Name
@@ -47,7 +49,8 @@ func (l *Local) runSpill(job *Job) (*Result, error) {
 			}
 		}
 	}()
-	if err := l.runTasks("map", len(job.Splits), &res.Metrics, func(i int, ctx TaskContext) (interface{}, error) {
+	mapSpan := jobSpan.Child("map-phase")
+	if err := l.runTasks("map", len(job.Splits), &res.Metrics, mapSpan, func(i int, ctx TaskContext) (interface{}, error) {
 		col, err := newSpillCollector(job, l.spillDir(), l.SpillThreshold, nred)
 		if err != nil {
 			return nil, err
@@ -65,13 +68,16 @@ func (l *Local) runSpill(job *Job) (*Result, error) {
 	}, func(i int, out interface{}) {
 		outs[i] = out.(*spillResult)
 	}); err != nil {
+		mapSpan.End()
 		return nil, err
 	}
+	mapSpan.End()
 	res.Metrics.MapTasks = len(job.Splits)
 	res.Metrics.MapRetries = countRetries(res.Metrics.MapStats)
 	for _, o := range outs {
 		res.Metrics.SpilledBytes += o.col.spilled
 	}
+	obsSpillBytes.Add(res.Metrics.SpilledBytes)
 
 	// ---- Reduce phase: stream a k-way merge per partition ----
 	res.Partitions = make([][]Pair, nred)
@@ -153,16 +159,21 @@ func (l *Local) runSpill(job *Job) (*Result, error) {
 		}
 		return spillReduceOut{reduceTaskOut: ro, records: shuffleRecords, bytes: shuffleBytes}, nil
 	}
-	if err := l.runTasks("reduce", nred, &res.Metrics, reduceOne, func(p int, out interface{}) {
+	reduceSpan := jobSpan.Child("reduce-phase")
+	if err := l.runTasks("reduce", nred, &res.Metrics, reduceSpan, reduceOne, func(p int, out interface{}) {
 		ro := out.(spillReduceOut)
 		res.Partitions[p] = ro.out
 		res.Metrics.ShuffleRecords += ro.records
 		res.Metrics.ShuffleBytes += ro.bytes
 	}); err != nil {
+		reduceSpan.End()
 		return nil, err
 	}
+	reduceSpan.End()
 	res.Metrics.ReduceTasks = nred
 	res.Metrics.ReduceRetries = countRetries(res.Metrics.ReduceStats)
+	obsShuffleRecords.Add(res.Metrics.ShuffleRecords)
+	obsShuffleBytes.Add(res.Metrics.ShuffleBytes)
 	for _, part := range res.Partitions {
 		for _, kv := range part {
 			res.Metrics.OutputRecords++

@@ -1,0 +1,45 @@
+package mr
+
+import "dwmaxerr/internal/obs"
+
+// Engine metrics, recorded into the process-wide obs.Default registry at
+// the point where the work happens. In local runs every metric lands in
+// the driver process; in cluster runs the scheduling metrics (launches,
+// retries, speculation, heartbeats received, worker lifecycle) land in the
+// coordinator while the execution metrics (tasks executed, sorts, arena
+// traffic, heartbeats sent) land in each worker — visible live over that
+// worker's /debug/vars.
+//
+// Naming: mr_* prefix, snake_case, per the convention in package obs.
+var (
+	// Scheduling (coordinator / local driver side).
+	obsJobsRun             = obs.Default.Counter("mr_jobs_run")
+	obsTasksLaunched       = obs.Default.Counter("mr_tasks_launched")
+	obsTaskRetries         = obs.Default.Counter("mr_task_retries")
+	obsSpeculativeAttempts = obs.Default.Counter("mr_speculative_attempts")
+	obsTaskCommitDups      = obs.Default.Counter("mr_task_commit_dups")
+	obsWorkersJoined       = obs.Default.Counter("mr_workers_joined")
+	obsWorkersDead         = obs.Default.Counter("mr_workers_dead")
+	obsWorkersLive         = obs.Default.Gauge("mr_workers_live")
+	obsHeartbeatsReceived  = obs.Default.Counter("mr_heartbeats_received")
+
+	// Shuffle volume (driver side: counted when map output is aggregated).
+	obsShuffleRecords = obs.Default.Counter("mr_shuffle_records")
+	obsShuffleBytes   = obs.Default.Counter("mr_shuffle_bytes")
+	obsSpillBytes     = obs.Default.Counter("mr_spill_bytes")
+
+	// Execution (worker side in cluster mode, driver side locally).
+	obsWorkerTasksExecuted = obs.Default.Counter("mr_worker_tasks_executed")
+	obsWorkerBeatsSent     = obs.Default.Counter("mr_worker_heartbeats_sent")
+	obsSortRadix           = obs.Default.Counter("mr_sort_radix")
+	obsSortComparison      = obs.Default.Counter("mr_sort_comparison")
+	obsArenaBlockGets      = obs.Default.Counter("mr_arena_block_gets")
+	obsArenaBlockAllocs    = obs.Default.Counter("mr_arena_block_allocs")
+
+	// Wire traffic (both sides count their own send/receive).
+	obsWireBytesSent     = obs.Default.Counter("mr_wire_bytes_sent")
+	obsWireBytesReceived = obs.Default.Counter("mr_wire_bytes_received")
+
+	// Distributions.
+	obsTaskDurationUS = obs.Default.Histogram("mr_task_duration_us")
+)

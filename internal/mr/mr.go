@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"time"
+
+	"dwmaxerr/internal/obs"
 )
 
 // Emit receives one intermediate or output key/value pair. Engine emit
@@ -133,6 +135,17 @@ type TaskStat struct {
 // Metrics aggregates what one job execution did. ShuffleBytes counts the
 // map-output key+value bytes crossing the shuffle — the quantity bounded by
 // Equation 6 — and OutputBytes the reduce-output volume.
+//
+// Synchronization contract: task attempts complete concurrently, but no
+// engine writes a Metrics field from a task goroutine. The Local engine
+// appends TaskStats and merges counters under runTasks' mutex and fills
+// the aggregate fields on the single driver goroutine between phases; the
+// Coordinator collects per-attempt wire replies through channels and folds
+// them into Metrics in one collection loop per phase on the Run goroutine.
+// Consequently Metrics — including Makespan, which walks MapStats and
+// ReduceStats — is safe to read without locking once Run returns, and
+// never safe to read while Run is in flight. tcp_fault_test.go pins this
+// down under -race with concurrent reduce completions.
 type Metrics struct {
 	Job            string
 	MapTasks       int
@@ -217,9 +230,26 @@ func (r *Result) AllPairs() []Pair {
 	return out
 }
 
+// JobOptions carries per-run observability settings. The zero value is
+// fully disabled and adds no overhead.
+type JobOptions struct {
+	// Trace, when non-nil, becomes the parent of a "job:<name>" span the
+	// engine records phases and task attempts under. Nil disables tracing
+	// (span methods on nil receivers no-op).
+	Trace *obs.Span
+}
+
 // Engine executes jobs.
 type Engine interface {
 	Run(job *Job) (*Result, error)
+}
+
+// TracingEngine is implemented by engines that accept per-run JobOptions
+// (both Local and Coordinator do). Callers holding a plain Engine can
+// type-assert to plug a trace in without changing call signatures.
+type TracingEngine interface {
+	Engine
+	RunWith(job *Job, opts JobOptions) (*Result, error)
 }
 
 // taskError wraps a task failure with its origin.

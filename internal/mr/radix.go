@@ -27,10 +27,12 @@ const (
 func sortPairs(job *Job, pairs []Pair) {
 	if job.Compare == nil && len(pairs) >= minRadixLen {
 		if w, ok := fixedKeyWidth(pairs); ok {
+			obsSortRadix.Inc()
 			radixSortPairs(pairs, w)
 			return
 		}
 	}
+	obsSortComparison.Inc()
 	sort.SliceStable(pairs, func(i, j int) bool { return job.compare(pairs[i].Key, pairs[j].Key) < 0 })
 }
 

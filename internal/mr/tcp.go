@@ -9,6 +9,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"dwmaxerr/internal/obs"
 )
 
 // The cluster engine: a coordinator accepts worker connections over TCP and
@@ -90,6 +92,11 @@ type Coordinator struct {
 	SpeculationAfter time.Duration
 	// MaxAttempts per task; 0 means 3.
 	MaxAttempts int
+	// Options applies to every Run (RunWith overrides it per call). Like
+	// the tuning fields it must be set before the first Run — it exists so
+	// drivers holding a *Coordinator can plug a trace in without changing
+	// their call signatures.
+	Options JobOptions
 
 	monitorOnce sync.Once
 
@@ -254,6 +261,8 @@ func (c *Coordinator) admit(conn net.Conn) {
 	c.workers = append(c.workers, w)
 	c.cond.Broadcast()
 	c.mu.Unlock()
+	obsWorkersJoined.Inc()
+	obsWorkersLive.Add(1)
 	go c.readLoop(w, fr)
 }
 
@@ -269,6 +278,7 @@ func (c *Coordinator) readLoop(w *workerConn, fr *frameReader) {
 		}
 		switch typ {
 		case frameHeartbeat:
+			obsHeartbeatsReceived.Inc()
 			c.mu.Lock()
 			w.lastBeat = time.Now()
 			c.mu.Unlock()
@@ -306,6 +316,8 @@ func (c *Coordinator) workerFailed(w *workerConn, err error) {
 	w.pending = nil
 	c.cond.Broadcast()
 	c.mu.Unlock()
+	obsWorkersDead.Inc()
+	obsWorkersLive.Add(-1)
 	w.conn.Close()
 	if ch != nil {
 		ch <- taskOutcome{err: err}
@@ -522,7 +534,7 @@ func validateReply(task wireTask, reply wireReply) error {
 // launching a speculative backup attempt. It returns the committed reply
 // (first success wins — at-most-once commit) plus one TaskStat per
 // attempt, with true attempt numbers.
-func (c *Coordinator) runTask(task wireTask) (wireReply, []TaskStat, error) {
+func (c *Coordinator) runTask(task wireTask, phase *obs.Span) (wireReply, []TaskStat, error) {
 	type attemptResult struct {
 		reply   wireReply
 		err     error
@@ -535,15 +547,22 @@ func (c *Coordinator) runTask(task wireTask) (wireReply, []TaskStat, error) {
 	launch := func(w *workerConn) {
 		attempt++
 		inFlight++
+		obsTasksLaunched.Inc()
 		t := task
 		t.Attempt = attempt
 		go func(a int) {
+			span := phase.Child(t.Kind)
+			span.SetInt("task", int64(t.TaskID))
+			span.SetInt("attempt", int64(a))
+			span.SetStr("worker", w.name)
 			t0 := time.Now()
 			reply, err := c.exchange(w, t)
 			c.release(w)
 			if err == nil {
 				err = validateReply(t, reply)
 			}
+			span.SetBool("failed", err != nil)
+			span.End()
 			results <- attemptResult{reply: reply, err: err, attempt: a, dur: time.Since(t0)}
 		}(attempt)
 	}
@@ -572,6 +591,8 @@ func (c *Coordinator) runTask(task wireTask) (wireReply, []TaskStat, error) {
 			if r.err == nil && !committed {
 				committed = true
 				winner = r.reply
+			} else if r.err == nil {
+				obsTaskCommitDups.Inc()
 			}
 			if r.err != nil {
 				lastErr = r.err
@@ -592,6 +613,7 @@ func (c *Coordinator) runTask(task wireTask) (wireReply, []TaskStat, error) {
 					}
 					continue
 				}
+				obsTaskRetries.Inc()
 				launch(w)
 				continue
 			}
@@ -602,6 +624,7 @@ func (c *Coordinator) runTask(task wireTask) (wireReply, []TaskStat, error) {
 			spec = nil
 			if !committed && inFlight == 1 && attempt < maxAttempts {
 				if w := c.tryAcquire(); w != nil {
+					obsSpeculativeAttempts.Inc()
 					launch(w)
 				}
 			}
@@ -612,6 +635,11 @@ func (c *Coordinator) runTask(task wireTask) (wireReply, []TaskStat, error) {
 // Run executes a registered job across the cluster. The coordinator also
 // instantiates the job locally for the shuffle's partitioner/comparator.
 func (c *Coordinator) Run(jobName string, params []byte) (*Result, error) {
+	return c.RunWith(jobName, params, c.Options)
+}
+
+// RunWith is Run with explicit per-call options (overriding c.Options).
+func (c *Coordinator) RunWith(jobName string, params []byte, opts JobOptions) (*Result, error) {
 	job, err := LookupJob(jobName, params)
 	if err != nil {
 		return nil, err
@@ -623,6 +651,11 @@ func (c *Coordinator) Run(jobName string, params []byte) (*Result, error) {
 	if err := c.waitReady(10 * time.Second); err != nil {
 		return nil, err
 	}
+	obsJobsRun.Inc()
+	jobSpan := opts.Trace.Child("job:" + jobName)
+	defer jobSpan.End()
+	jobSpan.SetStr("engine", "cluster")
+	jobSpan.SetInt("splits", int64(len(job.Splits)))
 	start := time.Now()
 	res := &Result{}
 	res.Metrics.Job = jobName
@@ -636,13 +669,14 @@ func (c *Coordinator) Run(jobName string, params []byte) (*Result, error) {
 		counters map[string]int64
 		err      error
 	}
+	mapSpan := jobSpan.Child("map-phase")
 	results := make(chan mapResult, len(job.Splits))
 	for i, split := range job.Splits {
 		go func(i int, split Split) {
 			reply, stats, err := c.runTask(wireTask{
 				Kind: "map", JobName: jobName, Params: params,
 				TaskID: i, Split: split, Reducers: nred,
-			})
+			}, mapSpan)
 			results <- mapResult{id: i, parts: reply.Parts, stats: stats, counters: reply.Counters, err: err}
 		}(i, split)
 	}
@@ -661,6 +695,7 @@ func (c *Coordinator) Run(jobName string, params []byte) (*Result, error) {
 		mapOuts[r.id] = r.parts
 		res.Metrics.addUserCounters(r.counters)
 	}
+	mapSpan.End()
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -668,6 +703,7 @@ func (c *Coordinator) Run(jobName string, params []byte) (*Result, error) {
 	res.Metrics.MapRetries = countRetries(res.Metrics.MapStats)
 	// Deterministic shuffle: concatenate in split order. Every parts slice
 	// was validated to hold exactly nred partitions.
+	shuffleSpan := jobSpan.Child("shuffle")
 	for _, parts := range mapOuts {
 		for p := 0; p < nred; p++ {
 			buckets[p] = append(buckets[p], parts[p]...)
@@ -677,9 +713,14 @@ func (c *Coordinator) Run(jobName string, params []byte) (*Result, error) {
 			}
 		}
 	}
+	obsShuffleRecords.Add(res.Metrics.ShuffleRecords)
+	obsShuffleBytes.Add(res.Metrics.ShuffleBytes)
 	for p := range buckets {
 		sortPairs(job, buckets[p])
 	}
+	shuffleSpan.SetInt("records", res.Metrics.ShuffleRecords)
+	shuffleSpan.SetInt("bytes", res.Metrics.ShuffleBytes)
+	shuffleSpan.End()
 
 	// ---- Reduce phase ----
 	res.Partitions = make([][]Pair, nred)
@@ -693,13 +734,14 @@ func (c *Coordinator) Run(jobName string, params []byte) (*Result, error) {
 			counters map[string]int64
 			err      error
 		}
+		reduceSpan := jobSpan.Child("reduce-phase")
 		rch := make(chan redResult, nred)
 		for p := 0; p < nred; p++ {
 			go func(p int) {
 				reply, stats, err := c.runTask(wireTask{
 					Kind: "reduce", JobName: jobName, Params: params,
 					TaskID: p, Bucket: buckets[p], Reducers: nred,
-				})
+				}, reduceSpan)
 				rch <- redResult{id: p, out: reply.Out, stats: stats, counters: reply.Counters, err: err}
 			}(p)
 		}
@@ -715,6 +757,7 @@ func (c *Coordinator) Run(jobName string, params []byte) (*Result, error) {
 			res.Partitions[r.id] = r.out
 			res.Metrics.addUserCounters(r.counters)
 		}
+		reduceSpan.End()
 		if firstErr != nil {
 			return nil, firstErr
 		}
@@ -836,6 +879,7 @@ func ServeWorker(coordinatorAddr, name string, stop <-chan struct{}, opts Worker
 				if err != nil {
 					return
 				}
+				obsWorkerBeatsSent.Inc()
 			}
 		}()
 	}
@@ -901,6 +945,8 @@ func executeWireTask(task wireTask) (reply wireReply, done func()) {
 			reply = wireReply{TaskID: task.TaskID, Attempt: task.Attempt, Err: fmt.Sprintf("panic: %v", r)}
 		}
 		reply.Duration = time.Since(start)
+		obsWorkerTasksExecuted.Inc()
+		obsTaskDurationUS.Observe(reply.Duration.Microseconds())
 	}()
 	job, err := LookupJob(task.JobName, task.Params)
 	if err != nil {

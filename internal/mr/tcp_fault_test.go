@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"dwmaxerr/internal/obs"
 )
 
 // Fault-injection coverage for the cluster engine: worker crashes mid-map
@@ -181,6 +183,87 @@ func TestClusterWorkerKilledMidMapAndMidReduce(t *testing.T) {
 	}
 }
 
+// TestClusterCrashMidMapCounterDeltas pins the registry semantics of
+// failure recovery: one injected crash produces exactly one
+// mr_task_retries increment, no duplicate commits, no speculative
+// attempts, and a span tree covering every task attempt. Deltas are
+// measured around the run because obs.Default is process-wide.
+func TestClusterCrashMidMapCounterDeltas(t *testing.T) {
+	retries0 := obsTaskRetries.Value()
+	dups0 := obsTaskCommitDups.Value()
+	spec0 := obsSpeculativeAttempts.Value()
+	launched0 := obsTasksLaunched.Value()
+
+	c, err := NewCoordinator("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	stop := make(chan struct{})
+	t.Cleanup(func() { close(stop) })
+	var crashed atomic.Bool
+	go ServeWorker(c.Addr(), "doomed", stop, WorkerOptions{
+		TaskHook: func(kind string, taskID, attempt int) error {
+			if kind == "map" && crashed.CompareAndSwap(false, true) {
+				return errors.New("injected crash mid-map")
+			}
+			return nil
+		},
+	})
+	go Serve(c.Addr(), "healthy", stop)
+	if err := c.WaitForWorkers(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	tracer := obs.NewTracer()
+	root := tracer.Start("test-job")
+	params := MustGobEncode(faultJobParams{
+		Texts:    []string{"a a", "b c", "d d d"},
+		MapDelay: 10 * time.Millisecond,
+	})
+	res, err := c.RunWith("fault-count", params, JobOptions{Trace: root})
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !crashed.Load() {
+		t.Fatal("fault injection did not fire")
+	}
+	// Deltas must be read before the Local parity run below, which also
+	// feeds the same process-wide registry.
+	launchedDelta := obsTasksLaunched.Value() - launched0
+	local := localRunOf(t, "fault-count", params)
+	if !reflect.DeepEqual(countsOf(res), countsOf(local)) {
+		t.Fatalf("output diverged under failure: cluster %v local %v", countsOf(res), countsOf(local))
+	}
+
+	if d := obsTaskRetries.Value() - retries0; d != 1 {
+		t.Fatalf("mr_task_retries delta = %d, want exactly 1", d)
+	}
+	if d := obsTaskCommitDups.Value() - dups0; d != 0 {
+		t.Fatalf("mr_task_commit_dups delta = %d, want 0", d)
+	}
+	if d := obsSpeculativeAttempts.Value() - spec0; d != 0 {
+		t.Fatalf("mr_speculative_attempts delta = %d, want 0", d)
+	}
+	// 3 maps + 2 reduces + the one retry.
+	attempts := len(res.Metrics.MapStats) + len(res.Metrics.ReduceStats)
+	if launchedDelta != int64(attempts) || attempts != 6 {
+		t.Fatalf("mr_tasks_launched delta = %d, task stats = %d, want both 6", launchedDelta, attempts)
+	}
+
+	// The span tree records one attempt span per task stat under the job.
+	spans := 0
+	root.Walk(func(s *obs.Span) {
+		if s.Name() == "map" || s.Name() == "reduce" {
+			spans++
+		}
+	})
+	if spans != attempts {
+		t.Fatalf("trace has %d task-attempt spans, metrics report %d attempts", spans, attempts)
+	}
+}
+
 func TestClusterHeartbeatDetectsSilentWorker(t *testing.T) {
 	c, err := NewCoordinator("127.0.0.1:0")
 	if err != nil {
@@ -329,6 +412,7 @@ func TestClusterCombinerSeesAttempt(t *testing.T) {
 }
 
 func TestClusterSpeculativeBackupCommits(t *testing.T) {
+	spec0 := obsSpeculativeAttempts.Value()
 	c, err := NewCoordinator("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -363,6 +447,50 @@ func TestClusterSpeculativeBackupCommits(t *testing.T) {
 	}
 	if res.Metrics.MapRetries == 0 {
 		t.Fatal("backup attempt committed but MapRetries == 0")
+	}
+	if d := obsSpeculativeAttempts.Value() - spec0; d < 1 {
+		t.Fatalf("mr_speculative_attempts delta = %d, want >= 1", d)
+	}
+}
+
+// TestClusterMetricsAggregationUnderConcurrentCompletions pins the
+// Metrics synchronization contract documented on the type: replies from
+// many overlapping map and reduce completions are folded into Metrics
+// (including Makespan inputs, wire counters, and user counters) only on
+// the Run goroutine, so reading every aggregate after Run returns is
+// race-free. Run under -race this fails if any engine path ever writes
+// Metrics from a task goroutine.
+func TestClusterMetricsAggregationUnderConcurrentCompletions(t *testing.T) {
+	c := startCluster(t, 4)
+	texts := make([]string, 16)
+	for i := range texts {
+		texts[i] = fmt.Sprintf("w%d x y z", i)
+	}
+	params := MustGobEncode(faultJobParams{
+		Texts:       texts,
+		MapDelay:    time.Millisecond,
+		ReduceDelay: time.Millisecond,
+	})
+	res, err := c.Run("fault-count", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if len(m.MapStats) != 16 || len(m.ReduceStats) == 0 {
+		t.Fatalf("stats not fully merged: %d map, %d reduce", len(m.MapStats), len(m.ReduceStats))
+	}
+	if m.ShuffleRecords == 0 || m.ShuffleBytes == 0 {
+		t.Fatalf("shuffle accounting not merged: %d records, %d bytes", m.ShuffleRecords, m.ShuffleBytes)
+	}
+	if m.UserCounters["count.words"] == 0 || m.UserCounters["count.groups"] == 0 {
+		t.Fatalf("user counters not merged: %v", m.UserCounters)
+	}
+	if ms := m.Makespan(4, 1); ms <= 0 {
+		t.Fatalf("Makespan(4, 1) = %v, want > 0", ms)
+	}
+	local := localRunOf(t, "fault-count", params)
+	if !reflect.DeepEqual(countsOf(res), countsOf(local)) {
+		t.Fatalf("cluster %v != local %v", countsOf(res), countsOf(local))
 	}
 }
 

@@ -118,6 +118,7 @@ func (fw *frameWriter) write(typ byte, payload []byte) error {
 	if _, err := fw.bw.Write(payload); err != nil {
 		return err
 	}
+	obsWireBytesSent.Add(int64(len(fw.hdr) + len(payload)))
 	return fw.bw.Flush()
 }
 
@@ -142,12 +143,14 @@ func (fr *frameReader) read() (byte, []byte, error) {
 		return 0, nil, fmt.Errorf("mr: wire frame of %d bytes exceeds limit", n)
 	}
 	if n == 0 {
+		obsWireBytesReceived.Add(int64(len(fr.hdr)))
 		return typ, nil, nil
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(fr.br, buf); err != nil {
 		return 0, nil, err
 	}
+	obsWireBytesReceived.Add(int64(len(fr.hdr)) + int64(n))
 	return typ, buf, nil
 }
 

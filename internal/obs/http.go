@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry's Snapshot as JSON — the /debug/vars-style
+// live view of a running process.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+// Mount registers the observability endpoints on mux: /debug/vars serving
+// r's snapshot, and the net/http/pprof suite under /debug/pprof/. Used by
+// dwserve and dwworker so any node of a running cluster can be inspected
+// with curl and `go tool pprof`.
+func Mount(mux *http.ServeMux, r *Registry) {
+	mux.Handle("/debug/vars", Handler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,26 @@
+// Package obs is the repo's dependency-free observability layer: a
+// process-wide metrics registry (counters, gauges, histograms — atomic,
+// allocation-free on the hot path) and a span tracer recording where a
+// distributed run spends its time and bytes.
+//
+// The paper's evaluation (Figures 8–13) is entirely about where time and
+// communication go: per-layer DP time, shuffle volume (Equation 6),
+// speculative DGreedyAbs job counts. The mr engines, the shuffle fast
+// path, and the dist algorithms all record into obs so tests and
+// benchmarks can assert on internal behavior (exactly one retry, this
+// many speculative greedy runs, that many re-shuffled bytes) instead of
+// only on output equality, and so a live cluster exposes the same numbers
+// over HTTP while it runs.
+//
+// Naming convention: metric names are snake_case, prefixed by subsystem —
+// mr_* (engines and shuffle), dist_* (paper algorithms), serve_* (the
+// AQP frontend). Counters count events or bytes monotonically; gauges
+// hold last-observed values; histograms record size/duration
+// distributions in power-of-two buckets.
+//
+// Exposition: Handler serves a /debug/vars-style JSON snapshot of a
+// Registry, and Mount wires it together with net/http/pprof onto a mux
+// (used by dwserve and dwworker). Tracer.WriteChromeTrace dumps a span
+// tree in Chrome trace-event format (chrome://tracing, Perfetto), used by
+// dwbench -trace and dwtcli -trace.
+package obs

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("test_events") != c {
+		t.Fatal("Counter did not return a stable pointer")
+	}
+	g := r.Gauge("test_level")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_sizes")
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if h.Sum() != 5050 {
+		t.Fatalf("sum = %d, want 5050", h.Sum())
+	}
+	if h.Max() != 100 {
+		t.Fatalf("max = %d, want 100", h.Max())
+	}
+	// Power-of-two buckets give an upper bound: the p50 (value 50) lives in
+	// bucket [32,64), whose top is 63; the p99 lives in [64,128) → 127.
+	if p := h.Quantile(0.50); p < 50 || p > 63 {
+		t.Fatalf("p50 bound = %d, want within [50,63]", p)
+	}
+	if p := h.Quantile(0.99); p < 99 || p > 127 {
+		t.Fatalf("p99 bound = %d, want within [99,127]", p)
+	}
+	h2 := r.Histogram("test_zero")
+	h2.Observe(0)
+	h2.Observe(-5)
+	if h2.Quantile(0.5) != 0 {
+		t.Fatalf("non-positive observations should land in bucket 0")
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+				r.Gauge("level").Set(int64(j))
+				r.Histogram("sizes").Observe(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("shared counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("sizes").Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestSnapshotAndNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_counter").Add(3)
+	r.Gauge("a_gauge").Set(9)
+	r.Histogram("c_hist").Observe(16)
+	snap := r.Snapshot()
+	if snap.Counters["b_counter"] != 3 || snap.Gauges["a_gauge"] != 9 {
+		t.Fatalf("snapshot mismatch: %+v", snap)
+	}
+	hs := snap.Histograms["c_hist"]
+	if hs.Count != 1 || hs.Sum != 16 || hs.Max != 16 {
+		t.Fatalf("histogram snapshot mismatch: %+v", hs)
+	}
+	names := r.Names()
+	want := []string{"a_gauge", "b_counter", "c_hist"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestHandlerServesSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mr_task_retries").Add(2)
+	r.Histogram("dist_layer_row_bytes").Observe(128)
+	mux := http.NewServeMux()
+	Mount(mux, r)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decoding /debug/vars: %v", err)
+	}
+	if snap.Counters["mr_task_retries"] != 2 {
+		t.Fatalf("counter over HTTP = %d, want 2", snap.Counters["mr_task_retries"])
+	}
+	if snap.Histograms["dist_layer_row_bytes"].Count != 1 {
+		t.Fatalf("histogram over HTTP = %+v", snap.Histograms["dist_layer_row_bytes"])
+	}
+
+	pp, err := http.Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof endpoint status = %d", pp.StatusCode)
+	}
+}

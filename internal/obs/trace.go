@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer records a forest of hierarchical spans: job → layer → task
+// attempt → stage. Tracing is explicitly opt-in — a nil *Tracer and a nil
+// *Span are both valid receivers whose methods no-op — so instrumented
+// code threads spans unconditionally and pays nothing when tracing is
+// off.
+type Tracer struct {
+	mu    sync.Mutex
+	roots []*Span
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{}
+}
+
+// Start opens a root span. Nil-safe: a nil tracer returns a nil span.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{name: name, start: time.Now()}
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Roots returns the root spans recorded so far.
+func (t *Tracer) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+// Span is one timed region of work. Children may be opened concurrently
+// from multiple goroutines (task attempts of one phase); all methods are
+// safe for concurrent use.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    map[string]any
+	children []*Span
+}
+
+// Child opens a sub-span. Nil-safe: a nil parent returns a nil child, so
+// disabled tracing short-circuits the whole tree.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span. Ending twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// SetInt attaches an integer attribute (bytes, records, attempt numbers).
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.set(key, v)
+}
+
+// SetFloat attaches a float attribute (error bounds, epsilons).
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.set(key, v)
+}
+
+// SetStr attaches a string attribute (worker names, outcomes).
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.set(key, v)
+}
+
+// SetBool attaches a boolean attribute (failed, feasible).
+func (s *Span) SetBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	s.set(key, v)
+}
+
+func (s *Span) set(key string, v any) {
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]any{}
+	}
+	s.attrs[key] = v
+	s.mu.Unlock()
+}
+
+// Name returns the span's name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the span's elapsed time (up to now if still open).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// Attr returns one attribute value (nil when absent).
+func (s *Span) Attr(key string) any {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.attrs[key]
+}
+
+// Children returns the span's sub-spans.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Walk visits the span and every descendant, depth-first.
+func (s *Span) Walk(visit func(*Span)) {
+	if s == nil {
+		return
+	}
+	visit(s)
+	for _, c := range s.Children() {
+		c.Walk(visit)
+	}
+}
+
+// ---- Chrome trace-event export ----
+
+// chromeEvent is one complete ("X") event of the Chrome trace-event
+// format, loadable in chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the object form of the trace file.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes every recorded span as Chrome trace events.
+// Complete events on one pid/tid must nest properly, so sibling spans
+// that overlap in time are pushed onto fresh lanes (tids) while
+// sequential children share their parent's lane.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	var events []chromeEvent
+	var epoch time.Time
+	nextLane := 1
+	for _, root := range t.Roots() {
+		if epoch.IsZero() || root.start.Before(epoch) {
+			epoch = root.start
+		}
+	}
+	var emit func(s *Span, lane int)
+	emit = func(s *Span, lane int) {
+		s.mu.Lock()
+		end := s.end
+		if end.IsZero() {
+			end = time.Now()
+		}
+		args := make(map[string]any, len(s.attrs))
+		for k, v := range s.attrs {
+			args[k] = v
+		}
+		children := append([]*Span(nil), s.children...)
+		s.mu.Unlock()
+		events = append(events, chromeEvent{
+			Name: s.name, Ph: "X",
+			Ts:  float64(s.start.Sub(epoch)) / float64(time.Microsecond),
+			Dur: float64(end.Sub(s.start)) / float64(time.Microsecond),
+			Pid: 1, Tid: lane, Args: args,
+		})
+		// Lane assignment: children sorted by start time, greedily packed —
+		// a child reuses a lane whose previous occupant ended before it
+		// starts (lane 0 is the parent's own lane), otherwise opens a new
+		// one. This keeps strictly sequential phases on the parent's row
+		// and fans concurrent task attempts out onto their own rows.
+		sort.Slice(children, func(i, j int) bool { return children[i].start.Before(children[j].start) })
+		laneFree := map[int]time.Time{lane: s.start}
+		lanes := []int{lane}
+		for _, c := range children {
+			placed := -1
+			for _, l := range lanes {
+				if !laneFree[l].After(c.start) {
+					placed = l
+					break
+				}
+			}
+			if placed < 0 {
+				placed = nextLane + 1
+				nextLane++
+				lanes = append(lanes, placed)
+			}
+			cEnd := c.end
+			if cEnd.IsZero() {
+				cEnd = time.Now()
+			}
+			laneFree[placed] = cEnd
+			emit(c, placed)
+		}
+	}
+	for _, root := range t.Roots() {
+		lane := nextLane
+		nextLane++
+		emit(root, lane)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeDoc{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteChromeTraceFile writes the trace to a file path.
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("job")
+	if s != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	// Every method must be callable on a nil span without panicking.
+	c := s.Child("map")
+	c.SetInt("bytes", 1)
+	c.SetFloat("eps", 0.5)
+	c.SetStr("worker", "w0")
+	c.SetBool("failed", false)
+	c.End()
+	s.End()
+	if s.Name() != "" || s.Duration() != 0 || s.Attr("x") != nil || s.Children() != nil {
+		t.Fatal("nil span accessors must return zero values")
+	}
+	s.Walk(func(*Span) { t.Fatal("walk on nil span must not visit") })
+	if tr.Roots() != nil {
+		t.Fatal("nil tracer roots must be nil")
+	}
+}
+
+func TestSpanTreeAndAttrs(t *testing.T) {
+	tr := NewTracer()
+	job := tr.Start("job:test")
+	job.SetInt("splits", 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			at := job.Child("map")
+			at.SetInt("task", int64(i))
+			at.End()
+		}(i)
+	}
+	wg.Wait()
+	job.End()
+
+	if got := job.Attr("splits"); got != int64(4) {
+		t.Fatalf("attr splits = %v", got)
+	}
+	kids := job.Children()
+	if len(kids) != 4 {
+		t.Fatalf("children = %d, want 4", len(kids))
+	}
+	var visited int
+	job.Walk(func(*Span) { visited++ })
+	if visited != 5 {
+		t.Fatalf("walk visited %d spans, want 5", visited)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer()
+	job := tr.Start("job:trace")
+	m := job.Child("map-phase")
+	a := m.Child("attempt")
+	a.SetInt("task", 0)
+	time.Sleep(2 * time.Millisecond)
+	a.End()
+	b := m.Child("attempt")
+	b.SetInt("task", 1)
+	b.End()
+	m.End()
+	r := job.Child("reduce-phase")
+	r.End()
+	job.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("events = %d, want 5", len(doc.TraceEvents))
+	}
+	byName := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q has phase %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Ts < 0 || ev.Dur < 0 {
+			t.Fatalf("event %q has negative ts/dur", ev.Name)
+		}
+		byName[ev.Name]++
+	}
+	if byName["job:trace"] != 1 || byName["map-phase"] != 1 || byName["attempt"] != 2 || byName["reduce-phase"] != 1 {
+		t.Fatalf("event names = %v", byName)
+	}
+	// Sequential children (map-phase then reduce-phase) share the job's
+	// lane; the two attempts are sequential too, so they share map-phase's.
+	var jobTid, mapTid, reduceTid int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Name {
+		case "job:trace":
+			jobTid = ev.Tid
+		case "map-phase":
+			mapTid = ev.Tid
+		case "reduce-phase":
+			reduceTid = ev.Tid
+		}
+	}
+	if mapTid != jobTid || reduceTid != jobTid {
+		t.Fatalf("sequential phases should share the job lane: job=%d map=%d reduce=%d", jobTid, mapTid, reduceTid)
+	}
+}
+
+func TestWriteChromeTraceOverlappingSiblings(t *testing.T) {
+	tr := NewTracer()
+	job := tr.Start("job")
+	// Two children that overlap in time must land on different lanes or
+	// chrome://tracing would mis-nest the complete events.
+	a := job.Child("a")
+	time.Sleep(time.Millisecond)
+	b := job.Child("b")
+	time.Sleep(time.Millisecond)
+	a.End()
+	b.End()
+	job.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	tids := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		tids[ev.Name] = ev.Tid
+	}
+	if tids["a"] == tids["b"] {
+		t.Fatalf("overlapping siblings share lane %d", tids["a"])
+	}
+	if tids["a"] != tids["job"] {
+		t.Fatalf("first child should inherit the parent lane: job=%d a=%d", tids["job"], tids["a"])
+	}
+}
+
+func TestWriteChromeTraceFile(t *testing.T) {
+	tr := NewTracer()
+	tr.Start("root").End()
+	path := t.TempDir() + "/trace.json"
+	if err := tr.WriteChromeTraceFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty trace output")
+	}
+}

@@ -17,7 +17,19 @@ import (
 	"net/http"
 	"strconv"
 
+	"dwmaxerr/internal/obs"
 	"dwmaxerr/internal/synopsis"
+)
+
+// Query-serving metrics (serve_* prefix). Counted at the handler, not in
+// the mux, so only recognized endpoints contribute; bad requests are
+// counted once per rejected query in httpError.
+var (
+	obsInfoQueries  = obs.Default.Counter("serve_info_queries")
+	obsPointQueries = obs.Default.Counter("serve_point_queries")
+	obsRangeQueries = obs.Default.Counter("serve_range_queries")
+	obsCoefQueries  = obs.Default.Counter("serve_coefficient_queries")
+	obsBadRequests  = obs.Default.Counter("serve_bad_requests")
 )
 
 // Server answers approximate queries against one synopsis.
@@ -77,6 +89,7 @@ type RangeAnswer struct {
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	obsInfoQueries.Inc()
 	writeJSON(w, Info{
 		N:           s.syn.N,
 		Terms:       s.syn.Size(),
@@ -86,6 +99,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	obsPointQueries.Inc()
 	i, err := intParam(r, "i")
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -105,6 +119,7 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	obsRangeQueries.Inc()
 	lo, err := intParam(r, "lo")
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -131,6 +146,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCoefficients(w http.ResponseWriter, r *http.Request) {
+	obsCoefQueries.Inc()
 	type term struct {
 		Index int     `json:"index"`
 		Value float64 `json:"value"`
@@ -160,6 +176,9 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {
+	if code == http.StatusBadRequest {
+		obsBadRequests.Inc()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Coverage ratchet for the engine packages: fails when the combined
+# statement coverage of internal/mr + internal/dist drops below the
+# committed floor in scripts/coverage_floor.txt.
+#
+#   scripts/coverage.sh            # check against the floor (CI runs this)
+#   scripts/coverage.sh -update    # rewrite the floor to current coverage
+#
+# The floor is deliberately a little below measured coverage so benign
+# churn doesn't flake; raise it via -update when coverage improves.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+profile=$(mktemp)
+trap 'rm -f "$profile"' EXIT
+go test -count=1 -coverprofile="$profile" ./internal/mr/ ./internal/dist/ >/dev/null
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+
+if [ "${1:-}" = "-update" ]; then
+    echo "$total" > scripts/coverage_floor.txt
+    echo "coverage floor updated to ${total}%"
+    exit 0
+fi
+
+floor=$(cat scripts/coverage_floor.txt)
+echo "internal/mr + internal/dist coverage: ${total}% (floor: ${floor}%)"
+awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t+0 >= f+0) }' || {
+    echo "FAIL: coverage ${total}% fell below the committed floor ${floor}%" >&2
+    echo "(if the drop is intentional, lower scripts/coverage_floor.txt in the same change)" >&2
+    exit 1
+}
