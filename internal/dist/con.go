@@ -26,7 +26,8 @@ import (
 // All three produce exactly the same synopsis; they differ in computation
 // and shuffle volume, which the metrics expose.
 
-// coefPayload is the shuffled (index, value) record.
+// coefPayload is the shuffled (index, value) record, carried on the wire
+// by appendIdxVal/decodeIdxVal.
 type coefPayload struct {
 	Index int
 	Value float64
@@ -93,9 +94,12 @@ func conJob(src Source, n, s int) *mr.Job {
 			if err != nil {
 				return err
 			}
-			kbuf := make([]byte, 0, 17) // reused across emits: the engine copies
+			// Both buffers are reused across emits: the engine copies.
+			kbuf := make([]byte, 0, 17)
+			vbuf := make([]byte, 0, idxValLen)
 			kbuf = appendSigKey(kbuf, kindAverage, float64(-idx), idx)
-			if err := emit(kbuf, mr.MustGobEncode(coefPayload{Index: idx, Value: avg})); err != nil {
+			vbuf = appendIdxVal(vbuf, idx, avg)
+			if err := emit(kbuf, vbuf); err != nil {
 				return err
 			}
 			for li := 1; li < len(details); li++ {
@@ -105,7 +109,8 @@ func conJob(src Source, n, s int) *mr.Job {
 				gi := wavelet.GlobalIndex(n, s, idx, li)
 				sig := wavelet.SignificanceOrderValue(gi, details[li])
 				kbuf = appendSigKey(kbuf[:0], kindCoef, sig, gi)
-				if err := emit(kbuf, mr.MustGobEncode(coefPayload{Index: gi, Value: details[li]})); err != nil {
+				vbuf = appendIdxVal(vbuf[:0], gi, details[li])
+				if err := emit(kbuf, vbuf); err != nil {
 					return err
 				}
 			}
@@ -123,14 +128,14 @@ func selectConventional(pairs []mr.Pair, n, s, budget int) (*synopsis.Synopsis, 
 	means := make([]float64, n/s)
 	stream := make([]coefPayload, 0, len(pairs))
 	for _, kv := range pairs {
-		var p coefPayload
-		if err := mr.GobDecode(kv.Value, &p); err != nil {
+		idx, val, err := decodeIdxVal(kv.Value)
+		if err != nil {
 			return nil, err
 		}
 		if len(kv.Key) > 0 && kv.Key[0] == kindAverage {
-			means[p.Index] = p.Value
+			means[idx] = val
 		} else {
-			stream = append(stream, p)
+			stream = append(stream, coefPayload{Index: idx, Value: val})
 		}
 	}
 	// Root sub-tree coefficients: the transform of the chunk means gives

@@ -52,12 +52,6 @@ func localPartials(data []float64, n, lo, hi int) map[int]float64 {
 	return partials
 }
 
-// hwRecord is one (mapper, coefficient, partial value) observation.
-type hwRecord struct {
-	Mapper int
-	Value  float64
-}
-
 // HWTopk builds the conventional synopsis via the three-round protocol.
 func HWTopk(src Source, budget int, cfg Config) (*Report, error) {
 	n := src.N()
@@ -130,11 +124,11 @@ func HWTopk(src Source, budget int, cfg Config) (*Report, error) {
 				coefs = append(coefs, c)
 			}
 			sort.Ints(coefs)
-			var kbuf []byte // reused across emits: the engine copies
+			var kbuf, vbuf []byte // reused across emits: the engine copies
 			for _, c := range coefs {
-				payload := mr.MustGobEncode(hwRecord{Mapper: idx, Value: send[c]})
+				vbuf = appendIdxVal(vbuf[:0], idx, send[c])
 				kbuf = mr.AppendUint64(append(kbuf[:0], 1), uint64(c))
-				if err := emit(kbuf, payload); err != nil {
+				if err := emit(kbuf, vbuf); err != nil {
 					return err
 				}
 			}
@@ -157,14 +151,14 @@ func HWTopk(src Source, budget int, cfg Config) (*Report, error) {
 			continue
 		}
 		coef := int(mr.DecodeUint64(kv.Key[1:]))
-		var rec hwRecord
-		if err := mr.GobDecode(kv.Value, &rec); err != nil {
+		mapper, val, err := decodeIdxVal(kv.Value)
+		if err != nil {
 			return nil, err
 		}
 		if seen[coef] == nil {
 			seen[coef] = map[int]float64{}
 		}
-		seen[coef][rec.Mapper] = rec.Value
+		seen[coef][mapper] = val
 	}
 	tau := func(coef int, absent func(mi int) (float64, float64)) (tp, tm float64) {
 		got := seen[coef]
@@ -218,11 +212,11 @@ func HWTopk(src Source, budget int, cfg Config) (*Report, error) {
 				}
 			}
 			sort.Ints(coefs)
-			var kbuf []byte // reused across emits: the engine copies
+			var kbuf, vbuf []byte // reused across emits: the engine copies
 			for _, c := range coefs {
-				payload := mr.MustGobEncode(hwRecord{Mapper: idx, Value: partials[c]})
+				vbuf = appendIdxVal(vbuf[:0], idx, partials[c])
 				kbuf = mr.AppendUint64(kbuf[:0], uint64(c))
-				if err := emit(kbuf, payload); err != nil {
+				if err := emit(kbuf, vbuf); err != nil {
 					return err
 				}
 			}
@@ -237,14 +231,14 @@ func HWTopk(src Source, budget int, cfg Config) (*Report, error) {
 	report.Jobs = append(report.Jobs, res2.Metrics)
 	for _, kv := range res2.Partitions[0] {
 		coef := int(mr.DecodeUint64(kv.Key))
-		var rec hwRecord
-		if err := mr.GobDecode(kv.Value, &rec); err != nil {
+		mapper, val, err := decodeIdxVal(kv.Value)
+		if err != nil {
 			return nil, err
 		}
 		if seen[coef] == nil {
 			seen[coef] = map[int]float64{}
 		}
-		seen[coef][rec.Mapper] = rec.Value
+		seen[coef][mapper] = val
 	}
 	refined := func(coef int) (tp, tm float64) {
 		return tau(coef, func(mi int) (float64, float64) {

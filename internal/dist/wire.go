@@ -1,0 +1,29 @@
+package dist
+
+import (
+	"fmt"
+
+	"dwmaxerr/internal/mr"
+)
+
+// idxValLen is the wire size of an (index, value) shuffle record.
+const idxValLen = 16
+
+// appendIdxVal appends the fixed-width encoding of the (index, value)
+// record every dist strategy shuffles: 8-byte big-endian index followed
+// by the 8-byte order-preserving float64. No reflection, no per-record
+// allocation — map hot loops reuse one scratch buffer (emit copies),
+// per the shuffle fast-path contract dwlint's wireappend analyzer
+// enforces.
+func appendIdxVal(dst []byte, idx int, val float64) []byte {
+	dst = mr.AppendUint64(dst, uint64(idx))
+	return mr.AppendFloat64(dst, val)
+}
+
+// decodeIdxVal reverses appendIdxVal.
+func decodeIdxVal(b []byte) (int, float64, error) {
+	if len(b) != idxValLen {
+		return 0, 0, fmt.Errorf("dist: index/value record is %d bytes, want %d", len(b), idxValLen)
+	}
+	return int(mr.DecodeUint64(b[:8])), mr.DecodeFloat64(b[8:]), nil
+}

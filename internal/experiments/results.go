@@ -36,7 +36,7 @@ type Record struct {
 // Collector gathers Records across experiments. Safe for concurrent use.
 type Collector struct {
 	mu      sync.Mutex
-	records []Record
+	records []Record // guarded by mu
 }
 
 // Add appends one record.

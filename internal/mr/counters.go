@@ -12,7 +12,7 @@ import (
 // backups never double-count.
 type Counters struct {
 	mu sync.Mutex
-	m  map[string]int64
+	m  map[string]int64 // guarded by mu
 }
 
 // NewCounters returns an empty counter set.

@@ -101,9 +101,9 @@ type Coordinator struct {
 	monitorOnce sync.Once
 
 	mu      sync.Mutex
-	cond    *sync.Cond // signaled on worker join, release, death, close
-	workers []*workerConn
-	closed  bool
+	cond    *sync.Cond    // signaled on worker join, release, death, close
+	workers []*workerConn // guarded by mu
+	closed  bool          // guarded by mu
 	done    chan struct{}
 }
 
@@ -124,11 +124,10 @@ type workerConn struct {
 	sendMu sync.Mutex
 	fw     *frameWriter
 
-	// Guarded by Coordinator.mu:
-	dead     bool
-	busy     bool
-	lastBeat time.Time
-	pending  chan taskOutcome // non-nil while a task is in flight
+	dead     bool             // guarded by Coordinator.mu
+	busy     bool             // guarded by Coordinator.mu
+	lastBeat time.Time        // guarded by Coordinator.mu
+	pending  chan taskOutcome // guarded by Coordinator.mu; non-nil while a task is in flight
 }
 
 // sendTask encodes and writes one task frame (scratch buffer pooled).

@@ -118,9 +118,9 @@ type HistogramSnapshot struct {
 // stable for the registry's lifetime and their updates are lock-free.
 type Registry struct {
 	mu         sync.RWMutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	counters   map[string]*Counter   // guarded by mu
+	gauges     map[string]*Gauge     // guarded by mu
+	histograms map[string]*Histogram // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

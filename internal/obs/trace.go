@@ -16,7 +16,7 @@ import (
 // off.
 type Tracer struct {
 	mu    sync.Mutex
-	roots []*Span
+	roots []*Span // guarded by mu
 }
 
 // NewTracer returns an empty tracer.
@@ -54,9 +54,9 @@ type Span struct {
 	start time.Time
 
 	mu       sync.Mutex
-	end      time.Time
-	attrs    map[string]any
-	children []*Span
+	end      time.Time      // guarded by mu
+	attrs    map[string]any // guarded by mu
+	children []*Span        // guarded by mu
 }
 
 // Child opens a sub-span. Nil-safe: a nil parent returns a nil child, so
@@ -197,6 +197,19 @@ type chromeDoc struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
+// endOrNow returns the span's end time under its lock, or the current
+// time for a span still open. Callers that lay out timelines must use
+// this rather than reading end directly: the span may be ended
+// concurrently by a task attempt.
+func (s *Span) endOrNow() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return time.Now()
+	}
+	return s.end
+}
+
 // WriteChromeTrace writes every recorded span as Chrome trace events.
 // Complete events on one pid/tid must nest properly, so sibling spans
 // that overlap in time are pushed onto fresh lanes (tids) while
@@ -250,11 +263,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 				nextLane++
 				lanes = append(lanes, placed)
 			}
-			cEnd := c.end
-			if cEnd.IsZero() {
-				cEnd = time.Now()
-			}
-			laneFree[placed] = cEnd
+			laneFree[placed] = c.endOrNow()
 			emit(c, placed)
 		}
 	}

@@ -17,19 +17,7 @@ import (
 	"net/http"
 	"strconv"
 
-	"dwmaxerr/internal/obs"
 	"dwmaxerr/internal/synopsis"
-)
-
-// Query-serving metrics (serve_* prefix). Counted at the handler, not in
-// the mux, so only recognized endpoints contribute; bad requests are
-// counted once per rejected query in httpError.
-var (
-	obsInfoQueries  = obs.Default.Counter("serve_info_queries")
-	obsPointQueries = obs.Default.Counter("serve_point_queries")
-	obsRangeQueries = obs.Default.Counter("serve_range_queries")
-	obsCoefQueries  = obs.Default.Counter("serve_coefficient_queries")
-	obsBadRequests  = obs.Default.Counter("serve_bad_requests")
 )
 
 // Server answers approximate queries against one synopsis.

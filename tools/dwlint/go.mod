@@ -1,0 +1,5 @@
+module dwmaxerr/tools/dwlint
+
+go 1.24
+
+replace dwmaxerr => ../..

@@ -1,0 +1,191 @@
+// Package anz is a deliberately small reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass, diagnostics,
+// an analysistest-style fixture runner) on top of the standard library
+// only. The repo's policy is that the main module stays dependency-free
+// and builds offline; x/tools is not vendored, so dwlint carries the ~300
+// lines of driver it actually needs instead of the full framework. The
+// API shape mirrors go/analysis closely enough that porting an analyzer
+// to the real framework is mechanical.
+package anz
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check. It mirrors analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //dwlint:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the contract enforced.
+	Doc string
+	// Run executes the check against one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one (analyzer, package) execution. It mirrors
+// analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags   *[]Diagnostic
+	ignores ignoreIndex
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a diagnostic at pos unless a //dwlint:ignore directive
+// on the same line or the line above suppresses this analyzer there.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if p.ignores.suppressed(position, p.Analyzer.Name) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// ---- ignore directives ----
+
+// ignoreRe matches suppression directives:
+//
+//	//dwlint:ignore <name>[,<name>...] -- <reason>
+//
+// The reason is mandatory: a suppression without a recorded justification
+// is itself reported. "all" suppresses every analyzer.
+var ignoreRe = regexp.MustCompile(`^//dwlint:ignore\s+([A-Za-z0-9_,]+)\s*(?:--\s*(.*))?$`)
+
+type ignoreDirective struct {
+	names  map[string]bool
+	reason string
+	pos    token.Position
+}
+
+// ignoreIndex maps filename -> line -> directive.
+type ignoreIndex map[string]map[int]ignoreDirective
+
+// suppressed reports whether a diagnostic for analyzer name at pos is
+// covered by a directive on its line or the line above.
+func (ix ignoreIndex) suppressed(pos token.Position, name string) bool {
+	lines := ix[pos.Filename]
+	for _, ln := range []int{pos.Line, pos.Line - 1} {
+		if d, ok := lines[ln]; ok && (d.names[name] || d.names["all"]) && d.reason != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// buildIgnoreIndex scans every comment in the package for directives.
+// Directives with no reason are reported as findings so suppressions
+// stay honest.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) ignoreIndex {
+	ix := ignoreIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				names := map[string]bool{}
+				for _, n := range strings.Split(m[1], ",") {
+					names[strings.TrimSpace(n)] = true
+				}
+				reason := strings.TrimSpace(m[2])
+				if reason == "" {
+					*diags = append(*diags, Diagnostic{
+						Pos:      pos,
+						Message:  "dwlint:ignore directive needs a justification: //dwlint:ignore <name> -- <reason>",
+						Analyzer: "dwlint",
+					})
+					continue
+				}
+				if ix[pos.Filename] == nil {
+					ix[pos.Filename] = map[int]ignoreDirective{}
+				}
+				ix[pos.Filename][pos.Line] = ignoreDirective{names: names, reason: reason, pos: pos}
+			}
+		}
+	}
+	return ix
+}
+
+// RunAnalyzers executes every analyzer over every package and returns
+// the combined findings sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := buildIgnoreIndex(pkg.Fset, pkg.Files, &diags)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+				ignores:  ignores,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// InspectStack walks root in depth-first order calling fn with each node
+// and the stack of its ancestors (outermost first, not including n).
+// Returning false prunes the subtree. It stands in for
+// x/tools/go/ast/inspector's WithStack.
+func InspectStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		cont := fn(n, stack)
+		if cont {
+			stack = append(stack, n)
+		}
+		return cont
+	})
+}

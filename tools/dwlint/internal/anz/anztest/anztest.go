@@ -1,0 +1,114 @@
+// Package anztest runs an analyzer over a fixture package and checks its
+// diagnostics against `// want "regexp"` comments, the analysistest
+// convention: every diagnostic must match a want on its line, and every
+// want must be matched by a diagnostic.
+package anztest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dwmaxerr/tools/dwlint/internal/anz"
+)
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads ./testdata/src/<fixture> (relative to the calling test's
+// package directory) and asserts a's diagnostics line up with the
+// fixture's want comments.
+func Run(t *testing.T, a *anz.Analyzer, fixture string) {
+	t.Helper()
+	pkgs, err := anz.Load(".", "./testdata/src/"+fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s matched no packages", fixture)
+	}
+
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ws, err := parseWants(pkg.Fset, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants = append(wants, ws...)
+		}
+	}
+
+	diags, err := anz.RunAnalyzers(pkgs, []*anz.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic at %s: %s", d.Pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unmatched want on d's line whose regexp matches.
+func claim(wants []*want, d anz.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRe matches `// want "re"` with one or more quoted regexps.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func parseWants(fset *token.FileSet, f *ast.File) ([]*want, error) {
+	var wants []*want
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(m[1])
+			for rest != "" {
+				if rest[0] != '"' && rest[0] != '`' {
+					return nil, fmt.Errorf("%s:%d: malformed want comment (expected quoted regexp): %s", pos.Filename, pos.Line, c.Text)
+				}
+				q, err := strconv.QuotedPrefix(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: malformed want comment: %v", pos.Filename, pos.Line, err)
+				}
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: malformed want comment: %v", pos.Filename, pos.Line, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+				}
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				rest = strings.TrimSpace(rest[len(q):])
+			}
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,67 @@
+package anz
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, ignoreIndex, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []Diagnostic
+	ix := buildIgnoreIndex(fset, []*ast.File{f}, &diags)
+	return fset, ix, diags
+}
+
+func TestIgnoreDirectiveSuppresses(t *testing.T) {
+	src := `package p
+
+//dwlint:ignore spanend -- span outlives this helper by design
+var x = 1
+
+//dwlint:ignore all -- generated code
+var y = 2
+`
+	fset, ix, diags := parseOne(t, src)
+	_ = fset
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+	if !ix.suppressed(token.Position{Filename: "fix.go", Line: 4}, "spanend") {
+		t.Error("directive on line 3 should suppress spanend on line 4")
+	}
+	if !ix.suppressed(token.Position{Filename: "fix.go", Line: 3}, "spanend") {
+		t.Error("directive should suppress on its own line")
+	}
+	if ix.suppressed(token.Position{Filename: "fix.go", Line: 4}, "lockguard") {
+		t.Error("directive must not suppress other analyzers")
+	}
+	if ix.suppressed(token.Position{Filename: "fix.go", Line: 5}, "spanend") {
+		t.Error("directive must not reach two lines down")
+	}
+	if !ix.suppressed(token.Position{Filename: "fix.go", Line: 7}, "lockguard") {
+		t.Error("'all' directive should suppress every analyzer")
+	}
+}
+
+func TestIgnoreDirectiveNeedsReason(t *testing.T) {
+	src := `package p
+
+//dwlint:ignore spanend
+var x = 1
+`
+	_, ix, diags := parseOne(t, src)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "justification") {
+		t.Fatalf("want one missing-justification diagnostic, got %v", diags)
+	}
+	if ix.suppressed(token.Position{Filename: "fix.go", Line: 4}, "spanend") {
+		t.Error("reasonless directive must not suppress anything")
+	}
+}

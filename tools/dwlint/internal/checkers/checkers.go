@@ -1,0 +1,129 @@
+// Package checkers holds the five dwlint analyzers, each encoding one
+// contract the engine states in prose:
+//
+//   - emitretain: the arena pooling contract (mr/arena.go) — Emit
+//     implementations copy before returning, reduce callbacks don't
+//     retain group slices.
+//   - lockguard: `// guarded by <mu>` field annotations (mr/tcp.go) are
+//     enforced, not just documented.
+//   - metricname: obs metric names are compile-time constants matching
+//     ^(mr|dist|serve)_[a-z0-9_]+$, declared in the package's metrics.go.
+//   - spanend: every Tracer.Start / Span.Child result reaches End on all
+//     paths (defer or per-return).
+//   - wireappend: task hot loops use the mr.Append* codec helpers, never
+//     per-record gob / binary.Write (the PR 2 shuffle fast path).
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dwmaxerr/tools/dwlint/internal/anz"
+)
+
+// Import paths of the packages whose types key the checks.
+const (
+	mrPath  = "dwmaxerr/internal/mr"
+	obsPath = "dwmaxerr/internal/obs"
+)
+
+// All returns every analyzer, in the order the multichecker runs them.
+func All() []*anz.Analyzer {
+	return []*anz.Analyzer{
+		Emitretain,
+		Lockguard,
+		Metricname,
+		Spanend,
+		Wireappend,
+	}
+}
+
+// namedFrom unwraps pointers and aliases to the defining *types.Named,
+// or nil.
+func namedFrom(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := types.Unalias(t).(*types.Named)
+	return n
+}
+
+// isNamed reports whether t (or *t) is the named type pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedFrom(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// methodOn resolves call's callee as a method named name on the named
+// type pkgPath.recvName, returning false otherwise.
+func methodOn(pass *anz.Pass, call *ast.CallExpr, pkgPath, recvName, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isNamed(sig.Recv().Type(), pkgPath, recvName)
+}
+
+// pkgFunc resolves call's callee as the package-level function
+// pkgPath.name, returning false otherwise.
+func pkgFunc(pass *anz.Pass, call *ast.CallExpr, pkgPath, name string) bool {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Name() != name || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath
+}
+
+// funcParts returns the type and body of a function declaration or
+// literal node, or false for any other node.
+func funcParts(n ast.Node) (*ast.FuncType, *ast.BlockStmt, bool) {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		return fn.Type, fn.Body, true
+	case *ast.FuncLit:
+		return fn.Type, fn.Body, true
+	}
+	return nil, nil, false
+}
+
+// innermostFunc returns the innermost enclosing function node from an
+// InspectStack ancestor stack, or nil.
+func innermostFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, _, ok := funcParts(stack[i]); ok {
+			return stack[i]
+		}
+	}
+	return nil
+}

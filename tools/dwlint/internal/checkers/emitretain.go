@@ -1,0 +1,295 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dwmaxerr/tools/dwlint/internal/anz"
+)
+
+// Emitretain enforces the arena pooling contract from mr/arena.go on
+// both sides of the Emit boundary:
+//
+//   - An Emit implementation (any func(key, value []byte) error) must
+//     copy its arguments before storing them anywhere that outlives the
+//     call: callers reuse one scratch buffer across emits, so a stored
+//     raw slice is clobbered by the very next record.
+//   - A reduce/combine callback (TaskContext + Emit + [][]byte params)
+//     must not let the group slices escape the task: the values header
+//     is reused for the next group and the byte slices live in pooled
+//     arena blocks that recycle when the task's output is serialized.
+//     One escaped slice resurfaces later holding another task's bytes.
+//
+// Flagged escapes: storing a bare (uncopied) tracked slice into a struct
+// field, a composite literal, a container captured from an outer scope,
+// a variable from an outer scope, through a pointer, or sending it on a
+// channel. Local aliases (x := values[i]; for _, v := range values) are
+// tracked one level deep in source order. Passing a tracked slice to a
+// function call is allowed — emit copies, and deeper interprocedural
+// escapes are out of scope for a lexical checker.
+var Emitretain = &anz.Analyzer{
+	Name: "emitretain",
+	Doc:  "don't retain/alias key/value slices passed to Emit or reduce group values past the callback",
+	Run:  runEmitretain,
+}
+
+func runEmitretain(pass *anz.Pass) error {
+	for _, file := range pass.Files {
+		anz.InspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			ft, body, ok := funcParts(n)
+			if !ok || body == nil {
+				return true
+			}
+			tracked := candidateParams(pass, ft)
+			if len(tracked) == 0 {
+				return true
+			}
+			checkRetention(pass, n, body, tracked)
+			return true
+		})
+	}
+	return nil
+}
+
+// candidateParams returns the arena-backed parameters of a task or emit
+// function, or nil if the function is neither.
+func candidateParams(pass *anz.Pass, ft *ast.FuncType) map[*types.Var]bool {
+	if ft.Params == nil {
+		return nil
+	}
+	var (
+		params    []*types.Var
+		hasCtx    bool
+		hasEmit   bool
+		byteSlice []*types.Var // []byte params
+		grouped   []*types.Var // [][]byte params
+	)
+	for _, f := range ft.Params.List {
+		tv, ok := pass.Info.Types[f.Type]
+		if !ok {
+			continue
+		}
+		for _, name := range f.Names {
+			v, ok := pass.Info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			params = append(params, v)
+			switch {
+			case isNamed(tv.Type, mrPath, "TaskContext"):
+				hasCtx = true
+			case isNamed(tv.Type, mrPath, "Emit"):
+				hasEmit = true
+			case isByteSlice(tv.Type):
+				byteSlice = append(byteSlice, v)
+			case isByteSliceSlice(tv.Type):
+				grouped = append(grouped, v)
+			}
+		}
+	}
+	tracked := map[*types.Var]bool{}
+	switch {
+	case hasCtx && hasEmit:
+		// Reduce/combine callback: key and values are arena-backed.
+		for _, v := range byteSlice {
+			tracked[v] = true
+		}
+		for _, v := range grouped {
+			tracked[v] = true
+		}
+	case len(params) == 2 && len(byteSlice) == 2 && resultsError(pass, ft):
+		// Emit implementation: func(key, value []byte) error.
+		for _, v := range byteSlice {
+			tracked[v] = true
+		}
+	}
+	if len(tracked) == 0 {
+		return nil
+	}
+	return tracked
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isByteSliceSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	return ok && isByteSlice(s.Elem())
+}
+
+func resultsError(pass *anz.Pass, ft *ast.FuncType) bool {
+	if ft.Results == nil || len(ft.Results.List) != 1 {
+		return false
+	}
+	tv, ok := pass.Info.Types[ft.Results.List[0].Type]
+	return ok && tv.Type != nil && tv.Type.String() == "error"
+}
+
+// checkRetention walks one candidate function body flagging escapes of
+// tracked slices.
+func checkRetention(pass *anz.Pass, fnNode ast.Node, body *ast.BlockStmt, tracked map[*types.Var]bool) {
+	// Pass 1, in source order: extend tracking through local aliases
+	// (x := values; v := values[i]; for _, v := range values).
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range node.Rhs {
+				if i >= len(node.Lhs) || trackedAlias(pass, rhs, tracked) == nil {
+					continue
+				}
+				if id, ok := node.Lhs[i].(*ast.Ident); ok {
+					if v, ok := pass.Info.Defs[id].(*types.Var); ok {
+						tracked[v] = true
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if trackedAlias(pass, node.X, tracked) != nil && node.Value != nil {
+				if id, ok := node.Value.(*ast.Ident); ok {
+					if v, ok := pass.Info.Defs[id].(*types.Var); ok {
+						tracked[v] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: flag escapes.
+	anz.InspectStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range node.Rhs {
+				if i >= len(node.Lhs) {
+					break
+				}
+				v := trackedAlias(pass, rhs, tracked)
+				if v == nil {
+					continue
+				}
+				switch lhs := node.Lhs[i].(type) {
+				case *ast.Ident:
+					if obj, ok := objOf(pass, lhs).(*types.Var); ok && obj != nil && !declaredWithin(pass, obj, fnNode) {
+						pass.Reportf(rhs.Pos(), "arena-backed slice %s assigned to %s captured from outside the task function: it is recycled when the task ends (copy it first)", v.Name(), lhs.Name)
+					}
+				case *ast.SelectorExpr:
+					pass.Reportf(rhs.Pos(), "arena-backed slice %s stored in a field without copying: the engine reuses its backing memory (arena contract, mr/arena.go)", v.Name())
+				case *ast.IndexExpr:
+					if base := baseIdent(lhs.X); base != nil {
+						if obj, ok := objOf(pass, base).(*types.Var); ok && !declaredWithin(pass, obj, fnNode) {
+							pass.Reportf(rhs.Pos(), "arena-backed slice %s stored into container %s captured from outside the task function (copy it first)", v.Name(), base.Name)
+						}
+					}
+				case *ast.StarExpr:
+					pass.Reportf(rhs.Pos(), "arena-backed slice %s stored through a pointer without copying (arena contract, mr/arena.go)", v.Name())
+				}
+			}
+		case *ast.SendStmt:
+			if v := trackedAlias(pass, node.Value, tracked); v != nil {
+				pass.Reportf(node.Value.Pos(), "arena-backed slice %s sent on a channel: the receiver outlives the task's arena (copy it first)", v.Name())
+			}
+		case *ast.CompositeLit:
+			for _, elt := range node.Elts {
+				expr := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					expr = kv.Value
+				}
+				if v := trackedAlias(pass, expr, tracked); v != nil {
+					pass.Reportf(expr.Pos(), "arena-backed slice %s aliased into a composite literal without copying (arena contract, mr/arena.go)", v.Name())
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(node.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && len(node.Args) > 1 {
+					checkAppend(pass, node, fnNode, tracked)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkAppend flags append(dst, tracked...) when dst outlives the task:
+// a field, or a slice captured from an outer scope.
+func checkAppend(pass *anz.Pass, call *ast.CallExpr, fnNode ast.Node, tracked map[*types.Var]bool) {
+	var v *types.Var
+	for _, arg := range call.Args[1:] {
+		if v = trackedAlias(pass, arg, tracked); v != nil {
+			break
+		}
+	}
+	if v == nil {
+		return
+	}
+	switch dst := ast.Unparen(call.Args[0]).(type) {
+	case *ast.SelectorExpr:
+		pass.Reportf(call.Pos(), "arena-backed slice %s appended into a field without copying (arena contract, mr/arena.go)", v.Name())
+	case *ast.Ident:
+		if obj, ok := objOf(pass, dst).(*types.Var); ok && !declaredWithin(pass, obj, fnNode) {
+			pass.Reportf(call.Pos(), "arena-backed slice %s appended into %s captured from outside the task function (copy it first)", v.Name(), dst.Name)
+		}
+	}
+}
+
+// trackedAlias unwraps expr to a bare alias of a tracked slice: the
+// identifier itself, an index/slice of it, or a slice-to-slice
+// conversion of one. Anything routed through a real function call is a
+// copy by convention and passes.
+func trackedAlias(pass *anz.Pass, expr ast.Expr, tracked map[*types.Var]bool) *types.Var {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if v, ok := objOf(pass, e).(*types.Var); ok && tracked[v] {
+			return v
+		}
+	case *ast.IndexExpr:
+		return trackedAlias(pass, e.X, tracked)
+	case *ast.SliceExpr:
+		return trackedAlias(pass, e.X, tracked)
+	case *ast.CallExpr:
+		// A conversion to another slice type ([]byte(x)) aliases the same
+		// backing array; a conversion to string or a function call copies.
+		if tv, ok := pass.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			if _, isSlice := tv.Type.Underlying().(*types.Slice); isSlice {
+				return trackedAlias(pass, e.Args[0], tracked)
+			}
+		}
+	}
+	return nil
+}
+
+func objOf(pass *anz.Pass, id *ast.Ident) types.Object {
+	if o := pass.Info.Uses[id]; o != nil {
+		return o
+	}
+	return pass.Info.Defs[id]
+}
+
+// baseIdent digs to the leftmost identifier of a selector/index chain.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether v's declaration lies inside fnNode —
+// i.e. it is local to the candidate function (parameters included).
+func declaredWithin(pass *anz.Pass, v *types.Var, fnNode ast.Node) bool {
+	return v.Pos() >= fnNode.Pos() && v.Pos() <= fnNode.End()
+}

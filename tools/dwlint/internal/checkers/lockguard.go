@@ -1,0 +1,238 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"dwmaxerr/tools/dwlint/internal/anz"
+)
+
+// Lockguard turns `// guarded by <mu>` field comments from prose into an
+// enforced contract. Two annotation forms are recognized, matching the
+// two locking regimes in internal/mr/tcp.go:
+//
+//	sendMu sync.Mutex // guards fw
+//	dead   bool       // guarded by mu              (sibling mutex field)
+//	busy   bool       // guarded by Coordinator.mu  (another struct's mutex)
+//
+// Every read or write of an annotated field must be preceded, within the
+// same (innermost) function, by a Lock or RLock call on the named mutex:
+// for sibling guards the mutex must hang off the same base expression as
+// the access (w.dead needs w.mu.Lock / x.w.dead needs x.w.mu.Lock); for
+// foreign guards any value of the owning type may hold the lock (w.dead
+// needs some c.mu.Lock with c a Coordinator). Composite-literal
+// construction is exempt (the value is unpublished), as are functions
+// whose name ends in "Locked" or whose doc says the caller holds the
+// lock.
+//
+// The check is lexical, not a dominance analysis: a Lock anywhere
+// earlier in the same function satisfies it, and Unlocks are ignored.
+// That is deliberately the same precision as a human reviewer scanning
+// one function — it catches the lock-free field read that reintroduces
+// the seed's data race, at zero false positives on lock/unlock/relock
+// sequences.
+var Lockguard = &anz.Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated `// guarded by <mu>` may only be accessed with the named lock held",
+	Run:  runLockguard,
+}
+
+// guardSpec is one parsed annotation.
+type guardSpec struct {
+	sibling string       // mutex field on the same struct ("mu")
+	foreign *types.Named // owning type for Type.mu guards
+	field   string       // mutex field name on the foreign type
+}
+
+var guardedByRe = regexp.MustCompile(`(?i)guarded by\s+([A-Za-z_][A-Za-z0-9_]*)(?:\.([A-Za-z_][A-Za-z0-9_]*))?`)
+
+func runLockguard(pass *anz.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		anz.InspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection := pass.Info.Selections[sel]
+			if selection == nil || selection.Kind() != types.FieldVal {
+				return true
+			}
+			field, ok := selection.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			spec, guarded := guards[field]
+			if !guarded {
+				return true
+			}
+			checkGuardedAccess(pass, sel, field, spec, stack)
+			return true
+		})
+	}
+	return nil
+}
+
+// collectGuards parses every struct field annotation in the package.
+func collectGuards(pass *anz.Pass) map[*types.Var]guardSpec {
+	guards := map[*types.Var]guardSpec{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				m := matchGuardComment(f)
+				if m == nil {
+					continue
+				}
+				spec, err := resolveGuard(pass, st, m)
+				if err != "" {
+					pass.Reportf(f.Pos(), "unenforceable guard annotation: %s", err)
+					continue
+				}
+				for _, name := range f.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						guards[v] = spec
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// matchGuardComment scans a field's doc and trailing comments for a
+// guarded-by annotation.
+func matchGuardComment(f *ast.Field) []string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// resolveGuard validates an annotation against the package scope: a
+// sibling guard must name a mutex field of the same struct, a foreign
+// guard a Type.mu pair in this package. Returning a non-empty string
+// reports the annotation itself as a finding — a guard that cannot be
+// resolved protects nothing.
+func resolveGuard(pass *anz.Pass, st *ast.StructType, m []string) (guardSpec, string) {
+	name, sub := m[1], m[2]
+	if sub == "" {
+		for _, f := range st.Fields.List {
+			for _, fn := range f.Names {
+				if fn.Name == name {
+					if v, ok := pass.Info.Defs[fn].(*types.Var); ok && isMutex(v.Type()) {
+						return guardSpec{sibling: name}, ""
+					}
+					return guardSpec{}, "field " + name + " is not a sync.Mutex/RWMutex"
+				}
+			}
+		}
+		return guardSpec{}, "no sibling field named " + name
+	}
+	obj := pass.Pkg.Scope().Lookup(name)
+	if obj == nil {
+		return guardSpec{}, "no type named " + name + " in this package"
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return guardSpec{}, name + " is not a named type"
+	}
+	stru, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return guardSpec{}, name + " is not a struct"
+	}
+	for i := 0; i < stru.NumFields(); i++ {
+		if f := stru.Field(i); f.Name() == sub {
+			if !isMutex(f.Type()) {
+				return guardSpec{}, name + "." + sub + " is not a sync.Mutex/RWMutex"
+			}
+			return guardSpec{foreign: named, field: sub}, ""
+		}
+	}
+	return guardSpec{}, name + " has no field " + sub
+}
+
+func isMutex(t types.Type) bool {
+	return isNamed(t, "sync", "Mutex") || isNamed(t, "sync", "RWMutex")
+}
+
+// checkGuardedAccess verifies one annotated-field access against the
+// lock calls earlier in its innermost enclosing function.
+func checkGuardedAccess(pass *anz.Pass, sel *ast.SelectorExpr, field *types.Var, spec guardSpec, stack []ast.Node) {
+	fnNode := innermostFunc(stack)
+	if fnNode == nil {
+		return // package-level initialization
+	}
+	if decl, ok := fnNode.(*ast.FuncDecl); ok {
+		if strings.HasSuffix(decl.Name.Name, "Locked") {
+			return
+		}
+		if decl.Doc != nil && strings.Contains(strings.ToLower(decl.Doc.Text()), "caller holds") {
+			return
+		}
+	}
+	_, body, _ := funcParts(fnNode)
+
+	want := ""
+	held := false
+	anz.InspectStack(body, func(n ast.Node, st []ast.Node) bool {
+		if held || n.Pos() >= sel.Pos() {
+			return !held
+		}
+		// A Lock inside a nested function literal (e.g. a spawned
+		// goroutine) does not protect this scope.
+		if _, _, isFn := funcParts(n); isFn {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		lockSel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (lockSel.Sel.Name != "Lock" && lockSel.Sel.Name != "RLock") {
+			return true
+		}
+		recv, ok := ast.Unparen(lockSel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if spec.sibling != "" {
+			if recv.Sel.Name == spec.sibling &&
+				types.ExprString(recv.X) == types.ExprString(sel.X) {
+				held = true
+			}
+		} else {
+			if recv.Sel.Name == spec.field {
+				if tv, ok := pass.Info.Types[recv.X]; ok && namedFrom(tv.Type) == spec.foreign {
+					held = true
+				}
+			}
+		}
+		return true
+	})
+	if held {
+		return
+	}
+	if spec.sibling != "" {
+		base := types.ExprString(sel.X)
+		want = base + "." + spec.sibling
+	} else {
+		want = spec.foreign.Obj().Name() + "." + spec.field
+	}
+	pass.Reportf(sel.Pos(), "%s is guarded by %s: no %s.Lock()/RLock() earlier in this function (lock it, or mark the function name ...Locked / doc it 'caller holds')",
+		field.Name(), want, want)
+}

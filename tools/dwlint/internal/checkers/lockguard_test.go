@@ -1,0 +1,9 @@
+package checkers
+
+import (
+	"testing"
+
+	"dwmaxerr/tools/dwlint/internal/anz/anztest"
+)
+
+func TestLockguard(t *testing.T) { anztest.Run(t, Lockguard, "lockguard") }

@@ -1,0 +1,78 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/constant"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"dwmaxerr/tools/dwlint/internal/anz"
+)
+
+// metricNameRe is the repo's metric naming convention (DESIGN.md §9):
+// subsystem prefix, snake_case, nothing dynamic.
+var metricNameRe = regexp.MustCompile(`^(mr|dist|serve)_[a-z0-9_]+$`)
+
+// metricPrefixByPkg pins each instrumented package to its own prefix so
+// e.g. dist code cannot squat on the mr_ namespace.
+var metricPrefixByPkg = map[string]string{
+	mrPath:                    "mr_",
+	"dwmaxerr/internal/dist":  "dist_",
+	"dwmaxerr/internal/serve": "serve_",
+}
+
+// Metricname enforces the obs metric-naming contract: every
+// Registry.Counter/Gauge/Histogram call names its metric with a
+// compile-time constant string matching ^(mr|dist|serve)_[a-z0-9_]+$,
+// from the owning package's metrics.go. A fmt.Sprintf-built name would
+// mint a new time series per distinct value — unbounded cardinality on
+// /debug/vars — and names outside metrics.go rot into collisions because
+// nobody can see the package's namespace in one place.
+var Metricname = &anz.Analyzer{
+	Name: "metricname",
+	Doc:  "obs metric names must be constant, match ^(mr|dist|serve)_[a-z0-9_]+$, and live in the package's metrics.go",
+	Run:  runMetricname,
+}
+
+func runMetricname(pass *anz.Pass) error {
+	// The obs package itself defines the Registry; it registers nothing.
+	if pass.Pkg.Path() == obsPath {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind := ""
+			for _, k := range []string{"Counter", "Gauge", "Histogram"} {
+				if methodOn(pass, call, obsPath, "Registry", k) {
+					kind = k
+					break
+				}
+			}
+			if kind == "" || len(call.Args) != 1 {
+				return true
+			}
+			arg := call.Args[0]
+			tv := pass.Info.Types[arg]
+			if tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(), "obs.%s name must be a compile-time constant string (a dynamic name mints one time series per value — unbounded cardinality)", kind)
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !metricNameRe.MatchString(name) {
+				pass.Reportf(arg.Pos(), "obs metric name %q does not match %s", name, metricNameRe)
+			} else if prefix, ok := metricPrefixByPkg[pass.Pkg.Path()]; ok && !strings.HasPrefix(name, prefix) {
+				pass.Reportf(arg.Pos(), "obs metric %q registered from %s must use the package's %q prefix", name, pass.Pkg.Path(), prefix)
+			}
+			if base := filepath.Base(pass.Fset.Position(call.Pos()).Filename); base != "metrics.go" {
+				pass.Reportf(call.Pos(), "obs metric %q must be declared in this package's metrics.go (found in %s) so the namespace is auditable in one place", name, base)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dwmaxerr/tools/dwlint/internal/anz"
+)
+
+// Spanend enforces the tracing lifecycle: every span returned by
+// Tracer.Start or Span.Child must reach End() on all paths of its
+// creating function — via defer, or via an End call before each
+// subsequent return. An un-ended span renders as an open interval
+// stretching to export time in the Chrome trace, and its subtree keeps
+// growing, so one missed early-return quietly corrupts every profile
+// taken through that path.
+//
+// Ownership transfers are recognized: returning the span or storing it
+// into a field/container hands the End obligation to the receiver.
+// Passing a span as a call argument does NOT transfer ownership (the
+// engines pass phase spans down while still ending them locally).
+var Spanend = &anz.Analyzer{
+	Name: "spanend",
+	Doc:  "every Tracer.Start/Span.Child result must reach End on all paths (defer or per-return)",
+	Run:  runSpanend,
+}
+
+func runSpanend(pass *anz.Pass) error {
+	// The obs package constructs spans; the lifecycle contract binds its
+	// callers.
+	if pass.Pkg.Path() == obsPath {
+		return nil
+	}
+	for _, file := range pass.Files {
+		anz.InspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSpanCreate(pass, call) {
+				return true
+			}
+			checkSpanUse(pass, call, stack)
+			return true
+		})
+	}
+	return nil
+}
+
+func isSpanCreate(pass *anz.Pass, call *ast.CallExpr) bool {
+	return methodOn(pass, call, obsPath, "Tracer", "Start") ||
+		methodOn(pass, call, obsPath, "Span", "Child")
+}
+
+// checkSpanUse classifies the syntactic context of one span-creating
+// call and reports lifecycle violations.
+func checkSpanUse(pass *anz.Pass, call *ast.CallExpr, stack []ast.Node) {
+	if len(stack) == 0 {
+		return
+	}
+	parent := stack[len(stack)-1]
+	switch p := parent.(type) {
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(), "span result is discarded: it can never be ended")
+		return
+	case *ast.ReturnStmt:
+		return // ownership transfers to the caller
+	case *ast.AssignStmt:
+		// v := span / v = span: find the matched LHS.
+		for i, rhs := range p.Rhs {
+			if ast.Unparen(rhs) != ast.Node(call) || i >= len(p.Lhs) {
+				continue
+			}
+			switch lhs := p.Lhs[i].(type) {
+			case *ast.Ident:
+				if lhs.Name == "_" {
+					pass.Reportf(call.Pos(), "span assigned to _: it can never be ended")
+					return
+				}
+				obj := pass.Info.Defs[lhs]
+				if obj == nil {
+					obj = pass.Info.Uses[lhs]
+				}
+				if v, ok := obj.(*types.Var); ok {
+					checkSpanVar(pass, call, v, stack)
+					return
+				}
+			default:
+				return // stored into a field/index: ownership escapes to the holder
+			}
+		}
+		return
+	case *ast.KeyValueExpr, *ast.CompositeLit:
+		return // stored in a composite: ownership escapes to the holder
+	case *ast.CallExpr, *ast.SelectorExpr:
+		// Raw argument (f(t.Start("x"))) or chained receiver
+		// (span.Child("x").SetInt(...)): the expression is consumed with
+		// nobody left holding a reference to End.
+		pass.Reportf(call.Pos(), "span created inline inside another expression: assign it so it can be ended")
+		return
+	}
+}
+
+// checkSpanVar verifies the lifecycle of span variable v within its
+// creating function: a defer v.End() (directly or inside a deferred
+// closure), or an End call before every subsequent return in the same
+// function scope.
+func checkSpanVar(pass *anz.Pass, call *ast.CallExpr, v *types.Var, stack []ast.Node) {
+	fnNode := innermostFunc(stack)
+	if fnNode == nil {
+		return // package-level span var: lifecycle is the program's
+	}
+	_, body, _ := funcParts(fnNode)
+
+	var (
+		deferred  bool
+		escapes   bool
+		endsAny   []token.Pos // End calls anywhere inside fnNode, nested literals included
+		endsScope []token.Pos // End calls in fnNode's own scope (not nested literals)
+		returns   []token.Pos // returns in fnNode's own scope after the assignment
+	)
+	anz.InspectStack(body, func(n ast.Node, st []ast.Node) bool {
+		sameScope := enclosingIsSame(st, fnNode, body)
+		switch node := n.(type) {
+		case *ast.DeferStmt:
+			if isEndCallOn(pass, node.Call, v) {
+				deferred = true
+			}
+			if lit, ok := node.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if c, ok := m.(*ast.CallExpr); ok && isEndCallOn(pass, c, v) {
+						deferred = true
+					}
+					return true
+				})
+			}
+		case *ast.CallExpr:
+			if isEndCallOn(pass, node, v) {
+				endsAny = append(endsAny, node.Pos())
+				if sameScope {
+					endsScope = append(endsScope, node.Pos())
+				}
+			}
+		case *ast.ReturnStmt:
+			if sameScope && node.Pos() > call.Pos() {
+				returns = append(returns, node.Pos())
+			}
+			for _, res := range node.Results {
+				if usesVar(pass, res, v) {
+					escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			// v stored into a field, index, or outer variable: ownership
+			// escapes to the holder.
+			for i, rhs := range node.Rhs {
+				if !usesVar(pass, rhs, v) || i >= len(node.Lhs) {
+					continue
+				}
+				switch node.Lhs[i].(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					escapes = true
+				}
+			}
+		case *ast.KeyValueExpr:
+			if usesVar(pass, node.Value, v) {
+				escapes = true
+			}
+		}
+		return true
+	})
+
+	if deferred || escapes {
+		return
+	}
+	if len(endsAny) == 0 {
+		pass.Reportf(call.Pos(), "span %s is never ended: add defer %s.End() or End it before each return", v.Name(), v.Name())
+		return
+	}
+	for _, ret := range returns {
+		ended := false
+		for _, end := range endsScope {
+			if end > call.Pos() && end < ret {
+				ended = true
+				break
+			}
+		}
+		if !ended {
+			pass.Reportf(ret, "return without ending span %s (created at line %d): End it on this path or use defer", v.Name(), pass.Fset.Position(call.Pos()).Line)
+		}
+	}
+}
+
+// enclosingIsSame reports whether the innermost function enclosing the
+// current node (per the walk stack rooted at body) is fnNode itself,
+// i.e. the node is not inside a nested function literal.
+func enclosingIsSame(stack []ast.Node, fnNode ast.Node, body *ast.BlockStmt) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, _, ok := funcParts(stack[i]); ok {
+			return false // a literal between body and the node
+		}
+	}
+	_ = fnNode
+	_ = body
+	return true
+}
+
+// isEndCallOn matches the call v.End().
+func isEndCallOn(pass *anz.Pass, call *ast.CallExpr, v *types.Var) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && pass.Info.Uses[id] == v
+}
+
+// usesVar reports whether expr mentions v as a bare identifier.
+func usesVar(pass *anz.Pass, expr ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

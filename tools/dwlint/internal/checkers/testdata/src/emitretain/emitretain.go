@@ -1,0 +1,68 @@
+// Package emitretain is a dwlint fixture: each line carrying a `want`
+// comment violates the arena retention contract; everything else is the
+// clean idiom the analyzer must stay silent on.
+package emitretain
+
+import "dwmaxerr/internal/mr"
+
+type sink struct {
+	lastKey []byte
+	rows    [][]byte
+}
+
+var global [][]byte
+
+type pair struct{ k, v []byte }
+
+// badReduce retains arena-backed group slices in ways that outlive the
+// callback.
+func badReduce(s *sink, ch chan []byte) mr.ReduceFunc {
+	return func(ctx mr.TaskContext, key []byte, values [][]byte, emit mr.Emit) error {
+		s.lastKey = key                    // want "stored in a field without copying"
+		global = append(global, values[0]) // want "appended into global captured from outside"
+		for _, v := range values {
+			s.rows = append(s.rows, v) // want "appended into a field without copying"
+		}
+		ch <- key                       // want "sent on a channel"
+		p := pair{k: key, v: values[0]} // want "aliased into a composite literal" "aliased into a composite literal"
+		_ = p
+		return emit(key, values[0])
+	}
+}
+
+// badEmitFn is an Emit implementation that publishes its argument.
+func badEmitFn(key, value []byte) error {
+	globalKey = key // want "assigned to globalKey captured from outside"
+	_ = value
+	return nil
+}
+
+var globalKey []byte
+
+// makeEmit captures an outer slice from an Emit closure — the classic
+// clobbered-by-the-next-record bug.
+func makeEmit() (mr.Emit, *[][]byte) {
+	var rows [][]byte
+	e := mr.Emit(func(key, value []byte) error {
+		rows = append(rows, value) // want "appended into rows captured from outside"
+		return nil
+	})
+	return e, &rows
+}
+
+// goodReduce shows the sanctioned patterns: explicit copies, local-only
+// aliases, and passing slices onward to emit (which copies).
+func goodReduce(s *sink) mr.ReduceFunc {
+	return func(ctx mr.TaskContext, key []byte, values [][]byte, emit mr.Emit) error {
+		s.lastKey = append([]byte(nil), key...) // copy: fine
+		total := 0
+		first := values[0] // local alias: fine until it escapes
+		for _, v := range values {
+			total += len(v)
+		}
+		if total > len(first) {
+			return emit(key, first)
+		}
+		return emit(key, nil)
+	}
+}

@@ -1,0 +1,61 @@
+// Package lockguard is a dwlint fixture covering both annotation forms
+// (sibling mutex and foreign Type.mu), the exemptions, and an
+// unenforceable annotation.
+package lockguard
+
+import "sync"
+
+type counterSet struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counterSet) bad() int {
+	return c.n // want "guarded by c.mu"
+}
+
+func (c *counterSet) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// addLocked is exempt: the Locked suffix documents the caller's lock.
+func (c *counterSet) addLocked(d int) { c.n += d }
+
+// bump may only be called while the caller holds c.mu.
+func (c *counterSet) bump() { c.n++ }
+
+// sneaky locks only inside a spawned goroutine; the outer read is still
+// unprotected.
+func (c *counterSet) sneaky() int {
+	go func() {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}()
+	return c.n // want "guarded by c.mu"
+}
+
+type hub struct {
+	mu    sync.Mutex
+	conns []*conn
+}
+
+type conn struct {
+	busy bool // guarded by hub.mu
+}
+
+func (h *hub) markBusy(c *conn) {
+	h.mu.Lock()
+	c.busy = true
+	h.mu.Unlock()
+}
+
+func pollBad(c *conn) bool {
+	return c.busy // want "guarded by hub.mu"
+}
+
+type broken struct {
+	x int // guarded by nothing // want "unenforceable guard annotation"
+}

@@ -1,0 +1,19 @@
+// Package metricname is a dwlint fixture: metric registrations in
+// metrics.go exercise the constancy and naming rules; other.go seeds a
+// placement violation.
+package metricname
+
+import "dwmaxerr/internal/obs"
+
+var (
+	goodCounter = obs.Default.Counter("mr_fixture_events")
+	goodGauge   = obs.Default.Gauge("dist_fixture_depth")
+	goodHist    = obs.Default.Histogram("serve_fixture_latency_us")
+
+	badCase   = obs.Default.Counter("mr_Fixture_Events") // want "does not match"
+	badPrefix = obs.Default.Gauge("queue_depth")         // want "does not match"
+)
+
+func dynamic(name string) {
+	_ = obs.Default.Counter("mr_" + name) // want "compile-time constant"
+}

@@ -1,0 +1,6 @@
+package metricname
+
+import "dwmaxerr/internal/obs"
+
+// misplaced is well-formed but registered outside metrics.go.
+var misplaced = obs.Default.Counter("mr_fixture_misplaced") // want "must be declared in this package's metrics.go"

@@ -1,0 +1,62 @@
+// Package spanend is a dwlint fixture for the span lifecycle analyzer:
+// discarded, blanked, never-ended, and leaky-early-return spans are
+// flagged; defers, per-return Ends, and ownership transfers are not.
+package spanend
+
+import (
+	"errors"
+
+	"dwmaxerr/internal/obs"
+)
+
+var errFixture = errors.New("fixture")
+
+func discard(t *obs.Tracer) {
+	t.Start("load") // want "discarded"
+}
+
+func blank(t *obs.Tracer) {
+	_ = t.Start("load") // want "assigned to _"
+}
+
+func neverEnded(t *obs.Tracer) {
+	sp := t.Start("load") // want "never ended"
+	_ = sp
+}
+
+func earlyReturn(t *obs.Tracer, fail bool) error {
+	sp := t.Start("work")
+	if fail {
+		return errFixture // want "return without ending span sp"
+	}
+	sp.End()
+	return nil
+}
+
+func inline(t *obs.Tracer) {
+	helper(t.Start("x")) // want "created inline"
+}
+
+func helper(s *obs.Span) {}
+
+func good(t *obs.Tracer) {
+	sp := t.Start("parent")
+	defer sp.End()
+	c := sp.Child("step")
+	c.End()
+}
+
+func goodDeferredClosure(t *obs.Tracer) {
+	sp := t.Start("parent")
+	defer func() {
+		sp.End()
+	}()
+}
+
+type holder struct{ sp *obs.Span }
+
+// transfer hands the End obligation to the holder / the caller.
+func transfer(t *obs.Tracer, h *holder) *obs.Span {
+	h.sp = t.Start("held")
+	return t.Start("returned")
+}

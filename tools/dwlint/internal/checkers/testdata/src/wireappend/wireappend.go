@@ -1,0 +1,68 @@
+// Package wireappend is a dwlint fixture: per-record reflection codecs
+// inside task hot loops are flagged; the Append* idiom, cold paths, and
+// driver-side loops are not. One violation carries a justified
+// suppression directive to prove //dwlint:ignore works.
+package wireappend
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"dwmaxerr/internal/mr"
+)
+
+type rec struct{ K, V uint64 }
+
+func badMap(ctx mr.TaskContext, split mr.Split, emit mr.Emit) error {
+	// Cold path: per-task gob before the loop is fine.
+	params := mr.MustGobEncode(rec{})
+	_ = params
+	for i := uint64(0); i < 4; i++ {
+		payload := mr.MustGobEncode(rec{K: i, V: i}) // want "per-record MustGobEncode in a task hot loop"
+		k := mr.EncodeUint64(i)                      // want "allocates per record"
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(rec{K: i}); err != nil { // want "per-record NewEncoder in a task hot loop"
+			return err
+		}
+		if err := emit(k, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func suppressed(ctx mr.TaskContext, split mr.Split, emit mr.Emit) error {
+	for i := uint64(0); i < 4; i++ {
+		//dwlint:ignore wireappend -- fixture: demonstrates a justified suppression
+		payload := mr.MustGobEncode(rec{K: i})
+		if err := emit(nil, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func goodMap(ctx mr.TaskContext, split mr.Split, emit mr.Emit) error {
+	var kbuf []byte
+	for i := uint64(0); i < 4; i++ {
+		kbuf = mr.AppendUint64(kbuf[:0], i)
+		if err := emit(kbuf, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// driverLoop has no Emit parameter: gob in its loop is driver-side and
+// out of scope.
+func driverLoop(blobs [][]byte) ([]rec, error) {
+	out := make([]rec, 0, len(blobs))
+	for _, b := range blobs {
+		var r rec
+		if err := mr.GobDecode(b, &r); err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+package checkers
+
+import (
+	"go/ast"
+
+	"dwmaxerr/tools/dwlint/internal/anz"
+)
+
+// Wireappend pins the PR 2 shuffle fast path: inside a loop in a task
+// function (anything that receives an mr.Emit — map, reduce, combine),
+// key/value payloads must be built with the mr.Append* codec helpers
+// into a reused scratch buffer, never with per-record reflection codecs
+// (gob, binary.Write) or the allocating mr.Encode* variants. One gob
+// encode per record re-introduces the 33x allocation regression the
+// arena/append rewrite removed; gob stays legal for cold paths — job
+// params, per-split payloads, the per-connection hello.
+var Wireappend = &anz.Analyzer{
+	Name: "wireappend",
+	Doc:  "task hot loops must use mr.Append* codec helpers, not per-record gob/binary.Write/mr.Encode*",
+	Run:  runWireappend,
+}
+
+// gobFuncs are the reflection-based codecs forbidden in task hot loops.
+var gobFuncs = []struct{ pkg, name string }{
+	{mrPath, "GobEncode"},
+	{mrPath, "GobDecode"},
+	{mrPath, "MustGobEncode"},
+	{"encoding/gob", "NewEncoder"},
+	{"encoding/gob", "NewDecoder"},
+	{"encoding/binary", "Write"},
+	{"encoding/binary", "Read"},
+}
+
+// allocEncodeFuncs allocate an 8-byte slice per call; in a hot loop the
+// Append* form with a reused buffer is free.
+var allocEncodeFuncs = []string{"EncodeUint64", "EncodeInt64", "EncodeFloat64"}
+
+func runWireappend(pass *anz.Pass) error {
+	for _, file := range pass.Files {
+		anz.InspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !inTaskHotLoop(pass, stack) {
+				return true
+			}
+			for _, f := range gobFuncs {
+				if pkgFunc(pass, call, f.pkg, f.name) {
+					pass.Reportf(call.Pos(), "per-record %s in a task hot loop; encode with the mr.Append* codec helpers into a reused buffer (shuffle fast-path contract, mr/codec.go)", f.name)
+					return true
+				}
+			}
+			for _, name := range allocEncodeFuncs {
+				if pkgFunc(pass, call, mrPath, name) {
+					pass.Reportf(call.Pos(), "mr.%s allocates per record; in a task hot loop use mr.Append%s with a reused scratch buffer", name, name[len("Encode"):])
+					return true
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// inTaskHotLoop reports whether the ancestor stack places a node inside
+// a for/range body that is itself inside a task function — a function
+// with an mr.Emit-typed parameter. Cold per-job and driver-side code
+// (no Emit in scope) is deliberately out of scope, as are helper
+// closures without an Emit parameter of their own (the innermost
+// function decides).
+func inTaskHotLoop(pass *anz.Pass, stack []ast.Node) bool {
+	taskDepth := -1
+	for i := len(stack) - 1; i >= 0; i-- {
+		ft, _, ok := funcParts(stack[i])
+		if !ok {
+			continue
+		}
+		if hasEmitParam(pass, ft) {
+			taskDepth = i
+		}
+		break
+	}
+	if taskDepth < 0 {
+		return false
+	}
+	for i := taskDepth + 1; i < len(stack); i++ {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}
+
+// hasEmitParam reports whether the function type declares a parameter of
+// the named type mr.Emit.
+func hasEmitParam(pass *anz.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, f := range ft.Params.List {
+		if tv, ok := pass.Info.Types[f.Type]; ok && isNamed(tv.Type, mrPath, "Emit") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+// Command dwlint is the repo's custom static analyzer suite. It loads
+// the packages matched by its argument patterns (default ./...), runs
+// every registered contract checker over them, and exits nonzero if any
+// diagnostic survives. CI runs it as a blocking gate:
+//
+//	go run ./tools/dwlint ./...
+//
+// Suppress a finding only with a justified directive on or above the
+// offending line:
+//
+//	//dwlint:ignore <analyzer>[,<analyzer>] -- <reason>
+//
+// The five checkers and the contracts they pin are documented in
+// DESIGN.md §10 and in each analyzer's Doc string (dwlint -list).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dwmaxerr/tools/dwlint/internal/anz"
+	"dwmaxerr/tools/dwlint/internal/checkers"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dwlint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string) error {
+	analyzers := checkers.All()
+	if len(args) > 0 && args[0] == "-list" {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := anz.Load(".", patterns...)
+	if err != nil {
+		return err
+	}
+	diags, err := anz.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dwlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+	return nil
+}
