@@ -35,6 +35,8 @@ func main() {
 		n      = flag.Int("n", 0, "data vector length (CSV input only)")
 		maxAbs = flag.Float64("maxabs", 0, "per-value max-abs guarantee of the synopsis (0 = none)")
 		listen = flag.String("listen", "127.0.0.1:8080", "listen address")
+		maxInF = flag.Int("max-inflight", 0, "concurrent query cap; excess answered 503 + Retry-After (0 = unlimited)")
+		qTO    = flag.Duration("query-timeout", 0, "per-query deadline; slower queries answered 503 (0 = none)")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -44,7 +46,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv, err := serve.New(syn, *maxAbs)
+	srv, err := serve.NewLimited(syn, *maxAbs, serve.Limits{
+		MaxInFlight:  *maxInF,
+		QueryTimeout: *qTO,
+	})
 	if err != nil {
 		fatal(err)
 	}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"dwmaxerr"
+	"dwmaxerr/internal/chaos"
 	"dwmaxerr/internal/dataset"
 	"dwmaxerr/internal/errtree"
 	"dwmaxerr/internal/synopsis"
@@ -42,8 +43,17 @@ func main() {
 		query    = flag.String("query", "", "range-sum query 'lo:hi' or point query 'i'")
 		dump     = flag.Bool("dump", false, "print the error tree with retention tags (small inputs)")
 		trace    = flag.String("trace", "", "write the build's span tree as Chrome trace-event JSON to this path")
+		chaosFl  = flag.String("chaos", "", "arm the fault injector: 'seed,point:fault[=dur][@prob][#nth][xmax];...'")
+		ckDir    = flag.String("checkpoint", "", "checkpoint directory: record sub-results there and resume a killed build (scope one dir to one dataset)")
 	)
 	flag.Parse()
+
+	if *chaosFl != "" {
+		if err := chaos.EnableSpec(*chaosFl); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "chaos armed: %s\n", *chaosFl)
+	}
 
 	if *synPath != "" {
 		if err := runQuery(*synPath, *nFlag, *query); err != nil {
@@ -89,6 +99,13 @@ func main() {
 		tracer = dwmaxerr.NewTracer()
 		root = tracer.Start("dwtcli:" + string(algo))
 	}
+	var store dwmaxerr.CheckpointStore
+	if *ckDir != "" {
+		store, err = dwmaxerr.NewFileCheckpoint(*ckDir)
+		if err != nil {
+			fatal(err)
+		}
+	}
 	t0 := time.Now()
 	res, err := dwmaxerr.Build(padded, algo, dwmaxerr.Options{
 		Budget:        b,
@@ -96,6 +113,7 @@ func main() {
 		Sanity:        *sanity,
 		SubtreeLeaves: *subtree,
 		Trace:         root,
+		Checkpoint:    store,
 	})
 	if err != nil {
 		fatal(err)

@@ -19,6 +19,15 @@
 //
 // Supported -algo values: con (conventional synopsis, Appendix A.1) and
 // dgreedyabs (the paper's Algorithm 6, all four jobs on the cluster).
+//
+// For resilience drills, -chaos seed,spec arms the deterministic fault
+// injector (see internal/chaos) in this process, -reconnect-max lets a
+// worker survive coordinator connection loss by re-dialing with jittered
+// backoff, and -rejoin-grace makes a coordinator tolerate a transient
+// all-workers-dead window while they re-dial:
+//
+//	dwworker -join host:7077 -name w1 -reconnect-max 8 \
+//	         -chaos '42,mr.worker.send:corrupt#3'
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"dwmaxerr/internal/chaos"
 	"dwmaxerr/internal/dist"
 	"dwmaxerr/internal/mr"
 	"dwmaxerr/internal/obs"
@@ -53,8 +63,18 @@ func main() {
 		speculate = flag.Duration("speculate", 0, "coordinator: launch a backup attempt for tasks in flight longer than this (0 = off)")
 		metrics   = flag.String("metrics", "", "serve /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:0)")
 		tracePath = flag.String("trace", "", "coordinator: write the job span tree as Chrome trace-event JSON to this path")
+		chaosSpec = flag.String("chaos", "", "arm the fault injector: 'seed,point:fault[=dur][@prob][#nth][xmax];...'")
+		reconnMax = flag.Int("reconnect-max", 0, "worker: consecutive failed re-dials before giving up (0 = exit on connection loss)")
+		rejoin    = flag.Duration("rejoin-grace", 0, "coordinator: tolerate an all-workers-dead window this long while workers re-dial (0 = fail fast)")
 	)
 	flag.Parse()
+
+	if *chaosSpec != "" {
+		if err := chaos.EnableSpec(*chaosSpec); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dwworker: chaos armed: %s\n", *chaosSpec)
+	}
 
 	if *metrics != "" {
 		if err := serveMetrics(*metrics); err != nil {
@@ -75,7 +95,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dwworker: signal received, draining")
 			close(stop)
 		}()
-		if err := mr.Serve(*join, *name, stop); err != nil {
+		if err := mr.ServeWorker(*join, *name, stop, mr.WorkerOptions{
+			ReconnectMax: *reconnMax,
+		}); err != nil {
 			fatal(err)
 		}
 	case *coord != "":
@@ -98,6 +120,7 @@ func main() {
 		c.TaskTimeout = *taskTO
 		c.HeartbeatTimeout = *hbTO
 		c.SpeculationAfter = *speculate
+		c.RejoinGrace = *rejoin
 		var tracer *obs.Tracer
 		var root *obs.Span
 		if *tracePath != "" {

@@ -149,6 +149,23 @@ type Options struct {
 	// Trace, when non-nil, receives one child span per distributed
 	// algorithm run (with layer, probe and job sub-spans below it).
 	Trace *Span
+	// Checkpoint, when non-nil, records completed sub-results of the
+	// distributed pipelines so a killed build resumes instead of
+	// re-running. Scope one store to one dataset — keys encode the
+	// problem shape, not the data. See NewFileCheckpoint.
+	Checkpoint CheckpointStore
+}
+
+// CheckpointStore persists completed pipeline sub-results (DIndirectHaar
+// probe verdicts and layer rows, the DGreedyAbs histogram) keyed by
+// problem shape; pass one as Options.Checkpoint to make a build
+// resumable across driver restarts.
+type CheckpointStore = dist.CheckpointStore
+
+// NewFileCheckpoint creates dir (if needed) and returns a file-backed
+// CheckpointStore over it, one file per record, surviving process death.
+func NewFileCheckpoint(dir string) (CheckpointStore, error) {
+	return dist.NewFileCheckpoint(dir)
 }
 
 func (o Options) distConfig() dist.Config {
@@ -159,6 +176,7 @@ func (o Options) distConfig() dist.Config {
 		Delta:         o.Delta,
 		Sanity:        o.Sanity,
 		Trace:         o.Trace,
+		Checkpoint:    o.Checkpoint,
 	}
 }
 

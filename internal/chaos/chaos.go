@@ -1,0 +1,343 @@
+// Package chaos is a deterministic, seed-driven failpoint registry.
+// Instrumented code asks at named points — chaos.Point("mr.worker.send")
+// — what fault, if any, to inject right now; tests and the -chaos CLI
+// flag arm an Injector with a seed and a rule spec. Like package obs, the
+// disabled state costs almost nothing: Point is one atomic load and a nil
+// check, so injection sites stay in production code paths permanently.
+//
+// Determinism. Every rule owns a PRNG seeded from the injector seed and
+// the rule's point name + position, so the k-th hit of one point always
+// yields the same decision for a given seed regardless of how goroutines
+// at *other* points interleave. (Two goroutines racing on the *same*
+// point still contend for hit numbers; rules that must be exactly
+// reproducible use the #n / xk hit-count forms, which fire on absolute
+// hit indices.)
+//
+// Spec grammar (rules joined with ';'):
+//
+//	point:fault[=duration][@prob][#nth][xmax]
+//
+//	faults   drop | error      fail the operation with ErrInjected
+//	         delay=D | stall=D | pause=D
+//	                           sleep D, then proceed normally
+//	         corrupt           flip one deterministic bit in the buffer
+//	         partial           write a truncated prefix, then fail
+//	modifiers
+//	         @0.25             fire with probability 0.25 per hit
+//	         #3                fire only on the 3rd hit of the point
+//	         x5                fire at most 5 times
+//
+// Example: -chaos "42,mr.worker.send:corrupt#3;mr.worker.task:delay=30ms@0.2"
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the sentinel wrapped by every injected failure, so
+// recovery paths (and tests) can errors.Is-classify chaos-made faults.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Kind is the fault category an Action instructs the caller to apply.
+type Kind uint8
+
+const (
+	// None: proceed normally (the zero Action).
+	None Kind = iota
+	// Fail: abort the operation with Action.Err (connection drop, task
+	// crash, driver kill — whatever failing means at this point).
+	Fail
+	// Delay: sleep Action.Sleep, then proceed (frame delay, worker
+	// stall, driver pause).
+	Delay
+	// Corrupt: flip one bit of the in-flight buffer (see FlipBit), then
+	// proceed — downstream integrity checks must catch it.
+	Corrupt
+	// Partial: transmit a prefix of the buffer, then fail with
+	// Action.Err.
+	Partial
+)
+
+var kindNames = map[Kind]string{
+	None: "none", Fail: "fail", Delay: "delay", Corrupt: "corrupt", Partial: "partial",
+}
+
+// String names the kind for logs and errors.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Action is one injection decision. The zero value means "no fault".
+type Action struct {
+	Kind  Kind
+	Sleep time.Duration // Delay
+	Err   error         // Fail / Partial, wraps ErrInjected
+	Rand  uint64        // per-fire deterministic randomness (Corrupt bit choice)
+}
+
+// FlipBit flips the bit Action.Rand selects in buf (no-op on an empty
+// buffer). Callers corrupt the exact bytes crossing the boundary — e.g.
+// after a checksum is computed — so the corruption is observable.
+func (a Action) FlipBit(buf []byte) {
+	if len(buf) == 0 {
+		return
+	}
+	bit := a.Rand % uint64(len(buf)*8)
+	buf[bit/8] ^= 1 << (bit % 8)
+}
+
+// rule is one armed fault at one point.
+type rule struct {
+	point string
+	kind  Kind
+	sleep time.Duration
+	prob  float64 // 0 = always
+	nth   int64   // >0: fire only on this absolute hit number
+	max   int64   // >0: fire at most this many times
+	fired int64   // guarded by Injector.mu
+	rng   *rand.Rand
+}
+
+// Injector evaluates armed rules. One injector is installed globally via
+// Enable; tests may also construct and inspect one directly.
+type Injector struct {
+	seed int64
+
+	mu    sync.Mutex
+	rules map[string][]*rule // guarded by mu
+	hits  map[string]int64   // guarded by mu
+	fires map[string]int64   // guarded by mu
+}
+
+// New parses a rule spec (see the package doc grammar) into an Injector
+// deterministically driven by seed.
+func New(seed int64, spec string) (*Injector, error) {
+	in := &Injector{
+		seed:  seed,
+		rules: map[string][]*rule{},
+		hits:  map[string]int64{},
+		fires: map[string]int64{},
+	}
+	idx := 0
+	for _, raw := range strings.Split(spec, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		r, err := parseRule(raw)
+		if err != nil {
+			return nil, err
+		}
+		// Seed mixes the point name and rule position so each rule's
+		// decision stream is independent of every other rule's.
+		h := fnv.New64a()
+		h.Write([]byte(r.point))
+		r.rng = rand.New(rand.NewSource(seed ^ int64(h.Sum64()) ^ int64(idx)<<17))
+		//dwlint:ignore lockguard -- in is freshly constructed here and unshared until returned
+		in.rules[r.point] = append(in.rules[r.point], r)
+		idx++
+	}
+	return in, nil
+}
+
+// parseRule parses "point:fault[=dur][@prob][#nth][xmax]".
+func parseRule(raw string) (*rule, error) {
+	colon := strings.IndexByte(raw, ':')
+	if colon <= 0 {
+		return nil, fmt.Errorf("chaos: rule %q: want point:fault", raw)
+	}
+	r := &rule{point: raw[:colon]}
+	rest := raw[colon+1:]
+
+	// Fault verb: matched against the known set (a greedy letter scan
+	// would swallow the 'x' fire-limit modifier).
+	verb := ""
+	for _, v := range []string{"corrupt", "partial", "delay", "error", "stall", "pause", "drop"} {
+		if strings.HasPrefix(rest, v) {
+			verb = v
+			rest = rest[len(v):]
+			break
+		}
+	}
+
+	// Optional =duration (durations never contain '@', '#' or 'x').
+	end := 0
+	var durStr string
+	if strings.HasPrefix(rest, "=") {
+		rest = rest[1:]
+		end = 0
+		for end < len(rest) && rest[end] != '@' && rest[end] != '#' && rest[end] != 'x' {
+			end++
+		}
+		durStr = rest[:end]
+		rest = rest[end:]
+	}
+
+	switch verb {
+	case "drop", "error":
+		r.kind = Fail
+	case "delay", "stall", "pause":
+		r.kind = Delay
+		if durStr == "" {
+			return nil, fmt.Errorf("chaos: rule %q: %s needs =duration", raw, verb)
+		}
+	case "corrupt":
+		r.kind = Corrupt
+	case "partial":
+		r.kind = Partial
+	default:
+		return nil, fmt.Errorf("chaos: rule %q: unknown fault %q", raw, verb)
+	}
+	if durStr != "" {
+		d, err := time.ParseDuration(durStr)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: rule %q: %v", raw, err)
+		}
+		r.sleep = d
+	}
+
+	// Modifiers, in any order.
+	for rest != "" {
+		mod := rest[0]
+		rest = rest[1:]
+		end = 0
+		for end < len(rest) && rest[end] != '@' && rest[end] != '#' && rest[end] != 'x' {
+			end++
+		}
+		val := rest[:end]
+		rest = rest[end:]
+		switch mod {
+		case '@':
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("chaos: rule %q: bad probability %q", raw, val)
+			}
+			r.prob = p
+		case '#':
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("chaos: rule %q: bad hit number %q", raw, val)
+			}
+			r.nth = n
+		case 'x':
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("chaos: rule %q: bad fire limit %q", raw, val)
+			}
+			r.max = n
+		default:
+			return nil, fmt.Errorf("chaos: rule %q: unknown modifier %q", raw, string(mod))
+		}
+	}
+	return r, nil
+}
+
+// Point evaluates the named failpoint against this injector.
+func (in *Injector) Point(name string) Action {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.hits[name]++
+	hit := in.hits[name]
+	for _, r := range in.rules[name] {
+		if r.nth > 0 && hit != r.nth {
+			continue
+		}
+		if r.max > 0 && r.fired >= r.max {
+			continue
+		}
+		roll := r.rng.Uint64()
+		if r.prob > 0 && float64(roll>>11)/(1<<53) >= r.prob {
+			continue
+		}
+		r.fired++
+		in.fires[name]++
+		act := Action{Kind: r.kind, Sleep: r.sleep, Rand: r.rng.Uint64()}
+		if r.kind == Fail || r.kind == Partial {
+			act.Err = fmt.Errorf("%w: %s at %q (hit %d)", ErrInjected, r.kind, name, hit)
+		}
+		return act
+	}
+	return Action{}
+}
+
+// Hits returns how many times the named point was evaluated.
+func (in *Injector) Hits(name string) int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[name]
+}
+
+// Fired returns how many faults the named point injected.
+func (in *Injector) Fired(name string) int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fires[name]
+}
+
+// TotalFired sums injected faults across all points.
+func (in *Injector) TotalFired() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var total int64
+	for _, v := range in.fires {
+		total += v
+	}
+	return total
+}
+
+// active is the installed injector; nil (the common case) means disabled.
+var active atomic.Pointer[Injector]
+
+// Enable installs in as the process-wide injector (nil disables).
+func Enable(in *Injector) { active.Store(in) }
+
+// Disable removes the process-wide injector.
+func Disable() { active.Store(nil) }
+
+// Active returns the installed injector, or nil when chaos is off.
+func Active() *Injector { return active.Load() }
+
+// Point evaluates the named failpoint against the process-wide injector.
+// With no injector installed this is one atomic load returning the zero
+// Action, so instrumented hot paths pay ~nothing in production.
+func Point(name string) Action {
+	in := active.Load()
+	if in == nil {
+		return Action{}
+	}
+	return in.Point(name)
+}
+
+// EnableSpec parses the CLI form "seed,spec" (e.g. "42,mr.coord.send:drop#3")
+// and installs the resulting injector. An empty argument is a no-op, so
+// commands can pass their -chaos flag value through unconditionally.
+func EnableSpec(arg string) error {
+	if arg == "" {
+		return nil
+	}
+	seedStr, spec, ok := strings.Cut(arg, ",")
+	if !ok {
+		return fmt.Errorf("chaos: want seed,spec, got %q", arg)
+	}
+	seed, err := strconv.ParseInt(strings.TrimSpace(seedStr), 10, 64)
+	if err != nil {
+		return fmt.Errorf("chaos: bad seed %q: %v", seedStr, err)
+	}
+	in, err := New(seed, spec)
+	if err != nil {
+		return err
+	}
+	Enable(in)
+	return nil
+}

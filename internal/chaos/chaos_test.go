@@ -1,0 +1,173 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"no-colon",
+		":drop",
+		"p:unknownfault",
+		"p:delay",     // delay needs a duration
+		"p:delay=xyz", // bad duration
+		"p:drop@2",    // probability out of range
+		"p:drop@oops", // bad probability
+		"p:drop#0",    // hit numbers are 1-based
+		"p:drop#-1",   // negative hit number
+		"p:dropx0",    // fire limit must be positive
+		"p:drop%5",    // unknown modifier
+	} {
+		if _, err := New(1, spec); err == nil {
+			t.Errorf("spec %q parsed without error", spec)
+		}
+	}
+}
+
+func TestParseAccepts(t *testing.T) {
+	in, err := New(7, " mr.a:drop ; mr.b:delay=10ms@0.5 ; mr.c:corrupt#2x1 ;; mr.d:partial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(in.rules); got != 4 {
+		t.Fatalf("parsed %d rules, want 4", got)
+	}
+}
+
+func TestDisabledFastPath(t *testing.T) {
+	Disable()
+	if act := Point("any.point"); act.Kind != None {
+		t.Fatalf("disabled Point returned %v", act.Kind)
+	}
+	if Active() != nil {
+		t.Fatal("Active() non-nil after Disable")
+	}
+}
+
+func TestNthAndLimit(t *testing.T) {
+	in, err := New(1, "p:drop#3;q:dropx2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		act := in.Point("p")
+		if (i == 3) != (act.Kind == Fail) {
+			t.Fatalf("hit %d of p: kind %v", i, act.Kind)
+		}
+		if i == 3 && !errors.Is(act.Err, ErrInjected) {
+			t.Fatalf("injected error %v does not wrap ErrInjected", act.Err)
+		}
+	}
+	fails := 0
+	for i := 0; i < 10; i++ {
+		if in.Point("q").Kind == Fail {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("x2 rule fired %d times, want 2", fails)
+	}
+	if in.Hits("p") != 5 || in.Fired("p") != 1 {
+		t.Fatalf("p hits=%d fired=%d, want 5/1", in.Hits("p"), in.Fired("p"))
+	}
+	if in.TotalFired() != 3 {
+		t.Fatalf("TotalFired=%d, want 3", in.TotalFired())
+	}
+}
+
+func TestDelayAndCorruptActions(t *testing.T) {
+	in, err := New(1, "d:stall=250ms;c:corrupt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act := in.Point("d"); act.Kind != Delay || act.Sleep != 250*time.Millisecond {
+		t.Fatalf("delay action %+v", act)
+	}
+	act := in.Point("c")
+	if act.Kind != Corrupt {
+		t.Fatalf("corrupt action %+v", act)
+	}
+	buf := make([]byte, 16)
+	act.FlipBit(buf)
+	flipped := 0
+	for _, b := range buf {
+		for ; b != 0; b &= b - 1 {
+			flipped++
+		}
+	}
+	if flipped != 1 {
+		t.Fatalf("FlipBit flipped %d bits, want 1", flipped)
+	}
+	act.FlipBit(nil) // empty buffer: no panic
+}
+
+// TestDeterminism pins that the same seed yields the same decision stream
+// per point, independent of interleaved traffic at other points.
+func TestDeterminism(t *testing.T) {
+	run := func(noise bool) []Kind {
+		in, err := New(42, "p:drop@0.4")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var kinds []Kind
+		for i := 0; i < 32; i++ {
+			if noise {
+				in.Point("other.point") // must not perturb p's stream
+			}
+			kinds = append(kinds, in.Point("p").Kind)
+		}
+		return kinds
+	}
+	a, b := run(false), run(true)
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d diverged under interleaved noise: %v vs %v", i+1, a[i], b[i])
+		}
+		if a[i] == Fail {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Fatalf("@0.4 rule fired %d/%d times — probability not applied", fails, len(a))
+	}
+
+	// A different seed must (with overwhelming likelihood) give a
+	// different stream.
+	in2, _ := New(43, "p:drop@0.4")
+	diff := false
+	for i := range a {
+		if in2.Point("p").Kind != a[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("seeds 42 and 43 produced identical 32-hit streams")
+	}
+}
+
+func TestEnableSpec(t *testing.T) {
+	t.Cleanup(Disable)
+	if err := EnableSpec(""); err != nil {
+		t.Fatal(err)
+	}
+	if Active() != nil {
+		t.Fatal("empty spec installed an injector")
+	}
+	for _, bad := range []string{"nocomma", "x,p:drop", "1,p:wat"} {
+		if err := EnableSpec(bad); err == nil {
+			t.Errorf("EnableSpec(%q) accepted", bad)
+		}
+	}
+	if err := EnableSpec("9,p:drop#1"); err != nil {
+		t.Fatal(err)
+	}
+	if act := Point("p"); act.Kind != Fail {
+		t.Fatalf("installed rule did not fire: %v", act.Kind)
+	}
+	if act := Point("p"); act.Kind != None {
+		t.Fatalf("#1 rule fired twice: %v", act.Kind)
+	}
+}

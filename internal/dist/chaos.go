@@ -1,0 +1,15 @@
+package dist
+
+// Chaos failpoints of the distributed drivers, the package's full set in
+// one place (enforced by dwlint's chaospoint analyzer — every chaos.Point
+// call site must name a constant declared in its package's chaos.go).
+const (
+	// chaosProbe fires before each DIndirectHaar binary-search probe runs
+	// its layer jobs: Fail aborts the driver mid-search (a simulated
+	// driver kill, for checkpoint-resume tests), Delay pauses the driver.
+	chaosProbe = "dist.probe"
+	// chaosLayer fires before each bottom-up DMHaarSpace layer job: Fail
+	// kills the driver mid-probe so a resumed run re-enters the probe
+	// with some layers already checkpointed.
+	chaosLayer = "dist.layer"
+)

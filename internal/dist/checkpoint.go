@@ -1,0 +1,361 @@
+package dist
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"dwmaxerr/internal/mr"
+	"dwmaxerr/internal/synopsis"
+)
+
+// Pipeline checkpointing. The multi-job drivers (DIndirectHaar's binary
+// search, DGreedyAbs's histogram pipeline) record each completed
+// sub-result under a deterministic key; a driver restarted after a crash
+// replays recorded results instead of re-running their jobs, resuming the
+// pipeline where it died. Keys encode every input that shapes the result
+// (n, sub-tree size, quantization, epsilon, budget, bucket width), so a
+// replay is byte-identical to the run that produced it — but they do NOT
+// encode the dataset contents: a store must be scoped to one dataset (use
+// one FileCheckpoint directory, or one MemCheckpoint, per input file).
+//
+// Payloads are sealed with a "DWCK" magic and a version byte; bodies use
+// the mr fixed-width codec helpers so records round-trip without
+// reflection.
+
+// CheckpointStore persists completed sub-results of a pipeline run.
+// Implementations must be safe for concurrent use.
+type CheckpointStore interface {
+	// Get returns the payload recorded under key, with ok reporting
+	// whether the key exists.
+	Get(key string) (payload []byte, ok bool, err error)
+	// Put records payload under key, replacing any previous record.
+	Put(key string, payload []byte) error
+}
+
+// MemCheckpoint is an in-memory CheckpointStore (tests, single-process
+// drivers that survive job faults but not their own death).
+type MemCheckpoint struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMemCheckpoint returns an empty in-memory store.
+func NewMemCheckpoint() *MemCheckpoint {
+	return &MemCheckpoint{m: map[string][]byte{}}
+}
+
+// Get implements CheckpointStore.
+func (s *MemCheckpoint) Get(key string) ([]byte, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.m[key]
+	return p, ok, nil
+}
+
+// Put implements CheckpointStore.
+func (s *MemCheckpoint) Put(key string, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = append([]byte(nil), payload...)
+	return nil
+}
+
+// Len returns the number of recorded keys.
+func (s *MemCheckpoint) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// FileCheckpoint stores one file per key under Dir, surviving driver
+// restarts. Writes go through a temp file + rename so a record is either
+// absent or complete, never torn.
+type FileCheckpoint struct {
+	Dir string
+}
+
+// NewFileCheckpoint creates Dir (if needed) and returns a store over it.
+func NewFileCheckpoint(dir string) (*FileCheckpoint, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &FileCheckpoint{Dir: dir}, nil
+}
+
+// fileFor maps a key to a filename: the sanitized key for readability,
+// plus an FNV hash so distinct keys never collide after sanitizing.
+func (s *FileCheckpoint) fileFor(key string) string {
+	clean := make([]byte, 0, len(key))
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+			clean = append(clean, c)
+		default:
+			clean = append(clean, '_')
+		}
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return filepath.Join(s.Dir, fmt.Sprintf("%s-%08x.ck", clean, h.Sum32()))
+}
+
+// Get implements CheckpointStore.
+func (s *FileCheckpoint) Get(key string) ([]byte, bool, error) {
+	payload, err := os.ReadFile(s.fileFor(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return payload, true, nil
+}
+
+// Put implements CheckpointStore.
+func (s *FileCheckpoint) Put(key string, payload []byte) error {
+	path := s.fileFor(key)
+	tmp, err := os.CreateTemp(s.Dir, ".ck-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ---- sealed payload envelope ----
+
+const checkpointVersion = 1
+
+var checkpointMagic = [4]byte{'D', 'W', 'C', 'K'}
+
+func sealCheckpoint(body []byte) []byte {
+	out := make([]byte, 0, 5+len(body))
+	out = append(out, checkpointMagic[:]...)
+	out = append(out, checkpointVersion)
+	return append(out, body...)
+}
+
+func openCheckpoint(payload []byte) ([]byte, error) {
+	if len(payload) < 5 || [4]byte(payload[:4]) != checkpointMagic {
+		return nil, fmt.Errorf("dist: bad checkpoint magic")
+	}
+	if v := payload[4]; v != checkpointVersion {
+		return nil, fmt.Errorf("dist: checkpoint version %d, want %d", v, checkpointVersion)
+	}
+	return payload[5:], nil
+}
+
+// checkpointGet reads and unseals key, counting a hit. A missing key is
+// (nil, false, nil); a present but unreadable record is an error — silently
+// re-running would mask a corrupted store.
+func checkpointGet(store CheckpointStore, key string) ([]byte, bool, error) {
+	payload, ok, err := store.Get(key)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	body, err := openCheckpoint(payload)
+	if err != nil {
+		return nil, false, fmt.Errorf("dist: checkpoint %q: %w", key, err)
+	}
+	obsCheckpointHits.Inc()
+	return body, true, nil
+}
+
+// checkpointPut seals and records body under key, counting a put.
+func checkpointPut(store CheckpointStore, key string, body []byte) error {
+	if err := store.Put(key, sealCheckpoint(body)); err != nil {
+		return fmt.Errorf("dist: checkpoint %q: %w", key, err)
+	}
+	obsCheckpointPuts.Inc()
+	return nil
+}
+
+// ---- record codecs ----
+
+// appendPairList encodes a shuffle partition: count, then per pair a
+// length-prefixed key and value.
+func appendPairList(dst []byte, pairs []mr.Pair) []byte {
+	dst = mr.AppendUint64(dst, uint64(len(pairs)))
+	for _, kv := range pairs {
+		dst = mr.AppendUint64(dst, uint64(len(kv.Key)))
+		dst = append(dst, kv.Key...)
+		dst = mr.AppendUint64(dst, uint64(len(kv.Value)))
+		dst = append(dst, kv.Value...)
+	}
+	return dst
+}
+
+// ckCursor walks a checkpoint body with sticky bounds checking.
+type ckCursor struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (c *ckCursor) u64() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	if c.off+8 > len(c.buf) {
+		c.err = fmt.Errorf("dist: truncated checkpoint record")
+		return 0
+	}
+	v := mr.DecodeUint64(c.buf[c.off:])
+	c.off += 8
+	return v
+}
+
+func (c *ckCursor) bytes() []byte {
+	n := c.u64()
+	if c.err != nil {
+		return nil
+	}
+	if n > uint64(len(c.buf)-c.off) {
+		c.err = fmt.Errorf("dist: truncated checkpoint record")
+		return nil
+	}
+	b := c.buf[c.off : c.off+int(n)]
+	c.off += int(n)
+	return b
+}
+
+func decodePairList(body []byte) ([]mr.Pair, error) {
+	c := &ckCursor{buf: body}
+	n := c.u64()
+	if c.err == nil && n > uint64(len(body)/8+1) {
+		c.err = fmt.Errorf("dist: implausible checkpoint pair count %d", n)
+	}
+	var out []mr.Pair
+	for i := uint64(0); i < n && c.err == nil; i++ {
+		k := c.bytes()
+		v := c.bytes()
+		if c.err != nil {
+			break
+		}
+		out = append(out, mr.Pair{Key: k, Value: v})
+	}
+	if c.err == nil && c.off != len(body) {
+		c.err = fmt.Errorf("dist: trailing bytes in checkpoint record")
+	}
+	return out, c.err
+}
+
+// appendPartitions encodes a full multi-partition shuffle result.
+func appendPartitions(dst []byte, parts [][]mr.Pair) []byte {
+	dst = mr.AppendUint64(dst, uint64(len(parts)))
+	for _, p := range parts {
+		inner := appendPairList(nil, p)
+		dst = mr.AppendUint64(dst, uint64(len(inner)))
+		dst = append(dst, inner...)
+	}
+	return dst
+}
+
+func decodePartitions(body []byte) ([][]mr.Pair, error) {
+	c := &ckCursor{buf: body}
+	n := c.u64()
+	if c.err == nil && n > uint64(len(body)/8+1) {
+		c.err = fmt.Errorf("dist: implausible checkpoint partition count %d", n)
+	}
+	var out [][]mr.Pair
+	for i := uint64(0); i < n && c.err == nil; i++ {
+		inner := c.bytes()
+		if c.err != nil {
+			break
+		}
+		pairs, err := decodePairList(inner)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pairs)
+	}
+	if c.err == nil && c.off != len(body) {
+		c.err = fmt.Errorf("dist: trailing bytes in checkpoint record")
+	}
+	return out, c.err
+}
+
+// encodeProbeRecord records one DIndirectHaar probe verdict: the
+// feasibility bit and, when feasible, the probe's synopsis.
+func encodeProbeRecord(syn *synopsis.Synopsis, feasible bool) []byte {
+	if !feasible || syn == nil {
+		return []byte{0}
+	}
+	body := append(make([]byte, 0, 17+16*len(syn.Terms)), 1)
+	body = mr.AppendUint64(body, uint64(syn.N))
+	body = mr.AppendUint64(body, uint64(len(syn.Terms)))
+	for _, t := range syn.Terms {
+		body = mr.AppendUint64(body, uint64(t.Index))
+		// Raw IEEE bits, not the order-preserving shuffle transform: the
+		// decoder reads them back with Float64frombits.
+		body = mr.AppendUint64(body, math.Float64bits(t.Value))
+	}
+	return body
+}
+
+// decodeProbeRecord inverts encodeProbeRecord, returning the recorded
+// verdict in Probe's result shape.
+func decodeProbeRecord(body []byte) (*synopsis.Synopsis, bool, error) {
+	if len(body) == 1 && body[0] == 0 {
+		return nil, false, nil
+	}
+	if len(body) < 1 || body[0] != 1 {
+		return nil, false, fmt.Errorf("dist: bad probe checkpoint record")
+	}
+	c := &ckCursor{buf: body, off: 1}
+	n := c.u64()
+	count := c.u64()
+	if c.err == nil && count > uint64(len(body)/16+1) {
+		c.err = fmt.Errorf("dist: implausible probe term count %d", count)
+	}
+	syn := synopsis.New(int(n))
+	for i := uint64(0); i < count && c.err == nil; i++ {
+		idx := c.u64()
+		bits := c.u64()
+		if c.err != nil {
+			break
+		}
+		syn.Terms = append(syn.Terms, synopsis.Coefficient{
+			Index: int(idx), Value: math.Float64frombits(bits),
+		})
+	}
+	if c.err == nil && c.off != len(body) {
+		c.err = fmt.Errorf("dist: trailing bytes in probe checkpoint record")
+	}
+	if c.err != nil {
+		return nil, false, c.err
+	}
+	return syn, true, nil
+}
+
+// probeKey names one binary-search probe of DIndirectHaar.
+func probeKey(n, s int, delta, epsilon float64) string {
+	return fmt.Sprintf("dindirect/n%d/s%d/d%016x/probe/e%016x",
+		n, s, math.Float64bits(delta), math.Float64bits(epsilon))
+}
+
+// layerKey names one bottom-up layer of a DMHaarSpace run.
+func layerKey(n, s int, epsilon, delta float64, li int) string {
+	return fmt.Sprintf("dmhaar/n%d/s%d/d%016x/e%016x/up%d",
+		n, s, math.Float64bits(delta), math.Float64bits(epsilon), li)
+}
+
+// dgreedyHistKey names the job-1 histogram output of a DGreedy run.
+func dgreedyHistKey(n, s, budget int, eb float64, rel bool, sanity float64) string {
+	return fmt.Sprintf("dgreedy/n%d/s%d/b%d/eb%016x/rel%t/sa%016x/hist",
+		n, s, budget, math.Float64bits(eb), rel, math.Float64bits(sanity))
+}

@@ -1,0 +1,198 @@
+package dist
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dwmaxerr/internal/mr"
+	"dwmaxerr/internal/synopsis"
+)
+
+// CheckpointStore contract, envelope versioning, and record codec
+// round-trips — the persistence layer the resume tests build on.
+
+func TestMemCheckpointStore(t *testing.T) {
+	s := NewMemCheckpoint()
+	if _, ok, err := s.Get("missing"); ok || err != nil {
+		t.Fatalf("missing key: ok=%v err=%v", ok, err)
+	}
+	if err := s.Put("k", []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	p, ok, err := s.Get("k")
+	if err != nil || !ok || !bytes.Equal(p, []byte{1, 2}) {
+		t.Fatalf("get: %v %v %v", p, ok, err)
+	}
+	// Overwrite wins; the stored payload is a copy.
+	src := []byte{9}
+	s.Put("k", src)
+	src[0] = 7
+	if p, _, _ := s.Get("k"); p[0] != 9 {
+		t.Fatal("store aliased the caller's buffer")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len %d, want 1", s.Len())
+	}
+}
+
+func TestFileCheckpointStore(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ck")
+	s, err := NewFileCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get("dindirect/n512/probe/e1"); ok || err != nil {
+		t.Fatalf("missing key: ok=%v err=%v", ok, err)
+	}
+	key := "dindirect/n512/s32/d3ff0000/probe/e4041" // '/' needs sanitizing
+	if err := s.Put(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh store over the same directory sees the record (driver
+	// restart).
+	s2, err := NewFileCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok, err := s2.Get(key)
+	if err != nil || !ok || string(p) != "payload" {
+		t.Fatalf("reopened get: %q %v %v", p, ok, err)
+	}
+	// Keys differing only in sanitized characters must not collide.
+	other := "dindirect.n512_s32.d3ff0000_probe.e4041"
+	if _, ok, _ := s2.Get(other); ok {
+		t.Fatal("sanitized keys collided")
+	}
+	// No temp files linger.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".ck" {
+			t.Fatalf("unexpected file %q in checkpoint dir", e.Name())
+		}
+	}
+}
+
+func TestCheckpointEnvelopeVersioning(t *testing.T) {
+	s := NewMemCheckpoint()
+	if err := checkpointPut(s, "k", []byte("body")); err != nil {
+		t.Fatal(err)
+	}
+	body, ok, err := checkpointGet(s, "k")
+	if err != nil || !ok || string(body) != "body" {
+		t.Fatalf("round trip: %q %v %v", body, ok, err)
+	}
+	// A record sealed by a future version must be rejected, not
+	// misdecoded.
+	sealed := sealCheckpoint([]byte("body"))
+	sealed[4] = checkpointVersion + 1
+	s.Put("future", sealed)
+	if _, _, err := checkpointGet(s, "future"); err == nil {
+		t.Fatal("future-version record accepted")
+	}
+	s.Put("garbage", []byte("xx"))
+	if _, _, err := checkpointGet(s, "garbage"); err == nil {
+		t.Fatal("bad-magic record accepted")
+	}
+}
+
+func TestCheckpointRecordCodecs(t *testing.T) {
+	pairs := []mr.Pair{
+		{Key: []byte("a"), Value: []byte{1, 2, 3}},
+		{Key: nil, Value: nil},
+		{Key: mr.EncodeUint64(7), Value: mr.EncodeFloat64(2.5)},
+	}
+	got, err := decodePairList(appendPairList(nil, pairs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pairs) || !bytes.Equal(got[0].Value, pairs[0].Value) || !bytes.Equal(got[2].Key, pairs[2].Key) {
+		t.Fatalf("pair list diverged: %v", got)
+	}
+	parts := [][]mr.Pair{pairs, nil, {{Key: []byte("k"), Value: []byte("v")}}}
+	gotParts, err := decodePartitions(appendPartitions(nil, parts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotParts) != 3 || len(gotParts[0]) != 3 || gotParts[1] != nil || len(gotParts[2]) != 1 {
+		t.Fatalf("partitions diverged: %v", gotParts)
+	}
+	// Truncations never decode cleanly.
+	enc := appendPartitions(nil, parts)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := decodePartitions(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+
+	syn := synopsis.New(8)
+	syn.Terms = append(syn.Terms,
+		synopsis.Coefficient{Index: 0, Value: 3.5},
+		synopsis.Coefficient{Index: 5, Value: -1.25})
+	gotSyn, feasible, err := decodeProbeRecord(encodeProbeRecord(syn, true))
+	if err != nil || !feasible {
+		t.Fatalf("probe record: feasible=%v err=%v", feasible, err)
+	}
+	if gotSyn.N != 8 || !reflect.DeepEqual(gotSyn.Terms, syn.Terms) {
+		t.Fatalf("probe synopsis diverged: %+v", gotSyn)
+	}
+	if _, feasible, err := decodeProbeRecord(encodeProbeRecord(nil, false)); feasible || err != nil {
+		t.Fatalf("infeasible record: feasible=%v err=%v", feasible, err)
+	}
+	if _, _, err := decodeProbeRecord([]byte{2, 0}); err == nil {
+		t.Fatal("bad probe record accepted")
+	}
+}
+
+// TestDGreedyAbsCheckpointResume pins the local resume path: a second run
+// with the same store replays the histogram output, produces the identical
+// synopsis, and runs strictly fewer jobs.
+func TestDGreedyAbsCheckpointResume(t *testing.T) {
+	data := randData(88, 256, 500)
+	store := NewMemCheckpoint()
+	cfg := Config{SubtreeLeaves: 32, BucketWidth: 0.25, Checkpoint: store}
+
+	hits0 := obsCheckpointHits.Value()
+	puts0 := obsCheckpointPuts.Value()
+	first, err := DGreedyAbs(SliceSource(data), 48, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := obsCheckpointPuts.Value() - puts0; d != 1 {
+		t.Fatalf("dist_checkpoint_puts delta = %d, want 1 (the hist record)", d)
+	}
+	if d := obsCheckpointHits.Value() - hits0; d != 0 {
+		t.Fatalf("dist_checkpoint_hits delta = %d, want 0 on a cold store", d)
+	}
+
+	hits1 := obsCheckpointHits.Value()
+	second, err := DGreedyAbs(SliceSource(data), 48, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := obsCheckpointHits.Value() - hits1; d != 1 {
+		t.Fatalf("dist_checkpoint_hits delta = %d, want 1 on resume", d)
+	}
+	if !reflect.DeepEqual(termIndices(first.Synopsis), termIndices(second.Synopsis)) || first.MaxErr != second.MaxErr {
+		t.Fatal("resumed run diverged from the original")
+	}
+	if len(second.Jobs) >= len(first.Jobs) {
+		t.Fatalf("resumed run executed %d jobs, original %d — hist job not skipped",
+			len(second.Jobs), len(first.Jobs))
+	}
+
+	// A plain run without the store must match too (checkpointing never
+	// changes results).
+	plain, err := DGreedyAbs(SliceSource(data), 48, Config{SubtreeLeaves: 32, BucketWidth: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(termIndices(plain.Synopsis), termIndices(first.Synopsis)) {
+		t.Fatal("checkpointed run diverged from the plain run")
+	}
+}

@@ -175,19 +175,29 @@ func chunkMeansJob(src Source, n, s int) *mr.Job {
 // follow Config semantics (bucketWidth 0 derives a width from the root
 // run).
 func DGreedyAbsCluster(c *mr.Coordinator, path string, budget, subtreeLeaves int, bucketWidth float64) (*Report, error) {
+	return DGreedyAbsClusterWith(c, path, budget, Config{
+		SubtreeLeaves: subtreeLeaves, BucketWidth: bucketWidth,
+	})
+}
+
+// DGreedyAbsClusterWith is DGreedyAbsCluster with a full Config: it honors
+// SubtreeLeaves, BucketWidth, and Checkpoint (the histogram job's output —
+// the pipeline's dominant cost — is recorded so a restarted driver resumes
+// at candidate selection). Engine, Reducers, and the DP knobs are ignored;
+// the coordinator and the registered cluster jobs fix them.
+func DGreedyAbsClusterWith(c *mr.Coordinator, path string, budget int, cfg Config) (*Report, error) {
 	if budget < 1 {
 		return nil, fmt.Errorf("dist: budget %d < 1", budget)
 	}
-	src, n, err := fileSourceFor(path)
+	_, n, err := fileSourceFor(path)
 	if err != nil {
 		return nil, err
 	}
-	_ = src
-	cfg := Config{SubtreeLeaves: subtreeLeaves}
 	s, err := cfg.subtreeLeaves(n)
 	if err != nil {
 		return nil, err
 	}
+	bucketWidth := cfg.BucketWidth
 	r := n / s
 	report := &Report{}
 
@@ -238,16 +248,38 @@ func DGreedyAbsCluster(c *mr.Coordinator, path string, budget, subtreeLeaves int
 
 	// Job 2: speculative histograms + combineResults (cluster).
 	obsGreedyCandidates.Add(int64(maxCand + 1))
-	histRes, err := c.Run(dgreedyHistJobName, mr.MustGobEncode(histParams{
-		Path: path, S: s, Budget: budget, MaxCand: maxCand, Eb: eb,
-		RootCoef: rootCoef, RootOrder: rootOrder, Reducers: 4,
-	}))
-	if err != nil {
-		return nil, err
+	var histParts [][]mr.Pair
+	histKey := ""
+	if cfg.Checkpoint != nil {
+		histKey = dgreedyHistKey(n, s, budget, eb, false, 1)
+		body, ok, err := checkpointGet(cfg.Checkpoint, histKey)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if histParts, err = decodePartitions(body); err != nil {
+				return nil, err
+			}
+		}
 	}
-	report.Jobs = append(report.Jobs, histRes.Metrics)
+	if histParts == nil {
+		histRes, err := c.Run(dgreedyHistJobName, mr.MustGobEncode(histParams{
+			Path: path, S: s, Budget: budget, MaxCand: maxCand, Eb: eb,
+			RootCoef: rootCoef, RootOrder: rootOrder, Reducers: 4,
+		}))
+		if err != nil {
+			return nil, err
+		}
+		report.Jobs = append(report.Jobs, histRes.Metrics)
+		histParts = histRes.Partitions
+		if histKey != "" {
+			if err := checkpointPut(cfg.Checkpoint, histKey, appendPartitions(nil, histParts)); err != nil {
+				return nil, err
+			}
+		}
+	}
 	bestI, minError := -1, math.Inf(1)
-	for _, partPairs := range histRes.Partitions {
+	for _, partPairs := range histParts {
 		for _, kv := range partPairs {
 			i := int(mr.DecodeUint64(kv.Key))
 			e := mr.DecodeFloat64(kv.Value)

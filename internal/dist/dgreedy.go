@@ -156,14 +156,39 @@ func dGreedy(src Source, budget int, cfg Config, rel bool) (*Report, error) {
 		Reduce: makeCombineResults(budget),
 	}
 	obsGreedyCandidates.Add(int64(maxCand + 1))
-	histRes, err := runJob(eng, histJob, algSpan)
-	if err != nil {
-		return nil, err
+	// With a checkpoint store, the histogram output — job 1, the dominant
+	// cost of the pipeline — is recorded; a restarted driver replays it
+	// and goes straight to candidate selection.
+	var histParts [][]mr.Pair
+	histKey := ""
+	if cfg.Checkpoint != nil {
+		histKey = dgreedyHistKey(n, s, budget, eb, rel, cfg.sanity())
+		body, ok, err := checkpointGet(cfg.Checkpoint, histKey)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if histParts, err = decodePartitions(body); err != nil {
+				return nil, err
+			}
+		}
 	}
-	report.Jobs = append(report.Jobs, histRes.Metrics)
+	if histParts == nil {
+		histRes, err := runJob(eng, histJob, algSpan)
+		if err != nil {
+			return nil, err
+		}
+		report.Jobs = append(report.Jobs, histRes.Metrics)
+		histParts = histRes.Partitions
+		if histKey != "" {
+			if err := checkpointPut(cfg.Checkpoint, histKey, appendPartitions(nil, histParts)); err != nil {
+				return nil, err
+			}
+		}
+	}
 
 	bestI, minError := -1, math.Inf(1)
-	for _, partPairs := range histRes.Partitions {
+	for _, partPairs := range histParts {
 		for _, kv := range partPairs {
 			i := int(mr.DecodeUint64(kv.Key))
 			e := mr.DecodeFloat64(kv.Value)

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
+	"dwmaxerr/internal/chaos"
 	"dwmaxerr/internal/dp"
 	"dwmaxerr/internal/errtree"
 	"dwmaxerr/internal/mr"
@@ -79,6 +81,35 @@ func DMHaarSpace(src Source, p dp.Params, cfg Config) (*DMHaarResult, error) {
 			below = rowsByRoot[li-1]
 		}
 		layerSpan := algSpan.Child(fmt.Sprintf("layer-up:%d", li))
+		key := ""
+		if cfg.Checkpoint != nil {
+			key = layerKey(n, s, p.Epsilon, p.Delta, li)
+			body, ok, err := checkpointGet(cfg.Checkpoint, key)
+			if err != nil {
+				layerSpan.End()
+				return nil, err
+			}
+			if ok {
+				// Resume: replay the recorded M-rows, skipping the layer job.
+				pairs, err := decodePairList(body)
+				if err == nil {
+					rowsByRoot[li], err = decodeLayerRows(pairs)
+				}
+				layerSpan.SetBool("checkpoint", true)
+				layerSpan.End()
+				if err != nil {
+					return nil, err
+				}
+				continue
+			}
+		}
+		switch act := chaos.Point(chaosLayer); act.Kind {
+		case chaos.Fail:
+			layerSpan.End()
+			return nil, fmt.Errorf("dist: layer-up %d: %w", li, act.Err)
+		case chaos.Delay:
+			time.Sleep(act.Sleep)
+		}
 		job := layerUpJob(src, p, n, li, layer, below)
 		res, err := runJob(eng, job, layerSpan)
 		if err != nil {
@@ -86,17 +117,21 @@ func DMHaarSpace(src Source, p dp.Params, cfg Config) (*DMHaarResult, error) {
 			return nil, err
 		}
 		result.Jobs = append(result.Jobs, res.Metrics)
-		rows := map[int]dp.Row{}
+		rows, err := decodeLayerRows(res.Partitions[0])
+		if err != nil {
+			layerSpan.End()
+			return nil, err
+		}
 		var rowBytes int64
 		for _, kv := range res.Partitions[0] {
-			var row dp.Row
-			if err := mr.GobDecode(kv.Value, &row); err != nil {
+			obsLayerRowBytes.Observe(int64(len(kv.Value)))
+			rowBytes += int64(len(kv.Value))
+		}
+		if key != "" {
+			if err := checkpointPut(cfg.Checkpoint, key, appendPairList(nil, res.Partitions[0])); err != nil {
 				layerSpan.End()
 				return nil, err
 			}
-			rows[int(mr.DecodeUint64(kv.Key))] = row
-			obsLayerRowBytes.Observe(int64(len(kv.Value)))
-			rowBytes += int64(len(kv.Value))
 		}
 		rowsByRoot[li] = rows
 		obsLayerRows.Observe(int64(len(rows)))
@@ -144,6 +179,21 @@ func DMHaarSpace(src Source, p dp.Params, cfg Config) (*DMHaarResult, error) {
 	result.Synopsis = syn
 	result.Feasible = true
 	return result, nil
+}
+
+// decodeLayerRows decodes one layer's shuffle output (root key, gob M-row
+// value) into the rows map — shared by the fresh-run and checkpoint-replay
+// paths so both produce identical state.
+func decodeLayerRows(pairs []mr.Pair) (map[int]dp.Row, error) {
+	rows := make(map[int]dp.Row, len(pairs))
+	for _, kv := range pairs {
+		var row dp.Row
+		if err := mr.GobDecode(kv.Value, &row); err != nil {
+			return nil, err
+		}
+		rows[int(mr.DecodeUint64(kv.Key))] = row
+	}
+	return rows, nil
 }
 
 // layerSplits encodes each sub-tree's index within its layer.
@@ -283,10 +333,40 @@ type dmProber struct {
 	jobs *[]mr.Metrics
 }
 
-// Probe implements dp.Prober.
+// Probe implements dp.Prober. With a checkpoint store configured, each
+// probe's verdict (feasibility + synopsis) is recorded under a key derived
+// from the probed epsilon; a restarted search replays recorded verdicts
+// without re-running their layer jobs — and without counting them in
+// dist_probes_total, so resume tests can assert the saved work.
 func (d dmProber) Probe(epsilon float64) (*synopsis.Synopsis, bool, error) {
-	obsProbes.Inc()
 	cfg := d.cfg
+	key := ""
+	if cfg.Checkpoint != nil {
+		n := d.src.N()
+		s, err := cfg.subtreeLeaves(n)
+		if err != nil {
+			return nil, false, err
+		}
+		delta := cfg.Delta
+		if delta <= 0 {
+			delta = 1
+		}
+		key = probeKey(n, s, delta, epsilon)
+		body, ok, err := checkpointGet(cfg.Checkpoint, key)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return decodeProbeRecord(body)
+		}
+	}
+	switch act := chaos.Point(chaosProbe); act.Kind {
+	case chaos.Fail:
+		return nil, false, fmt.Errorf("dist: probe eps=%g: %w", epsilon, act.Err)
+	case chaos.Delay:
+		time.Sleep(act.Sleep)
+	}
+	obsProbes.Inc()
 	if d.span != nil {
 		probe := d.span.Child(fmt.Sprintf("probe:eps=%g", epsilon))
 		defer probe.End()
@@ -297,6 +377,11 @@ func (d dmProber) Probe(epsilon float64) (*synopsis.Synopsis, bool, error) {
 		return nil, false, err
 	}
 	*d.jobs = append(*d.jobs, res.Jobs...)
+	if key != "" {
+		if err := checkpointPut(cfg.Checkpoint, key, encodeProbeRecord(res.Synopsis, res.Feasible)); err != nil {
+			return nil, false, err
+		}
+	}
 	if !res.Feasible {
 		return nil, false, nil
 	}

@@ -140,6 +140,12 @@ type Config struct {
 	// per-layer / per-probe grouping spans and every mr job's span tree
 	// below them. Nil disables tracing.
 	Trace *obs.Span
+	// Checkpoint, when non-nil, records each completed sub-result
+	// (DIndirectHaar probe verdicts and layer rows, DGreedy histogram
+	// output) so a restarted driver resumes the pipeline instead of
+	// re-running it. The store must be scoped to one dataset — keys
+	// encode the problem shape, not the data (see checkpoint.go).
+	Checkpoint CheckpointStore
 }
 
 func (c Config) engine() mr.Engine {

@@ -24,9 +24,15 @@ var (
 	obsLayerRows = obs.Default.Histogram("dist_layer_rows")
 	// obsLayerRowBytes observes the encoded size of each M-row.
 	obsLayerRowBytes = obs.Default.Histogram("dist_layer_row_bytes")
-	// obsProbes counts DIndirectHaar binary-search probes (DMHaarSpace
-	// invocations).
-	obsProbes = obs.Default.Counter("dist_probes")
+	// obsProbes counts DIndirectHaar binary-search probes that actually
+	// ran their layer jobs — a probe replayed from a checkpoint is not
+	// counted, so a resumed search shows a strictly smaller delta.
+	obsProbes = obs.Default.Counter("dist_probes_total")
+	// obsCheckpointHits counts sub-results replayed from a
+	// Config.Checkpoint store instead of re-running their jobs.
+	obsCheckpointHits = obs.Default.Counter("dist_checkpoint_hits")
+	// obsCheckpointPuts counts sub-results recorded into the store.
+	obsCheckpointPuts = obs.Default.Counter("dist_checkpoint_puts")
 )
 
 // runJob executes job on eng, threading parent as the trace parent when

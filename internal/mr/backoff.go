@@ -1,0 +1,56 @@
+package mr
+
+import (
+	"math/rand"
+	"time"
+)
+
+// backoff computes jittered exponential delays for dial retries and
+// worker reconnection. Delays grow as base·2^(attempt-1), capped at max,
+// then jittered uniformly into [d/2, d] — full-magnitude jitter would
+// let a delay collapse to ~0 and hammer a coordinator that just died,
+// while the half-open window keeps retries spread without losing the
+// exponential floor. The RNG is seeded explicitly so tests can pin the
+// exact delay sequence.
+type backoff struct {
+	base time.Duration
+	max  time.Duration
+	rng  *rand.Rand
+}
+
+// newBackoff returns a backoff policy. base <= 0 defaults to 50ms,
+// max <= 0 to 5s.
+func newBackoff(base, max time.Duration, seed int64) *backoff {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	if max < base {
+		max = base
+	}
+	return &backoff{base: base, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// delay returns the jittered delay for the attempt-th consecutive
+// failure (1-based; attempt < 1 is treated as 1).
+func (b *backoff) delay(attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := b.base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= b.max {
+			d = b.max
+			break
+		}
+	}
+	if d > b.max {
+		d = b.max
+	}
+	// Jitter into [d/2, d].
+	half := d / 2
+	return half + time.Duration(b.rng.Int63n(int64(half)+1))
+}

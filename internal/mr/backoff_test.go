@@ -1,0 +1,69 @@
+package mr
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffBounds pins the policy: exponential growth from base, cap at
+// max, and every delay jittered into [d/2, d].
+func TestBackoffBounds(t *testing.T) {
+	base, max := 10*time.Millisecond, 80*time.Millisecond
+	b := newBackoff(base, max, 1)
+	for attempt := 1; attempt <= 10; attempt++ {
+		want := base << (attempt - 1)
+		if want > max || want <= 0 {
+			want = max
+		}
+		for i := 0; i < 50; i++ {
+			d := b.delay(attempt)
+			if d < want/2 || d > want {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, want/2, want)
+			}
+		}
+	}
+	if d := b.delay(0); d < base/2 || d > base {
+		t.Fatalf("attempt 0 clamps to 1: got %v", d)
+	}
+}
+
+// TestBackoffDeterminism pins that a seed fixes the whole jitter sequence
+// (the reconnect tests rely on reproducible schedules).
+func TestBackoffDeterminism(t *testing.T) {
+	seq := func(seed int64) []time.Duration {
+		b := newBackoff(20*time.Millisecond, time.Second, seed)
+		var out []time.Duration
+		for a := 1; a <= 8; a++ {
+			out = append(out, b.delay(a))
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay %d diverged under the same seed: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := seq(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical 8-delay sequences")
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	b := newBackoff(0, 0, 1)
+	if b.base != 50*time.Millisecond || b.max != 5*time.Second {
+		t.Fatalf("defaults base=%v max=%v", b.base, b.max)
+	}
+	// max below base is raised to base.
+	b = newBackoff(time.Second, time.Millisecond, 1)
+	if b.max != time.Second {
+		t.Fatalf("max %v not raised to base", b.max)
+	}
+}

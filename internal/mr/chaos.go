@@ -1,0 +1,26 @@
+package mr
+
+// Chaos failpoints of the cluster engine, the package's full set in one
+// place (enforced by dwlint's chaospoint analyzer — every chaos.Point
+// call site must name a constant declared in its package's chaos.go).
+// The points sit permanently in production paths; with no injector
+// installed each costs one atomic load (see package chaos).
+const (
+	// chaosWorkerDial fires after a worker's dial succeeds, before the
+	// preamble: Fail aborts the connection attempt (the redial/backoff
+	// path treats it like a refused connection).
+	chaosWorkerDial = "mr.worker.dial"
+	// chaosWorkerTask fires before each task execution on the worker:
+	// Fail severs the connection without replying (a mid-task crash,
+	// like WorkerOptions.TaskHook), Delay stalls the worker.
+	chaosWorkerTask = "mr.worker.task"
+	// chaosWorkerSend fires inside the worker's frame writer on data
+	// frames (replies; hello and heartbeats are exempt so hit counts
+	// stay deterministic): Fail drops the connection, Delay slows the
+	// link, Corrupt flips one post-checksum bit, Partial truncates the
+	// frame mid-write.
+	chaosWorkerSend = "mr.worker.send"
+	// chaosCoordSend is chaosWorkerSend for the coordinator's side (task
+	// frames).
+	chaosCoordSend = "mr.coord.send"
+)

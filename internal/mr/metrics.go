@@ -39,6 +39,14 @@ var (
 	// Wire traffic (both sides count their own send/receive).
 	obsWireBytesSent     = obs.Default.Counter("mr_wire_bytes_sent")
 	obsWireBytesReceived = obs.Default.Counter("mr_wire_bytes_received")
+	// obsWireCorruptFrames counts frames the receiver rejected — CRC32-C
+	// mismatch or an over-limit length prefix — each of which kills the
+	// connection (counted on the rejecting side).
+	obsWireCorruptFrames = obs.Default.Counter("mr_wire_corrupt_frames")
+
+	// Self-healing (worker side): successful re-registrations after a
+	// coordinator connection died (see WorkerOptions.ReconnectMax).
+	obsWorkerReconnects = obs.Default.Counter("mr_worker_reconnects")
 
 	// Distributions.
 	obsTaskDurationUS = obs.Default.Histogram("mr_task_duration_us")

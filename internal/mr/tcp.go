@@ -5,11 +5,13 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
 	"sync"
 	"time"
 
+	"dwmaxerr/internal/chaos"
 	"dwmaxerr/internal/obs"
 )
 
@@ -92,6 +94,12 @@ type Coordinator struct {
 	SpeculationAfter time.Duration
 	// MaxAttempts per task; 0 means 3.
 	MaxAttempts int
+	// RejoinGrace, when positive, makes scheduling tolerate transient
+	// total-worker loss: instead of failing a job the moment every known
+	// worker is dead, the coordinator keeps the job's tasks parked for up
+	// to this long so self-healing workers (WorkerOptions.ReconnectMax)
+	// can re-register. 0 keeps the fail-fast behavior.
+	RejoinGrace time.Duration
 	// Options applies to every Run (RunWith overrides it per call). Like
 	// the tuning fields it must be set before the first Run — it exists so
 	// drivers holding a *Coordinator can plug a trace in without changing
@@ -225,6 +233,7 @@ func (c *Coordinator) acceptLoop() {
 // worker binary can never exchange misdecoded shuffle data.
 func (c *Coordinator) admit(conn net.Conn) {
 	fw := newFrameWriter(conn)
+	fw.chaosPoint = chaosCoordSend
 	fr := newFrameReader(conn)
 	version, err := readPreamble(conn)
 	if err != nil {
@@ -257,7 +266,24 @@ func (c *Coordinator) admit(conn net.Conn) {
 		conn.Close()
 		return
 	}
-	c.workers = append(c.workers, w)
+	// Re-registration: a self-healing worker rejoins under its prior
+	// name. Prune the dead entries it supersedes so reconnect churn does
+	// not grow the worker table without bound. A live same-name entry is
+	// left alone (names are not required to be unique — test fleets share
+	// one); if it is in fact a half-dead duplicate of this worker, its
+	// stale replies are fenced by the at-most-once commit and its
+	// connection dies on the next heartbeat check or send.
+	kept := c.workers[:0]
+	for _, ow := range c.workers {
+		if ow.name == w.name && ow.dead {
+			continue
+		}
+		kept = append(kept, ow)
+	}
+	for i := len(kept); i < len(c.workers); i++ {
+		c.workers[i] = nil
+	}
+	c.workers = append(kept, w)
 	c.cond.Broadcast()
 	c.mu.Unlock()
 	obsWorkersJoined.Inc()
@@ -412,10 +438,13 @@ func (c *Coordinator) monitor() {
 
 // acquire pops a live idle worker, blocking while tasks are in flight on
 // other workers. It fails when the coordinator is closed or when every
-// known worker is dead and none is busy (nothing can ever free up).
+// known worker is dead and none is busy (nothing can ever free up) —
+// unless RejoinGrace is set, in which case the all-dead state is tolerated
+// for up to that long so reconnecting workers can re-register.
 func (c *Coordinator) acquire() (*workerConn, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var allDeadSince time.Time
 	for {
 		if c.closed {
 			return nil, errors.New("mr: coordinator closed")
@@ -439,7 +468,24 @@ func (c *Coordinator) acquire() (*workerConn, error) {
 			return idle, nil
 		}
 		if len(c.workers) > 0 && busy == 0 {
-			return nil, errors.New("mr: all workers are dead")
+			if c.RejoinGrace <= 0 {
+				return nil, errors.New("mr: all workers are dead")
+			}
+			if allDeadSince.IsZero() {
+				allDeadSince = time.Now()
+			} else if time.Since(allDeadSince) >= c.RejoinGrace {
+				return nil, fmt.Errorf("mr: all workers are dead (no rejoin within %v)", c.RejoinGrace)
+			}
+			// cond has no timed wait; nudge the loop so the grace deadline
+			// is checked even if no worker event ever arrives.
+			go func() {
+				time.Sleep(10 * time.Millisecond)
+				c.mu.Lock()
+				c.cond.Broadcast()
+				c.mu.Unlock()
+			}()
+		} else {
+			allDeadSince = time.Time{}
 		}
 		c.cond.Wait()
 	}
@@ -775,7 +821,8 @@ func (c *Coordinator) RunWith(jobName string, params []byte, opts JobOptions) (*
 
 // waitReady blocks until at least one live worker is connected. Unlike
 // WaitForWorkers it fails fast when workers joined but all have since
-// died — nothing would ever execute the job's tasks.
+// died — nothing would ever execute the job's tasks. With RejoinGrace set
+// the all-dead state is tolerated within the deadline, mirroring acquire.
 func (c *Coordinator) waitReady(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
@@ -795,10 +842,13 @@ func (c *Coordinator) waitReady(timeout time.Duration) error {
 		if live >= 1 {
 			return nil
 		}
-		if total > 0 {
+		if total > 0 && c.RejoinGrace <= 0 {
 			return errors.New("mr: all workers are dead")
 		}
 		if time.Now().After(deadline) {
+			if total > 0 {
+				return fmt.Errorf("mr: all workers are dead (no rejoin within %v)", timeout)
+			}
 			return fmt.Errorf("mr: no worker joined within %v", timeout)
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -816,6 +866,24 @@ type WorkerOptions struct {
 	// an error makes the worker drop its connection without replying,
 	// simulating a crash mid-task (tests use it for fault injection).
 	TaskHook func(kind string, taskID, attempt int) error
+	// ReconnectMax makes the worker self-healing: when its coordinator
+	// connection dies for any reason other than a clean shutdown or a
+	// protocol reject, the worker re-dials with jittered exponential
+	// backoff (see backoff.go) and re-registers under its prior name.
+	// The coordinator fences the stale registration; any in-flight task
+	// the old connection carried is retried and de-duplicated by the
+	// at-most-once commit. The worker gives up after this many
+	// consecutive attempts that fail before completing the hello
+	// exchange (attempts that re-register reset the count). 0 keeps the
+	// single-session behavior.
+	ReconnectMax int
+	// ReconnectBase/ReconnectCap bound the reconnect backoff delays;
+	// zero values default to 50ms and 5s.
+	ReconnectBase time.Duration
+	ReconnectCap  time.Duration
+	// Trace, when non-nil, receives a child span per successful
+	// re-registration.
+	Trace *obs.Span
 }
 
 func (o WorkerOptions) heartbeatEvery() time.Duration {
@@ -832,31 +900,130 @@ func Serve(coordinatorAddr, name string, stop <-chan struct{}) error {
 	return ServeWorker(coordinatorAddr, name, stop, WorkerOptions{})
 }
 
-// ServeWorker is Serve with explicit options.
+// sessionLostError wraps connection deaths a self-healing worker may
+// retry. Protocol rejects and clean shutdowns never carry it.
+type sessionLostError struct{ cause error }
+
+func (e *sessionLostError) Error() string { return e.cause.Error() }
+func (e *sessionLostError) Unwrap() error { return e.cause }
+
+// ServeWorker is Serve with explicit options. With opts.ReconnectMax > 0
+// the worker survives coordinator connection loss: each lost session is
+// retried after a jittered exponential backoff until a session ends
+// cleanly, the coordinator rejects the worker, or ReconnectMax consecutive
+// attempts fail without ever completing the hello exchange.
 func ServeWorker(coordinatorAddr, name string, stop <-chan struct{}, opts WorkerOptions) error {
-	conn, err := net.Dial("tcp", coordinatorAddr)
-	if err != nil {
+	if opts.ReconnectMax <= 0 {
+		_, err := serveSession(coordinatorAddr, name, stop, opts, false)
+		var lost *sessionLostError
+		if errors.As(err, &lost) {
+			// Single-session contract (the historical one): EOF and local
+			// closes report nil, transport errors surface as-is.
+			if errors.Is(lost.cause, io.EOF) || errors.Is(lost.cause, net.ErrClosed) {
+				return nil
+			}
+			return lost.cause
+		}
 		return err
 	}
+	// Jitter is seeded from the worker name: deterministic per worker,
+	// decorrelated across a fleet rejoining after a coordinator blip.
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	bo := newBackoff(opts.ReconnectBase, opts.ReconnectCap, int64(h.Sum64()))
+	registered := false
+	fails := 0
+	for {
+		established, err := serveSession(coordinatorAddr, name, stop, opts, registered)
+		if established {
+			registered = true
+			fails = 0
+		}
+		if err == nil {
+			return nil
+		}
+		var lost *sessionLostError
+		if !errors.As(err, &lost) {
+			return err // reject or other permanent failure: never retried
+		}
+		if stopped(stop) {
+			return nil
+		}
+		fails++
+		if fails > opts.ReconnectMax {
+			return fmt.Errorf("mr: worker %q giving up after %d consecutive failed reconnect attempts: %w",
+				name, opts.ReconnectMax, lost.cause)
+		}
+		select {
+		case <-stop:
+			return nil
+		case <-time.After(bo.delay(fails)):
+		}
+	}
+}
+
+// stopped reports whether the worker's stop channel has fired.
+func stopped(stop <-chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// serveSession runs one dial-to-disconnect worker session. established
+// reports whether the hello exchange completed (the coordinator saw this
+// registration); rejoining marks a re-registration after a previously
+// established session, counted as a reconnect.
+func serveSession(coordinatorAddr, name string, stop <-chan struct{}, opts WorkerOptions, rejoining bool) (established bool, err error) {
+	conn, err := net.Dial("tcp", coordinatorAddr)
+	if err != nil {
+		return false, &sessionLostError{cause: err}
+	}
 	defer conn.Close()
+	switch act := chaos.Point(chaosWorkerDial); act.Kind {
+	case chaos.Fail:
+		return false, &sessionLostError{cause: act.Err}
+	case chaos.Delay:
+		time.Sleep(act.Sleep)
+	}
+	// A per-session watcher closes the connection when stop fires;
+	// sessionDone retires it so reconnect attempts don't leak a goroutine
+	// per session.
+	sessionDone := make(chan struct{})
+	defer close(sessionDone)
 	if stop != nil {
 		go func() {
-			<-stop
-			conn.Close()
+			select {
+			case <-stop:
+				conn.Close()
+			case <-sessionDone:
+			}
 		}()
 	}
 	var sendMu sync.Mutex
 	fw := newFrameWriter(conn)
+	fw.chaosPoint = chaosWorkerSend
 	fr := newFrameReader(conn)
 	if _, err := conn.Write(appendPreamble(nil)); err != nil {
-		return err
+		return false, &sessionLostError{cause: err}
 	}
 	hello, err := GobEncode(&wireHello{WorkerName: name})
 	if err != nil {
-		return err
+		return false, err
 	}
 	if err := fw.write(frameHello, hello); err != nil {
-		return err
+		return false, &sessionLostError{cause: err}
+	}
+	if rejoining {
+		obsWorkerReconnects.Inc()
+		rs := opts.Trace.Child("worker-reconnect")
+		rs.SetStr("worker", name)
+		rs.End()
 	}
 	// Heartbeats flow from a dedicated goroutine so a long-running task
 	// does not silence them.
@@ -885,31 +1052,38 @@ func ServeWorker(coordinatorAddr, name string, stop <-chan struct{}, opts Worker
 	for {
 		typ, payload, err := fr.read()
 		if err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
-				return nil
+			if stopped(stop) {
+				return true, nil
 			}
-			return err
+			return true, &sessionLostError{cause: err}
 		}
 		if typ == frameReject {
-			return fmt.Errorf("mr: coordinator rejected worker %q: %s", name, payload)
+			return true, fmt.Errorf("mr: coordinator rejected worker %q: %s", name, payload)
 		}
 		if typ != frameTask {
-			return fmt.Errorf("mr: unexpected frame type %d from coordinator", typ)
+			return true, &sessionLostError{cause: fmt.Errorf("mr: unexpected frame type %d from coordinator", typ)}
 		}
 		task, err := decodeWireTask(payload)
 		if err != nil {
-			return err
+			return true, &sessionLostError{cause: err}
 		}
 		if task.Kind == "shutdown" {
 			// Graceful drain: any in-flight task already replied (tasks run
 			// in this loop), so just disconnect.
-			return nil
+			return true, nil
 		}
 		if opts.TaskHook != nil {
 			if err := opts.TaskHook(task.Kind, task.TaskID, task.Attempt); err != nil {
 				conn.Close()
-				return err
+				return true, &sessionLostError{cause: err}
 			}
+		}
+		switch act := chaos.Point(chaosWorkerTask); act.Kind {
+		case chaos.Fail:
+			conn.Close()
+			return true, &sessionLostError{cause: act.Err}
+		case chaos.Delay:
+			time.Sleep(act.Sleep)
 		}
 		reply, done := executeWireTask(task)
 		buf := appendWireReply(getByteBuf(), &reply)
@@ -921,7 +1095,7 @@ func ServeWorker(coordinatorAddr, name string, stop <-chan struct{}, opts Worker
 		// any more, so their blocks are safe to recycle.
 		done()
 		if err != nil {
-			return err
+			return true, &sessionLostError{cause: err}
 		}
 	}
 }

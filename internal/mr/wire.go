@@ -5,8 +5,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"time"
+
+	"dwmaxerr/internal/chaos"
 )
 
 // Wire fast path for the cluster engine. The seed framed every message
@@ -17,8 +20,8 @@ import (
 //
 // Connection layout (worker dials coordinator):
 //
-//	preamble  "DWMR" | uint16 version | uint16 reserved   (worker → coord)
-//	frames    type(1) | payloadLen(uint32 BE) | payload   (both directions)
+//	preamble  "DWMR" | uint16 version | uint16 reserved            (worker → coord)
+//	frames    type(1) | payloadLen(uint32 BE) | payload | crc(4)   (both directions)
 //
 // Frame types: hello (gob wireHello), task and reply (binary, below),
 // heartbeat (empty), reject (UTF-8 reason, coordinator → worker). The
@@ -26,13 +29,24 @@ import (
 // rejects mismatched versions cleanly — a reject frame, then close — so
 // a stale worker binary can never exchange misdecoded shuffle data.
 //
+// Integrity (wire version 3): every frame carries a CRC32-C (Castagnoli)
+// trailer over header + payload, and payloads are bounded by
+// maxWireFrameSize. A checksum mismatch or an oversized length kills the
+// connection — counted in mr_wire_corrupt_frames — instead of handing
+// corrupt bytes to the decoders; the at-most-once retry machinery then
+// re-runs the affected attempt on a fresh connection.
+//
 // Binary payloads use uvarint length-prefixed byte strings and uvarint
 // integers; Pair lists are [count | (klen key vlen value)...], and a
 // decoded Pair aliases the frame buffer (zero copies on the read side).
 
 const (
-	wireVersion      = 2
-	maxWireFrameSize = 1 << 30
+	wireVersion = 3
+	// maxWireFrameSize bounds one frame's payload (256 MiB — orders of
+	// magnitude above the O(N·|M|/2^h) rows the paper's algorithms
+	// shuffle). A corrupt length prefix must not drive a huge
+	// allocation or a multi-GiB stuck read.
+	maxWireFrameSize = 1 << 28
 )
 
 var wireMagic = [4]byte{'D', 'W', 'M', 'R'}
@@ -98,11 +112,19 @@ func readPreamble(r io.Reader) (int, error) {
 	return int(pre[4])<<8 | int(pre[5]), nil
 }
 
-// frameWriter frames and flushes messages. Callers serialize access (the
-// engines hold their send mutex around write).
+// castagnoli is the CRC32-C table of the frame trailer (hardware-
+// accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameWriter frames, checksums, and flushes messages. Callers serialize
+// access (the engines hold their send mutex around write). chaosPoint,
+// when set, names the failpoint evaluated per data frame — the engine
+// sets it to its side's mr.*.send point so tests can drop, delay,
+// corrupt, or truncate frames deterministically.
 type frameWriter struct {
-	bw  *bufio.Writer
-	hdr [5]byte
+	bw         *bufio.Writer
+	hdr        [5]byte
+	chaosPoint string
 }
 
 func newFrameWriter(w io.Writer) *frameWriter {
@@ -112,18 +134,51 @@ func newFrameWriter(w io.Writer) *frameWriter {
 func (fw *frameWriter) write(typ byte, payload []byte) error {
 	fw.hdr[0] = typ
 	binary.BigEndian.PutUint32(fw.hdr[1:], uint32(len(payload)))
+	crc := crc32.Update(0, castagnoli, fw.hdr[:])
+	crc = crc32.Update(crc, castagnoli, payload)
+	var trailer [4]byte
+	binary.BigEndian.PutUint32(trailer[:], crc)
+	// Fault injection on data frames only — hello, heartbeat and reject
+	// are exempt so chaos hit counts track task traffic deterministically.
+	if fw.chaosPoint != "" && (typ == frameTask || typ == frameReply) {
+		switch act := chaos.Point(fw.chaosPoint); act.Kind {
+		case chaos.Delay:
+			time.Sleep(act.Sleep)
+		case chaos.Fail:
+			return act.Err
+		case chaos.Partial:
+			fw.bw.Write(fw.hdr[:])
+			fw.bw.Write(payload[:len(payload)/2])
+			fw.bw.Flush()
+			return act.Err
+		case chaos.Corrupt:
+			// Flip a bit past the header — in the payload or the CRC —
+			// so the receiver's checksum (not a wedged length read)
+			// rejects the frame.
+			bit := act.Rand % uint64((len(payload)+len(trailer))*8)
+			if i := int(bit / 8); i < len(payload) {
+				payload[i] ^= 1 << (bit % 8)
+			} else {
+				trailer[i-len(payload)] ^= 1 << (bit % 8)
+			}
+		}
+	}
 	if _, err := fw.bw.Write(fw.hdr[:]); err != nil {
 		return err
 	}
 	if _, err := fw.bw.Write(payload); err != nil {
 		return err
 	}
-	obsWireBytesSent.Add(int64(len(fw.hdr) + len(payload)))
+	if _, err := fw.bw.Write(trailer[:]); err != nil {
+		return err
+	}
+	obsWireBytesSent.Add(int64(len(fw.hdr) + len(payload) + len(trailer)))
 	return fw.bw.Flush()
 }
 
-// frameReader reads one frame at a time. The returned payload is a fresh
-// buffer the decoded message may alias indefinitely.
+// frameReader reads one frame at a time, verifying the CRC32-C trailer.
+// The returned payload is a fresh buffer the decoded message may alias
+// indefinitely.
 type frameReader struct {
 	br  *bufio.Reader
 	hdr [5]byte
@@ -140,17 +195,27 @@ func (fr *frameReader) read() (byte, []byte, error) {
 	typ := fr.hdr[0]
 	n := binary.BigEndian.Uint32(fr.hdr[1:])
 	if n > maxWireFrameSize {
-		return 0, nil, fmt.Errorf("mr: wire frame of %d bytes exceeds limit", n)
+		obsWireCorruptFrames.Inc()
+		return 0, nil, fmt.Errorf("mr: wire frame of %d bytes exceeds the %d-byte limit", n, maxWireFrameSize)
 	}
-	if n == 0 {
-		obsWireBytesReceived.Add(int64(len(fr.hdr)))
-		return typ, nil, nil
+	var buf []byte
+	if n > 0 {
+		buf = make([]byte, n)
+		if _, err := io.ReadFull(fr.br, buf); err != nil {
+			return 0, nil, err
+		}
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(fr.br, buf); err != nil {
+	var trailer [4]byte
+	if _, err := io.ReadFull(fr.br, trailer[:]); err != nil {
 		return 0, nil, err
 	}
-	obsWireBytesReceived.Add(int64(len(fr.hdr)) + int64(n))
+	crc := crc32.Update(0, castagnoli, fr.hdr[:])
+	crc = crc32.Update(crc, castagnoli, buf)
+	if got := binary.BigEndian.Uint32(trailer[:]); got != crc {
+		obsWireCorruptFrames.Inc()
+		return 0, nil, fmt.Errorf("mr: wire frame CRC mismatch (got %08x, computed %08x)", got, crc)
+	}
+	obsWireBytesReceived.Add(int64(len(fr.hdr)) + int64(n) + int64(len(trailer)))
 	return typ, buf, nil
 }
 

@@ -204,6 +204,13 @@ func FuzzDecodeWireTask(f *testing.F) {
 	f.Add(shutdown)
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	// Bit-flipped variants of the valid seed: single-bit corruption the
+	// frame CRC would normally stop, fed straight to the decoder.
+	for _, bit := range []int{0, 7, 13, len(seed)*4 + 1, len(seed)*8 - 1} {
+		mutated := append([]byte(nil), seed...)
+		mutated[bit/8] ^= 1 << (bit % 8)
+		f.Add(mutated)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		decoded, err := decodeWireTask(data)
 		if err != nil {
@@ -228,10 +235,16 @@ func FuzzDecodeWireTask(f *testing.F) {
 // re-encoding must match.
 func FuzzDecodeWireReply(f *testing.F) {
 	reply := sampleWireReply()
-	f.Add(appendWireReply(nil, &reply))
+	seed := appendWireReply(nil, &reply)
+	f.Add(seed)
 	f.Add(appendWireReply(nil, &wireReply{TaskID: 1, Attempt: 1, Err: "boom"}))
 	f.Add([]byte{})
 	f.Add([]byte{0x80})
+	for _, bit := range []int{0, 7, 13, len(seed)*4 + 1, len(seed)*8 - 1} {
+		mutated := append([]byte(nil), seed...)
+		mutated[bit/8] ^= 1 << (bit % 8)
+		f.Add(mutated)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		decoded, err := decodeWireReply(data)
 		if err != nil {

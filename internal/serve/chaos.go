@@ -1,0 +1,11 @@
+package serve
+
+// Chaos points of the query path (see internal/chaos). Every point name
+// must be a constant in this file (enforced by dwlint's chaospoint
+// analyzer).
+const (
+	// chaosQuery fires once per admitted query, before the handler runs.
+	// Delay holds the query (and its in-flight slot) open — the lever the
+	// admission-gate and timeout tests pull; Fail answers 500.
+	chaosQuery = "serve.query"
+)

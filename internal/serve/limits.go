@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dwmaxerr/internal/chaos"
+	"dwmaxerr/internal/synopsis"
+)
+
+// Admission control for the query service. A synopsis server is the
+// cheap, always-up face of an expensive pipeline; when a burst outruns it,
+// the right failure mode is an immediate, honest 503 with a Retry-After
+// hint — not a growing queue of half-served connections. Limits bounds the
+// number of in-flight queries and the wall-clock each one may take.
+
+// Limits configures the admission gate. The zero value imposes nothing.
+type Limits struct {
+	// MaxInFlight caps concurrently-running queries; excess requests are
+	// answered 503 + Retry-After without touching a handler. 0 = unlimited.
+	MaxInFlight int
+	// QueryTimeout bounds one query end to end; a query that exceeds it is
+	// answered 503. 0 = no deadline.
+	QueryTimeout time.Duration
+	// RetryAfter is the hint in rejection responses (default 1s).
+	RetryAfter time.Duration
+}
+
+func (l Limits) retryAfter() time.Duration {
+	if l.RetryAfter > 0 {
+		return l.RetryAfter
+	}
+	return time.Second
+}
+
+// NewLimited is New with an admission gate in front of the handlers.
+func NewLimited(s *synopsis.Synopsis, maxAbs float64, lim Limits) (*Server, error) {
+	srv, err := New(s, maxAbs)
+	if err != nil {
+		return nil, err
+	}
+	srv.gate = newGate(srv.mux, lim)
+	return srv, nil
+}
+
+// gate enforces Limits around an inner handler.
+type gate struct {
+	inner http.Handler
+	lim   Limits
+	slots chan struct{} // nil when MaxInFlight == 0
+}
+
+func newGate(inner http.Handler, lim Limits) *gate {
+	// The chaos point sits inside the timed region so an injected stall is
+	// subject to the query deadline, like any slow handler would be.
+	g := &gate{inner: chaosHandler{inner}, lim: lim}
+	if lim.QueryTimeout > 0 {
+		// TimeoutHandler answers 503 when the deadline passes and
+		// suppresses the late handler's writes; the recorder around it
+		// (below) turns those 503s into serve_timeouts_total.
+		g.inner = http.TimeoutHandler(g.inner, lim.QueryTimeout,
+			`{"error":"query deadline exceeded"}`)
+	}
+	if lim.MaxInFlight > 0 {
+		g.slots = make(chan struct{}, lim.MaxInFlight)
+	}
+	return g
+}
+
+func (g *gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if g.slots != nil {
+		select {
+		case g.slots <- struct{}{}:
+			defer func() { <-g.slots }()
+		default:
+			obsRejected.Inc()
+			w.Header().Set("Retry-After",
+				strconv.Itoa(int((g.lim.retryAfter()+time.Second-1)/time.Second)))
+			httpError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("serve: %d queries in flight, try again later", g.lim.MaxInFlight))
+			return
+		}
+	}
+	obsInflight.Add(1)
+	defer obsInflight.Add(-1)
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	g.inner.ServeHTTP(rec, r)
+	// Only TimeoutHandler produces 503 below the gate, so a recorded 503
+	// is a deadline kill.
+	if rec.status == http.StatusServiceUnavailable {
+		obsTimeouts.Inc()
+	}
+}
+
+// chaosHandler evaluates the query chaos point before the real handlers.
+type chaosHandler struct {
+	inner http.Handler
+}
+
+func (h chaosHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch act := chaos.Point(chaosQuery); act.Kind {
+	case chaos.Fail:
+		httpError(w, http.StatusInternalServerError, act.Err)
+		return
+	case chaos.Delay:
+		time.Sleep(act.Sleep)
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+// statusRecorder remembers the first status code written.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.status = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"dwmaxerr/internal/chaos"
+	"dwmaxerr/internal/greedy"
+)
+
+func limitedServer(t *testing.T, lim Limits) *httptest.Server {
+	t.Helper()
+	syn, maxAbs, err := greedy.SynopsisAbs(paperData, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewLimited(syn, maxAbs, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestAdmissionGateRejectsOverload fills the single in-flight slot with a
+// chaos-delayed query, then shows the next query bounces with 503 +
+// Retry-After while the slot holder still completes.
+func TestAdmissionGateRejectsOverload(t *testing.T) {
+	if err := chaos.EnableSpec("11,serve.query:delay=300ms#1"); err != nil {
+		t.Fatal(err)
+	}
+	defer chaos.Disable()
+
+	ts := limitedServer(t, Limits{MaxInFlight: 1, RetryAfter: 2 * time.Second})
+	rejected0 := obsRejected.Value()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	slowStatus := make(chan int, 1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(ts.URL + "/info")
+		if err != nil {
+			slowStatus <- -1
+			return
+		}
+		resp.Body.Close()
+		slowStatus <- resp.StatusCode
+	}()
+
+	// Wait until the delayed query occupies the slot, then overflow it.
+	deadline := time.Now().Add(2 * time.Second)
+	for obsInflight.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow query never became in-flight")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err := http.Get(ts.URL + "/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow query: status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", ra)
+	}
+	if d := obsRejected.Value() - rejected0; d != 1 {
+		t.Fatalf("serve_rejected_total delta = %d, want 1", d)
+	}
+
+	wg.Wait()
+	if s := <-slowStatus; s != http.StatusOK {
+		t.Fatalf("slot holder finished with status %d, want 200", s)
+	}
+	if v := obsInflight.Value(); v != 0 {
+		t.Fatalf("serve_inflight = %d after drain, want 0", v)
+	}
+}
+
+// TestQueryTimeout cuts off a chaos-stalled query at the deadline.
+func TestQueryTimeout(t *testing.T) {
+	if err := chaos.EnableSpec("12,serve.query:stall=500ms#1"); err != nil {
+		t.Fatal(err)
+	}
+	defer chaos.Disable()
+
+	ts := limitedServer(t, Limits{QueryTimeout: 50 * time.Millisecond})
+	timeouts0 := obsTimeouts.Value()
+
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("stalled query: status %d, want 503", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v, deadline not enforced", elapsed)
+	}
+	if d := obsTimeouts.Value() - timeouts0; d != 1 {
+		t.Fatalf("serve_timeouts_total delta = %d, want 1", d)
+	}
+}
+
+// TestLimitsZeroValueIsTransparent pins that NewLimited{} behaves exactly
+// like New: no rejections, no timeouts, correct answers.
+func TestLimitsZeroValueIsTransparent(t *testing.T) {
+	ts := limitedServer(t, Limits{})
+	rejected0, timeouts0 := obsRejected.Value(), obsTimeouts.Value()
+	for i := 0; i < 8; i++ {
+		var ans PointAnswer
+		getJSON(t, ts.URL+"/point?i="+itoa(i), &ans)
+		if ans.Index != i {
+			t.Fatalf("point %d answered %+v", i, ans)
+		}
+	}
+	if obsRejected.Value() != rejected0 || obsTimeouts.Value() != timeouts0 {
+		t.Fatal("zero-value limits rejected or timed out a query")
+	}
+}
+
+// TestChaosQueryFail pins the Fail verb on the query point: an injected
+// fault answers 500 without wedging the in-flight gauge.
+func TestChaosQueryFail(t *testing.T) {
+	if err := chaos.EnableSpec("13,serve.query:error#1"); err != nil {
+		t.Fatal(err)
+	}
+	defer chaos.Disable()
+
+	ts := limitedServer(t, Limits{MaxInFlight: 4})
+	resp, err := http.Get(ts.URL + "/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("injected fault: status %d, want 500", resp.StatusCode)
+	}
+	if v := obsInflight.Value(); v != 0 {
+		t.Fatalf("serve_inflight = %d after injected fault, want 0", v)
+	}
+	// The next query (hit 2, rule exhausted) succeeds.
+	var info Info
+	getJSON(t, ts.URL+"/info", &info)
+	if info.N != 8 {
+		t.Fatalf("post-fault query answered %+v", info)
+	}
+}

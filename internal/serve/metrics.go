@@ -12,4 +12,10 @@ var (
 	obsRangeQueries = obs.Default.Counter("serve_range_queries")
 	obsCoefQueries  = obs.Default.Counter("serve_coefficient_queries")
 	obsBadRequests  = obs.Default.Counter("serve_bad_requests")
+
+	// Admission gate (limits.go): queries turned away at the door, queries
+	// cut off by the per-query deadline, and the live in-flight level.
+	obsRejected = obs.Default.Counter("serve_rejected_total")
+	obsTimeouts = obs.Default.Counter("serve_timeouts_total")
+	obsInflight = obs.Default.Gauge("serve_inflight")
 )

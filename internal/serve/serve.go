@@ -26,6 +26,7 @@ type Server struct {
 	ev     *synopsis.Evaluator
 	maxAbs float64 // per-value guarantee; 0 when unknown
 	mux    *http.ServeMux
+	gate   *gate // non-nil when built by NewLimited
 }
 
 // New builds a server over a synopsis with the given per-value maximum
@@ -45,6 +46,10 @@ func New(s *synopsis.Synopsis, maxAbs float64) (*Server, error) {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.gate != nil {
+		s.gate.ServeHTTP(w, r)
+		return
+	}
 	s.mux.ServeHTTP(w, r)
 }
 

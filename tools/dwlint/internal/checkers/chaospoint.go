@@ -1,0 +1,128 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"path/filepath"
+	"regexp"
+
+	"dwmaxerr/tools/dwlint/internal/anz"
+)
+
+// chaosPath is the failpoint registry package.
+const chaosPath = "dwmaxerr/internal/chaos"
+
+// chaosNameRe is the failpoint naming convention: dotted lowercase with a
+// subsystem prefix ("mr.worker.send", "dist.probe", "serve.query").
+var chaosNameRe = regexp.MustCompile(`^[a-z0-9]+(\.[a-z0-9]+)+$`)
+
+// Chaospoint enforces the failpoint registration contract: every
+// chaos.Point call names its point with a constant declared in the calling
+// package's chaos.go, matching the dotted-lowercase convention. A spec rule
+// targets points by exact name, so a name invented inline at a call site —
+// or drifted into another file — is a failpoint no chaos schedule can
+// reach and no reader can discover. The one indirection allowed is a
+// carrier field/variable named chaosPoint (the wire layer parameterizes
+// its writer per endpoint); every assignment to a carrier is held to the
+// same constant-from-chaos.go rule, keeping the indirection closed.
+var Chaospoint = &anz.Analyzer{
+	Name: "chaospoint",
+	Doc:  "chaos.Point names must be constants declared in the package's chaos.go (carrier fields named chaosPoint may relay them)",
+	Run:  runChaospoint,
+}
+
+func runChaospoint(pass *anz.Pass) error {
+	// The chaos package itself defines Point; it registers no points.
+	if pass.Pkg.Path() == chaosPath {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkChaosCall(pass, n)
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i < len(n.Rhs) && isChaosCarrier(lhs) {
+						checkCarrierValue(pass, n.Rhs[i])
+					}
+				}
+			case *ast.KeyValueExpr:
+				if key, ok := n.Key.(*ast.Ident); ok {
+					if f, ok := pass.Info.Uses[key].(*types.Var); ok && f.IsField() && f.Name() == "chaosPoint" {
+						checkCarrierValue(pass, n.Value)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkChaosCall(pass *anz.Pass, call *ast.CallExpr) {
+	if !pkgFunc(pass, call, chaosPath, "Point") || len(call.Args) != 1 {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	if pass.Info.Types[arg].Value == nil {
+		// Dynamic name: only a designated carrier may relay one.
+		if !isChaosCarrier(arg) {
+			pass.Reportf(arg.Pos(), "chaos.Point name must be a constant declared in this package's chaos.go (or relayed by a chaosPoint carrier field)")
+		}
+		return
+	}
+	checkChaosConst(pass, arg, false)
+}
+
+// checkCarrierValue holds one value assigned to a chaosPoint carrier to
+// the registration contract. The empty string (injection off) is allowed.
+func checkCarrierValue(pass *anz.Pass, rhs ast.Expr) {
+	rhs = ast.Unparen(rhs)
+	if isChaosCarrier(rhs) { // carrier-to-carrier relay
+		return
+	}
+	tv := pass.Info.Types[rhs]
+	if tv.Value != nil && tv.Value.Kind() == constant.String && constant.StringVal(tv.Value) == "" {
+		return
+	}
+	checkChaosConst(pass, rhs, true)
+}
+
+// checkChaosConst requires expr to be a use of a string constant declared
+// in this package's chaos.go with a well-formed dotted name.
+func checkChaosConst(pass *anz.Pass, expr ast.Expr, assigned bool) {
+	subject := "chaos.Point name"
+	if assigned {
+		subject = "value assigned to a chaosPoint carrier"
+	}
+	id, _ := ast.Unparen(expr).(*ast.Ident)
+	if id == nil {
+		pass.Reportf(expr.Pos(), "%s must be a constant declared in this package's chaos.go, not an inline value — a point no chaos spec can discover", subject)
+		return
+	}
+	obj, ok := pass.Info.Uses[id].(*types.Const)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != pass.Pkg.Path() ||
+		filepath.Base(pass.Fset.Position(obj.Pos()).Filename) != "chaos.go" {
+		pass.Reportf(expr.Pos(), "%s must be a constant declared in this package's chaos.go so the package's failpoint surface is auditable in one place", subject)
+		return
+	}
+	if tv := pass.Info.Types[expr]; tv.Value != nil && tv.Value.Kind() == constant.String {
+		if name := constant.StringVal(tv.Value); !chaosNameRe.MatchString(name) {
+			pass.Reportf(expr.Pos(), "chaos point name %q does not match %s", name, chaosNameRe)
+		}
+	}
+}
+
+// isChaosCarrier reports whether expr is a field or variable named
+// chaosPoint — the sanctioned indirection for parameterized injection.
+func isChaosCarrier(expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e.Name == "chaosPoint"
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "chaosPoint"
+	}
+	return false
+}

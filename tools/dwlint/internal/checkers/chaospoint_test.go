@@ -1,0 +1,9 @@
+package checkers
+
+import (
+	"testing"
+
+	"dwmaxerr/tools/dwlint/internal/anz/anztest"
+)
+
+func TestChaospoint(t *testing.T) { anztest.Run(t, Chaospoint, "chaospoint") }

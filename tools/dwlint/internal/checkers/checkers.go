@@ -1,6 +1,8 @@
-// Package checkers holds the five dwlint analyzers, each encoding one
+// Package checkers holds the six dwlint analyzers, each encoding one
 // contract the engine states in prose:
 //
+//   - chaospoint: chaos.Point failpoint names are constants declared in
+//     the package's chaos.go (chaosPoint carrier fields may relay them).
 //   - emitretain: the arena pooling contract (mr/arena.go) — Emit
 //     implementations copy before returning, reduce callbacks don't
 //     retain group slices.
@@ -30,6 +32,7 @@ const (
 // All returns every analyzer, in the order the multichecker runs them.
 func All() []*anz.Analyzer {
 	return []*anz.Analyzer{
+		Chaospoint,
 		Emitretain,
 		Lockguard,
 		Metricname,

@@ -1,0 +1,10 @@
+// Package chaospoint is a dwlint fixture: chaos.Point call sites and
+// chaosPoint carrier assignments exercise the failpoint registration
+// rules; violations live in chaospoint.go.
+package chaospoint
+
+// Failpoint names of this fixture package.
+const (
+	ptGood = "fixture.good.point"
+	ptBad  = "Fixture_BAD" // name violates the dotted-lowercase convention
+)

@@ -1,0 +1,37 @@
+package chaospoint
+
+import "dwmaxerr/internal/chaos"
+
+// misplaced is well-formed but declared outside chaos.go.
+const misplaced = "fixture.misplaced.point"
+
+type writer struct {
+	chaosPoint string
+	label      string
+}
+
+func calls(name string) {
+	_ = chaos.Point(ptGood)
+	_ = chaos.Point(ptBad)                   // want "does not match"
+	_ = chaos.Point("fixture.literal.point") // want "must be a constant declared in this package's chaos.go"
+	_ = chaos.Point(misplaced)               // want "must be a constant declared in this package's chaos.go"
+	_ = chaos.Point(name)                    // want "carrier"
+
+	w := writer{chaosPoint: ptGood}
+	_ = chaos.Point(w.chaosPoint)
+	w.chaosPoint = ptGood
+	w.chaosPoint = ""                     // clearing a carrier disables injection
+	w.chaosPoint = "fixture.sneaky.point" // want "assigned to a chaosPoint carrier"
+	w.chaosPoint = name                   // want "assigned to a chaosPoint carrier"
+	w.label = "anything"                  // non-carrier fields are out of scope
+	_ = chaos.Point(w.label)              // want "carrier"
+}
+
+// inline composite literals are held to the same rule as assignments.
+var bad = writer{chaosPoint: "fixture.inline.point"} // want "assigned to a chaosPoint carrier"
+
+// chaosPoint locals are carriers too: relaying between them is fine.
+func relay(w writer) {
+	chaosPoint := w.chaosPoint
+	_ = chaos.Point(chaosPoint)
+}

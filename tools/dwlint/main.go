@@ -10,7 +10,7 @@
 //
 //	//dwlint:ignore <analyzer>[,<analyzer>] -- <reason>
 //
-// The five checkers and the contracts they pin are documented in
+// The six checkers and the contracts they pin are documented in
 // DESIGN.md §10 and in each analyzer's Doc string (dwlint -list).
 package main
 
