@@ -10,6 +10,20 @@
 //
 // The synopsis file is the binary format of WriteSynopsis (dwtcli's CSV is
 // also accepted with -csv -n).
+//
+// With -ingest-window the server is streaming instead: no synopsis file,
+// values arrive over POST /ingest and queries answer against a live
+// sliding-window synopsis with epoch-bounded staleness:
+//
+//	dwserve -ingest-window 4096 -ingest-budget 256 \
+//	        -ingest-checkpoint /var/lib/dwserve/ck -listen :8080
+//
+//	curl -XPOST localhost:8080/ingest -d '{"values":[5,5,0,26]}'
+//	{"accepted":4,"seen":4,"durable":0,"epoch":0}
+//
+// -ingest-checkpoint persists completed blocks; a restarted server
+// resumes from them and /info reports "durable", the stream position the
+// producer must replay from.
 package main
 
 import (
@@ -23,6 +37,8 @@ import (
 	"syscall"
 	"time"
 
+	"dwmaxerr/internal/dist"
+	"dwmaxerr/internal/ingest"
 	"dwmaxerr/internal/obs"
 	"dwmaxerr/internal/serve"
 	"dwmaxerr/internal/synopsis"
@@ -37,24 +53,62 @@ func main() {
 		listen = flag.String("listen", "127.0.0.1:8080", "listen address")
 		maxInF = flag.Int("max-inflight", 0, "concurrent query cap; excess answered 503 + Retry-After (0 = unlimited)")
 		qTO    = flag.Duration("query-timeout", 0, "per-query deadline; slower queries answered 503 (0 = none)")
+
+		ingWindow = flag.Int("ingest-window", 0, "streaming mode: sliding-window size in values (power of two; replaces -synopsis)")
+		ingBlock  = flag.Int("ingest-block", 0, "ingest block size in values (power of two; 0 = window/8)")
+		ingBudget = flag.Int("ingest-budget", 0, "coefficients retained in the streaming synopsis (0 = window/16, min 1)")
+		ingCkDir  = flag.String("ingest-checkpoint", "", "directory for block checkpoints; a restarted server resumes from it")
+		ingName   = flag.String("ingest-name", "stream", "stream name inside the checkpoint keyspace")
 	)
 	flag.Parse()
-	if *path == "" {
-		fatal(fmt.Errorf("-synopsis is required"))
+	lim := serve.Limits{MaxInFlight: *maxInF, QueryTimeout: *qTO}
+
+	var srv *serve.Server
+	var syn *synopsis.Synopsis
+	switch {
+	case *ingWindow > 0:
+		if *path != "" {
+			fatal(fmt.Errorf("-synopsis and -ingest-window are mutually exclusive"))
+		}
+		budget := *ingBudget
+		if budget == 0 {
+			budget = *ingWindow / 16
+			if budget < 1 {
+				budget = 1
+			}
+		}
+		cfg := ingest.Config{Window: *ingWindow, Block: *ingBlock, Budget: budget, Name: *ingName}
+		if *ingCkDir != "" {
+			store, err := dist.NewFileCheckpoint(*ingCkDir)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Store = store
+		}
+		ing, err := ingest.New(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		defer ing.Close()
+		if srv, err = serve.NewIngest(ing, lim); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dwserve: streaming, window %d budget %d (durable from %d) on http://%s\n",
+			*ingWindow, budget, ing.Durable(), *listen)
+	default:
+		if *path == "" {
+			fatal(fmt.Errorf("one of -synopsis or -ingest-window is required"))
+		}
+		var err error
+		if syn, err = load(*path, *csv, *n); err != nil {
+			fatal(err)
+		}
+		if srv, err = serve.NewLimited(syn, *maxAbs, lim); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dwserve: %d-term synopsis over %d values on http://%s\n",
+			syn.Size(), syn.N, *listen)
 	}
-	syn, err := load(*path, *csv, *n)
-	if err != nil {
-		fatal(err)
-	}
-	srv, err := serve.NewLimited(syn, *maxAbs, serve.Limits{
-		MaxInFlight:  *maxInF,
-		QueryTimeout: *qTO,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "dwserve: %d-term synopsis over %d values on http://%s\n",
-		syn.Size(), syn.N, *listen)
 	// Query endpoints plus the process debug surface: /debug/vars exposes
 	// the serve_* query counters, /debug/pprof the profiler.
 	mux := http.NewServeMux()

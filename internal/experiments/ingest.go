@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dwmaxerr/internal/dataset"
+	"dwmaxerr/internal/ingest"
+)
+
+func init() {
+	register("ingest", "Streaming ingest: sustained push throughput, alone and under concurrent queries", runIngest)
+}
+
+// runIngest measures the streaming-ingest subsystem: how many values/sec
+// one ingestor sustains while re-thresholding every block (push-only),
+// and how much of that survives when readers hammer the published
+// snapshot at the same time — the wait-free-reader claim, measured. The
+// committed BENCH_ingest.json snapshot anchors both rates.
+func runIngest(cfg Config) error {
+	t := &table{header: []string{"workload", "values", "wall", "values/s", "epochs", "queries", "queries/s"}}
+
+	window := cfg.size(1 << 12)
+	block := window / 8
+	budget := window / 16
+	if budget < 1 {
+		budget = 1
+	}
+	total := 16 * window
+	data := dataset.Uniform{Max: 1000}.Generate(total, cfg.seed())
+	params := fmt.Sprintf("window=%d block=%d budget=%d values=%d", window, block, budget, total)
+
+	// ---- Push-only: the ingest path at full tilt. The background
+	// publisher coalesces rebuilds under the burst, so epochs stay low and
+	// values/s is the producer-side cost alone. ----
+	rec, err := ingestPush(data, window, block, budget, params, false, nil)
+	if err != nil {
+		return err
+	}
+	cfg.Collect.Add(rec)
+	t.add(rec.Experiment, fint(rec.IngestValues), fmt.Sprintf("%.3fs", rec.WallMS/1e3),
+		ffloat(rec.ValuesPerSec), fint(rec.Epochs), "-", "-")
+
+	// ---- Freshness-first: the producer Syncs at every block boundary,
+	// so every block is re-thresholded and published before the next one
+	// starts — values/s now includes the full rebuild pipeline. ----
+	rec, err = ingestPush(data, window, block, budget, params+" sync=block", true, nil)
+	if err != nil {
+		return err
+	}
+	cfg.Collect.Add(rec)
+	t.add(rec.Experiment, fint(rec.IngestValues), fmt.Sprintf("%.3fs", rec.WallMS/1e3),
+		ffloat(rec.ValuesPerSec), fint(rec.Epochs), "-", "-")
+
+	// ---- Concurrent: the freshness-first producer with 4 readers
+	// hammering the published snapshot throughout. ----
+	readers := 4
+	rec, err = ingestPush(data, window, block, budget,
+		fmt.Sprintf("%s sync=block readers=%d", params, readers), true, &readerPool{n: readers})
+	if err != nil {
+		return err
+	}
+	cfg.Collect.Add(rec)
+	t.add(rec.Experiment, fint(rec.IngestValues), fmt.Sprintf("%.3fs", rec.WallMS/1e3),
+		ffloat(rec.ValuesPerSec), fint(rec.Epochs), fint(rec.Queries), ffloat(rec.QueriesPerSec))
+
+	t.write(cfg.Out)
+	return nil
+}
+
+// readerPool runs n goroutines that alternate point and range queries
+// against the latest snapshot until stopped.
+type readerPool struct {
+	n       int
+	queries atomic.Int64
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+func (p *readerPool) start(g *ingest.Ingestor) {
+	p.stop = make(chan struct{})
+	for r := 0; r < p.n; r++ {
+		p.wg.Add(1)
+		go func(r int) {
+			defer p.wg.Done()
+			k := r
+			for {
+				select {
+				case <-p.stop:
+					return
+				default:
+				}
+				if snap := g.Snapshot(); snap != nil {
+					snap.Ev.Point(k % snap.N)
+					snap.Ev.RangeSum(0, snap.N-1)
+					p.queries.Add(2)
+				}
+				k++
+			}
+		}(r)
+	}
+}
+
+func (p *readerPool) finish() int64 {
+	close(p.stop)
+	p.wg.Wait()
+	return p.queries.Load()
+}
+
+// ingestPush feeds data through one ingestor (optionally Syncing every
+// block, optionally under reader load) and reports the sustained rate
+// after a final Sync barrier.
+func ingestPush(data []float64, window, block, budget int, params string, syncBlocks bool, readers *readerPool) (Record, error) {
+	g, err := ingest.New(ingest.Config{Window: window, Block: block, Budget: budget})
+	if err != nil {
+		return Record{}, err
+	}
+	defer g.Close()
+	name := "ingest/push"
+	if syncBlocks {
+		name = "ingest/sync"
+	}
+	if readers != nil {
+		name = "ingest/concurrent"
+		readers.start(g)
+	}
+	a0, t0 := measureAllocs(), time.Now()
+	for i, v := range data {
+		if err := g.Push(v); err != nil {
+			return Record{}, err
+		}
+		if syncBlocks && (i+1)%block == 0 {
+			g.Sync()
+		}
+	}
+	g.Sync()
+	wall, allocs := time.Since(t0), measureAllocs()-a0
+	var queries int64
+	if readers != nil {
+		queries = readers.finish()
+	}
+	rec := Record{
+		Experiment:   name,
+		Params:       params,
+		WallMS:       float64(wall.Milliseconds()),
+		IngestValues: int64(len(data)),
+		ValuesPerSec: float64(len(data)) / wall.Seconds(),
+		Queries:      queries,
+		Allocs:       allocs,
+	}
+	if queries > 0 {
+		rec.QueriesPerSec = float64(queries) / wall.Seconds()
+	}
+	if snap := g.Snapshot(); snap != nil {
+		rec.Epochs = snap.Epoch
+	}
+	return rec, nil
+}

@@ -31,6 +31,14 @@ type Record struct {
 	// Allocs is the heap allocation count (runtime.MemStats.Mallocs
 	// delta) attributed to the workload.
 	Allocs uint64 `json:"allocs,omitempty"`
+	// Streaming-ingest workloads: values pushed, the sustained push rate,
+	// snapshot epochs published, and — when readers ran concurrently —
+	// queries answered against the live snapshot and their rate.
+	IngestValues  int64   `json:"ingest_values,omitempty"`
+	ValuesPerSec  float64 `json:"values_per_sec,omitempty"`
+	Epochs        int64   `json:"epochs,omitempty"`
+	Queries       int64   `json:"queries,omitempty"`
+	QueriesPerSec float64 `json:"queries_per_sec,omitempty"`
 }
 
 // Collector gathers Records across experiments. Safe for concurrent use.

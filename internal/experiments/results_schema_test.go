@@ -77,6 +77,8 @@ func TestResultsJSONSchemaGolden(t *testing.T) {
 		Experiment: "schema", Params: "n=1", WallMS: 1.5,
 		ShuffleRecords: 2, ShuffleBytes: 3,
 		RecordsPerSec: 4.5, BytesPerSec: 6.5, Allocs: 7,
+		IngestValues: 8, ValuesPerSec: 9.5, Epochs: 10,
+		Queries: 11, QueriesPerSec: 12.5,
 	})
 	path := filepath.Join(t.TempDir(), "results.json")
 	if err := c.WriteJSON(path); err != nil {
@@ -108,8 +110,10 @@ func TestResultsJSONSchemaGolden(t *testing.T) {
 // extend it.
 func TestQuickRunRecordsFitSchema(t *testing.T) {
 	cfg := Config{Out: io.Discard, Quick: true, Collect: &Collector{}}
-	if err := Run("shuffle", cfg); err != nil {
-		t.Fatal(err)
+	for _, exp := range []string{"shuffle", "ingest"} {
+		if err := Run(exp, cfg); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if len(cfg.Collect.Records()) == 0 {
 		t.Fatal("quick run collected no records")

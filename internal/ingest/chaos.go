@@ -1,0 +1,10 @@
+package ingest
+
+// Chaos point names owned by this package. Specs reference them as e.g.
+// "ingest.push:drop#9" to kill an ingest node mid-window.
+const (
+	// chaosIngestPush fires on every Push before the value is ingested.
+	// Fail/Partial reject the value with the injected error (the caller's
+	// signal to die or retry); Delay slows the producer.
+	chaosIngestPush = "ingest.push"
+)

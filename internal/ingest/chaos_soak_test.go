@@ -1,0 +1,131 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"dwmaxerr/internal/chaos"
+	"dwmaxerr/internal/dist"
+	"dwmaxerr/internal/synopsis"
+)
+
+func synopsisBytes(t *testing.T, s *synopsis.Synopsis) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestIngestChaosKillResumeByteIdentical is the end-to-end crash drill
+// the subsystem exists for: an ingest node with a file-backed checkpoint
+// is killed mid-window by an injected fault, a fresh incarnation resumes
+// over the same directory, the source replays from the durable frontier,
+// and the final synopsis is BYTE-identical (serialized form) to a run
+// that never died. Chaos stays enabled through the replay to prove the
+// absolute-hit-indexed rule does not re-fire across the resume.
+func TestIngestChaosKillResumeByteIdentical(t *testing.T) {
+	const window, block, budget = 256, 32, 24
+	data := truncData(53, 5*window)
+
+	// Fault-free reference run over its own directory.
+	refStore, err := dist.NewFileCheckpoint(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(Config{Window: window, Block: block, Budget: budget, Store: refStore})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushAll(t, ref, data)
+	ref.Sync()
+	wantSnap := ref.Snapshot()
+	want := synopsisBytes(t, wantSnap.Syn)
+	ref.Close()
+
+	// Faulty run: the 600th push is killed — mid-window (block 18 of 40)
+	// and mid-block (value 24 of 32), the worst-case crash point.
+	if err := chaos.EnableSpec("7,ingest.push:error#600"); err != nil {
+		t.Fatal(err)
+	}
+	defer chaos.Disable()
+
+	dir := t.TempDir()
+	store, err := dist.NewFileCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Window: window, Block: block, Budget: budget, Store: store}
+	g1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var killed int = -1
+	for i, v := range data {
+		if err := g1.Push(v); err != nil {
+			if !errors.Is(err, chaos.ErrInjected) {
+				t.Fatalf("push %d: %v, want injected fault", i, err)
+			}
+			killed = i
+			break
+		}
+	}
+	if killed != 599 {
+		t.Fatalf("fault fired at push %d, want 599", killed)
+	}
+	g1.Close() // the process dies; Close only reaps the goroutine
+
+	// A fresh incarnation over the same directory resumes from the last
+	// durable block boundary.
+	g2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g2.Close()
+	durable := g2.Durable()
+	if durable%block != 0 {
+		t.Fatalf("Durable = %d not block-aligned", durable)
+	}
+	if want := int64(killed / block * block); durable != want {
+		t.Fatalf("Durable = %d, want %d (last boundary below kill at %d)", durable, want, killed)
+	}
+	// The recovered node answers queries before any replayed value.
+	pre := g2.Snapshot()
+	if pre == nil {
+		t.Fatal("no snapshot after resume")
+	}
+	if v := pre.Ev.Point(0); math.IsNaN(v) {
+		t.Fatal("recovered snapshot answers NaN")
+	}
+
+	// Replay from the durable frontier — chaos still enabled; the rule's
+	// absolute hit index was consumed before the kill, so it cannot
+	// re-fire and double-kill the replacement.
+	pushAll(t, g2, data[durable:])
+	g2.Sync()
+	gotSnap := g2.Snapshot()
+	if g2.Seen() != int64(len(data)) {
+		t.Fatalf("Seen = %d after replay, want %d", g2.Seen(), len(data))
+	}
+	if gotSnap.Start != wantSnap.Start || gotSnap.N != wantSnap.N {
+		t.Fatalf("window mismatch: got [%d,+%d), want [%d,+%d)",
+			gotSnap.Start, gotSnap.N, wantSnap.Start, wantSnap.N)
+	}
+	got := synopsisBytes(t, gotSnap.Syn)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed synopsis differs from fault-free run:\n got %d bytes %x\nwant %d bytes %x",
+			len(got), got[:min(32, len(got))], len(want), want[:min(32, len(want))])
+	}
+	// Guard against the vacuous pass: the synopsis actually holds terms.
+	if len(gotSnap.Syn.Terms) != budget {
+		t.Fatalf("synopsis holds %d terms, want %d", len(gotSnap.Syn.Terms), budget)
+	}
+	for _, term := range gotSnap.Syn.Terms {
+		if math.IsNaN(term.Value) {
+			t.Fatalf("NaN coefficient at %d", term.Index)
+		}
+	}
+}

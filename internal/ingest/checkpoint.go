@@ -1,0 +1,189 @@
+package ingest
+
+import (
+	"fmt"
+	"math"
+
+	"dwmaxerr/internal/mr"
+)
+
+// Block durability. Each completed block is one checkpoint record; a
+// small head record names the newest block. Resume reads the head, walks
+// backwards collecting up to a window of contiguous blocks, and rebuilds
+// the ring — the per-block records are exactly the state the ring held,
+// so the resumed synopsis is byte-identical to the pre-kill one.
+//
+// Keys encode the shape parameters (window, block, block budget) the
+// same way the dist pipeline keys encode theirs: a record is only
+// replayed into an ingestor with the identical shape, so a config change
+// reads as a fresh stream rather than a corrupt resume. Like the dist
+// stores, one store must be scoped to one stream.
+//
+// Payloads carry their own "DWIG" magic + version envelope (the dist
+// "DWCK" seal is private to that package, and ingest records have a
+// different lifecycle anyway — they are overwritten as the window
+// slides, not written once).
+
+const ckVersion = 1
+
+var ckMagic = [4]byte{'D', 'W', 'I', 'G'}
+
+func seal(body []byte) []byte {
+	out := make([]byte, 0, 5+len(body))
+	out = append(out, ckMagic[:]...)
+	out = append(out, ckVersion)
+	return append(out, body...)
+}
+
+func open(payload []byte) ([]byte, error) {
+	if len(payload) < 5 || [4]byte(payload[:4]) != ckMagic {
+		return nil, fmt.Errorf("ingest: bad checkpoint magic")
+	}
+	if v := payload[4]; v != ckVersion {
+		return nil, fmt.Errorf("ingest: checkpoint version %d, want %d", v, ckVersion)
+	}
+	return payload[5:], nil
+}
+
+// keyPrefix scopes every record to the stream name and ingest shape.
+func keyPrefix(cfg Config) string {
+	return fmt.Sprintf("ingest/%s/w%d/s%d/kb%d", cfg.Name, cfg.Window, cfg.Block, cfg.BlockBudget)
+}
+
+func blockKey(cfg Config, seq int64) string {
+	return fmt.Sprintf("%s/block/%d", keyPrefix(cfg), seq)
+}
+
+func headKey(cfg Config) string {
+	return keyPrefix(cfg) + "/head"
+}
+
+// putBlock persists one completed block, then advances the head. Head
+// last: a crash between the two writes leaves the head naming the
+// previous block, and the resume simply replays this block's values.
+func putBlock(cfg Config, rec blockRec) error {
+	body := mr.AppendUint64(nil, uint64(rec.seq))
+	body = mr.AppendUint64(body, math.Float64bits(rec.avg))
+	body = mr.AppendUint64(body, uint64(len(rec.idx)))
+	for k, li := range rec.idx {
+		body = mr.AppendUint64(body, uint64(li))
+		body = mr.AppendUint64(body, math.Float64bits(rec.val[k]))
+	}
+	if err := cfg.Store.Put(blockKey(cfg, rec.seq), seal(body)); err != nil {
+		return err
+	}
+	return cfg.Store.Put(headKey(cfg), seal(mr.AppendUint64(nil, uint64(rec.seq))))
+}
+
+// getBlock loads one block record; ok is false when the key is absent. A
+// present but unreadable record is an error — silently skipping it would
+// resume from a torn window.
+func getBlock(cfg Config, seq int64) (blockRec, bool, error) {
+	payload, ok, err := cfg.Store.Get(blockKey(cfg, seq))
+	if err != nil || !ok {
+		return blockRec{}, false, err
+	}
+	body, err := open(payload)
+	if err != nil {
+		return blockRec{}, false, err
+	}
+	c := &cursor{buf: body}
+	rec := blockRec{seq: int64(c.u64()), avg: math.Float64frombits(c.u64())}
+	count := c.u64()
+	if c.err == nil && count > uint64(len(body)/16+1) {
+		c.err = fmt.Errorf("ingest: implausible block pair count %d", count)
+	}
+	for i := uint64(0); i < count && c.err == nil; i++ {
+		li := c.u64()
+		bits := c.u64()
+		if c.err != nil {
+			break
+		}
+		rec.idx = append(rec.idx, int(li))
+		rec.val = append(rec.val, math.Float64frombits(bits))
+	}
+	if c.err == nil && c.off != len(body) {
+		c.err = fmt.Errorf("ingest: trailing bytes in block record")
+	}
+	if c.err == nil && rec.seq != seq {
+		c.err = fmt.Errorf("ingest: block record %d stored under key %d", rec.seq, seq)
+	}
+	if c.err != nil {
+		return blockRec{}, false, fmt.Errorf("ingest: block %d: %w", seq, c.err)
+	}
+	return rec, true, nil
+}
+
+// getHead returns the newest checkpointed block sequence; ok is false on
+// a fresh store.
+func getHead(cfg Config) (int64, bool, error) {
+	payload, ok, err := cfg.Store.Get(headKey(cfg))
+	if err != nil || !ok {
+		return 0, false, err
+	}
+	body, err := open(payload)
+	if err != nil {
+		return 0, false, fmt.Errorf("ingest: head: %w", err)
+	}
+	if len(body) != 8 {
+		return 0, false, fmt.Errorf("ingest: head record is %d bytes, want 8", len(body))
+	}
+	return int64(mr.DecodeUint64(body)), true, nil
+}
+
+// cursor walks a checkpoint body with sticky bounds checking, mirroring
+// the dist decoder discipline.
+type cursor struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (c *cursor) u64() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	if c.off+8 > len(c.buf) {
+		c.err = fmt.Errorf("ingest: truncated checkpoint record")
+		return 0
+	}
+	v := mr.DecodeUint64(c.buf[c.off:])
+	c.off += 8
+	return v
+}
+
+// resumeLocked reloads the ring from the store: head, then up to a
+// window of contiguous blocks ending at it. Caller holds mu; only New
+// calls this, before the publisher goroutine exists.
+func (g *Ingestor) resumeLocked() error {
+	head, ok, err := getHead(g.cfg)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil // fresh store
+	}
+	var ring []blockRec
+	for seq := head; seq >= 0 && len(ring) < g.r; seq-- {
+		rec, ok, err := getBlock(g.cfg, seq)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			// Blocks below the window slide out of relevance; a gap just
+			// means the window starts after it.
+			break
+		}
+		ring = append(ring, rec)
+	}
+	// Collected newest-first; the ring runs oldest-first.
+	for i, j := 0, len(ring)-1; i < j; i, j = i+1, j-1 {
+		ring[i], ring[j] = ring[j], ring[i]
+	}
+	g.blocks = ring
+	g.nextSeq = head + 1
+	g.seen = g.nextSeq * int64(g.cfg.Block)
+	g.gen = g.nextSeq
+	g.published = g.gen // the synchronous publish in New covers the ring
+	return nil
+}

@@ -1,0 +1,465 @@
+// Package ingest maintains a queryable wavelet synopsis while values
+// arrive — the streaming counterpart of the batch builders, in the style
+// of Guha & Harb's one-pass wavelet maintenance adapted to the serving
+// tier's needs.
+//
+// The stream is cut into fixed-size blocks (power-of-two values each).
+// Each block is transformed one value at a time by a wavelet.Streamer in
+// O(log block) memory; its detail coefficients are retained (all of them,
+// or the top-k by significance — per-block retention by local
+// significance equals retention by global significance, because every
+// detail of a block sits the same number of levels below the window root)
+// together with the block average. The last window/block completed blocks
+// form a ring; on every completed block an epoch rebuild re-thresholds
+// the window in the background: the upper tree is recomputed from the
+// block averages (a transform over window/block values), block details
+// are mapped to global error-tree indices, and the top-budget candidates
+// become the published synopsis. The publish is an atomic pointer swap —
+// readers never block on writers, and a reader always sees a complete,
+// immutable snapshot that is at most a few blocks stale (exactly one
+// block when rebuilds keep up; the background goroutine coalesces
+// rebuild requests, so staleness under a push burst is bounded by the
+// blocks completed during one rebuild).
+//
+// With Config.Store set, every completed block is persisted through a
+// dist.CheckpointStore before it becomes part of the window, so an ingest
+// node killed mid-window resumes from the last durable block boundary:
+// New reloads the ring, republishes, and Durable tells the upstream
+// source where to restart the stream. A resumed node's synopsis is
+// byte-identical to a never-killed one fed the same values.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dwmaxerr/internal/chaos"
+	"dwmaxerr/internal/dist"
+	"dwmaxerr/internal/synopsis"
+	"dwmaxerr/internal/wavelet"
+)
+
+// ErrClosed is returned by Push after Close.
+var ErrClosed = errors.New("ingest: ingestor is closed")
+
+// Config parameterizes an Ingestor.
+type Config struct {
+	// Window is the number of values the published synopsis covers (a
+	// power of two). Queries answer over the most recent complete window.
+	Window int
+	// Block is the number of values per ingest block (a power of two
+	// dividing Window; 0 picks Window/8, floored at 1). Smaller blocks
+	// mean fresher synopses and finer-grained durability, at more rebuild
+	// and checkpoint work.
+	Block int
+	// Budget is the number of coefficients retained in the published
+	// synopsis (>= 1).
+	Budget int
+	// BlockBudget caps the candidate detail coefficients retained per
+	// block. 0 retains every non-zero detail, which makes the published
+	// synopsis exactly the conventional (L2-optimal) synopsis of the
+	// window; a positive cap trades that exactness for O(BlockBudget)
+	// state per block.
+	BlockBudget int
+	// Store, when non-nil, persists completed blocks so the ingestor
+	// resumes after a kill. Scope one store (one FileCheckpoint dir) to
+	// one stream, exactly like the dist pipeline checkpoints.
+	Store dist.CheckpointStore
+	// Name identifies the stream inside the Store's keyspace (default
+	// "stream").
+	Name string
+}
+
+func (c *Config) defaults() error {
+	if !wavelet.IsPowerOfTwo(c.Window) || c.Window < 2 {
+		return fmt.Errorf("ingest: window %d must be a power of two >= 2", c.Window)
+	}
+	if c.Block == 0 {
+		c.Block = c.Window / 8
+		if c.Block < 1 {
+			c.Block = 1
+		}
+	}
+	if !wavelet.IsPowerOfTwo(c.Block) || c.Block > c.Window {
+		return fmt.Errorf("ingest: block %d must be a power of two <= window %d", c.Block, c.Window)
+	}
+	if c.Budget < 1 {
+		return fmt.Errorf("ingest: budget %d < 1", c.Budget)
+	}
+	if c.BlockBudget < 0 {
+		return fmt.Errorf("ingest: block budget %d < 0", c.BlockBudget)
+	}
+	if c.Name == "" {
+		c.Name = "stream"
+	}
+	return nil
+}
+
+// Snapshot is one published epoch: an immutable synopsis over the most
+// recent complete window, with a ready evaluator for O(log N) queries.
+type Snapshot struct {
+	// Syn is the synopsis; Ev answers point/range queries against it.
+	Syn *synopsis.Synopsis
+	Ev  *synopsis.Evaluator
+	// Epoch counts publishes since the ingestor started (1-based).
+	Epoch int64
+	// Start is the absolute stream position of the window's first value.
+	Start int64
+	// N is the number of values the window covers (Syn.N).
+	N int
+}
+
+// blockRec is one completed block: its position in the stream, its
+// average, and its retained local detail coefficients (index-sorted).
+// Immutable once built.
+type blockRec struct {
+	seq int64
+	avg float64
+	idx []int
+	val []float64
+}
+
+// curBlock is the block currently filling.
+type curBlock struct {
+	streamer *wavelet.Streamer
+	topk     *wavelet.TopK // nil when BlockBudget == 0
+	idx      []int         // BlockBudget == 0: every non-zero detail, emit order
+	val      []float64
+	avg      float64
+}
+
+// Ingestor maintains the synopsis of a live stream. Push may be called
+// concurrently; Snapshot is wait-free.
+type Ingestor struct {
+	cfg Config
+	r   int // window capacity in blocks
+
+	mu        sync.Mutex
+	cur       *curBlock  // guarded by mu
+	blocks    []blockRec // guarded by mu — ring of the last <= r completed blocks
+	seen      int64      // guarded by mu — values pushed since stream start
+	nextSeq   int64      // guarded by mu — next block sequence number
+	gen       int64      // guarded by mu — completed-block generation counter
+	published int64      // guarded by mu — generation covered by the live snapshot
+	failed    error      // guarded by mu — sticky checkpoint-write failure
+	closed    bool       // guarded by mu
+	pubCond   *sync.Cond
+
+	snap   atomic.Pointer[Snapshot]
+	epochs int64 // owned by the publisher goroutine
+	notify chan struct{}
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// New builds an ingestor. When cfg.Store already holds state for
+// cfg.Name (a prior incarnation was killed), the ingestor resumes from
+// the last durable block: the ring is reloaded, a snapshot is published
+// immediately, and Durable reports the stream position the source must
+// replay from.
+func New(cfg Config) (*Ingestor, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	g := &Ingestor{
+		cfg:    cfg,
+		r:      cfg.Window / cfg.Block,
+		notify: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	g.pubCond = sync.NewCond(&g.mu)
+	g.mu.Lock()
+	if cfg.Store != nil {
+		if err := g.resumeLocked(); err != nil {
+			g.mu.Unlock()
+			return nil, err
+		}
+	}
+	if err := g.resetCurLocked(); err != nil {
+		g.mu.Unlock()
+		return nil, err
+	}
+	resumed := len(g.blocks) > 0
+	g.mu.Unlock()
+	if resumed {
+		// Publish the recovered window synchronously so the node answers
+		// queries the moment it is back, before any new value arrives.
+		g.publish()
+	}
+	go g.publisher()
+	return g, nil
+}
+
+// resetCurLocked starts a fresh filling block. Caller holds mu.
+func (g *Ingestor) resetCurLocked() error {
+	cur := &curBlock{}
+	if g.cfg.BlockBudget > 0 {
+		tk, err := wavelet.NewTopK(g.cfg.BlockBudget)
+		if err != nil {
+			return err
+		}
+		cur.topk = tk
+	}
+	s, err := wavelet.NewStreamer(g.cfg.Block, func(index int, v float64) {
+		if index == 0 {
+			cur.avg = v
+			return
+		}
+		if cur.topk != nil {
+			cur.topk.Offer(index, v)
+			return
+		}
+		if v != 0 {
+			cur.idx = append(cur.idx, index)
+			cur.val = append(cur.val, v)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	cur.streamer = s
+	g.cur = cur
+	return nil
+}
+
+// Push consumes the next stream value. It is safe for concurrent use;
+// values are ordered by lock acquisition. A returned error means the
+// value was NOT ingested (an injected fault, a checkpoint-write failure,
+// or a closed ingestor) — the caller decides whether to retry or die.
+func (g *Ingestor) Push(v float64) error {
+	switch act := chaos.Point(chaosIngestPush); act.Kind {
+	case chaos.Fail, chaos.Partial:
+		return act.Err
+	case chaos.Delay:
+		time.Sleep(act.Sleep)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return ErrClosed
+	}
+	if g.failed != nil {
+		return g.failed
+	}
+	if err := g.cur.streamer.Push(v); err != nil {
+		return err
+	}
+	g.seen++
+	if g.cur.streamer.Seen() == g.cfg.Block {
+		return g.finalizeBlockLocked()
+	}
+	return nil
+}
+
+// finalizeBlockLocked completes the filling block: finishes its
+// transform, persists it, admits it to the ring and wakes the publisher.
+// Caller holds mu.
+func (g *Ingestor) finalizeBlockLocked() error {
+	if err := g.cur.streamer.Finish(); err != nil {
+		return fmt.Errorf("ingest: block transform: %w", err)
+	}
+	rec := blockRec{seq: g.nextSeq, avg: g.cur.avg}
+	if g.cur.topk != nil {
+		rec.idx, rec.val = g.cur.topk.Pairs()
+	} else {
+		rec.idx = append([]int(nil), g.cur.idx...)
+		rec.val = append([]float64(nil), g.cur.val...)
+		sortPairs(rec.idx, rec.val)
+	}
+	if g.cfg.Store != nil {
+		// Persist before admitting: a block in the ring is always
+		// durable, so Durable never overstates what a resume recovers. A
+		// write failure poisons the ingestor — continuing would let the
+		// durable frontier silently fall behind the published window.
+		if err := putBlock(g.cfg, rec); err != nil {
+			g.failed = fmt.Errorf("ingest: checkpoint block %d: %w", rec.seq, err)
+			return g.failed
+		}
+	}
+	g.nextSeq++
+	g.blocks = append(g.blocks, rec)
+	if len(g.blocks) > g.r {
+		g.blocks = append(g.blocks[:0], g.blocks[1:]...)
+	}
+	g.gen++
+	select {
+	case g.notify <- struct{}{}:
+	default: // a rebuild is already pending; it will see this block too
+	}
+	return g.resetCurLocked()
+}
+
+// publisher is the background re-thresholding loop: one goroutine,
+// coalescing wake-ups, swapping finished snapshots in atomically.
+func (g *Ingestor) publisher() {
+	defer close(g.done)
+	for {
+		select {
+		case <-g.notify:
+			g.publish()
+		case <-g.stop:
+			// Drain a pending rebuild so Close leaves the snapshot
+			// covering every completed block.
+			select {
+			case <-g.notify:
+				g.publish()
+			default:
+			}
+			return
+		}
+	}
+}
+
+// publish rebuilds the window synopsis from the current ring and swaps
+// it in. Called only from the publisher goroutine (and once from New on
+// resume, before the goroutine starts).
+func (g *Ingestor) publish() {
+	g.mu.Lock()
+	gen := g.gen
+	blocks := append([]blockRec(nil), g.blocks...)
+	g.mu.Unlock()
+	if len(blocks) > 0 {
+		g.epochs++
+		g.snap.Store(buildSnapshot(g.cfg, blocks, g.epochs))
+	}
+	g.mu.Lock()
+	g.published = gen
+	g.mu.Unlock()
+	g.pubCond.Broadcast()
+}
+
+// buildSnapshot re-thresholds one window: upper tree from block
+// averages, block details mapped to global indices, top-budget retained
+// with the conventional tie-break.
+func buildSnapshot(cfg Config, blocks []blockRec, epoch int64) *Snapshot {
+	// The window is the largest power-of-two suffix of the ring, so the
+	// synopsis always covers a well-formed error tree (during warm-up
+	// fewer blocks than the full window have completed).
+	p := 1
+	for p*2 <= len(blocks) {
+		p *= 2
+	}
+	use := blocks[len(blocks)-p:]
+	n := p * cfg.Block
+	avgs := make([]float64, p)
+	for i, b := range use {
+		avgs[i] = b.avg
+	}
+	// Pairwise averaging of block averages equals averaging the
+	// underlying values (the transform is unnormalized), so top[i] for
+	// i < p IS the window tree's coefficient i.
+	top, err := wavelet.Transform(avgs)
+	if err != nil {
+		panic(fmt.Sprintf("ingest: upper transform over %d averages: %v", p, err))
+	}
+	topk, err := wavelet.NewTopK(cfg.Budget)
+	if err != nil {
+		panic(fmt.Sprintf("ingest: window top-k: %v", err))
+	}
+	topk.Offer(0, top[0])
+	for i := 1; i < p; i++ {
+		topk.Offer(i, top[i])
+	}
+	for c, b := range use {
+		for k, li := range b.idx {
+			topk.Offer(wavelet.GlobalIndex(n, cfg.Block, c, li), b.val[k])
+		}
+	}
+	idx, vals := topk.Pairs()
+	syn := synopsis.New(n)
+	for i := range idx {
+		syn.Terms = append(syn.Terms, synopsis.Coefficient{Index: idx[i], Value: vals[i]})
+	}
+	return &Snapshot{
+		Syn:   syn,
+		Ev:    synopsis.NewEvaluator(syn),
+		Epoch: epoch,
+		Start: use[0].seq * int64(cfg.Block),
+		N:     n,
+	}
+}
+
+// Snapshot returns the most recently published epoch, or nil before the
+// first block completes. Wait-free; the result is immutable.
+func (g *Ingestor) Snapshot() *Snapshot { return g.snap.Load() }
+
+// Sync blocks until the published snapshot covers every block completed
+// before the call — the quiescence barrier tests and drains use. It does
+// not wait for a partially-filled block (that data is not yet part of
+// any window).
+func (g *Ingestor) Sync() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.published < g.gen && !g.closed {
+		g.pubCond.Wait()
+	}
+}
+
+// Seen returns the number of values pushed over the stream's lifetime,
+// including values replayed after a resume.
+func (g *Ingestor) Seen() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.seen
+}
+
+// Blocks returns the number of blocks completed over the stream's
+// lifetime.
+func (g *Ingestor) Blocks() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.nextSeq
+}
+
+// Durable returns the stream position up to which values survive a kill:
+// after a crash, New resumes from checkpointed blocks and the source
+// must replay the stream from this position. Zero without a Store.
+func (g *Ingestor) Durable() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.cfg.Store == nil {
+		return 0
+	}
+	return g.nextSeq * int64(g.cfg.Block)
+}
+
+// Close stops the background publisher after letting it drain, then
+// releases Sync waiters. Push fails with ErrClosed afterwards. The last
+// published snapshot remains readable. Values in a partially-filled
+// block are dropped (they were never part of a window; with a Store they
+// are below the Durable frontier, so a successor replays them).
+func (g *Ingestor) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	g.mu.Unlock()
+	close(g.stop)
+	<-g.done
+	g.pubCond.Broadcast()
+	return nil
+}
+
+// sortPairs co-sorts (idx, val) by ascending index.
+func sortPairs(idx []int, val []float64) {
+	sort.Sort(&pairSorter{idx: idx, val: val})
+}
+
+type pairSorter struct {
+	idx []int
+	val []float64
+}
+
+func (p *pairSorter) Len() int           { return len(p.idx) }
+func (p *pairSorter) Less(i, j int) bool { return p.idx[i] < p.idx[j] }
+func (p *pairSorter) Swap(i, j int) {
+	p.idx[i], p.idx[j] = p.idx[j], p.idx[i]
+	p.val[i], p.val[j] = p.val[j], p.val[i]
+}

@@ -1,0 +1,369 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dwmaxerr/internal/dist"
+	"dwmaxerr/internal/synopsis"
+	"dwmaxerr/internal/wavelet"
+)
+
+// truncData generates integral-valued test data: pairwise averages of
+// integers are exact in float64 for the depths used here, so bitwise
+// comparisons against the batch transform are meaningful.
+func truncData(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Trunc(rng.NormFloat64() * 100)
+	}
+	return data
+}
+
+func pushAll(t *testing.T, g *Ingestor, data []float64) {
+	t.Helper()
+	for i, v := range data {
+		if err := g.Push(v); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+}
+
+// TestIngestExactMatchesConventional pins the exactness contract: with
+// BlockBudget == 0 the published synopsis is term-for-term the
+// conventional (L2-optimal) synopsis of the window, including the
+// tie-break — the streaming path changes when the synopsis is built, not
+// what it contains.
+func TestIngestExactMatchesConventional(t *testing.T) {
+	const window, block, budget = 64, 8, 10
+	data := truncData(17, 3*window+block) // slides past warm-up, ends block-aligned
+	g, err := New(Config{Window: window, Block: block, Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	pushAll(t, g, data)
+	g.Sync()
+
+	snap := g.Snapshot()
+	if snap == nil {
+		t.Fatal("no snapshot after full window")
+	}
+	if snap.N != window {
+		t.Fatalf("snapshot N = %d, want %d", snap.N, window)
+	}
+	wantStart := int64(len(data) - window)
+	if snap.Start != wantStart {
+		t.Fatalf("snapshot Start = %d, want %d", snap.Start, wantStart)
+	}
+	w, err := wavelet.Transform(data[wantStart:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := synopsis.Conventional(w, budget)
+	if !reflect.DeepEqual(snap.Syn.Terms, want.Terms) {
+		t.Fatalf("streamed window synopsis\n%+v\nwant conventional\n%+v", snap.Syn.Terms, want.Terms)
+	}
+	// The evaluator answers against the same terms.
+	for k := 0; k < window; k++ {
+		if got, wantV := snap.Ev.Point(k), synopsis.NewEvaluator(want).Point(k); got != wantV {
+			t.Fatalf("point %d: %g vs %g", k, got, wantV)
+		}
+	}
+}
+
+// TestIngestWarmup walks the window growth: with b completed blocks the
+// snapshot covers the largest power-of-two suffix, so queries are
+// answerable long before the first full window.
+func TestIngestWarmup(t *testing.T) {
+	const window, block = 64, 8
+	data := truncData(5, window)
+	g, err := New(Config{Window: window, Block: block, Budget: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	if g.Snapshot() != nil {
+		t.Fatal("snapshot before any block completed")
+	}
+	for b := 1; b <= window/block; b++ {
+		pushAll(t, g, data[(b-1)*block:b*block])
+		g.Sync()
+		snap := g.Snapshot()
+		if snap == nil {
+			t.Fatalf("no snapshot after %d blocks", b)
+		}
+		p := 1
+		for p*2 <= b {
+			p *= 2
+		}
+		if snap.N != p*block {
+			t.Fatalf("after %d blocks: N = %d, want %d", b, snap.N, p*block)
+		}
+		if want := int64((b - p) * block); snap.Start != want {
+			t.Fatalf("after %d blocks: Start = %d, want %d", b, snap.Start, want)
+		}
+		if snap.Epoch < int64(b) {
+			t.Fatalf("after %d blocks: epoch %d regressed", b, snap.Epoch)
+		}
+		// Each warm-up snapshot is itself exact over its window.
+		w, _ := wavelet.Transform(data[snap.Start : snap.Start+int64(snap.N)])
+		want := synopsis.Conventional(w, window)
+		if !reflect.DeepEqual(snap.Syn.Terms, want.Terms) {
+			t.Fatalf("after %d blocks: synopsis diverges from conventional", b)
+		}
+	}
+}
+
+// TestIngestBlockBudget pins the bounded-state mode: per-block retention
+// caps candidate coefficients, the published synopsis stays within
+// Budget, and queries still answer.
+func TestIngestBlockBudget(t *testing.T) {
+	const window, block = 64, 8
+	data := truncData(23, 2*window)
+	g, err := New(Config{Window: window, Block: block, Budget: 12, BlockBudget: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	pushAll(t, g, data)
+	g.Sync()
+	snap := g.Snapshot()
+	if snap == nil || snap.N != window {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if len(snap.Syn.Terms) > 12 {
+		t.Fatalf("retained %d terms, budget 12", len(snap.Syn.Terms))
+	}
+	snap.Ev.Point(0)
+	snap.Ev.RangeSum(0, window-1)
+}
+
+// TestIngestResume pins crash recovery on the in-memory store: a new
+// incarnation over the same store reports the durable frontier, and after
+// the source replays from it the synopsis is byte-identical to an
+// uninterrupted run.
+func TestIngestResume(t *testing.T) {
+	const window, block = 64, 8
+	store := dist.NewMemCheckpoint()
+	cfg := Config{Window: window, Block: block, Budget: 10, Store: store, Name: "t"}
+	data := truncData(29, 3*window)
+
+	// Uninterrupted reference run (no store — durability must not change
+	// the synopsis).
+	ref, err := New(Config{Window: window, Block: block, Budget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushAll(t, ref, data)
+	ref.Sync()
+	want := ref.Snapshot()
+	ref.Close()
+
+	// First incarnation dies mid-window, mid-block.
+	g1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killAt := 2*window + block + 3 // 3 values into a block
+	pushAll(t, g1, data[:killAt])
+	g1.Close()
+
+	// Second incarnation resumes: durable frontier is the last completed
+	// block boundary, below the kill point.
+	g2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g2.Close()
+	durable := g2.Durable()
+	if want := int64(2*window + block); durable != want {
+		t.Fatalf("Durable = %d, want %d", durable, want)
+	}
+	if g2.Seen() != durable {
+		t.Fatalf("Seen = %d after resume, want %d", g2.Seen(), durable)
+	}
+	// The recovered window answers queries immediately.
+	if snap := g2.Snapshot(); snap == nil || snap.N != window {
+		t.Fatalf("recovered snapshot %+v", snap)
+	}
+	// Replay from the durable frontier and catch up.
+	pushAll(t, g2, data[durable:])
+	g2.Sync()
+	got := g2.Snapshot()
+	if got.N != want.N || got.Start != want.Start || !reflect.DeepEqual(got.Syn.Terms, want.Syn.Terms) {
+		t.Fatalf("resumed synopsis diverges:\n%+v\nwant\n%+v", got, want)
+	}
+}
+
+// TestIngestResumeShapeMismatch pins the keyspace scoping: records from
+// one shape are invisible to another, so a reconfigured node starts
+// fresh instead of resuming a torn window.
+func TestIngestResumeShapeMismatch(t *testing.T) {
+	store := dist.NewMemCheckpoint()
+	g1, err := New(Config{Window: 64, Block: 8, Budget: 8, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushAll(t, g1, truncData(31, 64))
+	g1.Close()
+
+	g2, err := New(Config{Window: 64, Block: 16, Budget: 8, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g2.Close()
+	if d := g2.Durable(); d != 0 {
+		t.Fatalf("resumed %d values across a shape change", d)
+	}
+}
+
+// failStore passes puts through until a trigger, then fails every write.
+type failStore struct {
+	inner     dist.CheckpointStore
+	mu        sync.Mutex
+	puts      int
+	failAfter int
+}
+
+func (s *failStore) Get(key string) ([]byte, bool, error) { return s.inner.Get(key) }
+
+func (s *failStore) Put(key string, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.puts++
+	if s.puts > s.failAfter {
+		return fmt.Errorf("failStore: put %d rejected", s.puts)
+	}
+	return s.inner.Put(key, payload)
+}
+
+// TestIngestCheckpointFailurePoisons pins the durability contract: once
+// a block fails to persist, the ingestor refuses further values rather
+// than letting the durable frontier silently fall behind.
+func TestIngestCheckpointFailurePoisons(t *testing.T) {
+	fs := &failStore{inner: dist.NewMemCheckpoint(), failAfter: 4} // 2 blocks = 4 puts
+	g, err := New(Config{Window: 64, Block: 8, Budget: 8, Store: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	data := truncData(37, 64)
+	var pushErr error
+	for _, v := range data {
+		if pushErr = g.Push(v); pushErr != nil {
+			break
+		}
+	}
+	if pushErr == nil {
+		t.Fatal("checkpoint failure not surfaced")
+	}
+	if err := g.Push(1); !errors.Is(err, pushErr) && err.Error() != pushErr.Error() {
+		t.Fatalf("poison not sticky: %v then %v", pushErr, err)
+	}
+	if d := g.Durable(); d != 16 {
+		t.Fatalf("Durable = %d after failed third block, want 16", d)
+	}
+}
+
+// TestIngestValidation sweeps Config rejection.
+func TestIngestValidation(t *testing.T) {
+	bad := []Config{
+		{Window: 0, Budget: 1},
+		{Window: 3, Budget: 1},
+		{Window: 64, Block: 3, Budget: 1},
+		{Window: 64, Block: 128, Budget: 1},
+		{Window: 64, Block: 8, Budget: 0},
+		{Window: 64, Block: 8, Budget: 1, BlockBudget: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	g, err := New(Config{Window: 16, Budget: 1}) // Block defaults to 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+}
+
+// TestIngestClose pins the shutdown contract: Push after Close fails,
+// double Close is fine, and the last snapshot stays readable.
+func TestIngestClose(t *testing.T) {
+	g, err := New(Config{Window: 16, Block: 4, Budget: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushAll(t, g, truncData(41, 16))
+	g.Sync()
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Push(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Push after Close: %v, want ErrClosed", err)
+	}
+	if snap := g.Snapshot(); snap == nil || snap.N != 16 {
+		t.Fatal("snapshot lost on Close")
+	}
+}
+
+// TestIngestConcurrentPushQuery races one producer against readers —
+// meaningful under -race: readers must always see either nil or a
+// complete immutable snapshot while blocks complete and epochs swap.
+func TestIngestConcurrentPushQuery(t *testing.T) {
+	const window, block = 256, 32
+	g, err := New(Config{Window: window, Block: block, Budget: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := truncData(43, 8*window)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			k := r
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if snap := g.Snapshot(); snap != nil {
+					snap.Ev.Point(k % snap.N)
+					snap.Ev.RangeSum(0, snap.N-1)
+					if len(snap.Syn.Terms) > 24 {
+						t.Errorf("snapshot with %d terms", len(snap.Syn.Terms))
+						return
+					}
+				}
+				k++
+			}
+		}(r)
+	}
+	pushAll(t, g, data)
+	g.Sync()
+	close(done)
+	wg.Wait()
+	if g.Seen() != int64(len(data)) {
+		t.Fatalf("Seen = %d, want %d", g.Seen(), len(data))
+	}
+	// Coalescing means epochs <= blocks, but the final Sync guarantees the
+	// last snapshot covers every completed block.
+	if snap := g.Snapshot(); snap == nil || snap.Start != int64(len(data)-window) {
+		t.Fatalf("final snapshot %+v does not cover the last window", snap)
+	}
+	g.Close()
+}

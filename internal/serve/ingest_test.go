@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dwmaxerr/internal/chaos"
+	"dwmaxerr/internal/ingest"
+)
+
+func ingestServer(t *testing.T, cfg ingest.Config, lim Limits) (*httptest.Server, *ingest.Ingestor) {
+	t.Helper()
+	ing, err := ingest.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ing.Close() })
+	srv, err := NewIngest(ing, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, ing
+}
+
+func postValues(t *testing.T, url string, values []float64) (IngestAnswer, int) {
+	t.Helper()
+	body, err := json.Marshal(IngestRequest{Values: values})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ans IngestAnswer
+	if err := json.NewDecoder(resp.Body).Decode(&ans); err != nil {
+		t.Fatal(err)
+	}
+	return ans, resp.StatusCode
+}
+
+// TestIngestEndpoint drives the full streaming loop over HTTP: warm-up
+// 503s with Retry-After, then POST /ingest?sync=1 followed by queries
+// that answer against the freshly published window.
+func TestIngestEndpoint(t *testing.T) {
+	ts, ing := ingestServer(t, ingest.Config{Window: 16, Block: 4, Budget: 16}, Limits{MaxInFlight: 8})
+
+	// Before the first complete block, queries answer 503 + Retry-After.
+	resp, err := http.Get(ts.URL + "/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("warm-up /info: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("warm-up 503 without Retry-After")
+	}
+
+	// Push a full window with the sync barrier, then read our own writes.
+	ans, code := postValues(t, ts.URL+"/ingest?sync=1", []float64{5, 5, 0, 26, 1, 3, 14, 2, 5, 5, 0, 26, 1, 3, 14, 2})
+	if code != http.StatusOK {
+		t.Fatalf("ingest: status %d", code)
+	}
+	if ans.Accepted != 16 || ans.Seen != 16 || ans.Epoch < 1 {
+		t.Fatalf("ingest answer %+v", ans)
+	}
+	if ans.Durable != 0 {
+		t.Fatalf("Durable = %d without a checkpoint store", ans.Durable)
+	}
+
+	var info Info
+	getJSON(t, ts.URL+"/info", &info)
+	if !info.Ingest || info.N != 16 || info.Seen != 16 || info.WindowStart != 0 {
+		t.Fatalf("info %+v", info)
+	}
+	var pt PointAnswer
+	getJSON(t, ts.URL+"/point?i=3", &pt)
+	if pt.Index != 3 {
+		t.Fatalf("point answer %+v", pt)
+	}
+	var rng RangeAnswer
+	getJSON(t, ts.URL+"/range?lo=0&hi=15", &rng)
+	// Budget == window makes the synopsis exact: the sum is the true sum.
+	if want := 2.0 * (5 + 5 + 0 + 26 + 1 + 3 + 14 + 2); rng.Sum != want {
+		t.Fatalf("range sum %g, want %g", rng.Sum, want)
+	}
+
+	// The window keeps sliding: another window of zeros shifts Start.
+	postValues(t, ts.URL+"/ingest?sync=1", make([]float64, 16))
+	getJSON(t, ts.URL+"/info", &info)
+	if info.WindowStart != 16 || info.Seen != 32 {
+		t.Fatalf("slid info %+v", info)
+	}
+	if ing.Seen() != 32 {
+		t.Fatalf("ingestor saw %d", ing.Seen())
+	}
+}
+
+// TestIngestEndpointMethodsAndBody pins the edges: GET is 405 with
+// Allow, junk bodies are 400 (counted as bad requests), and neither
+// touches the stream.
+func TestIngestEndpointMethodsAndBody(t *testing.T) {
+	ts, ing := ingestServer(t, ingest.Config{Window: 8, Block: 2, Budget: 4}, Limits{})
+
+	resp, err := http.Get(ts.URL + "/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /ingest: status %d, want 405", resp.StatusCode)
+	}
+	if resp.Header.Get("Allow") != http.MethodPost {
+		t.Fatalf("Allow = %q", resp.Header.Get("Allow"))
+	}
+
+	bad0 := obsBadRequests.Value()
+	resp, err = http.Post(ts.URL+"/ingest", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("junk body: status %d, want 400", resp.StatusCode)
+	}
+	if obsBadRequests.Value() != bad0+1 {
+		t.Fatal("junk body not counted as bad request")
+	}
+	if ing.Seen() != 0 {
+		t.Fatalf("rejected requests ingested %d values", ing.Seen())
+	}
+}
+
+// TestIngestEndpointPartialAccept pins the fault contract: an injected
+// push fault mid-batch answers 503 with the exact accepted prefix, the
+// error counter moves once, and the gate does not misread the 503 as a
+// deadline kill.
+func TestIngestEndpointPartialAccept(t *testing.T) {
+	if err := chaos.EnableSpec("19,ingest.push:error#5"); err != nil {
+		t.Fatal(err)
+	}
+	defer chaos.Disable()
+
+	ts, ing := ingestServer(t, ingest.Config{Window: 8, Block: 2, Budget: 4},
+		Limits{QueryTimeout: 5e9}) // 5s deadline: exercises the completion marker
+	errs0, timeouts0 := obsIngestErrors.Value(), obsTimeouts.Value()
+
+	ans, code := postValues(t, ts.URL+"/ingest", []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("faulted ingest: status %d, want 503", code)
+	}
+	if ans.Accepted != 4 || ans.Seen != 4 {
+		t.Fatalf("faulted ingest answer %+v, want 4 accepted", ans)
+	}
+	if obsIngestErrors.Value() != errs0+1 {
+		t.Fatal("injected push fault not counted")
+	}
+	if obsTimeouts.Value() != timeouts0 {
+		t.Fatal("handler-chosen 503 misattributed to the deadline")
+	}
+
+	// The producer resumes from the reported prefix.
+	ans, code = postValues(t, ts.URL+"/ingest?sync=1", []float64{5, 6, 7, 8})
+	if code != http.StatusOK || ans.Accepted != 4 || ans.Seen != 8 {
+		t.Fatalf("resumed ingest %+v (status %d)", ans, code)
+	}
+	if ing.Seen() != 8 {
+		t.Fatalf("ingestor saw %d after resume", ing.Seen())
+	}
+}

@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"dwmaxerr/internal/chaos"
@@ -50,6 +52,7 @@ type gate struct {
 	inner http.Handler
 	lim   Limits
 	slots chan struct{} // nil when MaxInFlight == 0
+	timed bool          // a TimeoutHandler is installed below the gate
 }
 
 func newGate(inner http.Handler, lim Limits) *gate {
@@ -58,9 +61,13 @@ func newGate(inner http.Handler, lim Limits) *gate {
 	g := &gate{inner: chaosHandler{inner}, lim: lim}
 	if lim.QueryTimeout > 0 {
 		// TimeoutHandler answers 503 when the deadline passes and
-		// suppresses the late handler's writes; the recorder around it
-		// (below) turns those 503s into serve_timeouts_total.
-		g.inner = http.TimeoutHandler(g.inner, lim.QueryTimeout,
+		// suppresses the late handler's writes. completionMarker sits
+		// just inside it so the gate can tell a deadline 503 (inner
+		// handler never completed) from a 503 the inner handler chose to
+		// send (mux fallthrough, ingest overload, warming up) — only the
+		// former is serve_timeouts_total.
+		g.timed = true
+		g.inner = http.TimeoutHandler(completionMarker{g.inner}, lim.QueryTimeout,
 			`{"error":"query deadline exceeded"}`)
 	}
 	if lim.MaxInFlight > 0 {
@@ -85,12 +92,39 @@ func (g *gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	obsInflight.Add(1)
 	defer obsInflight.Add(-1)
+	var probe *timeoutProbe
+	if g.timed {
+		probe = &timeoutProbe{}
+		r = r.WithContext(context.WithValue(r.Context(), probeKey{}, probe))
+	}
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	g.inner.ServeHTTP(rec, r)
-	// Only TimeoutHandler produces 503 below the gate, so a recorded 503
-	// is a deadline kill.
-	if rec.status == http.StatusServiceUnavailable {
+	// A deadline kill is a 503 recorded while a TimeoutHandler is
+	// installed AND the inner handler never ran to completion. Without
+	// both conditions, any handler 503 below the gate (Limits with
+	// QueryTimeout == 0 has no TimeoutHandler at all) would inflate
+	// serve_timeouts_total.
+	if g.timed && rec.status == http.StatusServiceUnavailable && !probe.done.Load() {
 		obsTimeouts.Inc()
+	}
+}
+
+// probeKey carries the per-request timeoutProbe through the context.
+type probeKey struct{}
+
+// timeoutProbe records whether the inner handler ran to completion; the
+// flag is atomic because TimeoutHandler abandons the handler goroutine at
+// the deadline, so the gate may read it while the handler still runs.
+type timeoutProbe struct{ done atomic.Bool }
+
+// completionMarker flags the request's probe once the inner handler
+// returns, distinguishing handler-chosen 503s from deadline kills.
+type completionMarker struct{ inner http.Handler }
+
+func (h completionMarker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.inner.ServeHTTP(w, r)
+	if p, ok := r.Context().Value(probeKey{}).(*timeoutProbe); ok {
+		p.done.Store(true)
 	}
 }
 
@@ -128,4 +162,22 @@ func (r *statusRecorder) WriteHeader(code int) {
 func (r *statusRecorder) Write(b []byte) (int, error) {
 	r.wrote = true
 	return r.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so streaming handlers (the
+// ingest endpoint, future long-polls) work through the gate; without it
+// the recorder would hide the connection's Flusher and silently buffer.
+// Note the recorder itself always satisfies http.Flusher — when the
+// underlying writer doesn't (notably inside http.TimeoutHandler, whose
+// writer must buffer to suppress late writes), Flush is a no-op.
+//
+// http.Hijacker is intentionally NOT forwarded: a hijacked connection
+// escapes the status recorder, the in-flight gauge and the timeout
+// machinery, so the gate's accounting would lie for the rest of the
+// connection's life. Handlers behind the gate must not hijack.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		r.wrote = true
+		f.Flush()
+	}
 }

@@ -111,6 +111,74 @@ func TestQueryTimeout(t *testing.T) {
 	}
 }
 
+// TestHandler503NotCountedAsTimeout is the regression test for the
+// serve_timeouts_total misattribution: with QueryTimeout == 0 there is no
+// TimeoutHandler at all, so a 503 chosen by a handler below the gate (a
+// mux fallthrough, an overloaded ingest endpoint) must not count as a
+// deadline kill.
+func TestHandler503NotCountedAsTimeout(t *testing.T) {
+	h503 := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	g := newGate(h503, Limits{QueryTimeout: 0})
+	timeouts0 := obsTimeouts.Value()
+	rr := httptest.NewRecorder()
+	g.ServeHTTP(rr, httptest.NewRequest("GET", "/whatever", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rr.Code)
+	}
+	if d := obsTimeouts.Value() - timeouts0; d != 0 {
+		t.Fatalf("serve_timeouts_total delta = %d, want 0 (no TimeoutHandler installed)", d)
+	}
+}
+
+// TestHandler503UnderTimeoutNotCounted goes one step further: even with a
+// TimeoutHandler installed, a 503 the inner handler returns well before
+// the deadline is a completed response, not a deadline kill.
+func TestHandler503UnderTimeoutNotCounted(t *testing.T) {
+	h503 := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	g := newGate(h503, Limits{QueryTimeout: 5 * time.Second})
+	timeouts0 := obsTimeouts.Value()
+	rr := httptest.NewRecorder()
+	g.ServeHTTP(rr, httptest.NewRequest("GET", "/whatever", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rr.Code)
+	}
+	if d := obsTimeouts.Value() - timeouts0; d != 0 {
+		t.Fatalf("serve_timeouts_total delta = %d, want 0 (handler completed before deadline)", d)
+	}
+}
+
+// TestFlusherPassthrough pins that http.Flusher survives the gate's
+// statusRecorder wrapper: a streaming handler can assert and use it.
+func TestFlusherPassthrough(t *testing.T) {
+	sawFlusher := false
+	streaming := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			return
+		}
+		sawFlusher = true
+		w.Write([]byte("chunk-1\n"))
+		f.Flush()
+		w.Write([]byte("chunk-2\n"))
+	})
+	g := newGate(streaming, Limits{MaxInFlight: 2})
+	rr := httptest.NewRecorder()
+	g.ServeHTTP(rr, httptest.NewRequest("GET", "/stream", nil))
+	if !sawFlusher {
+		t.Fatal("w.(http.Flusher) failed through the gate")
+	}
+	if !rr.Flushed {
+		t.Fatal("Flush did not reach the underlying writer")
+	}
+	if got := rr.Body.String(); got != "chunk-1\nchunk-2\n" {
+		t.Fatalf("body %q", got)
+	}
+}
+
 // TestLimitsZeroValueIsTransparent pins that NewLimited{} behaves exactly
 // like New: no rejections, no timeouts, correct answers.
 func TestLimitsZeroValueIsTransparent(t *testing.T) {

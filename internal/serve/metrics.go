@@ -18,4 +18,12 @@ var (
 	obsRejected = obs.Default.Counter("serve_rejected_total")
 	obsTimeouts = obs.Default.Counter("serve_timeouts_total")
 	obsInflight = obs.Default.Gauge("serve_inflight")
+
+	// Streaming ingest endpoint: POST /ingest requests, individual values
+	// accepted, and pushes the ingestor refused (injected fault, poisoned
+	// checkpoint, closed) — a refused push ends its request early, so one
+	// request contributes at most one error.
+	obsIngestRequests = obs.Default.Counter("serve_ingest_requests")
+	obsIngestValues   = obs.Default.Counter("serve_ingest_values")
+	obsIngestErrors   = obs.Default.Counter("serve_ingest_errors")
 )

@@ -5,10 +5,17 @@
 //
 // Endpoints (all JSON):
 //
-//	GET /info                 synopsis metadata
-//	GET /point?i=K            approximate d[K] with guaranteed interval
-//	GET /range?lo=L&hi=H      approximate sum and mean over [L, H]
-//	GET /coefficients         the retained terms
+//	GET  /info                 synopsis metadata
+//	GET  /point?i=K            approximate d[K] with guaranteed interval
+//	GET  /range?lo=L&hi=H      approximate sum and mean over [L, H]
+//	GET  /coefficients         the retained terms
+//	POST /ingest               append stream values (ingest servers only)
+//
+// A server is either static — built from one immutable synopsis — or
+// streaming, built over an ingest.Ingestor whose published snapshot the
+// query handlers read afresh on every request. Queries against a
+// streaming server that has not yet completed its first block answer 503
+// with a Retry-After hint, the same contract the admission gate uses.
 package serve
 
 import (
@@ -17,16 +24,27 @@ import (
 	"net/http"
 	"strconv"
 
+	"dwmaxerr/internal/ingest"
 	"dwmaxerr/internal/synopsis"
 )
 
-// Server answers approximate queries against one synopsis.
+// view is one immutable synopsis a request is answered against: the
+// static one, or the ingestor's current snapshot.
+type view struct {
+	syn *synopsis.Synopsis
+	ev  *synopsis.Evaluator
+	// window is non-nil on streaming servers: the snapshot's position.
+	window *ingest.Snapshot
+}
+
+// Server answers approximate queries against one synopsis — fixed at
+// construction, or live from an ingestor.
 type Server struct {
-	syn    *synopsis.Synopsis
-	ev     *synopsis.Evaluator
-	maxAbs float64 // per-value guarantee; 0 when unknown
+	static *view            // non-nil for New-built servers
+	ing    *ingest.Ingestor // non-nil for NewIngest-built servers
+	maxAbs float64          // per-value guarantee; 0 when unknown
 	mux    *http.ServeMux
-	gate   *gate // non-nil when built by NewLimited
+	gate   *gate // non-nil when built by NewLimited / NewIngest
 }
 
 // New builds a server over a synopsis with the given per-value maximum
@@ -36,12 +54,59 @@ func New(s *synopsis.Synopsis, maxAbs float64) (*Server, error) {
 	if s == nil || s.N < 1 {
 		return nil, fmt.Errorf("serve: nil or empty synopsis")
 	}
-	srv := &Server{syn: s, ev: synopsis.NewEvaluator(s), maxAbs: maxAbs, mux: http.NewServeMux()}
-	srv.mux.HandleFunc("/info", srv.handleInfo)
-	srv.mux.HandleFunc("/point", srv.handlePoint)
-	srv.mux.HandleFunc("/range", srv.handleRange)
-	srv.mux.HandleFunc("/coefficients", srv.handleCoefficients)
+	srv := &Server{
+		static: &view{syn: s, ev: synopsis.NewEvaluator(s)},
+		maxAbs: maxAbs,
+		mux:    http.NewServeMux(),
+	}
+	srv.routes()
 	return srv, nil
+}
+
+// NewIngest builds a streaming server: queries answer against the
+// ingestor's live snapshot, and POST /ingest feeds it. The admission
+// gate always wraps a streaming server — ingestion shares the in-flight
+// budget with queries, so a push storm degrades to honest 503s instead
+// of starving readers.
+func NewIngest(ing *ingest.Ingestor, lim Limits) (*Server, error) {
+	if ing == nil {
+		return nil, fmt.Errorf("serve: nil ingestor")
+	}
+	srv := &Server{ing: ing, mux: http.NewServeMux()}
+	srv.routes()
+	srv.mux.HandleFunc("/ingest", srv.handleIngest)
+	srv.gate = newGate(srv.mux, lim)
+	return srv, nil
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("/info", s.handleInfo)
+	s.mux.HandleFunc("/point", s.handlePoint)
+	s.mux.HandleFunc("/range", s.handleRange)
+	s.mux.HandleFunc("/coefficients", s.handleCoefficients)
+}
+
+// current resolves the view a request answers against. ok is false on a
+// streaming server whose first block has not completed yet.
+func (s *Server) current() (*view, bool) {
+	if s.static != nil {
+		return s.static, true
+	}
+	snap := s.ing.Snapshot()
+	if snap == nil {
+		return nil, false
+	}
+	return &view{syn: snap.Syn, ev: snap.Ev, window: snap}, true
+}
+
+// notReady answers a query that arrived before the first snapshot. The
+// gate counts this 503 as neither rejection nor timeout (the completion
+// marker sees the handler finish) — it is the warm-up contract, not an
+// overload signal.
+func notReady(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusServiceUnavailable,
+		fmt.Errorf("serve: synopsis warming up, no complete block yet"))
 }
 
 // ServeHTTP implements http.Handler.
@@ -53,12 +118,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Info is the /info response.
+// Info is the /info response. The streaming fields are present only on
+// ingest servers.
 type Info struct {
 	N           int     `json:"n"`
 	Terms       int     `json:"terms"`
 	MaxAbsError float64 `json:"max_abs_error,omitempty"`
 	Guaranteed  bool    `json:"guaranteed"`
+	// Ingest marks a streaming server; the window fields describe the
+	// published snapshot (which trails ingestion by bounded staleness).
+	Ingest      bool  `json:"ingest,omitempty"`
+	Epoch       int64 `json:"epoch,omitempty"`
+	WindowStart int64 `json:"window_start,omitempty"`
+	Seen        int64 `json:"seen,omitempty"`
+	Durable     int64 `json:"durable,omitempty"`
 }
 
 // PointAnswer is the /point response.
@@ -81,30 +154,62 @@ type RangeAnswer struct {
 	Guarantee float64  `json:"per_value_guarantee,omitempty"`
 }
 
+// IngestRequest is the POST /ingest body.
+type IngestRequest struct {
+	Values []float64 `json:"values"`
+}
+
+// IngestAnswer is the POST /ingest response. Accepted counts values
+// ingested by THIS request; Seen and Durable are stream totals.
+type IngestAnswer struct {
+	Accepted int   `json:"accepted"`
+	Seen     int64 `json:"seen"`
+	Durable  int64 `json:"durable"`
+	Epoch    int64 `json:"epoch"`
+}
+
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	obsInfoQueries.Inc()
-	writeJSON(w, Info{
-		N:           s.syn.N,
-		Terms:       s.syn.Size(),
+	v, ok := s.current()
+	if !ok {
+		notReady(w)
+		return
+	}
+	info := Info{
+		N:           v.syn.N,
+		Terms:       v.syn.Size(),
 		MaxAbsError: s.maxAbs,
 		Guaranteed:  s.maxAbs > 0,
-	})
+	}
+	if v.window != nil {
+		info.Ingest = true
+		info.Epoch = v.window.Epoch
+		info.WindowStart = v.window.Start
+		info.Seen = s.ing.Seen()
+		info.Durable = s.ing.Durable()
+	}
+	writeJSON(w, info)
 }
 
 func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 	obsPointQueries.Inc()
+	v, ok := s.current()
+	if !ok {
+		notReady(w)
+		return
+	}
 	i, err := intParam(r, "i")
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if i < 0 || i >= s.syn.N {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("index %d out of [0,%d)", i, s.syn.N))
+	if i < 0 || i >= v.syn.N {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("index %d out of [0,%d)", i, v.syn.N))
 		return
 	}
-	ans := PointAnswer{Index: i, Approx: s.ev.Point(i)}
+	ans := PointAnswer{Index: i, Approx: v.ev.Point(i)}
 	if s.maxAbs > 0 {
-		b := s.ev.PointBound(i, s.maxAbs)
+		b := v.ev.PointBound(i, s.maxAbs)
 		lo, hi := b.Lo(), b.Hi()
 		ans.Lo, ans.Hi = &lo, &hi
 	}
@@ -113,6 +218,11 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	obsRangeQueries.Inc()
+	v, ok := s.current()
+	if !ok {
+		notReady(w)
+		return
+	}
 	lo, err := intParam(r, "lo")
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -123,15 +233,15 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if lo < 0 || hi >= s.syn.N || lo > hi {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("range [%d,%d] out of [0,%d)", lo, hi, s.syn.N))
+	if lo < 0 || hi >= v.syn.N || lo > hi {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("range [%d,%d] out of [0,%d)", lo, hi, v.syn.N))
 		return
 	}
-	sum := s.ev.RangeSum(lo, hi)
+	sum := v.ev.RangeSum(lo, hi)
 	count := hi - lo + 1
 	ans := RangeAnswer{Lo: lo, Hi: hi, Sum: sum, Avg: sum / float64(count), Count: count, Guarantee: s.maxAbs}
 	if s.maxAbs > 0 {
-		b := s.ev.RangeSumBound(lo, hi, s.maxAbs)
+		b := v.ev.RangeSumBound(lo, hi, s.maxAbs)
 		sl, sh := b.Lo(), b.Hi()
 		ans.SumLo, ans.SumHi = &sl, &sh
 	}
@@ -140,15 +250,71 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCoefficients(w http.ResponseWriter, r *http.Request) {
 	obsCoefQueries.Inc()
+	v, ok := s.current()
+	if !ok {
+		notReady(w)
+		return
+	}
 	type term struct {
 		Index int     `json:"index"`
 		Value float64 `json:"value"`
 	}
-	out := make([]term, 0, s.syn.Size())
-	for _, t := range s.syn.Terms {
+	out := make([]term, 0, v.syn.Size())
+	for _, t := range v.syn.Terms {
 		out = append(out, term{t.Index, t.Value})
 	}
 	writeJSON(w, out)
+}
+
+// handleIngest appends stream values. With ?sync=1 the response is not
+// written until the published snapshot covers every block the request
+// completed — the barrier tests and single-writer producers use to read
+// their own writes.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	obsIngestRequests.Inc()
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("ingest requires POST"))
+		return
+	}
+	var req IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("ingest body: %v", err))
+		return
+	}
+	accepted := 0
+	for _, v := range req.Values {
+		if err := s.ing.Push(v); err != nil {
+			// Partial acceptance is the honest answer: `accepted` tells the
+			// producer exactly where to resume, mirroring Durable's contract.
+			obsIngestErrors.Inc()
+			writeJSON2(w, http.StatusServiceUnavailable, IngestAnswer{
+				Accepted: accepted,
+				Seen:     s.ing.Seen(),
+				Durable:  s.ing.Durable(),
+				Epoch:    snapshotEpoch(s.ing),
+			})
+			return
+		}
+		accepted++
+		obsIngestValues.Inc()
+	}
+	if r.URL.Query().Get("sync") == "1" {
+		s.ing.Sync()
+	}
+	writeJSON(w, IngestAnswer{
+		Accepted: accepted,
+		Seen:     s.ing.Seen(),
+		Durable:  s.ing.Durable(),
+		Epoch:    snapshotEpoch(s.ing),
+	})
+}
+
+func snapshotEpoch(ing *ingest.Ingestor) int64 {
+	if snap := ing.Snapshot(); snap != nil {
+		return snap.Epoch
+	}
+	return 0
 }
 
 func intParam(r *http.Request, name string) (int, error) {
@@ -165,6 +331,13 @@ func intParam(r *http.Request, name string) (int, error) {
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeJSON2 is writeJSON with an explicit status code.
+func writeJSON2(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v)
 }
 

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Streamer computes the Haar decomposition of a stream one value at a time
@@ -93,47 +94,35 @@ func (s *Streamer) Finish() error {
 // Seen returns how many values have been pushed.
 func (s *Streamer) Seen() int { return s.seen }
 
-// TopKStream maintains the conventional (L2-optimal) synopsis of a stream
-// incrementally: it keeps the B coefficients of greatest significance seen
-// so far in a min-heap, in O(B) memory on top of the streamer's O(log N).
-type TopKStream struct {
-	streamer *Streamer
-	budget   int
-	heap     sigHeap
+// TopK maintains the budget coefficients of greatest significance among
+// those offered, in O(budget) memory, with the deterministic tie-break of
+// synopsis.Conventional: greater significance wins, and on equal
+// significance the smaller index wins. Zero-valued coefficients are
+// ignored (they contribute nothing to a synopsis).
+type TopK struct {
+	budget int
+	heap   sigHeap
 }
 
-// NewTopKStream builds a one-pass conventional-synopsis maintainer for a
-// stream of n values (a power of two) and a budget of B coefficients.
-func NewTopKStream(n, budget int) (*TopKStream, error) {
+// NewTopK builds an empty top-budget accumulator.
+func NewTopK(budget int) (*TopK, error) {
 	if budget < 1 {
 		return nil, fmt.Errorf("wavelet: budget %d < 1", budget)
 	}
-	t := &TopKStream{budget: budget}
-	s, err := NewStreamer(n, t.offer)
-	if err != nil {
-		return nil, err
-	}
-	t.streamer = s
-	return t, nil
+	return &TopK{budget: budget}, nil
 }
 
-// Push consumes the next stream value.
-func (t *TopKStream) Push(v float64) error { return t.streamer.Push(v) }
-
-// Finish completes the stream and returns the retained (index, value)
-// pairs — the conventional B-term synopsis of the full stream.
-func (t *TopKStream) Finish() (indices []int, values []float64, err error) {
-	if err := t.streamer.Finish(); err != nil {
-		return nil, nil, err
-	}
-	for _, e := range t.heap {
-		indices = append(indices, e.index)
-		values = append(values, e.value)
-	}
-	return indices, values, nil
-}
-
-func (t *TopKStream) offer(index int, value float64) {
+// Offer considers one (index, value) coefficient for retention.
+//
+// Once the heap is full, a candidate is retained iff it beats the heap
+// root under the strict total order (significance desc, index asc). The
+// root is the *global minimum* of the retained set under that order —
+// sigHeap.Less breaks significance ties by evicting the larger index
+// first — so comparing against the root alone is the standard top-K
+// invariant and is sufficient even on significance ties: any candidate
+// that belongs in the top B beats the minimum, and only the minimum can
+// ever be displaced.
+func (t *TopK) Offer(index int, value float64) {
 	if value == 0 {
 		return
 	}
@@ -146,6 +135,65 @@ func (t *TopKStream) offer(index int, value float64) {
 		t.heap[0] = sigEntry{sig: sig, index: index, value: value}
 		heap.Fix(&t.heap, 0)
 	}
+}
+
+// Len returns the number of retained coefficients.
+func (t *TopK) Len() int { return t.heap.Len() }
+
+// Pairs returns the retained (index, value) pairs in ascending index
+// order — the deterministic layout every synopsis consumer expects —
+// leaving the accumulator unchanged.
+func (t *TopK) Pairs() (indices []int, values []float64) {
+	entries := append([]sigEntry(nil), t.heap...)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].index < entries[j].index })
+	indices = make([]int, len(entries))
+	values = make([]float64, len(entries))
+	for i, e := range entries {
+		indices[i], values[i] = e.index, e.value
+	}
+	return indices, values
+}
+
+// TopKStream maintains the conventional (L2-optimal) synopsis of a stream
+// incrementally: it keeps the B coefficients of greatest significance seen
+// so far in a min-heap, in O(B) memory on top of the streamer's O(log N).
+type TopKStream struct {
+	streamer *Streamer
+	topk     *TopK
+}
+
+// NewTopKStream builds a one-pass conventional-synopsis maintainer for a
+// stream of n values (a power of two) and a budget of B coefficients.
+func NewTopKStream(n, budget int) (*TopKStream, error) {
+	tk, err := NewTopK(budget)
+	if err != nil {
+		return nil, err
+	}
+	t := &TopKStream{topk: tk}
+	s, err := NewStreamer(n, tk.Offer)
+	if err != nil {
+		return nil, err
+	}
+	t.streamer = s
+	return t, nil
+}
+
+// Push consumes the next stream value.
+func (t *TopKStream) Push(v float64) error { return t.streamer.Push(v) }
+
+// Finish completes the stream and returns the retained (index, value)
+// pairs in ascending index order — the conventional B-term synopsis of
+// the full stream. A Finish error (short stream) is fatal: the retained
+// heap still holds the prefix's coefficients, so the pairs of a failed
+// Finish must never be read as a synopsis — Finish returns nil slices
+// alongside the error to enforce that. The stream may be completed with
+// further Push calls and finished again.
+func (t *TopKStream) Finish() (indices []int, values []float64, err error) {
+	if err := t.streamer.Finish(); err != nil {
+		return nil, nil, err
+	}
+	indices, values = t.topk.Pairs()
+	return indices, values, nil
 }
 
 type sigEntry struct {

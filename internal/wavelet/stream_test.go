@@ -175,6 +175,195 @@ func TestTopKStreamMatchesConventional(t *testing.T) {
 	}
 }
 
+// TestTopKStreamFinishIndexSorted pins the deterministic output order:
+// Finish returns pairs sorted by ascending index, not raw heap order.
+func TestTopKStreamFinishIndexSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 << (3 + rng.Intn(5))
+		tk, err := NewTopKStream(n, 1+rng.Intn(n/2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := tk.Push(math.Trunc(rng.NormFloat64() * 10)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		indices, values, err := tk.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(indices) != len(values) {
+			t.Fatalf("trial %d: %d indices vs %d values", trial, len(indices), len(values))
+		}
+		if !sort.IntsAreSorted(indices) {
+			t.Fatalf("trial %d: Finish indices not sorted: %v", trial, indices)
+		}
+	}
+}
+
+// TestTopKTieBreakMatchesOffline hammers the significance tie-break with
+// values drawn from a tiny set (many exactly-equal significances at every
+// level) and asserts the retained set is term-for-term the offline
+// top-B under (significance desc, index asc) — the ordering
+// synopsis.Conventional uses.
+func TestTopKTieBreakMatchesOffline(t *testing.T) {
+	f := func(seed int64, logn, bRaw uint8) bool {
+		n := 1 << (2 + logn%6) // 4..128
+		b := 1 + int(bRaw)%n
+		rng := rand.New(rand.NewSource(seed))
+		vals := []float64{-8, -4, 0, 0, 4, 8} // power-of-two magnitudes: dense sig ties
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = vals[rng.Intn(len(vals))]
+		}
+		tk, err := NewTopKStream(n, b)
+		if err != nil {
+			return false
+		}
+		for _, v := range data {
+			if err := tk.Push(v); err != nil {
+				return false
+			}
+		}
+		indices, values, err := tk.Finish()
+		if err != nil {
+			return false
+		}
+		// Offline reference with the same total order.
+		w, _ := Transform(data)
+		type cand struct {
+			idx int
+			sig float64
+		}
+		var cands []cand
+		for i, c := range w {
+			if c != 0 {
+				cands = append(cands, cand{i, SignificanceOrderValue(i, c)})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].sig != cands[j].sig {
+				return cands[i].sig > cands[j].sig
+			}
+			return cands[i].idx < cands[j].idx
+		})
+		if b > len(cands) {
+			b = len(cands)
+		}
+		want := cands[:b]
+		sort.Slice(want, func(i, j int) bool { return want[i].idx < want[j].idx })
+		if len(indices) != len(want) {
+			return false
+		}
+		for k, c := range want {
+			if indices[k] != c.idx || values[k] != w[c.idx] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTopKStreamShortFinish pins the error contract: Finish on a short
+// stream fails, returns nil pairs (the populated heap must not read as a
+// synopsis), and the stream can still be completed and finished cleanly.
+func TestTopKStreamShortFinish(t *testing.T) {
+	tk, err := NewTopKStream(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []float64{5, 5, 0, 26, 1, 3, 14, 2}
+	for _, v := range data[:6] {
+		if err := tk.Push(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	indices, values, err := tk.Finish()
+	if err == nil {
+		t.Fatal("short Finish accepted")
+	}
+	if indices != nil || values != nil {
+		t.Fatalf("short Finish leaked pairs: %v %v", indices, values)
+	}
+	// The heap is populated with the prefix's completed coefficients —
+	// exactly why a failed Finish must not be mistaken for success.
+	if tk.topk.Len() == 0 {
+		t.Fatal("expected retained prefix coefficients after short Finish")
+	}
+	// Completing the stream recovers.
+	for _, v := range data[6:] {
+		if err := tk.Push(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	indices, _, err = tk.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(indices) != 4 || !sort.IntsAreSorted(indices) {
+		t.Fatalf("recovered Finish returned %v", indices)
+	}
+}
+
+// TestTopKStreamPushAfterFinishAndOverflow pins that Push fails cleanly
+// once the stream is complete, and that an overflow error is sticky.
+func TestTopKStreamPushAfterFinishAndOverflow(t *testing.T) {
+	tk, err := NewTopKStream(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := tk.Push(float64(i + 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tk.Push(99); err == nil {
+		t.Fatal("overflow Push accepted")
+	}
+	if _, _, err := tk.Finish(); err != nil {
+		t.Fatalf("Finish after rejected overflow push: %v", err)
+	}
+	if err := tk.Push(99); err == nil {
+		t.Fatal("Push after Finish accepted")
+	}
+	if err := tk.Push(100); err == nil {
+		t.Fatal("repeated overflow Push accepted")
+	}
+}
+
+// TestTopKOfferTies drives the accumulator directly through a tie storm:
+// every offer has identical significance, so retention is decided purely
+// by the index tie-break.
+func TestTopKOfferTies(t *testing.T) {
+	tk, err := NewTopK(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTopK(0); err == nil {
+		t.Fatal("budget 0 accepted")
+	}
+	// All at level 0..: use index 0 and 1 (both level 0) plus same-level
+	// siblings so significance is exactly equal for equal |value|.
+	for _, idx := range []int{6, 4, 7, 5} { // all level 2, |v| equal
+		tk.Offer(idx, 2)
+	}
+	tk.Offer(2, 0) // zero values are ignored
+	indices, values := tk.Pairs()
+	if len(indices) != 3 {
+		t.Fatalf("retained %d, want 3", len(indices))
+	}
+	for k, want := range []int{4, 5, 6} { // smallest indices win ties
+		if indices[k] != want || values[k] != 2 {
+			t.Fatalf("retained %v %v, want indices [4 5 6]", indices, values)
+		}
+	}
+}
+
 func TestTopKStreamValidation(t *testing.T) {
 	if _, err := NewTopKStream(8, 0); err == nil {
 		t.Fatal("budget 0 accepted")

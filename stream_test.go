@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"reflect"
 	"testing"
+	"testing/quick"
 )
 
 func TestStreamConventionalMatchesBatch(t *testing.T) {
@@ -33,6 +34,69 @@ func TestStreamConventionalMatchesBatch(t *testing.T) {
 	}
 	if !reflect.DeepEqual(streamed.Terms, batch.Synopsis.Terms) {
 		t.Fatalf("streamed %v != batch %v", streamed.Terms, batch.Synopsis.Terms)
+	}
+}
+
+// TestStreamConventionalTieHeavy property-checks that the one-pass
+// synopsis is term-for-term identical to the batch synopsis.Conventional
+// on inputs engineered for significance ties: values from a tiny
+// power-of-two set make |c|^2/2^level collide constantly, so the
+// deterministic tie-break (smaller index wins) is exercised on nearly
+// every retention decision.
+func TestStreamConventionalTieHeavy(t *testing.T) {
+	f := func(seed int64, logn, bRaw uint8) bool {
+		n := 1 << (2 + logn%7) // 4..256
+		b := 1 + int(bRaw)%n
+		rng := rand.New(rand.NewSource(seed))
+		vals := []float64{-16, -8, 0, 0, 8, 16}
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = vals[rng.Intn(len(vals))]
+		}
+		i := 0
+		streamed, err := StreamConventional(n, b, func() (float64, bool) {
+			if i >= n {
+				return 0, false
+			}
+			v := data[i]
+			i++
+			return v, true
+		})
+		if err != nil {
+			return false
+		}
+		batch, err := Build(data, Conventional, Options{Budget: b})
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(streamed.Terms, batch.Synopsis.Terms)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamConventionalFailedFinish pins that a stream ending early can
+// never be mistaken for success: the TopKStream heap is populated with
+// the prefix's coefficients at that point, and StreamConventional must
+// surface the Finish error with a nil synopsis rather than packaging the
+// partial heap.
+func TestStreamConventionalFailedFinish(t *testing.T) {
+	for _, short := range []int{1, 5, 7} {
+		i := 0
+		s, err := StreamConventional(8, 4, func() (float64, bool) {
+			if i >= short {
+				return 0, false
+			}
+			i++
+			return float64(i), true
+		})
+		if err == nil {
+			t.Fatalf("stream of %d/8 values accepted", short)
+		}
+		if s != nil {
+			t.Fatalf("stream of %d/8 values returned a synopsis alongside the error: %+v", short, s)
+		}
 	}
 }
 
