@@ -20,6 +20,14 @@
 // Supported -algo values: con (conventional synopsis, Appendix A.1) and
 // dgreedyabs (the paper's Algorithm 6, all four jobs on the cluster).
 //
+// A co-located deployment can skip TCP framing entirely: -local N attaches
+// N shared-memory workers inside the coordinator process (tasks and
+// replies cross an in-memory channel, no serialization). -workers counts
+// TCP joiners on top of those: pass -workers 0 to run with only
+// shared-memory workers, or combine both for a mixed fleet:
+//
+//	dwworker -coordinate :7077 -workers 0 -local 4 -data nyct.bin
+//
 // For resilience drills, -chaos seed,spec arms the deterministic fault
 // injector (see internal/chaos) in this process, -reconnect-max lets a
 // worker survive coordinator connection loss by re-dialing with jittered
@@ -66,6 +74,7 @@ func main() {
 		chaosSpec = flag.String("chaos", "", "arm the fault injector: 'seed,point:fault[=dur][@prob][#nth][xmax];...'")
 		reconnMax = flag.Int("reconnect-max", 0, "worker: consecutive failed re-dials before giving up (0 = exit on connection loss)")
 		rejoin    = flag.Duration("rejoin-grace", 0, "coordinator: tolerate an all-workers-dead window this long while workers re-dial (0 = fail fast)")
+		localW    = flag.Int("local", 0, "coordinator: shared-memory workers to run in-process (skip TCP framing for co-located workers)")
 	)
 	flag.Parse()
 
@@ -128,9 +137,19 @@ func main() {
 			root = tracer.Start("dwworker:" + *algo)
 			c.Options = mr.JobOptions{Trace: root}
 		}
-		fmt.Fprintf(os.Stderr, "dwworker: coordinating on %s, waiting for %d workers\n", c.Addr(), *workers)
-		if err := c.WaitForWorkers(*workers, *timeout); err != nil {
-			fatal(err)
+		for i := 0; i < *localW; i++ {
+			if _, err := c.AttachLocalWorker(fmt.Sprintf("local%d", i)); err != nil {
+				fatal(err)
+			}
+		}
+		// -workers counts TCP joiners on top of the -local fleet; the
+		// attached shared-memory workers are already live, so the wait
+		// target is the combined fleet size.
+		if *workers > 0 {
+			fmt.Fprintf(os.Stderr, "dwworker: coordinating on %s, waiting for %d workers\n", c.Addr(), *workers)
+			if err := c.WaitForWorkers(*localW+*workers, *timeout); err != nil {
+				fatal(err)
+			}
 		}
 		t0 := time.Now()
 		var rep *dist.Report

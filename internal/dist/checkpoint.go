@@ -342,20 +342,30 @@ func decodeProbeRecord(body []byte) (*synopsis.Synopsis, bool, error) {
 	return syn, true, nil
 }
 
-// probeKey names one binary-search probe of DIndirectHaar.
-func probeKey(n, s int, delta, epsilon float64) string {
-	return fmt.Sprintf("dindirect/n%d/s%d/d%016x/probe/e%016x",
-		n, s, math.Float64bits(delta), math.Float64bits(epsilon))
+// recordCodecTag names the record-level wire codec generation and is baked
+// into every checkpoint key whose body stores raw shuffle pairs (layer
+// M-rows, histogram output). Bumping the record codecs (wire v4's varint
+// encodings) changes the tag, so a restarted driver recomputes rather than
+// misdecoding a stale body written by an earlier binary. probeKey bodies
+// use their own self-contained encoding and do not carry the tag.
+const recordCodecTag = "c4"
+
+// probeKey names one binary-search probe of DIndirectHaar. The window cap
+// changes the DP's verdicts, so it is part of the problem shape the key
+// encodes.
+func probeKey(n, s int, delta, epsilon float64, win int) string {
+	return fmt.Sprintf("dindirect/n%d/s%d/d%016x/w%d/probe/e%016x",
+		n, s, math.Float64bits(delta), win, math.Float64bits(epsilon))
 }
 
 // layerKey names one bottom-up layer of a DMHaarSpace run.
-func layerKey(n, s int, epsilon, delta float64, li int) string {
-	return fmt.Sprintf("dmhaar/n%d/s%d/d%016x/e%016x/up%d",
-		n, s, math.Float64bits(delta), math.Float64bits(epsilon), li)
+func layerKey(n, s int, epsilon, delta float64, win, li int) string {
+	return fmt.Sprintf("dmhaar/%s/n%d/s%d/d%016x/e%016x/w%d/up%d",
+		recordCodecTag, n, s, math.Float64bits(delta), math.Float64bits(epsilon), win, li)
 }
 
 // dgreedyHistKey names the job-1 histogram output of a DGreedy run.
 func dgreedyHistKey(n, s, budget int, eb float64, rel bool, sanity float64) string {
-	return fmt.Sprintf("dgreedy/n%d/s%d/b%d/eb%016x/rel%t/sa%016x/hist",
-		n, s, budget, math.Float64bits(eb), rel, math.Float64bits(sanity))
+	return fmt.Sprintf("dgreedy/%s/n%d/s%d/b%d/eb%016x/rel%t/sa%016x/hist",
+		recordCodecTag, n, s, budget, math.Float64bits(eb), rel, math.Float64bits(sanity))
 }

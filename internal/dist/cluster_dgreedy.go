@@ -1,7 +1,6 @@
 package dist
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math"
 
@@ -95,16 +94,12 @@ func init() {
 			return nil, err
 		}
 		return &mr.Job{
-			Name:     "dgreedy-hist",
-			Splits:   chunkSplits(n, p.S),
-			Reducers: p.Reducers,
-			Partition: func(key []byte, nred int) int {
-				// Reduce in uint32 space so the index stays non-negative on
-				// 32-bit platforms (same fix as Job.partition).
-				return int(binary.BigEndian.Uint32(key[:4]) % uint32(nred))
-			},
-			Map:    dgreedyHistMap(src, n, p.S, p.RootCoef, p.RootOrder, p.MaxCand, p.Eb, false, 1),
-			Reduce: makeCombineResults(p.Budget),
+			Name:      "dgreedy-hist",
+			Splits:    chunkSplits(n, p.S),
+			Reducers:  p.Reducers,
+			Partition: histPartition,
+			Map:       dgreedyHistMap(src, n, p.S, p.RootCoef, p.RootOrder, p.MaxCand, p.Eb, false, 1),
+			Reduce:    makeCombineResults(p.Budget),
 		}, nil
 	})
 	mr.RegisterJob(dgreedySelJobName, func(params []byte) (*mr.Job, error) {
@@ -314,8 +309,8 @@ func DGreedyAbsClusterWith(c *mr.Coordinator, path string, budget int, cfg Confi
 		if taken >= want {
 			break
 		}
-		var entry selEntry
-		if err := mr.GobDecode(kv.Value, &entry); err != nil {
+		entry, err := decodeSelEntry(kv.Value)
+		if err != nil {
 			return nil, err
 		}
 		for k := len(entry.Indices) - 1; k >= 0 && taken < want; k-- {

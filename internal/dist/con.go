@@ -37,12 +37,13 @@ type coefPayload struct {
 // bytes.Compare yields descending significance with ascending-index
 // tie-breaks — the same total order synopsis.Conventional uses, so CON
 // selects identical terms. The avg/detail flag sorts chunk averages ahead
-// of everything. Append-style so map loops reuse one scratch buffer (emit
-// copies).
+// of everything. The index tie-break is a memcmp-ordered varint (wire
+// v4), so ordering survives mixed encoded lengths. Append-style so map
+// loops reuse one scratch buffer (emit copies).
 func appendSigKey(dst []byte, kind byte, sig float64, idx int) []byte {
 	dst = append(dst, kind)
 	dst = mr.AppendFloat64(dst, -sig) // ascending -sig == descending sig
-	return mr.AppendUint64(dst, uint64(idx))
+	return mr.AppendOrderedUvarint(dst, uint64(idx))
 }
 
 const (
@@ -95,8 +96,8 @@ func conJob(src Source, n, s int) *mr.Job {
 				return err
 			}
 			// Both buffers are reused across emits: the engine copies.
-			kbuf := make([]byte, 0, 17)
-			vbuf := make([]byte, 0, idxValLen)
+			kbuf := make([]byte, 0, 18)
+			vbuf := make([]byte, 0, 18)
 			kbuf = appendSigKey(kbuf, kindAverage, float64(-idx), idx)
 			vbuf = appendIdxVal(vbuf, idx, avg)
 			if err := emit(kbuf, vbuf); err != nil {

@@ -33,12 +33,6 @@ import (
 // enumerated over its 2^depth drop-subsets).
 const DGKMaxRootNodes = 64
 
-// gkRowMsg is the level-1 worker output: the base sub-tree's GK row.
-type gkRowMsg struct {
-	Base int
-	Row  dp.GKRow
-}
-
 // gkDriverVal memoizes the driver-side combine over the root sub-tree.
 type gkDriverVal struct {
 	err  float64
@@ -139,7 +133,7 @@ func DGK(src Source, budget int, cfg Config) (*DGKResult, error) {
 				return err
 			}
 			row := dp.GKSubtreeRow(details, 1, baseEs[j], maxB)
-			return emit(mr.EncodeUint64(uint64(j)), mr.MustGobEncode(gkRowMsg{Base: j, Row: row}))
+			return emit(mr.EncodeUint64(uint64(j)), appendGKRow(nil, row))
 		},
 		Reducers: 1,
 	}
@@ -149,11 +143,11 @@ func DGK(src Source, budget int, cfg Config) (*DGKResult, error) {
 	}
 	res.Jobs = append(res.Jobs, rowRes.Metrics)
 	for _, kv := range rowRes.Partitions[0] {
-		var msg gkRowMsg
-		if err := mr.GobDecode(kv.Value, &msg); err != nil {
+		row, err := decodeGKRow(kv.Value)
+		if err != nil {
 			return nil, err
 		}
-		rows[msg.Base] = msg.Row
+		rows[int(mr.DecodeUint64(kv.Key))] = row
 	}
 
 	// ---- Driver: combine up through the root sub-tree ----
@@ -272,7 +266,7 @@ func DGK(src Source, budget int, cfg Config) (*DGKResult, error) {
 			var kbuf, vbuf []byte // reused across emits: the engine copies
 			for _, term := range local {
 				gi := wavelet.GlobalIndex(n, s, j, term.Index)
-				kbuf = mr.AppendUint64(kbuf[:0], uint64(gi))
+				kbuf = mr.AppendOrderedUvarint(kbuf[:0], uint64(gi))
 				vbuf = mr.AppendFloat64(vbuf[:0], term.Value)
 				if err := emit(kbuf, vbuf); err != nil {
 					return err
@@ -288,8 +282,12 @@ func DGK(src Source, budget int, cfg Config) (*DGKResult, error) {
 	}
 	res.Jobs = append(res.Jobs, selRes.Metrics)
 	for _, kv := range selRes.Partitions[0] {
+		gi, nb := mr.OrderedUvarint(kv.Key)
+		if nb != len(kv.Key) {
+			return nil, fmt.Errorf("dist: malformed %d-byte DGK select key", len(kv.Key))
+		}
 		syn.Terms = append(syn.Terms, synopsis.Coefficient{
-			Index: int(mr.DecodeUint64(kv.Key)), Value: mr.DecodeFloat64(kv.Value),
+			Index: int(gi), Value: mr.DecodeFloat64(kv.Value),
 		})
 	}
 	syn.Normalize()

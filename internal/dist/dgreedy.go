@@ -1,7 +1,6 @@
 package dist
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math"
 
@@ -146,14 +145,12 @@ func dGreedy(src Source, budget int, cfg Config, rel bool) (*Report, error) {
 		reducers = 4
 	}
 	histJob := &mr.Job{
-		Name:     "dgreedy-hist",
-		Splits:   chunkSplits(n, s),
-		Reducers: reducers,
-		Partition: func(key []byte, nred int) int {
-			return int(binary.BigEndian.Uint32(key[:4])) % nred
-		},
-		Map:    dgreedyHistMap(src, n, s, rootCoef, rootOrder, maxCand, eb, rel, cfg.sanity()),
-		Reduce: makeCombineResults(budget),
+		Name:      "dgreedy-hist",
+		Splits:    chunkSplits(n, s),
+		Reducers:  reducers,
+		Partition: histPartition,
+		Map:       dgreedyHistMap(src, n, s, rootCoef, rootOrder, maxCand, eb, rel, cfg.sanity()),
+		Reduce:    makeCombineResults(budget),
 	}
 	obsGreedyCandidates.Add(int64(maxCand + 1))
 	// With a checkpoint store, the histogram output — job 1, the dominant
@@ -232,8 +229,8 @@ func dGreedy(src Source, budget int, cfg Config, rel bool) (*Report, error) {
 		if taken >= want {
 			break
 		}
-		var entry selEntry
-		if err := mr.GobDecode(kv.Value, &entry); err != nil {
+		entry, err := decodeSelEntry(kv.Value)
+		if err != nil {
 			return nil, err
 		}
 		// Nodes inside a group were discarded in order; the later ones are
@@ -265,11 +262,31 @@ func dGreedy(src Source, budget int, cfg Config, rel bool) (*Report, error) {
 }
 
 // appendHistKey appends the [candidate, descending bucket] shuffle key.
-// Append-style so the histogram emit loop reuses one scratch buffer per
-// task (the engine copies on emit).
+// The candidate is a memcmp-ordered varint (wire v4): one byte instead
+// of four for the first 241 candidates, without giving up the
+// (candidate asc, bucket desc) sort order the combine reducer relies
+// on. Append-style so the histogram emit loop reuses one scratch buffer
+// per task (the engine copies on emit).
 func appendHistKey(dst []byte, cand int, bucket float64) []byte {
-	dst = append(dst, byte(cand>>24), byte(cand>>16), byte(cand>>8), byte(cand))
+	dst = mr.AppendOrderedUvarint(dst, uint64(cand))
 	return mr.AppendFloat64(dst, -bucket)
+}
+
+// histKeyCand decodes the candidate component of appendHistKey and
+// returns the offset where the bucket component starts.
+func histKeyCand(key []byte) (cand int, bucketOff int, err error) {
+	c, n := mr.OrderedUvarint(key)
+	if n <= 0 || len(key) != n+8 {
+		return 0, 0, fmt.Errorf("dist: malformed %d-byte histogram key", len(key))
+	}
+	return int(c), n, nil
+}
+
+// histPartition routes a histogram key by candidate; reduce in uint64
+// space so the index stays non-negative on 32-bit platforms.
+func histPartition(key []byte, nred int) int {
+	c, _ := mr.OrderedUvarint(key)
+	return int(c % uint64(nred))
 }
 
 // bucketize compacts a deletion order into (bucketed running-max error,
@@ -306,12 +323,15 @@ func makeCombineResults(budget int) mr.ReduceFunc {
 	return func(ctx mr.TaskContext, key []byte, values [][]byte, emit mr.Emit) error {
 		sk := [2]int{ctx.TaskID, ctx.Attempt}
 		st := states[sk]
-		cand := int(binary.BigEndian.Uint32(key[:4]))
+		cand, bucketOff, err := histKeyCand(key)
+		if err != nil {
+			return err
+		}
 		if st == nil || st.cand != cand {
 			st = &state{cand: cand}
 			states[sk] = st
 		}
-		bucket := -mr.DecodeFloat64(key[4:])
+		bucket := -mr.DecodeFloat64(key[bucketOff:])
 		if math.IsInf(bucket, -1) {
 			// Sentinel: report this candidate's achieved error estimate.
 			ans := st.answer
@@ -323,7 +343,11 @@ func makeCombineResults(budget int) mr.ReduceFunc {
 		}
 		var count int
 		for _, v := range values {
-			count += int(mr.DecodeUint64(v))
+			c, n := mr.Uvarint(v)
+			if n <= 0 {
+				return fmt.Errorf("dist: malformed histogram count value")
+			}
+			count += int(c)
 		}
 		target := budget - cand // 0-based position of the first non-retained node
 		if !st.found && st.cum+count > target {
@@ -405,7 +429,7 @@ func dgreedyHistMap(src Source, n, s int, rootCoef []float64, rootOrder []int, m
 			}
 			for _, h := range hist {
 				kbuf = appendHistKey(kbuf[:0], i, h.Bucket)
-				vbuf = mr.AppendUint64(vbuf[:0], uint64(h.Count))
+				vbuf = mr.AppendUvarint(vbuf[:0], uint64(h.Count))
 				if err := emit(kbuf, vbuf); err != nil {
 					return err
 				}
@@ -414,7 +438,7 @@ func dgreedyHistMap(src Source, n, s int, rootCoef []float64, rootOrder []int, m
 			if j == 0 {
 				// Sentinel closing candidate i's stream (sorts last).
 				kbuf = appendHistKey(kbuf[:0], i, math.Inf(-1))
-				vbuf = mr.AppendUint64(vbuf[:0], 0)
+				vbuf = mr.AppendUvarint(vbuf[:0], 0)
 				if err := emit(kbuf, vbuf); err != nil {
 					return err
 				}
@@ -471,7 +495,7 @@ func dgreedySelectMap(src Source, n, s int, rootCoef []float64, retainRoot map[i
 			}
 			groupStart = end
 			ctx.Counters.Add("dgreedy.select_groups", 1)
-			return emit(mr.EncodeFloat64(-bucket), mr.MustGobEncode(entry))
+			return emit(mr.EncodeFloat64(-bucket), appendSelEntry(nil, entry))
 		}
 		curBucket := math.Inf(-1)
 		for t, st := range steps {

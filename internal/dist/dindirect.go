@@ -83,7 +83,7 @@ func DMHaarSpace(src Source, p dp.Params, cfg Config) (*DMHaarResult, error) {
 		layerSpan := algSpan.Child(fmt.Sprintf("layer-up:%d", li))
 		key := ""
 		if cfg.Checkpoint != nil {
-			key = layerKey(n, s, p.Epsilon, p.Delta, li)
+			key = layerKey(n, s, p.Epsilon, p.Delta, p.MaxWindow, li)
 			body, ok, err := checkpointGet(cfg.Checkpoint, key)
 			if err != nil {
 				layerSpan.End()
@@ -181,17 +181,20 @@ func DMHaarSpace(src Source, p dp.Params, cfg Config) (*DMHaarResult, error) {
 	return result, nil
 }
 
-// decodeLayerRows decodes one layer's shuffle output (root key, gob M-row
-// value) into the rows map — shared by the fresh-run and checkpoint-replay
-// paths so both produce identical state.
+// decodeLayerRows decodes one layer's shuffle output (root key, varint
+// M-row value) into the rows map — shared by the fresh-run and
+// checkpoint-replay paths so both produce identical state.
 func decodeLayerRows(pairs []mr.Pair) (map[int]dp.Row, error) {
 	rows := make(map[int]dp.Row, len(pairs))
 	for _, kv := range pairs {
-		var row dp.Row
-		if err := mr.GobDecode(kv.Value, &row); err != nil {
+		list, err := decodeRowList(kv.Value)
+		if err != nil {
 			return nil, err
 		}
-		rows[int(mr.DecodeUint64(kv.Key))] = row
+		if len(list) != 1 {
+			return nil, fmt.Errorf("dist: layer row record holds %d rows, want 1", len(list))
+		}
+		rows[int(mr.DecodeUint64(kv.Key))] = list[0]
 	}
 	return rows, nil
 }
@@ -252,7 +255,7 @@ func layerUpJob(src Source, p dp.Params, n, layerIdx int, layer []errtree.Subtre
 			if err != nil {
 				return err
 			}
-			return emit(mr.EncodeUint64(uint64(st.Root)), mr.MustGobEncode(rows[1]))
+			return emit(mr.EncodeUint64(uint64(st.Root)), appendRowList(nil, rows[1:2]))
 		},
 		Reducers: 1,
 	}
@@ -351,7 +354,7 @@ func (d dmProber) Probe(epsilon float64) (*synopsis.Synopsis, bool, error) {
 		if delta <= 0 {
 			delta = 1
 		}
-		key = probeKey(n, s, delta, epsilon)
+		key = probeKey(n, s, delta, epsilon, cfg.MaxWindow)
 		body, ok, err := checkpointGet(cfg.Checkpoint, key)
 		if err != nil {
 			return nil, false, err
@@ -372,7 +375,7 @@ func (d dmProber) Probe(epsilon float64) (*synopsis.Synopsis, bool, error) {
 		defer probe.End()
 		cfg.Trace = probe
 	}
-	res, err := DMHaarSpace(d.src, dp.Params{Epsilon: epsilon, Delta: cfg.Delta}, cfg)
+	res, err := DMHaarSpace(d.src, dp.Params{Epsilon: epsilon, Delta: cfg.Delta, MaxWindow: cfg.MaxWindow}, cfg)
 	if err != nil {
 		return nil, false, err
 	}

@@ -134,6 +134,11 @@ type Config struct {
 	BucketWidth float64
 	// Delta is the DP quantization step δ for DMHaarSpace/DIndirectHaar.
 	Delta float64
+	// MaxWindow caps the quantized incoming-value window of each DP row
+	// (dp.Params.MaxWindow). 0 is exact — the full O(ε/δ) grid; a
+	// positive cap bounds per-row memory and M-row wire size at the cost
+	// of possibly retaining more coefficients.
+	MaxWindow int
 	// Sanity is the relative-error sanity bound S (DGreedyRel). 0 means 1.
 	Sanity float64
 	// Trace, when non-nil, receives one child span per algorithm run, with

@@ -127,7 +127,7 @@ func HWTopk(src Source, budget int, cfg Config) (*Report, error) {
 			var kbuf, vbuf []byte // reused across emits: the engine copies
 			for _, c := range coefs {
 				vbuf = appendIdxVal(vbuf[:0], idx, send[c])
-				kbuf = mr.AppendUint64(append(kbuf[:0], 1), uint64(c))
+				kbuf = mr.AppendOrderedUvarint(append(kbuf[:0], 1), uint64(c))
 				if err := emit(kbuf, vbuf); err != nil {
 					return err
 				}
@@ -150,7 +150,11 @@ func HWTopk(src Source, budget int, cfg Config) (*Report, error) {
 			summaries[int(rec[0])] = mapperSummary{KthHigh: rec[1], KthLow: rec[2]}
 			continue
 		}
-		coef := int(mr.DecodeUint64(kv.Key[1:]))
+		c, nb := mr.OrderedUvarint(kv.Key[1:])
+		if nb != len(kv.Key)-1 {
+			return nil, fmt.Errorf("dist: malformed %d-byte round-1 key", len(kv.Key))
+		}
+		coef := int(c)
 		mapper, val, err := decodeIdxVal(kv.Value)
 		if err != nil {
 			return nil, err
@@ -215,7 +219,7 @@ func HWTopk(src Source, budget int, cfg Config) (*Report, error) {
 			var kbuf, vbuf []byte // reused across emits: the engine copies
 			for _, c := range coefs {
 				vbuf = appendIdxVal(vbuf[:0], idx, partials[c])
-				kbuf = mr.AppendUint64(kbuf[:0], uint64(c))
+				kbuf = mr.AppendOrderedUvarint(kbuf[:0], uint64(c))
 				if err := emit(kbuf, vbuf); err != nil {
 					return err
 				}
@@ -230,7 +234,11 @@ func HWTopk(src Source, budget int, cfg Config) (*Report, error) {
 	}
 	report.Jobs = append(report.Jobs, res2.Metrics)
 	for _, kv := range res2.Partitions[0] {
-		coef := int(mr.DecodeUint64(kv.Key))
+		c, nb := mr.OrderedUvarint(kv.Key)
+		if nb != len(kv.Key) {
+			return nil, fmt.Errorf("dist: malformed %d-byte round-2 key", len(kv.Key))
+		}
+		coef := int(c)
 		mapper, val, err := decodeIdxVal(kv.Value)
 		if err != nil {
 			return nil, err
@@ -288,7 +296,7 @@ func HWTopk(src Source, budget int, cfg Config) (*Report, error) {
 			sort.Ints(coefs)
 			var kbuf, vbuf []byte // reused across emits: the engine copies
 			for _, c := range coefs {
-				kbuf = mr.AppendUint64(kbuf[:0], uint64(c))
+				kbuf = mr.AppendOrderedUvarint(kbuf[:0], uint64(c))
 				vbuf = mr.AppendFloat64(vbuf[:0], partials[c])
 				if err := emit(kbuf, vbuf); err != nil {
 					return err
@@ -311,7 +319,11 @@ func HWTopk(src Source, budget int, cfg Config) (*Report, error) {
 	}
 	report.Jobs = append(report.Jobs, res3.Metrics)
 	for _, kv := range res3.Partitions[0] {
-		totals[int(mr.DecodeUint64(kv.Key))] = mr.DecodeFloat64(kv.Value)
+		c, nb := mr.OrderedUvarint(kv.Key)
+		if nb != len(kv.Key) {
+			return nil, fmt.Errorf("dist: malformed %d-byte round-3 key", len(kv.Key))
+		}
+		totals[int(c)] = mr.DecodeFloat64(kv.Value)
 	}
 	type scored struct {
 		coef int

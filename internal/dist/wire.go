@@ -2,28 +2,239 @@ package dist
 
 import (
 	"fmt"
+	"sort"
 
+	"dwmaxerr/internal/dp"
 	"dwmaxerr/internal/mr"
 )
 
-// idxValLen is the wire size of an (index, value) shuffle record.
-const idxValLen = 16
+// Record-level wire codecs for the dist pipelines (wire v4). Shuffle
+// bytes are the paper's own communication metric (Eq. 6), so the hot
+// records use delta + varint encodings instead of fixed-width or gob:
+//
+//   - (index, value) records: LEB128 index + 8-byte float value.
+//   - selEntry groups: count + zigzag-delta indices + raw float values.
+//   - M-row lists (dp.Row): the DP tables crossing a layer boundary,
+//     with counts and choices as varints and the Infeasible sentinel
+//     mapped to a one-byte code.
+//
+// Key components use mr.AppendOrderedUvarint (memcmp-ordered, so sorted
+// shuffles stay correct); value payloads use plain LEB128. All append
+// functions extend a caller scratch buffer per the shuffle fast-path
+// contract dwlint's wireappend analyzer enforces.
 
-// appendIdxVal appends the fixed-width encoding of the (index, value)
-// record every dist strategy shuffles: 8-byte big-endian index followed
+// appendIdxVal appends the (index, value) shuffle record every dist
+// strategy emits: LEB128 index (1 byte for small trees, <= 10) followed
 // by the 8-byte order-preserving float64. No reflection, no per-record
-// allocation — map hot loops reuse one scratch buffer (emit copies),
-// per the shuffle fast-path contract dwlint's wireappend analyzer
-// enforces.
+// allocation — map hot loops reuse one scratch buffer (emit copies).
 func appendIdxVal(dst []byte, idx int, val float64) []byte {
-	dst = mr.AppendUint64(dst, uint64(idx))
+	dst = mr.AppendUvarint(dst, uint64(idx))
 	return mr.AppendFloat64(dst, val)
 }
 
 // decodeIdxVal reverses appendIdxVal.
 func decodeIdxVal(b []byte) (int, float64, error) {
-	if len(b) != idxValLen {
-		return 0, 0, fmt.Errorf("dist: index/value record is %d bytes, want %d", len(b), idxValLen)
+	idx, n := mr.Uvarint(b)
+	if n <= 0 || len(b) != n+8 {
+		return 0, 0, fmt.Errorf("dist: malformed %d-byte index/value record", len(b))
 	}
-	return int(mr.DecodeUint64(b[:8])), mr.DecodeFloat64(b[8:]), nil
+	return int(idx), mr.DecodeFloat64(b[n:]), nil
+}
+
+// appendSelEntry appends the binary encoding of a selEntry: group size,
+// zigzag-delta node indices (discard order is roughly tree order, so
+// deltas stay small), then the raw coefficient values.
+func appendSelEntry(dst []byte, e selEntry) []byte {
+	dst = mr.AppendUvarint(dst, uint64(len(e.Indices)))
+	prev := int64(0)
+	for _, idx := range e.Indices {
+		dst = mr.AppendVarint(dst, int64(idx)-prev)
+		prev = int64(idx)
+	}
+	for _, v := range e.Values {
+		dst = mr.AppendFloat64(dst, v)
+	}
+	return dst
+}
+
+// decodeSelEntry reverses appendSelEntry.
+func decodeSelEntry(b []byte) (selEntry, error) {
+	cnt, n := mr.Uvarint(b)
+	if n <= 0 || cnt > uint64(len(b)) {
+		return selEntry{}, fmt.Errorf("dist: malformed selEntry header")
+	}
+	b = b[n:]
+	e := selEntry{
+		Indices: make([]int, cnt),
+		Values:  make([]float64, cnt),
+	}
+	prev := int64(0)
+	for i := range e.Indices {
+		d, n := mr.Varint(b)
+		if n <= 0 {
+			return selEntry{}, fmt.Errorf("dist: truncated selEntry index %d", i)
+		}
+		prev += d
+		e.Indices[i] = int(prev)
+		b = b[n:]
+	}
+	if len(b) != 8*int(cnt) {
+		return selEntry{}, fmt.Errorf("dist: selEntry values hold %d bytes, want %d", len(b), 8*cnt)
+	}
+	for i := range e.Values {
+		e.Values[i] = mr.DecodeFloat64(b[:8])
+		b = b[8:]
+	}
+	return e, nil
+}
+
+// rowInfeasibleCode is the on-wire stand-in for dp.Infeasible: count
+// varints shift by one so the sentinel costs a single byte instead of
+// five.
+const rowInfeasibleCode = 0
+
+// appendRow appends one M-row: mean, window base, length, then counts
+// (uvarint, Infeasible -> 0, finite c -> c+1) and choices (zigzag
+// varint; z-offsets concentrate near zero).
+func appendRow(dst []byte, row dp.Row) []byte {
+	dst = mr.AppendFloat64(dst, row.Mean)
+	dst = mr.AppendVarint(dst, int64(row.Lo))
+	dst = mr.AppendUvarint(dst, uint64(len(row.Count)))
+	for _, c := range row.Count {
+		if c >= dp.Infeasible {
+			dst = mr.AppendUvarint(dst, rowInfeasibleCode)
+		} else {
+			dst = mr.AppendUvarint(dst, uint64(c)+1)
+		}
+	}
+	for _, z := range row.Choice {
+		dst = mr.AppendVarint(dst, int64(z))
+	}
+	return dst
+}
+
+// appendRowList appends a length-prefixed list of M-rows (the per-node
+// payload layer jobs shuffle).
+func appendRowList(dst []byte, rows []dp.Row) []byte {
+	dst = mr.AppendUvarint(dst, uint64(len(rows)))
+	for _, row := range rows {
+		dst = appendRow(dst, row)
+	}
+	return dst
+}
+
+// appendGKRow appends a GK M-row (incoming error -> per-budget error
+// vector) in sorted incoming-error order: entry count, then for each entry
+// the 8-byte incoming error, a uvarint vector length, and the raw error
+// floats. The GK row is the paper's example of an M-row indexed by budget
+// as well as incoming value; shipping it without gob's type preamble keeps
+// the DGK/DMHaarSpace shuffle-volume comparison about the DP, not the
+// serializer.
+func appendGKRow(dst []byte, row dp.GKRow) []byte {
+	es := make([]float64, 0, len(row.Err))
+	for e := range row.Err {
+		es = append(es, e)
+	}
+	sort.Float64s(es)
+	dst = mr.AppendUvarint(dst, uint64(len(es)))
+	for _, e := range es {
+		dst = mr.AppendFloat64(dst, e)
+		vals := row.Err[e]
+		dst = mr.AppendUvarint(dst, uint64(len(vals)))
+		for _, v := range vals {
+			dst = mr.AppendFloat64(dst, v)
+		}
+	}
+	return dst
+}
+
+// decodeGKRow reverses appendGKRow.
+func decodeGKRow(b []byte) (dp.GKRow, error) {
+	cnt, n := mr.Uvarint(b)
+	if n <= 0 {
+		return dp.GKRow{}, fmt.Errorf("dist: malformed GK row header")
+	}
+	b = b[n:]
+	row := dp.GKRow{Err: make(map[float64][]float64, cnt)}
+	for i := uint64(0); i < cnt; i++ {
+		if len(b) < 8 {
+			return dp.GKRow{}, fmt.Errorf("dist: truncated GK row entry %d", i)
+		}
+		e := mr.DecodeFloat64(b[:8])
+		b = b[8:]
+		width, n := mr.Uvarint(b)
+		if n <= 0 || width > uint64(len(b)) {
+			return dp.GKRow{}, fmt.Errorf("dist: malformed GK row entry %d width", i)
+		}
+		b = b[n:]
+		if len(b) < 8*int(width) {
+			return dp.GKRow{}, fmt.Errorf("dist: truncated GK row entry %d values", i)
+		}
+		vals := make([]float64, width)
+		for j := range vals {
+			vals[j] = mr.DecodeFloat64(b[:8])
+			b = b[8:]
+		}
+		row.Err[e] = vals
+	}
+	if len(b) != 0 {
+		return dp.GKRow{}, fmt.Errorf("dist: %d trailing bytes after GK row", len(b))
+	}
+	return row, nil
+}
+
+// decodeRowList reverses appendRowList.
+func decodeRowList(b []byte) ([]dp.Row, error) {
+	cnt, n := mr.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("dist: malformed M-row list header")
+	}
+	b = b[n:]
+	rows := make([]dp.Row, 0, cnt)
+	for r := uint64(0); r < cnt; r++ {
+		if len(b) < 8 {
+			return nil, fmt.Errorf("dist: truncated M-row %d", r)
+		}
+		var row dp.Row
+		row.Mean = mr.DecodeFloat64(b[:8])
+		b = b[8:]
+		lo, n := mr.Varint(b)
+		if n <= 0 {
+			return nil, fmt.Errorf("dist: truncated M-row %d window base", r)
+		}
+		row.Lo = int(lo)
+		b = b[n:]
+		width, n := mr.Uvarint(b)
+		if n <= 0 || width > uint64(len(b)) {
+			return nil, fmt.Errorf("dist: malformed M-row %d width", r)
+		}
+		b = b[n:]
+		row.Count = make([]int32, width)
+		row.Choice = make([]int32, width)
+		for i := range row.Count {
+			c, n := mr.Uvarint(b)
+			if n <= 0 {
+				return nil, fmt.Errorf("dist: truncated M-row %d count %d", r, i)
+			}
+			if c == rowInfeasibleCode {
+				row.Count[i] = dp.Infeasible
+			} else {
+				row.Count[i] = int32(c - 1)
+			}
+			b = b[n:]
+		}
+		for i := range row.Choice {
+			z, n := mr.Varint(b)
+			if n <= 0 {
+				return nil, fmt.Errorf("dist: truncated M-row %d choice %d", r, i)
+			}
+			row.Choice[i] = int32(z)
+			b = b[n:]
+		}
+		rows = append(rows, row)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("dist: %d trailing bytes after M-row list", len(b))
+	}
+	return rows, nil
 }

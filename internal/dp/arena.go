@@ -1,0 +1,68 @@
+package dp
+
+// Flat arena allocation for the DP tables. A solve touches one Row (or
+// HPRow) per error-tree node, each holding O(ε/δ) cells indexed by the
+// quantized incoming value — thousands of small slices when allocated
+// individually. The arenas below carve those slices out of large chunks
+// instead, the same discipline internal/mr applies to its shuffle buffers:
+// one backing allocation amortizes many rows, the chunk is dropped
+// wholesale when the solve's rows go out of scope, and the garbage
+// collector scans a handful of pointers instead of 2N.
+//
+// Arenas are single-solve scratch: rows returned to callers alias the
+// chunks, so an arena must never be recycled while its rows are live.
+// Every alloc returns fresh zeroed memory (chunks are never reused), which
+// LeafRow's zero-cost cells rely on.
+
+// arenaChunkCells is the default chunk size (cells, not bytes). Large
+// enough that a typical solve needs a handful of chunks; small enough
+// that tiny solves don't over-commit.
+const arenaChunkCells = 1 << 15
+
+// rowArena hands out zeroed int32 slices (Row.Count/Choice, HPRow tables)
+// from chunked backing arrays. The zero value is ready to use; a nil
+// arena degrades to plain make, so arena-aware code paths need no
+// branching at call sites.
+type rowArena struct {
+	free []int32
+}
+
+// alloc returns a zeroed slice of n cells with capacity clamped to n, so
+// appends by callers can never bleed into a neighbouring row.
+func (a *rowArena) alloc(n int) []int32 {
+	if a == nil {
+		return make([]int32, n)
+	}
+	if n > len(a.free) {
+		size := arenaChunkCells
+		if n > size {
+			size = n
+		}
+		a.free = make([]int32, size)
+	}
+	s := a.free[:n:n]
+	a.free = a.free[n:]
+	return s
+}
+
+// floatArena is rowArena for float64 cells (the GK row's per-budget error
+// vectors).
+type floatArena struct {
+	free []float64
+}
+
+func (a *floatArena) alloc(n int) []float64 {
+	if a == nil {
+		return make([]float64, n)
+	}
+	if n > len(a.free) {
+		size := arenaChunkCells
+		if n > size {
+			size = n
+		}
+		a.free = make([]float64, size)
+	}
+	s := a.free[:n:n]
+	a.free = a.free[n:]
+	return s
+}

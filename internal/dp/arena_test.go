@@ -1,0 +1,180 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dwmaxerr/internal/synopsis"
+)
+
+// TestArenaAllocIsolation: slices carved from one arena never alias and
+// arrive zeroed, across sizes spanning chunk boundaries.
+func TestArenaAllocIsolation(t *testing.T) {
+	a := &rowArena{}
+	sizes := []int{1, 7, arenaChunkCells - 1, 3, arenaChunkCells + 5, 2}
+	slices := make([][]int32, len(sizes))
+	for i, sz := range sizes {
+		s := a.alloc(sz)
+		if len(s) != sz || cap(s) != sz {
+			t.Fatalf("alloc(%d): len=%d cap=%d", sz, len(s), cap(s))
+		}
+		for j := range s {
+			if s[j] != 0 {
+				t.Fatalf("alloc(%d): cell %d not zeroed", sz, j)
+			}
+			s[j] = int32(i + 1) // brand the slice
+		}
+		slices[i] = s
+	}
+	for i, s := range slices {
+		for j, v := range s {
+			if v != int32(i+1) {
+				t.Fatalf("slice %d cell %d clobbered: got %d", i, j, v)
+			}
+		}
+	}
+	var nilArena *rowArena
+	if s := nilArena.alloc(4); len(s) != 4 {
+		t.Fatalf("nil arena alloc failed")
+	}
+	var nilFloats *floatArena
+	if s := nilFloats.alloc(4); len(s) != 4 {
+		t.Fatalf("nil float arena alloc failed")
+	}
+}
+
+// TestMaxWindowDefaultExact: a cap at least as wide as the widest exact
+// window must reproduce the uncapped solution exactly — the
+// exactness-preserving default, phrased as a property over random inputs.
+func TestMaxWindowDefaultExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (2 + rng.Intn(4))
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = math.Trunc(rng.Float64() * 100)
+		}
+		exact := Params{Epsilon: 5 + rng.Float64()*20, Delta: 1}
+		generous := exact
+		// Widest possible window: the full ε-span plus slack.
+		generous.MaxWindow = 2*int(exact.Epsilon/exact.Delta) + 3
+		se, oke, err := MinHaarSpace(data, exact)
+		if err != nil {
+			return false
+		}
+		sg, okg, err := MinHaarSpace(data, generous)
+		if err != nil {
+			return false
+		}
+		if oke != okg {
+			return false
+		}
+		if !oke {
+			return true
+		}
+		if se.Size != sg.Size || len(se.Synopsis.Terms) != len(sg.Synopsis.Terms) {
+			return false
+		}
+		for i, term := range se.Synopsis.Terms {
+			if sg.Synopsis.Terms[i] != term {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxWindowCappedStaysSound: with a tight cap the DP may spend more
+// coefficients or give up, but any solution it does return still meets
+// the error bound — clipping windows removes candidates, never validity.
+func TestMaxWindowCappedStaysSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (2 + rng.Intn(4))
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = math.Trunc(rng.Float64() * 100)
+		}
+		p := Params{Epsilon: 5 + rng.Float64()*20, Delta: 1, MaxWindow: 1 + rng.Intn(4)}
+		sol, ok, err := MinHaarSpace(data, p)
+		if err != nil {
+			return false
+		}
+		if !ok {
+			return true // infeasibility under a cap is allowed
+		}
+		return synopsis.MaxAbsError(sol.Synopsis, data) <= p.Epsilon+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSolveTreeArenaAllocBound: the arena keeps a solve's allocation count
+// independent of the node count — a handful of chunks instead of two
+// slices per node.
+func TestSolveTreeArenaAllocBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is noisy under -short race harnesses")
+	}
+	p := Params{Epsilon: 8, Delta: 1}
+	rng := rand.New(rand.NewSource(7))
+	const s = 256
+	leaves := make([]Row, s)
+	for i := range leaves {
+		leaves[i] = LeafRow(math.Trunc(rng.Float64()*40), p)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := SolveTree(leaves, p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// s-1 = 255 combines would cost >= 510 allocations row-by-row; the
+	// arena needs the rows slice, the arena header, and a few chunks.
+	if allocs > 20 {
+		t.Fatalf("SolveTree over %d leaves made %.0f allocations, want <= 20", s, allocs)
+	}
+}
+
+// TestKthLargestAbsMatchesSort: quickselect agrees with the sorted
+// definition for every k, including duplicates and zeros.
+func TestKthLargestAbsMatchesSort(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(64)
+		w := make([]float64, n)
+		for i := range w {
+			// Small integer magnitudes force duplicate values.
+			w[i] = float64(rng.Intn(9)-4) / 2
+		}
+		mags := make([]float64, n)
+		for i, c := range w {
+			mags[i] = math.Abs(c)
+		}
+		for i := range mags {
+			for j := i + 1; j < len(mags); j++ {
+				if mags[j] > mags[i] {
+					mags[i], mags[j] = mags[j], mags[i]
+				}
+			}
+		}
+		for k := 1; k <= n+1; k++ {
+			want := 0.0
+			if k <= n {
+				want = mags[k-1]
+			}
+			if got := kthLargestAbs(w, k); got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -197,9 +197,13 @@ type GKRow struct {
 // budgets 0..maxB.
 func GKSubtreeRow(w []float64, node int, es []float64, maxB int) GKRow {
 	s := &gkSolver{w: w, n: len(w), memo: map[gkKey]gkVal{}}
-	row := GKRow{Err: map[float64][]float64{}}
+	row := GKRow{Err: make(map[float64][]float64, len(es))}
+	// One flat (incoming value, budget) table backs every vector: the GK
+	// row is the budget-indexed M-row the paper contrasts with
+	// MinHaarSpace's, and the arena keeps it one allocation.
+	arena := &floatArena{}
 	for _, e := range es {
-		vals := make([]float64, maxB+1)
+		vals := arena.alloc(maxB + 1)
 		for b := 0; b <= maxB; b++ {
 			vals[b] = s.solve(node, e, b)
 		}
@@ -213,7 +217,8 @@ func GKSubtreeRow(w []float64, node int, es []float64, maxB int) GKRow {
 // paper draws exactly this budget-split scan). The children rows must
 // cover the incoming values e±c for every parent incoming value e.
 func CombineGKRows(left, right GKRow, c float64, es []float64, maxB int) GKRow {
-	out := GKRow{Err: map[float64][]float64{}}
+	out := GKRow{Err: make(map[float64][]float64, len(es))}
+	arena := &floatArena{}
 	lookup := func(r GKRow, e float64, b int) float64 {
 		vals, ok := r.Err[e]
 		if !ok || b < 0 {
@@ -225,7 +230,7 @@ func CombineGKRows(left, right GKRow, c float64, es []float64, maxB int) GKRow {
 		return vals[b]
 	}
 	for _, e := range es {
-		vals := make([]float64, maxB+1)
+		vals := arena.alloc(maxB + 1)
 		for b := 0; b <= maxB; b++ {
 			best := math.Inf(1)
 			for bl := 0; bl <= b-1; bl++ {

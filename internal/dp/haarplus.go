@@ -50,14 +50,14 @@ func (r HPRow) At(g int) int32 {
 	return r.Count[g-r.Lo]
 }
 
-// hpLeaf builds a data leaf's row.
-func hpLeaf(d float64, p Params) HPRow {
+// hpLeaf builds a data leaf's row, carving its cells from the arena.
+func hpLeaf(a *rowArena, d float64, p Params) HPRow {
 	lo, hi := p.window(d)
 	if lo > hi {
 		return HPRow{MinLeaf: d, MaxLeaf: d, Lo: lo}
 	}
 	size := hi - lo + 1
-	return HPRow{MinLeaf: d, MaxLeaf: d, Lo: lo, Count: make([]int32, size), ChoiceA: make([]int32, size), ChoiceB: make([]int32, size)}
+	return HPRow{MinLeaf: d, MaxLeaf: d, Lo: lo, Count: a.alloc(size), ChoiceA: a.alloc(size), ChoiceB: a.alloc(size)}
 }
 
 // hpCost returns the number of Haar+ terms needed for offset pair (a, b).
@@ -72,17 +72,17 @@ func hpCost(a, b int) int32 {
 	}
 }
 
-// hpCombine computes the parent row from children rows.
-func hpCombine(left, right HPRow, p Params) HPRow {
+// hpCombine computes the parent row from children rows, carving the
+// output cells from the arena.
+func hpCombine(a *rowArena, left, right HPRow, p Params) HPRow {
 	minLeaf := math.Min(left.MinLeaf, right.MinLeaf)
 	maxLeaf := math.Max(left.MaxLeaf, right.MaxLeaf)
-	lo := int(math.Ceil((minLeaf-p.Epsilon)/p.Delta - 1e-9))
-	hi := int(math.Floor((maxLeaf+p.Epsilon)/p.Delta + 1e-9))
+	lo, hi := p.rangeWindow(minLeaf, maxLeaf)
 	if lo > hi || len(left.Count) == 0 || len(right.Count) == 0 {
 		return HPRow{MinLeaf: minLeaf, MaxLeaf: maxLeaf, Lo: lo}
 	}
 	size := hi - lo + 1
-	out := HPRow{MinLeaf: minLeaf, MaxLeaf: maxLeaf, Lo: lo, Count: make([]int32, size), ChoiceA: make([]int32, size), ChoiceB: make([]int32, size)}
+	out := HPRow{MinLeaf: minLeaf, MaxLeaf: maxLeaf, Lo: lo, Count: a.alloc(size), ChoiceA: a.alloc(size), ChoiceB: a.alloc(size)}
 
 	// Global minima of each child row (value and grid index), with the
 	// runner-up to answer "minimum excluding one index" queries.
@@ -200,12 +200,13 @@ func HaarPlus(data []float64, p Params) (sol *HPSolution, feasible bool, err err
 		}
 		return h, true, nil
 	}
+	arena := &rowArena{}
 	rows := make([]HPRow, n)
 	for i := n - 1; i >= n/2; i-- {
-		rows[i] = hpCombine(hpLeaf(data[2*i-n], p), hpLeaf(data[2*i-n+1], p), p)
+		rows[i] = hpCombine(arena, hpLeaf(arena, data[2*i-n], p), hpLeaf(arena, data[2*i-n+1], p), p)
 	}
 	for i := n/2 - 1; i >= 1; i-- {
-		rows[i] = hpCombine(rows[2*i], rows[2*i+1], p)
+		rows[i] = hpCombine(arena, rows[2*i], rows[2*i+1], p)
 	}
 	// Root: choose c0 (incoming value of node 1).
 	best, bestG := Infeasible, 0

@@ -3,7 +3,6 @@ package dp
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"dwmaxerr/internal/synopsis"
 	"dwmaxerr/internal/wavelet"
@@ -189,7 +188,9 @@ func SearchWithEnv(pr Prober, env SearchEnv, budget int, delta float64) (Indirec
 }
 
 // kthLargestAbs returns the k-th largest absolute value in w (1-based),
-// or 0 when k exceeds len(w).
+// or 0 when k exceeds len(w). Quickselect with median-of-three pivots:
+// expected O(n) against the O(n log n) full sort this bound used to pay
+// on every IndirectHaar call.
 func kthLargestAbs(w []float64, k int) float64 {
 	if k > len(w) {
 		return 0
@@ -198,6 +199,37 @@ func kthLargestAbs(w []float64, k int) float64 {
 	for i, c := range w {
 		mags[i] = math.Abs(c)
 	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(mags)))
-	return mags[k-1]
+	lo, hi := 0, len(mags)-1
+	target := k - 1 // select the target-th element in descending order
+	for lo < hi {
+		// Median-of-three pivot, moved to mags[hi].
+		mid := lo + (hi-lo)/2
+		if mags[lo] < mags[mid] {
+			mags[lo], mags[mid] = mags[mid], mags[lo]
+		}
+		if mags[lo] < mags[hi] {
+			mags[lo], mags[hi] = mags[hi], mags[lo]
+		}
+		if mags[hi] < mags[mid] {
+			mags[hi], mags[mid] = mags[mid], mags[hi]
+		}
+		pivot := mags[hi]
+		i := lo
+		for j := lo; j < hi; j++ {
+			if mags[j] > pivot {
+				mags[i], mags[j] = mags[j], mags[i]
+				i++
+			}
+		}
+		mags[i], mags[hi] = mags[hi], mags[i]
+		switch {
+		case i == target:
+			return mags[i]
+		case i < target:
+			lo = i + 1
+		default:
+			hi = i - 1
+		}
+	}
+	return mags[target]
 }

@@ -30,11 +30,12 @@ func MinHaarSpace(data []float64, p Params) (sol Solution, feasible bool, err er
 	if n == 1 {
 		return solveSingle(data[0], p)
 	}
+	arena := &rowArena{}
 	leaves := make([]Row, n)
 	for i, d := range data {
-		leaves[i] = LeafRow(d, p)
+		leaves[i] = leafRowIn(arena, d, p)
 	}
-	rows, err := SolveTree(leaves, p)
+	rows, err := solveTreeIn(arena, leaves, p)
 	if err != nil {
 		return Solution{}, false, err
 	}

@@ -34,6 +34,16 @@ type Params struct {
 	// Delta is the quantization step δ > 0 of the incoming-value and
 	// coefficient-value grids. Coarser δ is faster but may miss solutions.
 	Delta float64
+	// MaxWindow caps the number of quantized incoming values a DP row may
+	// hold. 0 (the default) is exact: every grid point of [mean-ε, mean+ε]
+	// is considered, the full O(ε/δ) window of the paper. A positive cap
+	// clips each window symmetrically around the quantized mean, bounding
+	// per-row memory and combine time at (MaxWindow)² while remaining
+	// sound: clipping only removes candidate incoming values, so any
+	// solution the capped DP returns still meets the error bound — it may
+	// just use more coefficients or report infeasible where the exact DP
+	// would not.
+	MaxWindow int
 }
 
 // Validate reports whether the parameters are usable.
@@ -60,8 +70,27 @@ func (p Params) Value(g int) float64 {
 // window returns the inclusive grid range covering [mean-ε, mean+ε].
 // Empty windows (lo > hi) arise when δ > 2ε and signal infeasibility.
 func (p Params) window(mean float64) (lo, hi int) {
-	lo = int(math.Ceil((mean-p.Epsilon)/p.Delta - 1e-9))
-	hi = int(math.Floor((mean+p.Epsilon)/p.Delta + 1e-9))
+	return p.rangeWindow(mean, mean)
+}
+
+// rangeWindow returns the inclusive grid range covering [minV-ε, maxV+ε],
+// clipped to MaxWindow cells around the quantized midpoint when the cap is
+// set. window is the minV == maxV case; Haar+ rows span the full leaf
+// range.
+func (p Params) rangeWindow(minV, maxV float64) (lo, hi int) {
+	lo = int(math.Ceil((minV-p.Epsilon)/p.Delta - 1e-9))
+	hi = int(math.Floor((maxV+p.Epsilon)/p.Delta + 1e-9))
+	if p.MaxWindow > 0 && hi-lo+1 > p.MaxWindow {
+		c := p.Grid((minV + maxV) / 2)
+		nlo := c - (p.MaxWindow-1)/2
+		nhi := nlo + p.MaxWindow - 1
+		if nlo < lo {
+			nlo, nhi = lo, lo+p.MaxWindow-1
+		} else if nhi > hi {
+			nlo, nhi = hi-p.MaxWindow+1, hi
+		}
+		lo, hi = nlo, nhi
+	}
 	return lo, hi
 }
 
@@ -110,6 +139,12 @@ func (r Row) Feasible() bool {
 // LeafRow builds the row of a data leaf with value d: zero cost wherever
 // the incoming value reconstructs d within ε.
 func LeafRow(d float64, p Params) Row {
+	return leafRowIn(nil, d, p)
+}
+
+// leafRowIn is LeafRow carving its cells from the arena (nil falls back
+// to make).
+func leafRowIn(a *rowArena, d float64, p Params) Row {
 	lo, hi := p.window(d)
 	if lo > hi {
 		return Row{Mean: d, Lo: lo}
@@ -117,8 +152,8 @@ func LeafRow(d float64, p Params) Row {
 	return Row{
 		Mean:   d,
 		Lo:     lo,
-		Count:  make([]int32, hi-lo+1),
-		Choice: make([]int32, hi-lo+1),
+		Count:  a.alloc(hi - lo + 1),
+		Choice: a.alloc(hi - lo + 1),
 	}
 }
 
@@ -127,6 +162,11 @@ func LeafRow(d float64, p Params) Row {
 // M_R(v-z), with cost(0)=0 and cost(z≠0)=1. z=0 is preferred on ties, then
 // the smallest z in iteration order, making results deterministic.
 func CombineRows(left, right Row, p Params) Row {
+	return combineRowsIn(nil, left, right, p)
+}
+
+// combineRowsIn is CombineRows carving the output row from the arena.
+func combineRowsIn(a *rowArena, left, right Row, p Params) Row {
 	mean := (left.Mean + right.Mean) / 2
 	lo, hi := p.window(mean)
 	if lo > hi || len(left.Count) == 0 || len(right.Count) == 0 {
@@ -135,8 +175,8 @@ func CombineRows(left, right Row, p Params) Row {
 	out := Row{
 		Mean:   mean,
 		Lo:     lo,
-		Count:  make([]int32, hi-lo+1),
-		Choice: make([]int32, hi-lo+1),
+		Count:  a.alloc(hi - lo + 1),
+		Choice: a.alloc(hi - lo + 1),
 	}
 	for g := lo; g <= hi; g++ {
 		best, bestZ := Infeasible, int32(0)
@@ -198,16 +238,22 @@ func FinishRoot(row Row, p Params) RootResult {
 // the provided leaf rows. Index 0 is unused. len(leaves) must be a power
 // of two >= 2.
 func SolveTree(leaves []Row, p Params) ([]Row, error) {
+	return solveTreeIn(&rowArena{}, leaves, p)
+}
+
+// solveTreeIn is SolveTree with all row cells carved from one arena — the
+// flat (node, quantized incoming value) table backing a solve.
+func solveTreeIn(a *rowArena, leaves []Row, p Params) ([]Row, error) {
 	s := len(leaves)
 	if s < 2 || s&(s-1) != 0 {
 		return nil, fmt.Errorf("dp: SolveTree needs a power-of-two number of leaves >= 2, got %d", s)
 	}
 	rows := make([]Row, s)
 	for i := s - 1; i >= s/2; i-- {
-		rows[i] = CombineRows(leaves[2*i-s], leaves[2*i-s+1], p)
+		rows[i] = combineRowsIn(a, leaves[2*i-s], leaves[2*i-s+1], p)
 	}
 	for i := s/2 - 1; i >= 1; i-- {
-		rows[i] = CombineRows(rows[2*i], rows[2*i+1], p)
+		rows[i] = combineRowsIn(a, rows[2*i], rows[2*i+1], p)
 	}
 	return rows, nil
 }

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"dwmaxerr/internal/dataset"
+	"dwmaxerr/internal/dp"
+	"dwmaxerr/internal/wavelet"
+)
+
+func init() {
+	register("compute", "Compute-kernel throughput: blocked vs reference Haar transform, inverse, arena DP solves", runCompute)
+}
+
+// runCompute measures the raw compute kernels in isolation — no shuffle,
+// no engine. The transform rows pit the cache-blocked (and parallel)
+// Haar against the textbook level-by-level reference on the same input,
+// so a committed BENCH_compute.json carries its own same-run baseline;
+// the dp rows track the arena-allocated bottom-up solves whose allocation
+// count the arenas are meant to hold flat.
+func runCompute(cfg Config) error {
+	t := &table{header: []string{"kernel", "n", "wall", "MB/s", "allocs", "vs ref"}}
+
+	n := cfg.size(1 << 24)
+	data := dataset.Uniform{Max: 1000}.Generate(n, cfg.seed())
+	w := make([]float64, n)
+	out := make([]float64, n)
+
+	type kernel struct {
+		name string
+		ref  string // experiment name of this kernel's reference row
+		fn   func()
+	}
+	kernels := []kernel{
+		{"compute/transform-reference", "", func() { wavelet.ReferenceTransformInto(w, data) }},
+		{"compute/transform-blocked", "compute/transform-reference", func() { wavelet.TransformInto(w, data) }},
+		{"compute/transform-parallel", "compute/transform-reference", func() {
+			wavelet.ParallelTransformInto(w, data, runtime.NumCPU())
+		}},
+		// The inverse rows reuse w as left by the transforms above (all
+		// three produce bitwise-identical coefficients).
+		{"compute/inverse-reference", "", func() { wavelet.ReferenceInverseInto(out, w) }},
+		{"compute/inverse-blocked", "compute/inverse-reference", func() { wavelet.InverseInto(out, w) }},
+	}
+	refWall := map[string]float64{}
+	for _, k := range kernels {
+		wall, allocs := sustained(5, k.fn)
+		ms := float64(wall) / 1e6
+		refWall[k.name] = ms
+		rec := Record{
+			Experiment:  k.name,
+			Params:      fmt.Sprintf("n=%d workers=%d", n, runtime.NumCPU()),
+			WallMS:      ms,
+			BytesPerSec: float64(n*8) / wall.Seconds(),
+			Allocs:      allocs,
+		}
+		cfg.Collect.Add(rec)
+		speedup := "-"
+		if k.ref != "" && ms > 0 {
+			speedup = fmt.Sprintf("%.2fx", refWall[k.ref]/ms)
+		}
+		t.add(k.name, fint(int64(n)), fsec(wall), ffloat(rec.BytesPerSec/1e6), fint(int64(allocs)), speedup)
+	}
+
+	// ---- DP micros: arena-backed bottom-up solves ----
+	dn := cfg.size(1 << 10)
+	ddata := dataset.Uniform{Max: 100}.Generate(dn, cfg.seed())
+	dpKernels := []kernel{
+		{"compute/dp-minhaar", "", func() {
+			if _, _, err := dp.MinHaarSpace(ddata, dp.Params{Epsilon: 25, Delta: 2.5}); err != nil {
+				panic(err)
+			}
+		}},
+		{"compute/dp-haarplus", "", func() {
+			if _, _, err := dp.HaarPlus(ddata, dp.Params{Epsilon: 25, Delta: 2.5}); err != nil {
+				panic(err)
+			}
+		}},
+	}
+	for _, k := range dpKernels {
+		wall, allocs := sustained(5, k.fn)
+		rec := Record{
+			Experiment: k.name,
+			Params:     fmt.Sprintf("n=%d eps=25 delta=2.5", dn),
+			WallMS:     float64(wall) / 1e6,
+			Allocs:     allocs,
+		}
+		cfg.Collect.Add(rec)
+		t.add(k.name, fint(int64(dn)), fsec(wall), "-", fint(int64(allocs)), "-")
+	}
+
+	t.write(cfg.Out)
+	return nil
+}
+
+// sustained runs fn once as warm-up, then reps times back to back, and
+// reports the mean wall clock and allocation count per run — the same
+// methodology as testing.B's timing loop. Sustained iteration matters
+// here: a kernel that allocates a large scratch buffer per call pays GC
+// cycles and page re-faults at every call of a real pipeline, a cost a
+// warm-heap single shot systematically hides.
+func sustained(reps int, fn func()) (time.Duration, uint64) {
+	fn()
+	a0, t0 := measureAllocs(), time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	wall, allocs := time.Since(t0), measureAllocs()-a0
+	return wall / time.Duration(reps), allocs / uint64(reps)
+}

@@ -1,0 +1,234 @@
+package mr
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"dwmaxerr/internal/chaos"
+)
+
+// Shared-memory worker coverage: output/metric invariance against the
+// Local engine (and a mixed TCP+local fleet), chaos failpoints on the
+// in-memory path, detach-triggered retries, and clean shutdown.
+
+// startLocalCluster builds a coordinator served entirely by shared-memory
+// workers. Attach is synchronous, so no WaitForWorkers is needed.
+func startLocalCluster(t *testing.T, workers int) *Coordinator {
+	t.Helper()
+	c, err := NewCoordinator("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	for i := 0; i < workers; i++ {
+		name := "shm" + string(rune('0'+i))
+		if _, err := c.AttachLocalWorker(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestLocalWorkersMatchLocal(t *testing.T) {
+	texts := []string{"the quick brown fox", "jumps over the lazy dog", "the end"}
+	c := startLocalCluster(t, 3)
+	clusterRes, err := c.Run("tcp-wordcount", MustGobEncode(texts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	localRes, err := (&Local{}).Run(wordCountJob(texts, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(countsOf(clusterRes), countsOf(localRes)) {
+		t.Fatalf("cluster %v != local %v", countsOf(clusterRes), countsOf(localRes))
+	}
+	if len(clusterRes.Partitions) != len(localRes.Partitions) {
+		t.Fatal("partition count mismatch")
+	}
+	for p := range clusterRes.Partitions {
+		if !reflect.DeepEqual(clusterRes.Partitions[p], localRes.Partitions[p]) {
+			t.Fatalf("partition %d differs", p)
+		}
+	}
+	// ShuffleBytes is computed from pair lengths, so the Eq. 6 metric is
+	// identical no matter which transport moved the pairs.
+	if clusterRes.Metrics.ShuffleBytes != localRes.Metrics.ShuffleBytes {
+		t.Fatalf("shuffle bytes: cluster %d local %d",
+			clusterRes.Metrics.ShuffleBytes, localRes.Metrics.ShuffleBytes)
+	}
+}
+
+func TestMixedFleetMatchesLocal(t *testing.T) {
+	texts := []string{"x y x", "z z y", "w"}
+	c, err := NewCoordinator("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go Serve(c.Addr(), "tcp-w", stop)
+	if err := c.WaitForWorkers(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.AttachLocalWorker("shm" + string(rune('0'+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clusterRes, err := c.Run("tcp-wordcount", MustGobEncode(texts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	localRes, err := (&Local{}).Run(wordCountJob(texts, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(countsOf(clusterRes), countsOf(localRes)) {
+		t.Fatalf("mixed fleet %v != local %v", countsOf(clusterRes), countsOf(localRes))
+	}
+	for p := range clusterRes.Partitions {
+		if !reflect.DeepEqual(clusterRes.Partitions[p], localRes.Partitions[p]) {
+			t.Fatalf("partition %d differs", p)
+		}
+	}
+	if clusterRes.Metrics.ShuffleBytes != localRes.Metrics.ShuffleBytes {
+		t.Fatalf("shuffle bytes: mixed %d local %d",
+			clusterRes.Metrics.ShuffleBytes, localRes.Metrics.ShuffleBytes)
+	}
+}
+
+func TestLocalWorkerCountersMatchLocal(t *testing.T) {
+	c := startLocalCluster(t, 2)
+	params := MustGobEncode(faultJobParams{Texts: []string{"a b a", "c c", "a d e"}})
+	clusterRes, err := c.Run("fault-count", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localRes := localRunOf(t, "fault-count", params)
+	if !reflect.DeepEqual(countsOf(clusterRes), countsOf(localRes)) {
+		t.Fatalf("cluster %v != local %v", countsOf(clusterRes), countsOf(localRes))
+	}
+	if !reflect.DeepEqual(clusterRes.Metrics.UserCounters, localRes.Metrics.UserCounters) {
+		t.Fatalf("user counters: cluster %v != local %v",
+			clusterRes.Metrics.UserCounters, localRes.Metrics.UserCounters)
+	}
+}
+
+func TestLocalWorkerTaskFailureSurfaces(t *testing.T) {
+	c := startLocalCluster(t, 2)
+	_, err := c.Run("tcp-flaky", nil)
+	if err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("err = %v, want worker panic error", err)
+	}
+}
+
+// TestLocalWorkerChaosTaskFail: a Fail at mr.worker.task kills one
+// shared-memory worker; its task is reassigned to the survivor and the
+// job still completes correctly.
+func TestLocalWorkerChaosTaskFail(t *testing.T) {
+	in, err := chaos.New(3, chaosWorkerTask+":drop#1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos.Enable(in)
+	defer chaos.Disable()
+	c := startLocalCluster(t, 2)
+	res, err := c.Run("tcp-wordcount", MustGobEncode([]string{"a a", "b", "c c"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Fired(chaosWorkerTask) == 0 {
+		t.Fatal("chaos rule never fired")
+	}
+	want := map[string]uint64{"a": 2, "b": 1, "c": 2}
+	if got := countsOf(res); !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+// TestLocalWorkerChaosSendFails: Fail actions at the reply handoff
+// (mr.worker.send) and at the coordinator-side task handoff
+// (mr.coord.send) are both survived via reassignment.
+func TestLocalWorkerChaosSendFails(t *testing.T) {
+	for _, point := range []string{chaosWorkerSend, chaosCoordSend} {
+		t.Run(point, func(t *testing.T) {
+			in, err := chaos.New(5, point+":drop#1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			chaos.Enable(in)
+			defer chaos.Disable()
+			c := startLocalCluster(t, 2)
+			res, err := c.Run("tcp-wordcount", MustGobEncode([]string{"p q", "q"}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if in.Fired(point) == 0 {
+				t.Fatal("chaos rule never fired")
+			}
+			want := map[string]uint64{"p": 1, "q": 2}
+			if got := countsOf(res); !reflect.DeepEqual(got, want) {
+				t.Fatalf("got %v want %v", got, want)
+			}
+		})
+	}
+}
+
+// TestLocalWorkerDetach: detaching one worker mid-fleet leaves the
+// survivor to run the whole job; detaching twice is harmless.
+func TestLocalWorkerDetach(t *testing.T) {
+	c, err := NewCoordinator("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	detach, err := c.AttachLocalWorker("doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AttachLocalWorker("survivor"); err != nil {
+		t.Fatal(err)
+	}
+	detach()
+	detach()
+	res, err := c.Run("tcp-wordcount", MustGobEncode([]string{"a a", "b"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]uint64{"a": 2, "b": 1}
+	if got := countsOf(res); !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestAttachLocalWorkerAfterClose(t *testing.T) {
+	c, err := NewCoordinator("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.AttachLocalWorker("late"); err == nil {
+		t.Fatal("attach after close accepted")
+	}
+}
+
+// TestLocalWorkerRepeatedRuns: the same shared-memory fleet serves many
+// jobs back to back (the loop exercises task-channel reuse and the
+// pending-reply reset between runs).
+func TestLocalWorkerRepeatedRuns(t *testing.T) {
+	c := startLocalCluster(t, 2)
+	for i := 0; i < 5; i++ {
+		res, err := c.Run("tcp-wordcount", MustGobEncode([]string{"m n", "n"}))
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		want := map[string]uint64{"m": 1, "n": 2}
+		if got := countsOf(res); !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d: got %v", i, got)
+		}
+	}
+}

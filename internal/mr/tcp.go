@@ -127,10 +127,17 @@ type taskOutcome struct {
 // seed's unsynchronized `dead` write was a data race under -race.
 type workerConn struct {
 	name string
-	conn net.Conn
+	conn net.Conn // nil for shared-memory workers (see localworker.go)
 
 	sendMu sync.Mutex
 	fw     *frameWriter
+
+	// local, when non-nil, marks a shared-memory worker: tasks are handed
+	// over this channel instead of being framed onto a TCP connection, and
+	// localGone is closed when its loop exits so sends never block on a
+	// dead worker.
+	local     chan wireTask
+	localGone chan struct{}
 
 	dead     bool             // guarded by Coordinator.mu
 	busy     bool             // guarded by Coordinator.mu
@@ -139,7 +146,25 @@ type workerConn struct {
 }
 
 // sendTask encodes and writes one task frame (scratch buffer pooled).
+// Shared-memory workers skip the codec entirely: the task struct crosses a
+// channel, honoring the same coordinator-send failpoint the frame writer
+// applies (Fail and Delay; Corrupt/Partial are frame-level actions with no
+// shared-memory analogue).
 func (w *workerConn) sendTask(task *wireTask) error {
+	if w.local != nil {
+		switch act := chaos.Point(chaosCoordSend); act.Kind {
+		case chaos.Fail:
+			return act.Err
+		case chaos.Delay:
+			time.Sleep(act.Sleep)
+		}
+		select {
+		case w.local <- *task:
+			return nil
+		case <-w.localGone:
+			return errors.New("mr: shared-memory worker detached")
+		}
+	}
 	buf := getByteBuf()
 	payload, err := appendWireTask(buf, task)
 	if err == nil {
@@ -210,7 +235,9 @@ func (c *Coordinator) Close() error {
 					time.Sleep(5 * time.Millisecond)
 				}
 			}
-			w.conn.Close()
+			if w.conn != nil {
+				w.conn.Close()
+			}
 		}(w)
 	}
 	wg.Wait()
@@ -343,7 +370,9 @@ func (c *Coordinator) workerFailed(w *workerConn, err error) {
 	c.mu.Unlock()
 	obsWorkersDead.Inc()
 	obsWorkersLive.Add(-1)
-	w.conn.Close()
+	if w.conn != nil {
+		w.conn.Close()
+	}
 	if ch != nil {
 		ch <- taskOutcome{err: err}
 	}
@@ -425,6 +454,14 @@ func (c *Coordinator) monitor() {
 		var stale []*workerConn
 		c.mu.Lock()
 		for _, w := range c.workers {
+			// Shared-memory workers run in this process and have no link
+			// that can silently die, so they send no heartbeats and are
+			// exempt from the liveness clock (their failure modes — panic,
+			// task overrun — are covered by executeWireTask's recover and
+			// the exchange deadline).
+			if w.local != nil {
+				continue
+			}
 			if !w.dead && w.lastBeat.Before(cutoff) {
 				stale = append(stale, w)
 			}

@@ -1,0 +1,118 @@
+package mr
+
+import "encoding/binary"
+
+// Variable-length integer codecs for the shuffle's hot paths. Two
+// families, chosen by where the bytes land:
+//
+//   - Values (never compared): plain LEB128 via AppendUvarint /
+//     AppendVarint — shortest possible, not order-preserving.
+//   - Key components: AppendOrderedUvarint, an SQLite4-style varint
+//     whose encodings compare correctly under bytes.Compare even when
+//     their lengths differ, so sorted shuffles stay correct. Values
+//     <= 240 encode in one byte, so workloads with small key components
+//     also keep the fixed-key-width property the radix fast path needs.
+//
+// Like the fixed-width codecs in codec.go, the Append variants extend a
+// caller scratch buffer; the allocating Encode variants exist for cold
+// paths and tests (dwlint's wireappend check flags them in task hot
+// loops, exactly as it does EncodeUint64).
+
+// AppendUvarint appends the LEB128 encoding of v (1 byte for v < 128,
+// up to 10 bytes). Not order-preserving; use only for values.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// Uvarint decodes AppendUvarint output from the front of b, returning
+// the value and the number of bytes read (n <= 0 means malformed, as
+// with encoding/binary.Uvarint).
+func Uvarint(b []byte) (uint64, int) {
+	return binary.Uvarint(b)
+}
+
+// AppendVarint appends the zigzag LEB128 encoding of v: small-magnitude
+// values of either sign stay short. Not order-preserving; values only.
+func AppendVarint(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+// Varint decodes AppendVarint output from the front of b.
+func Varint(b []byte) (int64, int) {
+	return binary.Varint(b)
+}
+
+// EncodeUvarint is the allocating form of AppendUvarint.
+func EncodeUvarint(v uint64) []byte {
+	return AppendUvarint(nil, v)
+}
+
+// AppendOrderedUvarint appends a memcmp-ordered variable-length
+// encoding of v (the SQLite4 varint): for any a < b the encoding of a
+// compares below the encoding of b under bytes.Compare, regardless of
+// their lengths, so it is safe inside sort keys. Sizes:
+//
+//	v <= 240                  1 byte
+//	v <= 2287                 2 bytes
+//	v <= 67823                3 bytes
+//	otherwise                 1 tag byte + 3..8 big-endian payload bytes
+func AppendOrderedUvarint(dst []byte, v uint64) []byte {
+	switch {
+	case v <= 240:
+		return append(dst, byte(v))
+	case v <= 2287:
+		v -= 240
+		return append(dst, byte(241+v>>8), byte(v))
+	case v <= 67823:
+		v -= 2288
+		return append(dst, 249, byte(v>>8), byte(v))
+	default:
+		k := 3
+		for k < 8 && v>>(8*k) != 0 {
+			k++
+		}
+		dst = append(dst, byte(247+k))
+		for i := k - 1; i >= 0; i-- {
+			dst = append(dst, byte(v>>(8*i)))
+		}
+		return dst
+	}
+}
+
+// EncodeOrderedUvarint is the allocating form of AppendOrderedUvarint.
+func EncodeOrderedUvarint(v uint64) []byte {
+	return AppendOrderedUvarint(nil, v)
+}
+
+// OrderedUvarint decodes AppendOrderedUvarint output from the front of
+// b, returning the value and the number of bytes consumed; n == 0 means
+// b is empty or truncated.
+func OrderedUvarint(b []byte) (v uint64, n int) {
+	if len(b) == 0 {
+		return 0, 0
+	}
+	b0 := b[0]
+	switch {
+	case b0 <= 240:
+		return uint64(b0), 1
+	case b0 <= 248:
+		if len(b) < 2 {
+			return 0, 0
+		}
+		return 240 + uint64(b0-241)<<8 + uint64(b[1]), 2
+	case b0 == 249:
+		if len(b) < 3 {
+			return 0, 0
+		}
+		return 2288 + uint64(b[1])<<8 + uint64(b[2]), 3
+	default:
+		k := int(b0) - 247 // payload length 3..8
+		if len(b) < 1+k {
+			return 0, 0
+		}
+		for i := 1; i <= k; i++ {
+			v = v<<8 | uint64(b[i])
+		}
+		return v, 1 + k
+	}
+}

@@ -1,0 +1,127 @@
+package mr
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// varintBoundaries are the edges of every encoding-size class of the
+// ordered varint, ±1.
+var varintBoundaries = []uint64{
+	0, 1, 127, 128, 239, 240, 241, 2286, 2287, 2288, 2289,
+	67822, 67823, 67824, 1 << 24, 1<<24 - 1, 1<<24 + 1,
+	1<<32 - 1, 1 << 32, 1<<40 - 1, 1 << 40, 1<<48 - 1, 1 << 48,
+	1<<56 - 1, 1 << 56, math.MaxUint64 - 1, math.MaxUint64,
+}
+
+func TestOrderedUvarintRoundTrip(t *testing.T) {
+	for _, v := range varintBoundaries {
+		enc := AppendOrderedUvarint(nil, v)
+		got, n := OrderedUvarint(enc)
+		if n != len(enc) || got != v {
+			t.Fatalf("round trip of %d: encoded %d bytes, decoded (%d, %d)", v, len(enc), got, n)
+		}
+		if len(enc) > 9 {
+			t.Fatalf("encoding of %d is %d bytes, want <= 9", v, len(enc))
+		}
+		if v <= 240 && len(enc) != 1 {
+			t.Fatalf("small value %d took %d bytes", v, len(enc))
+		}
+		// Decoding with a suffix must consume exactly the encoding.
+		if got, n := OrderedUvarint(append(enc, 0xAB)); n != len(enc) || got != v {
+			t.Fatalf("decode with trailing byte diverged for %d", v)
+		}
+		// Truncations must be rejected.
+		for cut := 0; cut < len(enc); cut++ {
+			if _, n := OrderedUvarint(enc[:cut]); n != 0 {
+				t.Fatalf("truncated encoding of %d at %d decoded with n=%d", v, cut, n)
+			}
+		}
+	}
+}
+
+// TestOrderedUvarintOrderProperty pins the reason the codec may appear
+// inside sort keys: bytes.Compare of encodings equals numeric order,
+// even across different encoded lengths.
+func TestOrderedUvarintOrderProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		ea := AppendOrderedUvarint(nil, a)
+		eb := AppendOrderedUvarint(nil, b)
+		cmp := bytes.Compare(ea, eb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// quick's uniform uint64s rarely cross size classes; check the
+	// boundary grid exhaustively.
+	for _, a := range varintBoundaries {
+		for _, b := range varintBoundaries {
+			if !f(a, b) {
+				t.Fatalf("order violated for (%d, %d)", a, b)
+			}
+		}
+	}
+}
+
+func TestUvarintRoundTripProperty(t *testing.T) {
+	f := func(u uint64, s int64) bool {
+		eu := AppendUvarint(nil, u)
+		gu, n := Uvarint(eu)
+		if n != len(eu) || gu != u {
+			return false
+		}
+		es := AppendVarint(nil, s)
+		gs, m := Varint(es)
+		return m == len(es) && gs == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeVarintVariantsMatchAppend(t *testing.T) {
+	for _, v := range varintBoundaries {
+		if !bytes.Equal(EncodeUvarint(v), AppendUvarint(nil, v)) {
+			t.Fatalf("EncodeUvarint(%d) != AppendUvarint", v)
+		}
+		if !bytes.Equal(EncodeOrderedUvarint(v), AppendOrderedUvarint(nil, v)) {
+			t.Fatalf("EncodeOrderedUvarint(%d) != AppendOrderedUvarint", v)
+		}
+	}
+}
+
+// FuzzOrderedUvarint feeds arbitrary bytes to the decoder (must never
+// panic; anything accepted must re-encode to a decodable form with the
+// same value) and arbitrary values to the encoder (must round-trip).
+func FuzzOrderedUvarint(f *testing.F) {
+	for _, v := range varintBoundaries {
+		f.Add(AppendOrderedUvarint(nil, v))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{250})
+	f.Add([]byte{255, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, n := OrderedUvarint(data)
+		if n <= 0 {
+			return
+		}
+		if n > len(data) || n > 9 {
+			t.Fatalf("decoder claims %d bytes of %d", n, len(data))
+		}
+		re := AppendOrderedUvarint(nil, v)
+		v2, m := OrderedUvarint(re)
+		if m != len(re) || v2 != v {
+			t.Fatalf("re-encode of %d diverged: (%d, %d)", v, v2, m)
+		}
+	})
+}

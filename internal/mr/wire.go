@@ -29,7 +29,15 @@ import (
 // rejects mismatched versions cleanly — a reject frame, then close — so
 // a stale worker binary can never exchange misdecoded shuffle data.
 //
-// Integrity (wire version 3): every frame carries a CRC32-C (Castagnoli)
+// Version history: v3 added the CRC32-C frame trailer; v4 switched the
+// record-level codecs of the dist pipelines (M-rows, histogram keys,
+// index/value payloads) to delta + varint encodings. Frame layout is
+// unchanged in v4, but records shuffled by a v3 binary would misdecode
+// under v4 rules, so the preamble version gate — reject frame, then
+// close — is what keeps mixed-version clusters from exchanging
+// misdecoded data.
+//
+// Integrity (since wire version 3): every frame carries a CRC32-C (Castagnoli)
 // trailer over header + payload, and payloads are bounded by
 // maxWireFrameSize. A checksum mismatch or an oversized length kills the
 // connection — counted in mr_wire_corrupt_frames — instead of handing
@@ -41,7 +49,7 @@ import (
 // decoded Pair aliases the frame buffer (zero copies on the read side).
 
 const (
-	wireVersion = 3
+	wireVersion = 4
 	// maxWireFrameSize bounds one frame's payload (256 MiB — orders of
 	// magnitude above the O(N·|M|/2^h) rows the paper's algorithms
 	// shuffle). A corrupt length prefix must not drive a huge

@@ -202,6 +202,19 @@ func FuzzDecodeWireTask(f *testing.F) {
 	f.Add(seed)
 	shutdown, _ := appendWireTask(nil, &wireTask{Kind: "shutdown"})
 	f.Add(shutdown)
+	// Wire v4 record shapes: pairs whose keys/values are varint-encoded
+	// (ordered varints in keys, LEB128 in values), as the dist pipelines
+	// emit them.
+	varintTask := wireTask{
+		Kind: "reduce", JobName: "varint", TaskID: 9, Attempt: 1, Reducers: 2,
+		Bucket: []Pair{
+			{Key: AppendFloat64(AppendOrderedUvarint(nil, 7), -3.25), Value: AppendUvarint(nil, 300)},
+			{Key: AppendOrderedUvarint(nil, 67824), Value: AppendVarint(nil, -40)},
+		},
+	}
+	if varintSeed, err := appendWireTask(nil, &varintTask); err == nil {
+		f.Add(varintSeed)
+	}
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
 	// Bit-flipped variants of the valid seed: single-bit corruption the
@@ -238,6 +251,10 @@ func FuzzDecodeWireReply(f *testing.F) {
 	seed := appendWireReply(nil, &reply)
 	f.Add(seed)
 	f.Add(appendWireReply(nil, &wireReply{TaskID: 1, Attempt: 1, Err: "boom"}))
+	f.Add(appendWireReply(nil, &wireReply{TaskID: 2, Attempt: 1, Parts: [][]Pair{
+		{{Key: AppendOrderedUvarint(nil, 2288), Value: AppendUvarint(nil, 1)}},
+		{{Key: AppendOrderedUvarint(AppendOrderedUvarint(nil, 240), 241), Value: AppendVarint(nil, -1)}},
+	}}))
 	f.Add([]byte{})
 	f.Add([]byte{0x80})
 	for _, bit := range []int{0, 7, 13, len(seed)*4 + 1, len(seed)*8 - 1} {

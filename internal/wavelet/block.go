@@ -1,0 +1,253 @@
+package wavelet
+
+import (
+	"runtime"
+	"sync"
+)
+
+func maxWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Cache-blocked Haar transform kernels.
+//
+// The reference transform streams the whole vector once per resolution
+// level: at n = 2^24 that is ~6n sequential element accesses plus a
+// fresh n/2 scratch allocation, all DRAM-bound. The blocked form
+// exploits the error-tree recurrence the distributed pipeline already
+// relies on (LocalTransform + GlobalIndex): a block of blockLen
+// consecutive values is exactly the sub-tree rooted at global node
+// n/blockLen + blockIdx, its local level-l details are the contiguous
+// global range starting at (n/blockLen+blockIdx)<<l, and its average
+// feeds a recursive transform over the n/blockLen block averages that
+// yields global nodes 0..n/blockLen-1.
+//
+// Each block therefore runs to completion inside a fixed-size stack
+// scratch (L1-resident, constant loop bounds, no bounds checks in the
+// butterfly), touching every input and output element exactly once.
+// Because the per-output dataflow — the sequence of (a+b)/2, (a-b)/2
+// operations feeding each coefficient — is identical to the reference
+// implementation's, results are bitwise identical, NaN and ±0 cases
+// included; TestBlockedTransformBitwiseIdentical pins that.
+
+const (
+	// blockLen is the bottom-level tile size: 2 KiB of input per block,
+	// small enough that block scratch lives in L1 across all levels.
+	blockLen = 256
+	blockLog = 8 // log2(blockLen)
+)
+
+// floatBufPool recycles the per-call block-average buffers (n/blockLen
+// elements, so 1/256th of the input) that the recursive top pass needs.
+var floatBufPool sync.Pool
+
+func getFloatBuf(n int) *[]float64 {
+	if p, _ := floatBufPool.Get().(*[]float64); p != nil && cap(*p) >= n {
+		*p = (*p)[:n]
+		return p
+	}
+	b := make([]float64, n)
+	return &b
+}
+
+func putFloatBuf(p *[]float64) { floatBufPool.Put(p) }
+
+// transformSmall is the whole-tree butterfly for n <= blockLen, run in
+// stack scratch. Loop structure mirrors ReferenceTransformInto exactly.
+func transformSmall(w, data []float64) {
+	n := len(data)
+	var buf [blockLen / 2]float64
+	avg := buf[:n/2]
+	for i := 0; i < n/2; i++ {
+		a, b := data[2*i], data[2*i+1]
+		avg[i] = (a + b) / 2
+		w[n/2+i] = (a - b) / 2
+	}
+	for m := n / 2; m > 1; m /= 2 {
+		for i := 0; i < m/2; i++ {
+			a, b := avg[2*i], avg[2*i+1]
+			avg[i] = (a + b) / 2
+			w[m/2+i] = (a - b) / 2
+		}
+	}
+	w[0] = avg[0]
+}
+
+// transformBlock transforms one blockLen-sized tile rooted at global
+// error-tree node root, scattering each local level's details to its
+// contiguous global range (level l of root lands at w[root<<l:]), and
+// returns the block average for the caller's top pass. For consecutive
+// blocks the per-level destinations are adjacent, so every one of the
+// blockLog write streams is sequential across the whole input.
+func transformBlock(w, data []float64, root int) float64 {
+	data = data[:blockLen]
+	var s [blockLen / 2]float64
+	out := w[root<<(blockLog-1) : root<<(blockLog-1)+blockLen/2]
+	for i := 0; i < blockLen/2; i++ {
+		a, b := data[2*i], data[2*i+1]
+		s[i] = (a + b) / 2
+		out[i] = (a - b) / 2
+	}
+	lvl := blockLog - 1
+	for m := blockLen / 2; m > 1; m /= 2 {
+		lvl--
+		out := w[root<<lvl : root<<lvl+m/2]
+		for i := 0; i < m/2; i++ {
+			a, b := s[2*i], s[2*i+1]
+			s[i] = (a + b) / 2
+			out[i] = (a - b) / 2
+		}
+	}
+	return s[0]
+}
+
+// inverseSmall is the whole-tree reconstruction for n <= blockLen in
+// stack scratch. Loop structure mirrors ReferenceInverseInto exactly.
+func inverseSmall(data, w []float64) {
+	n := len(w)
+	var buf [blockLen]float64
+	vals := buf[:n]
+	vals[0] = w[0]
+	for m := 1; m < n; m *= 2 {
+		for i := m - 1; i >= 0; i-- {
+			v, d := vals[i], w[m+i]
+			vals[2*i] = v + d
+			vals[2*i+1] = v - d
+		}
+	}
+	copy(data, vals)
+}
+
+// inverseBlock reconstructs one blockLen-sized tile from the block
+// average avg (produced by the recursive top pass) and the global
+// detail ranges of the sub-tree rooted at root.
+func inverseBlock(data, w []float64, root int, avg float64) {
+	var s [blockLen]float64
+	s[0] = avg
+	lvl := 0
+	for m := 1; m < blockLen; m *= 2 {
+		det := w[root<<lvl : root<<lvl+m]
+		for i := m - 1; i >= 0; i-- {
+			v, d := s[i], det[i]
+			s[2*i] = v + d
+			s[2*i+1] = v - d
+		}
+		lvl++
+	}
+	copy(data, s[:])
+}
+
+// ReferenceTransformInto is the original single-stream transform, kept
+// as the ground truth the blocked kernels are property-tested against
+// and as the pre-optimization baseline the compute benchmark measures
+// in the same run. Semantics are identical to TransformInto.
+func ReferenceTransformInto(w, data []float64) {
+	n := len(data)
+	if len(w) != n {
+		panic("wavelet: TransformInto length mismatch")
+	}
+	if n == 1 {
+		w[0] = data[0]
+		return
+	}
+	// averages holds the current resolution level's averages; reusing w's
+	// second half as scratch is unsafe because details land there, so use
+	// a dedicated buffer.
+	avg := make([]float64, n/2)
+	// Bottom level: details go to w[n/2 : n].
+	for i := 0; i < n/2; i++ {
+		a, b := data[2*i], data[2*i+1]
+		avg[i] = (a + b) / 2
+		w[n/2+i] = (a - b) / 2
+	}
+	for m := n / 2; m > 1; m /= 2 {
+		for i := 0; i < m/2; i++ {
+			a, b := avg[2*i], avg[2*i+1]
+			avg[i] = (a + b) / 2
+			w[m/2+i] = (a - b) / 2
+		}
+	}
+	w[0] = avg[0]
+}
+
+// ReferenceInverseInto is the original single-stream reconstruction,
+// the ground truth counterpart of ReferenceTransformInto.
+func ReferenceInverseInto(data, w []float64) {
+	n := len(w)
+	if len(data) != n {
+		panic("wavelet: InverseInto length mismatch")
+	}
+	if n == 1 {
+		data[0] = w[0]
+		return
+	}
+	// vals holds reconstructed averages of the current level.
+	vals := make([]float64, n)
+	vals[0] = w[0]
+	for m := 1; m < n; m *= 2 {
+		// Nodes m..2m-1 hold the details refining level with m averages
+		// into 2m averages.
+		for i := m - 1; i >= 0; i-- {
+			v, d := vals[i], w[m+i]
+			vals[2*i] = v + d
+			vals[2*i+1] = v - d
+		}
+	}
+	copy(data, vals)
+}
+
+// ParallelTransform computes the Haar decomposition of data with the
+// bottom-level blocks fanned across a worker pool, returning a freshly
+// allocated coefficient vector. workers <= 0 uses one goroutine per
+// available CPU (capped by the block count).
+func ParallelTransform(data []float64, workers int) ([]float64, error) {
+	n := len(data)
+	if !IsPowerOfTwo(n) {
+		return nil, ErrNotPowerOfTwo
+	}
+	w := make([]float64, n)
+	ParallelTransformInto(w, data, workers)
+	return w, nil
+}
+
+// ParallelTransformInto is TransformInto with the per-block butterflies
+// executed concurrently. Blocks write disjoint detail ranges and
+// disjoint block-average slots, so the fan-out needs no locking; the
+// small top pass over block averages runs on the calling goroutine.
+// Results are bitwise identical to TransformInto (each coefficient's
+// dataflow is unchanged — only the block schedule differs).
+func ParallelTransformInto(w, data []float64, workers int) {
+	n := len(data)
+	if len(w) != n {
+		panic("wavelet: TransformInto length mismatch")
+	}
+	nb := n >> blockLog
+	if workers <= 0 {
+		workers = maxWorkers()
+	}
+	if !IsPowerOfTwo(n) || nb < 2 || workers < 2 {
+		TransformInto(w, data)
+		return
+	}
+	if workers > nb {
+		workers = nb
+	}
+	avgsp := getFloatBuf(nb)
+	avgs := *avgsp
+	var wg sync.WaitGroup
+	per := (nb + workers - 1) / workers
+	for lo := 0; lo < nb; lo += per {
+		hi := lo + per
+		if hi > nb {
+			hi = nb
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for bi := lo; bi < hi; bi++ {
+				avgs[bi] = transformBlock(w, data[bi<<blockLog:(bi+1)<<blockLog], nb+bi)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	TransformInto(w[:nb], avgs)
+	putFloatBuf(avgsp)
+}

@@ -1,0 +1,223 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+	"testing/quick"
+)
+
+// hardFloats injects the cases where "bitwise identical" is stronger
+// than "numerically equal": NaN, ±0, ±Inf, denormals, and values whose
+// pairwise sums round.
+func hardFloats(rng *rand.Rand, n int) []float64 {
+	specials := []float64{
+		math.NaN(), math.Inf(1), math.Inf(-1),
+		0, math.Copysign(0, -1),
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		math.MaxFloat64, -math.MaxFloat64,
+		1, -1, 0.1, -0.1, 1e-300, -1e300, math.Pi,
+	}
+	data := make([]float64, n)
+	for i := range data {
+		if rng.Intn(4) == 0 {
+			data[i] = specials[rng.Intn(len(specials))]
+		} else {
+			data[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(20)-10))
+		}
+	}
+	return data
+}
+
+// bitsEqual compares float slices bit-for-bit (NaN == NaN, +0 != -0).
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBlockedTransformBitwiseIdentical pins the blocked, parallel, and
+// reference transforms (and the inverses) to bitwise-identical outputs
+// across sizes spanning the small path, the single-level blocked path,
+// and the doubly-recursive path.
+func TestBlockedTransformBitwiseIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 4, 8, 64, 128, 256, 512, 1024, 4096, 1 << 17} {
+		for trial := 0; trial < 4; trial++ {
+			data := hardFloats(rng, n)
+			want := make([]float64, n)
+			ReferenceTransformInto(want, data)
+
+			got := make([]float64, n)
+			TransformInto(got, data)
+			if !bitsEqual(got, want) {
+				t.Fatalf("n=%d trial=%d: blocked TransformInto differs from reference", n, trial)
+			}
+
+			par := make([]float64, n)
+			ParallelTransformInto(par, data, 4)
+			if !bitsEqual(par, want) {
+				t.Fatalf("n=%d trial=%d: ParallelTransformInto differs from reference", n, trial)
+			}
+
+			wantBack := make([]float64, n)
+			ReferenceInverseInto(wantBack, want)
+			gotBack := make([]float64, n)
+			InverseInto(gotBack, want)
+			if !bitsEqual(gotBack, wantBack) {
+				t.Fatalf("n=%d trial=%d: blocked InverseInto differs from reference", n, trial)
+			}
+		}
+	}
+}
+
+// TestBlockedTransformQuickProperty is the quick.Check form: arbitrary
+// seeds and sizes, blocked == reference bit-for-bit both directions.
+func TestBlockedTransformQuickProperty(t *testing.T) {
+	f := func(seed int64, logn uint8, workers uint8) bool {
+		n := 1 << (logn % 13) // up to 4096, crossing the block boundary
+		rng := rand.New(rand.NewSource(seed))
+		data := hardFloats(rng, n)
+		want := make([]float64, n)
+		got := make([]float64, n)
+		ReferenceTransformInto(want, data)
+		TransformInto(got, data)
+		if !bitsEqual(got, want) {
+			return false
+		}
+		par := make([]float64, n)
+		ParallelTransformInto(par, data, int(workers%8))
+		if !bitsEqual(par, want) {
+			return false
+		}
+		back, backRef := make([]float64, n), make([]float64, n)
+		ReferenceInverseInto(backRef, want)
+		InverseInto(back, want)
+		return bitsEqual(back, backRef)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelTransformMatches covers the allocating wrapper and the
+// worker-count edge cases.
+func TestParallelTransformMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 1 << 12
+	data := hardFloats(rng, n)
+	want, err := Transform(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{-1, 0, 1, 2, 3, 16, 1 << 20} {
+		got, err := ParallelTransform(data, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !bitsEqual(got, want) {
+			t.Fatalf("workers=%d: ParallelTransform differs from Transform", workers)
+		}
+	}
+	if _, err := ParallelTransform(make([]float64, 3), 2); err == nil {
+		t.Fatal("want error for non-power-of-two length")
+	}
+}
+
+// TestLocalTransformIntoMatches checks the scratch-aware path against
+// LocalTransform and its error cases.
+func TestLocalTransformIntoMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	chunk := hardFloats(rng, 512)
+	wantDetails, wantAvg, err := LocalTransform(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]float64, len(chunk))
+	avg, err := LocalTransformInto(w, chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(avg) != math.Float64bits(wantAvg) || !bitsEqual(w, wantDetails) {
+		t.Fatal("LocalTransformInto differs from LocalTransform")
+	}
+	if _, err := LocalTransformInto(make([]float64, 4), make([]float64, 8)); err == nil {
+		t.Fatal("want error for buffer length mismatch")
+	}
+	if _, err := LocalTransformInto(make([]float64, 3), make([]float64, 3)); err == nil {
+		t.Fatal("want error for non-power-of-two chunk")
+	}
+}
+
+// TestTransformIntoAllocFree is the allocation regression gate for the
+// satellite fixes: the small path must not allocate at all, the blocked
+// path at most touches the buffer pool (steady state: zero), and
+// LocalTransformInto with a caller buffer stays allocation-free.
+func TestTransformIntoAllocFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc counting is flaky under -short race runs")
+	}
+	data := make([]float64, 1<<14)
+	for i := range data {
+		data[i] = float64(i%97) * 1.5
+	}
+	w := make([]float64, len(data))
+
+	// Warm the pool so steady-state counts are measured.
+	TransformInto(w, data)
+	InverseInto(w, data)
+
+	if n := testing.AllocsPerRun(20, func() { transformSmall(w[:blockLen], data[:blockLen]) }); n != 0 {
+		t.Errorf("transformSmall allocates %v times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(20, func() { TransformInto(w, data) }); n != 0 {
+		t.Errorf("TransformInto allocates %v times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(20, func() { InverseInto(w, data) }); n != 0 {
+		t.Errorf("InverseInto allocates %v times per run, want 0", n)
+	}
+	chunk := data[:1024]
+	scratch := make([]float64, len(chunk))
+	if n := testing.AllocsPerRun(20, func() {
+		if _, err := LocalTransformInto(scratch, chunk); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("LocalTransformInto allocates %v times per run, want 0", n)
+	}
+}
+
+func BenchmarkBlockedTransform(b *testing.B) {
+	n := 1 << 20
+	data := make([]float64, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range data {
+		data[i] = rng.Float64()
+	}
+	w := make([]float64, n)
+	b.Run("reference", func(b *testing.B) {
+		b.SetBytes(int64(8 * n))
+		for i := 0; i < b.N; i++ {
+			ReferenceTransformInto(w, data)
+		}
+	})
+	b.Run("blocked", func(b *testing.B) {
+		b.SetBytes(int64(8 * n))
+		for i := 0; i < b.N; i++ {
+			TransformInto(w, data)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.SetBytes(int64(8 * n))
+		for i := 0; i < b.N; i++ {
+			ParallelTransformInto(w, data, runtime.GOMAXPROCS(0))
+		}
+	})
+}

@@ -62,6 +62,11 @@ func Transform(data []float64) ([]float64, error) {
 // TransformInto computes the Haar decomposition of data into w. Both slices
 // must have the same power-of-two length. data is not modified unless the
 // two slices alias, which is not allowed.
+//
+// The implementation is cache-blocked (see block.go): bottom-level tiles
+// run to completion in L1-resident stack scratch and a recursive top
+// pass handles the block averages, producing results bitwise identical
+// to ReferenceTransformInto without its per-call n/2 scratch allocation.
 func TransformInto(w, data []float64) {
 	n := len(data)
 	if len(w) != n {
@@ -71,24 +76,23 @@ func TransformInto(w, data []float64) {
 		w[0] = data[0]
 		return
 	}
-	// averages holds the current resolution level's averages; reuse w's
-	// second half as scratch is unsafe because details land there, so use
-	// a dedicated buffer.
-	avg := make([]float64, n/2)
-	// Bottom level: details go to w[n/2 : n].
-	for i := 0; i < n/2; i++ {
-		a, b := data[2*i], data[2*i+1]
-		avg[i] = (a + b) / 2
-		w[n/2+i] = (a - b) / 2
+	if n <= blockLen {
+		transformSmall(w, data)
+		return
 	}
-	for m := n / 2; m > 1; m /= 2 {
-		for i := 0; i < m/2; i++ {
-			a, b := avg[2*i], avg[2*i+1]
-			avg[i] = (a + b) / 2
-			w[m/2+i] = (a - b) / 2
-		}
+	if !IsPowerOfTwo(n) {
+		// Out of contract; preserve the legacy loop's behavior.
+		ReferenceTransformInto(w, data)
+		return
 	}
-	w[0] = avg[0]
+	nb := n >> blockLog
+	avgsp := getFloatBuf(nb)
+	avgs := *avgsp
+	for bi := 0; bi < nb; bi++ {
+		avgs[bi] = transformBlock(w, data[bi<<blockLog:(bi+1)<<blockLog], nb+bi)
+	}
+	TransformInto(w[:nb], avgs)
+	putFloatBuf(avgsp)
 }
 
 // Inverse reconstructs the original data vector from a coefficient vector in
@@ -105,6 +109,11 @@ func Inverse(w []float64) ([]float64, error) {
 
 // InverseInto reconstructs data from coefficients w (error-tree layout).
 // Both slices must have the same power-of-two length and must not alias.
+//
+// Like TransformInto, the implementation is cache-blocked: a recursive
+// top pass reconstructs the block averages from w[:n/blockLen], then
+// each tile is rebuilt in stack scratch from its contiguous per-level
+// detail ranges. Bitwise identical to ReferenceInverseInto.
 func InverseInto(data, w []float64) {
 	n := len(w)
 	if len(data) != n {
@@ -114,19 +123,23 @@ func InverseInto(data, w []float64) {
 		data[0] = w[0]
 		return
 	}
-	// vals holds reconstructed averages of the current level.
-	vals := make([]float64, n)
-	vals[0] = w[0]
-	for m := 1; m < n; m *= 2 {
-		// Nodes m..2m-1 hold the details refining level with m averages
-		// into 2m averages.
-		for i := m - 1; i >= 0; i-- {
-			v, d := vals[i], w[m+i]
-			vals[2*i] = v + d
-			vals[2*i+1] = v - d
-		}
+	if n <= blockLen {
+		inverseSmall(data, w)
+		return
 	}
-	copy(data, vals)
+	if !IsPowerOfTwo(n) {
+		// Out of contract; preserve the legacy loop's behavior.
+		ReferenceInverseInto(data, w)
+		return
+	}
+	nb := n >> blockLog
+	avgsp := getFloatBuf(nb)
+	avgs := *avgsp
+	InverseInto(avgs, w[:nb])
+	for bi := 0; bi < nb; bi++ {
+		inverseBlock(data[bi<<blockLog:(bi+1)<<blockLog], w, nb+bi, avgs[bi])
+	}
+	putFloatBuf(avgsp)
 }
 
 // Level returns the resolution level of coefficient index i in a tree over n
@@ -163,15 +176,31 @@ func SignificanceOrderValue(i int, c float64) float64 {
 // chunk average, which the caller forwards upward to build the coefficients
 // above the chunk.
 func LocalTransform(chunk []float64) (details []float64, avg float64, err error) {
+	w := make([]float64, len(chunk))
+	avg, err = LocalTransformInto(w, chunk)
+	if err != nil {
+		return nil, 0, err
+	}
+	return w, avg, nil
+}
+
+// LocalTransformInto is LocalTransform with a caller-supplied details
+// buffer (len(w) == len(chunk)), the scratch-aware path for mappers that
+// process chunks in a loop: with the blocked TransformInto it performs
+// no heap allocation at all. On return w holds the chunk's detail
+// coefficients in local error-tree layout with w[0] zeroed.
+func LocalTransformInto(w, chunk []float64) (avg float64, err error) {
 	n := len(chunk)
 	if !IsPowerOfTwo(n) {
-		return nil, 0, ErrNotPowerOfTwo
+		return 0, ErrNotPowerOfTwo
 	}
-	w := make([]float64, n)
+	if len(w) != n {
+		return 0, fmt.Errorf("wavelet: LocalTransformInto buffer length %d != chunk length %d", len(w), n)
+	}
 	TransformInto(w, chunk)
 	avg = w[0]
 	w[0] = 0 // local index 0 is unused; the average is returned separately
-	return w, avg, nil
+	return avg, nil
 }
 
 // GlobalIndex maps a local error-tree index within an aligned chunk to the

@@ -20,6 +20,8 @@ func badMap(ctx mr.TaskContext, split mr.Split, emit mr.Emit) error {
 	for i := uint64(0); i < 4; i++ {
 		payload := mr.MustGobEncode(rec{K: i, V: i}) // want "per-record MustGobEncode in a task hot loop"
 		k := mr.EncodeUint64(i)                      // want "allocates per record"
+		_ = mr.EncodeUvarint(i)                      // want "allocates per record"
+		_ = mr.EncodeOrderedUvarint(i)               // want "allocates per record"
 		var buf bytes.Buffer
 		if err := gob.NewEncoder(&buf).Encode(rec{K: i}); err != nil { // want "per-record NewEncoder in a task hot loop"
 			return err
@@ -43,10 +45,11 @@ func suppressed(ctx mr.TaskContext, split mr.Split, emit mr.Emit) error {
 }
 
 func goodMap(ctx mr.TaskContext, split mr.Split, emit mr.Emit) error {
-	var kbuf []byte
+	var kbuf, vbuf []byte
 	for i := uint64(0); i < 4; i++ {
-		kbuf = mr.AppendUint64(kbuf[:0], i)
-		if err := emit(kbuf, nil); err != nil {
+		kbuf = mr.AppendOrderedUvarint(kbuf[:0], i)
+		vbuf = mr.AppendUvarint(vbuf[:0], i)
+		if err := emit(kbuf, vbuf); err != nil {
 			return err
 		}
 	}

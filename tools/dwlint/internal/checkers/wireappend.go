@@ -33,7 +33,7 @@ var gobFuncs = []struct{ pkg, name string }{
 
 // allocEncodeFuncs allocate an 8-byte slice per call; in a hot loop the
 // Append* form with a reused buffer is free.
-var allocEncodeFuncs = []string{"EncodeUint64", "EncodeInt64", "EncodeFloat64"}
+var allocEncodeFuncs = []string{"EncodeUint64", "EncodeInt64", "EncodeFloat64", "EncodeUvarint", "EncodeOrderedUvarint"}
 
 func runWireappend(pass *anz.Pass) error {
 	for _, file := range pass.Files {
