@@ -24,6 +24,25 @@
 // -ingest-checkpoint persists completed blocks; a restarted server
 // resumes from them and /info reports "durable", the stream position the
 // producer must replay from.
+//
+// The sharded serve tier runs the same binary in two more modes. A node
+// answers shard queries over the peer transport for the shards a
+// consistent-hash ring assigns it:
+//
+//	dwserve -node alpha -nodes alpha,beta -store /var/lib/dw/shards \
+//	        -shard-listen 127.0.0.1:9001
+//
+// and a router fronts the cluster with the ordinary HTTP query API,
+// failing over between replicas:
+//
+//	dwserve -route -peers alpha=127.0.0.1:9001,beta=127.0.0.1:9002 \
+//	        -dataset nyct -b 256 -metric dgreedyabs -listen :8080
+//
+//	curl 'localhost:8080/point?i=7&dataset=nyct'
+//
+// Every node and the router must agree on the member NAMES (and
+// -replicas / -vnodes): shard placement is a pure function of that
+// list, so there is no placement coordination to run or get wrong.
 package main
 
 import (
@@ -31,12 +50,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"dwmaxerr/internal/chaos"
 	"dwmaxerr/internal/dist"
 	"dwmaxerr/internal/ingest"
 	"dwmaxerr/internal/obs"
@@ -59,9 +81,43 @@ func main() {
 		ingBudget = flag.Int("ingest-budget", 0, "coefficients retained in the streaming synopsis (0 = window/16, min 1)")
 		ingCkDir  = flag.String("ingest-checkpoint", "", "directory for block checkpoints; a restarted server resumes from it")
 		ingName   = flag.String("ingest-name", "stream", "stream name inside the checkpoint keyspace")
+
+		nodeName    = flag.String("node", "", "cluster mode: run as the named shard node")
+		nodeList    = flag.String("nodes", "", "cluster membership, comma-separated names (node mode)")
+		shardListen = flag.String("shard-listen", "127.0.0.1:0", "shard-query listener address (node mode)")
+		storeDir    = flag.String("store", "", "shard store directory (node mode)")
+		cacheShards = flag.Int("cache-shards", 0, "warm-cache capacity in shards (node mode; 0 = 64)")
+		route       = flag.Bool("route", false, "cluster mode: run as the query router")
+		peersFlag   = flag.String("peers", "", "router peers, comma-separated name=addr pairs")
+		replicas    = flag.Int("replicas", 2, "ownership factor R (node and router mode)")
+		vnodes      = flag.Int("vnodes", 0, "ring points per member (0 = default; must match cluster-wide)")
+		dataset     = flag.String("dataset", "", "router: default dataset for requests that omit ?dataset=")
+		budget      = flag.Int("b", 0, "router: default synopsis budget for requests that omit ?b=")
+		metric      = flag.String("metric", "", "router: default metric for requests that omit ?metric=")
+		retryBase   = flag.Duration("retry-base", 0, "router: peer redial backoff base (0 = 50ms)")
+		retryCap    = flag.Duration("retry-cap", 0, "router: peer redial backoff cap (0 = 5s)")
+		heartbeat   = flag.Duration("heartbeat", 0, "router: peer heartbeat interval (0 = off)")
+		seed        = flag.Int64("seed", 1, "router: backoff jitter seed")
+		tracePath   = flag.String("trace", "", "router: write routing spans as Chrome trace-event JSON on shutdown")
+		chaosFl     = flag.String("chaos", "", "arm the fault injector: 'seed,point:fault[=dur][@prob][#nth][xmax];...'")
 	)
 	flag.Parse()
+	if err := chaos.EnableSpec(*chaosFl); err != nil {
+		fatal(err)
+	}
 	lim := serve.Limits{MaxInFlight: *maxInF, QueryTimeout: *qTO}
+	if *nodeName != "" && *route {
+		fatal(fmt.Errorf("-node and -route are mutually exclusive"))
+	}
+	if *nodeName != "" {
+		runNode(*nodeName, *nodeList, *storeDir, *shardListen, *listen, *replicas, *vnodes, *cacheShards, *maxInF)
+		return
+	}
+	if *route {
+		runRouter(*peersFlag, *listen, *replicas, *vnodes, *dataset, *budget, *metric,
+			*retryBase, *retryCap, *heartbeat, *seed, *tracePath)
+		return
+	}
 
 	var srv *serve.Server
 	var syn *synopsis.Synopsis
@@ -132,6 +188,124 @@ func main() {
 	if err := <-done; err != nil {
 		fatal(err)
 	}
+}
+
+// runNode serves shard queries over the peer transport and exposes
+// per-node metrics over a plain HTTP listener.
+func runNode(name, nodeList, storeDir, shardListen, metricsListen string, replicas, vnodes, cacheShards, maxInFlight int) {
+	if storeDir == "" {
+		fatal(fmt.Errorf("-store is required in node mode"))
+	}
+	members := splitList(nodeList)
+	if len(members) == 0 {
+		fatal(fmt.Errorf("-nodes is required in node mode"))
+	}
+	node, err := serve.NewNode(serve.NodeConfig{
+		Name: name, Nodes: members, Replicas: replicas, Vnodes: vnodes,
+		Store: serve.DirStore{Dir: storeDir}, CacheShards: cacheShards, MaxInFlight: maxInFlight,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	warmed, err := node.Warm()
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", shardListen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dwserve: node %s of %v (replicas %d), %d shards warm, shard listener on %s\n",
+		name, members, replicas, warmed, ln.Addr())
+	mux := http.NewServeMux()
+	obs.Mount(mux, obs.Default)
+	mln, err := net.Listen("tcp", metricsListen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dwserve: metrics on http://%s/debug/vars\n", mln.Addr())
+	go http.Serve(mln, mux)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "dwserve: signal received, shutting node down")
+		node.Close()
+	}()
+	if err := node.Serve(ln); err != nil {
+		fatal(err)
+	}
+}
+
+// runRouter fronts the cluster with the HTTP query API; /debug/vars and
+// /debug/pprof share the listener.
+func runRouter(peersFlag, listen string, replicas, vnodes int, dataset string, b int, metric string,
+	retryBase, retryCap, heartbeat time.Duration, seed int64, tracePath string) {
+	var peers []serve.Peer
+	for _, spec := range splitList(peersFlag) {
+		name, addr, ok := strings.Cut(spec, "=")
+		if !ok {
+			fatal(fmt.Errorf("-peers entry %q: want name=addr", spec))
+		}
+		peers = append(peers, serve.Peer{Name: name, Addr: addr})
+	}
+	var tracer *obs.Tracer
+	if tracePath != "" {
+		tracer = obs.NewTracer()
+	}
+	rt, err := serve.NewRouter(serve.RouterConfig{
+		Peers: peers, Replicas: replicas, Vnodes: vnodes,
+		Dataset: dataset, B: b, Metric: metric,
+		RetryBase: retryBase, RetryCap: retryCap, Heartbeat: heartbeat,
+		Seed: seed, Tracer: tracer,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", rt)
+	obs.Mount(mux, obs.Default)
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dwserve: router over %d peers (replicas %d) on http://%s\n",
+		len(peers), replicas, ln.Addr())
+	fmt.Fprintf(os.Stderr, "dwserve: metrics on http://%s/debug/vars\n", ln.Addr())
+	server := &http.Server{Handler: mux}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "dwserve: signal received, draining")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- server.Shutdown(ctx)
+	}()
+	if err := server.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	if err := <-done; err != nil {
+		fatal(err)
+	}
+	rt.Close()
+	if tracePath != "" {
+		if err := tracer.WriteChromeTraceFile(tracePath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dwserve: trace written to %s\n", tracePath)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func load(path string, csv bool, n int) (*synopsis.Synopsis, error) {

@@ -11,6 +11,13 @@
 //
 // Supported algorithms: conventional, greedyabs, greedyrel, indirecthaar,
 // dgreedyabs, dgreedyrel, dindirecthaar, con, sendv, sendcoef, hwtopk.
+//
+// With -store DIR -dataset NAME the built synopsis is also published
+// into a serve-tier shard store (keyed dataset/b<budget>/<metric>, with
+// its measured max-abs guarantee), ready for dwserve -node to own:
+//
+//	dwtcli -in data.bin -algo dgreedyabs -budget 256 \
+//	       -store /var/lib/dw/shards -dataset nyct
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"dwmaxerr/internal/chaos"
 	"dwmaxerr/internal/dataset"
 	"dwmaxerr/internal/errtree"
+	"dwmaxerr/internal/serve"
 	"dwmaxerr/internal/synopsis"
 )
 
@@ -45,6 +53,9 @@ func main() {
 		trace    = flag.String("trace", "", "write the build's span tree as Chrome trace-event JSON to this path")
 		chaosFl  = flag.String("chaos", "", "arm the fault injector: 'seed,point:fault[=dur][@prob][#nth][xmax];...'")
 		ckDir    = flag.String("checkpoint", "", "checkpoint directory: record sub-results there and resume a killed build (scope one dir to one dataset)")
+		storeFl  = flag.String("store", "", "publish the synopsis into this serve-tier shard store directory (requires -dataset)")
+		dsName   = flag.String("dataset", "", "dataset name for the shard key (with -store)")
+		metricFl = flag.String("metric", "", "metric name for the shard key (default: the algorithm name)")
 	)
 	flag.Parse()
 
@@ -149,6 +160,20 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("synopsis    written to %s\n", *outPath)
+	}
+	if *storeFl != "" {
+		if *dsName == "" {
+			fatal(fmt.Errorf("-dataset is required with -store"))
+		}
+		metric := *metricFl
+		if metric == "" {
+			metric = string(algo)
+		}
+		key := serve.ShardKey{Dataset: *dsName, B: b, Metric: metric}
+		if err := serve.WriteShard(*storeFl, key, res.Synopsis, errs.MaxAbs); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("shard       %s published to %s\n", key, *storeFl)
 	}
 	if *query != "" {
 		if err := answer(res.Synopsis, *query); err != nil {

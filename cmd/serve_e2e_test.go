@@ -1,0 +1,336 @@
+// End-to-end tests for the sharded serve tier over real processes:
+// dwtcli publishes shards into a store, dwserve -node processes own them
+// by consistent hash, and a dwserve -route process fronts the cluster.
+// Skipped under -short (they compile binaries and open sockets).
+package cmd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dwmaxerr/internal/serve"
+)
+
+var (
+	shardAddrRE  = regexp.MustCompile(`shard listener on ([0-9.:]+)`)
+	routerAddrRE = regexp.MustCompile(`router over \d+ peers \(replicas \d+\) on http://([0-9.:]+)`)
+)
+
+// awaitAll scans lines until every regex has matched once, returning the
+// first submatch of each in order, then keeps draining so the child
+// never blocks on a full pipe.
+func awaitAll(t *testing.T, r io.Reader, what string, res ...*regexp.Regexp) []string {
+	t.Helper()
+	found := make(chan []string, 1)
+	go func() {
+		out := make([]string, len(res))
+		remaining := len(res)
+		sc := bufio.NewScanner(r)
+		for sc.Scan() {
+			for i, re := range res {
+				if out[i] != "" {
+					continue
+				}
+				if m := re.FindStringSubmatch(sc.Text()); m != nil {
+					out[i] = m[1]
+					remaining--
+				}
+			}
+			if remaining == 0 {
+				found <- out
+				for sc.Scan() {
+				}
+				return
+			}
+		}
+	}()
+	select {
+	case v := <-found:
+		return v
+	case <-time.After(15 * time.Second):
+		t.Fatalf("timed out waiting for %s", what)
+		return nil
+	}
+}
+
+// publishShards runs dwtcli -store once per key, exercising the publish
+// path the serve tier loads from.
+func publishShards(t *testing.T, dwtcli, dataPath, storeDir string, keys []serve.ShardKey) {
+	t.Helper()
+	for _, k := range keys {
+		cmd := exec.Command(dwtcli,
+			"-in", dataPath, "-algo", "greedyabs",
+			"-budget", strconv.Itoa(k.B),
+			"-store", storeDir, "-dataset", k.Dataset, "-metric", k.Metric)
+		b, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("dwtcli -store (%s): %v\n%s", k, err, b)
+		}
+		if !strings.Contains(string(b), "shard       "+k.String()) {
+			t.Fatalf("dwtcli did not report publishing %s:\n%s", k, b)
+		}
+	}
+}
+
+// serveNode is one dwserve -node child process.
+type serveNode struct {
+	name      string
+	cmd       *exec.Cmd
+	shardAddr string
+	metrics   string
+}
+
+func startServeNode(t *testing.T, bin, name, nodes, store string, replicas int, shardListen string) *serveNode {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-node", name, "-nodes", nodes, "-store", store,
+		"-replicas", strconv.Itoa(replicas),
+		"-shard-listen", shardListen, "-listen", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	proc := cmd
+	t.Cleanup(func() { proc.Process.Kill(); proc.Wait() })
+	addrs := awaitAll(t, stderr, "node "+name+" listeners", shardAddrRE, metricsAddrRE)
+	return &serveNode{name: name, cmd: cmd, shardAddr: addrs[0], metrics: addrs[1]}
+}
+
+func startServeRouter(t *testing.T, bin string, peers []string, replicas int) string {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-route", "-peers", strings.Join(peers, ","),
+		"-replicas", strconv.Itoa(replicas), "-listen", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	proc := cmd
+	t.Cleanup(func() { proc.Process.Kill(); proc.Wait() })
+	return awaitAll(t, stderr, "router listener", routerAddrRE)[0]
+}
+
+func routerGet(t *testing.T, url string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+func shardQueryURL(routerAddr string, k serve.ShardKey) string {
+	return fmt.Sprintf("http://%s/point?i=3&dataset=%s&b=%d&metric=%s",
+		routerAddr, k.Dataset, k.B, k.Metric)
+}
+
+// awaitStatus polls a router query until it answers the wanted status —
+// covering the window where the router is still backing off from a dead
+// or restarting peer.
+func awaitStatus(t *testing.T, url string, want int) (http.Header, []byte) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		status, hdr, body := routerGet(t, url)
+		if status == want {
+			return hdr, body
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("GET %s: status %d, want %d (body %s)", url, status, want, body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestServeClusterShardPlacement runs a 3-node sharded cluster as real
+// processes behind a real router and proves, by scraping each node's
+// /debug/vars, that queries land exactly where an independently
+// computed ring says they must. It then kills one node, restarts it on
+// the same address, and checks the router reconnects and the node
+// rewarms its shard cache from the store.
+func TestServeClusterShardPlacement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e: skipped in -short mode")
+	}
+	dir := t.TempDir()
+	dwtcli := buildCmd(t, dir, "dwtcli")
+	dwserve := buildCmd(t, dir, "dwserve")
+	dataPath, _ := writeDataset(t, dir, 512)
+
+	keys := []serve.ShardKey{
+		{Dataset: "taxi", B: 16, Metric: "greedyabs"},
+		{Dataset: "taxi", B: 32, Metric: "greedyabs"},
+		{Dataset: "taxi", B: 64, Metric: "greedyabs"},
+		{Dataset: "light", B: 16, Metric: "greedyabs"},
+		{Dataset: "light", B: 32, Metric: "greedyabs"},
+		{Dataset: "light", B: 64, Metric: "greedyabs"},
+	}
+	storeDir := t.TempDir()
+	publishShards(t, dwtcli, dataPath, storeDir, keys)
+
+	// The test's own view of placement: same member list, same defaults.
+	names := []string{"n1", "n2", "n3"}
+	ring := serve.NewRing(0, names...)
+	owned := map[string]int{}
+	for _, k := range keys {
+		owned[ring.Owner(k)]++
+	}
+
+	nodes := map[string]*serveNode{}
+	var peers []string
+	for _, name := range names {
+		n := startServeNode(t, dwserve, name, strings.Join(names, ","), storeDir, 1, "127.0.0.1:0")
+		nodes[name] = n
+		peers = append(peers, name+"="+n.shardAddr)
+	}
+	routerAddr := startServeRouter(t, dwserve, peers, 1)
+
+	// One query per key; every answer must come from the ring owner.
+	for _, k := range keys {
+		status, hdr, body := routerGet(t, shardQueryURL(routerAddr, k))
+		if status != http.StatusOK {
+			t.Fatalf("query %s: status %d: %s", k, status, body)
+		}
+		if got, want := hdr.Get("X-Dwserve-Node"), ring.Owner(k); got != want {
+			t.Errorf("query %s answered by %q, ring owner is %q", k, got, want)
+		}
+	}
+
+	// Per-node metrics must agree with the locally computed placement:
+	// each node warmed and answered exactly its owned keys, and no query
+	// ever reached a non-owner.
+	for _, name := range names {
+		snap, err := scrapeVars(nodes[name].metrics)
+		if err != nil {
+			t.Fatalf("node %s: %v", name, err)
+		}
+		if got := snap.Counters["serve_shard_queries"]; got != int64(owned[name]) {
+			t.Errorf("node %s answered %d queries, owns %d keys", name, got, owned[name])
+		}
+		if got := snap.Counters["serve_shard_not_owned"]; got != 0 {
+			t.Errorf("node %s rejected %d stray queries, want 0", name, got)
+		}
+		if got := snap.Gauges["serve_shard_warm"]; got != int64(owned[name]) {
+			t.Errorf("node %s has %d shards warm, owns %d", name, got, owned[name])
+		}
+	}
+
+	// Kill the owner of keys[0] and restart it on the same address; the
+	// router must reconnect once its backoff expires, and the reborn
+	// node must rewarm from the store.
+	victim := ring.Owner(keys[0])
+	old := nodes[victim]
+	old.cmd.Process.Kill()
+	old.cmd.Wait()
+	status, _, _ := routerGet(t, shardQueryURL(routerAddr, keys[0]))
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("query against the dead owner answered %d, want 503", status)
+	}
+	reborn := startServeNode(t, dwserve, victim, strings.Join(names, ","), storeDir, 1, old.shardAddr)
+	hdr, _ := awaitStatus(t, shardQueryURL(routerAddr, keys[0]), http.StatusOK)
+	if got := hdr.Get("X-Dwserve-Node"); got != victim {
+		t.Errorf("post-restart query answered by %q, want %q", got, victim)
+	}
+	snap, err := scrapeVars(reborn.metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Gauges["serve_shard_warm"]; got != int64(owned[victim]) {
+		t.Errorf("restarted node has %d shards warm, want %d rewarmed from the store", got, owned[victim])
+	}
+	if got := snap.Counters["serve_shard_queries"]; got < 1 {
+		t.Error("restarted node answered no queries")
+	}
+}
+
+// TestServeClusterFailover kills the primary of an R=2 shard and checks
+// the router fails over to the surviving replica without the client
+// ever seeing an error.
+func TestServeClusterFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e: skipped in -short mode")
+	}
+	dir := t.TempDir()
+	dwtcli := buildCmd(t, dir, "dwtcli")
+	dwserve := buildCmd(t, dir, "dwserve")
+	dataPath, _ := writeDataset(t, dir, 512)
+
+	key := serve.ShardKey{Dataset: "taxi", B: 32, Metric: "greedyabs"}
+	storeDir := t.TempDir()
+	publishShards(t, dwtcli, dataPath, storeDir, []serve.ShardKey{key})
+
+	names := []string{"east", "west"}
+	owners := serve.NewRing(0, names...).Owners(key, 2)
+	nodes := map[string]*serveNode{}
+	var peers []string
+	for _, name := range names {
+		n := startServeNode(t, dwserve, name, strings.Join(names, ","), storeDir, 2, "127.0.0.1:0")
+		nodes[name] = n
+		peers = append(peers, name+"="+n.shardAddr)
+	}
+	routerAddr := startServeRouter(t, dwserve, peers, 2)
+	url := shardQueryURL(routerAddr, key)
+
+	status, hdr, before := routerGet(t, url)
+	if status != http.StatusOK {
+		t.Fatalf("pre-kill query: status %d: %s", status, before)
+	}
+	if got := hdr.Get("X-Dwserve-Node"); got != owners[0] {
+		t.Fatalf("pre-kill query answered by %q, want primary %q", got, owners[0])
+	}
+	if got := hdr.Get("X-Dwserve-Role"); got != "primary" {
+		t.Fatalf("pre-kill role %q, want primary", got)
+	}
+
+	primary := nodes[owners[0]]
+	primary.cmd.Process.Kill()
+	primary.cmd.Wait()
+
+	// Every post-kill query must still answer — first by failing over
+	// mid-connection, then by skipping the known-dead primary — with a
+	// payload identical to the primary's (replicas hold the same shard).
+	for i := 0; i < 5; i++ {
+		hdr, body := awaitStatus(t, url, http.StatusOK)
+		if got := hdr.Get("X-Dwserve-Node"); got != owners[1] {
+			t.Fatalf("post-kill query %d answered by %q, want replica %q", i, got, owners[1])
+		}
+		if got := hdr.Get("X-Dwserve-Role"); got != "replica-1" {
+			t.Fatalf("post-kill query %d role %q, want replica-1", i, got)
+		}
+		if string(body) != string(before) {
+			t.Fatalf("failover changed the answer:\n  primary %s\n  replica %s", before, body)
+		}
+	}
+
+	// The router's own metrics (it shares the query listener) recorded
+	// the failover.
+	snap, err := scrapeVars(routerAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counters["serve_failover_total"]; got < 1 {
+		t.Errorf("router recorded %d failovers, want >= 1", got)
+	}
+	if got := snap.Counters["serve_route_queries"]; got < 6 {
+		t.Errorf("router recorded %d queries, want >= 6", got)
+	}
+}

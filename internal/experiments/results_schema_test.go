@@ -110,7 +110,7 @@ func TestResultsJSONSchemaGolden(t *testing.T) {
 // extend it.
 func TestQuickRunRecordsFitSchema(t *testing.T) {
 	cfg := Config{Out: io.Discard, Quick: true, Collect: &Collector{}}
-	for _, exp := range []string{"shuffle", "ingest", "compute"} {
+	for _, exp := range []string{"shuffle", "ingest", "compute", "serve"} {
 		if err := Run(exp, cfg); err != nil {
 			t.Fatal(err)
 		}

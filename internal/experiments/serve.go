@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dwmaxerr/internal/dataset"
+	"dwmaxerr/internal/greedy"
+	"dwmaxerr/internal/serve"
+)
+
+func init() {
+	register("serve", "Sharded serve tier: routed query throughput, solo node vs 3-node R=2 cluster", runServe)
+}
+
+// runServe measures the query tier end to end: synopses published into a
+// shard store, nodes owning them by consistent hash, a router fanning
+// queries out over the peer transport. The solo row is the floor (one
+// node owns everything, every query crosses one loopback hop); the
+// cluster row shows what sharding buys once queries to different owners
+// ride independent peer links.
+func runServe(cfg Config) error {
+	t := &table{header: []string{"cluster", "shards", "queries", "wall", "queries/s"}}
+
+	n := cfg.size(1 << 12)
+	budget := n / 16
+	if budget < 1 {
+		budget = 1
+	}
+	storm := cfg.size(1 << 11)
+	const workers = 4
+
+	storeDir, err := os.MkdirTemp("", "dwbench-serve-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(storeDir)
+	keys := make([]serve.ShardKey, 4)
+	for i := range keys {
+		data := dataset.Uniform{Max: 1000}.Generate(n, cfg.seed()+int64(i))
+		syn, maxAbs, err := greedy.SynopsisAbs(data, budget)
+		if err != nil {
+			return err
+		}
+		keys[i] = serve.ShardKey{Dataset: fmt.Sprintf("d%d", i), B: budget, Metric: "abs"}
+		if err := serve.WriteShard(storeDir, keys[i], syn, maxAbs); err != nil {
+			return err
+		}
+	}
+
+	for _, tier := range []struct {
+		name     string
+		nodes    []string
+		replicas int
+	}{
+		{"serve/solo", []string{"solo"}, 1},
+		{"serve/cluster", []string{"a", "b", "c"}, 2},
+	} {
+		c, err := startServeCluster(storeDir, tier.nodes, tier.replicas)
+		if err != nil {
+			return err
+		}
+		a0, t0 := measureAllocs(), time.Now()
+		queries, err := serveStorm(c.http.URL, keys, workers, storm)
+		wall, allocs := time.Since(t0), measureAllocs()-a0
+		c.close()
+		if err != nil {
+			return err
+		}
+		rec := Record{
+			Experiment: tier.name,
+			Params: fmt.Sprintf("nodes=%d replicas=%d shards=%d values=%d budget=%d workers=%d",
+				len(tier.nodes), tier.replicas, len(keys), n, budget, workers),
+			WallMS:        float64(wall.Milliseconds()),
+			Queries:       queries,
+			QueriesPerSec: float64(queries) / wall.Seconds(),
+			Allocs:        allocs,
+		}
+		cfg.Collect.Add(rec)
+		t.add(rec.Experiment, fint(int64(len(keys))), fint(queries), fsec(wall), ffloat(rec.QueriesPerSec))
+	}
+
+	t.write(cfg.Out)
+	return nil
+}
+
+// servedCluster is an in-process node set behind a real router: loopback
+// peer links, HTTP front end — the full wire path without processes.
+type servedCluster struct {
+	nodes  []*serve.Node
+	router *serve.Router
+	http   *httptest.Server
+}
+
+func startServeCluster(storeDir string, names []string, replicas int) (*servedCluster, error) {
+	c := &servedCluster{}
+	var peers []serve.Peer
+	for _, name := range names {
+		node, err := serve.NewNode(serve.NodeConfig{
+			Name: name, Nodes: names, Replicas: replicas,
+			Store: serve.DirStore{Dir: storeDir},
+		})
+		if err != nil {
+			c.close()
+			return nil, err
+		}
+		if _, err := node.Warm(); err != nil {
+			c.close()
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			node.Close()
+			c.close()
+			return nil, err
+		}
+		go node.Serve(ln)
+		c.nodes = append(c.nodes, node)
+		peers = append(peers, serve.Peer{Name: name, Addr: ln.Addr().String()})
+	}
+	rt, err := serve.NewRouter(serve.RouterConfig{Peers: peers, Replicas: replicas})
+	if err != nil {
+		c.close()
+		return nil, err
+	}
+	c.router = rt
+	c.http = httptest.NewServer(rt)
+	return c, nil
+}
+
+func (c *servedCluster) close() {
+	if c.http != nil {
+		c.http.Close()
+	}
+	if c.router != nil {
+		c.router.Close()
+	}
+	for _, n := range c.nodes {
+		n.Close()
+	}
+}
+
+// serveStorm drives total point queries through the router from the
+// given number of concurrent workers, round-robin over the shard keys.
+func serveStorm(base string, keys []serve.ShardKey, workers, total int) (int64, error) {
+	var next, done atomic.Int64
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				k := keys[i%len(keys)]
+				url := fmt.Sprintf("%s/point?i=%d&dataset=%s&b=%d&metric=%s",
+					base, i%7, k.Dataset, k.B, k.Metric)
+				resp, err := http.Get(url)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("serve storm: %s answered %d", url, resp.StatusCode)
+					return
+				}
+				done.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return done.Load(), err
+	default:
+		return done.Load(), nil
+	}
+}

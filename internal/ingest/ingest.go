@@ -142,6 +142,7 @@ type Ingestor struct {
 	cur       *curBlock  // guarded by mu
 	blocks    []blockRec // guarded by mu — ring of the last <= r completed blocks
 	seen      int64      // guarded by mu — values pushed since stream start
+	firstPush time.Time  // guarded by mu — when the first value arrived
 	nextSeq   int64      // guarded by mu — next block sequence number
 	gen       int64      // guarded by mu — completed-block generation counter
 	published int64      // guarded by mu — generation covered by the live snapshot
@@ -248,6 +249,9 @@ func (g *Ingestor) Push(v float64) error {
 	}
 	if err := g.cur.streamer.Push(v); err != nil {
 		return err
+	}
+	if g.firstPush.IsZero() {
+		g.firstPush = time.Now()
 	}
 	g.seen++
 	if g.cur.streamer.Seen() == g.cfg.Block {
@@ -414,6 +418,30 @@ func (g *Ingestor) Blocks() int64 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.nextSeq
+}
+
+// EstimateWarmup estimates how long until the first snapshot publishes,
+// by extrapolating the observed arrival rate over the values still
+// missing from the first block. Zero means "not warming up": a snapshot
+// already exists, or nothing has arrived yet to extrapolate from. The
+// serving tier turns this into Retry-After hints, so a slow stream
+// tells clients to come back in minutes, not to hammer every second.
+func (g *Ingestor) EstimateWarmup() time.Duration {
+	if g.snap.Load() != nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.seen == 0 || g.firstPush.IsZero() {
+		return 0
+	}
+	remaining := int64(g.cfg.Block) - g.seen
+	if remaining <= 0 {
+		// The first block is complete; its publish is already in flight.
+		return 0
+	}
+	elapsed := time.Since(g.firstPush)
+	return time.Duration(float64(elapsed) * float64(remaining) / float64(g.seen))
 }
 
 // Durable returns the stream position up to which values survive a kill:

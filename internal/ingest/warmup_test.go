@@ -1,0 +1,38 @@
+package ingest
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEstimateWarmup pins the warm-up ETA contract: zero before any
+// data (nothing to extrapolate) and after the first publish (not
+// warming up); in between, at least remaining×observed-interarrival.
+func TestEstimateWarmup(t *testing.T) {
+	g, err := New(Config{Window: 8, Block: 4, Budget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if est := g.EstimateWarmup(); est != 0 {
+		t.Fatalf("estimate before any data = %v, want 0", est)
+	}
+	if err := g.Push(1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	est := g.EstimateWarmup()
+	// 3 values remain at an observed rate of >= 10ms per value.
+	if est < 30*time.Millisecond {
+		t.Fatalf("estimate after 1/4 values = %v, want >= 30ms", est)
+	}
+	for _, v := range []float64{2, 3, 4} {
+		if err := g.Push(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Sync()
+	if est := g.EstimateWarmup(); est != 0 {
+		t.Fatalf("estimate after first publish = %v, want 0", est)
+	}
+}

@@ -5,22 +5,23 @@ import (
 	"time"
 )
 
-// backoff computes jittered exponential delays for dial retries and
-// worker reconnection. Delays grow as base·2^(attempt-1), capped at max,
-// then jittered uniformly into [d/2, d] — full-magnitude jitter would
-// let a delay collapse to ~0 and hammer a coordinator that just died,
-// while the half-open window keeps retries spread without losing the
-// exponential floor. The RNG is seeded explicitly so tests can pin the
-// exact delay sequence.
-type backoff struct {
+// Backoff computes jittered exponential delays for dial retries and
+// reconnection — the engine's workers use it to re-dial a coordinator,
+// and the serve tier's router reuses it to re-dial shard nodes. Delays
+// grow as base·2^(attempt-1), capped at max, then jittered uniformly
+// into [d/2, d] — full-magnitude jitter would let a delay collapse to
+// ~0 and hammer a peer that just died, while the half-open window keeps
+// retries spread without losing the exponential floor. The RNG is
+// seeded explicitly so tests can pin the exact delay sequence.
+type Backoff struct {
 	base time.Duration
 	max  time.Duration
 	rng  *rand.Rand
 }
 
-// newBackoff returns a backoff policy. base <= 0 defaults to 50ms,
+// NewBackoff returns a backoff policy. base <= 0 defaults to 50ms,
 // max <= 0 to 5s.
-func newBackoff(base, max time.Duration, seed int64) *backoff {
+func NewBackoff(base, max time.Duration, seed int64) *Backoff {
 	if base <= 0 {
 		base = 50 * time.Millisecond
 	}
@@ -30,12 +31,12 @@ func newBackoff(base, max time.Duration, seed int64) *backoff {
 	if max < base {
 		max = base
 	}
-	return &backoff{base: base, max: max, rng: rand.New(rand.NewSource(seed))}
+	return &Backoff{base: base, max: max, rng: rand.New(rand.NewSource(seed))}
 }
 
-// delay returns the jittered delay for the attempt-th consecutive
+// Delay returns the jittered delay for the attempt-th consecutive
 // failure (1-based; attempt < 1 is treated as 1).
-func (b *backoff) delay(attempt int) time.Duration {
+func (b *Backoff) Delay(attempt int) time.Duration {
 	if attempt < 1 {
 		attempt = 1
 	}

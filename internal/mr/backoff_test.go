@@ -9,20 +9,20 @@ import (
 // max, and every delay jittered into [d/2, d].
 func TestBackoffBounds(t *testing.T) {
 	base, max := 10*time.Millisecond, 80*time.Millisecond
-	b := newBackoff(base, max, 1)
+	b := NewBackoff(base, max, 1)
 	for attempt := 1; attempt <= 10; attempt++ {
 		want := base << (attempt - 1)
 		if want > max || want <= 0 {
 			want = max
 		}
 		for i := 0; i < 50; i++ {
-			d := b.delay(attempt)
+			d := b.Delay(attempt)
 			if d < want/2 || d > want {
 				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, want/2, want)
 			}
 		}
 	}
-	if d := b.delay(0); d < base/2 || d > base {
+	if d := b.Delay(0); d < base/2 || d > base {
 		t.Fatalf("attempt 0 clamps to 1: got %v", d)
 	}
 }
@@ -31,10 +31,10 @@ func TestBackoffBounds(t *testing.T) {
 // (the reconnect tests rely on reproducible schedules).
 func TestBackoffDeterminism(t *testing.T) {
 	seq := func(seed int64) []time.Duration {
-		b := newBackoff(20*time.Millisecond, time.Second, seed)
+		b := NewBackoff(20*time.Millisecond, time.Second, seed)
 		var out []time.Duration
 		for a := 1; a <= 8; a++ {
-			out = append(out, b.delay(a))
+			out = append(out, b.Delay(a))
 		}
 		return out
 	}
@@ -57,12 +57,12 @@ func TestBackoffDeterminism(t *testing.T) {
 }
 
 func TestBackoffDefaults(t *testing.T) {
-	b := newBackoff(0, 0, 1)
+	b := NewBackoff(0, 0, 1)
 	if b.base != 50*time.Millisecond || b.max != 5*time.Second {
 		t.Fatalf("defaults base=%v max=%v", b.base, b.max)
 	}
 	// max below base is raised to base.
-	b = newBackoff(time.Second, time.Millisecond, 1)
+	b = NewBackoff(time.Second, time.Millisecond, 1)
 	if b.max != time.Second {
 		t.Fatalf("max %v not raised to base", b.max)
 	}

@@ -1,0 +1,113 @@
+package mr
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Peer transport: the engine's framed wire protocol — preamble/version
+// gate, CRC32-C trailer, bounded frame sizes, chaos instrumentation —
+// exposed as a point-to-point connection for other subsystems. The serve
+// tier's router↔node links ride this instead of inventing a second
+// transport, so every guarantee wire.go documents (a corrupt or
+// oversized frame kills the connection, mixed versions are rejected
+// before any data is exchanged) holds for shard traffic too.
+//
+// Frame types >= PeerFrameBase are the caller's to define; heartbeats
+// use FrameHeartbeat and stay exempt from chaos injection. One side
+// dials (DialPeer, sends the preamble), the other accepts (AcceptPeer,
+// validates it and answers a reject frame on version mismatch).
+
+// PeerConn is one framed connection between two peers. Send may be
+// called concurrently; Recv must be driven by a single reader, the
+// usual ownership shape for both the dialing side (one exchange at a
+// time under the caller's lock) and the accepting side (one reader
+// loop per connection).
+type PeerConn struct {
+	conn net.Conn
+	fr   *frameReader
+
+	sendMu sync.Mutex
+	fw     *frameWriter // guarded by sendMu
+}
+
+func newPeerConn(conn net.Conn, chaosPoint string) *PeerConn {
+	fw := newFrameWriter(conn)
+	fw.chaosPoint = chaosPoint
+	return &PeerConn{conn: conn, fr: newFrameReader(conn), fw: fw}
+}
+
+// DialPeer connects to addr and sends the wire preamble. chaosPoint,
+// when non-empty, names the failpoint evaluated per outbound data frame
+// (drop, delay, corrupt, partial — see internal/chaos); the serve
+// router passes its serve.forward point here so link faults are
+// injected at the same layer real ones occur.
+func DialPeer(addr string, timeout time.Duration, chaosPoint string) (*PeerConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(appendPreamble(nil)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("mr: peer preamble: %w", err)
+	}
+	return newPeerConn(conn, chaosPoint), nil
+}
+
+// AcceptPeer validates the preamble on an accepted connection. A
+// version mismatch is answered with a reject frame naming both
+// versions, then the connection is closed — same contract the
+// coordinator applies to stale workers.
+func AcceptPeer(conn net.Conn, chaosPoint string) (*PeerConn, error) {
+	version, err := readPreamble(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("mr: peer preamble: %w", err)
+	}
+	if version != wireVersion {
+		fw := newFrameWriter(conn)
+		fw.write(frameReject, fmt.Appendf(nil,
+			"mr: peer speaks wire version %d, this side requires %d", version, wireVersion))
+		conn.Close()
+		return nil, fmt.Errorf("mr: peer wire version %d, want %d", version, wireVersion)
+	}
+	return newPeerConn(conn, chaosPoint), nil
+}
+
+// Send writes one frame. typ must be FrameHeartbeat or a caller-defined
+// type >= PeerFrameBase; the engine's own codes are not valid on peer
+// links.
+func (p *PeerConn) Send(typ byte, payload []byte) error {
+	if typ != FrameHeartbeat && typ < PeerFrameBase {
+		return fmt.Errorf("mr: peer frame type %d is reserved for the engine", typ)
+	}
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	return p.fw.write(typ, payload)
+}
+
+// Recv reads one frame, verifying the CRC32-C trailer. A reject frame
+// from the remote side surfaces as an error carrying its reason. The
+// returned payload is a fresh buffer the caller may alias indefinitely.
+func (p *PeerConn) Recv() (byte, []byte, error) {
+	typ, payload, err := p.fr.read()
+	if err != nil {
+		return 0, nil, err
+	}
+	if typ == frameReject {
+		return 0, nil, fmt.Errorf("mr: peer rejected connection: %s", payload)
+	}
+	return typ, payload, nil
+}
+
+// SetDeadline bounds both the next Send and the next Recv.
+func (p *PeerConn) SetDeadline(t time.Time) error { return p.conn.SetDeadline(t) }
+
+// RemoteAddr names the other side, for logs and errors.
+func (p *PeerConn) RemoteAddr() net.Addr { return p.conn.RemoteAddr() }
+
+// Close closes the underlying connection; a blocked Recv unblocks with
+// an error.
+func (p *PeerConn) Close() error { return p.conn.Close() }

@@ -1,0 +1,171 @@
+package mr
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dwmaxerr/internal/chaos"
+)
+
+// peerPair dials a PeerConn into an in-test acceptor and returns both
+// ends. The accept side echoes nothing — tests drive both sides.
+func peerPair(t *testing.T, dialChaos string) (client, server *PeerConn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan *PeerConn, 1)
+	errc := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			errc <- err
+			return
+		}
+		pc, err := AcceptPeer(conn, "")
+		if err != nil {
+			errc <- err
+			return
+		}
+		accepted <- pc
+	}()
+	client, err = DialPeer(ln.Addr().String(), time.Second, dialChaos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	select {
+	case server = <-accepted:
+		t.Cleanup(func() { server.Close() })
+	case err := <-errc:
+		t.Fatal(err)
+	case <-time.After(2 * time.Second):
+		t.Fatal("accept timed out")
+	}
+	return client, server
+}
+
+// TestPeerConnRoundTrip exchanges data and heartbeat frames both ways.
+func TestPeerConnRoundTrip(t *testing.T) {
+	client, server := peerPair(t, "")
+	payload := bytes.Repeat([]byte("shard"), 100)
+	if err := client.Send(PeerFrameBase, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != PeerFrameBase || !bytes.Equal(got, payload) {
+		t.Fatalf("server received typ %d, %d bytes", typ, len(got))
+	}
+	if err := server.Send(PeerFrameBase+1, []byte("reply")); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err = client.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != PeerFrameBase+1 || string(got) != "reply" {
+		t.Fatalf("client received typ %d, %q", typ, got)
+	}
+	// Heartbeats ride the engine's exempt frame type.
+	if err := client.Send(FrameHeartbeat, nil); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, err = server.Recv(); err != nil || typ != FrameHeartbeat {
+		t.Fatalf("heartbeat: typ %d, err %v", typ, err)
+	}
+}
+
+// TestPeerConnRejectsEngineFrameTypes pins the frame-space split: the
+// engine's own codes are not valid on peer links.
+func TestPeerConnRejectsEngineFrameTypes(t *testing.T) {
+	client, _ := peerPair(t, "")
+	if err := client.Send(frameTask, []byte("x")); err == nil {
+		t.Fatal("Send accepted an engine frame type")
+	}
+}
+
+// TestPeerVersionMismatchRejected pins the preamble gate: a peer
+// speaking another wire version gets a reject frame and a closed
+// connection, never misdecoded frames.
+func TestPeerVersionMismatchRejected(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		if _, err := AcceptPeer(conn, ""); err == nil {
+			t.Error("AcceptPeer admitted a mismatched version")
+		}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	pre := appendPreamble(nil)
+	pre[5]++ // bump the version byte
+	if _, err := conn.Write(pre); err != nil {
+		t.Fatal(err)
+	}
+	fr := newFrameReader(conn)
+	typ, payload, err := fr.read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != frameReject || !strings.Contains(string(payload), "wire version") {
+		t.Fatalf("expected reject frame, got typ %d payload %q", typ, payload)
+	}
+	wg.Wait()
+}
+
+// TestPeerChaosCorruptKillsConnection arms a corrupt rule on the dial
+// side's failpoint and shows the CRC trailer rejects the frame at the
+// receiver — the same integrity guarantee the engine's links have.
+func TestPeerChaosCorruptKillsConnection(t *testing.T) {
+	if err := chaos.EnableSpec("7,mr.test.peer:corrupt#1"); err != nil {
+		t.Fatal(err)
+	}
+	defer chaos.Disable()
+	client, server := peerPair(t, "mr.test.peer")
+	if err := client.Send(PeerFrameBase, bytes.Repeat([]byte("q"), 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := server.Recv(); err == nil {
+		t.Fatal("receiver accepted a corrupted frame")
+	}
+}
+
+// TestPeerChaosDropFailsSend pins the Fail verb at the peer layer.
+func TestPeerChaosDropFailsSend(t *testing.T) {
+	if err := chaos.EnableSpec("8,mr.test.peer:drop#1"); err != nil {
+		t.Fatal(err)
+	}
+	defer chaos.Disable()
+	client, _ := peerPair(t, "mr.test.peer")
+	err := client.Send(PeerFrameBase, []byte("q"))
+	if !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("Send error = %v, want injected fault", err)
+	}
+	// Heartbeats stay exempt: the rule would have fired on them otherwise.
+	if err := client.Send(FrameHeartbeat, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -967,7 +967,7 @@ func ServeWorker(coordinatorAddr, name string, stop <-chan struct{}, opts Worker
 	// decorrelated across a fleet rejoining after a coordinator blip.
 	h := fnv.New64a()
 	h.Write([]byte(name))
-	bo := newBackoff(opts.ReconnectBase, opts.ReconnectCap, int64(h.Sum64()))
+	bo := NewBackoff(opts.ReconnectBase, opts.ReconnectCap, int64(h.Sum64()))
 	registered := false
 	fails := 0
 	for {
@@ -994,7 +994,7 @@ func ServeWorker(coordinatorAddr, name string, stop <-chan struct{}, opts Worker
 		select {
 		case <-stop:
 			return nil
-		case <-time.After(bo.delay(fails)):
+		case <-time.After(bo.Delay(fails)):
 		}
 	}
 }

@@ -67,6 +67,20 @@ const (
 	frameReject    = byte(5)
 )
 
+// PeerFrameBase is the first frame-type code available to peer
+// subsystems layered on PeerConn (the serve tier's shard query/reply
+// frames); codes below it belong to the cluster engine. Peer data
+// frames share the engine's chaos instrumentation: a frameWriter with
+// an armed chaosPoint injects into them exactly as it does into task
+// and reply frames.
+const PeerFrameBase = byte(0x40)
+
+// FrameHeartbeat is the engine's heartbeat frame type, shared with peer
+// links as their ping/pong frame. Heartbeats are exempt from chaos
+// injection on every link, so liveness probing never perturbs a seeded
+// fault schedule's hit counts.
+const FrameHeartbeat = frameHeartbeat
+
 // Task kinds on the wire. wireTask.Kind stays a string in memory (the
 // failure-injection hooks and error messages use it); the codec maps it
 // to one byte.
@@ -148,7 +162,8 @@ func (fw *frameWriter) write(typ byte, payload []byte) error {
 	binary.BigEndian.PutUint32(trailer[:], crc)
 	// Fault injection on data frames only — hello, heartbeat and reject
 	// are exempt so chaos hit counts track task traffic deterministically.
-	if fw.chaosPoint != "" && (typ == frameTask || typ == frameReply) {
+	// Peer-subsystem frames (>= PeerFrameBase) are data frames too.
+	if fw.chaosPoint != "" && (typ == frameTask || typ == frameReply || typ >= PeerFrameBase) {
 		switch act := chaos.Point(fw.chaosPoint); act.Kind {
 		case chaos.Delay:
 			time.Sleep(act.Sleep)

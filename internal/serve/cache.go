@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Warm cache of decoded shards. A node answers queries from ready
+// (synopsis, evaluator, handler) triples; decoding a shard file and
+// building its evaluator is the expensive step, so owned shards are
+// preloaded at startup (Node.Warm) and everything else is filled on
+// first query and evicted LRU. The cache is also the degradation
+// ladder's inventory: under overload a node answers from the coarsest
+// warm sibling of the requested shard instead of shedding (see
+// shardCache.coarser).
+
+// cacheEntry is one warm shard: the per-shard query server node.answer
+// dispatches into. srv carries the shard's identity so /info answers
+// honestly through the router.
+type cacheEntry struct {
+	key    ShardKey
+	srv    *Server
+	maxAbs float64
+}
+
+// shardCache is an LRU of warm shards. Safe for concurrent use.
+type shardCache struct {
+	cap int
+
+	mu  sync.Mutex
+	ll  *list.List                 // guarded by mu — front is most recent
+	ent map[ShardKey]*list.Element // guarded by mu
+}
+
+func newShardCache(capacity int) *shardCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &shardCache{cap: capacity, ll: list.New(), ent: make(map[ShardKey]*list.Element)}
+}
+
+// get returns the warm entry for k, refreshing its recency.
+func (c *shardCache) get(k ShardKey) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.ent[k]
+	if !ok {
+		obsShardMisses.Inc()
+		return nil, false
+	}
+	obsShardHits.Inc()
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// put inserts (or refreshes) an entry, evicting the least recently used
+// shard when over capacity. serve_shard_warm tracks the live count.
+func (c *shardCache) put(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.ent[e.key]; ok {
+		el.Value = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.ent[e.key] = c.ll.PushFront(e)
+	obsShardWarm.Add(1)
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.ent, last.Value.(*cacheEntry).key)
+		obsShardEvicted.Inc()
+		obsShardWarm.Add(-1)
+	}
+}
+
+// coarser returns the warm entry for the same (dataset, metric) with the
+// largest budget strictly below k.B — the next rung down the
+// degradation ladder. It deliberately does not touch recency: a degraded
+// answer should not keep a coarse shard pinned ahead of shards answering
+// at full fidelity.
+func (c *shardCache) coarser(k ShardKey) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best *cacheEntry
+	for key, el := range c.ent {
+		if key.Dataset != k.Dataset || key.Metric != k.Metric || key.B >= k.B {
+			continue
+		}
+		if best == nil || key.B > best.key.B {
+			best = el.Value.(*cacheEntry)
+		}
+	}
+	return best, best != nil
+}
+
+// len returns the number of warm shards.
+func (c *shardCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -8,4 +8,15 @@ const (
 	// Delay holds the query (and its in-flight slot) open — the lever the
 	// admission-gate and timeout tests pull; Fail answers 500.
 	chaosQuery = "serve.query"
+
+	// chaosForward fires per data frame the router sends to a shard node
+	// (carried into the mr frame writer, so drop/delay/corrupt/partial all
+	// act at the same layer real link faults occur). Heartbeats are exempt.
+	chaosForward = "serve.forward"
+
+	// chaosReplica fires per shard query a node answers, before any
+	// counting or work. Fail kills the replica outright — listener and
+	// live connections closed, the node stays dead — which is the lever
+	// the failover soak pulls; Delay stalls the answer.
+	chaosReplica = "serve.replica"
 )

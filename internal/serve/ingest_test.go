@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"dwmaxerr/internal/chaos"
 	"dwmaxerr/internal/ingest"
@@ -174,5 +175,37 @@ func TestIngestEndpointPartialAccept(t *testing.T) {
 	}
 	if ing.Seen() != 8 {
 		t.Fatalf("ingestor saw %d after resume", ing.Seen())
+	}
+}
+
+// TestWarmupRetryAfterDerived pins the warm-up hint: before any value
+// arrives the 503 falls back to Retry-After 1; once the arrival rate is
+// observable, the hint extrapolates time-to-first-block (here ~1023
+// values at >=60ms each, far past the 60s cap).
+func TestWarmupRetryAfterDerived(t *testing.T) {
+	ts, ing := ingestServer(t, ingest.Config{Window: 4096, Block: 1024, Budget: 4}, Limits{})
+
+	resp, err := http.Get(ts.URL + "/point?i=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("pre-data warm-up: status %d Retry-After %q, want 503 with fallback \"1\"",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	if err := ing.Push(1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	resp, err = http.Get(ts.URL + "/point?i=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") != "60" {
+		t.Fatalf("rate-derived warm-up: status %d Retry-After %q, want 503 with capped \"60\"",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
 	}
 }

@@ -26,15 +26,11 @@ type Limits struct {
 	// QueryTimeout bounds one query end to end; a query that exceeds it is
 	// answered 503. 0 = no deadline.
 	QueryTimeout time.Duration
-	// RetryAfter is the hint in rejection responses (default 1s).
+	// RetryAfter is the hint in rejection responses. When zero, the gate
+	// derives the hint from the observed query duration (an EWMA of
+	// completed queries — the expected wait for an in-flight slot to
+	// free), falling back to 1s before anything has been observed.
 	RetryAfter time.Duration
-}
-
-func (l Limits) retryAfter() time.Duration {
-	if l.RetryAfter > 0 {
-		return l.RetryAfter
-	}
-	return time.Second
 }
 
 // NewLimited is New with an admission gate in front of the handlers.
@@ -53,6 +49,9 @@ type gate struct {
 	lim   Limits
 	slots chan struct{} // nil when MaxInFlight == 0
 	timed bool          // a TimeoutHandler is installed below the gate
+	// avg is an EWMA of completed-query wall time in nanoseconds
+	// (quarter-weight updates), feeding derived Retry-After hints.
+	avg atomic.Int64
 }
 
 func newGate(inner http.Handler, lim Limits) *gate {
@@ -83,8 +82,7 @@ func (g *gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			defer func() { <-g.slots }()
 		default:
 			obsRejected.Inc()
-			w.Header().Set("Retry-After",
-				strconv.Itoa(int((g.lim.retryAfter()+time.Second-1)/time.Second)))
+			w.Header().Set("Retry-After", strconv.Itoa(g.retryAfterSeconds()))
 			httpError(w, http.StatusServiceUnavailable,
 				fmt.Errorf("serve: %d queries in flight, try again later", g.lim.MaxInFlight))
 			return
@@ -98,7 +96,9 @@ func (g *gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		r = r.WithContext(context.WithValue(r.Context(), probeKey{}, probe))
 	}
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
 	g.inner.ServeHTTP(rec, r)
+	g.observe(time.Since(start))
 	// A deadline kill is a 503 recorded while a TimeoutHandler is
 	// installed AND the inner handler never ran to completion. Without
 	// both conditions, any handler 503 below the gate (Limits with
@@ -107,6 +107,51 @@ func (g *gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if g.timed && rec.status == http.StatusServiceUnavailable && !probe.done.Load() {
 		obsTimeouts.Inc()
 	}
+}
+
+// observe folds one completed query's wall time into the EWMA
+// (new = 3/4·old + 1/4·d; the first observation seeds it directly).
+func (g *gate) observe(d time.Duration) {
+	for {
+		old := g.avg.Load()
+		next := int64(d)
+		if old != 0 {
+			next = old - old/4 + int64(d)/4
+		}
+		if g.avg.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds is the rejection hint: the explicit Limits value if
+// set, otherwise the observed average query duration — roughly when the
+// next in-flight slot frees — and 1s before anything has completed.
+func (g *gate) retryAfterSeconds() int {
+	if g.lim.RetryAfter > 0 {
+		return retrySeconds(g.lim.RetryAfter)
+	}
+	if avg := g.avg.Load(); avg > 0 {
+		return retrySeconds(time.Duration(avg))
+	}
+	return 1
+}
+
+// retrySeconds renders a duration as a Retry-After value: ceiling
+// seconds, floored at 1 (clients treat 0 as "immediately", defeating
+// the hint) and capped at 60 (beyond that the estimate is noise).
+func retrySeconds(d time.Duration) int {
+	if d <= 0 {
+		return 1
+	}
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	if s > 60 {
+		s = 60
+	}
+	return s
 }
 
 // probeKey carries the per-request timeoutProbe through the context.

@@ -223,3 +223,53 @@ func TestChaosQueryFail(t *testing.T) {
 		t.Fatalf("post-fault query answered %+v", info)
 	}
 }
+
+// TestShedRetryAfterDerived pins the derived rejection hint: with no
+// explicit Limits.RetryAfter the gate extrapolates from the observed
+// query-duration EWMA (ceiling seconds, floored at 1, capped at 60),
+// and an explicit value always wins over the observations.
+func TestShedRetryAfterDerived(t *testing.T) {
+	block := make(chan struct{})
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { <-block })
+	g := newGate(inner, Limits{MaxInFlight: 1})
+
+	if got := g.retryAfterSeconds(); got != 1 {
+		t.Fatalf("unobserved hint = %d, want fallback 1", got)
+	}
+	g.observe(2500 * time.Millisecond)
+	if got := g.retryAfterSeconds(); got != 3 {
+		t.Fatalf("hint after one 2.5s query = %d, want ceil to 3", got)
+	}
+	g.observe(90 * time.Minute)
+	if got := g.retryAfterSeconds(); got != 60 {
+		t.Fatalf("hint after pathological query = %d, want cap 60", got)
+	}
+
+	// The header a shed client actually sees carries the derived value.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		g.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/info", nil))
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for obsInflight.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slot holder never became in-flight")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/info", nil))
+	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") != "60" {
+		t.Fatalf("shed response: status %d Retry-After %q, want 503 with derived \"60\"",
+			rec.Code, rec.Header().Get("Retry-After"))
+	}
+	close(block)
+	<-done
+
+	ge := newGate(inner, Limits{MaxInFlight: 1, RetryAfter: 2 * time.Second})
+	ge.observe(10 * time.Second)
+	if got := ge.retryAfterSeconds(); got != 2 {
+		t.Fatalf("explicit RetryAfter overridden: hint = %d, want 2", got)
+	}
+}

@@ -26,4 +26,30 @@ var (
 	obsIngestRequests = obs.Default.Counter("serve_ingest_requests")
 	obsIngestValues   = obs.Default.Counter("serve_ingest_values")
 	obsIngestErrors   = obs.Default.Counter("serve_ingest_errors")
+
+	// Shard node (node.go): queries answered over the peer transport,
+	// queries for shards the ring says this node does not own (a routing
+	// bug or a membership disagreement — zero in a healthy cluster), the
+	// decoded-synopsis cache, queries shed outright under overload, and
+	// queries answered from a coarser cached synopsis instead of shedding.
+	obsShardQueries  = obs.Default.Counter("serve_shard_queries")
+	obsShardNotOwned = obs.Default.Counter("serve_shard_not_owned")
+	obsShardHits     = obs.Default.Counter("serve_shard_cache_hits")
+	obsShardMisses   = obs.Default.Counter("serve_shard_cache_misses")
+	obsShardEvicted  = obs.Default.Counter("serve_shard_cache_evictions")
+	obsShardWarm     = obs.Default.Gauge("serve_shard_warm")
+	obsShardShed     = obs.Default.Counter("serve_shard_shed_total")
+	obsShardDegraded = obs.Default.Counter("serve_shard_degraded_total")
+
+	// Router (router.go): queries routed, forward attempts that failed on
+	// a live connection, owners skipped because their link was already
+	// known down (redial backoff pending), failovers — a query answered by
+	// a later replica after an earlier one actually failed mid-attempt —
+	// queries no replica could answer, and the live peer-link gauge.
+	obsRouteQueries     = obs.Default.Counter("serve_route_queries")
+	obsForwardErrors    = obs.Default.Counter("serve_forward_errors")
+	obsForwardSkipped   = obs.Default.Counter("serve_forward_skipped")
+	obsFailoverTotal    = obs.Default.Counter("serve_failover_total")
+	obsRouteUnavailable = obs.Default.Counter("serve_route_unavailable")
+	obsPeersUp          = obs.Default.Gauge("serve_peers_up")
 )

@@ -1,0 +1,384 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"dwmaxerr/internal/chaos"
+	"dwmaxerr/internal/mr"
+)
+
+// Node is one member of the sharded serve tier: it answers shard
+// queries over the mr peer transport for the shards the consistent-hash
+// ring assigns it (primary or replica), from a warm cache of decoded
+// synopses. A node never proxies — a query for a shard it does not own
+// is still answered (any shard in the store is loadable) but counted as
+// serve_shard_not_owned, which a healthy cluster keeps at zero.
+//
+// Under overload a node walks a degradation ladder instead of failing:
+// full-fidelity answer while in-flight slots last, then a degraded
+// answer from the coarsest warm sibling of the requested shard (smaller
+// B, weaker guarantee — still deterministic), and only when neither is
+// possible an honest 503 shed.
+
+// NodeConfig parameterizes a Node.
+type NodeConfig struct {
+	// Name is this node's ring identity; must appear in Nodes.
+	Name string
+	// Nodes is the full cluster membership, identical on every node and
+	// on the router — ownership is computed, never negotiated.
+	Nodes []string
+	// Replicas is the ownership factor R (default 2, capped at the
+	// cluster size by the ring).
+	Replicas int
+	// Vnodes is the ring's per-member point count (0 = DefaultVnodes).
+	Vnodes int
+	// Store resolves shard keys to synopses.
+	Store Store
+	// CacheShards caps the warm cache (default 64 entries).
+	CacheShards int
+	// MaxInFlight caps concurrently-answered shard queries; excess
+	// queries take the degradation ladder. 0 = unlimited.
+	MaxInFlight int
+}
+
+// Node answers shard queries for its ring assignments.
+type Node struct {
+	cfg   NodeConfig
+	ring  *Ring
+	cache *shardCache
+	slots chan struct{} // nil when MaxInFlight == 0
+
+	// chaosPoint names the per-query failpoint (serve.replica). Tests
+	// that must fault exactly one node of an in-process cluster blank the
+	// others' points, since the chaos injector is process-global.
+	chaosPoint string
+
+	mu    sync.Mutex
+	ln    net.Listener          // guarded by mu
+	conns map[*mr.PeerConn]bool // guarded by mu
+	dead  bool                  // guarded by mu
+
+	wg sync.WaitGroup
+}
+
+// NewNode builds a node. The store is not touched until Warm or the
+// first query.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("serve: node needs a name")
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("serve: node needs a store")
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("serve: replicas %d < 1", cfg.Replicas)
+	}
+	if cfg.CacheShards == 0 {
+		cfg.CacheShards = 64
+	}
+	ring := NewRing(cfg.Vnodes, cfg.Nodes...)
+	found := false
+	for _, m := range ring.Nodes() {
+		if m == cfg.Name {
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("serve: node %q is not in the member list %v", cfg.Name, cfg.Nodes)
+	}
+	n := &Node{
+		cfg:        cfg,
+		ring:       ring,
+		cache:      newShardCache(cfg.CacheShards),
+		chaosPoint: chaosReplica,
+		conns:      make(map[*mr.PeerConn]bool),
+	}
+	if cfg.MaxInFlight > 0 {
+		n.slots = make(chan struct{}, cfg.MaxInFlight)
+	}
+	return n, nil
+}
+
+// role names this node's relation to a shard: "primary", "replica-<i>",
+// or "stray" (not an owner). owned reports ring membership in the
+// shard's replica set.
+func (n *Node) role(k ShardKey) (string, bool) {
+	for i, o := range n.ring.Owners(k, n.cfg.Replicas) {
+		if o != n.cfg.Name {
+			continue
+		}
+		if i == 0 {
+			return "primary", true
+		}
+		return "replica-" + strconv.Itoa(i), true
+	}
+	return "stray", false
+}
+
+// Warm preloads every owned shard from the store into the cache, so the
+// first query after startup (or restart) pays no decode latency. It
+// returns the number of shards loaded.
+func (n *Node) Warm() (int, error) {
+	keys, err := n.cfg.Store.Keys()
+	if err != nil {
+		return 0, err
+	}
+	loaded := 0
+	for _, k := range keys {
+		if _, owned := n.role(k); !owned {
+			continue
+		}
+		if _, err := n.entry(k); err != nil {
+			return loaded, err
+		}
+		loaded++
+	}
+	return loaded, nil
+}
+
+// entry returns the warm cache entry for k, loading and decoding the
+// shard on a miss.
+func (n *Node) entry(k ShardKey) (*cacheEntry, error) {
+	if e, ok := n.cache.get(k); ok {
+		return e, nil
+	}
+	sh, err := n.cfg.Store.Load(k)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := New(sh.Syn, sh.MaxAbs)
+	if err != nil {
+		return nil, err
+	}
+	role, _ := n.role(k)
+	srv.node, srv.shard, srv.role = n.cfg.Name, k.String(), role
+	e := &cacheEntry{key: k, srv: srv, maxAbs: sh.MaxAbs}
+	n.cache.put(e)
+	return e, nil
+}
+
+// Serve accepts router connections on ln until the node is closed (or
+// killed by the serve.replica failpoint). It returns nil after a
+// deliberate shutdown.
+func (n *Node) Serve(ln net.Listener) error {
+	n.mu.Lock()
+	if n.dead {
+		n.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("serve: node %s is dead", n.cfg.Name)
+	}
+	n.ln = ln
+	n.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if n.Dead() {
+				return nil
+			}
+			return err
+		}
+		n.wg.Add(1)
+		go n.handleConn(conn)
+	}
+}
+
+func (n *Node) handleConn(conn net.Conn) {
+	defer n.wg.Done()
+	pc, err := mr.AcceptPeer(conn, "")
+	if err != nil {
+		return
+	}
+	if !n.track(pc) {
+		pc.Close()
+		return
+	}
+	defer n.untrack(pc)
+	defer pc.Close()
+	for {
+		typ, payload, err := pc.Recv()
+		if err != nil {
+			return
+		}
+		switch typ {
+		case mr.FrameHeartbeat:
+			if err := pc.Send(mr.FrameHeartbeat, nil); err != nil {
+				return
+			}
+		case frameShardQuery:
+			req, err := decodeShardRequest(payload)
+			if err != nil {
+				return
+			}
+			rep, err := n.answer(req)
+			if err != nil {
+				// The failpoint killed the node mid-query; the connection
+				// dies with it and the router sees a mid-exchange failure —
+				// exactly the shape a real replica death has.
+				return
+			}
+			if err := pc.Send(frameShardReply, rep.encode()); err != nil {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (n *Node) track(pc *mr.PeerConn) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.dead {
+		return false
+	}
+	n.conns[pc] = true
+	return true
+}
+
+func (n *Node) untrack(pc *mr.PeerConn) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.conns, pc)
+}
+
+// answer resolves one shard query. A non-nil error means the node was
+// killed by chaos and the connection must drop without a reply.
+func (n *Node) answer(req shardRequest) (shardReply, error) {
+	// The failpoint fires before any accounting: a query that kills its
+	// replica was never answered, so it must not count as one.
+	act := chaos.Point(n.chaosPoint)
+	if act.Kind == chaos.Fail {
+		n.die()
+		return shardReply{}, act.Err
+	}
+	obsShardQueries.Inc()
+	role, owned := n.role(req.Key)
+	if !owned {
+		obsShardNotOwned.Inc()
+	}
+	rep := shardReply{Node: n.cfg.Name, Role: role}
+	if n.slots != nil {
+		select {
+		case n.slots <- struct{}{}:
+			defer func() { <-n.slots }()
+		default:
+			// Degradation ladder: a coarser warm sibling answers (cheaper
+			// and already decoded) before we ever shed.
+			if ent, ok := n.cache.coarser(req.Key); ok {
+				obsShardDegraded.Inc()
+				rep.DegradedB = ent.key.B
+				n.dispatch(&rep, ent, req)
+				return rep, nil
+			}
+			obsShardShed.Inc()
+			rep.Status = http.StatusServiceUnavailable
+			rep.Body = []byte(fmt.Sprintf(
+				`{"error":"serve: node %s overloaded, no coarser synopsis warm"}`, n.cfg.Name))
+			return rep, nil
+		}
+	}
+	// An injected stall holds its slot like any slow query would, so the
+	// degradation tests exercise the real overload path.
+	if act.Kind == chaos.Delay {
+		time.Sleep(act.Sleep)
+	}
+	ent, err := n.entry(req.Key)
+	if err != nil {
+		rep.Status = http.StatusNotFound
+		rep.Body = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+		return rep, nil
+	}
+	n.dispatch(&rep, ent, req)
+	return rep, nil
+}
+
+// dispatch replays the query against the entry's per-shard server and
+// captures the HTTP answer into the reply.
+func (n *Node) dispatch(rep *shardReply, ent *cacheEntry, req shardRequest) {
+	w := &memResponse{}
+	r := &http.Request{
+		Method: http.MethodGet,
+		URL:    &url.URL{Path: req.Path, RawQuery: req.RawQuery},
+	}
+	ent.srv.mux.ServeHTTP(w, r)
+	rep.Status = w.status()
+	rep.Body = w.body.Bytes()
+}
+
+// die kills the node: listener and every live connection closed, no
+// recovery. The serve.replica failpoint's Fail verb lands here.
+func (n *Node) die() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.dead {
+		return
+	}
+	n.dead = true
+	if n.ln != nil {
+		n.ln.Close()
+	}
+	for pc := range n.conns {
+		pc.Close()
+	}
+}
+
+// Dead reports whether the node was killed or closed.
+func (n *Node) Dead() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dead
+}
+
+// Warmed returns the number of warm shards in the cache.
+func (n *Node) Warmed() int { return n.cache.len() }
+
+// Close shuts the node down and waits for its connection handlers.
+func (n *Node) Close() error {
+	n.die()
+	n.wg.Wait()
+	return nil
+}
+
+// memResponse captures a per-shard handler's answer in memory.
+type memResponse struct {
+	hdr  http.Header
+	code int
+	body bytes.Buffer
+}
+
+func (m *memResponse) Header() http.Header {
+	if m.hdr == nil {
+		m.hdr = make(http.Header)
+	}
+	return m.hdr
+}
+
+func (m *memResponse) WriteHeader(code int) {
+	if m.code == 0 {
+		m.code = code
+	}
+}
+
+func (m *memResponse) Write(b []byte) (int, error) {
+	if m.code == 0 {
+		m.code = http.StatusOK
+	}
+	return m.body.Write(b)
+}
+
+func (m *memResponse) status() int {
+	if m.code == 0 {
+		return http.StatusOK
+	}
+	return m.code
+}

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Consistent-hash ring for the sharded serve tier. Synopses are sharded
+// across serve nodes keyed on (dataset, B, metric) — the error-tree
+// partitioning of the source paper gives each synopsis an independent
+// identity, so placement needs no coordination beyond an agreed member
+// list. Each member contributes Vnodes points on a 64-bit circle; a key
+// is owned by the first R distinct members clockwise from its hash.
+//
+// Determinism is the contract everything above relies on: ownership is
+// a pure function of (member set, vnode count, key). Two processes that
+// agree on membership — a router and its nodes, started with the same
+// -peers list — agree on placement with no coordination, insertion
+// order included (property-tested in ring_test.go). Joins and leaves
+// move only the keys adjacent to the changed member's points, the
+// classic consistent-hashing minimal-movement guarantee.
+
+// ShardKey identifies one synopsis in the serve tier's catalog: the
+// dataset it summarizes, its coefficient budget B, and the error metric
+// it was thresholded for (algorithm name, e.g. "dgreedyabs" or "conv").
+type ShardKey struct {
+	Dataset string
+	B       int
+	Metric  string
+}
+
+// String is the canonical form — the hash input, the store file stem,
+// and the /info "shard" field all derive from it.
+func (k ShardKey) String() string {
+	return k.Dataset + "/b" + strconv.Itoa(k.B) + "/" + k.Metric
+}
+
+func (k ShardKey) hash() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(k.String()))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. FNV alone disperses short, similar
+// strings ("a\x000", "a\x001", ...) unevenly around the circle — enough
+// to skew node shares by 2-3x — so every point and key hash is passed
+// through a full-avalanche mix before placement.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// DefaultVnodes is the per-member point count when RingConfig leaves it
+// zero: enough for key balance within a few tens of percent at small
+// clusters without making Owners lookups measurable.
+const DefaultVnodes = 64
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// Ring is the consistent-hash ring. Not safe for concurrent mutation;
+// the serve tier builds it once at startup and only reads afterwards.
+type Ring struct {
+	vnodes  int
+	points  []ringPoint // sorted by (hash, node)
+	members map[string]bool
+}
+
+// NewRing builds a ring with vnodesPerNode points per member (<= 0
+// means DefaultVnodes) and the given initial members.
+func NewRing(vnodesPerNode int, nodes ...string) *Ring {
+	if vnodesPerNode <= 0 {
+		vnodesPerNode = DefaultVnodes
+	}
+	r := &Ring{vnodes: vnodesPerNode, members: make(map[string]bool)}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	return r
+}
+
+func vnodeHash(node string, i int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(node))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(i)))
+	return mix64(h.Sum64())
+}
+
+// Add joins a member (idempotent).
+func (r *Ring) Add(node string) {
+	if node == "" || r.members[node] {
+		return
+	}
+	r.members[node] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{vnodeHash(node, i), node})
+	}
+	// Ties broken by name so the point order — and therefore ownership —
+	// never depends on insertion order.
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node
+	})
+}
+
+// Remove leaves a member (idempotent).
+func (r *Ring) Remove(node string) {
+	if !r.members[node] {
+		return
+	}
+	delete(r.members, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Nodes returns the members, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.members))
+	for n := range r.members {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owners returns the first n distinct members clockwise from the key's
+// hash — the replica set, primary first. Fewer members than n returns
+// them all.
+func (r *Ring) Owners(k ShardKey, n int) []string {
+	if len(r.points) == 0 || n < 1 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := k.hash()
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	owners := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(owners) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			owners = append(owners, p.node)
+		}
+	}
+	return owners
+}
+
+// Owner returns the primary owner of k ("" on an empty ring).
+func (r *Ring) Owner(k ShardKey) string {
+	if o := r.Owners(k, 1); len(o) == 1 {
+		return o[0]
+	}
+	return ""
+}

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests for the consistent-hash ring: balance, minimal key
+// movement on membership change, and cross-process determinism. These
+// are the placement contract the router and nodes rely on instead of
+// any coordination protocol.
+
+func ringKeys(n int) []ShardKey {
+	keys := make([]ShardKey, n)
+	for i := range keys {
+		keys[i] = ShardKey{Dataset: "ds" + fmt.Sprint(i%97), B: 1 + i%512, Metric: []string{"dgreedyabs", "conv", "drel"}[i%3]}
+	}
+	return keys
+}
+
+// TestRingBalance: with generous vnodes, every node's key share stays
+// within a factor of two of the fair share.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d", "e", "f"}
+	r := NewRing(128, nodes...)
+	counts := map[string]int{}
+	keys := ringKeys(20000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	mean := float64(len(keys)) / float64(len(nodes))
+	for _, n := range nodes {
+		c := float64(counts[n])
+		if c < mean/2 || c > mean*2 {
+			t.Errorf("node %s owns %.0f keys, fair share %.0f (counts %v)", n, c, mean, counts)
+		}
+	}
+}
+
+// TestRingJoinMovesOnlyToNewNode: adding a member reassigns keys only
+// TO the new member — no key moves between surviving members.
+func TestRingJoinMovesOnlyToNewNode(t *testing.T) {
+	r := NewRing(64, "a", "b", "c")
+	keys := ringKeys(5000)
+	before := make([]string, len(keys))
+	for i, k := range keys {
+		before[i] = r.Owner(k)
+	}
+	r.Add("d")
+	moved := 0
+	for i, k := range keys {
+		after := r.Owner(k)
+		if after == before[i] {
+			continue
+		}
+		moved++
+		if after != "d" {
+			t.Fatalf("key %s moved %s -> %s on join of d", k, before[i], after)
+		}
+	}
+	if moved == 0 || moved > len(keys)/2 {
+		t.Errorf("join moved %d/%d keys; want a minimal, non-zero share", moved, len(keys))
+	}
+}
+
+// TestRingLeaveMovesOnlyDepartedKeys: removing a member reassigns only
+// the keys it owned; everything else stays put.
+func TestRingLeaveMovesOnlyDepartedKeys(t *testing.T) {
+	r := NewRing(64, "a", "b", "c", "d")
+	keys := ringKeys(5000)
+	before := make([]string, len(keys))
+	for i, k := range keys {
+		before[i] = r.Owner(k)
+	}
+	r.Remove("b")
+	for i, k := range keys {
+		after := r.Owner(k)
+		if before[i] != "b" && after != before[i] {
+			t.Fatalf("key %s moved %s -> %s though only b left", k, before[i], after)
+		}
+		if before[i] == "b" && after == "b" {
+			t.Fatalf("key %s still owned by removed node", k)
+		}
+	}
+}
+
+// TestRingOwnershipDeterministic (testing/quick): ownership is a pure
+// function of the member SET — any insertion order, or an independently
+// constructed ring (a second process), agrees on every replica list.
+func TestRingOwnershipDeterministic(t *testing.T) {
+	prop := func(seed int64, nKeys uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := []string{"n0", "n1", "n2", "n3", "n4"}
+		shuffled := append([]string(nil), nodes...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r1 := NewRing(32, nodes...)
+		r2 := NewRing(32, shuffled...)
+		for i := 0; i < int(nKeys)+1; i++ {
+			k := ShardKey{Dataset: fmt.Sprintf("d%d", rng.Intn(50)), B: 1 + rng.Intn(256), Metric: "m"}
+			if !reflect.DeepEqual(r1.Owners(k, 2), r2.Owners(k, 2)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRingOwnersDistinct: replica sets never repeat a node and are
+// capped by the membership.
+func TestRingOwnersDistinct(t *testing.T) {
+	r := NewRing(0, "a", "b", "c")
+	for _, k := range ringKeys(500) {
+		owners := r.Owners(k, 5)
+		if len(owners) != 3 {
+			t.Fatalf("key %s: owners %v, want all 3 members", k, owners)
+		}
+		sorted := append([]string(nil), owners...)
+		sort.Strings(sorted)
+		if sorted[0] == sorted[1] || sorted[1] == sorted[2] {
+			t.Fatalf("key %s: duplicate owner in %v", k, owners)
+		}
+	}
+	if got := NewRing(0).Owners(ShardKey{Dataset: "x", B: 1, Metric: "m"}, 2); got != nil {
+		t.Fatalf("empty ring returned owners %v", got)
+	}
+}

@@ -1,0 +1,342 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"dwmaxerr/internal/mr"
+	"dwmaxerr/internal/obs"
+)
+
+// Router is the serve tier's front end: it accepts the same HTTP query
+// API a single server exposes, maps each request to a shard key, and
+// proxies it to that shard's owners over the mr peer transport —
+// primary first, failing over to the next replica when an attempt dies
+// mid-exchange. Peer links are dialed lazily, kept open across queries,
+// and redialed under the engine's jittered exponential backoff; while a
+// peer's backoff window is pending the router skips it outright instead
+// of stalling queries on a dead socket.
+
+// Peer names one serve node and its shard-listener address.
+type Peer struct {
+	Name string
+	Addr string
+}
+
+// RouterConfig parameterizes a Router.
+type RouterConfig struct {
+	// Peers is the cluster membership with addresses. Names must match
+	// the -nodes list every node was started with.
+	Peers []Peer
+	// Replicas is the ownership factor R (default 2).
+	Replicas int
+	// Vnodes is the ring's per-member point count (0 = DefaultVnodes).
+	Vnodes int
+	// Dataset, B and Metric are the shard-key defaults applied when a
+	// request omits the corresponding query parameter.
+	Dataset string
+	B       int
+	Metric  string
+	// DialTimeout bounds one peer dial (default 2s); ReplyTimeout bounds
+	// one full query exchange (default 10s).
+	DialTimeout  time.Duration
+	ReplyTimeout time.Duration
+	// RetryBase and RetryCap shape the per-peer redial backoff (defaults
+	// are the engine's: 50ms doubling to 5s, jittered).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// Heartbeat, when positive, pings every peer link at this interval so
+	// dead peers are detected (and their backoff started) between
+	// queries, not by the first query that needs them.
+	Heartbeat time.Duration
+	// Seed drives the backoff jitter deterministically.
+	Seed int64
+	// Tracer, when non-nil, records one span per routed query with a
+	// child per forward attempt.
+	Tracer *obs.Tracer
+}
+
+// Router proxies queries to shard owners. Safe for concurrent use.
+type Router struct {
+	cfg   RouterConfig
+	ring  *Ring
+	peers map[string]*peerClient
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewRouter builds a router and, when configured, starts its heartbeat
+// loops. No peer is dialed until first use.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("serve: router needs peers")
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("serve: replicas %d < 1", cfg.Replicas)
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.ReplyTimeout <= 0 {
+		cfg.ReplyTimeout = 10 * time.Second
+	}
+	rt := &Router{
+		cfg:   cfg,
+		peers: make(map[string]*peerClient, len(cfg.Peers)),
+		stop:  make(chan struct{}),
+	}
+	names := make([]string, 0, len(cfg.Peers))
+	for i, p := range cfg.Peers {
+		if p.Name == "" || p.Addr == "" {
+			return nil, fmt.Errorf("serve: peer %d needs name=addr", i)
+		}
+		if _, dup := rt.peers[p.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate peer %q", p.Name)
+		}
+		rt.peers[p.Name] = &peerClient{
+			name:        p.Name,
+			addr:        p.Addr,
+			dialTimeout: cfg.DialTimeout,
+			bo:          mr.NewBackoff(cfg.RetryBase, cfg.RetryCap, cfg.Seed+int64(i)*7919),
+		}
+		names = append(names, p.Name)
+	}
+	rt.ring = NewRing(cfg.Vnodes, names...)
+	if cfg.Heartbeat > 0 {
+		for _, p := range rt.peers {
+			rt.wg.Add(1)
+			go rt.heartbeat(p)
+		}
+	}
+	return rt, nil
+}
+
+// heartbeat keeps one peer link probed so death is noticed (and the
+// redial backoff started) between queries. Errors are not surfaced —
+// the link state they updated is the product.
+func (rt *Router) heartbeat(p *peerClient) {
+	defer rt.wg.Done()
+	t := time.NewTicker(rt.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			p.exchange(mr.FrameHeartbeat, nil, rt.cfg.ReplyTimeout)
+		}
+	}
+}
+
+// requestKey maps a request to its shard key, applying the router's
+// configured defaults for omitted parameters.
+func (rt *Router) requestKey(r *http.Request) (ShardKey, error) {
+	q := r.URL.Query()
+	k := ShardKey{Dataset: q.Get("dataset"), B: rt.cfg.B, Metric: q.Get("metric")}
+	if k.Dataset == "" {
+		k.Dataset = rt.cfg.Dataset
+	}
+	if k.Metric == "" {
+		k.Metric = rt.cfg.Metric
+	}
+	if raw := q.Get("b"); raw != "" {
+		b, err := strconv.Atoi(raw)
+		if err != nil {
+			return ShardKey{}, fmt.Errorf("parameter \"b\": %v", err)
+		}
+		k.B = b
+	}
+	if err := k.valid(); err != nil {
+		return ShardKey{}, err
+	}
+	return k, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/info", "/point", "/range", "/coefficients":
+	default:
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: unknown endpoint %q", r.URL.Path))
+		return
+	}
+	key, err := rt.requestKey(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	obsRouteQueries.Inc()
+	var span *obs.Span
+	if rt.cfg.Tracer != nil {
+		span = rt.cfg.Tracer.Start("route:" + key.String())
+		defer span.End()
+	}
+	payload := shardRequest{Key: key, Path: r.URL.Path, RawQuery: r.URL.RawQuery}.encode()
+	owners := rt.ring.Owners(key, rt.cfg.Replicas)
+	for i, owner := range owners {
+		p := rt.peers[owner]
+		typ, raw, err := p.exchange(frameShardQuery, payload, rt.cfg.ReplyTimeout)
+		if err == nil && typ != frameShardReply {
+			err = fmt.Errorf("serve: peer %s answered frame type %d", owner, typ)
+		}
+		var rep shardReply
+		if err == nil {
+			rep, err = decodeShardReply(raw)
+		}
+		if span != nil {
+			c := span.Child("forward:" + owner)
+			c.SetBool("ok", err == nil)
+			c.End()
+		}
+		if err != nil {
+			if errors.Is(err, errPeerDown) {
+				// Known down: redial backoff pending (or the dial itself
+				// failed). No query was attempted on a live link, so this is
+				// a skip, not a failover.
+				obsForwardSkipped.Inc()
+			} else {
+				obsForwardErrors.Inc()
+				if i+1 < len(owners) {
+					obsFailoverTotal.Inc()
+				}
+			}
+			continue
+		}
+		writeShardReply(w, rep)
+		return
+	}
+	obsRouteUnavailable.Inc()
+	w.Header().Set("Retry-After", strconv.Itoa(rt.retryHint(owners)))
+	httpError(w, http.StatusServiceUnavailable,
+		fmt.Errorf("serve: no replica of %s reachable", key))
+}
+
+// writeShardReply relays a node's answer, stamping the answering
+// replica's identity so clients (and tests) can see who served them.
+func writeShardReply(w http.ResponseWriter, rep shardReply) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Dwserve-Node", rep.Node)
+	h.Set("X-Dwserve-Role", rep.Role)
+	if rep.DegradedB > 0 {
+		h.Set("X-Dwserve-Degraded-B", strconv.Itoa(rep.DegradedB))
+	}
+	w.WriteHeader(rep.Status)
+	w.Write(rep.Body)
+}
+
+// retryHint derives the Retry-After hint for a fully-unavailable shard
+// from the soonest redial across its owners — the earliest moment a
+// retry could possibly succeed — instead of a bare constant.
+func (rt *Router) retryHint(owners []string) int {
+	var soonest time.Time
+	for _, o := range owners {
+		at := rt.peers[o].retryAt()
+		if soonest.IsZero() || at.Before(soonest) {
+			soonest = at
+		}
+	}
+	return retrySeconds(time.Until(soonest))
+}
+
+// Close stops the heartbeats and tears down every peer link.
+func (rt *Router) Close() error {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	rt.wg.Wait()
+	for _, p := range rt.peers {
+		p.close()
+	}
+	return nil
+}
+
+// errPeerDown marks a forward that never reached a live link: the
+// peer's redial backoff is pending, or the dial itself failed.
+var errPeerDown = errors.New("serve: peer link down")
+
+// peerClient is one lazily-dialed, persistent link to a serve node.
+// exchange pairs each send with its reply under the lock, so queries
+// and heartbeats never interleave frames.
+type peerClient struct {
+	name        string
+	addr        string
+	dialTimeout time.Duration
+	bo          *mr.Backoff
+
+	mu    sync.Mutex
+	conn  *mr.PeerConn // guarded by mu — nil when down
+	fails int          // guarded by mu — consecutive failures
+	next  time.Time    // guarded by mu — no redial before this
+}
+
+// exchange sends one frame and reads its reply. An errPeerDown result
+// means no live link was available; any other error means the link
+// failed mid-exchange (and was torn down for backoff).
+func (p *peerClient) exchange(typ byte, payload []byte, replyTimeout time.Duration) (byte, []byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn == nil {
+		if time.Now().Before(p.next) {
+			return 0, nil, fmt.Errorf("%w: %s backed off for %s",
+				errPeerDown, p.name, time.Until(p.next).Round(time.Millisecond))
+		}
+		conn, err := mr.DialPeer(p.addr, p.dialTimeout, chaosForward)
+		if err != nil {
+			p.fails++
+			p.next = time.Now().Add(p.bo.Delay(p.fails))
+			return 0, nil, fmt.Errorf("%w: dial %s: %v", errPeerDown, p.name, err)
+		}
+		p.conn = conn
+		p.fails = 0
+		obsPeersUp.Add(1)
+	}
+	p.conn.SetDeadline(time.Now().Add(replyTimeout))
+	if err := p.conn.Send(typ, payload); err != nil {
+		p.dropLocked()
+		return 0, nil, fmt.Errorf("serve: send to %s: %w", p.name, err)
+	}
+	rtyp, raw, err := p.conn.Recv()
+	if err != nil {
+		p.dropLocked()
+		return 0, nil, fmt.Errorf("serve: recv from %s: %w", p.name, err)
+	}
+	return rtyp, raw, nil
+}
+
+// dropLocked tears the link down and starts its redial backoff. Caller
+// holds mu.
+func (p *peerClient) dropLocked() {
+	p.conn.Close()
+	p.conn = nil
+	obsPeersUp.Add(-1)
+	p.fails++
+	p.next = time.Now().Add(p.bo.Delay(p.fails))
+}
+
+// retryAt reports when this peer will next be dialed.
+func (p *peerClient) retryAt() time.Time {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn != nil {
+		return time.Now()
+	}
+	return p.next
+}
+
+func (p *peerClient) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+		obsPeersUp.Add(-1)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"dwmaxerr/internal/ingest"
 	"dwmaxerr/internal/synopsis"
@@ -45,6 +46,13 @@ type Server struct {
 	maxAbs float64          // per-value guarantee; 0 when unknown
 	mux    *http.ServeMux
 	gate   *gate // non-nil when built by NewLimited / NewIngest
+
+	// Identity in the sharded tier, set by node.go on per-shard servers
+	// so /info reports who answered even through the router. Empty on
+	// standalone servers (and omitted from the JSON).
+	node  string
+	shard string
+	role  string
 }
 
 // New builds a server over a synopsis with the given per-value maximum
@@ -102,11 +110,27 @@ func (s *Server) current() (*view, bool) {
 // notReady answers a query that arrived before the first snapshot. The
 // gate counts this 503 as neither rejection nor timeout (the completion
 // marker sees the handler finish) — it is the warm-up contract, not an
-// overload signal.
-func notReady(w http.ResponseWriter) {
-	w.Header().Set("Retry-After", "1")
+// overload signal. The Retry-After hint is derived from the observed
+// ingest rate (how long until the first block completes at the current
+// pace) rather than a bare constant; with nothing observed yet it falls
+// back to 1s.
+func notReady(w http.ResponseWriter, hint time.Duration) {
+	secs := 1
+	if hint > 0 {
+		secs = retrySeconds(hint)
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	httpError(w, http.StatusServiceUnavailable,
 		fmt.Errorf("serve: synopsis warming up, no complete block yet"))
+}
+
+// warmupHint estimates how long until this server can answer; 0 when
+// unknown (static servers are never not-ready).
+func (s *Server) warmupHint() time.Duration {
+	if s.ing == nil {
+		return 0
+	}
+	return s.ing.EstimateWarmup()
 }
 
 // ServeHTTP implements http.Handler.
@@ -132,6 +156,12 @@ type Info struct {
 	WindowStart int64 `json:"window_start,omitempty"`
 	Seen        int64 `json:"seen,omitempty"`
 	Durable     int64 `json:"durable,omitempty"`
+	// Sharded-tier identity: which node answered, which shard it served
+	// from, and its ring role for that shard ("primary" / "replica-<i>").
+	// Present only on answers from a cluster node.
+	Node  string `json:"node,omitempty"`
+	Shard string `json:"shard,omitempty"`
+	Role  string `json:"role,omitempty"`
 }
 
 // PointAnswer is the /point response.
@@ -172,7 +202,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	obsInfoQueries.Inc()
 	v, ok := s.current()
 	if !ok {
-		notReady(w)
+		notReady(w, s.warmupHint())
 		return
 	}
 	info := Info{
@@ -180,6 +210,9 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		Terms:       v.syn.Size(),
 		MaxAbsError: s.maxAbs,
 		Guaranteed:  s.maxAbs > 0,
+		Node:        s.node,
+		Shard:       s.shard,
+		Role:        s.role,
 	}
 	if v.window != nil {
 		info.Ingest = true
@@ -195,7 +228,7 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 	obsPointQueries.Inc()
 	v, ok := s.current()
 	if !ok {
-		notReady(w)
+		notReady(w, s.warmupHint())
 		return
 	}
 	i, err := intParam(r, "i")
@@ -220,7 +253,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	obsRangeQueries.Inc()
 	v, ok := s.current()
 	if !ok {
-		notReady(w)
+		notReady(w, s.warmupHint())
 		return
 	}
 	lo, err := intParam(r, "lo")
@@ -252,7 +285,7 @@ func (s *Server) handleCoefficients(w http.ResponseWriter, r *http.Request) {
 	obsCoefQueries.Inc()
 	v, ok := s.current()
 	if !ok {
-		notReady(w)
+		notReady(w, s.warmupHint())
 		return
 	}
 	type term struct {

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"dwmaxerr/internal/synopsis"
+)
+
+// Shard storage for the serve tier: where a node finds the synopses it
+// owns. The layout is one file per shard under a flat directory,
+//
+//	<dataset>.b<B>.<metric>.dws
+//
+// holding the standard DWS1 synopsis encoding, optionally followed by an
+// 8-byte little-endian float64 trailer carrying the per-value maximum
+// absolute error guarantee. synopsis.Read consumes exactly the encoded
+// synopsis, so plain .dws files written by older tooling load fine (the
+// guarantee then defaults to 0: honest "no guarantee", intervals
+// omitted), and shard files remain readable by anything that speaks
+// DWS1.
+
+// Shard is one loadable synopsis with its guarantee.
+type Shard struct {
+	Key    ShardKey
+	Syn    *synopsis.Synopsis
+	MaxAbs float64
+}
+
+// Store resolves shard keys to synopses. Implementations must be safe
+// for concurrent use.
+type Store interface {
+	// Load reads one shard; a missing shard is an error.
+	Load(ShardKey) (*Shard, error)
+	// Keys enumerates every shard the store holds.
+	Keys() ([]ShardKey, error)
+}
+
+// shardNameRE constrains dataset and metric names so the key↔filename
+// mapping is bijective (the separators '.' and '/' never appear inside a
+// component) and a hostile key cannot escape the store directory.
+var shardNameRE = regexp.MustCompile(`^[A-Za-z0-9_-]+$`)
+
+func (k ShardKey) valid() error {
+	if !shardNameRE.MatchString(k.Dataset) {
+		return fmt.Errorf("serve: bad dataset name %q", k.Dataset)
+	}
+	if !shardNameRE.MatchString(k.Metric) {
+		return fmt.Errorf("serve: bad metric name %q", k.Metric)
+	}
+	if k.B < 1 {
+		return fmt.Errorf("serve: bad budget %d", k.B)
+	}
+	return nil
+}
+
+// shardFile is the file name for a key (no directory).
+func shardFile(k ShardKey) string {
+	return k.Dataset + ".b" + strconv.Itoa(k.B) + "." + k.Metric + ".dws"
+}
+
+// parseShardFile inverts shardFile; ok is false for foreign files.
+func parseShardFile(name string) (ShardKey, bool) {
+	stem, found := strings.CutSuffix(name, ".dws")
+	if !found {
+		return ShardKey{}, false
+	}
+	parts := strings.Split(stem, ".")
+	if len(parts) != 3 || !strings.HasPrefix(parts[1], "b") {
+		return ShardKey{}, false
+	}
+	b, err := strconv.Atoi(parts[1][1:])
+	if err != nil {
+		return ShardKey{}, false
+	}
+	k := ShardKey{Dataset: parts[0], B: b, Metric: parts[2]}
+	if k.valid() != nil {
+		return ShardKey{}, false
+	}
+	return k, true
+}
+
+// DirStore serves shards from a flat directory.
+type DirStore struct {
+	Dir string
+}
+
+// Load implements Store.
+func (d DirStore) Load(k ShardKey) (*Shard, error) {
+	if err := k.valid(); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(d.Dir, shardFile(k)))
+	if err != nil {
+		return nil, fmt.Errorf("serve: shard %s: %w", k, err)
+	}
+	defer f.Close()
+	syn, err := synopsis.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("serve: shard %s: %w", k, err)
+	}
+	maxAbs, err := readMaxAbsTrailer(f, syn)
+	if err != nil {
+		return nil, fmt.Errorf("serve: shard %s: %w", k, err)
+	}
+	return &Shard{Key: k, Syn: syn, MaxAbs: maxAbs}, nil
+}
+
+// readMaxAbsTrailer reads the optional guarantee trailer. synopsis.Read
+// buffers, so seek to the synopsis's exact encoded size instead of
+// trusting the reader's position.
+func readMaxAbsTrailer(f *os.File, syn *synopsis.Synopsis) (float64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	body := int64(syn.EncodedSize())
+	switch st.Size() {
+	case body:
+		return 0, nil
+	case body + 8:
+		var buf [8]byte
+		if _, err := f.ReadAt(buf[:], body); err != nil {
+			return 0, err
+		}
+		v := float64frombytes(buf[:])
+		if v < 0 || v != v { // negative or NaN guarantee is corruption
+			return 0, fmt.Errorf("implausible guarantee trailer %v", v)
+		}
+		return v, nil
+	default:
+		return 0, fmt.Errorf("trailing garbage: %d bytes after synopsis", st.Size()-body)
+	}
+}
+
+// Keys implements Store.
+func (d DirStore) Keys() ([]ShardKey, error) {
+	ents, err := os.ReadDir(d.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: store: %w", err)
+	}
+	var keys []ShardKey
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if k, ok := parseShardFile(e.Name()); ok {
+			keys = append(keys, k)
+		}
+	}
+	return keys, nil
+}
+
+// WriteShard persists one shard into a store directory — the producer
+// side of DirStore, used by dwtcli -store and the cluster tests. The
+// write goes through a temp file + rename so a concurrently-warming node
+// never sees a torn shard.
+func WriteShard(dir string, k ShardKey, syn *synopsis.Synopsis, maxAbs float64) error {
+	if err := k.valid(); err != nil {
+		return err
+	}
+	if maxAbs < 0 || maxAbs != maxAbs {
+		return fmt.Errorf("serve: shard %s: bad guarantee %v", k, maxAbs)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".shard-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := syn.WriteTo(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: shard %s: %w", k, err)
+	}
+	if maxAbs > 0 {
+		if _, err := tmp.Write(float64tobytes(maxAbs)); err != nil {
+			tmp.Close()
+			return fmt.Errorf("serve: shard %s: %w", k, err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, shardFile(k)))
+}
