@@ -55,14 +55,14 @@ func (c *Counters) Names() []string {
 	return names
 }
 
-// mergeInto folds this counter set into dst.
+// mergeInto folds this counter set into dst. It copies under c.mu and
+// adds outside it: holding one Counters lock while taking another would
+// deadlock two sets merging into each other.
 func (c *Counters) mergeInto(dst *Counters) {
 	if c == nil || dst == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for n, v := range c.m {
+	for n, v := range c.snapshot() {
 		dst.Add(n, v)
 	}
 }

@@ -185,6 +185,7 @@ func NewCoordinator(addr string) (*Coordinator, error) {
 	}
 	c := &Coordinator{ln: ln, done: make(chan struct{})}
 	c.cond = sync.NewCond(&c.mu)
+	//dwlint:ignore goroleak -- acceptLoop blocks in Accept, not a channel; Close closes the listener, which makes Accept return and the loop exit
 	go c.acceptLoop()
 	return c, nil
 }
@@ -315,6 +316,7 @@ func (c *Coordinator) admit(conn net.Conn) {
 	c.mu.Unlock()
 	obsWorkersJoined.Inc()
 	obsWorkersLive.Add(1)
+	//dwlint:ignore goroleak -- readLoop blocks in a frame read, not a channel; dropWorker and Close close the conn, which errors the read and ends the loop
 	go c.readLoop(w, fr)
 }
 

@@ -188,6 +188,7 @@ func (n *Node) Serve(ln net.Listener) error {
 			return err
 		}
 		n.wg.Add(1)
+		//dwlint:ignore goroleak -- handleConn blocks in Recv on its conn; die and Close close every tracked conn, which errors Recv and ends the loop (Close then waits on wg)
 		go n.handleConn(conn)
 	}
 }

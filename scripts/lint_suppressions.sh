@@ -1,0 +1,15 @@
+#!/bin/sh
+# Regenerate the dwlint suppression budget. Every //dwlint:ignore
+# directive in the tree must be listed in scripts/lint_suppressions.txt;
+# CI fails on untracked additions, so adding a suppression means
+# rerunning this script and committing the diff — a reviewed act, not a
+# drive-by.
+set -eu
+cd "$(dirname "$0")/.."
+{
+	echo "# dwlint suppression budget. Regenerate with scripts/lint_suppressions.sh."
+	echo "# Format: <file> <analyzers> -- <reason>. CI fails on suppressions not listed here."
+	go run ./tools/dwlint -suppressions-dump ./...
+} > scripts/lint_suppressions.txt
+echo "wrote scripts/lint_suppressions.txt:"
+grep -cv '^#' scripts/lint_suppressions.txt || true

@@ -18,7 +18,9 @@ import (
 	"strings"
 )
 
-// Analyzer describes one static check. It mirrors analysis.Analyzer.
+// Analyzer describes one static check. It mirrors analysis.Analyzer,
+// plus a Finish hook for whole-program checks assembled from
+// per-package facts.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
 	// //dwlint:ignore directives.
@@ -27,7 +29,16 @@ type Analyzer struct {
 	Doc string
 	// Run executes the check against one package.
 	Run func(*Pass) error
+	// Finish, when non-nil, runs once after every package has been
+	// analyzed, with the facts all Run calls exported. Diagnostics go
+	// through report, which applies suppression directives exactly like
+	// Pass.Reportf.
+	Finish func(fs *FactStore, report ReportFunc) error
 }
+
+// ReportFunc reports one whole-program diagnostic at a resolved
+// position.
+type ReportFunc func(pos token.Position, format string, args ...interface{})
 
 // Pass carries one (analyzer, package) execution. It mirrors
 // analysis.Pass.
@@ -35,11 +46,16 @@ type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
-	Pkg      *types.Package
-	Info     *types.Info
+	// TestFiles are the package's test files, parsed but NOT
+	// type-checked (Info and Pkg know nothing about them). Analyzers
+	// that inspect them must stay syntactic.
+	TestFiles []*ast.File
+	Pkg       *types.Package
+	Info      *types.Info
 
 	diags   *[]Diagnostic
 	ignores ignoreIndex
+	facts   *FactStore
 }
 
 // Diagnostic is one reported finding.
@@ -98,10 +114,12 @@ func (ix ignoreIndex) suppressed(pos token.Position, name string) bool {
 	return false
 }
 
-// buildIgnoreIndex scans every comment in the package for directives.
-// Directives with no reason are reported as findings so suppressions
-// stay honest.
-func buildIgnoreIndex(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) ignoreIndex {
+// buildIgnoreIndex scans every comment in the package (test files
+// included — some checks report into them) for directives. Directives
+// with no reason are reported as findings so suppressions stay honest;
+// justified ones are inventoried in the fact store for the suppression
+// budget.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic, fs *FactStore) ignoreIndex {
 	ix := ignoreIndex{}
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -112,9 +130,13 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File, diags *[]Diagnosti
 				}
 				pos := fset.Position(c.Pos())
 				names := map[string]bool{}
+				var nameList []string
 				for _, n := range strings.Split(m[1], ",") {
-					names[strings.TrimSpace(n)] = true
+					n = strings.TrimSpace(n)
+					names[n] = true
+					nameList = append(nameList, n)
 				}
+				sort.Strings(nameList)
 				reason := strings.TrimSpace(m[2])
 				if reason == "" {
 					*diags = append(*diags, Diagnostic{
@@ -128,31 +150,61 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File, diags *[]Diagnosti
 					ix[pos.Filename] = map[int]ignoreDirective{}
 				}
 				ix[pos.Filename][pos.Line] = ignoreDirective{names: names, reason: reason, pos: pos}
+				fs.directives = append(fs.directives, Directive{Pos: pos, Names: nameList, Reason: reason})
 			}
 		}
 	}
 	return ix
 }
 
-// RunAnalyzers executes every analyzer over every package and returns
-// the combined findings sorted by position.
-func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// RunAnalyzers executes every analyzer over every package, runs each
+// analyzer's Finish hook over the accumulated facts, and returns the
+// combined findings sorted by position. fs may be nil when the caller
+// has no use for the facts or the directive inventory afterwards.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, fs *FactStore) ([]Diagnostic, error) {
+	if fs == nil {
+		fs = NewFactStore()
+	}
 	var diags []Diagnostic
+	merged := ignoreIndex{}
 	for _, pkg := range pkgs {
-		ignores := buildIgnoreIndex(pkg.Fset, pkg.Files, &diags)
+		ignores := buildIgnoreIndex(pkg.Fset, append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...), &diags, fs)
+		for file, lines := range ignores {
+			merged[file] = lines
+		}
 		for _, a := range analyzers {
 			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				diags:    &diags,
-				ignores:  ignores,
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				TestFiles: pkg.TestFiles,
+				Pkg:       pkg.Types,
+				Info:      pkg.Info,
+				diags:     &diags,
+				ignores:   ignores,
+				facts:     fs,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
 			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		report := func(pos token.Position, format string, args ...interface{}) {
+			if merged.suppressed(pos, a.Name) {
+				return
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      pos,
+				Message:  fmt.Sprintf(format, args...),
+				Analyzer: a.Name,
+			})
+		}
+		if err := a.Finish(fs, report); err != nil {
+			return nil, fmt.Errorf("%s finish: %w", a.Name, err)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

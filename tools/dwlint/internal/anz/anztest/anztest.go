@@ -16,6 +16,16 @@ import (
 	"dwmaxerr/tools/dwlint/internal/anz"
 )
 
+// TB is the slice of testing.TB the runner needs. It exists so the
+// runner itself is testable: anztest_test.go drives run with a fake TB
+// and asserts the failure modes (a fixture that does not build must
+// fail loudly, never report zero findings).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...interface{})
+	Fatalf(format string, args ...interface{})
+}
+
 // want is one expectation parsed from a fixture comment.
 type want struct {
 	file    string
@@ -29,28 +39,38 @@ type want struct {
 // fixture's want comments.
 func Run(t *testing.T, a *anz.Analyzer, fixture string) {
 	t.Helper()
+	run(t, a, fixture)
+}
+
+// run is Run against any TB.
+func run(t TB, a *anz.Analyzer, fixture string) {
+	t.Helper()
 	pkgs, err := anz.Load(".", "./testdata/src/"+fixture)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", fixture, err)
+		return
 	}
 	if len(pkgs) == 0 {
 		t.Fatalf("fixture %s matched no packages", fixture)
+		return
 	}
 
 	var wants []*want
 	for _, pkg := range pkgs {
-		for _, f := range pkg.Files {
+		for _, f := range append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...) {
 			ws, err := parseWants(pkg.Fset, f)
 			if err != nil {
-				t.Fatal(err)
+				t.Fatalf("%v", err)
+				return
 			}
 			wants = append(wants, ws...)
 		}
 	}
 
-	diags, err := anz.RunAnalyzers(pkgs, []*anz.Analyzer{a})
+	diags, err := anz.RunAnalyzers(pkgs, []*anz.Analyzer{a}, nil)
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
+		return
 	}
 
 	for _, d := range diags {

@@ -1,0 +1,93 @@
+package anztest
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+	"testing"
+
+	"dwmaxerr/tools/dwlint/internal/anz"
+)
+
+// boomAnalyzer flags every call to a function literally named boom —
+// just enough surface to drive the runner through its failure modes.
+var boomAnalyzer = &anz.Analyzer{
+	Name: "boom",
+	Doc:  "test analyzer: flags calls to boom",
+	Run: func(pass *anz.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "boom" {
+						pass.Reportf(call.Pos(), "call to boom")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// fakeTB records what the runner would have failed with.
+type fakeTB struct {
+	errors []string
+	fatals []string
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Errorf(format string, args ...interface{}) {
+	f.errors = append(f.errors, fmt.Sprintf(format, args...))
+}
+func (f *fakeTB) Fatalf(format string, args ...interface{}) {
+	f.fatals = append(f.fatals, fmt.Sprintf(format, args...))
+}
+
+// Multiple findings on one line are claimed by multiple want regexes.
+func TestRunnerMultiFinding(t *testing.T) { Run(t, boomAnalyzer, "multifinding") }
+
+// A justified directive removes the diagnostic, so its line carries no
+// want; unsuppressed findings on other lines still must match.
+func TestRunnerSuppression(t *testing.T) { Run(t, boomAnalyzer, "suppressed") }
+
+func TestRunnerReportsMismatches(t *testing.T) {
+	tb := &fakeTB{}
+	run(tb, boomAnalyzer, "mismatch")
+	if len(tb.fatals) != 0 {
+		t.Fatalf("mismatch fixture should not be fatal: %v", tb.fatals)
+	}
+	var unexpected, unmatched bool
+	for _, e := range tb.errors {
+		if strings.Contains(e, "unexpected diagnostic") && strings.Contains(e, "call to boom") {
+			unexpected = true
+		}
+		if strings.Contains(e, "expected diagnostic matching") && strings.Contains(e, "never produced") {
+			unmatched = true
+		}
+	}
+	if !unexpected || !unmatched {
+		t.Fatalf("want both an unexpected-diagnostic and an unmatched-want error, got %v", tb.errors)
+	}
+}
+
+func TestRunnerBrokenFixtureFailsLoudly(t *testing.T) {
+	tb := &fakeTB{}
+	run(tb, boomAnalyzer, "broken")
+	if len(tb.fatals) == 0 {
+		t.Fatal("a fixture that does not build must fail the run, not produce zero findings")
+	}
+	if !strings.Contains(tb.fatals[0], "loading fixture") {
+		t.Fatalf("failure should name the load step, got %q", tb.fatals[0])
+	}
+	if len(tb.errors) != 0 {
+		t.Fatalf("no diagnostics should be compared after a load failure: %v", tb.errors)
+	}
+}
+
+func TestRunnerUnknownFixture(t *testing.T) {
+	tb := &fakeTB{}
+	run(tb, boomAnalyzer, "no-such-fixture")
+	if len(tb.fatals) == 0 {
+		t.Fatal("a missing fixture directory must fail loudly")
+	}
+}

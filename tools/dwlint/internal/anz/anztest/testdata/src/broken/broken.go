@@ -1,0 +1,5 @@
+package broken
+
+// This fixture does not type-check: the runner must fail loudly, never
+// report "zero findings" over a package that was silently skipped.
+func f() int { return "not an int" }

@@ -1,0 +1,10 @@
+package mismatch
+
+func boom() {}
+
+// Exercises both runner failure modes: a diagnostic with no want on its
+// line, and a want no diagnostic ever matches.
+func f() {
+	boom()
+	_ = 1 // want "never produced"
+}

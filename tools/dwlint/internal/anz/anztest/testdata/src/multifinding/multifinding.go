@@ -1,0 +1,13 @@
+package multifinding
+
+func boom() {}
+
+func f() {
+	boom() // want "call to boom"
+	if true {
+		boom() // want "call to boom"
+	}
+}
+
+// Two findings on one line need two want regexes.
+func g() { boom(); boom() } // want "call to boom" "call to boom"

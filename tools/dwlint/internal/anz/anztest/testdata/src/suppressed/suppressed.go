@@ -1,0 +1,9 @@
+package suppressed
+
+func boom() {}
+
+func f() {
+	//dwlint:ignore boom -- fixture: this call is intentionally quiet
+	boom()
+	boom() // want "call to boom"
+}

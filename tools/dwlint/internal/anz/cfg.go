@@ -1,0 +1,404 @@
+package anz
+
+import (
+	"go/ast"
+)
+
+// CFG is a lightweight per-function control-flow graph: basic blocks of
+// statements in execution order, connected by successor edges. It is the
+// flow layer the concurrency analyzers (lockorder, atomicpub, goroleak)
+// share — deliberately smaller than x/tools/go/cfg, but with the same
+// block/successor vocabulary so porting is mechanical.
+//
+// Granularity: blocks hold ast.Stmt values. Control statements appear in
+// the block where their condition is evaluated (an *ast.IfStmt sits in
+// the block that tests its condition; an *ast.ForStmt sits in its loop
+// head, so a back edge re-executes it). Function literals are opaque:
+// their bodies are separate functions with separate CFGs, and the
+// statement containing the literal is just an ordinary node here.
+//
+// The builder covers the full statement grammar — if/else ladders,
+// for/range loops with break/continue (labeled included), switch with
+// fallthrough, type switches, select, goto, and labeled statements.
+// Calls that never return (panic, os.Exit) are treated as ordinary
+// statements; the extra edges only make downstream may-analyses more
+// conservative, never less sound.
+type CFG struct {
+	// Entry is the block control enters first; Exit is the single
+	// virtual block every return and the final fallthrough edge reach.
+	Entry *Block
+	Exit  *Block
+	// Blocks lists every block, Entry first, Exit last.
+	Blocks []*Block
+
+	where map[ast.Stmt]stmtSite
+}
+
+// Block is one basic block.
+type Block struct {
+	Stmts []ast.Stmt
+	Succs []*Block
+
+	index int
+}
+
+// stmtSite locates a statement inside its block.
+type stmtSite struct {
+	block *Block
+	idx   int
+}
+
+// BuildCFG constructs the CFG of one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg: &CFG{where: map[ast.Stmt]stmtSite{}},
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = &Block{}
+	b.cur = b.cfg.Entry
+	b.labelBlocks = map[string]*Block{}
+	b.stmtList(body.List)
+	b.link(b.cur, b.cfg.Exit)
+	for _, g := range b.gotos {
+		if target, ok := b.labelBlocks[g.label]; ok {
+			b.link(g.from, target)
+		}
+	}
+	b.cfg.Exit.index = len(b.cfg.Blocks)
+	b.cfg.Blocks = append(b.cfg.Blocks, b.cfg.Exit)
+	return b.cfg
+}
+
+// StmtFor resolves the innermost statement (of n itself or its ancestor
+// stack, outermost first) that this CFG placed in a block. It is how an
+// analyzer maps an arbitrary expression node back onto the graph.
+func (c *CFG) StmtFor(n ast.Node, stack []ast.Node) (ast.Stmt, bool) {
+	if s, ok := n.(ast.Stmt); ok {
+		if _, placed := c.where[s]; placed {
+			return s, true
+		}
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if s, ok := stack[i].(ast.Stmt); ok {
+			if _, placed := c.where[s]; placed {
+				return s, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// Reaches reports whether execution can flow from the point just after
+// `from` to `to` — i.e. `to` executes after `from` on at least one path.
+// A statement inside a loop reaches itself through the back edge.
+func (c *CFG) Reaches(from, to ast.Stmt) bool {
+	fs, ok := c.where[from]
+	if !ok {
+		return false
+	}
+	ts, ok := c.where[to]
+	if !ok {
+		return false
+	}
+	if fs.block == ts.block && ts.idx > fs.idx {
+		return true
+	}
+	// BFS over successor edges starting after from's block.
+	seen := make([]bool, len(c.Blocks))
+	queue := append([]*Block(nil), fs.block.Succs...)
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		if seen[b.index] {
+			continue
+		}
+		seen[b.index] = true
+		if b == ts.block {
+			return true
+		}
+		queue = append(queue, b.Succs...)
+	}
+	return false
+}
+
+// ---- builder ----
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// loopFrame tracks the break/continue targets of one enclosing loop,
+// switch, or select.
+type loopFrame struct {
+	label       string // of the enclosing LabeledStmt, or ""
+	breakTarget *Block
+	contTarget  *Block // nil for switch/select (continue passes through)
+	isLoop      bool
+}
+
+type cfgBuilder struct {
+	cfg         *CFG
+	cur         *Block
+	frames      []loopFrame
+	labelBlocks map[string]*Block
+	gotos       []pendingGoto
+	// pendingLabel carries a label down to the loop/switch statement it
+	// annotates, so `break L` / `continue L` resolve.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// place appends s to the current block and records its site.
+func (b *cfgBuilder) place(s ast.Stmt) {
+	b.cfg.where[s] = stmtSite{block: b.cur, idx: len(b.cur.Stmts)}
+	b.cur.Stmts = append(b.cur.Stmts, s)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	takeLabel := func() string {
+		l := b.pendingLabel
+		b.pendingLabel = ""
+		return l
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// The label is both a goto target and (for loops/switches) the
+		// name `break L` / `continue L` resolve against.
+		target := b.newBlock()
+		b.link(b.cur, target)
+		b.cur = target
+		b.labelBlocks[s.Label.Name] = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		takeLabel()
+		if s.Init != nil {
+			b.place(s.Init)
+		}
+		b.place(s) // condition evaluation
+		condBlock := b.cur
+		join := b.newBlock()
+
+		thenBlock := b.newBlock()
+		b.link(condBlock, thenBlock)
+		b.cur = thenBlock
+		b.stmtList(s.Body.List)
+		b.link(b.cur, join)
+
+		if s.Else != nil {
+			elseBlock := b.newBlock()
+			b.link(condBlock, elseBlock)
+			b.cur = elseBlock
+			b.stmt(s.Else)
+			b.link(b.cur, join)
+		} else {
+			b.link(condBlock, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := takeLabel()
+		if s.Init != nil {
+			b.place(s.Init)
+		}
+		head := b.newBlock()
+		b.link(b.cur, head)
+		b.cur = head
+		b.place(s) // condition evaluation (or unconditional head)
+		join := b.newBlock()
+		var post *Block
+		contTarget := head
+		if s.Post != nil {
+			post = b.newBlock()
+			contTarget = post
+		}
+		b.frames = append(b.frames, loopFrame{label: label, breakTarget: join, contTarget: contTarget, isLoop: true})
+		body := b.newBlock()
+		b.link(head, body)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if post != nil {
+			b.link(b.cur, post)
+			post.Stmts = append(post.Stmts, s.Post)
+			b.cfg.where[s.Post] = stmtSite{block: post, idx: 0}
+			b.link(post, head)
+		} else {
+			b.link(b.cur, head)
+		}
+		if s.Cond != nil {
+			b.link(head, join) // loop can exit when the condition fails
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = join
+
+	case *ast.RangeStmt:
+		label := takeLabel()
+		head := b.newBlock()
+		b.link(b.cur, head)
+		b.cur = head
+		b.place(s)
+		join := b.newBlock()
+		b.link(head, join) // range may be empty
+		b.frames = append(b.frames, loopFrame{label: label, breakTarget: join, contTarget: head, isLoop: true})
+		body := b.newBlock()
+		b.link(head, body)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.link(b.cur, head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = join
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		label := takeLabel()
+		var init ast.Stmt
+		var body *ast.BlockStmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			init, body = sw.Init, sw.Body
+		case *ast.TypeSwitchStmt:
+			init, body = sw.Init, sw.Body
+		}
+		if init != nil {
+			b.place(init)
+		}
+		b.place(s) // tag evaluation
+		head := b.cur
+		join := b.newBlock()
+		b.frames = append(b.frames, loopFrame{label: label, breakTarget: join})
+		var caseBlocks []*Block
+		hasDefault := false
+		for _, cc := range body.List {
+			cb := b.newBlock()
+			b.link(head, cb)
+			caseBlocks = append(caseBlocks, cb)
+			if clause, ok := cc.(*ast.CaseClause); ok && clause.List == nil {
+				hasDefault = true
+			}
+		}
+		for i, cc := range body.List {
+			clause := cc.(*ast.CaseClause)
+			b.cur = caseBlocks[i]
+			// fallthrough (last statement) links to the next case body.
+			fallsThrough := false
+			for _, cs := range clause.Body {
+				if br, ok := cs.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+					fallsThrough = true
+					continue
+				}
+				b.stmt(cs)
+			}
+			if fallsThrough && i+1 < len(caseBlocks) {
+				b.link(b.cur, caseBlocks[i+1])
+			} else {
+				b.link(b.cur, join)
+			}
+		}
+		if !hasDefault {
+			b.link(head, join)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = join
+
+	case *ast.SelectStmt:
+		label := takeLabel()
+		b.place(s)
+		head := b.cur
+		join := b.newBlock()
+		b.frames = append(b.frames, loopFrame{label: label, breakTarget: join})
+		for _, cc := range s.Body.List {
+			clause := cc.(*ast.CommClause)
+			cb := b.newBlock()
+			b.link(head, cb)
+			b.cur = cb
+			if clause.Comm != nil {
+				b.place(clause.Comm)
+			}
+			b.stmtList(clause.Body)
+			b.link(b.cur, join)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		if len(s.Body.List) == 0 {
+			b.cur = b.newBlock() // select {} blocks forever: no edge out
+		} else {
+			b.cur = join
+		}
+
+	case *ast.ReturnStmt:
+		b.place(s)
+		b.link(b.cur, b.cfg.Exit)
+		b.cur = b.newBlock() // unreachable continuation
+
+	case *ast.BranchStmt:
+		b.place(s)
+		switch s.Tok.String() {
+		case "break":
+			if t := b.findFrame(s, false); t != nil {
+				b.link(b.cur, t)
+			}
+			b.cur = b.newBlock()
+		case "continue":
+			if t := b.findFrame(s, true); t != nil {
+				b.link(b.cur, t)
+			}
+			b.cur = b.newBlock()
+		case "goto":
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			b.cur = b.newBlock()
+		}
+		// fallthrough is handled by the switch builder.
+
+	default:
+		// Ordinary straight-line statement (assignments, calls, sends,
+		// declarations, go, defer, incdec, empty).
+		b.place(s)
+	}
+}
+
+// findFrame resolves the target of a break (wantLoop=false: innermost
+// breakable; labeled: matching frame) or continue (innermost loop).
+func (b *cfgBuilder) findFrame(s *ast.BranchStmt, isContinue bool) *Block {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if label != "" && f.label != label {
+			continue
+		}
+		if isContinue {
+			if !f.isLoop {
+				continue
+			}
+			return f.contTarget
+		}
+		return f.breakTarget
+	}
+	return nil
+}

@@ -1,0 +1,262 @@
+package anz
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseFunc parses src as the body of one function and returns its CFG
+// plus a lookup from marker comment text (on the statement's line) to
+// statement. Markers are written as /*name*/ prefixes on statements.
+func parseFunc(t *testing.T, src string) (*CFG, map[string]ast.Stmt) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_fixture.go", "package p\nfunc f() {\n"+src+"\n}", parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	cfg := BuildCFG(fn.Body)
+
+	// Map marker comments to the statement starting on the same line.
+	markers := map[int]string{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "/*") {
+				name := strings.Trim(c.Text, "/* ")
+				markers[fset.Position(c.Pos()).Line] = name
+			}
+		}
+	}
+	stmts := map[string]ast.Stmt{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		s, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		if name, ok := markers[fset.Position(s.Pos()).Line]; ok {
+			if _, placed := cfg.where[s]; placed {
+				if _, taken := stmts[name]; !taken {
+					stmts[name] = s
+				}
+			}
+		}
+		return true
+	})
+	return cfg, stmts
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	cfg, m := parseFunc(t, `
+		/*a*/ x := 1
+		/*b*/ x++
+		/*c*/ _ = x
+	`)
+	if !cfg.Reaches(m["a"], m["b"]) || !cfg.Reaches(m["b"], m["c"]) || !cfg.Reaches(m["a"], m["c"]) {
+		t.Fatal("straight-line order not reachable")
+	}
+	if cfg.Reaches(m["c"], m["a"]) {
+		t.Fatal("backwards reachability in straight-line code")
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	cfg, m := parseFunc(t, `
+		x := 1
+		if x > 0 {
+			/*then*/ x = 2
+		} else {
+			/*else*/ x = 3
+		}
+		/*after*/ _ = x
+	`)
+	if cfg.Reaches(m["then"], m["else"]) || cfg.Reaches(m["else"], m["then"]) {
+		t.Fatal("branch arms reach each other")
+	}
+	if !cfg.Reaches(m["then"], m["after"]) || !cfg.Reaches(m["else"], m["after"]) {
+		t.Fatal("arms do not reach the join")
+	}
+}
+
+func TestCFGEarlyReturn(t *testing.T) {
+	cfg, m := parseFunc(t, `
+		x := 1
+		if x > 0 {
+			/*ret*/ return
+		}
+		/*after*/ _ = x
+	`)
+	if cfg.Reaches(m["ret"], m["after"]) {
+		t.Fatal("code after return is reachable from it")
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	cfg, m := parseFunc(t, `
+		for i := 0; i < 3; i++ {
+			/*body*/ _ = i
+		}
+		/*after*/ x := 1
+		_ = x
+	`)
+	if !cfg.Reaches(m["body"], m["body"]) {
+		t.Fatal("loop body does not reach itself via the back edge")
+	}
+	if !cfg.Reaches(m["body"], m["after"]) {
+		t.Fatal("loop body does not reach the code after the loop")
+	}
+}
+
+func TestCFGInfiniteLoopWithBreak(t *testing.T) {
+	cfg, m := parseFunc(t, `
+		x := 1
+		for {
+			if x > 0 {
+				/*brk*/ break
+			}
+			/*body*/ x++
+		}
+		/*after*/ _ = x
+	`)
+	if !cfg.Reaches(m["brk"], m["after"]) {
+		t.Fatal("break does not reach the code after the loop")
+	}
+	if !cfg.Reaches(m["body"], m["brk"]) {
+		t.Fatal("loop body does not iterate back to the break path")
+	}
+}
+
+func TestCFGInfiniteLoopNoExit(t *testing.T) {
+	cfg, m := parseFunc(t, `
+		x := 1
+		for {
+			/*body*/ x++
+		}
+		/*after*/ _ = x
+	`)
+	if cfg.Reaches(m["body"], m["after"]) {
+		t.Fatal("for{} with no break must never reach the code after it")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	cfg, m := parseFunc(t, `
+		ch := make(chan int)
+		done := make(chan int)
+		for {
+			select {
+			case <-ch:
+				/*work*/ _ = 1
+			case <-done:
+				/*ret*/ return
+			}
+			/*after*/ _ = 2
+		}
+	`)
+	if cfg.Reaches(m["ret"], m["after"]) {
+		t.Fatal("return arm falls through to the loop body tail")
+	}
+	if !cfg.Reaches(m["work"], m["after"]) || !cfg.Reaches(m["after"], m["work"]) {
+		t.Fatal("select work arm and loop tail do not cycle")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	cfg, m := parseFunc(t, `
+		x := 1
+		switch x {
+		case 1:
+			/*one*/ x = 10
+			fallthrough
+		case 2:
+			/*two*/ x = 20
+		default:
+			/*def*/ x = 30
+		}
+		/*after*/ _ = x
+	`)
+	if !cfg.Reaches(m["one"], m["two"]) {
+		t.Fatal("fallthrough edge missing")
+	}
+	if cfg.Reaches(m["two"], m["def"]) {
+		t.Fatal("case bodies must not fall into default without fallthrough")
+	}
+	for _, name := range []string{"one", "two", "def"} {
+		if !cfg.Reaches(m[name], m["after"]) {
+			t.Fatalf("case %s does not reach the join", name)
+		}
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	cfg, m := parseFunc(t, `
+		x := 1
+	outer:
+		for {
+			for {
+				if x > 0 {
+					/*brk*/ break outer
+				}
+				/*inner*/ x++
+			}
+		}
+		/*after*/ _ = x
+	`)
+	if !cfg.Reaches(m["brk"], m["after"]) {
+		t.Fatal("labeled break does not exit the outer loop")
+	}
+	if !cfg.Reaches(m["inner"], m["brk"]) {
+		t.Fatal("inner body does not iterate back to the labeled-break path")
+	}
+}
+
+func TestCFGNestedInfiniteLoopUnlabeledBreak(t *testing.T) {
+	cfg, m := parseFunc(t, `
+		x := 1
+		for {
+			for {
+				if x > 0 {
+					/*brk*/ break
+				}
+			}
+			/*outerBody*/ x++
+		}
+		/*after*/ _ = x
+	`)
+	if !cfg.Reaches(m["brk"], m["outerBody"]) {
+		t.Fatal("unlabeled break does not land in the outer loop body")
+	}
+	if cfg.Reaches(m["brk"], m["after"]) {
+		t.Fatal("unlabeled break must not exit the outer infinite loop")
+	}
+}
+
+func TestCFGStmtFor(t *testing.T) {
+	cfg, m := parseFunc(t, `
+		x := 1
+		if x > 1 {
+			/*call*/ println(x + 2)
+		}
+		_ = x
+	`)
+	// An expression nested in the call maps back to the ExprStmt.
+	var inner ast.Node
+	var stack []ast.Node
+	InspectStack(m["call"], func(n ast.Node, st []ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok {
+			inner = b
+			stack = append([]ast.Node{m["call"]}, st...)
+		}
+		return true
+	})
+	if inner == nil {
+		t.Fatal("binary expr not found")
+	}
+	s, ok := cfg.StmtFor(inner, stack)
+	if !ok || s != m["call"] {
+		t.Fatalf("StmtFor resolved %v, want the marked ExprStmt", s)
+	}
+}

@@ -1,0 +1,84 @@
+package anz
+
+import (
+	"go/token"
+	"sort"
+)
+
+// FactStore aggregates what per-package analyzer runs learned, so an
+// analyzer's Finish hook can do whole-program work after the driver has
+// visited every package (packages arrive in `go list -deps` dependency
+// order, so a package's facts are always exported before its
+// dependents run). It also inventories every justified suppression
+// directive the run encountered — the raw material of the suppression
+// budget check.
+//
+// The store is driver-scoped and single-goroutine: analyzers run
+// sequentially, so no locking is needed.
+type FactStore struct {
+	facts      map[string][]Fact
+	directives []Directive
+}
+
+// Fact is one exported datum: which package produced it and an
+// analyzer-defined value.
+type Fact struct {
+	Pkg   string
+	Value any
+}
+
+// Directive is one justified //dwlint:ignore suppression.
+type Directive struct {
+	Pos    token.Position
+	Names  []string // analyzer names, sorted; "all" suppresses everything
+	Reason string
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{facts: map[string][]Fact{}}
+}
+
+func (s *FactStore) add(analyzer, pkg string, v any) {
+	s.facts[analyzer] = append(s.facts[analyzer], Fact{Pkg: pkg, Value: v})
+}
+
+// Facts returns every fact the named analyzer exported, in package
+// visit order.
+func (s *FactStore) Facts(analyzer string) []Fact {
+	return s.facts[analyzer]
+}
+
+// Directives returns every justified suppression directive seen, sorted
+// by position.
+func (s *FactStore) Directives() []Directive {
+	ds := append([]Directive(nil), s.directives...)
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i].Pos, ds[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return ds
+}
+
+// ExportFact records v for this pass's analyzer, for consumption by its
+// Finish hook (or the driver) after all packages have run.
+func (p *Pass) ExportFact(v any) {
+	if p.facts == nil {
+		return
+	}
+	p.facts.add(p.Analyzer.Name, p.Pkg.Path(), v)
+}
+
+// ImportedFacts returns the facts this analyzer exported while running
+// over earlier packages. The driver visits packages in `go list -deps`
+// order, so by the time a package runs, every one of its dependencies'
+// facts is present.
+func (p *Pass) ImportedFacts() []Fact {
+	if p.facts == nil {
+		return nil
+	}
+	return p.facts.Facts(p.Analyzer.Name)
+}

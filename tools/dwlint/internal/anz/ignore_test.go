@@ -16,7 +16,7 @@ func parseOne(t *testing.T, src string) (*token.FileSet, ignoreIndex, []Diagnost
 		t.Fatal(err)
 	}
 	var diags []Diagnostic
-	ix := buildIgnoreIndex(fset, []*ast.File{f}, &diags)
+	ix := buildIgnoreIndex(fset, []*ast.File{f}, &diags, NewFactStore())
 	return fset, ix, diags
 }
 

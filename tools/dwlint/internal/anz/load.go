@@ -22,20 +22,26 @@ type Package struct {
 	Dir     string
 	Fset    *token.FileSet
 	Files   []*ast.File
-	Types   *types.Package
-	Info    *types.Info
+	// TestFiles are the package's test files (internal and external),
+	// parsed but not type-checked: syntactic checks (chaos spec strings,
+	// suppression directives) see them, type-driven ones do not.
+	TestFiles []*ast.File
+	Types     *types.Package
+	Info      *types.Info
 }
 
 // listPkg is the subset of `go list -json` output the loader consumes.
 type listPkg struct {
-	ImportPath string
-	Dir        string
-	Export     string
-	GoFiles    []string
-	Standard   bool
-	DepOnly    bool
-	Incomplete bool
-	Error      *struct{ Err string }
+	ImportPath   string
+	Dir          string
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Standard     bool
+	DepOnly      bool
+	Incomplete   bool
+	Error        *struct{ Err string }
 }
 
 // Load resolves patterns with the go command (run in dir), parses the
@@ -48,7 +54,7 @@ type listPkg struct {
 // contracts on purpose (the arena clobber-after-emit tests retain emitted
 // slices to prove the engine copied), so they are out of scope by design.
 func Load(dir string, patterns ...string) ([]*Package, error) {
-	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Incomplete,Error"}, patterns...)
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,Export,GoFiles,TestGoFiles,XTestGoFiles,Standard,DepOnly,Incomplete,Error"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer
@@ -114,13 +120,22 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("type-checking %s: %w", t.ImportPath, err)
 		}
+		var testFiles []*ast.File
+		for _, name := range append(append([]string(nil), t.TestGoFiles...), t.XTestGoFiles...) {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %w", name, err)
+			}
+			testFiles = append(testFiles, f)
+		}
 		pkgs = append(pkgs, &Package{
-			PkgPath: t.ImportPath,
-			Dir:     t.Dir,
-			Fset:    fset,
-			Files:   files,
-			Types:   tpkg,
-			Info:    info,
+			PkgPath:   t.ImportPath,
+			Dir:       t.Dir,
+			Fset:      fset,
+			Files:     files,
+			TestFiles: testFiles,
+			Types:     tpkg,
+			Info:      info,
 		})
 	}
 	return pkgs, nil

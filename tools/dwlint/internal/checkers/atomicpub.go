@@ -1,0 +1,208 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dwmaxerr/tools/dwlint/internal/anz"
+)
+
+// Atomicpub enforces the publish-after-swap contract of the ingest
+// snapshot path: once a value has been handed to atomic.Pointer.Store /
+// Swap (or atomic.Value.Store), readers may observe it at any moment,
+// so the publisher must never write through it again. The check is
+// flow-sensitive: for each `p.Store(v)` where v is a local identifier,
+// any write through v (`v.f = ...`, `v[i] = ...`, `*v = ...`, `v.f++`)
+// on a CFG path after the publish is a finding — including writes
+// inside function literals (goroutines, deferred closures) whose
+// spawning statement is reachable from the publish.
+//
+// A plain rebind (`v = fresh()`) kills the alias: writes after a rebind
+// that itself follows the publish are not reported. Values published as
+// inline expressions (`p.Store(build(...))`) never bind a name, so they
+// are trivially safe.
+var Atomicpub = &anz.Analyzer{
+	Name: "atomicpub",
+	Doc:  "values published via atomic Store/Swap must not be written through afterwards",
+	Run:  runAtomicpub,
+}
+
+func runAtomicpub(pass *anz.Pass) error {
+	for _, file := range pass.Files {
+		anz.InspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			if _, body, ok := funcParts(n); ok && body != nil {
+				checkAtomicUnit(pass, n, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// atomicWrite is one write-through observation inside a unit.
+type atomicWrite struct {
+	stmt ast.Stmt // placed statement in the unit's CFG
+	pos  token.Pos
+	expr string // the written expression, for the message
+}
+
+// checkAtomicUnit analyzes one function (or literal) body. Stores are
+// collected from the unit proper (nested literals publish on their own
+// behalf); writes are collected from the whole subtree, mapped to the
+// statement that places them in this unit's CFG.
+func checkAtomicUnit(pass *anz.Pass, fnNode ast.Node, body *ast.BlockStmt) {
+	type store struct {
+		stmt   ast.Stmt
+		v      *types.Var
+		method string
+	}
+	var stores []store
+	writes := map[*types.Var][]atomicWrite{}
+	rebinds := map[*types.Var][]ast.Stmt{}
+
+	cfg := anz.BuildCFG(body)
+	anz.InspectStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if nestedInLiteral(stack) {
+				return true
+			}
+			v, method, ok := atomicPublish(pass, n)
+			if !ok {
+				return true
+			}
+			if stmt, ok := cfg.StmtFor(n, stack); ok {
+				stores = append(stores, store{stmt: stmt, v: v, method: method})
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					// Plain rebind: kills the alias, not a write-through.
+					if v, ok := pass.Info.Uses[id].(*types.Var); ok && !nestedInLiteral(stack) {
+						if stmt, ok := cfg.StmtFor(n, stack); ok {
+							rebinds[v] = append(rebinds[v], stmt)
+						}
+					}
+					continue
+				}
+				if v, root := writeRoot(pass, lhs); v != nil {
+					if stmt, ok := cfg.StmtFor(n, stack); ok {
+						writes[v] = append(writes[v], atomicWrite{stmt: stmt, pos: lhs.Pos(), expr: root})
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if v, root := writeRoot(pass, n.X); v != nil {
+				if stmt, ok := cfg.StmtFor(n, stack); ok {
+					writes[v] = append(writes[v], atomicWrite{stmt: stmt, pos: n.X.Pos(), expr: root})
+				}
+			}
+		}
+		return true
+	})
+
+	for _, s := range stores {
+		for _, w := range writes[s.v] {
+			if w.stmt != s.stmt && !cfg.Reaches(s.stmt, w.stmt) {
+				continue
+			}
+			if rebindBetween(cfg, rebinds[s.v], s.stmt, w.stmt) {
+				continue
+			}
+			pass.Reportf(w.pos, "write through %s after %s was published via atomic %s; published values are immutable",
+				w.expr, s.v.Name(), s.method)
+		}
+	}
+}
+
+// nestedInLiteral reports whether the node sits inside a function
+// literal nested in the current unit (the stack bottoms out at the
+// unit's own func node, which InspectStack does not include when
+// walking the body).
+func nestedInLiteral(stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// atomicPublish matches `p.Store(v)` / `p.Swap(v)` on sync/atomic
+// Pointer[T] or Value where v is a plain identifier, returning the
+// published variable.
+func atomicPublish(pass *anz.Pass, call *ast.CallExpr) (*types.Var, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil, "", false
+	}
+	if sel.Sel.Name != "Store" && sel.Sel.Name != "Swap" {
+		return nil, "", false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil, "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, "", false
+	}
+	rt := sig.Recv().Type()
+	if !isNamed(rt, "sync/atomic", "Pointer") && !isNamed(rt, "sync/atomic", "Value") {
+		return nil, "", false
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil, "", false
+	}
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok {
+		return nil, "", false
+	}
+	return v, sel.Sel.Name, true
+}
+
+// writeRoot unwraps an assignable expression (x.f, x[i], *x, and
+// combinations) to its root identifier's variable. A bare identifier is
+// not a write-through (that is a rebind) and returns nil.
+func writeRoot(pass *anz.Pass, e ast.Expr) (*types.Var, string) {
+	root := ast.Unparen(e)
+	if _, ok := root.(*ast.Ident); ok {
+		return nil, ""
+	}
+	display := types.ExprString(e)
+	for {
+		switch x := root.(type) {
+		case *ast.SelectorExpr:
+			root = ast.Unparen(x.X)
+		case *ast.IndexExpr:
+			root = ast.Unparen(x.X)
+		case *ast.StarExpr:
+			root = ast.Unparen(x.X)
+		case *ast.Ident:
+			if v, ok := pass.Info.Uses[x].(*types.Var); ok {
+				return v, display
+			}
+			return nil, ""
+		default:
+			return nil, ""
+		}
+	}
+}
+
+// rebindBetween reports whether any rebind of the published variable
+// lies on a path from the store to the write (may-analysis: a possible
+// rebind suppresses the finding to keep the check low-noise).
+func rebindBetween(cfg *anz.CFG, rebinds []ast.Stmt, store, write ast.Stmt) bool {
+	for _, r := range rebinds {
+		if r == write {
+			continue
+		}
+		afterStore := r == store || cfg.Reaches(store, r)
+		if afterStore && (r == write || cfg.Reaches(r, write)) {
+			return true
+		}
+	}
+	return false
+}

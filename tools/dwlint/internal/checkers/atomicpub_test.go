@@ -1,0 +1,10 @@
+package checkers
+
+import (
+	"testing"
+
+	"dwmaxerr/tools/dwlint/internal/anz/anztest"
+)
+
+func TestAtomicpub(t *testing.T)      { anztest.Run(t, Atomicpub, "atomicpub") }
+func TestAtomicpubClean(t *testing.T) { anztest.Run(t, Atomicpub, "atomicpubclean") }

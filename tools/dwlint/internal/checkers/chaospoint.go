@@ -3,9 +3,12 @@ package checkers
 import (
 	"go/ast"
 	"go/constant"
+	"go/token"
 	"go/types"
 	"path/filepath"
 	"regexp"
+	"strconv"
+	"strings"
 
 	"dwmaxerr/tools/dwlint/internal/anz"
 )
@@ -27,15 +30,37 @@ var chaosNameRe = regexp.MustCompile(`^[a-z0-9]+(\.[a-z0-9]+)+$`)
 // its writer per endpoint); every assignment to a carrier is held to the
 // same constant-from-chaos.go rule, keeping the indirection closed.
 var Chaospoint = &anz.Analyzer{
-	Name: "chaospoint",
-	Doc:  "chaos.Point names must be constants declared in the package's chaos.go (carrier fields named chaosPoint may relay them)",
-	Run:  runChaospoint,
+	Name:   "chaospoint",
+	Doc:    "chaos.Point names must be constants declared in the package's chaos.go (carrier fields named chaosPoint may relay them); chaos.New fault specs in tests must name declared points",
+	Run:    runChaospoint,
+	Finish: finishChaospoint,
+}
+
+// chaosFact is one package's failpoint surface plus the fault specs its
+// tests wire up. Finish checks each spec against the union of every
+// package's declared points, because soak tests routinely inject faults
+// across subsystem boundaries ("mr.worker.send" from a dist test).
+type chaosFact struct {
+	Points []string
+	Specs  []chaosSpecUse
+}
+
+type chaosSpecUse struct {
+	Pos  token.Position
+	Spec string
 }
 
 func runChaospoint(pass *anz.Pass) error {
 	// The chaos package itself defines Point; it registers no points.
 	if pass.Pkg.Path() == chaosPath {
 		return nil
+	}
+	fact := chaosFact{Points: declaredChaosPoints(pass)}
+	for _, tf := range pass.TestFiles {
+		fact.Specs = append(fact.Specs, collectChaosSpecs(pass, tf)...)
+	}
+	if len(fact.Points) > 0 || len(fact.Specs) > 0 {
+		pass.ExportFact(fact)
 	}
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -113,6 +138,159 @@ func checkChaosConst(pass *anz.Pass, expr ast.Expr, assigned bool) {
 			pass.Reportf(expr.Pos(), "chaos point name %q does not match %s", name, chaosNameRe)
 		}
 	}
+}
+
+// declaredChaosPoints lists the well-formed string constants declared
+// in this package's chaos.go — its registered failpoint surface.
+func declaredChaosPoints(pass *anz.Pass) []string {
+	var points []string
+	for _, file := range pass.Files {
+		if filepath.Base(pass.Fset.Position(file.Pos()).Filename) != "chaos.go" {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					c, ok := pass.Info.Defs[name].(*types.Const)
+					if !ok || c.Val().Kind() != constant.String {
+						continue
+					}
+					if v := constant.StringVal(c.Val()); chaosNameRe.MatchString(v) {
+						points = append(points, v)
+					}
+				}
+			}
+		}
+	}
+	return points
+}
+
+// collectChaosSpecs scans a test file (parsed, not type-checked) for
+// chaos.New calls and resolves their fault-spec argument. String
+// literals, concatenations, and identifiers naming string constants of
+// the package under test resolve; anything else (a spec built in a
+// loop variable) is skipped — this is a best-effort net for typo'd
+// point names, not an evaluator.
+func collectChaosSpecs(pass *anz.Pass, file *ast.File) []chaosSpecUse {
+	chaosName := importName(file, chaosPath, "chaos")
+	if chaosName == "" {
+		return nil
+	}
+	var uses []chaosSpecUse
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "New" {
+			return true
+		}
+		if x, ok := sel.X.(*ast.Ident); !ok || x.Name != chaosName {
+			return true
+		}
+		spec, ok := resolveSpecString(pass, call.Args[1])
+		if !ok {
+			return true
+		}
+		uses = append(uses, chaosSpecUse{Pos: pass.Fset.Position(call.Args[1].Pos()), Spec: spec})
+		return true
+	})
+	return uses
+}
+
+// importName returns the local name the file imports path under, or ""
+// if the file does not import it.
+func importName(file *ast.File, path, base string) string {
+	for _, imp := range file.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		return base
+	}
+	return ""
+}
+
+// resolveSpecString evaluates a fault-spec expression without type
+// info: quoted literals, + concatenations of resolvable parts, and
+// identifiers naming string constants in the package under test's
+// scope (test files of the same package see them directly).
+func resolveSpecString(pass *anz.Pass, e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		if e.Kind != token.STRING {
+			return "", false
+		}
+		s, err := strconv.Unquote(e.Value)
+		return s, err == nil
+	case *ast.BinaryExpr:
+		if e.Op != token.ADD {
+			return "", false
+		}
+		l, ok := resolveSpecString(pass, e.X)
+		if !ok {
+			return "", false
+		}
+		r, ok := resolveSpecString(pass, e.Y)
+		if !ok {
+			return "", false
+		}
+		return l + r, true
+	case *ast.Ident:
+		c, ok := pass.Pkg.Scope().Lookup(e.Name).(*types.Const)
+		if !ok || c.Val().Kind() != constant.String {
+			return "", false
+		}
+		return constant.StringVal(c.Val()), true
+	}
+	return "", false
+}
+
+// finishChaospoint checks every resolved fault spec against the union
+// of declared points. Only the point-name prefix of each `;`-separated
+// rule is validated; the fault grammar after the first `:` belongs to
+// the chaos package's own parser.
+func finishChaospoint(fs *anz.FactStore, report anz.ReportFunc) error {
+	declared := map[string]bool{}
+	var specs []chaosSpecUse
+	for _, f := range fs.Facts("chaospoint") {
+		cf, ok := f.Value.(chaosFact)
+		if !ok {
+			continue
+		}
+		for _, p := range cf.Points {
+			declared[p] = true
+		}
+		specs = append(specs, cf.Specs...)
+	}
+	for _, use := range specs {
+		for _, ruleSpec := range strings.Split(use.Spec, ";") {
+			ruleSpec = strings.TrimSpace(ruleSpec)
+			if ruleSpec == "" {
+				continue
+			}
+			name := ruleSpec
+			if i := strings.Index(name, ":"); i >= 0 {
+				name = name[:i]
+			}
+			if !declared[name] {
+				report(use.Pos, "chaos spec targets undeclared point %q — no chaosPoint constant with that value exists in any package's chaos.go", name)
+			}
+		}
+	}
+	return nil
 }
 
 // isChaosCarrier reports whether expr is a field or variable named

@@ -1,13 +1,21 @@
-// Package checkers holds the six dwlint analyzers, each encoding one
+// Package checkers holds the dwlint analyzers, each encoding one
 // contract the engine states in prose:
 //
+//   - atomicpub: a value published via atomic Store/Swap (the ingest
+//     snapshot path) is immutable afterwards — no writes through it on
+//     any CFG path past the publish.
 //   - chaospoint: chaos.Point failpoint names are constants declared in
-//     the package's chaos.go (chaosPoint carrier fields may relay them).
+//     the package's chaos.go (chaosPoint carrier fields may relay them,
+//     and chaos.New fault specs in tests must name declared points).
 //   - emitretain: the arena pooling contract (mr/arena.go) — Emit
 //     implementations copy before returning, reduce callbacks don't
 //     retain group slices.
+//   - goroleak: goroutines spawned by closable types select on a
+//     done/ctx signal their Close/Stop/Shutdown triggers.
 //   - lockguard: `// guarded by <mu>` field annotations (mr/tcp.go) are
 //     enforced, not just documented.
+//   - lockorder: the whole-program lock-acquisition graph is acyclic
+//     (`dwlint -lockgraph` dumps it as DOT).
 //   - metricname: obs metric names are compile-time constants matching
 //     ^(mr|dist|serve)_[a-z0-9_]+$, declared in the package's metrics.go.
 //   - spanend: every Tracer.Start / Span.Child result reaches End on all
@@ -32,9 +40,12 @@ const (
 // All returns every analyzer, in the order the multichecker runs them.
 func All() []*anz.Analyzer {
 	return []*anz.Analyzer{
+		Atomicpub,
 		Chaospoint,
 		Emitretain,
+		Goroleak,
 		Lockguard,
+		Lockorder,
 		Metricname,
 		Spanend,
 		Wireappend,

@@ -1,0 +1,278 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dwmaxerr/tools/dwlint/internal/anz"
+)
+
+// Goroleak checks that long-lived goroutines spawned by closable types
+// are actually stoppable. Scope: every `go` statement where either the
+// spawning function is a method on a type with a Close/Stop/Shutdown
+// method, or the spawned call is (the ingest constructor's
+// `go g.publisher()` pattern). If the spawned body contains an
+// unconditional loop (`for { ... }`), it must receive from a stop
+// signal somewhere:
+//
+//   - a channel field of the owner type (`case <-rt.stop:`) — in which
+//     case something in the package must also close or send on that
+//     field, else Close never actually stops the loop;
+//   - a ctx.Done() receive;
+//   - any other channel-typed identifier (a stop parameter, or a local
+//     the spawner closes — `defer close(hbStop)`).
+//
+// Loops that block in calls (`ln.Accept()`, `pc.Recv()`) with no
+// receive at all are exactly the leaks this catches: nothing Close does
+// can unblock them except side effects the analyzer cannot see, so a
+// justified //dwlint:ignore is the honest way to keep one.
+var Goroleak = &anz.Analyzer{
+	Name: "goroleak",
+	Doc:  "goroutines of closable types must select on a done/ctx signal their Close/Stop/Shutdown triggers",
+	Run:  runGoroleak,
+}
+
+var closerNames = map[string]bool{"Close": true, "Stop": true, "Shutdown": true}
+
+func runGoroleak(pass *anz.Pass) error {
+	decls := packageFuncDecls(pass)
+
+	for _, file := range pass.Files {
+		anz.InspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(pass, gs, stack, decls)
+			return true
+		})
+	}
+	return nil
+}
+
+// packageFuncDecls maps each function object to its declaration, so a
+// spawned same-package method call can be analyzed by body.
+func packageFuncDecls(pass *anz.Pass) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+func checkGoStmt(pass *anz.Pass, gs *ast.GoStmt, stack []ast.Node, decls map[*types.Func]*ast.FuncDecl) {
+	// Resolve the spawned body.
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		if fn := staticCallee(pass, gs.Call); fn != nil {
+			if fd, ok := decls[fn]; ok {
+				body = fd.Body
+			}
+		}
+	}
+	if body == nil {
+		return // dynamic target: out of scope
+	}
+
+	// Resolve the owner: the closable type this goroutine belongs to.
+	owner := ownerType(pass, gs, stack)
+	if owner == nil || !hasCloser(owner) {
+		return
+	}
+
+	if !hasUnconditionalLoop(body) {
+		return // short-lived helper: Close need not interrupt it
+	}
+
+	sig := findStopSignal(pass, body, owner)
+	switch sig.kind {
+	case sigNone:
+		pass.Reportf(gs.Pos(), "goroutine of closable type %s loops forever without receiving from a done/ctx stop signal",
+			owner.Obj().Name())
+	case sigOwnerField:
+		if !fieldEverClosed(pass, owner, sig.field) {
+			pass.Reportf(gs.Pos(), "goroutine of %s waits on %s.%s, but nothing in the package closes or sends to it",
+				owner.Obj().Name(), owner.Obj().Name(), sig.field)
+		}
+	}
+}
+
+// staticCallee resolves a call to a concrete *types.Func, or nil for
+// function values and interface methods.
+func staticCallee(pass *anz.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type()) {
+			return nil
+		}
+	}
+	return fn
+}
+
+// ownerType picks the closable type a go statement serves: the
+// receiver of the enclosing method, or the receiver of the spawned
+// method call (the constructor pattern `go g.publisher()`).
+func ownerType(pass *anz.Pass, gs *ast.GoStmt, stack []ast.Node) *types.Named {
+	for i := len(stack) - 1; i >= 0; i-- {
+		fd, ok := stack[i].(*ast.FuncDecl)
+		if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+			continue
+		}
+		if n := namedFrom(pass.Info.TypeOf(fd.Recv.List[0].Type)); n != nil {
+			return n
+		}
+	}
+	if fn := staticCallee(pass, gs.Call); fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return namedFrom(sig.Recv().Type())
+		}
+	}
+	return nil
+}
+
+// hasCloser reports whether the type's method set (value or pointer
+// receiver) has Close, Stop, or Shutdown.
+func hasCloser(n *types.Named) bool {
+	ms := types.NewMethodSet(types.NewPointer(n))
+	for i := 0; i < ms.Len(); i++ {
+		if closerNames[ms.At(i).Obj().Name()] {
+			return true
+		}
+	}
+	return false
+}
+
+// hasUnconditionalLoop reports whether body contains `for { ... }`
+// (outside nested function literals — those are separate goroutine
+// bodies or callbacks with their own lifecycle).
+func hasUnconditionalLoop(body *ast.BlockStmt) bool {
+	found := false
+	anz.InspectStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if f, ok := n.(*ast.ForStmt); ok && f.Cond == nil && f.Init == nil && f.Post == nil {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+const (
+	sigNone = iota
+	sigOwnerField
+	sigOther // ctx.Done(), stop parameter, spawner-closed local
+)
+
+type stopSignal struct {
+	kind  int
+	field string
+}
+
+// findStopSignal scans the spawned body for a channel receive that can
+// end the loop. Owner-field receives are returned for closer
+// verification; anything else is accepted as-is.
+func findStopSignal(pass *anz.Pass, body *ast.BlockStmt, owner *types.Named) stopSignal {
+	sig := stopSignal{kind: sigNone}
+	anz.InspectStack(body, func(n ast.Node, stack []ast.Node) bool {
+		var ch ast.Expr
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() != "<-" {
+				return true
+			}
+			ch = n.X
+		case *ast.RangeStmt:
+			if _, ok := pass.Info.TypeOf(n.X).Underlying().(*types.Chan); !ok {
+				return true
+			}
+			ch = n.X
+		default:
+			return true
+		}
+		switch c := ast.Unparen(ch).(type) {
+		case *ast.SelectorExpr:
+			if selection, ok := pass.Info.Selections[c]; ok && selection.Kind() == types.FieldVal {
+				if recv := namedFrom(selection.Recv()); recv == owner {
+					if sig.kind != sigOther {
+						sig = stopSignal{kind: sigOwnerField, field: c.Sel.Name}
+					}
+					return true
+				}
+			}
+			// A field of some other struct still counts as a signal.
+			sig = stopSignal{kind: sigOther}
+		case *ast.CallExpr:
+			// ctx.Done() and friends: any channel-returning call.
+			sig = stopSignal{kind: sigOther}
+		case *ast.Ident:
+			// A stop parameter or a captured local (`hbStop`).
+			sig = stopSignal{kind: sigOther}
+		}
+		return true
+	})
+	return sig
+}
+
+// fieldEverClosed reports whether anything in the package closes or
+// sends on the owner's channel field — the minimum for a Close/Stop
+// path to actually release the waiting goroutine. Nested function
+// literals are searched too (Router.Close signals inside a
+// sync.Once.Do closure).
+func fieldEverClosed(pass *anz.Pass, owner *types.Named, field string) bool {
+	found := false
+	match := func(e ast.Expr) bool {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != field {
+			return false
+		}
+		selection, ok := pass.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return false
+		}
+		return namedFrom(selection.Recv()) == owner
+	}
+	for _, file := range pass.Files {
+		anz.InspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 && match(n.Args[0]) {
+					found = true
+				}
+			case *ast.SendStmt:
+				if match(n.Chan) {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

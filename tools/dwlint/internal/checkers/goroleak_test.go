@@ -1,0 +1,10 @@
+package checkers
+
+import (
+	"testing"
+
+	"dwmaxerr/tools/dwlint/internal/anz/anztest"
+)
+
+func TestGoroleak(t *testing.T)      { anztest.Run(t, Goroleak, "goroleak") }
+func TestGoroleakClean(t *testing.T) { anztest.Run(t, Goroleak, "goroleakclean") }

@@ -1,0 +1,809 @@
+package checkers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"dwmaxerr/tools/dwlint/internal/anz"
+)
+
+// Lockorder derives a whole-program lock-acquisition graph and reports
+// every cycle in it. A node is a lock identity — a mutex field of a
+// named struct type ("mr.Coordinator.mu"), or a package-level mutex
+// variable ("mr.registryMu"). An edge A → B means some execution path
+// acquires B while holding A:
+//
+//   - directly: a Lock/RLock on B downstream of a Lock on A (on any CFG
+//     path, before an Unlock of A — the held-set is a forward may-
+//     dataflow over the per-function CFG, so branches, loops and early
+//     returns are modeled, and `defer mu.Unlock()` correctly keeps the
+//     lock held to function exit);
+//   - through calls: holding A and calling a function whose transitive
+//     may-acquire summary contains B. Summaries cross package
+//     boundaries through the driver's fact store (`go list -deps`
+//     order guarantees callee packages are summarized first).
+//     Interface calls and function values are not resolved — the
+//     analysis is deliberately lightweight.
+//
+// Any cycle in the union of all packages' edges is a potential deadlock
+// by the classical lock-ordering argument, and is reported at every
+// edge that participates. The `// guarded by` annotations lockguard
+// enforces seed the node set, so annotated-but-never-nested locks still
+// appear (isolated) in the `dwlint -lockgraph` DOT artifact.
+//
+// Locks held at a `go` statement do not flow into the spawned
+// goroutine (it runs on its own stack), and locks local to a function
+// (instance identity unknowable) are skipped. A second Lock of the
+// *same* identity is recorded as a self-edge only when the receiver
+// expression matches textually (x.mu.Lock twice) or when it arrives
+// through a call summary — hand-over-hand locking of two instances of
+// one type would otherwise false-positive.
+var Lockorder = &anz.Analyzer{
+	Name:   "lockorder",
+	Doc:    "the whole-program lock-acquisition graph must be acyclic (potential-deadlock freedom)",
+	Run:    runLockorder,
+	Finish: finishLockorder,
+}
+
+// lockEdge is one "acquired To while holding From" observation.
+type lockEdge struct {
+	From, To string
+	Pos      token.Position
+	Via      string // "" for a nested Lock, callee name for a summary edge
+}
+
+// lockFact is one package's contribution to the whole-program graph.
+type lockFact struct {
+	Nodes     map[string]string   // lock id -> display name
+	Edges     []lockEdge          //
+	Summaries map[string][]string // func full name -> transitively acquired lock ids
+}
+
+// ---- per-package run ----
+
+// lockEvent is one flow-relevant action inside a function.
+type lockEvent struct {
+	pos      token.Pos
+	kind     int    // evLock, evUnlock, evCall
+	id       string // lock id (evLock/evUnlock)
+	display  string
+	expr     string // receiver expression text (evLock/evUnlock)
+	callee   string // func full name (evCall)
+	deferred bool
+}
+
+const (
+	evLock = iota
+	evUnlock
+	evCall
+)
+
+// funcUnit is one function or function literal to analyze.
+type funcUnit struct {
+	name   string // full name for summaries; "" for literals
+	body   *ast.BlockStmt
+	events map[ast.Stmt][]lockEvent
+	cfg    *anz.CFG
+	// direct per-function data for the summary fixpoint
+	acquires map[string]bool
+	calls    map[string]bool
+}
+
+func runLockorder(pass *anz.Pass) error {
+	fact := lockFact{
+		Nodes:     map[string]string{},
+		Summaries: map[string][]string{},
+	}
+
+	// Imported summaries from dependency packages.
+	imported := map[string][]string{}
+	for _, f := range pass.ImportedFacts() {
+		lf, ok := f.Value.(lockFact)
+		if !ok {
+			continue
+		}
+		for name, ids := range lf.Summaries {
+			imported[name] = ids
+		}
+	}
+
+	collectAnnotatedNodes(pass, fact.Nodes)
+
+	var units []*funcUnit
+	for _, file := range pass.Files {
+		anz.InspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			var name string
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body == nil {
+					return true
+				}
+				if obj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok {
+					name = obj.FullName()
+				}
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			u := buildUnit(pass, body, name, fact.Nodes)
+			units = append(units, u)
+			return true // descend: nested literals become their own units
+		})
+	}
+
+	// Summary fixpoint across this package's functions (imported
+	// summaries are already transitive).
+	summaries := map[string]map[string]bool{}
+	for _, u := range units {
+		if u.name == "" {
+			continue
+		}
+		s := map[string]bool{}
+		for id := range u.acquires {
+			s[id] = true
+		}
+		summaries[u.name] = s
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, u := range units {
+			if u.name == "" {
+				continue
+			}
+			s := summaries[u.name]
+			for callee := range u.calls {
+				var ids []string
+				if cs, ok := summaries[callee]; ok {
+					for id := range cs {
+						ids = append(ids, id)
+					}
+				} else if im, ok := imported[callee]; ok {
+					ids = im
+				}
+				for _, id := range ids {
+					if !s[id] {
+						s[id] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	lookupSummary := func(callee string) []string {
+		if s, ok := summaries[callee]; ok {
+			ids := make([]string, 0, len(s))
+			for id := range s {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			return ids
+		}
+		return imported[callee]
+	}
+
+	// Held-set dataflow per unit, emitting edges.
+	seen := map[[2]string]bool{}
+	for _, u := range units {
+		edges := flowEdges(pass, u, lookupSummary)
+		for _, e := range edges {
+			k := [2]string{e.From, e.To}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			fact.Edges = append(fact.Edges, e)
+		}
+	}
+
+	for name, s := range summaries {
+		ids := make([]string, 0, len(s))
+		for id := range s {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fact.Summaries[name] = ids
+	}
+	pass.ExportFact(fact)
+	return nil
+}
+
+// buildUnit collects the lock/unlock/call events of one function body,
+// skipping nested function literals (they are separate units).
+func buildUnit(pass *anz.Pass, body *ast.BlockStmt, name string, nodes map[string]string) *funcUnit {
+	u := &funcUnit{
+		name:     name,
+		body:     body,
+		events:   map[ast.Stmt][]lockEvent{},
+		cfg:      anz.BuildCFG(body),
+		acquires: map[string]bool{},
+		calls:    map[string]bool{},
+	}
+	anz.InspectStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate unit
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		ev, ok := classifyCall(pass, call)
+		if !ok {
+			return true
+		}
+		if underGo(stack) {
+			// `go f()` runs on its own stack: locks held here impose
+			// no ordering on f's acquisitions.
+			return true
+		}
+		ev.deferred = underDefer(stack)
+		if ev.kind == evLock {
+			u.acquires[ev.id] = true
+			nodes[ev.id] = ev.display
+		}
+		if ev.kind == evCall {
+			u.calls[ev.callee] = true
+		}
+		stmt, ok := u.cfg.StmtFor(n, stack)
+		if !ok {
+			return true
+		}
+		u.events[stmt] = append(u.events[stmt], ev)
+		return true
+	})
+	for _, evs := range u.events {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+	}
+	return u
+}
+
+// underGo reports whether the call sits directly under a `go`
+// statement within the current function unit.
+func underGo(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.GoStmt); ok {
+			return true
+		}
+		if _, _, ok := funcParts(stack[i]); ok {
+			return false
+		}
+	}
+	return false
+}
+
+// underDefer reports whether the innermost statement ancestor chain
+// passes through a DeferStmt (the event runs at function exit, not
+// here).
+func underDefer(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.DeferStmt); ok {
+			return true
+		}
+		if _, _, ok := funcParts(stack[i]); ok {
+			return false
+		}
+	}
+	return false
+}
+
+// classifyCall resolves one call expression into a lock event.
+func classifyCall(pass *anz.Pass, call *ast.CallExpr) (lockEvent, bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if isSel {
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "Unlock", "RUnlock":
+			if isMutexMethod(pass, sel) {
+				id, display, expr, ok := lockIdentity(pass, sel.X)
+				if !ok {
+					return lockEvent{}, false
+				}
+				kind := evLock
+				if sel.Sel.Name == "Unlock" || sel.Sel.Name == "RUnlock" {
+					kind = evUnlock
+				}
+				return lockEvent{pos: call.Pos(), kind: kind, id: id, display: display, expr: expr}, true
+			}
+		}
+	}
+	// A statically-resolved function or method call (not interface, not
+	// a function value).
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return lockEvent{}, false
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok {
+		return lockEvent{}, false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type()) {
+			return lockEvent{}, false // dynamic dispatch: unresolvable
+		}
+	}
+	return lockEvent{pos: call.Pos(), kind: evCall, callee: fn.FullName()}, true
+}
+
+// isMutexMethod reports whether sel names a Lock-family method on
+// sync.Mutex or sync.RWMutex (including via an embedded mutex).
+func isMutexMethod(pass *anz.Pass, sel *ast.SelectorExpr) bool {
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isNamed(sig.Recv().Type(), "sync", "Mutex") || isNamed(sig.Recv().Type(), "sync", "RWMutex")
+}
+
+// lockIdentity names the lock a receiver expression denotes:
+//
+//	x.mu.Lock()       -> <pkg>.T.mu    (field of named struct type)
+//	pkgMu.Lock()      -> <pkg>.pkgMu   (package-level var)
+//	t.Lock()          -> <pkg>.T.<embedded mutex>
+//	localMu.Lock()    -> none (instance identity is function-local)
+func lockIdentity(pass *anz.Pass, recv ast.Expr) (id, display, expr string, ok bool) {
+	recv = ast.Unparen(recv)
+	switch r := recv.(type) {
+	case *ast.SelectorExpr:
+		// Field selection x.mu?
+		if selection, ok := pass.Info.Selections[r]; ok && selection.Kind() == types.FieldVal {
+			if owner := namedFrom(selection.Recv()); owner != nil && owner.Obj().Pkg() != nil {
+				obj := owner.Obj()
+				id := obj.Pkg().Path() + "." + obj.Name() + "." + r.Sel.Name
+				display := obj.Pkg().Name() + "." + obj.Name() + "." + r.Sel.Name
+				return id, display, types.ExprString(recv), true
+			}
+			return "", "", "", false
+		}
+		// Qualified package-level var pkg.Mu?
+		if v, ok := pass.Info.Uses[r.Sel].(*types.Var); ok && isPkgLevel(v) {
+			return varIdentity(v, recv)
+		}
+		return "", "", "", false
+	case *ast.Ident:
+		v, okv := pass.Info.Uses[r].(*types.Var)
+		if !okv {
+			return "", "", "", false
+		}
+		if isPkgLevel(v) {
+			return varIdentity(v, recv)
+		}
+		// Embedded mutex: t.Lock() where t's type embeds sync.Mutex.
+		if owner := namedFrom(v.Type()); owner != nil && owner.Obj().Pkg() != nil {
+			if f, fok := embeddedMutexField(owner); fok {
+				obj := owner.Obj()
+				id := obj.Pkg().Path() + "." + obj.Name() + "." + f
+				display := obj.Pkg().Name() + "." + obj.Name() + "." + f
+				return id, display, types.ExprString(recv), true
+			}
+		}
+		return "", "", "", false
+	}
+	return "", "", "", false
+}
+
+func isPkgLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+func varIdentity(v *types.Var, recv ast.Expr) (string, string, string, bool) {
+	id := v.Pkg().Path() + "." + v.Name()
+	display := v.Pkg().Name() + "." + v.Name()
+	return id, display, types.ExprString(recv), true
+}
+
+// embeddedMutexField returns the name of owner's embedded sync.Mutex /
+// sync.RWMutex field, if any.
+func embeddedMutexField(owner *types.Named) (string, bool) {
+	stru, ok := owner.Underlying().(*types.Struct)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < stru.NumFields(); i++ {
+		f := stru.Field(i)
+		if f.Embedded() && isMutex(f.Type()) {
+			return f.Name(), true
+		}
+	}
+	return "", false
+}
+
+// heldLock is one entry of the dataflow held-set.
+type heldLock struct {
+	pos  token.Pos
+	expr string
+}
+
+// flowEdges runs the forward may-held dataflow over one unit's CFG and
+// returns the acquisition edges it observes.
+func flowEdges(pass *anz.Pass, u *funcUnit, lookupSummary func(string) []string) []lockEdge {
+	var edges []lockEdge
+	emit := func(from, to string, at token.Pos, via string) {
+		edges = append(edges, lockEdge{
+			From: from, To: to,
+			Pos: pass.Fset.Position(at),
+			Via: via,
+		})
+	}
+
+	// transfer applies one statement's events to held, emitting edges.
+	transfer := func(stmt ast.Stmt, held map[string]heldLock) {
+		for _, ev := range u.events[stmt] {
+			switch ev.kind {
+			case evLock:
+				if ev.deferred {
+					continue
+				}
+				for fromID, h := range held {
+					if fromID == ev.id {
+						// Same identity: only a textual re-lock of the same
+						// expression is a sure self-deadlock.
+						if h.expr == ev.expr {
+							emit(fromID, ev.id, ev.pos, "")
+						}
+						continue
+					}
+					emit(fromID, ev.id, ev.pos, "")
+				}
+				if _, ok := held[ev.id]; !ok {
+					held[ev.id] = heldLock{pos: ev.pos, expr: ev.expr}
+				}
+			case evUnlock:
+				if ev.deferred {
+					continue // defer mu.Unlock(): held to function exit
+				}
+				delete(held, ev.id)
+			case evCall:
+				if ev.deferred || len(held) == 0 {
+					continue
+				}
+				for _, to := range lookupSummary(ev.callee) {
+					for fromID := range held {
+						emit(fromID, to, ev.pos, ev.callee)
+					}
+				}
+			}
+		}
+	}
+
+	// Worklist fixpoint: in[b] = union of out[preds].
+	n := len(u.cfg.Blocks)
+	index := map[*anz.Block]int{}
+	for i, b := range u.cfg.Blocks {
+		index[b] = i
+	}
+	in := make([]map[string]heldLock, n)
+	out := make([]map[string]heldLock, n)
+	for i := range in {
+		in[i] = map[string]heldLock{}
+		out[i] = map[string]heldLock{}
+	}
+	cloneInto := func(dst, src map[string]heldLock) bool {
+		changed := false
+		for k, v := range src {
+			if _, ok := dst[k]; !ok {
+				dst[k] = v
+				changed = true
+			}
+		}
+		return changed
+	}
+	// Iterate to fixpoint without emitting, then one final emitting pass.
+	for changed := true; changed; {
+		changed = false
+		for i, b := range u.cfg.Blocks {
+			held := map[string]heldLock{}
+			cloneInto(held, in[i])
+			for _, s := range b.Stmts {
+				quietTransfer(u, s, held)
+			}
+			if cloneInto(out[i], held) {
+				changed = true
+			}
+			for _, succ := range b.Succs {
+				if cloneInto(in[index[succ]], out[i]) {
+					changed = true
+				}
+			}
+		}
+	}
+	emitted := map[string]bool{}
+	for i, b := range u.cfg.Blocks {
+		held := map[string]heldLock{}
+		cloneInto(held, in[i])
+		for _, s := range b.Stmts {
+			transfer(s, held)
+		}
+	}
+	// Dedupe, deterministic order.
+	var uniq []lockEdge
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Pos.Offset < b.Pos.Offset
+	})
+	for _, e := range edges {
+		k := e.From + "\x00" + e.To
+		if emitted[k] {
+			continue
+		}
+		emitted[k] = true
+		uniq = append(uniq, e)
+	}
+	return uniq
+}
+
+// quietTransfer is the dataflow transfer without edge emission, used
+// while iterating to fixpoint.
+func quietTransfer(u *funcUnit, stmt ast.Stmt, held map[string]heldLock) {
+	for _, ev := range u.events[stmt] {
+		switch ev.kind {
+		case evLock:
+			if ev.deferred {
+				continue
+			}
+			if _, ok := held[ev.id]; !ok {
+				held[ev.id] = heldLock{pos: ev.pos, expr: ev.expr}
+			}
+		case evUnlock:
+			if !ev.deferred {
+				delete(held, ev.id)
+			}
+		}
+	}
+}
+
+// collectAnnotatedNodes seeds the node set from `// guarded by` field
+// annotations, so annotated locks appear in the graph even when never
+// nested.
+func collectAnnotatedNodes(pass *anz.Pass, nodes map[string]string) {
+	for _, file := range pass.Files {
+		anz.InspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			// The enclosing type name, for sibling guards.
+			ownerName := ""
+			for i := len(stack) - 1; i >= 0; i-- {
+				if ts, ok := stack[i].(*ast.TypeSpec); ok {
+					ownerName = ts.Name.Name
+					break
+				}
+			}
+			for _, f := range st.Fields.List {
+				m := matchGuardComment(f)
+				if m == nil {
+					continue
+				}
+				name, sub := m[1], m[2]
+				if sub == "" {
+					if ownerName != "" {
+						id := pass.Pkg.Path() + "." + ownerName + "." + name
+						nodes[id] = pass.Pkg.Name() + "." + ownerName + "." + name
+					}
+				} else {
+					id := pass.Pkg.Path() + "." + name + "." + sub
+					nodes[id] = pass.Pkg.Name() + "." + name + "." + sub
+				}
+			}
+			return true
+		})
+	}
+}
+
+// ---- whole-program finish ----
+
+// lockGraph is the merged graph, rebuilt by Finish and by the driver's
+// DOT dump.
+type lockGraph struct {
+	nodes map[string]string
+	edges []lockEdge
+}
+
+// mergeLockFacts unions every package's contribution.
+func mergeLockFacts(fs *anz.FactStore) *lockGraph {
+	g := &lockGraph{nodes: map[string]string{}}
+	seen := map[[2]string]bool{}
+	for _, f := range fs.Facts("lockorder") {
+		lf, ok := f.Value.(lockFact)
+		if !ok {
+			continue
+		}
+		for id, d := range lf.Nodes {
+			g.nodes[id] = d
+		}
+		for _, e := range lf.Edges {
+			k := [2]string{e.From, e.To}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			g.edges = append(g.edges, e)
+		}
+	}
+	sort.Slice(g.edges, func(i, j int) bool {
+		a, b := g.edges[i], g.edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	return g
+}
+
+func finishLockorder(fs *anz.FactStore, report anz.ReportFunc) error {
+	g := mergeLockFacts(fs)
+	adj := map[string][]lockEdge{}
+	for _, e := range g.edges {
+		adj[e.From] = append(adj[e.From], e)
+	}
+	for _, cyc := range findCycles(adj) {
+		path := make([]string, 0, len(cyc)+1)
+		for _, e := range cyc {
+			path = append(path, g.display(e.From))
+		}
+		path = append(path, g.display(cyc[0].From))
+		desc := strings.Join(path, " -> ")
+		for _, e := range cyc {
+			via := ""
+			if e.Via != "" {
+				via = fmt.Sprintf(" via call to %s", e.Via)
+			}
+			report(e.Pos, "lock-order cycle %s: %s is acquired here%s while %s is held",
+				desc, g.display(e.To), via, g.display(e.From))
+		}
+	}
+	return nil
+}
+
+func (g *lockGraph) display(id string) string {
+	if d, ok := g.nodes[id]; ok {
+		return d
+	}
+	return id
+}
+
+// findCycles returns one representative elementary cycle per strongly
+// connected component (plus self-loops), deterministically.
+func findCycles(adj map[string][]lockEdge) [][]lockEdge {
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	var cycles [][]lockEdge
+	// Self-loops first.
+	for _, n := range nodes {
+		for _, e := range adj[n] {
+			if e.To == n {
+				cycles = append(cycles, []lockEdge{e})
+			}
+		}
+	}
+	// DFS from each node looking for a path back to it (elementary
+	// cycles of length >= 2). Dedupe by the cycle's canonical node set.
+	seen := map[string]bool{}
+	for _, start := range nodes {
+		var path []lockEdge
+		onPath := map[string]bool{start: true}
+		var dfs func(cur string) bool
+		dfs = func(cur string) bool {
+			for _, e := range adj[cur] {
+				if e.To == start && len(path) >= 1 {
+					cyc := append(append([]lockEdge(nil), path...), e)
+					key := canonicalCycle(cyc)
+					if !seen[key] {
+						seen[key] = true
+						cycles = append(cycles, cyc)
+					}
+					return true
+				}
+				if onPath[e.To] {
+					continue
+				}
+				onPath[e.To] = true
+				path = append(path, e)
+				found := dfs(e.To)
+				path = path[:len(path)-1]
+				delete(onPath, e.To)
+				if found {
+					return true
+				}
+			}
+			return false
+		}
+		for _, e := range adj[start] {
+			if e.To == start {
+				continue // self-loop already reported
+			}
+			if onPath[e.To] {
+				continue
+			}
+			onPath[e.To] = true
+			path = append(path, e)
+			dfs(e.To)
+			path = path[:len(path)-1]
+			delete(onPath, e.To)
+		}
+	}
+	return cycles
+}
+
+// canonicalCycle keys a cycle by its sorted participant set, so the
+// same ring found from different start nodes is reported once.
+func canonicalCycle(cyc []lockEdge) string {
+	ids := make([]string, 0, len(cyc))
+	for _, e := range cyc {
+		ids = append(ids, e.From)
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, "\x00")
+}
+
+// LockGraphDOT renders the merged lock-acquisition graph as Graphviz
+// DOT, the `dwlint -lockgraph` CI artifact. Edges in a cycle are drawn
+// red and bold.
+func LockGraphDOT(fs *anz.FactStore) []byte {
+	g := mergeLockFacts(fs)
+	adj := map[string][]lockEdge{}
+	for _, e := range g.edges {
+		adj[e.From] = append(adj[e.From], e)
+	}
+	inCycle := map[[2]string]bool{}
+	for _, cyc := range findCycles(adj) {
+		for _, e := range cyc {
+			inCycle[[2]string{e.From, e.To}] = true
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("digraph lockorder {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n")
+	ids := make([]string, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "  %q;\n", g.display(id))
+	}
+	for _, e := range g.edges {
+		attrs := fmt.Sprintf("label=%q", fmt.Sprintf("%s:%d", trimPath(e.Pos.Filename), e.Pos.Line))
+		if inCycle[[2]string{e.From, e.To}] {
+			attrs += ", color=red, penwidth=2"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [%s];\n", g.display(e.From), g.display(e.To), attrs)
+	}
+	b.WriteString("}\n")
+	return []byte(b.String())
+}
+
+// trimPath shortens an absolute fixture/module path to its last three
+// elements for edge labels.
+func trimPath(p string) string {
+	parts := strings.Split(p, "/")
+	if len(parts) <= 3 {
+		return p
+	}
+	return strings.Join(parts[len(parts)-3:], "/")
+}

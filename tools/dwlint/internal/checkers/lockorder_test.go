@@ -1,0 +1,10 @@
+package checkers
+
+import (
+	"testing"
+
+	"dwmaxerr/tools/dwlint/internal/anz/anztest"
+)
+
+func TestLockorder(t *testing.T)      { anztest.Run(t, Lockorder, "lockorder") }
+func TestLockorderClean(t *testing.T) { anztest.Run(t, Lockorder, "lockorderclean") }

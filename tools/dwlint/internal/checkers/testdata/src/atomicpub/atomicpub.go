@@ -1,0 +1,55 @@
+package atomicpub
+
+import "sync/atomic"
+
+type snap struct {
+	n     int
+	items []int
+}
+
+var cur atomic.Pointer[snap]
+
+var boxed atomic.Value
+
+func bad() {
+	s := &snap{}
+	cur.Store(s)
+	s.n = 1 // want "write through s.n after s was published via atomic Store"
+}
+
+func badSwap() {
+	s := &snap{}
+	old := cur.Swap(s)
+	_ = old
+	s.n = 2 // want "published via atomic Swap"
+}
+
+func badBranch(c bool) {
+	s := &snap{}
+	cur.Store(s)
+	if c {
+		s.items[0] = 3 // want "write through s"
+	}
+}
+
+func badGoroutine() {
+	s := &snap{}
+	cur.Store(s)
+	go func() {
+		s.n = 4 // want "write through s.n"
+	}()
+}
+
+func badValue() {
+	s := &snap{}
+	boxed.Store(s)
+	s.n = 5 // want "published via atomic Store"
+}
+
+func badLoop() {
+	s := &snap{}
+	for i := 0; i < 3; i++ {
+		s.n++ // want "write through s.n"
+		cur.Store(s)
+	}
+}

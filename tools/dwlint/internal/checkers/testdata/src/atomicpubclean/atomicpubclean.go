@@ -1,0 +1,47 @@
+package atomicpubclean
+
+import "sync/atomic"
+
+type snap struct{ n int }
+
+var cur atomic.Pointer[snap]
+
+func build() *snap { return &snap{} }
+
+// Mutate first, publish last: the canonical copy-on-write pattern.
+func good() {
+	s := &snap{}
+	s.n = 1
+	cur.Store(s)
+}
+
+// Publishing an inline expression binds no name to write through.
+func goodInline() {
+	cur.Store(build())
+}
+
+// Rebinding after the publish starts a fresh, unpublished value.
+func goodRebind() {
+	s := &snap{}
+	cur.Store(s)
+	s = build()
+	s.n = 2
+	cur.Store(s)
+}
+
+// A branch that never follows the publish is fine.
+func goodBranch(c bool) {
+	s := &snap{}
+	if c {
+		s.n = 3
+		return
+	}
+	cur.Store(s)
+}
+
+// Reads after publish are always fine.
+func goodRead() int {
+	s := &snap{}
+	cur.Store(s)
+	return s.n
+}

@@ -1,0 +1,13 @@
+package chaospoint
+
+import "dwmaxerr/internal/chaos"
+
+// Fault specs handed to chaos.New must target declared points: a typo
+// here silently tests nothing.
+func useSpecs(dynamic string) {
+	_, _ = chaos.New(1, "fixture.good.point:err@0.5")
+	_, _ = chaos.New(2, "fixture.unknown.point:err")                 // want "undeclared point"
+	_, _ = chaos.New(3, ptGood+":hang;fixture.missing.point:drop#1") // want "undeclared point"
+	_, _ = chaos.New(4, dynamic)                                     // unresolvable specs are skipped
+	_, _ = chaos.New(5, "fixture.good.point:drop#1;fixture.good.point:delay=5ms")
+}

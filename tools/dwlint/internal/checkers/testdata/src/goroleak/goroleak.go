@@ -1,0 +1,50 @@
+package goroleak
+
+// Server has a stop channel and closes it — but its accept loop never
+// listens, so Close leaves the goroutine blocked forever.
+type Server struct {
+	stop chan struct{}
+}
+
+func (s *Server) Close() { close(s.stop) }
+
+func (s *Server) Serve() {
+	go s.acceptLoop() // want "loops forever without receiving from a done/ctx stop signal"
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		s.accept()
+	}
+}
+
+func (s *Server) accept() {}
+
+func (s *Server) pump() {
+	go func() { // want "loops forever without receiving"
+		for {
+			s.accept()
+		}
+	}()
+}
+
+// Watcher's loop does wait on a field — but nothing ever closes or
+// sends on it, so Stop is a no-op and the goroutine still leaks.
+type Watcher struct {
+	done chan struct{}
+}
+
+func (w *Watcher) Stop() {}
+
+func (w *Watcher) Start() {
+	go w.loop() // want "nothing in the package closes or sends to it"
+}
+
+func (w *Watcher) loop() {
+	for {
+		select {
+		case <-w.done:
+			return
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package goroleakclean
+
+import "context"
+
+type Server struct {
+	stop chan struct{}
+}
+
+func (s *Server) Close() { close(s.stop) }
+
+// Method-spawned loop selecting on the owner's stop field, which Close
+// closes: the canonical shape.
+func (s *Server) Serve() {
+	go s.loop()
+}
+
+func (s *Server) loop() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+	}
+}
+
+// Constructor pattern: the go statement is in a plain function, but the
+// spawned call is a method on the closable type.
+func New() *Server {
+	s := &Server{stop: make(chan struct{})}
+	go s.loop()
+	return s
+}
+
+// ctx.Done() counts as a stop signal.
+type Poller struct{}
+
+func (p *Poller) Shutdown() {}
+
+func (p *Poller) Run(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// A local stop channel the spawner closes on exit.
+type Beater struct{}
+
+func (b *Beater) Stop() {}
+
+func (b *Beater) beat() {
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	go func() {
+		for {
+			select {
+			case <-hbStop:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// No Close/Stop/Shutdown anywhere: out of scope, even with a for{}.
+type Free struct{}
+
+func (f *Free) Run() {
+	go func() {
+		for {
+			f.tick()
+		}
+	}()
+}
+
+func (f *Free) tick() {}
+
+// Short-lived goroutine: no unconditional loop, Close need not
+// interrupt it.
+func (s *Server) once() {
+	go func() {
+		n := 0
+		_ = n
+	}()
+}

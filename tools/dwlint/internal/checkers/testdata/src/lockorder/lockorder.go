@@ -1,0 +1,55 @@
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// ab and ba acquire the two locks in opposite orders: a classic
+// potential deadlock.
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "lock-order cycle"
+	b.mu.Unlock()
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want "lock-order cycle"
+	a.mu.Unlock()
+}
+
+// double re-locks the same mutex expression: a self-deadlock.
+func double(a *A) {
+	a.mu.Lock()
+	a.mu.Lock() // want "lock-order cycle"
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+func lockD(d *D) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+// cThenD acquires D.mu indirectly, through lockD's summary; dThenC
+// closes the cycle directly.
+func cThenD(c *C, d *D) {
+	c.mu.Lock()
+	lockD(d) // want "lock-order cycle"
+	c.mu.Unlock()
+}
+
+func dThenC(c *C, d *D) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c.mu.Lock() // want "lock-order cycle"
+	c.mu.Unlock()
+}

@@ -1,0 +1,78 @@
+package lockorderclean
+
+import "sync"
+
+type A struct {
+	mu    sync.Mutex
+	count int // guarded by mu
+}
+
+type B struct{ mu sync.Mutex }
+
+// Both call paths take A.mu before B.mu: consistent order, no cycle.
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func abDeferred(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.count++
+}
+
+// released relocks A.mu only after B.mu is released: no B->A edge.
+func released(a *A, b *B) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// handOver locks two *different instances* of the same type; the
+// identity is type-level, so this must not count as a self-cycle.
+func handOver(x, y *A) {
+	x.mu.Lock()
+	y.mu.Lock()
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+
+// spawn starts a goroutine that takes B.mu while A.mu is held by the
+// spawner. The goroutine runs on its own stack: no A->B ordering.
+func spawn(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	go lockB(b)
+}
+
+func lockB(b *B) {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+func bFirst(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+// branches takes B.mu on one arm and A.mu on the other; the arms never
+// both execute, so no conflicting order arises beyond the consistent
+// A-before-B above.
+func branches(a *A, b *B, which bool) {
+	if which {
+		a.mu.Lock()
+		b.mu.Lock()
+		b.mu.Unlock()
+		a.mu.Unlock()
+	} else {
+		b.mu.Lock()
+		b.mu.Unlock()
+		a.mu.Lock()
+		a.mu.Unlock()
+	}
+}

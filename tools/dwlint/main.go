@@ -5,56 +5,217 @@
 //
 //	go run ./tools/dwlint ./...
 //
+// Flags:
+//
+//	-list                 print the analyzers and exit
+//	-json                 emit diagnostics as a JSON array on stdout
+//	-lockgraph <file>     write the whole-program lock-acquisition
+//	                      graph as Graphviz DOT (CI uploads it as an
+//	                      artifact)
+//	-suppressions <file>  compare the //dwlint:ignore directives the run
+//	                      encountered against a committed budget file;
+//	                      untracked additions fail the run, stale
+//	                      entries warn
+//
 // Suppress a finding only with a justified directive on or above the
 // offending line:
 //
 //	//dwlint:ignore <analyzer>[,<analyzer>] -- <reason>
 //
-// The six checkers and the contracts they pin are documented in
-// DESIGN.md §10 and in each analyzer's Doc string (dwlint -list).
+// The checkers and the contracts they pin are documented in DESIGN.md
+// §10 and in each analyzer's Doc string (dwlint -list).
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"dwmaxerr/tools/dwlint/internal/anz"
 	"dwmaxerr/tools/dwlint/internal/checkers"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	code, err := run(os.Args[1:])
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dwlint:", err)
 		os.Exit(2)
 	}
+	os.Exit(code)
 }
 
-func run(args []string) error {
+func run(args []string) (int, error) {
+	fs := flag.NewFlagSet("dwlint", flag.ContinueOnError)
+	var (
+		list         = fs.Bool("list", false, "print the analyzers and exit")
+		jsonOut      = fs.Bool("json", false, "emit diagnostics as JSON")
+		lockgraph    = fs.String("lockgraph", "", "write the lock-acquisition graph as DOT to `file`")
+		suppressions = fs.String("suppressions", "", "check //dwlint:ignore directives against budget `file`")
+		suppDump     = fs.Bool("suppressions-dump", false, "print the //dwlint:ignore inventory in budget-file format and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+
 	analyzers := checkers.All()
-	if len(args) > 0 && args[0] == "-list" {
+	if *list {
 		for _, a := range analyzers {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
-		return nil
+		return 0, nil
 	}
-	patterns := args
+
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	pkgs, err := anz.Load(".", patterns...)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	diags, err := anz.RunAnalyzers(pkgs, analyzers)
+	store := anz.NewFactStore()
+	diags, err := anz.RunAnalyzers(pkgs, analyzers, store)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+
+	if *suppDump {
+		for _, d := range store.Directives() {
+			fmt.Println(suppressionKey(d))
+		}
+		return 0, nil
 	}
+
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			return 0, err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+
+	if *lockgraph != "" {
+		if err := os.WriteFile(*lockgraph, checkers.LockGraphDOT(store), 0o644); err != nil {
+			return 0, fmt.Errorf("writing lock graph: %v", err)
+		}
+	}
+
+	exit := 0
+	if *suppressions != "" {
+		bad, err := checkSuppressionBudget(os.Stderr, store, *suppressions)
+		if err != nil {
+			return 0, err
+		}
+		if bad {
+			exit = 1
+		}
+	}
+
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "dwlint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+		exit = 1
 	}
-	return nil
+	return exit, nil
+}
+
+// jsonDiag is the machine-readable diagnostic shape (-json), consumed
+// by the GitHub problem matcher in .github/dwlint-matcher.json.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+	Analyzer string `json:"analyzer"`
+}
+
+func writeJSON(w *os.File, diags []anz.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     relPath(d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+			Analyzer: d.Analyzer,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// checkSuppressionBudget compares the justified //dwlint:ignore
+// directives this run saw against the committed budget file. Every
+// directive must appear in the budget (adding a suppression is a
+// reviewed act: run scripts/lint_suppressions.sh to regenerate);
+// budget entries no longer present in the code only warn, so deleting
+// code never breaks the gate.
+func checkSuppressionBudget(w *os.File, store *anz.FactStore, budgetFile string) (bad bool, err error) {
+	inCode := map[string]int{}
+	for _, d := range store.Directives() {
+		inCode[suppressionKey(d)]++
+	}
+
+	inBudget := map[string]int{}
+	data, err := os.ReadFile(budgetFile)
+	if err != nil {
+		return false, fmt.Errorf("reading suppression budget: %v", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		inBudget[line]++
+	}
+
+	for _, key := range sortedKeys(inCode) {
+		if inCode[key] > inBudget[key] {
+			fmt.Fprintf(w, "dwlint: untracked suppression (%d in code, %d budgeted): %s\n",
+				inCode[key], inBudget[key], key)
+			bad = true
+		}
+	}
+	for _, key := range sortedKeys(inBudget) {
+		if inBudget[key] > inCode[key] {
+			fmt.Fprintf(w, "dwlint: stale suppression budget entry (remove it): %s\n", key)
+		}
+	}
+	if bad {
+		fmt.Fprintf(w, "dwlint: suppressions must be budgeted; regenerate with scripts/lint_suppressions.sh after review\n")
+	}
+	return bad, nil
+}
+
+// suppressionKey renders a directive in the budget file's line format.
+// Line numbers are deliberately omitted — code above a suppression may
+// move it without changing what is being suppressed.
+func suppressionKey(d anz.Directive) string {
+	return fmt.Sprintf("%s %s -- %s", relPath(d.Pos.Filename), strings.Join(d.Names, ","), d.Reason)
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func relPath(p string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return p
+	}
+	if rel, err := filepath.Rel(wd, p); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return p
 }
