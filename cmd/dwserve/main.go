@@ -43,6 +43,18 @@
 // Every node and the router must agree on the member NAMES (and
 // -replicas / -vnodes): shard placement is a pure function of that
 // list, so there is no placement coordination to run or get wrong.
+//
+// Membership is live. The router's admin plane grows and shrinks the
+// cluster without restarts — each change is one ring-epoch bump, with
+// shards warmed on their new owners before any query routes to them:
+//
+//	curl -XPOST 'localhost:8080/admin/join?name=gamma&addr=127.0.0.1:9003'
+//	curl -XPOST 'localhost:8080/admin/drain?name=beta'
+//	curl 'localhost:8080/admin/membership'
+//	{"epoch":2,"members":["alpha","gamma"]}
+//
+// With -heartbeat plus -detect-misses the router also demotes dead
+// nodes automatically (flap-damped by -detect-damp).
 package main
 
 import (
@@ -97,6 +109,8 @@ func main() {
 		retryBase   = flag.Duration("retry-base", 0, "router: peer redial backoff base (0 = 50ms)")
 		retryCap    = flag.Duration("retry-cap", 0, "router: peer redial backoff cap (0 = 5s)")
 		heartbeat   = flag.Duration("heartbeat", 0, "router: peer heartbeat interval (0 = off)")
+		detMisses   = flag.Int("detect-misses", 0, "router: demote a peer after this many missed heartbeats (0 = detector off)")
+		detDamp     = flag.Duration("detect-damp", 0, "router: suppress detector demotions for this long after any membership change")
 		seed        = flag.Int64("seed", 1, "router: backoff jitter seed")
 		tracePath   = flag.String("trace", "", "router: write routing spans as Chrome trace-event JSON on shutdown")
 		chaosFl     = flag.String("chaos", "", "arm the fault injector: 'seed,point:fault[=dur][@prob][#nth][xmax];...'")
@@ -115,7 +129,7 @@ func main() {
 	}
 	if *route {
 		runRouter(*peersFlag, *listen, *replicas, *vnodes, *dataset, *budget, *metric,
-			*retryBase, *retryCap, *heartbeat, *seed, *tracePath)
+			*retryBase, *retryCap, *heartbeat, *detMisses, *detDamp, *seed, *tracePath)
 		return
 	}
 
@@ -237,10 +251,12 @@ func runNode(name, nodeList, storeDir, shardListen, metricsListen string, replic
 	}
 }
 
-// runRouter fronts the cluster with the HTTP query API; /debug/vars and
-// /debug/pprof share the listener.
+// runRouter fronts the cluster with the HTTP query API — including the
+// membership admin plane (POST /admin/join, POST /admin/drain, GET
+// /admin/membership); /debug/vars and /debug/pprof share the listener.
 func runRouter(peersFlag, listen string, replicas, vnodes int, dataset string, b int, metric string,
-	retryBase, retryCap, heartbeat time.Duration, seed int64, tracePath string) {
+	retryBase, retryCap, heartbeat time.Duration, detMisses int, detDamp time.Duration,
+	seed int64, tracePath string) {
 	var peers []serve.Peer
 	for _, spec := range splitList(peersFlag) {
 		name, addr, ok := strings.Cut(spec, "=")
@@ -257,6 +273,7 @@ func runRouter(peersFlag, listen string, replicas, vnodes int, dataset string, b
 		Peers: peers, Replicas: replicas, Vnodes: vnodes,
 		Dataset: dataset, B: b, Metric: metric,
 		RetryBase: retryBase, RetryCap: retryCap, Heartbeat: heartbeat,
+		DetectMisses: detMisses, DampWindow: detDamp,
 		Seed: seed, Tracer: tracer,
 	})
 	if err != nil {

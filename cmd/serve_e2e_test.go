@@ -6,6 +6,7 @@ package cmd
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -107,11 +108,12 @@ func startServeNode(t *testing.T, bin, name, nodes, store string, replicas int, 
 	return &serveNode{name: name, cmd: cmd, shardAddr: addrs[0], metrics: addrs[1]}
 }
 
-func startServeRouter(t *testing.T, bin string, peers []string, replicas int) string {
+func startServeRouter(t *testing.T, bin string, peers []string, replicas int, extra ...string) string {
 	t.Helper()
-	cmd := exec.Command(bin,
+	args := append([]string{
 		"-route", "-peers", strings.Join(peers, ","),
-		"-replicas", strconv.Itoa(replicas), "-listen", "127.0.0.1:0")
+		"-replicas", strconv.Itoa(replicas), "-listen", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -122,6 +124,40 @@ func startServeRouter(t *testing.T, bin string, peers []string, replicas int) st
 	proc := cmd
 	t.Cleanup(func() { proc.Process.Kill(); proc.Wait() })
 	return awaitAll(t, stderr, "router listener", routerAddrRE)[0]
+}
+
+// adminPost hits a router admin endpoint and decodes the JSON reply.
+func adminPost(t *testing.T, url string) (int, serve.Membership) {
+	t.Helper()
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mem serve.Membership
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &mem); err != nil {
+			t.Fatalf("POST %s: bad membership JSON %q: %v", url, body, err)
+		}
+	}
+	return resp.StatusCode, mem
+}
+
+func getMembership(t *testing.T, routerAddr string) serve.Membership {
+	t.Helper()
+	status, _, body := routerGet(t, "http://"+routerAddr+"/admin/membership")
+	if status != http.StatusOK {
+		t.Fatalf("GET /admin/membership: status %d: %s", status, body)
+	}
+	var mem serve.Membership
+	if err := json.Unmarshal(body, &mem); err != nil {
+		t.Fatalf("bad membership JSON %q: %v", body, err)
+	}
+	return mem
 }
 
 func routerGet(t *testing.T, url string) (int, http.Header, []byte) {
@@ -259,6 +295,140 @@ func TestServeClusterShardPlacement(t *testing.T) {
 	}
 	if got := snap.Counters["serve_shard_queries"]; got < 1 {
 		t.Error("restarted node answered no queries")
+	}
+}
+
+// TestServeClusterJoinDrain drives the admin plane over real processes:
+// a two-node cluster grows to three via POST /admin/join (the joiner
+// starts knowing only itself and is cut over by the router's two-phase
+// prepare/commit), then shrinks back via POST /admin/drain. Every epoch
+// bump must be visible in /admin/membership, in the X-Dwserve-Epoch
+// response header, and in the joiner's own /debug/vars — and routing
+// must agree with an independently computed ring at every epoch.
+func TestServeClusterJoinDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e: skipped in -short mode")
+	}
+	dir := t.TempDir()
+	dwtcli := buildCmd(t, dir, "dwtcli")
+	dwserve := buildCmd(t, dir, "dwserve")
+	dataPath, _ := writeDataset(t, dir, 512)
+
+	keys := []serve.ShardKey{
+		{Dataset: "taxi", B: 16, Metric: "greedyabs"},
+		{Dataset: "taxi", B: 32, Metric: "greedyabs"},
+		{Dataset: "taxi", B: 64, Metric: "greedyabs"},
+		{Dataset: "light", B: 16, Metric: "greedyabs"},
+		{Dataset: "light", B: 32, Metric: "greedyabs"},
+		{Dataset: "light", B: 64, Metric: "greedyabs"},
+	}
+	storeDir := t.TempDir()
+	publishShards(t, dwtcli, dataPath, storeDir, keys)
+
+	names := []string{"n1", "n2"}
+	var peers []string
+	for _, name := range names {
+		n := startServeNode(t, dwserve, name, strings.Join(names, ","), storeDir, 2, "127.0.0.1:0")
+		peers = append(peers, name+"="+n.shardAddr)
+	}
+	routerAddr := startServeRouter(t, dwserve, peers, 2,
+		"-heartbeat", "50ms", "-detect-misses", "5", "-detect-damp", "500ms")
+	admin := "http://" + routerAddr + "/admin/"
+
+	if mem := getMembership(t, routerAddr); mem.Epoch != 0 || len(mem.Members) != 2 {
+		t.Fatalf("initial membership %+v, want epoch 0 over n1,n2", mem)
+	}
+	for _, k := range keys {
+		hdr, _ := awaitStatus(t, shardQueryURL(routerAddr, k), http.StatusOK)
+		if got := hdr.Get("X-Dwserve-Epoch"); got != "0" {
+			t.Errorf("pre-join query %s under epoch %q, want 0", k, got)
+		}
+	}
+
+	// The joiner boots knowing only itself, so it warms every published
+	// shard; the join's commit must then evict the ones the merged ring
+	// does not hand it.
+	joiner := startServeNode(t, dwserve, "n3", "n3", storeDir, 2, "127.0.0.1:0")
+	if status, _ := adminPost(t, admin+"join?name=n3&addr="+joiner.shardAddr); status != http.StatusOK {
+		t.Fatalf("join: status %d", status)
+	}
+	mem := getMembership(t, routerAddr)
+	if mem.Epoch != 1 || !mem.Contains("n3") || len(mem.Members) != 3 {
+		t.Fatalf("post-join membership %+v, want epoch 1 over n1,n2,n3", mem)
+	}
+	if status, _ := adminPost(t, admin+"join?name=n3&addr="+joiner.shardAddr); status != http.StatusConflict {
+		t.Errorf("duplicate join answered %d, want 409", status)
+	}
+
+	// Routing now follows the three-node ring, under epoch 1, with the
+	// joiner answering as primary for its share.
+	ring3 := serve.NewRing(0, "n1", "n2", "n3")
+	joinerOwns, joinerPrimary := 0, 0
+	for _, k := range keys {
+		owners := ring3.Owners(k, 2)
+		for _, o := range owners {
+			if o == "n3" {
+				joinerOwns++
+			}
+		}
+		if owners[0] == "n3" {
+			joinerPrimary++
+		}
+		status, hdr, body := routerGet(t, shardQueryURL(routerAddr, k))
+		if status != http.StatusOK {
+			t.Fatalf("post-join query %s: status %d: %s", k, status, body)
+		}
+		if got := hdr.Get("X-Dwserve-Node"); got != owners[0] {
+			t.Errorf("post-join query %s answered by %q, ring primary is %q", k, got, owners[0])
+		}
+		if got := hdr.Get("X-Dwserve-Epoch"); got != "1" {
+			t.Errorf("post-join query %s under epoch %q, want 1", k, got)
+		}
+	}
+	if joinerPrimary == 0 {
+		t.Error("joiner is primary for no published key; widen the key set so the assertion bites")
+	}
+	snap, err := scrapeVars(joiner.metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Gauges["serve_epoch"]; got != 1 {
+		t.Errorf("joiner settled at epoch %d, want 1", got)
+	}
+	if got := snap.Gauges["serve_shard_warm"]; got != int64(joinerOwns) {
+		t.Errorf("joiner holds %d warm shards, ring hands it %d", got, joinerOwns)
+	}
+	if got := snap.Counters["serve_rebalance_evicted_total"]; got != int64(len(keys)-joinerOwns) {
+		t.Errorf("joiner evicted %d shards on commit, want %d", got, len(keys)-joinerOwns)
+	}
+	if got := snap.Counters["serve_shard_not_owned"]; got != 0 {
+		t.Errorf("joiner counted %d misroutes, want 0", got)
+	}
+
+	// Drain the joiner: one more epoch, the two survivors reabsorb its
+	// shards, and every key still answers.
+	if status, _ := adminPost(t, admin+"drain?name=n3"); status != http.StatusOK {
+		t.Fatalf("drain: status %d", status)
+	}
+	mem = getMembership(t, routerAddr)
+	if mem.Epoch != 2 || mem.Contains("n3") || len(mem.Members) != 2 {
+		t.Fatalf("post-drain membership %+v, want epoch 2 over n1,n2", mem)
+	}
+	if status, _ := adminPost(t, admin+"drain?name=nope"); status != http.StatusConflict {
+		t.Errorf("drain of unknown member answered %d, want 409", status)
+	}
+	ring2 := serve.NewRing(0, "n1", "n2")
+	for _, k := range keys {
+		status, hdr, body := routerGet(t, shardQueryURL(routerAddr, k))
+		if status != http.StatusOK {
+			t.Fatalf("post-drain query %s: status %d: %s", k, status, body)
+		}
+		if got, want := hdr.Get("X-Dwserve-Node"), ring2.Owner(k); got != want {
+			t.Errorf("post-drain query %s answered by %q, ring primary is %q", k, got, want)
+		}
+		if got := hdr.Get("X-Dwserve-Epoch"); got != "2" {
+			t.Errorf("post-drain query %s under epoch %q, want 2", k, got)
+		}
 	}
 }
 

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dwmaxerr/internal/dataset"
+	"dwmaxerr/internal/greedy"
+	"dwmaxerr/internal/serve"
+)
+
+func init() {
+	register("rebalance", "Live rebalancing: routed throughput before, during, and after a node join at R=2", runRebalance)
+}
+
+// runRebalance measures what a live membership change costs the query
+// path. A two-node R=2 cluster serves a storm at epoch 0 (the floor), a
+// cold third node joins mid-storm (the router's two-phase cutover warms
+// it from the store before routing to it), and a final storm runs on the
+// settled three-node ring. The "during" row carries the disruption
+// metrics: how long the cutover took end to end (rebalance_ms), how many
+// epoch bumps the change cost (always one — the contract), and how many
+// of the concurrent queries were answered by anything other than the
+// shard's current primary (queries_degraded — zero means the cutover was
+// invisible to clients).
+func runRebalance(cfg Config) error {
+	t := &table{header: []string{"phase", "queries", "wall", "queries/s", "degraded"}}
+
+	n := cfg.size(1 << 12)
+	budget := n / 16
+	if budget < 1 {
+		budget = 1
+	}
+	storm := cfg.size(1 << 11)
+	const workers = 4
+
+	storeDir, err := os.MkdirTemp("", "dwbench-rebalance-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(storeDir)
+	keys := make([]serve.ShardKey, 4)
+	for i := range keys {
+		data := dataset.Uniform{Max: 1000}.Generate(n, cfg.seed()+int64(i))
+		syn, maxAbs, err := greedy.SynopsisAbs(data, budget)
+		if err != nil {
+			return err
+		}
+		keys[i] = serve.ShardKey{Dataset: fmt.Sprintf("d%d", i), B: budget, Metric: "abs"}
+		if err := serve.WriteShard(storeDir, keys[i], syn, maxAbs); err != nil {
+			return err
+		}
+	}
+
+	c, err := startServeCluster(storeDir, []string{"a", "b"}, 2)
+	if err != nil {
+		return err
+	}
+	defer c.close()
+
+	// The joiner boots cold, knowing only itself: every shard the merged
+	// ring hands it must arrive via the cutover's prepare phase.
+	joiner, err := serve.NewNode(serve.NodeConfig{
+		Name: "c", Nodes: []string{"c"}, Replicas: 2,
+		Store: serve.DirStore{Dir: storeDir},
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		joiner.Close()
+		return err
+	}
+	go joiner.Serve(ln)
+	c.nodes = append(c.nodes, joiner)
+
+	phase := func(name string, queries, degraded int64, wall time.Duration, rec Record) {
+		rec.Experiment = "rebalance/" + name
+		rec.Params = fmt.Sprintf("nodes=2+1 replicas=2 shards=%d values=%d budget=%d workers=%d",
+			len(keys), n, budget, workers)
+		rec.WallMS = float64(wall.Milliseconds())
+		rec.Queries = queries
+		rec.QueriesPerSec = float64(queries) / wall.Seconds()
+		rec.QueriesDegraded = degraded
+		cfg.Collect.Add(rec)
+		t.add(rec.Experiment, fint(queries), fsec(wall), ffloat(rec.QueriesPerSec), fint(degraded))
+	}
+
+	// Before: steady state on the two-node ring.
+	t0 := time.Now()
+	queries, degraded, err := rebalanceStorm(c.http.URL, keys, workers, storm)
+	if err != nil {
+		return err
+	}
+	phase("before", queries, degraded, time.Since(t0), Record{})
+
+	// During: the same storm with the join landing a quarter of the way
+	// in. The storm and the cutover contend for the same peer links; the
+	// degraded count is the disruption clients actually saw.
+	var stormErr error
+	var stormQ, stormD int64
+	done := make(chan struct{})
+	var progress atomic.Int64
+	t0 = time.Now()
+	go func() {
+		defer close(done)
+		stormQ, stormD, stormErr = rebalanceStormCounted(c.http.URL, keys, workers, storm, &progress)
+	}()
+	for progress.Load() < int64(storm/4) {
+		select {
+		case <-done:
+		case <-time.After(200 * time.Microsecond):
+			continue
+		}
+		break
+	}
+	j0 := time.Now()
+	mem, err := c.router.Join("c", ln.Addr().String())
+	rebalance := time.Since(j0)
+	if err != nil {
+		return err
+	}
+	<-done
+	wall := time.Since(t0)
+	if stormErr != nil {
+		return stormErr
+	}
+	phase("during", stormQ, stormD, wall, Record{
+		EpochBumps:  mem.Epoch,
+		RebalanceMS: float64(rebalance.Microseconds()) / 1000,
+	})
+
+	// After: steady state on the settled three-node ring.
+	t0 = time.Now()
+	queries, degraded, err = rebalanceStorm(c.http.URL, keys, workers, storm)
+	if err != nil {
+		return err
+	}
+	phase("after", queries, degraded, time.Since(t0), Record{})
+
+	t.write(cfg.Out)
+	return nil
+}
+
+// rebalanceStorm drives total point queries through the router and
+// counts how many were answered by anything other than the owning
+// primary — the client-visible signature of a cutover in flight.
+func rebalanceStorm(base string, keys []serve.ShardKey, workers, total int) (int64, int64, error) {
+	var progress atomic.Int64
+	return rebalanceStormCounted(base, keys, workers, total, &progress)
+}
+
+func rebalanceStormCounted(base string, keys []serve.ShardKey, workers, total int, progress *atomic.Int64) (int64, int64, error) {
+	var next, done, degraded atomic.Int64
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				k := keys[i%len(keys)]
+				url := fmt.Sprintf("%s/point?i=%d&dataset=%s&b=%d&metric=%s",
+					base, i%7, k.Dataset, k.B, k.Metric)
+				resp, err := http.Get(url)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("rebalance storm: %s answered %d", url, resp.StatusCode)
+					return
+				}
+				if resp.Header.Get("X-Dwserve-Role") != "primary" {
+					degraded.Add(1)
+				}
+				done.Add(1)
+				progress.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return done.Load(), degraded.Load(), err
+	default:
+		return done.Load(), degraded.Load(), nil
+	}
+}

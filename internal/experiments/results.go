@@ -39,6 +39,13 @@ type Record struct {
 	Epochs        int64   `json:"epochs,omitempty"`
 	Queries       int64   `json:"queries,omitempty"`
 	QueriesPerSec float64 `json:"queries_per_sec,omitempty"`
+	// Rebalancing workloads: membership epoch bumps the run performed,
+	// end-to-end cutover wall time (prepare through commit), and how many
+	// concurrent queries were answered by anything other than the shard's
+	// current primary while the ring changed under them.
+	EpochBumps      int64   `json:"epoch_bumps,omitempty"`
+	RebalanceMS     float64 `json:"rebalance_ms,omitempty"`
+	QueriesDegraded int64   `json:"queries_degraded,omitempty"`
 }
 
 // Collector gathers Records across experiments. Safe for concurrent use.

@@ -79,6 +79,7 @@ func TestResultsJSONSchemaGolden(t *testing.T) {
 		RecordsPerSec: 4.5, BytesPerSec: 6.5, Allocs: 7,
 		IngestValues: 8, ValuesPerSec: 9.5, Epochs: 10,
 		Queries: 11, QueriesPerSec: 12.5,
+		EpochBumps: 13, RebalanceMS: 14.5, QueriesDegraded: 15,
 	})
 	path := filepath.Join(t.TempDir(), "results.json")
 	if err := c.WriteJSON(path); err != nil {
@@ -110,7 +111,7 @@ func TestResultsJSONSchemaGolden(t *testing.T) {
 // extend it.
 func TestQuickRunRecordsFitSchema(t *testing.T) {
 	cfg := Config{Out: io.Discard, Quick: true, Collect: &Collector{}}
-	for _, exp := range []string{"shuffle", "ingest", "compute", "serve"} {
+	for _, exp := range []string{"shuffle", "ingest", "compute", "serve", "rebalance"} {
 		if err := Run(exp, cfg); err != nil {
 			t.Fatal(err)
 		}

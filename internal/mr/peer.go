@@ -16,9 +16,10 @@ import (
 // before any data is exchanged) holds for shard traffic too.
 //
 // Frame types >= PeerFrameBase are the caller's to define; heartbeats
-// use FrameHeartbeat and stay exempt from chaos injection. One side
-// dials (DialPeer, sends the preamble), the other accepts (AcceptPeer,
-// validates it and answers a reject frame on version mismatch).
+// use FrameHeartbeat and membership control traffic uses FrameEpoch,
+// both exempt from chaos injection. One side dials (DialPeer, sends the
+// preamble), the other accepts (AcceptPeer, validates it and answers a
+// reject frame on version mismatch).
 
 // PeerConn is one framed connection between two peers. Send may be
 // called concurrently; Recv must be driven by a single reader, the
@@ -76,11 +77,11 @@ func AcceptPeer(conn net.Conn, chaosPoint string) (*PeerConn, error) {
 	return newPeerConn(conn, chaosPoint), nil
 }
 
-// Send writes one frame. typ must be FrameHeartbeat or a caller-defined
-// type >= PeerFrameBase; the engine's own codes are not valid on peer
-// links.
+// Send writes one frame. typ must be FrameHeartbeat, FrameEpoch, or a
+// caller-defined type >= PeerFrameBase; the engine's own codes are not
+// valid on peer links.
 func (p *PeerConn) Send(typ byte, payload []byte) error {
-	if typ != FrameHeartbeat && typ < PeerFrameBase {
+	if typ != FrameHeartbeat && typ != FrameEpoch && typ < PeerFrameBase {
 		return fmt.Errorf("mr: peer frame type %d is reserved for the engine", typ)
 	}
 	p.sendMu.Lock()

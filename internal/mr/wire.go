@@ -65,6 +65,7 @@ const (
 	frameHeartbeat = byte(3)
 	frameReply     = byte(4)
 	frameReject    = byte(5)
+	frameEpoch     = byte(6)
 )
 
 // PeerFrameBase is the first frame-type code available to peer
@@ -80,6 +81,14 @@ const PeerFrameBase = byte(0x40)
 // injection on every link, so liveness probing never perturbs a seeded
 // fault schedule's hit counts.
 const FrameHeartbeat = frameHeartbeat
+
+// FrameEpoch is the membership control frame for peer links: ring-epoch
+// proposals, acknowledgements and commits of the serve tier's
+// rebalancer ride it. Like heartbeats it sits below PeerFrameBase and
+// is exempt from chaos injection — link-fault schedules perturb data
+// traffic, never the membership state machine itself, so a seeded churn
+// soak converges deterministically.
+const FrameEpoch = frameEpoch
 
 // Task kinds on the wire. wireTask.Kind stays a string in memory (the
 // failure-injection hooks and error messages use it); the codec maps it

@@ -19,4 +19,10 @@ const (
 	// live connections closed, the node stays dead — which is the lever
 	// the failover soak pulls; Delay stalls the answer.
 	chaosReplica = "serve.replica"
+
+	// chaosRebalance fires once per epoch-prepare a node's rebalancer
+	// processes, before any shard is warmed. Fail naks the proposal (the
+	// router aborts the cutover and the cluster stays on the old epoch);
+	// Delay stretches the warm phase so cutover races stay open longer.
+	chaosRebalance = "serve.rebalance"
 )

@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"net"
 	"net/http"
 	"strconv"
 	"testing"
+	"time"
 
 	"dwmaxerr/internal/chaos"
 )
@@ -43,7 +45,7 @@ func TestChaosServeReplicaFailoverSoak(t *testing.T) {
 	// Fault-free baseline: same store, same storm, fresh cluster.
 	baseline := make([][]byte, storm)
 	{
-		tc := startCluster(t, dir, names, 2, nil)
+		tc := startCluster(t, dir, names, 2, nil, nil)
 		for i, q := range queries {
 			status, _, body := getBody(t, tc.http.URL+q)
 			if status != http.StatusOK {
@@ -61,7 +63,7 @@ func TestChaosServeReplicaFailoverSoak(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer chaos.Disable()
-	tc := startCluster(t, dir, names, 2, nil)
+	tc := startCluster(t, dir, names, 2, nil, nil)
 	for name, n := range tc.nodes {
 		if name != primary {
 			n.chaosPoint = ""
@@ -110,5 +112,173 @@ func TestChaosServeReplicaFailoverSoak(t *testing.T) {
 	// the replica answered the failover query plus everything after.
 	if d := obsShardQueries.Value() - answered; d != storm {
 		t.Errorf("serve_shard_queries grew by %d across the storm, want %d", d, storm)
+	}
+}
+
+// TestChaosServeRebalanceChurnSoak is the membership churn contract:
+// under continuous client traffic, a node dies (the failure detector
+// demotes it and shrinks the ring), then a fresh node joins (its shards
+// migrate before the ring routes to it) — and across the whole storm
+//
+//   - zero failed client queries: every query answers 200, through the
+//     death, the demotion cutover, and the join cutover;
+//   - responses byte-identical to a fault-free baseline of the same
+//     storm (synopses are deterministic, so membership churn must be
+//     invisible in the payload);
+//   - serve_shard_not_owned never moves: cutover races are accounted as
+//     stale-epoch queries, not misroutes, and at steady state the ring
+//     and the routing agree exactly;
+//   - exactly one epoch bump per membership change, pinned by counter
+//     deltas: the death is one bump, the join is one more.
+func TestChaosServeRebalanceChurnSoak(t *testing.T) {
+	const storm = 30
+	dir := writeClusterStore(t)
+	names := []string{"n1", "n2", "n3"}
+	const victim = "n3"
+	queries := make([]string, storm)
+	for i := range queries {
+		ds := []string{"paper", "alpha", "bravo", "charlie"}[i%4]
+		if i%2 == 0 {
+			queries[i] = "/point?i=" + strconv.Itoa(i%8) + "&dataset=" + ds
+		} else {
+			queries[i] = "/range?lo=0&hi=" + strconv.Itoa(1+i%7) + "&dataset=" + ds
+		}
+	}
+
+	// Fault-free baseline: same store, same storm, fresh static cluster.
+	baseline := make([][]byte, storm)
+	{
+		tc := startCluster(t, dir, names, 2, nil, nil)
+		for i, q := range queries {
+			status, _, body := getBody(t, tc.http.URL+q)
+			if status != http.StatusOK {
+				t.Fatalf("baseline query %d (%s): status %d: %s", i, q, status, body)
+			}
+			baseline[i] = body
+		}
+		tc.http.Close()
+	}
+
+	// Churn run: fast heartbeats, detector armed at 3 misses, demotions
+	// damped for 100ms after any change.
+	tc := startCluster(t, dir, names, 2, nil, func(cfg *RouterConfig) {
+		cfg.Heartbeat = 20 * time.Millisecond
+		cfg.DetectMisses = 3
+		cfg.DampWindow = 100 * time.Millisecond
+	})
+	notOwned := obsShardNotOwned.Value()
+	bumps := obsEpochBumps.Value()
+	deaths := obsDetectorDeaths.Value()
+	suspects := obsDetectorSuspects.Value()
+	unavailable := obsRouteUnavailable.Value()
+
+	ask := func(i int) {
+		t.Helper()
+		q := queries[i%storm]
+		status, _, body := getBody(t, tc.http.URL+q)
+		if status != http.StatusOK {
+			t.Fatalf("churn query %d (%s): status %d: %s — a client saw the churn", i, q, status, body)
+		}
+		if string(body) != string(baseline[i%storm]) {
+			t.Fatalf("churn query %d (%s): response diverged from fault-free run:\n  got  %s\n  want %s",
+				i, q, body, baseline[i%storm])
+		}
+	}
+
+	// Phase 1: steady state at epoch 0.
+	for i := 0; i < storm; i++ {
+		ask(i)
+	}
+
+	// Phase 2: kill the victim mid-traffic and keep querying while the
+	// detector counts misses, demotes it, and cuts over to epoch 1.
+	tc.nodes[victim].Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for i := storm; tc.router.Membership().Epoch < 1; i++ {
+		if time.Now().After(deadline) {
+			t.Fatal("failure detector never demoted the dead node")
+		}
+		ask(i)
+		time.Sleep(5 * time.Millisecond)
+	}
+	if mem := tc.router.Membership(); mem.Contains(victim) || len(mem.Members) != 2 {
+		t.Fatalf("post-demotion membership %+v, want the two survivors", mem)
+	}
+	for i := 0; i < storm; i++ {
+		ask(i)
+	}
+
+	// Phase 3: join a fresh node. It starts cold — knowing only itself —
+	// and must be warmed by the cutover's prepare phase, not by luck.
+	joiner, err := NewNode(NodeConfig{
+		Name: "n5", Nodes: []string{"n5"}, Replicas: 2, Store: DirStore{Dir: dir},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go joiner.Serve(ln)
+	t.Cleanup(func() { joiner.Close() })
+	warmedBefore := joiner.Warmed()
+	mem, err := tc.router.Join("n5", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if mem.Epoch != 2 || !mem.Contains("n5") || len(mem.Members) != 3 {
+		t.Fatalf("post-join membership %+v, want epoch 2 with n5 and both survivors", mem)
+	}
+	if joiner.Warmed() <= warmedBefore {
+		t.Fatalf("join acked with %d warm shards (was %d): prepare did not migrate anything", joiner.Warmed(), warmedBefore)
+	}
+	for i := 0; i < storm; i++ {
+		ask(i)
+	}
+
+	// Steady state: the joiner answers as primary for the shards the new
+	// ring hands it, through the router.
+	ring := NewRing(0, "n1", "n2", "n5")
+	served := false
+	for _, ds := range []string{"paper", "alpha", "bravo", "charlie"} {
+		key := ShardKey{Dataset: ds, B: 4, Metric: "abs"}
+		if ring.Owner(key) != "n5" {
+			continue
+		}
+		served = true
+		status, hdr, body := getBody(t, tc.http.URL+"/point?i=1&dataset="+ds)
+		if status != http.StatusOK {
+			t.Fatalf("post-join query for %s: status %d: %s", ds, status, body)
+		}
+		if hdr.Get("X-Dwserve-Node") != "n5" || hdr.Get("X-Dwserve-Role") != "primary" {
+			t.Errorf("post-join %s answered by %q/%q, ring primary is n5",
+				ds, hdr.Get("X-Dwserve-Node"), hdr.Get("X-Dwserve-Role"))
+		}
+		if hdr.Get("X-Dwserve-Epoch") != "2" {
+			t.Errorf("post-join %s answered under epoch %q, want 2", ds, hdr.Get("X-Dwserve-Epoch"))
+		}
+	}
+	if !served {
+		t.Error("joiner owns no b4 primary; widen the dataset set so the assertion bites")
+	}
+
+	if d := obsShardNotOwned.Value() - notOwned; d != 0 {
+		t.Errorf("serve_shard_not_owned grew by %d across the churn, want 0", d)
+	}
+	if d := obsEpochBumps.Value() - bumps; d != 2 {
+		t.Errorf("serve_epoch_bumps_total grew by %d, want exactly 2 (one per membership change)", d)
+	}
+	if d := obsDetectorDeaths.Value() - deaths; d != 1 {
+		t.Errorf("serve_detector_deaths_total grew by %d, want exactly 1", d)
+	}
+	if d := obsDetectorSuspects.Value() - suspects; d < 1 {
+		t.Errorf("serve_detector_suspects_total grew by %d, want at least 1", d)
+	}
+	if d := obsRouteUnavailable.Value() - unavailable; d != 0 {
+		t.Errorf("serve_route_unavailable grew by %d, want 0", d)
+	}
+	if got := joiner.Epoch(); got != 2 {
+		t.Errorf("joiner settled at epoch %d, want 2", got)
 	}
 }

@@ -57,37 +57,27 @@ type testCluster struct {
 }
 
 // startCluster boots named nodes over one store directory, warms them,
-// and fronts them with a router whose defaults are paper/b4/abs.
-func startCluster(t *testing.T, dir string, names []string, replicas int, tweak func(*NodeConfig)) *testCluster {
+// and fronts them with a router whose defaults are paper/b4/abs. rtweak,
+// when non-nil, adjusts the router config (heartbeat cadence, detector
+// thresholds) before the router starts.
+func startCluster(t *testing.T, dir string, names []string, replicas int, tweak func(*NodeConfig), rtweak func(*RouterConfig)) *testCluster {
 	t.Helper()
 	tc := &testCluster{nodes: map[string]*Node{}, addrs: map[string]string{}, ring: NewRing(0, names...)}
 	peers := make([]Peer, 0, len(names))
 	for _, name := range names {
-		cfg := NodeConfig{Name: name, Nodes: names, Replicas: replicas, Store: DirStore{Dir: dir}}
-		if tweak != nil {
-			tweak(&cfg)
-		}
-		n, err := NewNode(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if _, err := n.Warm(); err != nil {
-			t.Fatal(err)
-		}
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			t.Fatal(err)
-		}
-		go n.Serve(ln)
-		t.Cleanup(func() { n.Close() })
+		n, addr := startNode(t, dir, name, names, replicas, tweak)
 		tc.nodes[name] = n
-		tc.addrs[name] = ln.Addr().String()
-		peers = append(peers, Peer{Name: name, Addr: ln.Addr().String()})
+		tc.addrs[name] = addr
+		peers = append(peers, Peer{Name: name, Addr: addr})
 	}
-	rt, err := NewRouter(RouterConfig{
+	rcfg := RouterConfig{
 		Peers: peers, Replicas: replicas,
 		Dataset: "paper", B: 4, Metric: "abs",
-	})
+	}
+	if rtweak != nil {
+		rtweak(&rcfg)
+	}
+	rt, err := NewRouter(rcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,6 +86,32 @@ func startCluster(t *testing.T, dir string, names []string, replicas int, tweak 
 	tc.http = httptest.NewServer(rt)
 	t.Cleanup(tc.http.Close)
 	return tc
+}
+
+// startNode boots and warms one serve node on a loopback listener,
+// returning it with its shard address. names is the node's own initial
+// membership — a node joining an established cluster starts knowing
+// only itself and learns the rest from the router's Prepare.
+func startNode(t *testing.T, dir, name string, names []string, replicas int, tweak func(*NodeConfig)) (*Node, string) {
+	t.Helper()
+	cfg := NodeConfig{Name: name, Nodes: names, Replicas: replicas, Store: DirStore{Dir: dir}}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	n, err := NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go n.Serve(ln)
+	t.Cleanup(func() { n.Close() })
+	return n, ln.Addr().String()
 }
 
 func getBody(t *testing.T, url string) (int, http.Header, []byte) {
@@ -118,7 +134,7 @@ func getBody(t *testing.T, url string) (int, http.Header, []byte) {
 func TestClusterRoutesToRingOwners(t *testing.T) {
 	dir := writeClusterStore(t)
 	names := []string{"n1", "n2", "n3"}
-	tc := startCluster(t, dir, names, 1, nil)
+	tc := startCluster(t, dir, names, 1, nil, nil)
 	notOwned := obsShardNotOwned.Value()
 
 	for _, ds := range []string{"paper", "alpha", "bravo", "charlie"} {
@@ -165,7 +181,7 @@ func TestClusterRoutesToRingOwners(t *testing.T) {
 func TestClusterInfoReportsShardIdentity(t *testing.T) {
 	dir := writeClusterStore(t)
 	names := []string{"east", "west"}
-	tc := startCluster(t, dir, names, 2, nil)
+	tc := startCluster(t, dir, names, 2, nil, nil)
 	key := ShardKey{Dataset: "paper", B: 4, Metric: "abs"}
 	owners := tc.ring.Owners(key, 2)
 
@@ -212,7 +228,7 @@ func TestClusterDegradesToCoarserSynopsis(t *testing.T) {
 	dir := writeClusterStore(t)
 	tc := startCluster(t, dir, []string{"solo"}, 1, func(cfg *NodeConfig) {
 		cfg.MaxInFlight = 1
-	})
+	}, nil)
 	degraded := obsShardDegraded.Value()
 	shed := obsShardShed.Value()
 
@@ -326,15 +342,17 @@ func TestShardWireRoundTrip(t *testing.T) {
 		Key:      ShardKey{Dataset: "paper", B: 4, Metric: "abs"},
 		Path:     "/range",
 		RawQuery: "lo=1&hi=6&dataset=paper",
+		Epoch:    7,
 	}
 	got, err := decodeShardRequest(req.encode())
 	if err != nil || got != req {
 		t.Fatalf("request round trip: %+v, err %v", got, err)
 	}
-	rep := shardReply{Status: 200, DegradedB: 2, Node: "east", Role: "replica-1", Body: []byte(`{"x":1}`)}
+	rep := shardReply{Status: 200, DegradedB: 2, Node: "east", Role: "replica-1", Epoch: 7, Body: []byte(`{"x":1}`)}
 	back, err := decodeShardReply(rep.encode())
 	if err != nil || back.Status != rep.Status || back.DegradedB != rep.DegradedB ||
-		back.Node != rep.Node || back.Role != rep.Role || string(back.Body) != string(rep.Body) {
+		back.Node != rep.Node || back.Role != rep.Role || back.Epoch != rep.Epoch ||
+		string(back.Body) != string(rep.Body) {
 		t.Fatalf("reply round trip: %+v, err %v", back, err)
 	}
 	for cut := 0; cut < len(rep.encode()); cut++ {
@@ -344,6 +362,21 @@ func TestShardWireRoundTrip(t *testing.T) {
 	}
 	if _, err := decodeShardRequest([]byte{0xff}); err == nil {
 		t.Fatal("garbage request decoded")
+	}
+
+	// Membership control codec: prepares carry the full member list, naks
+	// their reason; truncations must never decode cleanly.
+	ctl := epochCtl{Kind: epochCtlPrepare, Mem: NewMembership(3, "west", "east", "north"), Count: 12, Err: "why"}
+	cback, err := decodeEpochCtl(ctl.encode())
+	if err != nil || cback.Kind != ctl.Kind || cback.Mem.Epoch != ctl.Mem.Epoch ||
+		len(cback.Mem.Members) != 3 || cback.Mem.Members[0] != "east" ||
+		cback.Count != ctl.Count || cback.Err != ctl.Err {
+		t.Fatalf("epoch control round trip: %+v, err %v", cback, err)
+	}
+	for cut := 0; cut < len(ctl.encode()); cut++ {
+		if _, err := decodeEpochCtl(ctl.encode()[:cut]); err == nil {
+			t.Fatalf("epoch control truncation at %d decoded cleanly", cut)
+		}
 	}
 }
 

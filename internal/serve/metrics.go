@@ -41,6 +41,34 @@ var (
 	obsShardShed     = obs.Default.Counter("serve_shard_shed_total")
 	obsShardDegraded = obs.Default.Counter("serve_shard_degraded_total")
 
+	// Membership & rebalancing (node.go, router.go): the current ring
+	// epoch (set by a node when it commits, by the router when it cuts
+	// over — in one process they agree once cutover completes), epoch
+	// bumps the router committed (exactly one per membership change),
+	// queries tagged with an epoch the node does not recognize (a
+	// legitimate cutover race or a restarted process — never counted as
+	// serve_shard_not_owned), shards warmed by prepare before a node acks
+	// a proposed epoch, shards evicted at commit because the new ring
+	// moved them elsewhere, and cache entries the post-commit
+	// anti-entropy audit had to fix (owned but cold, or a stale role).
+	obsEpoch            = obs.Default.Gauge("serve_epoch")
+	obsEpochBumps       = obs.Default.Counter("serve_epoch_bumps_total")
+	obsEpochStale       = obs.Default.Counter("serve_epoch_stale_queries")
+	obsRebalanceWarmed  = obs.Default.Counter("serve_rebalance_warmed_total")
+	obsRebalanceEvicted = obs.Default.Counter("serve_rebalance_evicted_total")
+	obsRebalanceAudit   = obs.Default.Counter("serve_rebalance_audit_fixed_total")
+
+	// Failure detector (router.go): members that crossed the suspect
+	// threshold of consecutive missed heartbeats, and members the
+	// detector demoted from membership (each demotion is an epoch bump).
+	obsDetectorSuspects = obs.Default.Counter("serve_detector_suspects_total")
+	obsDetectorDeaths   = obs.Default.Counter("serve_detector_deaths_total")
+
+	// Stray fills (cache.go): cache inserts for shards the node does not
+	// own — answered honestly but confined to a small evict-first
+	// segment so a burst of misrouted queries cannot evict owned shards.
+	obsStrayFills = obs.Default.Counter("serve_shard_stray_fills")
+
 	// Router (router.go): queries routed, forward attempts that failed on
 	// a live connection, owners skipped because their link was already
 	// known down (redial backoff pending), failovers — a query answered by

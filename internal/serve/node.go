@@ -21,6 +21,22 @@ import (
 // is still answered (any shard in the store is loadable) but counted as
 // serve_shard_not_owned, which a healthy cluster keeps at zero.
 //
+// Membership is dynamic. The node holds an epoch-stamped Membership and
+// its ring; the router proposes changes over chaos-exempt mr.FrameEpoch
+// control frames, and a background rebalancer goroutine runs the
+// two-phase cutover: on Prepare it warms every shard it would own under
+// the proposed ring *before* acking (so promotion never routes a query
+// to a cold owner), on Commit it promotes the pending epoch, evicts
+// shards the new ring moved elsewhere, and runs an anti-entropy audit
+// (owned-but-cold shards warmed, stale cached roles rebuilt). Queries
+// arrive tagged with the epoch the router routed under: the node
+// answers for its current or pending epoch; a pending-epoch query also
+// kicks an implicit commit, so a router that crashes between promoting
+// its ring and sending Commit cannot strand the cluster mid-cutover.
+// A query tagged with an epoch the node does not know (a cutover race,
+// or a restarted router) is still answered but counted as
+// serve_epoch_stale_queries — never as serve_shard_not_owned.
+//
 // Under overload a node walks a degradation ladder instead of failing:
 // full-fidelity answer while in-flight slots last, then a degraded
 // answer from the coarsest warm sibling of the requested shard (smaller
@@ -31,8 +47,9 @@ import (
 type NodeConfig struct {
 	// Name is this node's ring identity; must appear in Nodes.
 	Name string
-	// Nodes is the full cluster membership, identical on every node and
-	// on the router — ownership is computed, never negotiated.
+	// Nodes is the initial cluster membership (epoch 0), identical on
+	// every node and on the router — ownership is computed, never
+	// negotiated. Later epochs arrive over the control plane.
 	Nodes []string
 	// Replicas is the ownership factor R (default 2, capped at the
 	// cluster size by the ring).
@@ -48,10 +65,24 @@ type NodeConfig struct {
 	MaxInFlight int
 }
 
+// epochJob is one unit of rebalancer work. reply is nil for implicit
+// commits kicked by a pending-epoch query.
+type epochJob struct {
+	ctl   epochCtl
+	reply chan epochCtl
+}
+
+// pendingEpoch is a prepared-but-uncommitted membership: shards warmed,
+// ring built, waiting for the router's Commit (or a query tagged with
+// its epoch).
+type pendingEpoch struct {
+	mem  Membership
+	ring *Ring
+}
+
 // Node answers shard queries for its ring assignments.
 type Node struct {
 	cfg   NodeConfig
-	ring  *Ring
 	cache *shardCache
 	slots chan struct{} // nil when MaxInFlight == 0
 
@@ -59,6 +90,14 @@ type Node struct {
 	// that must fault exactly one node of an in-process cluster blank the
 	// others' points, since the chaos injector is process-global.
 	chaosPoint string
+
+	emu  sync.Mutex
+	mem  Membership    // guarded by emu — current membership
+	ring *Ring         // guarded by emu — current ring
+	pend *pendingEpoch // guarded by emu — prepared, uncommitted epoch
+
+	rebalJobs chan epochJob
+	rebalStop chan struct{} // closed by die
 
 	mu    sync.Mutex
 	ln    net.Listener          // guarded by mu
@@ -68,8 +107,8 @@ type Node struct {
 	wg sync.WaitGroup
 }
 
-// NewNode builds a node. The store is not touched until Warm or the
-// first query.
+// NewNode builds a node and starts its rebalancer. The store is not
+// touched until Warm, the first query, or the first membership change.
 func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("serve: node needs a name")
@@ -86,35 +125,35 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.CacheShards == 0 {
 		cfg.CacheShards = 64
 	}
-	ring := NewRing(cfg.Vnodes, cfg.Nodes...)
-	found := false
-	for _, m := range ring.Nodes() {
-		if m == cfg.Name {
-			found = true
-		}
-	}
-	if !found {
+	mem := NewMembership(0, cfg.Nodes...)
+	if !mem.Contains(cfg.Name) {
 		return nil, fmt.Errorf("serve: node %q is not in the member list %v", cfg.Name, cfg.Nodes)
 	}
 	n := &Node{
 		cfg:        cfg,
-		ring:       ring,
+		mem:        mem,
+		ring:       mem.ring(cfg.Vnodes),
 		cache:      newShardCache(cfg.CacheShards),
 		chaosPoint: chaosReplica,
+		rebalJobs:  make(chan epochJob, 4),
+		rebalStop:  make(chan struct{}),
 		conns:      make(map[*mr.PeerConn]bool),
 	}
 	if cfg.MaxInFlight > 0 {
 		n.slots = make(chan struct{}, cfg.MaxInFlight)
 	}
+	n.wg.Add(1)
+	//dwlint:ignore goroleak -- the rebalancer selects on rebalStop, which die closes; Close waits on wg
+	go n.rebalancer()
 	return n, nil
 }
 
-// role names this node's relation to a shard: "primary", "replica-<i>",
-// or "stray" (not an owner). owned reports ring membership in the
-// shard's replica set.
-func (n *Node) role(k ShardKey) (string, bool) {
-	for i, o := range n.ring.Owners(k, n.cfg.Replicas) {
-		if o != n.cfg.Name {
+// ringRole names a node's relation to a shard under a given ring:
+// "primary", "replica-<i>", or "stray" (not an owner). owned reports
+// membership in the shard's replica set.
+func ringRole(r *Ring, name string, k ShardKey, replicas int) (string, bool) {
+	for i, o := range r.Owners(k, replicas) {
+		if o != name {
 			continue
 		}
 		if i == 0 {
@@ -123,6 +162,21 @@ func (n *Node) role(k ShardKey) (string, bool) {
 		return "replica-" + strconv.Itoa(i), true
 	}
 	return "stray", false
+}
+
+// role names this node's relation to a shard under the current ring.
+func (n *Node) role(k ShardKey) (string, bool) {
+	n.emu.Lock()
+	r := n.ring
+	n.emu.Unlock()
+	return ringRole(r, n.cfg.Name, k, n.cfg.Replicas)
+}
+
+// Epoch returns the current (committed) ring epoch.
+func (n *Node) Epoch() int64 {
+	n.emu.Lock()
+	defer n.emu.Unlock()
+	return n.mem.Epoch
 }
 
 // Warm preloads every owned shard from the store into the cache, so the
@@ -138,7 +192,7 @@ func (n *Node) Warm() (int, error) {
 		if _, owned := n.role(k); !owned {
 			continue
 		}
-		if _, err := n.entry(k); err != nil {
+		if _, err := n.entry(k, false); err != nil {
 			return loaded, err
 		}
 		loaded++
@@ -147,11 +201,28 @@ func (n *Node) Warm() (int, error) {
 }
 
 // entry returns the warm cache entry for k, loading and decoding the
-// shard on a miss.
-func (n *Node) entry(k ShardKey) (*cacheEntry, error) {
+// shard on a miss. stray confines the fill to the cache's evict-first
+// side segment, so misrouted queries cannot evict owned shards.
+func (n *Node) entry(k ShardKey, stray bool) (*cacheEntry, error) {
 	if e, ok := n.cache.get(k); ok {
 		return e, nil
 	}
+	n.emu.Lock()
+	ring := n.ring
+	n.emu.Unlock()
+	e, err := n.build(k, ring)
+	if err != nil {
+		return nil, err
+	}
+	n.cache.put(e, stray)
+	return e, nil
+}
+
+// build loads and decodes a shard into a fresh cache entry, stamping
+// the per-shard server with this node's role for it under the given
+// ring — the current one on the query path, the proposed one when the
+// rebalancer warms ahead of a cutover.
+func (n *Node) build(k ShardKey, ring *Ring) (*cacheEntry, error) {
 	sh, err := n.cfg.Store.Load(k)
 	if err != nil {
 		return nil, err
@@ -160,11 +231,9 @@ func (n *Node) entry(k ShardKey) (*cacheEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	role, _ := n.role(k)
+	role, _ := ringRole(ring, n.cfg.Name, k, n.cfg.Replicas)
 	srv.node, srv.shard, srv.role = n.cfg.Name, k.String(), role
-	e := &cacheEntry{key: k, srv: srv, maxAbs: sh.MaxAbs}
-	n.cache.put(e)
-	return e, nil
+	return &cacheEntry{key: k, srv: srv, maxAbs: sh.MaxAbs}, nil
 }
 
 // Serve accepts router connections on ln until the node is closed (or
@@ -215,6 +284,14 @@ func (n *Node) handleConn(conn net.Conn) {
 			if err := pc.Send(mr.FrameHeartbeat, nil); err != nil {
 				return
 			}
+		case mr.FrameEpoch:
+			ctl, err := decodeEpochCtl(payload)
+			if err != nil {
+				return
+			}
+			if err := pc.Send(mr.FrameEpoch, n.submit(ctl).encode()); err != nil {
+				return
+			}
 		case frameShardQuery:
 			req, err := decodeShardRequest(payload)
 			if err != nil {
@@ -252,6 +329,171 @@ func (n *Node) untrack(pc *mr.PeerConn) {
 	delete(n.conns, pc)
 }
 
+// submit hands a control message to the rebalancer and waits for its
+// answer. A closed node naks immediately.
+func (n *Node) submit(ctl epochCtl) epochCtl {
+	nak := epochCtl{Kind: epochCtlNak, Mem: Membership{Epoch: ctl.Mem.Epoch},
+		Err: fmt.Sprintf("serve: node %s closed", n.cfg.Name)}
+	reply := make(chan epochCtl, 1)
+	select {
+	case n.rebalJobs <- epochJob{ctl: ctl, reply: reply}:
+	case <-n.rebalStop:
+		return nak
+	}
+	select {
+	case rep := <-reply:
+		return rep
+	case <-n.rebalStop:
+		return nak
+	}
+}
+
+// kickCommit schedules an implicit commit for a pending epoch a query
+// just arrived under. Non-blocking: if the rebalancer's queue is full
+// the commit is already on its way.
+func (n *Node) kickCommit(epoch int64) {
+	select {
+	case n.rebalJobs <- epochJob{ctl: epochCtl{Kind: epochCtlCommit, Mem: Membership{Epoch: epoch}}}:
+	default:
+	}
+}
+
+// rebalancer is the node's membership state machine: one goroutine
+// processes prepares and commits in arrival order, so cutover phases
+// never interleave on a node.
+func (n *Node) rebalancer() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.rebalStop:
+			return
+		case job := <-n.rebalJobs:
+			var rep epochCtl
+			switch job.ctl.Kind {
+			case epochCtlPrepare:
+				rep = n.prepare(job.ctl.Mem)
+			case epochCtlCommit:
+				rep = n.commit(job.ctl.Mem.Epoch)
+			default:
+				rep = epochCtl{Kind: epochCtlNak,
+					Err: fmt.Sprintf("serve: unknown epoch control kind %d", job.ctl.Kind)}
+			}
+			if job.reply != nil {
+				job.reply <- rep
+			}
+		}
+	}
+}
+
+// prepare is cutover phase one: build the proposed ring, warm every
+// shard this node would own under it, and only then record the epoch as
+// pending and ack. A node that acks is query-ready for the new epoch —
+// the router may promote the moment every ack is in.
+func (n *Node) prepare(mem Membership) epochCtl {
+	act := chaos.Point(chaosRebalance)
+	if act.Kind == chaos.Fail {
+		return epochCtl{Kind: epochCtlNak, Mem: Membership{Epoch: mem.Epoch}, Err: act.Err.Error()}
+	}
+	if act.Kind == chaos.Delay {
+		time.Sleep(act.Sleep)
+	}
+	n.emu.Lock()
+	cur := n.mem.Epoch
+	n.emu.Unlock()
+	if mem.Epoch <= cur {
+		return epochCtl{Kind: epochCtlNak, Mem: Membership{Epoch: mem.Epoch},
+			Err: fmt.Sprintf("serve: proposed epoch %d is not ahead of current %d", mem.Epoch, cur)}
+	}
+	ring := mem.ring(n.cfg.Vnodes)
+	warmed := 0
+	// A node leaving the cluster (drain) still acks: it owns nothing
+	// under the new ring, so there is nothing to warm.
+	if mem.Contains(n.cfg.Name) {
+		keys, err := n.cfg.Store.Keys()
+		if err != nil {
+			return epochCtl{Kind: epochCtlNak, Mem: Membership{Epoch: mem.Epoch}, Err: err.Error()}
+		}
+		for _, k := range keys {
+			if _, owned := ringRole(ring, n.cfg.Name, k, n.cfg.Replicas); !owned {
+				continue
+			}
+			if _, ok := n.cache.peek(k); ok {
+				continue
+			}
+			e, err := n.build(k, ring)
+			if err != nil {
+				return epochCtl{Kind: epochCtlNak, Mem: Membership{Epoch: mem.Epoch}, Err: err.Error()}
+			}
+			n.cache.put(e, false)
+			warmed++
+		}
+	}
+	n.emu.Lock()
+	n.pend = &pendingEpoch{mem: mem, ring: ring}
+	n.emu.Unlock()
+	obsRebalanceWarmed.Add(int64(warmed))
+	return epochCtl{Kind: epochCtlAck, Mem: Membership{Epoch: mem.Epoch}, Count: int64(warmed)}
+}
+
+// commit is cutover phase two: promote the pending epoch, then sweep —
+// evict shards the new ring moved elsewhere and run the anti-entropy
+// audit (warm owned-but-cold shards, rebuild entries whose cached role
+// went stale). Committing the already-current epoch is idempotent and
+// re-runs only the sweep.
+func (n *Node) commit(epoch int64) epochCtl {
+	n.emu.Lock()
+	switch {
+	case n.pend != nil && n.pend.mem.Epoch == epoch:
+		n.mem, n.ring = n.pend.mem, n.pend.ring
+		n.pend = nil
+		obsEpoch.Set(epoch)
+	case n.mem.Epoch == epoch:
+		// Already committed (the implicit kick and the router's explicit
+		// commit can both land); re-audit below, it is cheap and honest.
+	default:
+		cur := n.mem.Epoch
+		n.emu.Unlock()
+		return epochCtl{Kind: epochCtlNak, Mem: Membership{Epoch: epoch},
+			Err: fmt.Sprintf("serve: commit for unknown epoch %d (current %d)", epoch, cur)}
+	}
+	ring := n.ring
+	n.emu.Unlock()
+
+	evicted := 0
+	for _, k := range n.cache.keys() {
+		if _, owned := ringRole(ring, n.cfg.Name, k, n.cfg.Replicas); owned {
+			continue
+		}
+		if n.cache.remove(k) {
+			evicted++
+		}
+	}
+	obsRebalanceEvicted.Add(int64(evicted))
+
+	fixed := 0
+	if keys, err := n.cfg.Store.Keys(); err == nil {
+		for _, k := range keys {
+			role, owned := ringRole(ring, n.cfg.Name, k, n.cfg.Replicas)
+			if !owned {
+				continue
+			}
+			if e, ok := n.cache.peek(k); ok && e.srv.role == role {
+				continue
+			}
+			// Owned but cold (prepare raced an eviction, or this commit is
+			// repairing divergence) or warm with a stale role: rebuild.
+			e, err := n.build(k, ring)
+			if err != nil {
+				continue
+			}
+			n.cache.put(e, false)
+			fixed++
+		}
+	}
+	obsRebalanceAudit.Add(int64(fixed))
+	return epochCtl{Kind: epochCtlAck, Mem: Membership{Epoch: epoch}, Count: int64(evicted)}
+}
+
 // answer resolves one shard query. A non-nil error means the node was
 // killed by chaos and the connection must drop without a reply.
 func (n *Node) answer(req shardRequest) (shardReply, error) {
@@ -263,11 +505,35 @@ func (n *Node) answer(req shardRequest) (shardReply, error) {
 		return shardReply{}, act.Err
 	}
 	obsShardQueries.Inc()
-	role, owned := n.role(req.Key)
-	if !owned {
+
+	// Resolve the query's epoch against current and pending rings. Only
+	// a recognized epoch can accuse the router of misrouting: ownership
+	// disagreement under an unknown epoch is a cutover race (or a
+	// restarted process), counted as stale, never as not-owned.
+	n.emu.Lock()
+	epoch, ring := n.mem.Epoch, n.ring
+	pend := n.pend
+	n.emu.Unlock()
+	known := true
+	switch {
+	case req.Epoch == epoch:
+	case pend != nil && req.Epoch == pend.mem.Epoch:
+		// The router routes under this epoch already — it promoted, so
+		// commit must be on its way; kick it in case it never arrives.
+		epoch, ring = pend.mem.Epoch, pend.ring
+		n.kickCommit(req.Epoch)
+	default:
+		known = false
+		obsEpochStale.Inc()
+	}
+
+	role, owned := ringRole(ring, n.cfg.Name, req.Key, n.cfg.Replicas)
+	if !known {
+		role = "stale-epoch"
+	} else if !owned {
 		obsShardNotOwned.Inc()
 	}
-	rep := shardReply{Node: n.cfg.Name, Role: role}
+	rep := shardReply{Node: n.cfg.Name, Role: role, Epoch: epoch}
 	if n.slots != nil {
 		select {
 		case n.slots <- struct{}{}:
@@ -293,7 +559,7 @@ func (n *Node) answer(req shardRequest) (shardReply, error) {
 	if act.Kind == chaos.Delay {
 		time.Sleep(act.Sleep)
 	}
-	ent, err := n.entry(req.Key)
+	ent, err := n.entry(req.Key, !owned)
 	if err != nil {
 		rep.Status = http.StatusNotFound
 		rep.Body = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
@@ -316,8 +582,9 @@ func (n *Node) dispatch(rep *shardReply, ent *cacheEntry, req shardRequest) {
 	rep.Body = w.body.Bytes()
 }
 
-// die kills the node: listener and every live connection closed, no
-// recovery. The serve.replica failpoint's Fail verb lands here.
+// die kills the node: listener, every live connection, and the
+// rebalancer closed, no recovery. The serve.replica failpoint's Fail
+// verb lands here.
 func (n *Node) die() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -325,6 +592,7 @@ func (n *Node) die() {
 		return
 	}
 	n.dead = true
+	close(n.rebalStop)
 	if n.ln != nil {
 		n.ln.Close()
 	}
@@ -343,7 +611,8 @@ func (n *Node) Dead() bool {
 // Warmed returns the number of warm shards in the cache.
 func (n *Node) Warmed() int { return n.cache.len() }
 
-// Close shuts the node down and waits for its connection handlers.
+// Close shuts the node down and waits for its connection handlers and
+// rebalancer.
 func (n *Node) Close() error {
 	n.die()
 	n.wg.Wait()

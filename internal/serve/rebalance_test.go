@@ -1,0 +1,289 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"dwmaxerr/internal/chaos"
+	"dwmaxerr/internal/mr"
+)
+
+// Membership and rebalancing tests below the cluster level: the stray
+// cache segment, the node's epoch state machine driven over raw control
+// frames, and the epoch-aware not-owned accounting. The full churn soak
+// (detector demotion + join under live traffic) is in
+// cluster_soak_test.go.
+
+// TestStrayCacheSegmentBoundsPollution: a burst of stray fills — shards
+// this node does not own — cannot evict a single owned shard. Strays
+// are confined to the evict-first side segment (1/8 of capacity), and a
+// stray that becomes owned migrates into the main segment.
+func TestStrayCacheSegmentBoundsPollution(t *testing.T) {
+	c := newShardCache(8) // side segment: max(1, 8/8) = 1 entry
+	mk := func(ds string) *cacheEntry {
+		return &cacheEntry{key: ShardKey{Dataset: ds, B: 1, Metric: "abs"}}
+	}
+	strays := obsStrayFills.Value()
+	for i := 0; i < 8; i++ {
+		c.put(mk(fmt.Sprintf("owned%d", i)), false)
+	}
+	for i := 0; i < 20; i++ {
+		c.put(mk(fmt.Sprintf("stray%d", i)), true)
+	}
+	for i := 0; i < 8; i++ {
+		k := ShardKey{Dataset: fmt.Sprintf("owned%d", i), B: 1, Metric: "abs"}
+		if _, ok := c.peek(k); !ok {
+			t.Errorf("owned shard %v evicted by the stray burst", k)
+		}
+	}
+	if n := c.len(); n != 9 {
+		t.Errorf("cache holds %d shards, want 9 (8 owned + 1 surviving stray)", n)
+	}
+	if d := obsStrayFills.Value() - strays; d != 20 {
+		t.Errorf("serve_shard_stray_fills grew by %d, want 20", d)
+	}
+	// Ownership migration: re-filing the surviving stray as owned moves
+	// it to the main segment, where the next stray burst cannot touch it.
+	last := ShardKey{Dataset: "stray19", B: 1, Metric: "abs"}
+	if _, ok := c.peek(last); !ok {
+		t.Fatal("expected stray19 to be the surviving stray")
+	}
+	c.put(mk("stray19"), false)
+	c.put(mk("strayNew"), true)
+	if _, ok := c.peek(last); !ok {
+		t.Error("shard evicted from the stray segment after migrating to owned")
+	}
+}
+
+// control runs one epoch control round trip against a node's shard
+// listener, the way the router's control plane does.
+func controlRT(t *testing.T, addr string, ctl epochCtl) epochCtl {
+	t.Helper()
+	pc, err := mr.DialPeer(addr, time.Second, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	pc.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := pc.Send(mr.FrameEpoch, ctl.encode()); err != nil {
+		t.Fatal(err)
+	}
+	typ, raw, err := pc.Recv()
+	if err != nil || typ != mr.FrameEpoch {
+		t.Fatalf("control recv: typ %d, err %v", typ, err)
+	}
+	rep, err := decodeEpochCtl(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func askNode(t *testing.T, pc *mr.PeerConn, req shardRequest) shardReply {
+	t.Helper()
+	if err := pc.Send(frameShardQuery, req.encode()); err != nil {
+		t.Fatal(err)
+	}
+	typ, raw, err := pc.Recv()
+	if err != nil || typ != frameShardReply {
+		t.Fatalf("recv: typ %d, err %v", typ, err)
+	}
+	rep, err := decodeShardReply(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestNodeEpochStateMachine drives one node through a full two-phase
+// cutover over raw control frames: prepare warms exactly the shards the
+// new ring hands the node before acking, a query tagged with the
+// pending epoch is answered under it and kicks the implicit commit, and
+// a later shrinking epoch evicts the shards the ring moved away.
+func TestNodeEpochStateMachine(t *testing.T) {
+	dir := writeClusterStore(t)
+	// R=1 against a phantom member: "gone" owns part of the store, so
+	// this node starts warm only on its own share.
+	n, addr := startNode(t, dir, "keeper", []string{"keeper", "gone"}, 1, nil)
+	store := DirStore{Dir: dir}
+	keys, err := store.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mine := n.Warmed()
+	if mine == len(keys) {
+		t.Fatalf("phantom member owns nothing; pick different names (warmed %d of %d)", mine, len(keys))
+	}
+
+	// Prepare epoch 1 = {keeper} alone: every shard becomes keeper's, so
+	// prepare must warm exactly the phantom's former share before acking.
+	warmed := obsRebalanceWarmed.Value()
+	rep := controlRT(t, addr, epochCtl{Kind: epochCtlPrepare, Mem: NewMembership(1, "keeper")})
+	if rep.Kind != epochCtlAck {
+		t.Fatalf("prepare nak: %s", rep.Err)
+	}
+	if want := int64(len(keys) - mine); rep.Count != want || obsRebalanceWarmed.Value()-warmed != want {
+		t.Fatalf("prepare warmed %d (counter %d), want %d",
+			rep.Count, obsRebalanceWarmed.Value()-warmed, want)
+	}
+	if n.Epoch() != 0 {
+		t.Fatalf("prepare alone promoted the epoch to %d", n.Epoch())
+	}
+
+	// A stale re-prepare for an epoch not ahead of current must nak.
+	if rep := controlRT(t, addr, epochCtl{Kind: epochCtlPrepare, Mem: NewMembership(0, "keeper")}); rep.Kind != epochCtlNak {
+		t.Fatal("stale prepare (epoch 0) was acked")
+	}
+
+	// A query tagged with the pending epoch is answered under the new
+	// ring (the router only routes under epochs it has fully prepared)
+	// and kicks the implicit commit — the recovery path for a router
+	// that dies between promoting and committing.
+	pc, err := mr.DialPeer(addr, time.Second, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	qrep := askNode(t, pc, shardRequest{Key: keys[0], Path: "/point", RawQuery: "i=0", Epoch: 1})
+	if qrep.Status != http.StatusOK || qrep.Epoch != 1 || qrep.Role != "primary" {
+		t.Fatalf("pending-epoch query: status %d epoch %d role %q, want 200/1/primary",
+			qrep.Status, qrep.Epoch, qrep.Role)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for n.Epoch() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("implicit commit never promoted epoch 1")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if n.Warmed() != len(keys) {
+		t.Fatalf("after epoch 1 keeper holds %d warm shards, want all %d", n.Warmed(), len(keys))
+	}
+
+	// Epoch 2 brings the phantom back: commit must evict keeper's lost
+	// shards (the ring moved them) and the explicit commit is idempotent
+	// with the implicit one.
+	evicted := obsRebalanceEvicted.Value()
+	if rep := controlRT(t, addr, epochCtl{Kind: epochCtlPrepare, Mem: NewMembership(2, "keeper", "gone")}); rep.Kind != epochCtlAck {
+		t.Fatalf("prepare epoch 2 nak: %s", rep.Err)
+	}
+	rep = controlRT(t, addr, epochCtl{Kind: epochCtlCommit, Mem: Membership{Epoch: 2}})
+	if rep.Kind != epochCtlAck || n.Epoch() != 2 {
+		t.Fatalf("commit epoch 2: kind %d epoch %d: %s", rep.Kind, n.Epoch(), rep.Err)
+	}
+	if want := int64(len(keys) - mine); rep.Count != want || obsRebalanceEvicted.Value()-evicted != want {
+		t.Fatalf("commit evicted %d (counter %d), want %d", rep.Count, obsRebalanceEvicted.Value()-evicted, want)
+	}
+	if n.Warmed() != mine {
+		t.Fatalf("after epoch 2 keeper holds %d warm shards, want its own %d", n.Warmed(), mine)
+	}
+	if rep := controlRT(t, addr, epochCtl{Kind: epochCtlCommit, Mem: Membership{Epoch: 2}}); rep.Kind != epochCtlAck {
+		t.Fatalf("re-commit of current epoch nak: %s", rep.Err)
+	}
+	if rep := controlRT(t, addr, epochCtl{Kind: epochCtlCommit, Mem: Membership{Epoch: 9}}); rep.Kind != epochCtlNak {
+		t.Fatal("commit for an unprepared epoch was acked")
+	}
+}
+
+// TestEpochStaleQueryAccounting is the not-owned regression contract:
+// ownership disagreement under a recognized epoch counts as
+// serve_shard_not_owned, but the same disagreement under an unknown
+// epoch — a query legitimately in flight across a cutover, or from a
+// restarted router — counts only as serve_epoch_stale_queries and is
+// answered with the honest "stale-epoch" role.
+func TestEpochStaleQueryAccounting(t *testing.T) {
+	dir := writeClusterStore(t)
+	n, addr := startNode(t, dir, "keeper", []string{"keeper", "gone"}, 1, nil)
+	store := DirStore{Dir: dir}
+	keys, err := store.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var theirs ShardKey
+	found := false
+	for _, k := range keys {
+		if _, owned := n.role(k); !owned {
+			theirs, found = k, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("phantom member owns nothing; pick different names")
+	}
+	pc, err := mr.DialPeer(addr, time.Second, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+
+	notOwned, stale := obsShardNotOwned.Value(), obsEpochStale.Value()
+	// Same epoch, not my shard: a real routing bug, counted.
+	rep := askNode(t, pc, shardRequest{Key: theirs, Path: "/point", RawQuery: "i=0", Epoch: 0})
+	if rep.Status != http.StatusOK || rep.Role != "stray" {
+		t.Fatalf("misrouted query: status %d role %q, want 200/stray", rep.Status, rep.Role)
+	}
+	if d := obsShardNotOwned.Value() - notOwned; d != 1 {
+		t.Fatalf("serve_shard_not_owned grew by %d after a recognized-epoch misroute, want 1", d)
+	}
+
+	// Unknown epoch, same shard: a cutover race, answered but never
+	// blamed on routing.
+	notOwned = obsShardNotOwned.Value()
+	rep = askNode(t, pc, shardRequest{Key: theirs, Path: "/point", RawQuery: "i=0", Epoch: 42})
+	if rep.Status != http.StatusOK || rep.Role != "stale-epoch" {
+		t.Fatalf("stale-epoch query: status %d role %q, want 200/stale-epoch", rep.Status, rep.Role)
+	}
+	if d := obsShardNotOwned.Value() - notOwned; d != 0 {
+		t.Fatalf("serve_shard_not_owned grew by %d under an unknown epoch, want 0", d)
+	}
+	if d := obsEpochStale.Value() - stale; d != 1 {
+		t.Fatalf("serve_epoch_stale_queries grew by %d, want 1", d)
+	}
+}
+
+// TestChaosRebalancePrepareNakAbortsCutover: the serve.rebalance
+// failpoint naks the first prepare — the router must abort the join,
+// keep the old epoch serving, and succeed cleanly on retry once the
+// fault clears.
+func TestChaosRebalancePrepareNakAbortsCutover(t *testing.T) {
+	if err := chaos.EnableSpec("11,serve.rebalance:drop#1"); err != nil {
+		t.Fatal(err)
+	}
+	defer chaos.Disable()
+	dir := writeClusterStore(t)
+	tc := startCluster(t, dir, []string{"n1", "n2"}, 2, nil, nil)
+	bumps := obsEpochBumps.Value()
+
+	joiner, jaddr := startNode(t, dir, "n3", []string{"n3"}, 2, nil)
+	if _, err := tc.router.Join("n3", jaddr); err == nil {
+		t.Fatal("join succeeded despite the injected prepare nak")
+	}
+	if mem := tc.router.Membership(); mem.Epoch != 0 || mem.Contains("n3") {
+		t.Fatalf("aborted join left membership %+v, want epoch 0 without n3", mem)
+	}
+	if status, _, body := getBody(t, tc.http.URL+"/point?i=1"); status != http.StatusOK {
+		t.Fatalf("query after aborted cutover: status %d: %s", status, body)
+	}
+
+	// Fault spent (#1 fires only on the first hit): the retry must go
+	// through end to end.
+	mem, err := tc.router.Join("n3", jaddr)
+	if err != nil {
+		t.Fatalf("retry join: %v", err)
+	}
+	if mem.Epoch != 1 || !mem.Contains("n3") {
+		t.Fatalf("retry join membership %+v, want epoch 1 with n3", mem)
+	}
+	if d := obsEpochBumps.Value() - bumps; d != 1 {
+		t.Fatalf("serve_epoch_bumps_total grew by %d across nak+retry, want exactly 1", d)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for joiner.Epoch() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("joiner never committed epoch 1")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

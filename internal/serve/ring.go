@@ -169,3 +169,46 @@ func (r *Ring) Owner(k ShardKey) string {
 	}
 	return ""
 }
+
+// Membership is cluster membership as a first-class, versioned object:
+// one epoch-stamped member-name set. The ring stays a pure function of
+// the names, so two processes holding the same Membership agree on
+// placement with zero coordination — the epoch exists to let processes
+// *change* membership safely: the router tags every query with the
+// epoch it routed under, nodes answer for their current or pending
+// epoch, and cutover is two-phase (see node.go / router.go).
+type Membership struct {
+	Epoch   int64    `json:"epoch"`
+	Members []string `json:"members"`
+}
+
+// NewMembership builds epoch-stamped membership from a member list,
+// deduplicated and sorted so equal sets compare equal.
+func NewMembership(epoch int64, members ...string) Membership {
+	seen := make(map[string]bool, len(members))
+	out := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return Membership{Epoch: epoch, Members: out}
+}
+
+// Contains reports whether name is a member.
+func (m Membership) Contains(name string) bool {
+	for _, n := range m.Members {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ring materializes the membership's consistent-hash ring.
+func (m Membership) ring(vnodes int) *Ring {
+	return NewRing(vnodes, m.Members...)
+}

@@ -131,3 +131,71 @@ func TestRingOwnersDistinct(t *testing.T) {
 		t.Fatalf("empty ring returned owners %v", got)
 	}
 }
+
+// TestRingJoinMinimalMovementR3: at replication 3, a join perturbs each
+// key's replica set minimally — the new set is the old one with the
+// joiner optionally spliced in (surviving members keep their clockwise
+// order), so at most one member per key hands its copy to the joiner
+// and no shard ever moves between two surviving members.
+func TestRingJoinMinimalMovementR3(t *testing.T) {
+	const R = 3
+	base := []string{"m1", "m2", "m3", "m4", "m5"}
+	before := NewRing(0, base...)
+	after := NewRing(0, append(append([]string(nil), base...), "m6")...)
+	keys := ringKeys(5000)
+	moved := 0
+	for _, k := range keys {
+		was, now := before.Owners(k, R), after.Owners(k, R)
+		// now must be was with "m6" optionally inserted, truncated to R.
+		j := 0
+		for _, o := range now {
+			if o == "m6" {
+				continue
+			}
+			if j >= len(was) || was[j] != o {
+				t.Fatalf("key %v: owners %v -> %v moved a shard between survivors", k, was, now)
+			}
+			j++
+		}
+		if now[0] != was[0] {
+			moved++
+			if now[0] != "m6" {
+				t.Fatalf("key %v: primary moved %s -> %s, not to the joiner", k, was[0], now[0])
+			}
+		}
+	}
+	// The joiner takes roughly 1/6 of primaries; far more would mean the
+	// join reshuffled the ring wholesale.
+	if moved == 0 || moved > len(keys)/3 {
+		t.Errorf("join moved %d/%d primaries, want a small non-zero share", moved, len(keys))
+	}
+}
+
+// TestRingOwnershipJoinOrderIndependentR3: the replica set at R=3 is a
+// pure function of the member *set* — any insertion order, and the
+// Membership constructor path, agree on every key.
+func TestRingOwnershipJoinOrderIndependentR3(t *testing.T) {
+	const R = 3
+	orders := [][]string{
+		{"a", "b", "c", "d", "e"},
+		{"e", "d", "c", "b", "a"},
+		{"c", "a", "e", "b", "d"},
+	}
+	rings := make([]*Ring, 0, len(orders)+1)
+	for _, ord := range orders {
+		r := NewRing(0)
+		for _, m := range ord {
+			r.Add(m)
+		}
+		rings = append(rings, r)
+	}
+	rings = append(rings, NewMembership(9, "d", "e", "a", "b", "c", "c").ring(0))
+	for _, k := range ringKeys(2000) {
+		want := rings[0].Owners(k, R)
+		for i, r := range rings[1:] {
+			if got := r.Owners(k, R); !reflect.DeepEqual(got, want) {
+				t.Fatalf("key %v: ring %d owners %v, ring 0 owners %v", k, i+1, got, want)
+			}
+		}
+	}
+}

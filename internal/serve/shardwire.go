@@ -22,23 +22,52 @@ const (
 	frameShardReply = mr.PeerFrameBase + 1
 )
 
+// Membership control sub-types, carried in mr.FrameEpoch frames (the
+// chaos-exempt control lane). Prepare proposes epoch E+1 with the full
+// member list; the node warms every shard it would own under E+1 and
+// answers Ack (or Nak with an error). Commit promotes the pending epoch
+// and triggers the node's eviction + anti-entropy audit.
+const (
+	epochCtlPrepare = byte(1)
+	epochCtlCommit  = byte(2)
+	epochCtlAck     = byte(3)
+	epochCtlNak     = byte(4)
+)
+
+// epochCtl is one membership control message. Mem carries the full
+// membership on Prepare; only the epoch matters on Commit/Ack. Count
+// reports work done (shards warmed on a prepare ack, evicted on a
+// commit ack); Err carries the Nak reason.
+type epochCtl struct {
+	Kind  byte
+	Mem   Membership
+	Count int64
+	Err   string
+}
+
 // shardRequest is one proxied query: which shard, which endpoint, and
-// the raw query string to replay against it.
+// the raw query string to replay against it. Epoch is the ring epoch
+// the router routed under — the node uses it to tell a routing bug
+// (epochs agree, ownership doesn't) from a query legitimately in
+// flight across a membership cutover.
 type shardRequest struct {
 	Key      ShardKey
 	Path     string // "/info", "/point", "/range", "/coefficients"
 	RawQuery string
+	Epoch    int64
 }
 
 // shardReply is the node's answer. Status and Body mirror the HTTP
 // response of the per-shard handler; Node and Role identify who
 // actually answered (surfaced as X-Dwserve-* headers by the router);
-// DegradedB is non-zero when overload forced a coarser synopsis.
+// DegradedB is non-zero when overload forced a coarser synopsis; Epoch
+// is the ring epoch the node answered under.
 type shardReply struct {
 	Status    int
 	DegradedB int
 	Node      string
 	Role      string
+	Epoch     int64
 	Body      []byte
 }
 
@@ -101,7 +130,8 @@ func (r shardRequest) encode() []byte {
 	b = binary.AppendUvarint(b, uint64(r.Key.B))
 	b = appendString(b, r.Key.Metric)
 	b = appendString(b, r.Path)
-	return appendString(b, r.RawQuery)
+	b = appendString(b, r.RawQuery)
+	return binary.AppendUvarint(b, uint64(r.Epoch))
 }
 
 func decodeShardRequest(payload []byte) (shardRequest, error) {
@@ -112,6 +142,7 @@ func decodeShardRequest(payload []byte) (shardRequest, error) {
 	r.Key.Metric = c.string()
 	r.Path = c.string()
 	r.RawQuery = c.string()
+	r.Epoch = int64(c.uvarint())
 	return r, c.err
 }
 
@@ -120,6 +151,7 @@ func (r shardReply) encode() []byte {
 	b = binary.AppendUvarint(b, uint64(r.DegradedB))
 	b = appendString(b, r.Node)
 	b = appendString(b, r.Role)
+	b = binary.AppendUvarint(b, uint64(r.Epoch))
 	b = binary.AppendUvarint(b, uint64(len(r.Body)))
 	return append(b, r.Body...)
 }
@@ -131,8 +163,39 @@ func decodeShardReply(payload []byte) (shardReply, error) {
 	r.DegradedB = int(c.uvarint())
 	r.Node = c.string()
 	r.Role = c.string()
+	r.Epoch = int64(c.uvarint())
 	r.Body = c.bytes()
 	return r, c.err
+}
+
+func (e epochCtl) encode() []byte {
+	b := []byte{e.Kind}
+	b = binary.AppendUvarint(b, uint64(e.Mem.Epoch))
+	b = binary.AppendUvarint(b, uint64(len(e.Mem.Members)))
+	for _, m := range e.Mem.Members {
+		b = appendString(b, m)
+	}
+	b = binary.AppendUvarint(b, uint64(e.Count))
+	return appendString(b, e.Err)
+}
+
+func decodeEpochCtl(payload []byte) (epochCtl, error) {
+	if len(payload) < 1 {
+		return epochCtl{}, fmt.Errorf("serve: empty epoch control payload")
+	}
+	c := &cursor{buf: payload, off: 1}
+	e := epochCtl{Kind: payload[0]}
+	e.Mem.Epoch = int64(c.uvarint())
+	n := c.uvarint()
+	if c.err == nil && n > uint64(len(payload)) {
+		return epochCtl{}, fmt.Errorf("serve: membership of %d members overruns payload", n)
+	}
+	for i := uint64(0); i < n && c.err == nil; i++ {
+		e.Mem.Members = append(e.Mem.Members, c.string())
+	}
+	e.Count = int64(c.uvarint())
+	e.Err = c.string()
+	return e, c.err
 }
 
 // float64tobytes / float64frombytes are the store trailer codec
